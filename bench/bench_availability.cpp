@@ -1,0 +1,115 @@
+// E4 — availability vs per-replica up-probability.
+//
+// Quantifies the paper's motivating claim that replication "improves
+// availability [and] reliability": exact read/write availability for each
+// quorum strategy across replica counts and failure probabilities, plus a
+// Monte-Carlo cross-check column. Microbenchmarks time the analyses.
+#include <benchmark/benchmark.h>
+
+#include "quorum/availability.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace qcnt;
+using quorum::Availability;
+using quorum::ExactAvailability;
+using quorum::MonteCarloAvailability;
+using quorum::QuorumSystem;
+
+std::vector<QuorumSystem> Strategies(ReplicaId n) {
+  std::vector<QuorumSystem> out;
+  out.push_back(quorum::PrimaryCopySystem(n));
+  out.push_back(quorum::ReadOneWriteAllSystem(n));
+  out.push_back(quorum::MajoritySystem(n));
+  if (n == 4 || n == 6 || n == 9) {
+    out.push_back(quorum::GridSystem(n == 9 ? 3 : 2, n == 4 ? 2 : 3));
+  }
+  if (n == 9) out.push_back(quorum::HierarchicalMajoritySystem(3, 2));
+  return out;
+}
+
+void PrintAvailability() {
+  bench::Banner("E4: read/write availability (exact), by strategy and n");
+  for (ReplicaId n : {3, 5, 9}) {
+    std::cout << "n = " << n << " replicas\n";
+    bench::Table table({"strategy", "p=0.80 R/W", "p=0.90 R/W",
+                        "p=0.95 R/W", "p=0.99 R/W"});
+    for (const QuorumSystem& s : Strategies(n)) {
+      std::vector<std::string> row{s.name};
+      for (double p : {0.80, 0.90, 0.95, 0.99}) {
+        const Availability a = ExactAvailability(s, p);
+        row.push_back(bench::Table::Num(a.read, 4) + "/" +
+                      bench::Table::Num(a.write, 4));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::cout << '\n';
+  }
+
+  // Structured strategies at n = 13 (a complete 3-ary tree of 2 levels of
+  // children): tree-quorum reads survive root loss, writes do not.
+  std::cout << "n = 13 replicas (structured strategies)\n";
+  bench::Table structured({"strategy", "p=0.80 R/W", "p=0.90 R/W",
+                           "p=0.95 R/W", "p=0.99 R/W"});
+  for (const QuorumSystem& s :
+       {quorum::MajoritySystem(13), quorum::TreeQuorumSystem(3, 3)}) {
+    std::vector<std::string> row{s.name};
+    for (double p : {0.80, 0.90, 0.95, 0.99}) {
+      const Availability a = ExactAvailability(s, p);
+      row.push_back(bench::Table::Num(a.read, 4) + "/" +
+                    bench::Table::Num(a.write, 4));
+    }
+    structured.AddRow(std::move(row));
+  }
+  structured.Print();
+  std::cout << '\n';
+
+  bench::Banner("E4b: Monte-Carlo cross-check (n=5, p=0.9, 200k trials)");
+  bench::Table mc({"strategy", "exact read", "MC read", "exact write",
+                   "MC write"});
+  Rng rng(2026);
+  for (const QuorumSystem& s : Strategies(5)) {
+    const Availability exact = ExactAvailability(s, 0.9);
+    const Availability est = MonteCarloAvailability(s, 0.9, 200000, rng);
+    mc.AddRow({s.name, bench::Table::Num(exact.read, 4),
+               bench::Table::Num(est.read, 4),
+               bench::Table::Num(exact.write, 4),
+               bench::Table::Num(est.write, 4)});
+  }
+  mc.Print();
+
+  std::cout << "\nShape checks (paper intro): majority read AND write "
+               "availability beat a single copy;\nread-one/write-all "
+               "maximizes read availability at the cost of write "
+               "availability.\n";
+}
+
+void BM_ExactAvailabilityMajority(benchmark::State& state) {
+  const QuorumSystem s =
+      quorum::MajoritySystem(static_cast<ReplicaId>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactAvailability(s, 0.9).read);
+  }
+}
+BENCHMARK(BM_ExactAvailabilityMajority)->Arg(5)->Arg(11)->Arg(17);
+
+void BM_MonteCarloAvailability(benchmark::State& state) {
+  const QuorumSystem s = quorum::MajoritySystem(21);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MonteCarloAvailability(s, 0.9, 1000, rng).read);
+  }
+}
+BENCHMARK(BM_MonteCarloAvailability);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAvailability();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

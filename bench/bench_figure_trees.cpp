@@ -1,0 +1,127 @@
+// E1 — Figures 1 and 2 of the paper.
+//
+// Constructs the paper's example: two user transactions over one replicated
+// logical item x with three DMs plus non-replica accesses a and b; prints
+// the transaction tree of replicated serial system B (Figure 1) and, via
+// the Theorem-10 correspondence, the tree of the non-replicated system A
+// (Figure 2). Also microbenchmarks system-type construction and the
+// composed automaton's step machinery.
+#include <benchmark/benchmark.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/theorem10.hpp"
+#include "table.hpp"
+#include "txn/random_transaction.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace {
+
+using namespace qcnt;
+
+replication::ReplicatedSpec MakeFigureSpec() {
+  replication::ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 3, quorum::Majority(3),
+                                Plain{std::int64_t{0}});
+  const ObjectId oa = spec.AddPlainObject("a-obj", Plain{std::int64_t{0}});
+  const ObjectId ob = spec.AddPlainObject("b-obj", Plain{std::int64_t{0}});
+  const TxnId u1 = spec.AddTransaction(kRootTxn, "U1");
+  spec.AddPlainRead(u1, oa, "a");
+  spec.AddWriteTm(u1, x, Plain{std::int64_t{1}});
+  spec.AddReadTm(u1, x);
+  const TxnId u2 = spec.AddTransaction(kRootTxn, "U2");
+  spec.AddPlainWrite(u2, ob, Plain{std::int64_t{2}}, "b");
+  spec.AddReadTm(u2, x);
+  spec.Finalize(/*read_attempts=*/1, /*write_attempts=*/1);
+  return spec;
+}
+
+void PrintFigures() {
+  const replication::ReplicatedSpec spec = MakeFigureSpec();
+  bench::Banner(
+      "Figure 1: transaction tree for replicated serial system B");
+  std::cout << spec.Type().ToAscii();
+
+  bench::Banner(
+      "Figure 2: corresponding tree for non-replicated system A\n"
+      "    (TMs become accesses to a single logical object; DM accesses "
+      "vanish)");
+  // Render the A-tree: same nodes minus replica accesses; TMs flagged as
+  // logical accesses.
+  const txn::SystemType& type = spec.Type();
+  struct Frame {
+    TxnId t;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{kRootTxn, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (spec.IsReplicaAccess(f.t)) continue;
+    for (std::size_t i = 0; i < f.depth; ++i) std::cout << "  ";
+    std::cout << type.Label(f.t);
+    if (type.IsAccess(f.t)) {
+      std::cout << " [access " << type.ObjectLabel(type.ObjectOf(f.t)) << ']';
+    } else if (spec.TmItem(f.t) != kNoItem) {
+      std::cout << " [access to logical " << spec.Item(spec.TmItem(f.t)).name
+                << ']';
+    }
+    std::cout << '\n';
+    const auto& kids = type.Children(f.t);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+
+  bench::Banner("tree statistics");
+  bench::Table table({"tree", "transactions", "objects", "accesses"});
+  std::size_t accesses_b = 0;
+  for (TxnId t = 0; t < type.TxnCount(); ++t) {
+    if (type.IsAccess(t)) ++accesses_b;
+  }
+  std::size_t replica_accesses = 0;
+  for (const auto& item : spec.Items()) replica_accesses += item.accesses.size();
+  table.AddRow({"system B (Figure 1)", std::to_string(type.TxnCount()),
+                std::to_string(type.ObjectCount()),
+                std::to_string(accesses_b)});
+  table.AddRow({"system A (Figure 2)",
+                std::to_string(type.TxnCount() - replica_accesses),
+                std::to_string(type.ObjectCount() - 3 + 1),
+                std::to_string(accesses_b - replica_accesses + 3)});
+  table.Print();
+}
+
+void BM_BuildFigureSpec(benchmark::State& state) {
+  for (auto _ : state) {
+    replication::ReplicatedSpec spec = MakeFigureSpec();
+    benchmark::DoNotOptimize(spec.Type().TxnCount());
+  }
+}
+BENCHMARK(BM_BuildFigureSpec);
+
+void BM_ExploreFigureSystem(benchmark::State& state) {
+  const replication::ReplicatedSpec spec = MakeFigureSpec();
+  replication::UserAutomataFactory users = [&](ioa::System& sys) {
+    for (TxnId t = 0; t < spec.Type().TxnCount(); ++t) {
+      if (spec.IsUserTransaction(t)) {
+        sys.Emplace<txn::RandomTransaction>(spec.Type(), t);
+      }
+    }
+  };
+  ioa::System sys = replication::BuildB(spec, users);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const ioa::ExploreResult r = ioa::Explore(sys, seed++);
+    benchmark::DoNotOptimize(r.schedule.size());
+  }
+}
+BENCHMARK(BM_ExploreFigureSystem);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// E10 — Theorem 11 in motion: Quorum Consensus over Moss nested 2PL.
+//
+// Concurrent executions of system C (concurrent scheduler + locked copies +
+// the Section-3 TM automata) across contention levels and abort pressure.
+// Reports commit/rollback statistics and confirms one-copy serializability
+// on every run; microbenchmarks time exploration and the checker.
+#include <benchmark/benchmark.h>
+
+#include "cc/system_c.hpp"
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "table.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace {
+
+using namespace qcnt;
+using cc::BuildSystemC;
+using cc::CheckOneCopySerializability;
+using cc::CollectRunStats;
+using cc::RunStats;
+
+void PrintLockingTable() {
+  bench::Banner(
+      "E10: concurrent QC over nested 2PL — commit/rollback profile and "
+      "one-copy checks");
+  bench::Table table({"users", "TMs/user", "items", "abort-w", "runs",
+                      "committed top", "rollbacks", "one-copy violations"});
+  for (const auto& [users_count, tms, items] :
+       std::vector<std::tuple<std::size_t, std::size_t, std::size_t>>{
+           {2, 2, 2}, {3, 2, 1}, {4, 3, 2}}) {
+    for (double aw : {0.0, 0.1}) {
+      std::size_t committed = 0, rollbacks = 0, violations = 0, runs = 0;
+      for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed * 31337 + users_count * 7 + items);
+        // Build spec and factory together so the factory's spec pointer
+        // stays valid for the whole trial.
+        replication::ReplicatedSpec spec;
+        std::vector<ItemId> xs;
+        for (std::size_t i = 0; i < items; ++i) {
+          xs.push_back(spec.AddItem("x" + std::to_string(i), 3,
+                                    quorum::Majority(3),
+                                    Plain{std::int64_t{0}}));
+        }
+        std::vector<TxnId> top;
+        std::vector<std::vector<TxnId>> scripts;
+        std::int64_t next = 1;
+        for (std::size_t u = 0; u < users_count; ++u) {
+          const TxnId txn =
+              spec.AddTransaction(kRootTxn, "U" + std::to_string(u));
+          top.push_back(txn);
+          std::vector<TxnId> script;
+          for (std::size_t k = 0; k < tms; ++k) {
+            const ItemId x = xs[rng.Index(xs.size())];
+            if (rng.Chance(0.5)) {
+              script.push_back(spec.AddReadTm(txn, x));
+            } else {
+              script.push_back(spec.AddWriteTm(txn, x, Plain{next++}));
+            }
+          }
+          scripts.push_back(std::move(script));
+        }
+        spec.Finalize(2);
+        replication::UserAutomataFactory users_factory =
+            [&spec, &top, &scripts](ioa::System& sys) {
+              txn::ScriptedTransaction::Options root_opts;
+              root_opts.sequential = false;
+              sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                                    top, root_opts);
+              for (std::size_t i = 0; i < top.size(); ++i) {
+                sys.Emplace<txn::ScriptedTransaction>(spec.Type(), top[i],
+                                                      scripts[i]);
+              }
+            };
+        ioa::System sys = BuildSystemC(spec, users_factory);
+        ioa::ExploreOptions opts;
+        opts.max_steps = 20000;
+        opts.weight = [aw](const ioa::Action& a) {
+          return a.kind == ioa::ActionKind::kAbort ? aw : 1.0;
+        };
+        const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+        if (!r.quiescent) continue;
+        ++runs;
+        const RunStats stats = CollectRunStats(spec, r.schedule);
+        committed += stats.committed_top_level;
+        rollbacks += stats.aborted_created_txns;
+        if (!CheckOneCopySerializability(spec, r.schedule).ok) ++violations;
+      }
+      table.AddRow({std::to_string(users_count), std::to_string(tms),
+                    std::to_string(items), bench::Table::Num(aw, 2),
+                    std::to_string(runs), std::to_string(committed),
+                    std::to_string(rollbacks), std::to_string(violations)});
+    }
+  }
+  table.Print();
+  std::cout << "\nShape checks: at abort-weight 0 conflicting writers "
+               "deadlock (2PL over quorums makes\nwriter/writer conflicts "
+               "certain), so commits fall as contention rises; with aborts "
+               "as a\ndeadlock resolver most rollbacks are retries of "
+               "created subtrees. Either way the\none-copy violation count "
+               "stays zero — Theorem 11.\n";
+}
+
+void BM_ConcurrentExploration(benchmark::State& state) {
+  replication::ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u1 = spec.AddTransaction(kRootTxn, "U1");
+  const TxnId u2 = spec.AddTransaction(kRootTxn, "U2");
+  const TxnId w1 = spec.AddWriteTm(u1, x, Plain{std::int64_t{1}});
+  const TxnId r2 = spec.AddReadTm(u2, x);
+  spec.Finalize(2);
+  replication::UserAutomataFactory users = [&](ioa::System& sys) {
+    txn::ScriptedTransaction::Options root_opts;
+    root_opts.sequential = false;
+    sys.Emplace<txn::ScriptedTransaction>(
+        spec.Type(), kRootTxn, std::vector<TxnId>{u1, u2}, root_opts);
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u1,
+                                          std::vector<TxnId>{w1});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u2,
+                                          std::vector<TxnId>{r2});
+  };
+  ioa::System sys = BuildSystemC(spec, users);
+  std::uint64_t seed = 0;
+  std::size_t actions = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    ioa::ExploreOptions opts;
+    opts.weight = [](const ioa::Action& a) {
+      return a.kind == ioa::ActionKind::kAbort ? 0.05 : 1.0;
+    };
+    const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+    actions += r.schedule.size();
+  }
+  state.counters["actions/s"] = benchmark::Counter(
+      static_cast<double>(actions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConcurrentExploration);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintLockingTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

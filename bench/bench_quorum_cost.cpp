@@ -1,0 +1,75 @@
+// E5 — message cost per logical operation.
+//
+// A logical read contacts one read quorum; a logical write contacts a read
+// quorum (version discovery) and then a write quorum. The table reports
+// replicas contacted per operation for each strategy as the replica count
+// grows, with all replicas up — the structural cost the configuration
+// choice implies, independent of any network.
+#include <benchmark/benchmark.h>
+
+#include "quorum/availability.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace qcnt;
+using quorum::FullyUpCost;
+using quorum::OperationCost;
+using quorum::QuorumSystem;
+
+void PrintCosts() {
+  bench::Banner("E5: replicas contacted per logical operation (all up)");
+  bench::Table table({"n", "strategy", "read msgs", "write msgs"});
+  for (ReplicaId n : {3, 5, 9, 13, 15, 25, 27}) {
+    std::vector<QuorumSystem> strategies;
+    strategies.push_back(quorum::PrimaryCopySystem(n));
+    strategies.push_back(quorum::ReadOneWriteAllSystem(n));
+    strategies.push_back(quorum::MajoritySystem(n));
+    if (n == 9) strategies.push_back(quorum::GridSystem(3, 3));
+    if (n == 15) strategies.push_back(quorum::GridSystem(3, 5));
+    if (n == 25) strategies.push_back(quorum::GridSystem(5, 5));
+    if (n == 9) strategies.push_back(quorum::HierarchicalMajoritySystem(3, 2));
+    if (n == 27) {
+      strategies.push_back(quorum::HierarchicalMajoritySystem(3, 3));
+    }
+    if (n == 13) strategies.push_back(quorum::TreeQuorumSystem(3, 3));
+    for (const QuorumSystem& s : strategies) {
+      const OperationCost c = FullyUpCost(s);
+      table.AddRow({std::to_string(n), s.name,
+                    bench::Table::Num(c.read_messages, 1),
+                    bench::Table::Num(c.write_messages, 1)});
+    }
+  }
+  table.Print();
+  std::cout << "\nShape checks: grid reads cost O(sqrt n); hierarchical "
+               "quorums cost O(n^0.63) — both\nundercut majority's (n+1)/2 "
+               "as n grows, while read-one/write-all stays cheapest for "
+               "reads\nand most expensive for writes.\n";
+}
+
+void BM_PickReadQuorum(benchmark::State& state) {
+  const QuorumSystem s = quorum::GridSystem(5, 5);
+  const std::uint64_t full = (1ull << 25) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pick_read(full));
+  }
+}
+BENCHMARK(BM_PickReadQuorum);
+
+void BM_PickWriteQuorumHierarchical(benchmark::State& state) {
+  const QuorumSystem s = quorum::HierarchicalMajoritySystem(3, 3);
+  const std::uint64_t full = (1ull << 27) - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.pick_write(full));
+  }
+}
+BENCHMARK(BM_PickWriteQuorumHierarchical);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCosts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E8 — throughput of the threaded runtime.
+//
+// Real threads, real mailboxes: clients issue a read/write mix against a
+// ReplicatedStore under different quorum strategies. Reported as operations
+// per second (google-benchmark drives the measurement); the table gives a
+// one-shot overview across strategies and read fractions.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "runtime/store.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace qcnt;
+using runtime::ReplicatedStore;
+using runtime::StoreOptions;
+
+double MeasureOpsPerSec(const quorum::QuorumSystem& system,
+                        double read_fraction, std::size_t client_threads,
+                        std::size_t ops_per_client) {
+  StoreOptions options;
+  options.replicas = system.n;
+  options.configs = {system};
+  options.max_clients = client_threads;
+  ReplicatedStore store(std::move(options));
+
+  std::atomic<std::size_t> failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < client_threads; ++t) {
+    auto client = store.MakeClient();
+    threads.emplace_back([client = std::move(client), t, ops_per_client,
+                          read_fraction, &failures] {
+      qcnt::Rng rng(t * 7919 + 13);
+      for (std::size_t i = 0; i < ops_per_client; ++i) {
+        const std::string key = "k" + std::to_string(i % 8);
+        const bool ok = rng.Chance(read_fraction)
+                            ? client->Read(key).ok
+                            : client->Write(key,
+                                            static_cast<std::int64_t>(i))
+                                  .ok;
+        if (!ok) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double total =
+      static_cast<double>(client_threads * ops_per_client);
+  return failures.load() == 0 ? total / secs : 0.0;
+}
+
+void PrintThroughput() {
+  bench::Banner(
+      "E8: threaded runtime throughput (ops/s), 5 replicas, 4 client "
+      "threads, 8 keys");
+  bench::Table table({"strategy", "reads=10%", "reads=50%", "reads=90%"});
+  const std::size_t ops = 400;
+  for (const quorum::QuorumSystem& s :
+       {quorum::MajoritySystem(5), quorum::ReadOneWriteAllSystem(5),
+        quorum::ReadAllWriteOneSystem(5)}) {
+    std::vector<std::string> row{s.name};
+    for (double f : {0.1, 0.5, 0.9}) {
+      row.push_back(bench::Table::Num(MeasureOpsPerSec(s, f, 4, ops), 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::cout << "\nShape checks: throughput rises with the read fraction for "
+               "every strategy (reads are\none-phase, writes two-phase). "
+               "With every replica in-process the strategies' absolute\n"
+               "ranking is noisy; the wide-area trade-off between them is "
+               "measured in E7/E11 where\nlink latency dominates.\n";
+}
+
+void BM_RuntimeReadMajority(benchmark::State& state) {
+  StoreOptions options;
+  options.replicas = 5;
+  ReplicatedStore store(std::move(options));
+  auto client = store.MakeClient();
+  client->Write("k", 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->Read("k").ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeReadMajority);
+
+void BM_RuntimeWriteMajority(benchmark::State& state) {
+  StoreOptions options;
+  options.replicas = 5;
+  ReplicatedStore store(std::move(options));
+  auto client = store.MakeClient();
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->Write("k", ++v).ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RuntimeWriteMajority);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintThroughput();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Capacity planning with the quorum library: pick the cheapest
+// configuration that meets an availability target for a given workload.
+//
+// Given a per-replica up-probability, a read fraction, and a target
+// availability for both operation kinds, sweep the built-in strategies and
+// replica counts, discard configurations that miss the target, and rank
+// the rest by expected messages per operation — the library as a design
+// tool rather than a runtime.
+//
+//   build/examples/availability_planner [up_prob] [read_fraction] [target]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+
+#include "quorum/availability.hpp"
+#include "quorum/coterie.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcnt;
+  using quorum::Availability;
+  using quorum::QuorumSystem;
+
+  const double up_prob = argc > 1 ? std::atof(argv[1]) : 0.95;
+  const double read_fraction = argc > 2 ? std::atof(argv[2]) : 0.8;
+  const double target = argc > 3 ? std::atof(argv[3]) : 0.999;
+
+  std::cout << "per-replica availability " << up_prob << ", reads "
+            << read_fraction * 100 << "%, target " << target << "\n\n";
+
+  struct Candidate {
+    QuorumSystem system;
+    Availability availability;
+    double cost;
+  };
+  std::vector<Candidate> viable, rejected;
+
+  std::vector<QuorumSystem> candidates;
+  for (ReplicaId n : {1, 3, 5, 7, 9}) {
+    candidates.push_back(quorum::MajoritySystem(n));
+    candidates.push_back(quorum::ReadOneWriteAllSystem(n));
+  }
+  candidates.push_back(quorum::GridSystem(3, 3));
+  candidates.push_back(quorum::HierarchicalMajoritySystem(3, 2));
+  candidates.push_back(quorum::TreeQuorumSystem(3, 2));
+
+  for (QuorumSystem& s : candidates) {
+    const Availability a = quorum::ExactAvailability(s, up_prob);
+    const quorum::OperationCost c = quorum::FullyUpCost(s);
+    Candidate cand{std::move(s), a,
+                   read_fraction * c.read_messages +
+                       (1 - read_fraction) * c.write_messages};
+    if (a.read >= target && a.write >= target) {
+      viable.push_back(std::move(cand));
+    } else {
+      rejected.push_back(std::move(cand));
+    }
+  }
+  std::sort(viable.begin(), viable.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.cost < b.cost;
+            });
+
+  std::cout << std::fixed << std::setprecision(5);
+  std::cout << "viable configurations (cheapest first):\n";
+  for (const Candidate& c : viable) {
+    std::cout << "  " << std::left << std::setw(24)
+              << (c.system.name + "(" + std::to_string(c.system.n) + ")")
+              << " read=" << c.availability.read
+              << " write=" << c.availability.write
+              << "  ~" << std::setprecision(2) << c.cost
+              << " msgs/op\n" << std::setprecision(5);
+  }
+  if (viable.empty()) {
+    std::cout << "  (none — raise the replica count or lower the target)\n";
+  }
+  std::cout << "\nrejected (missed the target):\n";
+  for (const Candidate& c : rejected) {
+    std::cout << "  " << std::left << std::setw(24)
+              << (c.system.name + "(" + std::to_string(c.system.n) + ")")
+              << " read=" << c.availability.read
+              << " write=" << c.availability.write << '\n';
+  }
+
+  if (!viable.empty()) {
+    std::cout << "\nrecommended: " << viable.front().system.name << " over "
+              << viable.front().system.n << " replicas\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Exploring the formal model: watch Quorum Consensus run inside the
+// Lynch–Merritt I/O automaton semantics, step by step.
+//
+// Builds the smallest interesting replicated serial system B (one item,
+// three DMs, one write-TM and one read-TM under one user transaction),
+// resolves the model's nondeterminism with a seed, and prints the full
+// schedule with human-readable names. Then it performs the Theorem-10
+// construction before your eyes: deletes the replica-access operations and
+// replays the result against the non-replicated system A.
+//
+//   build/examples/model_explorer [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+
+int main(int argc, char** argv) {
+  using namespace qcnt;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  replication::ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 3, quorum::Majority(3),
+                                Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{42}});
+  const TxnId rtm = spec.AddReadTm(u, x);
+  spec.Finalize();
+
+  std::cout << "=== transaction tree of system B ===\n"
+            << spec.Type().ToAscii() << '\n';
+
+  replication::UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                          std::vector<TxnId>{wtm, rtm});
+  };
+  ioa::System b = replication::BuildB(spec, users);
+
+  Rng rng(seed);
+  ioa::ExploreOptions opts;
+  opts.weight = [](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? 0.2 : 1.0;
+  };
+  const ioa::ExploreResult run = ioa::Explore(b, rng, opts);
+
+  std::cout << "=== schedule of B (seed " << seed << ", "
+            << run.schedule.size() << " operations) ===\n";
+  for (std::size_t i = 0; i < run.schedule.size(); ++i) {
+    const ioa::Action& a = run.schedule[i];
+    std::cout << (spec.IsReplicaAccess(a.txn) ? "    " : "")
+              << i << ": " << spec.Type().Pretty(a) << '\n';
+  }
+
+  const replication::Theorem10Result t10 =
+      replication::CheckTheorem10(spec, users, run.schedule);
+  std::cout << "\n=== Theorem 10 construction: alpha = beta minus replica "
+               "accesses ===\n";
+  for (std::size_t i = 0; i < t10.alpha.size(); ++i) {
+    std::cout << i << ": " << spec.Type().Pretty(t10.alpha[i]) << '\n';
+  }
+  std::cout << "\nalpha is a schedule of the non-replicated system A: "
+            << (t10.ok ? "YES (verified by replay)" : t10.message) << '\n';
+  std::cout << "try different seeds to watch other interleavings and "
+               "abort patterns.\n";
+  return t10.ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+#include "cc/concurrent_scheduler.hpp"
+
+namespace qcnt::cc {
+
+ConcurrentScheduler::ConcurrentScheduler(const txn::SystemType& type)
+    : type_(&type) {
+  Reset();
+}
+
+void ConcurrentScheduler::Reset() {
+  const std::size_t n = type_->TxnCount();
+  create_requested_.assign(n, 0);
+  created_.assign(n, 0);
+  aborted_.assign(n, 0);
+  returned_.assign(n, 0);
+  committed_.assign(n, 0);
+  commit_requested_.clear();
+  create_order_.clear();
+  create_requested_[kRootTxn] = 1;
+  create_order_.push_back(kRootTxn);
+}
+
+bool ConcurrentScheduler::IsOrphan(TxnId t) const {
+  while (t != kNoTxn) {
+    if (aborted_[t]) return true;
+    t = type_->Parent(t);
+  }
+  return false;
+}
+
+bool ConcurrentScheduler::IsOperation(const ioa::Action& a) const {
+  return a.txn < type_->TxnCount();
+}
+
+bool ConcurrentScheduler::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kCreate ||
+                            a.kind == ioa::ActionKind::kCommit ||
+                            a.kind == ioa::ActionKind::kAbort);
+}
+
+bool ConcurrentScheduler::ChildrenReturned(TxnId t) const {
+  for (TxnId child : type_->Children(t)) {
+    if (create_requested_[child] && !returned_[child]) return false;
+  }
+  return true;
+}
+
+bool ConcurrentScheduler::CommitRequestedWith(TxnId t,
+                                              const Value& v) const {
+  for (const auto& [txn, value] : commit_requested_) {
+    if (txn == t && value == v) return true;
+  }
+  return false;
+}
+
+bool ConcurrentScheduler::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return true;  // inputs
+    case ioa::ActionKind::kCreate:
+      // No sibling exclusion: concurrency is allowed.
+      return create_requested_[a.txn] && !created_[a.txn] && !aborted_[a.txn];
+    case ioa::ActionKind::kCommit:
+      return a.txn != kRootTxn && CommitRequestedWith(a.txn, a.value) &&
+             !returned_[a.txn] && ChildrenReturned(a.txn) &&
+             !IsOrphan(a.txn);
+    case ioa::ActionKind::kAbort:
+      // Unlike the serial scheduler, created transactions may abort too
+      // (the locking objects roll their effects back).
+      return a.txn != kRootTxn && create_requested_[a.txn] &&
+             !returned_[a.txn];
+  }
+  return false;
+}
+
+void ConcurrentScheduler::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kRequestCreate:
+      if (!create_requested_[a.txn]) {
+        create_requested_[a.txn] = 1;
+        create_order_.push_back(a.txn);
+      }
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      commit_requested_.emplace_back(a.txn, a.value);
+      break;
+    case ioa::ActionKind::kCreate:
+      created_[a.txn] = 1;
+      break;
+    case ioa::ActionKind::kCommit:
+      committed_[a.txn] = 1;
+      returned_[a.txn] = 1;
+      break;
+    case ioa::ActionKind::kAbort:
+      aborted_[a.txn] = 1;
+      returned_[a.txn] = 1;
+      break;
+  }
+}
+
+void ConcurrentScheduler::EnabledOutputs(
+    std::vector<ioa::Action>& out) const {
+  for (TxnId t : create_order_) {
+    if (t == kRootTxn) {
+      if (!created_[t]) out.push_back(ioa::Create(t));
+      continue;
+    }
+    if (!created_[t] && !aborted_[t]) out.push_back(ioa::Create(t));
+    if (!returned_[t]) out.push_back(ioa::Abort(t));
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    if (t == kRootTxn || returned_[t]) continue;
+    if (!ChildrenReturned(t) || IsOrphan(t)) continue;
+    out.push_back(ioa::Commit(t, v));
+  }
+}
+
+}  // namespace qcnt::cc

@@ -1,0 +1,53 @@
+// A concurrent (non-serial) scheduler for nested transaction systems.
+//
+// System C of Theorem 11 has the same type as system B but need not be
+// serial; correctness is delegated to a concurrency-control algorithm at
+// the copy level (locked_object.hpp). This scheduler drops the serial
+// scheduler's sibling-exclusion rule — any requested transaction may be
+// created at any time — and extends ABORT to *created* transactions,
+// modelling crashes/rollbacks; the locking objects undo the work of aborted
+// subtrees. COMMIT still waits for all requested children to return and is
+// refused for orphans (a transaction with an aborted ancestor), modelling
+// orphan elimination.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::cc {
+
+class ConcurrentScheduler : public ioa::Automaton {
+ public:
+  explicit ConcurrentScheduler(const txn::SystemType& type);
+
+  bool Created(TxnId t) const { return created_[t] != 0; }
+  bool Aborted(TxnId t) const { return aborted_[t] != 0; }
+  bool Committed(TxnId t) const { return committed_[t] != 0; }
+  bool Returned(TxnId t) const { return returned_[t] != 0; }
+  /// Does t have an aborted ancestor (inclusive)?
+  bool IsOrphan(TxnId t) const;
+
+  // Automaton interface.
+  std::string Name() const override { return "concurrent-scheduler"; }
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  bool ChildrenReturned(TxnId t) const;
+  bool CommitRequestedWith(TxnId t, const Value& v) const;
+
+  const txn::SystemType* type_;
+  std::vector<std::uint8_t> create_requested_;
+  std::vector<std::uint8_t> created_;
+  std::vector<std::uint8_t> aborted_;
+  std::vector<std::uint8_t> returned_;
+  std::vector<std::uint8_t> committed_;
+  std::vector<std::pair<TxnId, Value>> commit_requested_;
+  std::vector<TxnId> create_order_;
+};
+
+}  // namespace qcnt::cc

@@ -1,0 +1,80 @@
+#include "cc/deadlock.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace qcnt::cc {
+
+namespace {
+
+/// Topmost proper ancestor below the root (the transaction itself when it
+/// is a child of the root; kNoTxn for the root).
+TxnId TopLevelOf(const txn::SystemType& type, TxnId t) {
+  if (t == kRootTxn) return kNoTxn;
+  while (type.Parent(t) != kRootTxn) t = type.Parent(t);
+  return t;
+}
+
+DeadlockReport Analyze(const txn::SystemType& type,
+                       const std::vector<const LockedObject*>& objs) {
+  DeadlockReport report;
+  std::unordered_map<TxnId, std::unordered_set<TxnId>> graph;
+  for (const LockedObject* obj : objs) {
+    for (TxnId access : obj->PendingAccesses()) {
+      const TxnId waiter = TopLevelOf(type, access);
+      if (waiter == kNoTxn) continue;
+      for (TxnId holder : obj->BlockersOf(access)) {
+        const TxnId target = TopLevelOf(type, holder);
+        if (target == kNoTxn || target == waiter) continue;
+        if (graph[waiter].insert(target).second) {
+          report.waits_for.emplace_back(waiter, target);
+        }
+      }
+    }
+  }
+
+  // A node is deadlocked iff it can reach itself: DFS per node (graphs are
+  // tiny — bounded by concurrent top-level transactions).
+  for (const auto& [start, _] : graph) {
+    std::vector<TxnId> stack(graph[start].begin(), graph[start].end());
+    std::unordered_set<TxnId> seen;
+    bool cycle = false;
+    while (!stack.empty() && !cycle) {
+      const TxnId t = stack.back();
+      stack.pop_back();
+      if (t == start) {
+        cycle = true;
+        break;
+      }
+      if (!seen.insert(t).second) continue;
+      auto it = graph.find(t);
+      if (it == graph.end()) continue;
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+    if (cycle) report.deadlocked.push_back(start);
+  }
+  std::sort(report.deadlocked.begin(), report.deadlocked.end());
+  return report;
+}
+
+}  // namespace
+
+DeadlockReport DetectDeadlocks(const txn::SystemType& type,
+                               const ioa::System& sys) {
+  std::vector<const LockedObject*> objs;
+  for (std::size_t i = 0; i < sys.ComponentCount(); ++i) {
+    if (const auto* obj =
+            dynamic_cast<const LockedObject*>(&sys.Component(i))) {
+      objs.push_back(obj);
+    }
+  }
+  return Analyze(type, objs);
+}
+
+DeadlockReport DetectDeadlocks(const txn::SystemType& type,
+                               const std::vector<const LockedObject*>& objs) {
+  return Analyze(type, objs);
+}
+
+}  // namespace qcnt::cc

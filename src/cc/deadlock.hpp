@@ -1,0 +1,36 @@
+// Deadlock detection for the nested-locking layer.
+//
+// Two-phase locking can deadlock — under Quorum Consensus two concurrent
+// logical writers conflict by construction (each writer's write set
+// intersects every other writer's read set), so writer/writer deadlocks
+// are the norm, not the exception. The analyzer builds a waits-for graph
+// over *top-level* transactions (the lock-inheritance unit a peer
+// ultimately waits on): pending access → blocking holders, both mapped to
+// their topmost ancestor below the root, then reports every transaction on
+// a cycle. Resolution is the scheduler's ABORT, which the locking objects
+// already honor by rolling the victim back.
+#pragma once
+
+#include "cc/locked_object.hpp"
+#include "ioa/system.hpp"
+
+namespace qcnt::cc {
+
+struct DeadlockReport {
+  /// Top-level transactions involved in some waits-for cycle.
+  std::vector<TxnId> deadlocked;
+  /// Edges of the waits-for graph (waiter, holder), both top-level.
+  std::vector<std::pair<TxnId, TxnId>> waits_for;
+
+  bool HasDeadlock() const { return !deadlocked.empty(); }
+};
+
+/// Analyze the locked objects composed into `sys`.
+DeadlockReport DetectDeadlocks(const txn::SystemType& type,
+                               const ioa::System& sys);
+
+/// Analyze an explicit set of objects (unit-test convenience).
+DeadlockReport DetectDeadlocks(const txn::SystemType& type,
+                               const std::vector<const LockedObject*>& objs);
+
+}  // namespace qcnt::cc

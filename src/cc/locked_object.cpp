@@ -1,0 +1,175 @@
+#include "cc/locked_object.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qcnt::cc {
+
+LockedObject::LockedObject(const txn::SystemType& type, ObjectId object,
+                           Value initial)
+    : type_(&type), object_(object), initial_(std::move(initial)) {
+  QCNT_CHECK(object < type.ObjectCount());
+  Reset();
+}
+
+void LockedObject::Reset() {
+  versions_.assign(1, Version{kRootTxn, initial_});
+  read_lockers_.clear();
+  pending_.clear();
+}
+
+std::string LockedObject::Name() const {
+  return "locked-object(" + type_->ObjectLabel(object_) + ")";
+}
+
+bool LockedObject::ReadLockFree(TxnId t) const {
+  // Every write-lock holder (beyond the committed base) must be an
+  // ancestor of t.
+  for (std::size_t i = 1; i < versions_.size(); ++i) {
+    if (!type_->IsAncestor(versions_[i].holder, t)) return false;
+  }
+  return true;
+}
+
+bool LockedObject::WriteLockFree(TxnId t) const {
+  if (!ReadLockFree(t)) return false;
+  for (TxnId holder : read_lockers_) {
+    if (!type_->IsAncestor(holder, t)) return false;
+  }
+  return true;
+}
+
+std::vector<TxnId> LockedObject::BlockersOf(TxnId access) const {
+  std::vector<TxnId> blockers;
+  const bool is_write = type_->KindOf(access) == txn::AccessKind::kWrite;
+  for (std::size_t i = 1; i < versions_.size(); ++i) {
+    if (!type_->IsAncestor(versions_[i].holder, access)) {
+      blockers.push_back(versions_[i].holder);
+    }
+  }
+  if (is_write) {
+    for (TxnId holder : read_lockers_) {
+      if (!type_->IsAncestor(holder, access)) blockers.push_back(holder);
+    }
+  }
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()),
+                 blockers.end());
+  return blockers;
+}
+
+bool LockedObject::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn < type_->TxnCount() && type_->IsAccess(a.txn) &&
+             type_->ObjectOf(a.txn) == object_;
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      // Lock inheritance and discard require observing every fate.
+      return a.txn < type_->TxnCount();
+    case ioa::ActionKind::kRequestCreate:
+      return false;
+  }
+  return false;
+}
+
+bool LockedObject::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCommit && IsOperation(a);
+}
+
+bool LockedObject::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind != ioa::ActionKind::kRequestCommit) return true;  // inputs
+  if (std::find(pending_.begin(), pending_.end(), a.txn) == pending_.end()) {
+    return false;
+  }
+  if (type_->KindOf(a.txn) == txn::AccessKind::kRead) {
+    return ReadLockFree(a.txn) && a.value == versions_.back().value;
+  }
+  return WriteLockFree(a.txn) && IsNil(a.value);
+}
+
+void LockedObject::OnCommit(TxnId t) {
+  if (t == kRootTxn) return;
+  const TxnId parent = type_->Parent(t);
+  for (TxnId& holder : read_lockers_) {
+    if (holder == t) holder = parent;
+  }
+  // Deduplicate read lockers.
+  std::sort(read_lockers_.begin(), read_lockers_.end());
+  read_lockers_.erase(
+      std::unique(read_lockers_.begin(), read_lockers_.end()),
+      read_lockers_.end());
+  for (std::size_t i = 1; i < versions_.size(); ++i) {
+    if (versions_[i].holder == t) versions_[i].holder = parent;
+  }
+  // Adjacent versions held by the same transaction collapse to the newest.
+  for (std::size_t i = versions_.size(); i-- > 1;) {
+    if (versions_[i].holder == versions_[i - 1].holder) {
+      versions_[i - 1].value = versions_[i].value;
+      versions_.erase(versions_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+}
+
+void LockedObject::OnAbort(TxnId t) {
+  auto is_descendant = [this, t](TxnId u) {
+    return type_->IsAncestor(t, u);
+  };
+  read_lockers_.erase(
+      std::remove_if(read_lockers_.begin(), read_lockers_.end(),
+                     is_descendant),
+      read_lockers_.end());
+  versions_.erase(
+      std::remove_if(versions_.begin() + 1, versions_.end(),
+                     [&](const Version& v) { return is_descendant(v.holder); }),
+      versions_.end());
+  pending_.erase(
+      std::remove_if(pending_.begin(), pending_.end(), is_descendant),
+      pending_.end());
+}
+
+void LockedObject::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      pending_.push_back(a.txn);
+      break;
+    case ioa::ActionKind::kRequestCommit: {
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), a.txn),
+                     pending_.end());
+      if (type_->KindOf(a.txn) == txn::AccessKind::kRead) {
+        if (std::find(read_lockers_.begin(), read_lockers_.end(), a.txn) ==
+            read_lockers_.end()) {
+          read_lockers_.push_back(a.txn);
+        }
+      } else {
+        versions_.push_back(Version{a.txn, type_->DataOf(a.txn)});
+      }
+      break;
+    }
+    case ioa::ActionKind::kCommit:
+      OnCommit(a.txn);
+      break;
+    case ioa::ActionKind::kAbort:
+      OnAbort(a.txn);
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      break;
+  }
+}
+
+void LockedObject::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  for (TxnId t : pending_) {
+    if (type_->KindOf(t) == txn::AccessKind::kRead) {
+      if (ReadLockFree(t)) {
+        out.push_back(ioa::RequestCommit(t, versions_.back().value));
+      }
+    } else if (WriteLockFree(t)) {
+      out.push_back(ioa::RequestCommit(t, kNil));
+    }
+  }
+}
+
+}  // namespace qcnt::cc

@@ -1,0 +1,81 @@
+// Moss-style nested read/write locking objects.
+//
+// Theorem 11 lets the fixed Quorum Consensus algorithm combine with *any*
+// concurrency control algorithm that guarantees serial correctness at the
+// copy level; the paper names Moss' two-phase locking with separate read
+// and write locks (see also Fekete, Lynch, Merritt & Weihl, "Nested
+// Transactions and Read/Write Locking", PODS 1987). A LockedObject
+// implements that algorithm for one copy:
+//
+//   * a read access may proceed when every write-lock holder is an
+//     ancestor of it; it acquires a read lock and returns the value written
+//     by the innermost write-lock holder;
+//   * a write access may proceed when every lock holder (read or write) is
+//     an ancestor of it; it acquires a write lock and pushes its value;
+//   * when a transaction commits, its locks (and pushed versions) are
+//     inherited by its parent;
+//   * when a transaction aborts, locks and versions held by its descendants
+//     are discarded — this is the recovery mechanism that makes concurrent
+//     aborts (not just the serial scheduler's never-created aborts) safe.
+//
+// The object learns transaction fates by taking every COMMIT/ABORT action
+// of the system as an input, so no extra operation vocabulary is needed.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::cc {
+
+class LockedObject : public ioa::Automaton {
+ public:
+  LockedObject(const txn::SystemType& type, ObjectId object, Value initial);
+
+  ObjectId Object() const { return object_; }
+  /// Value that a read access of `reader` would currently return.
+  const Value& CurrentValue() const { return versions_.back().value; }
+  std::size_t ReadLockCount() const { return read_lockers_.size(); }
+  std::size_t WriteLockDepth() const { return versions_.size() - 1; }
+
+  /// Would a read (write) access by transaction t be grantable now?
+  bool ReadLockFree(TxnId t) const;
+  bool WriteLockFree(TxnId t) const;
+
+  /// Accesses created but not yet granted (possibly blocked).
+  const std::vector<TxnId>& PendingAccesses() const { return pending_; }
+
+  /// Lock holders that block the given pending access (non-ancestors
+  /// holding conflicting locks). Empty when the access is grantable.
+  std::vector<TxnId> BlockersOf(TxnId access) const;
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  struct Version {
+    TxnId holder;  // current write-lock owner of this version
+    Value value;
+  };
+
+  void OnCommit(TxnId t);
+  void OnAbort(TxnId t);
+
+  const txn::SystemType* type_;
+  ObjectId object_;
+  Value initial_;
+  // State.
+  /// Version stack; versions_[0] is the committed base, held by the root
+  /// (an ancestor of everything that never aborts).
+  std::vector<Version> versions_;
+  std::vector<TxnId> read_lockers_;
+  /// Accesses created but not yet request-committed (possibly blocked).
+  std::vector<TxnId> pending_;
+};
+
+}  // namespace qcnt::cc

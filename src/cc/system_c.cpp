@@ -1,0 +1,153 @@
+#include "cc/system_c.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cc/concurrent_scheduler.hpp"
+#include "common/check.hpp"
+#include "cc/locked_object.hpp"
+#include "replication/read_tm.hpp"
+#include "replication/write_tm.hpp"
+
+namespace qcnt::cc {
+
+ioa::System BuildSystemC(const ReplicatedSpec& spec,
+                         const UserAutomataFactory& users) {
+  QCNT_CHECK(spec.Finalized());
+  ioa::System sys("system-C");
+  sys.Emplace<ConcurrentScheduler>(spec.Type());
+  for (const replication::ItemInfo& info : spec.Items()) {
+    for (ObjectId dm : info.dm_objects) {
+      sys.Emplace<LockedObject>(spec.Type(), dm,
+                                Value{Versioned{0, info.initial}});
+    }
+    for (TxnId tm : info.read_tms) {
+      sys.Emplace<replication::ReadTm>(spec, info.id, tm);
+    }
+    for (TxnId tm : info.write_tms) {
+      sys.Emplace<replication::WriteTm>(spec, info.id, tm);
+    }
+  }
+  if (users) users(sys);
+  return sys;
+}
+
+namespace {
+
+struct CommitIndex {
+  /// txn -> position of its COMMIT action in gamma (first occurrence).
+  std::unordered_map<TxnId, std::size_t> position;
+  /// txn -> value committed with.
+  std::unordered_map<TxnId, Value> value;
+
+  bool Committed(TxnId t) const { return position.count(t) != 0; }
+};
+
+CommitIndex IndexCommits(const ioa::Schedule& gamma) {
+  CommitIndex idx;
+  for (std::size_t i = 0; i < gamma.size(); ++i) {
+    const ioa::Action& a = gamma[i];
+    if (a.kind != ioa::ActionKind::kCommit) continue;
+    if (idx.position.count(a.txn)) continue;
+    idx.position[a.txn] = i;
+    idx.value[a.txn] = a.value;
+  }
+  return idx;
+}
+
+}  // namespace
+
+OneCopyResult CheckOneCopySerializability(const ReplicatedSpec& spec,
+                                          const ioa::Schedule& gamma) {
+  const txn::SystemType& type = spec.Type();
+  const CommitIndex commits = IndexCommits(gamma);
+  OneCopyResult result;
+
+  // A TM takes logical effect iff it and every proper ancestor below the
+  // root committed (an aborted ancestor means its work was rolled back).
+  auto effective = [&](TxnId tm) {
+    for (TxnId t = tm; t != kRootTxn; t = type.Parent(t)) {
+      if (!commits.Committed(t)) return false;
+    }
+    return true;
+  };
+
+  // Serialization order: committed children of the root by commit position.
+  std::vector<TxnId> order;
+  for (TxnId child : type.Children(kRootTxn)) {
+    if (commits.Committed(child)) order.push_back(child);
+  }
+  std::sort(order.begin(), order.end(), [&](TxnId a, TxnId b) {
+    return commits.position.at(a) < commits.position.at(b);
+  });
+  result.serialization = order;
+
+  // Gather the effective TMs of each top-level transaction in commit order.
+  std::unordered_map<ItemId, Plain> state;
+  for (const replication::ItemInfo& info : spec.Items()) {
+    state[info.id] = info.initial;
+  }
+  for (TxnId top : order) {
+    std::vector<TxnId> tms;
+    for (const replication::ItemInfo& info : spec.Items()) {
+      auto consider = [&](TxnId tm) {
+        if (!type.IsAncestor(top, tm)) return;
+        if (effective(tm)) tms.push_back(tm);
+      };
+      for (TxnId tm : info.read_tms) consider(tm);
+      for (TxnId tm : info.write_tms) consider(tm);
+    }
+    std::sort(tms.begin(), tms.end(), [&](TxnId a, TxnId b) {
+      return commits.position.at(a) < commits.position.at(b);
+    });
+
+    for (TxnId tm : tms) {
+      const ItemId x = spec.TmItem(tm);
+      const replication::ItemInfo& info = spec.Item(x);
+      if (info.write_values.count(tm)) {
+        state[x] = info.write_values.at(tm);
+      } else {
+        const Value got = commits.value.at(tm);
+        const Value expected = FromPlain(state[x]);
+        if (!(got == expected)) {
+          result.ok = false;
+          result.message =
+              "one-copy violation: " + type.Label(tm) + " (in " +
+              type.Label(top) + ") returned " + qcnt::ToString(got) +
+              " but the one-copy serial history expects " +
+              qcnt::ToString(expected);
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+RunStats CollectRunStats(const ReplicatedSpec& spec,
+                         const ioa::Schedule& gamma) {
+  const txn::SystemType& type = spec.Type();
+  RunStats stats;
+  stats.total_actions = gamma.size();
+  std::vector<std::uint8_t> created(type.TxnCount(), 0);
+  for (const ioa::Action& a : gamma) {
+    switch (a.kind) {
+      case ioa::ActionKind::kCreate:
+        created[a.txn] = 1;
+        break;
+      case ioa::ActionKind::kCommit:
+        if (type.Parent(a.txn) == kRootTxn) ++stats.committed_top_level;
+        if (spec.TmItem(a.txn) != kNoItem) ++stats.committed_tms;
+        break;
+      case ioa::ActionKind::kAbort:
+        if (type.Parent(a.txn) == kRootTxn) ++stats.aborted_top_level;
+        if (created[a.txn]) ++stats.aborted_created_txns;
+        break;
+      default:
+        break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace qcnt::cc

@@ -1,0 +1,53 @@
+// System C (Theorem 11): the replication algorithm over a concurrent,
+// lock-based copy layer, plus the one-copy serializability checker.
+//
+// Theorem 11 states that if every schedule of C is serially correct with
+// respect to B at the copy level, then every schedule of C is serially
+// correct with respect to the non-replicated system A for non-orphan user
+// transactions — i.e. the user transactions observe a single-copy serial
+// database. CheckOneCopySerializability verifies the observable content of
+// that claim on a concrete schedule: committed top-level transactions,
+// taken in commit order with their committed (non-rolled-back) TMs in
+// commit order, must form a one-copy serial history — every committed
+// logical read returns the value of the most recent committed logical write
+// in that order.
+#pragma once
+
+#include <functional>
+
+#include "replication/theorem10.hpp"
+
+namespace qcnt::cc {
+
+using replication::ReplicatedSpec;
+using replication::UserAutomataFactory;
+
+/// Compose system C: concurrent scheduler + locked DM copies + the same TM
+/// automata as system B + locked non-replica objects + user automata.
+ioa::System BuildSystemC(const ReplicatedSpec& spec,
+                         const UserAutomataFactory& users);
+
+struct OneCopyResult {
+  bool ok = true;
+  std::string message;
+  /// Committed top-level transactions in serialization (commit) order.
+  std::vector<TxnId> serialization;
+};
+
+/// Validate the one-copy serial semantics of a schedule of system C.
+OneCopyResult CheckOneCopySerializability(const ReplicatedSpec& spec,
+                                          const ioa::Schedule& gamma);
+
+/// Statistics of a concurrent run (for benches and diagnostics).
+struct RunStats {
+  std::size_t committed_top_level = 0;
+  std::size_t aborted_top_level = 0;
+  std::size_t committed_tms = 0;
+  std::size_t aborted_created_txns = 0;  // aborts of *created* transactions
+  std::size_t total_actions = 0;
+};
+
+RunStats CollectRunStats(const ReplicatedSpec& spec,
+                         const ioa::Schedule& gamma);
+
+}  // namespace qcnt::cc

@@ -1,0 +1,35 @@
+// Strong identifier types used throughout the library.
+//
+// Transaction names, object names, logical item names, and replica names in
+// the paper are abstract set elements; we intern them as dense indices into
+// the arenas of a SystemType (src/txn/system_type.hpp). Dense ids keep the
+// automata state machines allocation-free on the hot path while preserving
+// the paper's "the tree structure is known in advance" assumption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace qcnt {
+
+/// A transaction name: an index into SystemType's node arena. The root
+/// transaction T0 is always id 0.
+using TxnId = std::uint32_t;
+
+/// A basic-object name: an index into SystemType's object arena. Each
+/// object corresponds to one element of the partition O of accesses.
+using ObjectId = std::uint32_t;
+
+/// A logical data item name (an element of I in Section 3).
+using ItemId = std::uint32_t;
+
+/// A replica (data manager) name, local to one logical item: DM k of item x.
+using ReplicaId = std::uint32_t;
+
+inline constexpr TxnId kRootTxn = 0;
+inline constexpr TxnId kNoTxn = std::numeric_limits<TxnId>::max();
+inline constexpr ObjectId kNoObject = std::numeric_limits<ObjectId>::max();
+inline constexpr ItemId kNoItem = std::numeric_limits<ItemId>::max();
+
+}  // namespace qcnt

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized exploration (nondeterministic automaton scheduling, fault
+// injection, workload generation, Monte-Carlo availability estimation) flows
+// through Rng so that every execution in tests and benches is reproducible
+// from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace qcnt {
+
+/// SplitMix64: used to expand a user seed into xoshiro256** state.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and high quality;
+/// deliberately not std::mt19937 so that streams are stable across standard
+/// library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t Below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t Index(std::size_t size);
+
+  /// Fork an independent stream (for per-component determinism).
+  Rng Fork();
+
+  /// Fisher-Yates shuffle of an index vector.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// UniformRandomBitGenerator interface (for std::sample etc.).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return Next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace qcnt

@@ -1,0 +1,97 @@
+// The value domain V carried by transaction return operations.
+//
+// The paper leaves V abstract, requiring only that nil ∈ V. Our Value is a
+// closed variant rich enough for every automaton in the library:
+//
+//   * Nil           — the paper's distinguished undefined value (write
+//                     accesses and write-TMs request-commit with nil).
+//   * int64/string  — logical item domains used by examples and workloads.
+//   * Versioned     — a (version-number, value) pair, the domain of the DMs
+//                     in Section 3 (D_x = N × V_x).
+//   * ConfigStamp   — a (configuration, generation-number) pair, held by the
+//                     reconfigurable DMs of Section 4.
+//   * ReplicaSnapshot — the full reconfigurable-DM state returned by read
+//                     accesses in Section 4 (value, version, config, gen).
+//
+// Values are plain data with value semantics and defaulted comparisons so
+// that schedule equality (Theorem 10's "looks the same" condition) is exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qcnt {
+
+/// A value of a logical data item itself (an element of V_x).
+using Plain = std::variant<std::monostate, std::int64_t, std::string>;
+
+/// True when p holds the distinguished nil value.
+inline bool IsNil(const Plain& p) {
+  return std::holds_alternative<std::monostate>(p);
+}
+
+/// A (version-number, value) pair — the state domain of a Section-3 DM.
+struct Versioned {
+  std::uint64_t version = 0;
+  Plain value = std::monostate{};
+
+  friend bool operator==(const Versioned&, const Versioned&) = default;
+};
+
+/// A configuration serialized for transport inside values: the members of
+/// each quorum are replica ids local to one logical item. Legality (every
+/// read quorum intersects every write quorum) is enforced by the quorum
+/// library that produces these payloads.
+struct QuorumSetPayload {
+  std::vector<std::vector<std::uint32_t>> read_quorums;
+  std::vector<std::vector<std::uint32_t>> write_quorums;
+
+  friend bool operator==(const QuorumSetPayload&,
+                         const QuorumSetPayload&) = default;
+};
+
+/// A (configuration, generation-number) pair — Section 4's per-replica
+/// configuration state.
+struct ConfigStamp {
+  QuorumSetPayload config;
+  std::uint64_t generation = 0;
+
+  friend bool operator==(const ConfigStamp&, const ConfigStamp&) = default;
+};
+
+/// Full state of a reconfigurable DM as returned by a Section-4 read access.
+struct ReplicaSnapshot {
+  Versioned data;
+  ConfigStamp stamp;
+
+  friend bool operator==(const ReplicaSnapshot&,
+                         const ReplicaSnapshot&) = default;
+};
+
+/// The transported value domain V (closed over every subsystem's needs).
+using Value = std::variant<std::monostate, std::int64_t, std::string,
+                           Versioned, ConfigStamp, ReplicaSnapshot>;
+
+inline const Value kNil = Value{std::monostate{}};
+
+/// True when v is the distinguished nil value.
+inline bool IsNil(const Value& v) {
+  return std::holds_alternative<std::monostate>(v);
+}
+
+/// Lift a Plain logical value into the transport domain.
+Value FromPlain(const Plain& p);
+
+/// Extract a Plain logical value; requires v to hold nil/int/string.
+Plain ToPlain(const Value& v);
+
+/// Human-readable rendering (for traces, failures, and examples).
+std::string ToString(const Plain& p);
+std::string ToString(const Versioned& v);
+std::string ToString(const QuorumSetPayload& q);
+std::string ToString(const ConfigStamp& c);
+std::string ToString(const Value& v);
+
+}  // namespace qcnt

@@ -1,0 +1,42 @@
+#include "ioa/action.hpp"
+
+#include <sstream>
+
+namespace qcnt::ioa {
+
+const char* KindName(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kRequestCreate:
+      return "REQUEST-CREATE";
+    case ActionKind::kCreate:
+      return "CREATE";
+    case ActionKind::kRequestCommit:
+      return "REQUEST-COMMIT";
+    case ActionKind::kCommit:
+      return "COMMIT";
+    case ActionKind::kAbort:
+      return "ABORT";
+  }
+  return "?";
+}
+
+std::string ToString(const Action& a) {
+  std::ostringstream os;
+  os << KindName(a.kind) << "(T" << a.txn;
+  if (a.kind == ActionKind::kRequestCommit ||
+      a.kind == ActionKind::kCommit) {
+    os << ", " << qcnt::ToString(a.value);
+  }
+  os << ')';
+  return os.str();
+}
+
+std::string ToString(const Schedule& s) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    os << i << ": " << ToString(s[i]) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qcnt::ioa

@@ -1,0 +1,71 @@
+// Operations (actions) of nested transaction systems.
+//
+// Section 2.2 of the paper fixes five operation families shared by every
+// automaton in a serial system:
+//
+//   REQUEST-CREATE(T)    — output of parent(T): ask to create child T
+//   CREATE(T)            — output of the scheduler: wake T up
+//   REQUEST-COMMIT(T,v)  — output of T: announce completion with value v
+//   COMMIT(T,v)          — output of the scheduler: report success to parent
+//   ABORT(T)             — output of the scheduler: report failure to parent
+//
+// An Action is a plain value (kind, transaction, value) with exact equality;
+// schedules are sequences of Actions, and Theorem 10's "looks the same to
+// the user transactions" is literal equality of projected schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+
+namespace qcnt::ioa {
+
+enum class ActionKind : std::uint8_t {
+  kRequestCreate,
+  kCreate,
+  kRequestCommit,
+  kCommit,
+  kAbort,
+};
+
+/// Stable short name ("REQUEST-CREATE", ...).
+const char* KindName(ActionKind kind);
+
+struct Action {
+  ActionKind kind{ActionKind::kCreate};
+  TxnId txn{kNoTxn};
+  /// Meaningful only for kRequestCommit and kCommit; kNil otherwise.
+  Value value{kNil};
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+inline Action RequestCreate(TxnId t) {
+  return Action{ActionKind::kRequestCreate, t, kNil};
+}
+inline Action Create(TxnId t) { return Action{ActionKind::kCreate, t, kNil}; }
+inline Action RequestCommit(TxnId t, Value v) {
+  return Action{ActionKind::kRequestCommit, t, std::move(v)};
+}
+inline Action Commit(TxnId t, Value v) {
+  return Action{ActionKind::kCommit, t, std::move(v)};
+}
+inline Action Abort(TxnId t) { return Action{ActionKind::kAbort, t, kNil}; }
+
+/// True for COMMIT(T,v) and ABORT(T) — the paper's "return operations".
+inline bool IsReturnOperation(const Action& a) {
+  return a.kind == ActionKind::kCommit || a.kind == ActionKind::kAbort;
+}
+
+/// Render as e.g. "COMMIT(T17, (vn=3,42))".
+std::string ToString(const Action& a);
+
+/// A schedule: the operation subsequence of an execution.
+using Schedule = std::vector<Action>;
+
+/// Render a schedule one action per line (diagnostics).
+std::string ToString(const Schedule& s);
+
+}  // namespace qcnt::ioa

@@ -1,0 +1,59 @@
+// The I/O automaton interface (Lynch–Merritt / Lynch–Tuttle, Section 2.1).
+//
+// An automaton has disjoint sets of input and output operations and a
+// transition relation over (state, operation, state) triples. We expose the
+// model through four queries:
+//
+//   IsOperation(a) — is a an operation of this automaton (input or output)?
+//   IsOutput(a)    — is a an output operation of this automaton?
+//   Enabled(a)     — is a enabled in the current state? The paper's Input
+//                    Condition requires inputs to be enabled in every state,
+//                    so Enabled must return true whenever IsOperation(a) and
+//                    !IsOutput(a).
+//   Apply(a)       — take the step (postconditions). For inputs this must
+//                    succeed from any state.
+//
+// Every automaton we define explicitly is *state-deterministic* (unique
+// start state, at most one post-state per (state, operation)), so the state
+// after a schedule is a function of the schedule and replays are exact.
+// EnabledOutputs enumerates the currently enabled output actions so that a
+// driver (ioa::Explorer) can resolve the model's nondeterminism with a
+// seeded RNG — mirroring the paper's deliberately loose automata.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ioa/action.hpp"
+
+namespace qcnt::ioa {
+
+class Automaton {
+ public:
+  virtual ~Automaton() = default;
+
+  /// Diagnostic name, e.g. "read-TM(T7,x0)".
+  virtual std::string Name() const = 0;
+
+  /// Is a an operation (input or output) of this automaton?
+  virtual bool IsOperation(const Action& a) const = 0;
+
+  /// Is a an output operation of this automaton?
+  virtual bool IsOutput(const Action& a) const = 0;
+
+  /// Is a enabled in the current state? Must be true for all inputs.
+  virtual bool Enabled(const Action& a) const = 0;
+
+  /// Take the step. Precondition: IsOperation(a) and Enabled(a).
+  virtual void Apply(const Action& a) = 0;
+
+  /// Append every currently enabled output action to out. Enumeration must
+  /// be finite; for value-parameterized operations the automaton emits only
+  /// the value choices its preconditions allow.
+  virtual void EnabledOutputs(std::vector<Action>& out) const = 0;
+
+  /// Return to the unique start state.
+  virtual void Reset() = 0;
+};
+
+}  // namespace qcnt::ioa

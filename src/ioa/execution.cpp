@@ -1,0 +1,37 @@
+#include "ioa/execution.hpp"
+
+namespace qcnt::ioa {
+
+Schedule Project(const Schedule& s,
+                 const std::function<bool(const Action&)>& keep) {
+  Schedule out;
+  out.reserve(s.size());
+  for (const Action& a : s) {
+    if (keep(a)) out.push_back(a);
+  }
+  return out;
+}
+
+Schedule ProjectToAutomaton(const Schedule& s, const Automaton& a) {
+  return Project(s, [&a](const Action& x) { return a.IsOperation(x); });
+}
+
+ReplayResult Replay(System& sys, const Schedule& s) {
+  sys.Reset();
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const Action& a = s[i];
+    if (!sys.IsOperation(a)) {
+      return {false, i, ToString(a) + " is not an operation of the system"};
+    }
+    const Automaton* owner = sys.OutputOwner(a);
+    if (owner != nullptr && !owner->Enabled(a)) {
+      return {false, i,
+              ToString(a) + " is an output of " + owner->Name() +
+                  " but is not enabled"};
+    }
+    sys.Apply(a);
+  }
+  return {};
+}
+
+}  // namespace qcnt::ioa

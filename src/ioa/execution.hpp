@@ -1,0 +1,40 @@
+// Executions, schedules, projection, and replay (Section 2.1).
+//
+// Projection (β|A, "β restricted to A") extracts the subsequence of a
+// schedule consisting of the operations of one automaton or of an arbitrary
+// predicate; Theorem 10's construction is exactly a projection that deletes
+// all replica-access operations.
+//
+// Replay validates that a candidate operation sequence is a schedule of a
+// (state-deterministic) system: starting from the start state, each action
+// must be an operation of the system and, when it is an output of the
+// composition, must be enabled at its owner. This is the mechanized form of
+// "α is a schedule of A" in the proof of Theorem 10.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ioa/system.hpp"
+
+namespace qcnt::ioa {
+
+/// Keep only the actions for which keep(a) is true, preserving order.
+Schedule Project(const Schedule& s,
+                 const std::function<bool(const Action&)>& keep);
+
+/// β|A: the subsequence of s consisting of the operations of a.
+Schedule ProjectToAutomaton(const Schedule& s, const Automaton& a);
+
+struct ReplayResult {
+  bool ok = true;
+  /// Index of the first illegal action when !ok.
+  std::size_t failed_index = 0;
+  std::string message;
+};
+
+/// Drive sys (which is Reset() first) through s, validating each step.
+/// On success the system is left in the state after s.
+ReplayResult Replay(System& sys, const Schedule& s);
+
+}  // namespace qcnt::ioa

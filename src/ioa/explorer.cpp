@@ -1,0 +1,56 @@
+#include "ioa/explorer.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::ioa {
+
+ExploreResult Explore(System& sys, Rng& rng, const ExploreOptions& options) {
+  sys.Reset();
+  ExploreResult result;
+  std::vector<Action> candidates;
+  std::vector<double> weights;
+  for (std::size_t step = 0; step < options.max_steps; ++step) {
+    candidates.clear();
+    sys.EnabledOutputs(candidates);
+    if (candidates.empty()) {
+      result.quiescent = true;
+      break;
+    }
+
+    std::size_t pick;
+    if (options.weight) {
+      weights.clear();
+      weights.reserve(candidates.size());
+      double total = 0.0;
+      for (const Action& a : candidates) {
+        double w = options.weight(a);
+        if (w < 0.0) w = 0.0;
+        total += w;
+        weights.push_back(total);
+      }
+      if (total <= 0.0) {
+        result.quiescent = true;  // every enabled action suppressed
+        break;
+      }
+      const double r = rng.NextDouble() * total;
+      pick = 0;
+      while (pick + 1 < weights.size() && weights[pick] <= r) ++pick;
+    } else {
+      pick = rng.Index(candidates.size());
+    }
+
+    const Action chosen = candidates[pick];
+    QCNT_DCHECK(sys.Enabled(chosen));
+    sys.Apply(chosen);
+    result.schedule.push_back(chosen);
+    if (options.observer) options.observer(chosen, sys);
+  }
+  return result;
+}
+
+ExploreResult Explore(System& sys, std::uint64_t seed) {
+  Rng rng(seed);
+  return Explore(sys, rng, ExploreOptions{});
+}
+
+}  // namespace qcnt::ioa

@@ -1,0 +1,43 @@
+// Randomized execution driver.
+//
+// The paper's automata are deliberately nondeterministic: a read-TM "simply
+// invokes any number of accesses to any of the DMs until it happens to
+// notice" a read quorum. The Explorer resolves that nondeterminism with a
+// seeded RNG: at every step it enumerates the enabled output actions of the
+// whole composition, picks one (optionally under a caller-supplied weight),
+// applies it, and records it. Exploration ends at quiescence (no enabled
+// output) or a step bound. Because the seed fully determines the run, every
+// randomized test and bench is reproducible.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "ioa/execution.hpp"
+
+namespace qcnt::ioa {
+
+struct ExploreOptions {
+  /// Hard bound on the number of steps taken.
+  std::size_t max_steps = 100000;
+  /// Optional weight for biasing choice among enabled outputs; actions with
+  /// weight <= 0 are never chosen. Default: uniform.
+  std::function<double(const Action&)> weight;
+  /// Optional per-step observer (invariant checking hooks).
+  std::function<void(const Action&, const System&)> observer;
+};
+
+struct ExploreResult {
+  Schedule schedule;
+  /// True when exploration stopped because no output was enabled.
+  bool quiescent = false;
+};
+
+/// Run sys (Reset() first) under the given RNG until quiescence or the step
+/// bound, returning the schedule taken.
+ExploreResult Explore(System& sys, Rng& rng, const ExploreOptions& options);
+
+/// Explore with default options and a fresh RNG from seed.
+ExploreResult Explore(System& sys, std::uint64_t seed);
+
+}  // namespace qcnt::ioa

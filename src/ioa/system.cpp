@@ -1,0 +1,60 @@
+#include "ioa/system.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::ioa {
+
+void System::Add(std::unique_ptr<Automaton> component) {
+  QCNT_CHECK(component != nullptr);
+  components_.push_back(std::move(component));
+}
+
+const Automaton* System::OutputOwner(const Action& a) const {
+  const Automaton* owner = nullptr;
+  for (const auto& c : components_) {
+    if (c->IsOutput(a)) {
+      QCNT_CHECK_MSG(owner == nullptr,
+                     "output sets of composed automata must be disjoint: " +
+                         ToString(a) + " claimed by " + owner->Name() +
+                         " and " + c->Name());
+      owner = c.get();
+    }
+  }
+  return owner;
+}
+
+bool System::IsOperation(const Action& a) const {
+  for (const auto& c : components_) {
+    if (c->IsOperation(a)) return true;
+  }
+  return false;
+}
+
+bool System::IsOutput(const Action& a) const {
+  return OutputOwner(a) != nullptr;
+}
+
+bool System::Enabled(const Action& a) const {
+  // An output of the composition is enabled iff its owner enables it; an
+  // input of the composition is always enabled (Input Condition).
+  const Automaton* owner = OutputOwner(a);
+  return owner == nullptr || owner->Enabled(a);
+}
+
+void System::Apply(const Action& a) {
+  // Each component that has the operation carries it out; the remainder
+  // stay in the same state.
+  for (const auto& c : components_) {
+    if (c->IsOperation(a)) c->Apply(a);
+  }
+}
+
+void System::EnabledOutputs(std::vector<Action>& out) const {
+  for (const auto& c : components_) c->EnabledOutputs(out);
+}
+
+void System::Reset() {
+  for (const auto& c : components_) c->Reset();
+}
+
+}  // namespace qcnt::ioa

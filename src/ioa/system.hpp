@@ -1,0 +1,62 @@
+// Composition of I/O automata (Section 2.1).
+//
+// A System owns a set of component automata with disjoint output sets and is
+// itself an Automaton: a composed step applies the operation at every
+// component that has it, and the step is enabled iff the (unique) component
+// for which it is an output enables it. The Composition Lemma (Lemma 1) is
+// what makes schedule replay sound: extending a system schedule by an output
+// of component A that is enabled at A yields a system schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ioa/automaton.hpp"
+
+namespace qcnt::ioa {
+
+class System : public Automaton {
+ public:
+  System() = default;
+  explicit System(std::string name) : name_(std::move(name)) {}
+
+  System(System&&) = default;
+  System& operator=(System&&) = default;
+
+  /// Add a component. Output-set disjointness is checked lazily: the owner
+  /// lookup asserts that at most one component claims an action as output.
+  void Add(std::unique_ptr<Automaton> component);
+
+  /// Convenience: construct the component in place and return a reference.
+  template <typename T, typename... Args>
+  T& Emplace(Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *owned;
+    Add(std::move(owned));
+    return ref;
+  }
+
+  std::size_t ComponentCount() const { return components_.size(); }
+  Automaton& Component(std::size_t i) { return *components_[i]; }
+  const Automaton& Component(std::size_t i) const { return *components_[i]; }
+
+  /// The component for which a is an output, or nullptr if a is an input of
+  /// the composition. Asserts that at most one component claims a.
+  const Automaton* OutputOwner(const Action& a) const;
+
+  // Automaton interface.
+  std::string Name() const override { return name_; }
+  bool IsOperation(const Action& a) const override;
+  bool IsOutput(const Action& a) const override;
+  bool Enabled(const Action& a) const override;
+  void Apply(const Action& a) override;
+  void EnabledOutputs(std::vector<Action>& out) const override;
+  void Reset() override;
+
+ private:
+  std::string name_ = "system";
+  std::vector<std::unique_ptr<Automaton>> components_;
+};
+
+}  // namespace qcnt::ioa

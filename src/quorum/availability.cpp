@@ -1,0 +1,87 @@
+#include "quorum/availability.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qcnt::quorum {
+
+Availability ExactAvailability(const QuorumSystem& s, double up_prob) {
+  QCNT_CHECK(s.n >= 1 && s.n <= 24);
+  QCNT_CHECK(up_prob >= 0.0 && up_prob <= 1.0);
+  Availability out;
+  const std::uint64_t limit = 1ull << s.n;
+  for (std::uint64_t up = 0; up < limit; ++up) {
+    const int k = std::popcount(up);
+    const double weight = std::pow(up_prob, k) *
+                          std::pow(1.0 - up_prob, static_cast<int>(s.n) - k);
+    if (weight == 0.0) continue;
+    if (s.has_read(up)) out.read += weight;
+    if (s.has_write(up)) out.write += weight;
+  }
+  return out;
+}
+
+namespace {
+std::uint64_t SampleUpSet(ReplicaId n, double up_prob, Rng& rng) {
+  std::uint64_t up = 0;
+  for (ReplicaId i = 0; i < n; ++i) {
+    if (rng.Chance(up_prob)) up |= 1ull << i;
+  }
+  return up;
+}
+}  // namespace
+
+Availability MonteCarloAvailability(const QuorumSystem& s, double up_prob,
+                                    std::size_t trials, Rng& rng) {
+  QCNT_CHECK(trials > 0);
+  std::size_t reads = 0, writes = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t up = SampleUpSet(s.n, up_prob, rng);
+    if (s.has_read(up)) ++reads;
+    if (s.has_write(up)) ++writes;
+  }
+  return {static_cast<double>(reads) / static_cast<double>(trials),
+          static_cast<double>(writes) / static_cast<double>(trials)};
+}
+
+OperationCost FullyUpCost(const QuorumSystem& s) {
+  const std::uint64_t full =
+      s.n == 64 ? ~0ull : ((1ull << s.n) - 1);
+  const auto r = s.pick_read(full);
+  const auto w = s.pick_write(full);
+  QCNT_CHECK(r.has_value() && w.has_value());
+  OperationCost cost;
+  cost.read_messages = static_cast<double>(r->size());
+  // A logical write performs a read-quorum phase (version discovery) and a
+  // write-quorum phase.
+  cost.write_messages = static_cast<double>(r->size() + w->size());
+  return cost;
+}
+
+OperationCost ExpectedCost(const QuorumSystem& s, double up_prob,
+                           std::size_t trials, Rng& rng) {
+  QCNT_CHECK(trials > 0);
+  double read_sum = 0.0, write_sum = 0.0;
+  std::size_t read_ok = 0, write_ok = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::uint64_t up = SampleUpSet(s.n, up_prob, rng);
+    if (const auto r = s.pick_read(up)) {
+      read_sum += static_cast<double>(r->size());
+      ++read_ok;
+      if (const auto w = s.pick_write(up)) {
+        write_sum += static_cast<double>(r->size() + w->size());
+        ++write_ok;
+      }
+    }
+  }
+  OperationCost cost;
+  if (read_ok > 0) cost.read_messages = read_sum / static_cast<double>(read_ok);
+  if (write_ok > 0) {
+    cost.write_messages = write_sum / static_cast<double>(write_ok);
+  }
+  return cost;
+}
+
+}  // namespace qcnt::quorum

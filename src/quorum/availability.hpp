@@ -1,0 +1,49 @@
+// Availability and cost analysis of quorum systems.
+//
+// The paper's introduction motivates replication by availability and
+// performance; these analyses quantify those claims for the strategies in
+// strategies.hpp (experiments E4/E5/E11 in DESIGN.md).
+//
+// A replica is "up" independently with probability up_prob. Read (write)
+// availability is the probability that the set of up replicas contains some
+// read (write) quorum. Exact analysis enumerates all 2^n up-sets (n ≤ 24);
+// Monte-Carlo handles larger universes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "quorum/strategies.hpp"
+
+namespace qcnt::quorum {
+
+struct Availability {
+  double read = 0.0;
+  double write = 0.0;
+};
+
+/// Exact availability by enumeration over up-sets. Requires s.n ≤ 24.
+Availability ExactAvailability(const QuorumSystem& s, double up_prob);
+
+/// Monte-Carlo availability estimate over the given number of trials.
+Availability MonteCarloAvailability(const QuorumSystem& s, double up_prob,
+                                    std::size_t trials, Rng& rng);
+
+struct OperationCost {
+  /// Mean number of replicas contacted by a logical read (one read quorum).
+  double read_messages = 0.0;
+  /// Mean number contacted by a logical write (read quorum + write quorum,
+  /// counting a replica once per phase as the protocol does).
+  double write_messages = 0.0;
+};
+
+/// Expected per-operation message counts when all replicas are up, using
+/// the strategy's preferred quorum selection.
+OperationCost FullyUpCost(const QuorumSystem& s);
+
+/// Expected message counts conditioned on the operation being possible,
+/// with each replica up independently with up_prob (Monte Carlo).
+OperationCost ExpectedCost(const QuorumSystem& s, double up_prob,
+                           std::size_t trials, Rng& rng);
+
+}  // namespace qcnt::quorum

@@ -1,0 +1,100 @@
+#include "quorum/configuration.hpp"
+
+#include <algorithm>
+
+namespace qcnt::quorum {
+
+void Normalize(Quorum& q) {
+  std::sort(q.begin(), q.end());
+  q.erase(std::unique(q.begin(), q.end()), q.end());
+}
+
+bool Intersects(const Quorum& a, const Quorum& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool IsSubset(const Quorum& a, const Quorum& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+Configuration::Configuration(std::vector<Quorum> read_quorums,
+                             std::vector<Quorum> write_quorums)
+    : read_quorums_(std::move(read_quorums)),
+      write_quorums_(std::move(write_quorums)) {
+  for (auto& q : read_quorums_) Normalize(q);
+  for (auto& q : write_quorums_) Normalize(q);
+}
+
+bool Configuration::HasIntersectionProperty() const {
+  for (const Quorum& r : read_quorums_) {
+    for (const Quorum& w : write_quorums_) {
+      if (!Intersects(r, w)) return false;
+    }
+  }
+  return true;
+}
+
+bool Configuration::IsLegal() const {
+  return !read_quorums_.empty() && !write_quorums_.empty() &&
+         HasIntersectionProperty();
+}
+
+ReplicaId Configuration::UniverseSize() const {
+  ReplicaId max_plus_one = 0;
+  auto scan = [&max_plus_one](const std::vector<Quorum>& quorums) {
+    for (const Quorum& q : quorums) {
+      if (!q.empty()) max_plus_one = std::max(max_plus_one, q.back() + 1);
+    }
+  };
+  scan(read_quorums_);
+  scan(write_quorums_);
+  return max_plus_one;
+}
+
+namespace {
+std::vector<Quorum> DropSupersets(const std::vector<Quorum>& quorums) {
+  std::vector<Quorum> kept;
+  for (std::size_t i = 0; i < quorums.size(); ++i) {
+    bool minimal = true;
+    for (std::size_t j = 0; j < quorums.size() && minimal; ++j) {
+      if (i == j) continue;
+      // quorums[j] ⊂ quorums[i], or an equal earlier duplicate.
+      if (IsSubset(quorums[j], quorums[i]) &&
+          (quorums[j] != quorums[i] || j < i)) {
+        minimal = false;
+      }
+    }
+    if (minimal) kept.push_back(quorums[i]);
+  }
+  return kept;
+}
+}  // namespace
+
+Configuration Configuration::Minimized() const {
+  return Configuration(DropSupersets(read_quorums_),
+                       DropSupersets(write_quorums_));
+}
+
+QuorumSetPayload Configuration::ToPayload() const {
+  QuorumSetPayload p;
+  p.read_quorums.assign(read_quorums_.begin(), read_quorums_.end());
+  p.write_quorums.assign(write_quorums_.begin(), write_quorums_.end());
+  return p;
+}
+
+Configuration Configuration::FromPayload(const QuorumSetPayload& p) {
+  return Configuration(
+      std::vector<Quorum>(p.read_quorums.begin(), p.read_quorums.end()),
+      std::vector<Quorum>(p.write_quorums.begin(), p.write_quorums.end()));
+}
+
+}  // namespace qcnt::quorum

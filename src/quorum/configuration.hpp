@@ -1,0 +1,72 @@
+// Configurations: sets of read-quorums and write-quorums (Section 2.3).
+//
+// Following Barbara & Garcia-Molina's generalization adopted by the paper, a
+// configuration is a pair (r, w) of sets of quorums, where each quorum is a
+// set of DM names; the configuration is *legal* iff every read-quorum has a
+// non-empty intersection with every write-quorum. Gifford's vote-based
+// scheme is the special case produced by strategies::WeightedVoting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+
+namespace qcnt::quorum {
+
+/// A quorum: a set of replica (DM) names, kept sorted and duplicate-free.
+using Quorum = std::vector<ReplicaId>;
+
+/// Sort + dedupe in place, establishing the Quorum representation invariant.
+void Normalize(Quorum& q);
+
+/// Do two normalized quorums share a member?
+bool Intersects(const Quorum& a, const Quorum& b);
+
+/// Is a ⊆ b for normalized quorums?
+bool IsSubset(const Quorum& a, const Quorum& b);
+
+/// A configuration of a logical item: read-quorums and write-quorums.
+class Configuration {
+ public:
+  Configuration() = default;
+  Configuration(std::vector<Quorum> read_quorums,
+                std::vector<Quorum> write_quorums);
+
+  const std::vector<Quorum>& ReadQuorums() const { return read_quorums_; }
+  const std::vector<Quorum>& WriteQuorums() const { return write_quorums_; }
+
+  /// Every read-quorum intersects every write-quorum, and both sets are
+  /// non-empty (an empty quorum *set* would make the corresponding logical
+  /// operation impossible; note an empty read set with a non-empty write
+  /// set is vacuously "legal" per the definition, so we expose both tests).
+  bool IsLegal() const;
+
+  /// The paper's legal(S) predicate alone: pairwise intersection, with no
+  /// non-emptiness requirement.
+  bool HasIntersectionProperty() const;
+
+  /// Largest replica id mentioned plus one (0 when empty).
+  ReplicaId UniverseSize() const;
+
+  /// Drop non-minimal quorums (supersets of another quorum of the same
+  /// kind). Preserves legality and availability.
+  Configuration Minimized() const;
+
+  /// Serialize for transport inside Values (Section 4 reconfiguration).
+  QuorumSetPayload ToPayload() const;
+  static Configuration FromPayload(const QuorumSetPayload& p);
+
+  std::string ToString() const { return qcnt::ToString(ToPayload()); }
+
+  friend bool operator==(const Configuration&,
+                         const Configuration&) = default;
+
+ private:
+  std::vector<Quorum> read_quorums_;
+  std::vector<Quorum> write_quorums_;
+};
+
+}  // namespace qcnt::quorum

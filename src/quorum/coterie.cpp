@@ -1,0 +1,177 @@
+#include "quorum/coterie.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qcnt::quorum {
+
+namespace {
+
+std::uint64_t ToMask(const Quorum& q) {
+  std::uint64_t mask = 0;
+  for (ReplicaId r : q) {
+    QCNT_CHECK(r < 64);
+    mask |= 1ull << r;
+  }
+  return mask;
+}
+
+Quorum FromMask(std::uint64_t mask) {
+  Quorum q;
+  for (ReplicaId r = 0; r < 64 && mask; ++r) {
+    if (mask & (1ull << r)) {
+      q.push_back(r);
+      mask &= ~(1ull << r);
+    }
+  }
+  return q;
+}
+
+std::vector<std::uint64_t> ToMasks(const std::vector<Quorum>& quorums) {
+  std::vector<std::uint64_t> masks;
+  masks.reserve(quorums.size());
+  for (const Quorum& q : quorums) masks.push_back(ToMask(q));
+  return masks;
+}
+
+}  // namespace
+
+bool IsCoterie(const std::vector<Quorum>& quorums, ReplicaId n) {
+  if (quorums.empty()) return false;
+  const std::uint64_t universe = n >= 64 ? ~0ull : ((1ull << n) - 1);
+  const auto masks = ToMasks(quorums);
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    if (masks[i] == 0 || (masks[i] & ~universe) != 0) return false;
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      if (i == j) continue;
+      if ((masks[i] & masks[j]) == 0) return false;      // intersection
+      if ((masks[i] & masks[j]) == masks[i]) return false;  // antichain
+    }
+  }
+  return true;
+}
+
+bool Dominates(const std::vector<Quorum>& c, const std::vector<Quorum>& d) {
+  const auto cm = ToMasks(c);
+  auto dm = ToMasks(d);
+  auto cm_sorted = cm;
+  std::sort(cm_sorted.begin(), cm_sorted.end());
+  std::sort(dm.begin(), dm.end());
+  if (cm_sorted == dm) return false;  // C must differ from D
+  for (std::uint64_t q : dm) {
+    bool covered = false;
+    for (std::uint64_t p : cm) {
+      if ((p & q) == p) {  // p ⊆ q
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::optional<Quorum> DominationWitness(const std::vector<Quorum>& c,
+                                        ReplicaId n) {
+  QCNT_CHECK(n >= 1 && n <= 20);
+  const auto masks = ToMasks(c);
+  const std::uint64_t limit = 1ull << n;
+  for (std::uint64_t h = 1; h < limit; ++h) {
+    bool intersects_all = true;
+    bool contains_some = false;
+    for (std::uint64_t q : masks) {
+      if ((h & q) == 0) {
+        intersects_all = false;
+        break;
+      }
+      if ((q & h) == q) {  // q ⊆ h
+        contains_some = true;
+        break;
+      }
+    }
+    if (intersects_all && !contains_some) return FromMask(h);
+  }
+  return std::nullopt;
+}
+
+bool IsDominated(const std::vector<Quorum>& c, ReplicaId n) {
+  return DominationWitness(c, n).has_value();
+}
+
+std::vector<Quorum> MinimalTransversals(const std::vector<Quorum>& quorums,
+                                        ReplicaId n) {
+  QCNT_CHECK(n >= 1 && n <= 16);
+  const auto masks = ToMasks(quorums);
+  std::vector<std::uint64_t> hits;
+  const std::uint64_t limit = 1ull << n;
+  for (std::uint64_t t = 1; t < limit; ++t) {
+    bool hits_all = true;
+    for (std::uint64_t q : masks) {
+      if ((t & q) == 0) {
+        hits_all = false;
+        break;
+      }
+    }
+    if (hits_all) hits.push_back(t);
+  }
+  // Keep the minimal ones.
+  std::vector<Quorum> minimal;
+  for (std::uint64_t t : hits) {
+    bool is_minimal = true;
+    for (std::uint64_t other : hits) {
+      if (other != t && (other & t) == other) {  // other ⊂ t
+        is_minimal = false;
+        break;
+      }
+    }
+    if (is_minimal) minimal.push_back(FromMask(t));
+  }
+  return minimal;
+}
+
+bool IsVoteAssignable(const std::vector<Quorum>& quorums, ReplicaId n,
+                      std::uint32_t max_votes) {
+  QCNT_CHECK(n >= 1);
+  // Exhaustive vote search is (max_votes+1)^n; keep it honest.
+  double combos = 1.0;
+  for (ReplicaId i = 0; i < n; ++i) combos *= (max_votes + 1);
+  QCNT_CHECK_MSG(combos <= 4e6, "universe too large for exhaustive search");
+
+  auto target = ToMasks(quorums);
+  std::sort(target.begin(), target.end());
+
+  std::vector<std::uint32_t> votes(n, 0);
+  const std::uint64_t limit = 1ull << n;
+  for (;;) {
+    std::uint32_t total = 0;
+    for (std::uint32_t v : votes) total += v;
+    for (std::uint32_t threshold = 1; threshold <= total; ++threshold) {
+      // Minimal subsets whose votes reach the threshold.
+      std::vector<std::uint64_t> minimal;
+      for (std::uint64_t s = 1; s < limit; ++s) {
+        std::uint32_t sum = 0;
+        for (ReplicaId i = 0; i < n; ++i) {
+          if (s & (1ull << i)) sum += votes[i];
+        }
+        if (sum < threshold) continue;
+        bool is_minimal = true;
+        for (ReplicaId i = 0; i < n && is_minimal; ++i) {
+          if (!(s & (1ull << i))) continue;
+          if (sum - votes[i] >= threshold) is_minimal = false;
+        }
+        if (is_minimal) minimal.push_back(s);
+      }
+      std::sort(minimal.begin(), minimal.end());
+      if (minimal == target) return true;
+    }
+    // Next vote vector (odometer).
+    ReplicaId i = 0;
+    while (i < n && votes[i] == max_votes) votes[i++] = 0;
+    if (i == n) break;
+    ++votes[i];
+  }
+  return false;
+}
+
+}  // namespace qcnt::quorum

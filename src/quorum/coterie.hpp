@@ -1,0 +1,60 @@
+// Coterie theory (Garcia-Molina & Barbara) for quorum configurations.
+//
+// A *coterie* over a universe U is an antichain of pairwise-intersecting
+// subsets of U — exactly the structure a set of write-quorums must form
+// (every write-quorum intersects every write-quorum, per Gifford's
+// 2·write-quorum > total-votes constraint), and the structure read/write
+// quorum pairs generalize. This module provides:
+//
+//   * the coterie predicate (intersection + minimality);
+//   * domination: coterie C dominates D when C ≠ D and every quorum of D
+//     contains some quorum of C — a dominated coterie is strictly worse in
+//     both availability and cost, so production configurations should be
+//     non-dominated (ND);
+//   * an exact ND test (via the Garcia-Molina–Barbara characterization:
+//     C is dominated iff some H ⊆ U intersects every quorum of C yet
+//     contains none);
+//   * minimal transversals (the sets that must be contacted to *block*
+//     every quorum — the duality behind read-quorum requirements);
+//   * a brute-force vote-assignability check for small universes (is C the
+//     quorum set of some weighted-voting assignment?).
+//
+// Everything here is exact and exponential in |U|; intended for the small
+// universes of real configurations (|U| ≤ ~16).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "quorum/configuration.hpp"
+
+namespace qcnt::quorum {
+
+/// Is `quorums` a coterie over {0..n-1}: non-empty, every pair intersects,
+/// and no quorum contains another?
+bool IsCoterie(const std::vector<Quorum>& quorums, ReplicaId n);
+
+/// Does C dominate D (C ≠ D and every quorum of D is a superset of some
+/// quorum of C)? Both are assumed to be coteries over the same universe.
+bool Dominates(const std::vector<Quorum>& c, const std::vector<Quorum>& d);
+
+/// Exact non-domination test over universe {0..n-1}. Requires n ≤ 20.
+bool IsDominated(const std::vector<Quorum>& c, ReplicaId n);
+
+/// If c is dominated, return a witness quorum H that intersects every
+/// quorum of c but contains none (adding H yields a dominating coterie).
+std::optional<Quorum> DominationWitness(const std::vector<Quorum>& c,
+                                        ReplicaId n);
+
+/// All minimal transversals of `quorums` over {0..n-1}: minimal sets
+/// intersecting every quorum. Requires n ≤ 16.
+std::vector<Quorum> MinimalTransversals(const std::vector<Quorum>& quorums,
+                                        ReplicaId n);
+
+/// Is `quorums` exactly the set of minimal quorums induced by some vote
+/// assignment with per-replica votes in [0, max_votes] and some threshold?
+/// Exhaustive search; requires n ≤ 5 with the default vote bound.
+bool IsVoteAssignable(const std::vector<Quorum>& quorums, ReplicaId n,
+                      std::uint32_t max_votes = 4);
+
+}  // namespace qcnt::quorum

@@ -1,0 +1,542 @@
+#include "quorum/strategies.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace qcnt::quorum {
+
+namespace {
+
+std::uint64_t FullMask(ReplicaId n) {
+  QCNT_CHECK(n >= 1 && n <= 64);
+  return n == 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+Quorum MaskToQuorum(std::uint64_t mask) {
+  Quorum q;
+  while (mask) {
+    const int bit = std::countr_zero(mask);
+    q.push_back(static_cast<ReplicaId>(bit));
+    mask &= mask - 1;
+  }
+  return q;
+}
+
+/// All subsets of {0..n-1} of size exactly k.
+std::vector<Quorum> KSubsets(ReplicaId n, ReplicaId k) {
+  QCNT_CHECK(k >= 1 && k <= n);
+  std::vector<Quorum> result;
+  Quorum current;
+  current.reserve(k);
+  // Iterative combination enumeration.
+  std::vector<ReplicaId> idx(k);
+  std::iota(idx.begin(), idx.end(), 0);
+  for (;;) {
+    result.emplace_back(idx.begin(), idx.end());
+    // Advance to the next combination.
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && idx[static_cast<std::size_t>(i)] ==
+                         n - k + static_cast<ReplicaId>(i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++idx[static_cast<std::size_t>(i)];
+    for (std::size_t j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+      idx[j] = idx[j - 1] + 1;
+    }
+  }
+  return result;
+}
+
+ReplicaId MajorityThreshold(ReplicaId n) { return n / 2 + 1; }
+
+}  // namespace
+
+// --- Explicit configurations ----------------------------------------------
+
+Configuration ReadOneWriteAll(ReplicaId n) {
+  QCNT_CHECK(n >= 1);
+  std::vector<Quorum> reads;
+  for (ReplicaId i = 0; i < n; ++i) reads.push_back({i});
+  Quorum all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return Configuration(std::move(reads), {all});
+}
+
+Configuration ReadAllWriteOne(ReplicaId n) {
+  QCNT_CHECK(n >= 1);
+  std::vector<Quorum> writes;
+  for (ReplicaId i = 0; i < n; ++i) writes.push_back({i});
+  Quorum all(n);
+  std::iota(all.begin(), all.end(), 0);
+  return Configuration({all}, std::move(writes));
+}
+
+Configuration Majority(ReplicaId n) {
+  QCNT_CHECK(n >= 1 && n <= 16);
+  auto quorums = KSubsets(n, MajorityThreshold(n));
+  return Configuration(quorums, quorums);
+}
+
+Configuration WeightedVoting(const std::vector<std::uint32_t>& votes,
+                             std::uint32_t read_threshold,
+                             std::uint32_t write_threshold) {
+  QCNT_CHECK(!votes.empty() && votes.size() <= 16);
+  const std::uint64_t total =
+      std::accumulate(votes.begin(), votes.end(), std::uint64_t{0});
+  QCNT_CHECK_MSG(read_threshold + std::uint64_t{write_threshold} > total,
+                 "Gifford constraint: read + write quorum must exceed total");
+  QCNT_CHECK(write_threshold * 2 > total);  // write-write intersection
+  const ReplicaId n = static_cast<ReplicaId>(votes.size());
+  std::vector<Quorum> reads, writes;
+  for (std::uint64_t mask = 1; mask < (1ull << n); ++mask) {
+    std::uint64_t sum = 0;
+    for (ReplicaId i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) sum += votes[i];
+    }
+    if (sum >= read_threshold) reads.push_back(MaskToQuorum(mask));
+    if (sum >= write_threshold) writes.push_back(MaskToQuorum(mask));
+  }
+  return Configuration(std::move(reads), std::move(writes)).Minimized();
+}
+
+Configuration Grid(ReplicaId rows, ReplicaId cols) {
+  QCNT_CHECK(rows >= 1 && cols >= 1 && rows <= 5 && cols <= 5);
+  const auto id = [cols](ReplicaId r, ReplicaId c) { return r * cols + c; };
+
+  // Column covers: one replica from each column.
+  std::vector<Quorum> covers;
+  Quorum current(cols);
+  const std::uint64_t combos = [&] {
+    std::uint64_t p = 1;
+    for (ReplicaId c = 0; c < cols; ++c) p *= rows;
+    return p;
+  }();
+  for (std::uint64_t code = 0; code < combos; ++code) {
+    std::uint64_t rest = code;
+    for (ReplicaId c = 0; c < cols; ++c) {
+      const ReplicaId r = static_cast<ReplicaId>(rest % rows);
+      rest /= rows;
+      current[c] = id(r, c);
+    }
+    covers.push_back(current);
+  }
+
+  // Write quorums: a full column plus a cover of the remaining columns.
+  std::vector<Quorum> writes;
+  for (ReplicaId c0 = 0; c0 < cols; ++c0) {
+    for (const Quorum& cover : covers) {
+      Quorum w = cover;
+      for (ReplicaId r = 0; r < rows; ++r) w.push_back(id(r, c0));
+      Normalize(w);
+      writes.push_back(std::move(w));
+    }
+  }
+  return Configuration(std::move(covers), std::move(writes)).Minimized();
+}
+
+Configuration PrimaryCopy(ReplicaId n) {
+  QCNT_CHECK(n >= 1);
+  return Configuration({{0}}, {{0}});
+}
+
+// --- Predicate systems -----------------------------------------------------
+
+namespace {
+
+/// Pick the lowest-numbered k up replicas, if at least k are up.
+std::optional<Quorum> PickLowest(std::uint64_t up, ReplicaId k) {
+  if (std::popcount(up) < static_cast<int>(k)) return std::nullopt;
+  Quorum q;
+  q.reserve(k);
+  while (q.size() < k) {
+    const int bit = std::countr_zero(up);
+    q.push_back(static_cast<ReplicaId>(bit));
+    up &= up - 1;
+  }
+  return q;
+}
+
+}  // namespace
+
+QuorumSystem ReadOneWriteAllSystem(ReplicaId n) {
+  const std::uint64_t full = FullMask(n);
+  QuorumSystem s;
+  s.name = "read-one-write-all";
+  s.n = n;
+  s.has_read = [](std::uint64_t up) { return up != 0; };
+  s.has_write = [full](std::uint64_t up) { return (up & full) == full; };
+  s.pick_read = [](std::uint64_t up) { return PickLowest(up, 1); };
+  s.pick_write = [full, n](std::uint64_t up) -> std::optional<Quorum> {
+    if ((up & full) != full) return std::nullopt;
+    return PickLowest(full, n);
+  };
+  return s;
+}
+
+QuorumSystem ReadAllWriteOneSystem(ReplicaId n) {
+  QuorumSystem s = ReadOneWriteAllSystem(n);
+  s.name = "read-all-write-one";
+  std::swap(s.has_read, s.has_write);
+  std::swap(s.pick_read, s.pick_write);
+  return s;
+}
+
+QuorumSystem MajoritySystem(ReplicaId n) {
+  FullMask(n);  // validate n
+  const ReplicaId k = MajorityThreshold(n);
+  QuorumSystem s;
+  s.name = "majority";
+  s.n = n;
+  s.has_read = [k](std::uint64_t up) {
+    return std::popcount(up) >= static_cast<int>(k);
+  };
+  s.has_write = s.has_read;
+  s.pick_read = [k](std::uint64_t up) { return PickLowest(up, k); };
+  s.pick_write = s.pick_read;
+  return s;
+}
+
+QuorumSystem WeightedVotingSystem(std::vector<std::uint32_t> votes,
+                                  std::uint32_t read_threshold,
+                                  std::uint32_t write_threshold) {
+  const ReplicaId n = static_cast<ReplicaId>(votes.size());
+  FullMask(n);  // validate n
+  const std::uint64_t total =
+      std::accumulate(votes.begin(), votes.end(), std::uint64_t{0});
+  QCNT_CHECK(read_threshold + std::uint64_t{write_threshold} > total);
+  QCNT_CHECK(write_threshold * 2 > total);
+
+  auto up_votes = [votes](std::uint64_t up) {
+    std::uint64_t sum = 0;
+    for (ReplicaId i = 0; i < votes.size(); ++i) {
+      if (up & (1ull << i)) sum += votes[i];
+    }
+    return sum;
+  };
+  // Greedy: take up replicas in decreasing vote order until the threshold.
+  auto pick = [votes, up_votes](std::uint64_t up,
+                                std::uint64_t threshold)
+      -> std::optional<Quorum> {
+    if (up_votes(up) < threshold) return std::nullopt;
+    std::vector<ReplicaId> order(votes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&votes](ReplicaId a, ReplicaId b) {
+                       return votes[a] > votes[b];
+                     });
+    Quorum q;
+    std::uint64_t sum = 0;
+    for (ReplicaId i : order) {
+      if (!(up & (1ull << i))) continue;
+      q.push_back(i);
+      sum += votes[i];
+      if (sum >= threshold) break;
+    }
+    Normalize(q);
+    return q;
+  };
+
+  QuorumSystem s;
+  s.name = "weighted-voting";
+  s.n = n;
+  s.has_read = [up_votes, read_threshold](std::uint64_t up) {
+    return up_votes(up) >= read_threshold;
+  };
+  s.has_write = [up_votes, write_threshold](std::uint64_t up) {
+    return up_votes(up) >= write_threshold;
+  };
+  s.pick_read = [pick, read_threshold](std::uint64_t up) {
+    return pick(up, read_threshold);
+  };
+  s.pick_write = [pick, write_threshold](std::uint64_t up) {
+    return pick(up, write_threshold);
+  };
+  return s;
+}
+
+QuorumSystem GridSystem(ReplicaId rows, ReplicaId cols) {
+  const ReplicaId n = rows * cols;
+  FullMask(n);  // validate n
+  auto col_mask = [rows, cols](ReplicaId c) {
+    std::uint64_t m = 0;
+    for (ReplicaId r = 0; r < rows; ++r) m |= 1ull << (r * cols + c);
+    return m;
+  };
+
+  QuorumSystem s;
+  s.name = "grid";
+  s.n = n;
+  s.has_read = [cols, col_mask](std::uint64_t up) {
+    for (ReplicaId c = 0; c < cols; ++c) {
+      if ((up & col_mask(c)) == 0) return false;
+    }
+    return true;
+  };
+  s.has_write = [cols, col_mask, has_read = s.has_read](std::uint64_t up) {
+    if (!has_read(up)) return false;
+    for (ReplicaId c = 0; c < cols; ++c) {
+      const std::uint64_t m = col_mask(c);
+      if ((up & m) == m) return true;
+    }
+    return false;
+  };
+  s.pick_read = [cols, col_mask](std::uint64_t up) -> std::optional<Quorum> {
+    Quorum q;
+    for (ReplicaId c = 0; c < cols; ++c) {
+      const std::uint64_t alive = up & col_mask(c);
+      if (alive == 0) return std::nullopt;
+      q.push_back(static_cast<ReplicaId>(std::countr_zero(alive)));
+    }
+    Normalize(q);
+    return q;
+  };
+  s.pick_write = [cols, col_mask,
+                  pick_read = s.pick_read](std::uint64_t up)
+      -> std::optional<Quorum> {
+    auto cover = pick_read(up);
+    if (!cover) return std::nullopt;
+    for (ReplicaId c = 0; c < cols; ++c) {
+      const std::uint64_t m = col_mask(c);
+      if ((up & m) == m) {
+        Quorum q = *cover;
+        std::uint64_t col = m;
+        while (col) {
+          q.push_back(static_cast<ReplicaId>(std::countr_zero(col)));
+          col &= col - 1;
+        }
+        Normalize(q);
+        return q;
+      }
+    }
+    return std::nullopt;
+  };
+  return s;
+}
+
+namespace {
+
+/// Recursive majority over the subtree of size b^d rooted at offset.
+bool HierHas(std::uint64_t up, ReplicaId branching, ReplicaId depth,
+             ReplicaId offset) {
+  if (depth == 0) return (up & (1ull << offset)) != 0;
+  ReplicaId sub = 1;
+  for (ReplicaId i = 1; i < depth; ++i) sub *= branching;
+  ReplicaId ok = 0;
+  for (ReplicaId c = 0; c < branching; ++c) {
+    if (HierHas(up, branching, depth - 1, offset + c * sub)) ++ok;
+  }
+  return ok >= MajorityThreshold(branching);
+}
+
+bool HierPick(std::uint64_t up, ReplicaId branching, ReplicaId depth,
+              ReplicaId offset, Quorum& out) {
+  if (depth == 0) {
+    if (!(up & (1ull << offset))) return false;
+    out.push_back(offset);
+    return true;
+  }
+  ReplicaId sub = 1;
+  for (ReplicaId i = 1; i < depth; ++i) sub *= branching;
+  const ReplicaId need = MajorityThreshold(branching);
+  ReplicaId got = 0;
+  for (ReplicaId c = 0; c < branching && got < need; ++c) {
+    const std::size_t mark = out.size();
+    if (HierPick(up, branching, depth - 1, offset + c * sub, out)) {
+      ++got;
+    } else {
+      out.resize(mark);
+    }
+  }
+  return got >= need;
+}
+
+}  // namespace
+
+QuorumSystem HierarchicalMajoritySystem(ReplicaId branching,
+                                        ReplicaId depth) {
+  QCNT_CHECK(branching >= 3 && branching % 2 == 1 && depth >= 1);
+  ReplicaId n = 1;
+  for (ReplicaId i = 0; i < depth; ++i) n *= branching;
+  FullMask(n);  // validate n
+  QuorumSystem s;
+  s.name = "hierarchical-majority";
+  s.n = n;
+  s.has_read = [branching, depth](std::uint64_t up) {
+    return HierHas(up, branching, depth, 0);
+  };
+  s.has_write = s.has_read;
+  s.pick_read = [branching, depth](std::uint64_t up)
+      -> std::optional<Quorum> {
+    Quorum q;
+    if (!HierPick(up, branching, depth, 0, q)) return std::nullopt;
+    Normalize(q);
+    return q;
+  };
+  s.pick_write = s.pick_read;
+  return s;
+}
+
+namespace {
+
+struct TreeShape {
+  ReplicaId branching;
+  ReplicaId levels;
+  ReplicaId n;
+
+  bool IsLeaf(ReplicaId v) const {
+    // Nodes on the last level have no children.
+    ReplicaId first_leaf = 0, count = 1;
+    for (ReplicaId l = 1; l < levels; ++l) {
+      first_leaf += count;
+      count *= branching;
+    }
+    return v >= first_leaf;
+  }
+  ReplicaId Child(ReplicaId v, ReplicaId i) const {
+    return v * branching + 1 + i;
+  }
+};
+
+/// Read quorum of the subtree at v: {v}, or read quorums of a majority of
+/// children. Returns true and appends to out when `up` admits one.
+bool TreeReadPick(const TreeShape& t, std::uint64_t up, ReplicaId v,
+                  Quorum* out) {
+  if (up & (1ull << v)) {
+    if (out != nullptr) out->push_back(v);
+    return true;
+  }
+  if (t.IsLeaf(v)) return false;
+  const ReplicaId need = t.branching / 2 + 1;
+  ReplicaId got = 0;
+  const std::size_t mark = out != nullptr ? out->size() : 0;
+  for (ReplicaId i = 0; i < t.branching && got < need; ++i) {
+    if (TreeReadPick(t, up, t.Child(v, i), out)) ++got;
+  }
+  if (got >= need) return true;
+  if (out != nullptr) out->resize(mark);
+  return false;
+}
+
+/// Write quorum of the subtree at v: v itself plus write quorums of a
+/// majority of children, recursively to the leaves.
+bool TreeWritePick(const TreeShape& t, std::uint64_t up, ReplicaId v,
+                   Quorum* out) {
+  if (!(up & (1ull << v))) return false;
+  const std::size_t mark = out != nullptr ? out->size() : 0;
+  if (out != nullptr) out->push_back(v);
+  if (t.IsLeaf(v)) return true;
+  const ReplicaId need = t.branching / 2 + 1;
+  ReplicaId got = 0;
+  for (ReplicaId i = 0; i < t.branching && got < need; ++i) {
+    if (TreeWritePick(t, up, t.Child(v, i), out)) ++got;
+  }
+  if (got >= need) return true;
+  if (out != nullptr) out->resize(mark);
+  return false;
+}
+
+}  // namespace
+
+QuorumSystem TreeQuorumSystem(ReplicaId branching, ReplicaId levels) {
+  QCNT_CHECK(branching >= 3 && branching % 2 == 1 && levels >= 1);
+  ReplicaId n = 0, width = 1;
+  for (ReplicaId l = 0; l < levels; ++l) {
+    n += width;
+    width *= branching;
+  }
+  FullMask(n);  // validate n
+  const TreeShape shape{branching, levels, n};
+
+  QuorumSystem s;
+  s.name = "tree-quorum";
+  s.n = n;
+  s.has_read = [shape](std::uint64_t up) {
+    return TreeReadPick(shape, up, 0, nullptr);
+  };
+  s.has_write = [shape](std::uint64_t up) {
+    return TreeWritePick(shape, up, 0, nullptr);
+  };
+  s.pick_read = [shape](std::uint64_t up) -> std::optional<Quorum> {
+    Quorum q;
+    if (!TreeReadPick(shape, up, 0, &q)) return std::nullopt;
+    Normalize(q);
+    return q;
+  };
+  s.pick_write = [shape](std::uint64_t up) -> std::optional<Quorum> {
+    Quorum q;
+    if (!TreeWritePick(shape, up, 0, &q)) return std::nullopt;
+    Normalize(q);
+    return q;
+  };
+  return s;
+}
+
+QuorumSystem PrimaryCopySystem(ReplicaId n) {
+  FullMask(n);  // validate n
+  QuorumSystem s;
+  s.name = "primary-copy";
+  s.n = n;
+  s.has_read = [](std::uint64_t up) { return (up & 1ull) != 0; };
+  s.has_write = s.has_read;
+  s.pick_read = [](std::uint64_t up) -> std::optional<Quorum> {
+    if (!(up & 1ull)) return std::nullopt;
+    return Quorum{0};
+  };
+  s.pick_write = s.pick_read;
+  return s;
+}
+
+QuorumSystem FromConfiguration(std::string name, const Configuration& c) {
+  auto contains = [](const std::vector<Quorum>& quorums, std::uint64_t up) {
+    for (const Quorum& q : quorums) {
+      bool all = true;
+      for (ReplicaId r : q) {
+        if (!(up & (1ull << r))) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+    return false;
+  };
+  auto pick = [](const std::vector<Quorum>& quorums,
+                 std::uint64_t up) -> std::optional<Quorum> {
+    const Quorum* best = nullptr;
+    for (const Quorum& q : quorums) {
+      bool all = true;
+      for (ReplicaId r : q) {
+        if (!(up & (1ull << r))) {
+          all = false;
+          break;
+        }
+      }
+      if (all && (best == nullptr || q.size() < best->size())) best = &q;
+    }
+    if (best == nullptr) return std::nullopt;
+    return *best;
+  };
+
+  QuorumSystem s;
+  s.name = std::move(name);
+  s.n = c.UniverseSize();
+  s.has_read = [reads = c.ReadQuorums(), contains](std::uint64_t up) {
+    return contains(reads, up);
+  };
+  s.has_write = [writes = c.WriteQuorums(), contains](std::uint64_t up) {
+    return contains(writes, up);
+  };
+  s.pick_read = [reads = c.ReadQuorums(), pick](std::uint64_t up) {
+    return pick(reads, up);
+  };
+  s.pick_write = [writes = c.WriteQuorums(), pick](std::uint64_t up) {
+    return pick(writes, up);
+  };
+  return s;
+}
+
+}  // namespace qcnt::quorum

@@ -1,0 +1,88 @@
+// Quorum configuration strategies.
+//
+// The paper's configuration is abstract; these factories build the concrete
+// families used in practice and in our experiments:
+//
+//   * ReadOneWriteAll / ReadAllWriteOne — the two degenerate extremes the
+//     paper says Gifford's scheme generalizes.
+//   * Majority — read-majority/write-majority.
+//   * WeightedVoting — Gifford's original vote-threshold scheme
+//     (read-quorum + write-quorum > total votes).
+//   * Grid — rectangular grid protocol: a read quorum covers one replica
+//     per column; a write quorum is a full column plus a column cover.
+//   * HierarchicalMajority — Kumar-style recursive majority over a b-ary
+//     tree of the replicas (b odd), giving o(n)-sized quorums.
+//   * PrimaryCopy — all operations at a single distinguished replica.
+//
+// Each strategy is exposed two ways:
+//   1. an explicit Configuration (the paper's object; practical for the
+//      automaton systems, which use a handful of replicas), and
+//   2. a QuorumSystem of predicates over up-sets (bitmask of live replicas),
+//      usable for any n ≤ 64 in availability analysis and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "quorum/configuration.hpp"
+
+namespace qcnt::quorum {
+
+/// Predicate/selector view of a quorum strategy for a universe of n
+/// replicas. `up` bitmasks have bit i set iff replica i is reachable.
+struct QuorumSystem {
+  std::string name;
+  ReplicaId n = 0;
+  /// Does `up` contain some read (resp. write) quorum?
+  std::function<bool(std::uint64_t up)> has_read;
+  std::function<bool(std::uint64_t up)> has_write;
+  /// Select a cheap read (resp. write) quorum within `up`, if one exists.
+  std::function<std::optional<Quorum>(std::uint64_t up)> pick_read;
+  std::function<std::optional<Quorum>(std::uint64_t up)> pick_write;
+};
+
+// --- Explicit configurations (enumerated; intended for small n) ----------
+
+Configuration ReadOneWriteAll(ReplicaId n);
+Configuration ReadAllWriteOne(ReplicaId n);
+/// All ⌈(n+1)/2⌉-subsets as both read and write quorums. Requires n ≤ 16.
+Configuration Majority(ReplicaId n);
+/// Gifford: replica i carries votes[i] votes; a read (write) quorum is a
+/// minimal set whose votes sum to ≥ read_threshold (write_threshold).
+/// Requires read_threshold + write_threshold > total votes and ≤ 16 replicas.
+Configuration WeightedVoting(const std::vector<std::uint32_t>& votes,
+                             std::uint32_t read_threshold,
+                             std::uint32_t write_threshold);
+/// Grid of rows × cols replicas (id = r*cols + c). Requires rows,cols ≥ 1
+/// and rows ≤ 5, cols ≤ 5 for enumeration.
+Configuration Grid(ReplicaId rows, ReplicaId cols);
+Configuration PrimaryCopy(ReplicaId n);
+
+// --- Predicate systems (any n ≤ 64) ---------------------------------------
+
+QuorumSystem ReadOneWriteAllSystem(ReplicaId n);
+QuorumSystem ReadAllWriteOneSystem(ReplicaId n);
+QuorumSystem MajoritySystem(ReplicaId n);
+QuorumSystem WeightedVotingSystem(std::vector<std::uint32_t> votes,
+                                  std::uint32_t read_threshold,
+                                  std::uint32_t write_threshold);
+QuorumSystem GridSystem(ReplicaId rows, ReplicaId cols);
+/// n must be branching^depth with odd branching ≥ 3.
+QuorumSystem HierarchicalMajoritySystem(ReplicaId branching,
+                                        ReplicaId depth);
+/// Agrawal–El Abbadi tree quorum protocol over a complete tree whose
+/// *every node* is a replica (n = (b^(levels) − 1)/(b − 1), b odd ≥ 3):
+/// a read quorum for a subtree is its root alone, or recursively read
+/// quorums of a majority of its children (graceful degradation: reads cost
+/// 1 when the root is up); a write quorum is the root *plus* write quorums
+/// of a majority of its children at every level. Node 0 is the root; the
+/// children of node v are v*b+1 .. v*b+b.
+QuorumSystem TreeQuorumSystem(ReplicaId branching, ReplicaId levels);
+QuorumSystem PrimaryCopySystem(ReplicaId n);
+
+/// Wrap an explicit Configuration as a predicate system.
+QuorumSystem FromConfiguration(std::string name, const Configuration& c);
+
+}  // namespace qcnt::quorum

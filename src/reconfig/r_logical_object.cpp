@@ -1,0 +1,64 @@
+#include "reconfig/r_logical_object.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::reconfig {
+
+RLogicalObject::RLogicalObject(const RSpec& spec, ItemId item)
+    : spec_(&spec), item_(item) {
+  QCNT_CHECK(spec.Finalized());
+  Reset();
+}
+
+void RLogicalObject::Reset() {
+  active_ = kNoTxn;
+  data_ = spec_->Item(item_).initial;
+}
+
+std::string RLogicalObject::Name() const {
+  return "r-logical-object(" + spec_->Item(item_).name + ")";
+}
+
+bool RLogicalObject::IsOperation(const ioa::Action& a) const {
+  if (a.kind != ioa::ActionKind::kCreate &&
+      a.kind != ioa::ActionKind::kRequestCommit) {
+    return false;
+  }
+  return spec_->TmItem(a.txn) == item_;
+}
+
+bool RLogicalObject::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCommit && IsOperation(a);
+}
+
+bool RLogicalObject::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind == ioa::ActionKind::kCreate) return true;  // input
+  if (active_ != a.txn) return false;
+  if (spec_->KindOfTm(a.txn) == TmKind::kRead) {
+    return a.value == FromPlain(data_);
+  }
+  return IsNil(a.value);  // writes and reconfigurations return nil
+}
+
+void RLogicalObject::Apply(const ioa::Action& a) {
+  if (a.kind == ioa::ActionKind::kCreate) {
+    active_ = a.txn;
+    return;
+  }
+  if (spec_->KindOfTm(a.txn) == TmKind::kWrite) {
+    data_ = spec_->Item(item_).write_values.at(a.txn);
+  }
+  active_ = kNoTxn;
+}
+
+void RLogicalObject::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (active_ == kNoTxn) return;
+  if (spec_->KindOfTm(active_) == TmKind::kRead) {
+    out.push_back(ioa::RequestCommit(active_, FromPlain(data_)));
+  } else {
+    out.push_back(ioa::RequestCommit(active_, kNil));
+  }
+}
+
+}  // namespace qcnt::reconfig

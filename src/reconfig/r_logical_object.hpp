@@ -1,0 +1,37 @@
+// The logical read-write object of the non-replicated system corresponding
+// to a reconfigurable replicated system. Read-/write-TM names behave as in
+// Section 3.2; reconfigure-TM names become *no-op* accesses: they return
+// nil and leave the data unchanged, capturing that reconfiguration is
+// invisible at the logical level.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "reconfig/rspec.hpp"
+
+namespace qcnt::reconfig {
+
+class RLogicalObject : public ioa::Automaton {
+ public:
+  RLogicalObject(const RSpec& spec, ItemId item);
+
+  const Plain& Data() const { return data_; }
+  TxnId Active() const { return active_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  const RSpec* spec_;
+  ItemId item_;
+  // State.
+  TxnId active_ = kNoTxn;
+  Plain data_;
+};
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,79 @@
+#include "reconfig/reconfig_dm.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::reconfig {
+
+ReconfigDm::ReconfigDm(const RSpec& spec, ObjectId object)
+    : spec_(&spec), object_(object) {
+  QCNT_CHECK(spec.Finalized());
+  const ItemId x = spec.ItemOfDm(object);
+  QCNT_CHECK(x != kNoItem);
+  const RItemInfo& info = spec.Item(x);
+  initial_data_ = Versioned{0, info.initial};
+  initial_stamp_ = ConfigStamp{info.initial_config.ToPayload(), 0};
+  Reset();
+}
+
+void ReconfigDm::Reset() {
+  active_ = kNoTxn;
+  data_ = initial_data_;
+  stamp_ = initial_stamp_;
+}
+
+std::string ReconfigDm::Name() const {
+  return "reconfig-dm(" + spec_->Type().ObjectLabel(object_) + ")";
+}
+
+bool ReconfigDm::IsOperation(const ioa::Action& a) const {
+  if (a.kind != ioa::ActionKind::kCreate &&
+      a.kind != ioa::ActionKind::kRequestCommit) {
+    return false;
+  }
+  return a.txn < spec_->Type().TxnCount() && spec_->Type().IsAccess(a.txn) &&
+         spec_->Type().ObjectOf(a.txn) == object_;
+}
+
+bool ReconfigDm::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCommit && IsOperation(a);
+}
+
+bool ReconfigDm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind == ioa::ActionKind::kCreate) return true;  // input
+  if (active_ != a.txn) return false;
+  if (spec_->Type().KindOf(a.txn) == txn::AccessKind::kRead) {
+    return a.value == SnapshotValue();
+  }
+  return IsNil(a.value);
+}
+
+void ReconfigDm::Apply(const ioa::Action& a) {
+  if (a.kind == ioa::ActionKind::kCreate) {
+    active_ = a.txn;
+    return;
+  }
+  QCNT_DCHECK(a.kind == ioa::ActionKind::kRequestCommit);
+  if (spec_->Type().KindOf(a.txn) == txn::AccessKind::kWrite) {
+    const Value& payload = spec_->Type().DataOf(a.txn);
+    if (const auto* data = std::get_if<Versioned>(&payload)) {
+      data_ = *data;
+    } else if (const auto* stamp = std::get_if<ConfigStamp>(&payload)) {
+      stamp_ = *stamp;
+    } else {
+      QCNT_CHECK_MSG(false, "reconfig DM write with unknown payload");
+    }
+  }
+  active_ = kNoTxn;
+}
+
+void ReconfigDm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (active_ == kNoTxn) return;
+  if (spec_->Type().KindOf(active_) == txn::AccessKind::kRead) {
+    out.push_back(ioa::RequestCommit(active_, SnapshotValue()));
+  } else {
+    out.push_back(ioa::RequestCommit(active_, kNil));
+  }
+}
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,49 @@
+// Reconfigurable data managers (Section 4).
+//
+// "In addition to a value and a version number, each replica of x contains
+// a configuration and a generation number." A ReconfigDm is a read-write
+// object whose read accesses return the full (data, stamp) snapshot and
+// whose write accesses come in two flavors, distinguished by the payload
+// carried in the access's name: a Versioned payload installs the data pair,
+// a ConfigStamp payload installs the configuration pair.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "reconfig/rspec.hpp"
+
+namespace qcnt::reconfig {
+
+class ReconfigDm : public ioa::Automaton {
+ public:
+  ReconfigDm(const RSpec& spec, ObjectId object);
+
+  ObjectId Object() const { return object_; }
+  const Versioned& Data() const { return data_; }
+  const ConfigStamp& Stamp() const { return stamp_; }
+  TxnId Active() const { return active_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  Value SnapshotValue() const {
+    return Value{ReplicaSnapshot{data_, stamp_}};
+  }
+
+  const RSpec* spec_;
+  ObjectId object_;
+  Versioned initial_data_;
+  ConfigStamp initial_stamp_;
+  // State.
+  TxnId active_ = kNoTxn;
+  Versioned data_;
+  ConfigStamp stamp_;
+};
+
+}  // namespace qcnt::reconfig

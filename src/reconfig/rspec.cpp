@@ -1,0 +1,243 @@
+#include "reconfig/rspec.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "reconfig/r_logical_object.hpp"
+#include "reconfig/reconfig_dm.hpp"
+#include "reconfig/tms.hpp"
+#include "txn/serial_scheduler.hpp"
+
+namespace qcnt::reconfig {
+
+ItemId RSpec::AddItem(std::string name, ReplicaId replicas,
+                      quorum::Configuration initial_config, Plain initial) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(replicas >= 1);
+  QCNT_CHECK_MSG(initial_config.IsLegal(), "configuration must be legal");
+  QCNT_CHECK(initial_config.UniverseSize() <= replicas);
+  RItemInfo info;
+  info.id = static_cast<ItemId>(items_.size());
+  info.name = std::move(name);
+  info.initial = std::move(initial);
+  info.initial_config = std::move(initial_config);
+  for (ReplicaId r = 0; r < replicas; ++r) {
+    const ObjectId obj =
+        type_.AddObject(info.name + ".rdm" + std::to_string(r));
+    info.dm_objects.push_back(obj);
+    dm_of_object_[obj] = {info.id, r};
+  }
+  items_.push_back(std::move(info));
+  return items_.back().id;
+}
+
+TxnId RSpec::AddTransaction(TxnId parent, std::string label) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem, "TMs may not have children");
+  return type_.AddTransaction(parent, std::move(label));
+}
+
+TxnId RSpec::AddReadTm(TxnId parent, ItemId item) {
+  QCNT_CHECK(!finalized_ && item < items_.size());
+  QCNT_CHECK(TmItem(parent) == kNoItem);
+  RItemInfo& info = items_[item];
+  const TxnId tm = type_.AddTransaction(
+      parent,
+      "r-read-TM[" + info.name + "]#" + std::to_string(info.read_tms.size()));
+  info.read_tms.push_back(tm);
+  tm_item_[tm] = item;
+  tm_kind_[tm] = TmKind::kRead;
+  return tm;
+}
+
+TxnId RSpec::AddWriteTm(TxnId parent, ItemId item, Plain value) {
+  QCNT_CHECK(!finalized_ && item < items_.size());
+  QCNT_CHECK(TmItem(parent) == kNoItem);
+  RItemInfo& info = items_[item];
+  const TxnId tm = type_.AddTransaction(
+      parent, "r-write-TM[" + info.name + "=" + qcnt::ToString(value) +
+                  "]#" + std::to_string(info.write_tms.size()));
+  info.write_tms.push_back(tm);
+  info.write_values[tm] = std::move(value);
+  tm_item_[tm] = item;
+  tm_kind_[tm] = TmKind::kWrite;
+  return tm;
+}
+
+TxnId RSpec::AddReconfigTm(TxnId parent, ItemId item,
+                           quorum::Configuration target) {
+  QCNT_CHECK(!finalized_ && item < items_.size());
+  QCNT_CHECK(TmItem(parent) == kNoItem);
+  RItemInfo& info = items_[item];
+  QCNT_CHECK_MSG(target.IsLegal(), "target configuration must be legal");
+  QCNT_CHECK(target.UniverseSize() <= info.dm_objects.size());
+  const TxnId tm = type_.AddTransaction(
+      parent, "reconfigure-TM[" + info.name + "]#" +
+                  std::to_string(info.reconfig_tms.size()));
+  info.reconfig_tms.push_back(tm);
+  info.target_configs.emplace(tm, std::move(target));
+  tm_item_[tm] = item;
+  tm_kind_[tm] = TmKind::kReconfigure;
+  return tm;
+}
+
+void RSpec::Finalize(std::size_t read_attempts, std::size_t write_attempts) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(read_attempts >= 1 && write_attempts >= 1);
+  for (RItemInfo& info : items_) {
+    const std::uint64_t max_vn = info.write_tms.size();
+    const std::uint64_t max_gen = info.reconfig_tms.size();
+
+    // Distinct values a read phase can observe.
+    std::vector<Plain> observable{info.initial};
+    for (TxnId w : info.write_tms) {
+      const Plain& v = info.write_values.at(w);
+      if (std::find(observable.begin(), observable.end(), v) ==
+          observable.end()) {
+        observable.push_back(v);
+      }
+    }
+
+    auto add_read_accesses = [&](TxnId tm) {
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::size_t k = 0; k < read_attempts; ++k) {
+          const TxnId acc = type_.AddReadAccess(
+              tm, info.dm_objects[r],
+              type_.Label(tm) + ".r" + std::to_string(r) + "." +
+                  std::to_string(k));
+          info.accesses.push_back(acc);
+          access_item_[acc] = info.id;
+        }
+      }
+    };
+    auto add_data_write = [&](TxnId tm, ReplicaId r, std::uint64_t vn,
+                              const Plain& value, std::size_t k) {
+      const TxnId acc = type_.AddWriteAccess(
+          tm, info.dm_objects[r], Value{Versioned{vn, value}},
+          type_.Label(tm) + ".w" + std::to_string(r) + ".v" +
+              std::to_string(vn) + "." + std::to_string(k));
+      info.accesses.push_back(acc);
+      access_item_[acc] = info.id;
+    };
+
+    for (TxnId tm : info.read_tms) add_read_accesses(tm);
+
+    for (TxnId tm : info.write_tms) {
+      add_read_accesses(tm);
+      const Plain& value = info.write_values.at(tm);
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::uint64_t vn = 1; vn <= max_vn; ++vn) {
+          for (std::size_t k = 0; k < write_attempts; ++k) {
+            add_data_write(tm, r, vn, value, k);
+          }
+        }
+      }
+    }
+
+    for (TxnId tm : info.reconfig_tms) {
+      add_read_accesses(tm);
+      // Data writes re-installing any observable (version, value) pair.
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::uint64_t vn = 0; vn <= max_vn; ++vn) {
+          for (const Plain& value : observable) {
+            for (std::size_t k = 0; k < write_attempts; ++k) {
+              add_data_write(tm, r, vn, value, k);
+            }
+          }
+        }
+      }
+      // Config writes installing (target, g) for any reachable generation.
+      const quorum::Configuration& target = info.target_configs.at(tm);
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::uint64_t gen = 1; gen <= max_gen; ++gen) {
+          for (std::size_t k = 0; k < write_attempts; ++k) {
+            const TxnId acc = type_.AddWriteAccess(
+                tm, info.dm_objects[r],
+                Value{ConfigStamp{target.ToPayload(), gen}},
+                type_.Label(tm) + ".c" + std::to_string(r) + ".g" +
+                    std::to_string(gen) + "." + std::to_string(k));
+            info.accesses.push_back(acc);
+            access_item_[acc] = info.id;
+          }
+        }
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+const RItemInfo& RSpec::Item(ItemId x) const {
+  QCNT_CHECK(x < items_.size());
+  return items_[x];
+}
+
+bool RSpec::IsReplicaAccess(TxnId t) const {
+  return access_item_.count(t) != 0;
+}
+
+ItemId RSpec::TmItem(TxnId t) const {
+  auto it = tm_item_.find(t);
+  return it == tm_item_.end() ? kNoItem : it->second;
+}
+
+TmKind RSpec::KindOfTm(TxnId t) const {
+  auto it = tm_kind_.find(t);
+  QCNT_CHECK(it != tm_kind_.end());
+  return it->second;
+}
+
+bool RSpec::IsUserTransaction(TxnId t) const {
+  return t < type_.TxnCount() && !type_.IsAccess(t) && TmItem(t) == kNoItem;
+}
+
+ReplicaId RSpec::ReplicaOf(ObjectId dm_object) const {
+  auto it = dm_of_object_.find(dm_object);
+  QCNT_CHECK(it != dm_of_object_.end());
+  return it->second.second;
+}
+
+ItemId RSpec::ItemOfDm(ObjectId dm_object) const {
+  auto it = dm_of_object_.find(dm_object);
+  return it == dm_of_object_.end() ? kNoItem : it->second.first;
+}
+
+std::vector<quorum::Configuration> RSpec::PossibleConfigs(ItemId x) const {
+  const RItemInfo& info = Item(x);
+  std::vector<quorum::Configuration> configs{info.initial_config};
+  for (TxnId tm : info.reconfig_tms) {
+    const quorum::Configuration& c = info.target_configs.at(tm);
+    if (std::find(configs.begin(), configs.end(), c) == configs.end()) {
+      configs.push_back(c);
+    }
+  }
+  return configs;
+}
+
+ioa::System RSpec::BuildSystemR() const {
+  QCNT_CHECK(finalized_);
+  ioa::System sys("system-R");
+  sys.Emplace<txn::SerialScheduler>(type_);
+  for (const RItemInfo& info : items_) {
+    for (ObjectId dm : info.dm_objects) {
+      sys.Emplace<ReconfigDm>(*this, dm);
+    }
+    for (TxnId tm : info.read_tms) sys.Emplace<RReadTm>(*this, info.id, tm);
+    for (TxnId tm : info.write_tms) sys.Emplace<RWriteTm>(*this, info.id, tm);
+    for (TxnId tm : info.reconfig_tms) {
+      sys.Emplace<RReconfigTm>(*this, info.id, tm);
+    }
+  }
+  return sys;
+}
+
+ioa::System RSpec::BuildSystemA() const {
+  QCNT_CHECK(finalized_);
+  ioa::System sys("system-A(reconfig)");
+  sys.Emplace<txn::SerialScheduler>(type_);
+  for (const RItemInfo& info : items_) {
+    sys.Emplace<RLogicalObject>(*this, info.id);
+  }
+  return sys;
+}
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,98 @@
+// Reconfigurable replicated system specification (Section 4).
+//
+// Gifford's reconfiguration algorithm, generalized as in the paper: each
+// replica of x stores a (value, version-number) pair *and* a
+// (configuration, generation-number) pair. Logical reads and writes discover
+// the current configuration while they discover the current version (taking
+// the config with the highest generation seen), so quorums may change
+// dynamically. A reconfigure-TM with target configuration c' performs the
+// read phase, then writes the data (v, t) it read to a write-quorum of c'
+// and the stamp (c', g+1) to a write-quorum of the *old* configuration c —
+// the paper notes writing c' to an old write-quorum alone suffices.
+//
+// Reconfigure-TMs are children of user transactions but are invoked by
+// per-user-transaction *spy* automata (spy.hpp), keeping them spontaneous
+// and invisible to the user programs while the serial scheduler still
+// enforces the right atomicity.
+//
+// Finalize() materializes the finite access tree. Version numbers reachable
+// are 0..W (W = number of write-TMs on the item); generations are 1..R
+// (R = number of reconfigure-TMs); a reconfigure-TM's data writes may carry
+// any (version, value) pair it could have read, i.e. versions 0..W crossed
+// with {initial value} ∪ {write-TM values}.
+#pragma once
+
+#include <unordered_map>
+
+#include "ioa/system.hpp"
+#include "quorum/configuration.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::reconfig {
+
+enum class TmKind : std::uint8_t { kRead, kWrite, kReconfigure };
+
+struct RItemInfo {
+  ItemId id = kNoItem;
+  std::string name;
+  Plain initial;
+  quorum::Configuration initial_config;
+  std::vector<ObjectId> dm_objects;
+  std::vector<TxnId> read_tms;
+  std::vector<TxnId> write_tms;
+  std::vector<TxnId> reconfig_tms;
+  std::unordered_map<TxnId, Plain> write_values;
+  std::unordered_map<TxnId, quorum::Configuration> target_configs;
+  std::vector<TxnId> accesses;
+};
+
+class RSpec {
+ public:
+  RSpec() = default;
+
+  ItemId AddItem(std::string name, ReplicaId replicas,
+                 quorum::Configuration initial_config, Plain initial);
+  TxnId AddTransaction(TxnId parent, std::string label = {});
+  TxnId AddReadTm(TxnId parent, ItemId item);
+  TxnId AddWriteTm(TxnId parent, ItemId item, Plain value);
+  /// target's quorums must range over the item's replicas and be legal.
+  TxnId AddReconfigTm(TxnId parent, ItemId item,
+                      quorum::Configuration target);
+  void Finalize(std::size_t read_attempts = 1, std::size_t write_attempts = 1);
+
+  const txn::SystemType& Type() const { return type_; }
+  const std::vector<RItemInfo>& Items() const { return items_; }
+  const RItemInfo& Item(ItemId x) const;
+  bool Finalized() const { return finalized_; }
+
+  bool IsReplicaAccess(TxnId t) const;
+  ItemId TmItem(TxnId t) const;
+  /// Kind of a TM; requires TmItem(t) != kNoItem.
+  TmKind KindOfTm(TxnId t) const;
+  bool IsUserTransaction(TxnId t) const;
+  ReplicaId ReplicaOf(ObjectId dm_object) const;
+  ItemId ItemOfDm(ObjectId dm_object) const;
+
+  /// Every configuration that can ever be installed for item x: the initial
+  /// configuration plus all reconfigure-TM targets.
+  std::vector<quorum::Configuration> PossibleConfigs(ItemId x) const;
+
+  /// Replicated serial system R (scheduler + reconfigurable DMs + TMs).
+  /// User automata and spies are added by the caller.
+  ioa::System BuildSystemR() const;
+
+  /// Non-replicated serial system: each item is a single logical object
+  /// whose accesses are the TM names; reconfigure-TMs are no-op accesses.
+  ioa::System BuildSystemA() const;
+
+ private:
+  txn::SystemType type_;
+  std::vector<RItemInfo> items_;
+  std::unordered_map<TxnId, ItemId> tm_item_;
+  std::unordered_map<TxnId, TmKind> tm_kind_;
+  std::unordered_map<TxnId, ItemId> access_item_;
+  std::unordered_map<ObjectId, std::pair<ItemId, ReplicaId>> dm_of_object_;
+  bool finalized_ = false;
+};
+
+}  // namespace qcnt::reconfig

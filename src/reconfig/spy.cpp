@@ -1,0 +1,84 @@
+#include "reconfig/spy.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::reconfig {
+
+Spy::Spy(const txn::SystemType& type, TxnId user,
+         std::vector<TxnId> reconfig_tms)
+    : type_(&type), user_(user), reconfig_tms_(std::move(reconfig_tms)) {
+  QCNT_CHECK(!type.IsAccess(user));
+  for (TxnId tm : reconfig_tms_) {
+    QCNT_CHECK_MSG(type.Parent(tm) == user,
+                   "spy manages children of its user transaction");
+  }
+  Reset();
+}
+
+void Spy::Reset() {
+  awake_ = false;
+  user_committing_ = false;
+  requested_.assign(reconfig_tms_.size(), 0);
+}
+
+std::string Spy::Name() const {
+  return "spy(" + type_->Label(user_) + ")";
+}
+
+std::size_t Spy::TmIndex(TxnId t) const {
+  for (std::size_t i = 0; i < reconfig_tms_.size(); ++i) {
+    if (reconfig_tms_[i] == t) return i;
+  }
+  return reconfig_tms_.size();
+}
+
+bool Spy::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      // Watch the user transaction's lifecycle (both are inputs here).
+      return a.txn == user_;
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return TmIndex(a.txn) < reconfig_tms_.size();
+  }
+  return false;
+}
+
+bool Spy::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCreate && IsOperation(a);
+}
+
+bool Spy::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind != ioa::ActionKind::kRequestCreate) return true;  // inputs
+  return awake_ && !user_committing_ && !requested_[TmIndex(a.txn)];
+}
+
+void Spy::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      // The user has announced completion: reconfigurations stop.
+      user_committing_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_[TmIndex(a.txn)] = 1;
+      break;
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      break;  // the spy does not care how its reconfigurations fared
+  }
+}
+
+void Spy::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_ || user_committing_) return;
+  for (std::size_t i = 0; i < reconfig_tms_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(reconfig_tms_[i]));
+  }
+}
+
+}  // namespace qcnt::reconfig

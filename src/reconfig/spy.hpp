@@ -1,0 +1,49 @@
+// Spy automata (Section 4).
+//
+// Reconfigure-TMs must be positioned as children of user transactions (for
+// atomicity) yet run "spontaneously and transparently from the user's point
+// of view". The paper resolves this modelling conflict by pairing each user
+// transaction U with a spy automaton: the spy wakes up on CREATE(U) and
+// nondeterministically issues REQUEST-CREATE for the reconfigure-TM
+// children of U until U requests to commit. CREATE(U) and
+// REQUEST-COMMIT(U, v) are *inputs* of the spy (shared with U / output by
+// U), so the user program neither sees nor controls the reconfigurations,
+// while well-formedness of U's combined operation sequence is preserved.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::reconfig {
+
+class Spy : public ioa::Automaton {
+ public:
+  /// reconfig_tms must be children of user in `type`; they must not also be
+  /// script children of the user's own automaton (outputs must be disjoint).
+  Spy(const txn::SystemType& type, TxnId user, std::vector<TxnId> reconfig_tms);
+
+  TxnId User() const { return user_; }
+  bool Awake() const { return awake_ && !user_committing_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  std::size_t TmIndex(TxnId t) const;
+
+  const txn::SystemType* type_;
+  TxnId user_;
+  std::vector<TxnId> reconfig_tms_;
+  // State.
+  bool awake_ = false;
+  bool user_committing_ = false;
+  std::vector<std::uint8_t> requested_;
+};
+
+}  // namespace qcnt::reconfig

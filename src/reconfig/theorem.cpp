@@ -1,0 +1,242 @@
+#include "reconfig/theorem.hpp"
+
+#include "common/check.hpp"
+#include "ioa/execution.hpp"
+#include "reconfig/r_logical_object.hpp"
+#include "reconfig/reconfig_dm.hpp"
+
+namespace qcnt::reconfig {
+
+ioa::System BuildR(const RSpec& spec, const UserAutomataFactory& users) {
+  ioa::System sys = spec.BuildSystemR();
+  if (users) users(sys);
+  return sys;
+}
+
+ioa::System BuildA(const RSpec& spec, const UserAutomataFactory& users) {
+  ioa::System sys = spec.BuildSystemA();
+  if (users) users(sys);
+  return sys;
+}
+
+Plain LogicalState(const RSpec& spec, ItemId x, const ioa::Schedule& beta) {
+  const RItemInfo& info = spec.Item(x);
+  Plain state = info.initial;
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kRequestCommit) continue;
+    if (spec.TmItem(a.txn) != x) continue;
+    if (spec.KindOfTm(a.txn) == TmKind::kWrite) {
+      state = info.write_values.at(a.txn);
+    }
+  }
+  return state;
+}
+
+std::uint64_t CurrentVersion(const RSpec& spec, ItemId x,
+                             const ioa::Schedule& beta) {
+  const RItemInfo& info = spec.Item(x);
+  const txn::SystemType& type = spec.Type();
+  std::vector<std::uint64_t> last_vn(info.dm_objects.size(), 0);
+  std::vector<std::uint8_t> seen(info.dm_objects.size(), 0);
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kRequestCommit) continue;
+    if (!spec.IsReplicaAccess(a.txn)) continue;
+    if (type.KindOf(a.txn) != txn::AccessKind::kWrite) continue;
+    const auto* data = std::get_if<Versioned>(&type.DataOf(a.txn));
+    if (data == nullptr) continue;  // config write
+    const ObjectId obj = type.ObjectOf(a.txn);
+    if (spec.ItemOfDm(obj) != x) continue;
+    const ReplicaId r = spec.ReplicaOf(obj);
+    last_vn[r] = data->version;
+    seen[r] = 1;
+  }
+  std::uint64_t current = 0;
+  for (std::size_t r = 0; r < last_vn.size(); ++r) {
+    if (seen[r]) current = std::max(current, last_vn[r]);
+  }
+  return current;
+}
+
+std::vector<TxnId> CompletedReconfigs(const RSpec& spec, ItemId x,
+                                      const ioa::Schedule& beta) {
+  std::vector<TxnId> done;
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kRequestCommit) continue;
+    if (spec.TmItem(a.txn) != x) continue;
+    if (spec.KindOfTm(a.txn) == TmKind::kReconfigure) done.push_back(a.txn);
+  }
+  return done;
+}
+
+quorum::Configuration CurrentConfiguration(const RSpec& spec, ItemId x,
+                                           const ioa::Schedule& beta) {
+  const std::vector<TxnId> done = CompletedReconfigs(spec, x, beta);
+  if (done.empty()) return spec.Item(x).initial_config;
+  return spec.Item(x).target_configs.at(done.back());
+}
+
+namespace {
+
+struct DmSnapshot {
+  Versioned data;
+  ConfigStamp stamp;
+};
+
+std::vector<DmSnapshot> DmStates(const RSpec& spec, const ioa::System& sys,
+                                 ItemId x) {
+  const RItemInfo& info = spec.Item(x);
+  std::vector<DmSnapshot> states(info.dm_objects.size());
+  std::vector<std::uint8_t> found(info.dm_objects.size(), 0);
+  for (std::size_t i = 0; i < sys.ComponentCount(); ++i) {
+    const auto* dm = dynamic_cast<const ReconfigDm*>(&sys.Component(i));
+    if (dm == nullptr) continue;
+    if (spec.ItemOfDm(dm->Object()) != x) continue;
+    const ReplicaId r = spec.ReplicaOf(dm->Object());
+    states[r] = {dm->Data(), dm->Stamp()};
+    found[r] = 1;
+  }
+  for (std::uint8_t f : found) QCNT_CHECK_MSG(f, "missing reconfig DM");
+  return states;
+}
+
+ioa::Schedule AccessSequence(const RSpec& spec, ItemId x,
+                             const ioa::Schedule& beta) {
+  ioa::Schedule out;
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kCreate &&
+        a.kind != ioa::ActionKind::kRequestCommit) {
+      continue;
+    }
+    if (spec.TmItem(a.txn) == x) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+RInvariantReport CheckReconfigInvariants(const RSpec& spec,
+                                         const ioa::System& r,
+                                         const ioa::Schedule& beta) {
+  for (const RItemInfo& info : spec.Items()) {
+    const ItemId x = info.id;
+    const ioa::Schedule access = AccessSequence(spec, x, beta);
+    if (access.size() % 2 != 0) continue;  // mid-logical-operation
+
+    const std::vector<DmSnapshot> dms = DmStates(spec, r, x);
+    const std::uint64_t current_vn = CurrentVersion(spec, x, beta);
+    const Plain logical_state = LogicalState(spec, x, beta);
+    const std::vector<TxnId> reconfigs = CompletedReconfigs(spec, x, beta);
+    const quorum::Configuration current_config =
+        CurrentConfiguration(spec, x, beta);
+    const std::uint64_t expected_gen = reconfigs.size();
+
+    // Generation invariant.
+    std::uint64_t max_gen = 0;
+    for (const DmSnapshot& d : dms) {
+      max_gen = std::max(max_gen, d.stamp.generation);
+    }
+    if (max_gen != expected_gen) {
+      return {false, "generation invariant violated for " + info.name +
+                         ": max DM generation " + std::to_string(max_gen) +
+                         " != completed reconfigurations " +
+                         std::to_string(expected_gen)};
+    }
+    for (const DmSnapshot& d : dms) {
+      if (d.stamp.generation == expected_gen && expected_gen > 0 &&
+          !(d.stamp.config == current_config.ToPayload())) {
+        return {false, "DM at current generation holds a stale "
+                       "configuration for " + info.name};
+      }
+    }
+
+    // Version invariant (Lemma 7 analogue).
+    std::uint64_t max_vn = 0;
+    for (const DmSnapshot& d : dms) max_vn = std::max(max_vn, d.data.version);
+    if (max_vn != current_vn) {
+      return {false, "version invariant violated for " + info.name +
+                         ": max DM version " + std::to_string(max_vn) +
+                         " != current-vn " + std::to_string(current_vn)};
+    }
+
+    // Lemma 8 analogue against the *current* configuration.
+    bool quorum_current = false;
+    for (const quorum::Quorum& q : current_config.WriteQuorums()) {
+      bool all = true;
+      for (ReplicaId rep : q) {
+        if (dms[rep].data.version != current_vn) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        quorum_current = true;
+        break;
+      }
+    }
+    if (!quorum_current) {
+      return {false, "no write-quorum of the current configuration holds "
+                     "current-vn for " + info.name};
+    }
+    for (ReplicaId rep = 0; rep < dms.size(); ++rep) {
+      if (dms[rep].data.version == current_vn &&
+          !(dms[rep].data.value == logical_state)) {
+        return {false, "DM " + std::to_string(rep) + " of " + info.name +
+                           " at current-vn holds " +
+                           qcnt::ToString(dms[rep].data.value) +
+                           ", expected " + qcnt::ToString(logical_state)};
+      }
+    }
+
+    if (!beta.empty()) {
+      const ioa::Action& last = beta.back();
+      if (last.kind == ioa::ActionKind::kRequestCommit &&
+          spec.TmItem(last.txn) == x &&
+          spec.KindOfTm(last.txn) == TmKind::kRead) {
+        if (!(last.value == FromPlain(logical_state))) {
+          return {false, "read-TM for " + info.name + " returned " +
+                             qcnt::ToString(last.value) + ", expected " +
+                             qcnt::ToString(logical_state)};
+        }
+      }
+    }
+  }
+  return {};
+}
+
+RTheoremResult CheckReconfigTheorem(const RSpec& spec,
+                                    const UserAutomataFactory& users,
+                                    const ioa::Schedule& beta) {
+  RTheoremResult result;
+  result.alpha = ioa::Project(beta, [&spec](const ioa::Action& a) {
+    return !spec.IsReplicaAccess(a.txn);
+  });
+  ioa::System a = BuildA(spec, users);
+  const ioa::ReplayResult replay = ioa::Replay(a, result.alpha);
+  if (!replay.ok) {
+    result.ok = false;
+    result.message = "alpha is not a schedule of the non-replicated "
+                     "system: step " +
+                     std::to_string(replay.failed_index) + ": " +
+                     replay.message;
+    return result;
+  }
+  for (std::size_t i = 0; i < a.ComponentCount(); ++i) {
+    const auto* logical =
+        dynamic_cast<const RLogicalObject*>(&a.Component(i));
+    if (logical == nullptr) continue;
+    for (const RItemInfo& info : spec.Items()) {
+      if (logical->Name() != "r-logical-object(" + info.name + ")") continue;
+      const Plain expected = LogicalState(spec, info.id, beta);
+      if (!(logical->Data() == expected)) {
+        result.ok = false;
+        result.message = "logical object for " + info.name + " holds " +
+                         qcnt::ToString(logical->Data()) + ", expected " +
+                         qcnt::ToString(expected);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,67 @@
+// Correctness machinery for the reconfigurable algorithm: the Section-4
+// analogues of logical-state / current-vn, the generation-number invariants,
+// and the simulation theorem check ("the formalisms and proofs follow the
+// same pattern as those of the previous section").
+#pragma once
+
+#include <functional>
+
+#include "reconfig/rspec.hpp"
+
+namespace qcnt::reconfig {
+
+using UserAutomataFactory = std::function<void(ioa::System&)>;
+
+ioa::System BuildR(const RSpec& spec, const UserAutomataFactory& users);
+ioa::System BuildA(const RSpec& spec, const UserAutomataFactory& users);
+
+/// logical-state(x, β): the value of the last write-TM that request-
+/// committed, or the initial value. Reconfigure-TMs never change it.
+Plain LogicalState(const RSpec& spec, ItemId x, const ioa::Schedule& beta);
+
+/// current-vn(x, β): over *data* write accesses only (config writes carry
+/// no version).
+std::uint64_t CurrentVersion(const RSpec& spec, ItemId x,
+                             const ioa::Schedule& beta);
+
+/// The reconfigure-TMs for x that request-committed in β, in order.
+std::vector<TxnId> CompletedReconfigs(const RSpec& spec, ItemId x,
+                                      const ioa::Schedule& beta);
+
+/// The configuration in force after β: the target of the last completed
+/// reconfigure-TM, or the initial configuration.
+quorum::Configuration CurrentConfiguration(const RSpec& spec, ItemId x,
+                                           const ioa::Schedule& beta);
+
+struct RInvariantReport {
+  bool ok = true;
+  std::string message;
+};
+
+/// Between logical operations (access(x, β) of even length), check:
+///   * the highest generation among DM stamps equals the number of
+///     completed reconfigurations, and DMs at that generation carry the
+///     current configuration;
+///   * the highest data version among DMs equals current-vn(x, β);
+///   * some write-quorum of the *current* configuration holds version
+///     current-vn, and every DM at current-vn holds logical-state(x, β);
+///   * if β ends in a read-TM REQUEST-COMMIT(T, v), v = logical-state.
+/// `r` must be the composed system that executed β.
+RInvariantReport CheckReconfigInvariants(const RSpec& spec,
+                                         const ioa::System& r,
+                                         const ioa::Schedule& beta);
+
+struct RTheoremResult {
+  bool ok = true;
+  std::string message;
+  ioa::Schedule alpha;
+};
+
+/// The Theorem-10 analogue with reconfiguration: deleting replica-access
+/// operations from a schedule of system R yields a schedule of the
+/// non-replicated system, identical at every user transaction.
+RTheoremResult CheckReconfigTheorem(const RSpec& spec,
+                                    const UserAutomataFactory& users,
+                                    const ioa::Schedule& beta);
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,289 @@
+#include "reconfig/tms.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::reconfig {
+
+namespace {
+std::uint64_t QuorumMask(const quorum::Quorum& q) {
+  std::uint64_t mask = 0;
+  for (ReplicaId r : q) {
+    QCNT_CHECK(r < 64);
+    mask |= 1ull << r;
+  }
+  return mask;
+}
+}  // namespace
+
+RTmBase::RTmBase(const RSpec& spec, ItemId item, TxnId tm)
+    : spec_(&spec), item_(item), tm_(tm) {
+  QCNT_CHECK(spec.Finalized());
+  const RItemInfo& info = spec.Item(item);
+  const txn::SystemType& type = spec.Type();
+  for (TxnId child : type.Children(tm)) {
+    QCNT_CHECK(type.IsAccess(child));
+    Kid kid;
+    kid.txn = child;
+    kid.replica = spec.ReplicaOf(type.ObjectOf(child));
+    if (type.KindOf(child) == txn::AccessKind::kRead) {
+      kid.kind = KidKind::kRead;
+    } else {
+      const Value& payload = type.DataOf(child);
+      if (const auto* d = std::get_if<Versioned>(&payload)) {
+        kid.kind = KidKind::kDataWrite;
+        kid.data = *d;
+      } else {
+        kid.kind = KidKind::kConfigWrite;
+        kid.stamp = std::get<ConfigStamp>(payload);
+      }
+    }
+    kid_index_[child] = kids_.size();
+    kids_.push_back(std::move(kid));
+  }
+  (void)info;
+  Reset();
+}
+
+void RTmBase::Reset() {
+  const RItemInfo& info = spec_->Item(item_);
+  awake_ = false;
+  data_ = Versioned{0, info.initial};
+  stamp_ = ConfigStamp{info.initial_config.ToPayload(), 0};
+  current_config_ = info.initial_config;
+  read_ = 0;
+  requested_.assign(kids_.size(), 0);
+  write_requested_count_ = 0;
+  data_written_ = 0;
+  config_written_ = 0;
+}
+
+std::string RTmBase::Name() const { return spec_->Type().Label(tm_); }
+
+bool RTmBase::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == tm_;
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return kid_index_.count(a.txn) != 0;
+  }
+  return false;
+}
+
+bool RTmBase::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool RTmBase::MaskHasQuorum(const std::vector<quorum::Quorum>& quorums,
+                            std::uint64_t mask) {
+  for (const quorum::Quorum& q : quorums) {
+    const std::uint64_t qm = QuorumMask(q);
+    if ((mask & qm) == qm) return true;
+  }
+  return false;
+}
+
+bool RTmBase::ReadPhaseComplete() const {
+  return MaskHasQuorum(current_config_.ReadQuorums(), read_);
+}
+
+void RTmBase::ApplyShared(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate: {
+      const std::size_t i = kid_index_.at(a.txn);
+      if (!requested_[i]) {
+        requested_[i] = 1;
+        if (kids_[i].kind != KidKind::kRead) ++write_requested_count_;
+      }
+      break;
+    }
+    case ioa::ActionKind::kCommit: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      switch (kid.kind) {
+        case KidKind::kRead:
+          if (!WriteRequested()) {
+            read_ |= 1ull << kid.replica;
+            if (const auto* snap = std::get_if<ReplicaSnapshot>(&a.value)) {
+              if (snap->data.version > data_.version) data_ = snap->data;
+              if (snap->stamp.generation > stamp_.generation) {
+                stamp_ = snap->stamp;
+                current_config_ =
+                    quorum::Configuration::FromPayload(stamp_.config);
+              }
+            }
+          }
+          break;
+        case KidKind::kDataWrite:
+          data_written_ |= 1ull << kid.replica;
+          break;
+        case KidKind::kConfigWrite:
+          config_written_ |= 1ull << kid.replica;
+          break;
+      }
+      break;
+    }
+    case ioa::ActionKind::kAbort:
+      break;  // (no change)
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+// --- RReadTm ----------------------------------------------------------------
+
+RReadTm::RReadTm(const RSpec& spec, ItemId item, TxnId tm)
+    : RTmBase(spec, item, tm) {
+  for (const Kid& kid : kids_) {
+    QCNT_CHECK_MSG(kid.kind == KidKind::kRead,
+                   "read-TMs have only read accesses");
+  }
+}
+
+bool RReadTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !requested_[kid_index_.at(a.txn)];
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && ReadPhaseComplete() &&
+             a.value == FromPlain(data_.value);
+  }
+  return false;
+}
+
+void RReadTm::Apply(const ioa::Action& a) { ApplyShared(a); }
+
+void RReadTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(kids_[i].txn));
+  }
+  if (ReadPhaseComplete()) {
+    out.push_back(ioa::RequestCommit(tm_, FromPlain(data_.value)));
+  }
+}
+
+// --- RWriteTm ---------------------------------------------------------------
+
+RWriteTm::RWriteTm(const RSpec& spec, ItemId item, TxnId tm)
+    : RTmBase(spec, item, tm) {
+  value_ = spec.Item(item).write_values.at(tm);
+}
+
+bool RWriteTm::WriteKidEnabled(const Kid& kid) const {
+  return ReadPhaseComplete() && kid.data.version == data_.version + 1 &&
+         kid.data.value == value_;
+}
+
+bool RWriteTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      if (!awake_ || requested_[kid_index_.at(a.txn)]) return false;
+      if (kid.kind == KidKind::kRead) return true;
+      return WriteKidEnabled(kid);
+    }
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && IsNil(a.value) &&
+             MaskHasQuorum(current_config_.WriteQuorums(), data_written_);
+  }
+  return false;
+}
+
+void RWriteTm::Apply(const ioa::Action& a) { ApplyShared(a); }
+
+void RWriteTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (requested_[i]) continue;
+    const Kid& kid = kids_[i];
+    if (kid.kind == KidKind::kRead || WriteKidEnabled(kid)) {
+      out.push_back(ioa::RequestCreate(kid.txn));
+    }
+  }
+  if (MaskHasQuorum(current_config_.WriteQuorums(), data_written_)) {
+    out.push_back(ioa::RequestCommit(tm_, kNil));
+  }
+}
+
+// --- RReconfigTm ------------------------------------------------------------
+
+RReconfigTm::RReconfigTm(const RSpec& spec, ItemId item, TxnId tm)
+    : RTmBase(spec, item, tm) {
+  target_ = spec.Item(item).target_configs.at(tm);
+}
+
+bool RReconfigTm::DataKidEnabled(const Kid& kid) const {
+  return ReadPhaseComplete() && kid.data == data_;
+}
+
+bool RReconfigTm::ConfigKidEnabled(const Kid& kid) const {
+  return ReadPhaseComplete() &&
+         kid.stamp.generation == stamp_.generation + 1;
+}
+
+bool RReconfigTm::ReadyToCommit() const {
+  return MaskHasQuorum(target_.WriteQuorums(), data_written_) &&
+         MaskHasQuorum(current_config_.WriteQuorums(), config_written_);
+}
+
+bool RReconfigTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      if (!awake_ || requested_[kid_index_.at(a.txn)]) return false;
+      switch (kid.kind) {
+        case KidKind::kRead:
+          return true;
+        case KidKind::kDataWrite:
+          return DataKidEnabled(kid);
+        case KidKind::kConfigWrite:
+          return ConfigKidEnabled(kid);
+      }
+      return false;
+    }
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && IsNil(a.value) && ReadyToCommit();
+  }
+  return false;
+}
+
+void RReconfigTm::Apply(const ioa::Action& a) { ApplyShared(a); }
+
+void RReconfigTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (requested_[i]) continue;
+    const Kid& kid = kids_[i];
+    const bool enabled = kid.kind == KidKind::kRead ||
+                         (kid.kind == KidKind::kDataWrite &&
+                          DataKidEnabled(kid)) ||
+                         (kid.kind == KidKind::kConfigWrite &&
+                          ConfigKidEnabled(kid));
+    if (enabled) out.push_back(ioa::RequestCreate(kid.txn));
+  }
+  if (ReadyToCommit()) out.push_back(ioa::RequestCommit(tm_, kNil));
+}
+
+}  // namespace qcnt::reconfig

@@ -1,0 +1,131 @@
+// Transaction managers for the reconfigurable algorithm (Section 4).
+//
+// All three TM kinds share the same read phase: invoke read accesses on
+// DMs, keeping the (value, version) pair with the highest version seen, the
+// (config, generation) pair with the highest generation seen, and the set d
+// of DMs read. The phase completes when the *currently believed*
+// configuration c has a read-quorum contained in d — note that reading a
+// read-quorum of an old configuration necessarily reveals a newer
+// generation when one was installed (config writes cover an old
+// write-quorum, which every old read-quorum intersects), so the check
+// re-arms until the TM has caught up with the newest configuration it has
+// evidence for. After the first write access is requested, read COMMITs no
+// longer update TM state (the Section-3 guard, inherited here).
+//
+//   * RReadTm then request-commits with v.
+//   * RWriteTm writes (t+1, value(T)) to a write-quorum of c, then
+//     request-commits with nil.
+//   * RReconfigTm (target c') writes the data (t, v) it read to a
+//     write-quorum of c' and the stamp (c', g+1) to a write-quorum of the
+//     old c, then request-commits with nil. Writing the new configuration
+//     to an old write-quorum only is the paper's sharpening of Gifford.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "ioa/automaton.hpp"
+#include "reconfig/rspec.hpp"
+
+namespace qcnt::reconfig {
+
+/// Common machinery: kid bookkeeping, read-phase state, quorum evaluation.
+class RTmBase : public ioa::Automaton {
+ public:
+  TxnId Txn() const { return tm_; }
+  bool Awake() const { return awake_; }
+  const Versioned& Data() const { return data_; }
+  const ConfigStamp& Stamp() const { return stamp_; }
+  std::uint64_t ReadMask() const { return read_; }
+  /// Does the currently believed configuration have a read-quorum within
+  /// the set of DMs read?
+  bool ReadPhaseComplete() const;
+
+  // Automaton interface (shared parts).
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  void Reset() override;
+
+ protected:
+  enum class KidKind : std::uint8_t { kRead, kDataWrite, kConfigWrite };
+  struct Kid {
+    TxnId txn;
+    ReplicaId replica;
+    KidKind kind;
+    Versioned data;     // for kDataWrite
+    ConfigStamp stamp;  // for kConfigWrite
+  };
+
+  RTmBase(const RSpec& spec, ItemId item, TxnId tm);
+
+  /// Handle shared input operations; returns true when consumed.
+  void ApplyShared(const ioa::Action& a);
+  /// Has any write (data or config) access been requested?
+  bool WriteRequested() const { return write_requested_count_ > 0; }
+  const quorum::Configuration& CurrentConfig() const {
+    return current_config_;
+  }
+  static bool MaskHasQuorum(const std::vector<quorum::Quorum>& quorums,
+                            std::uint64_t mask);
+
+  const RSpec* spec_;
+  ItemId item_;
+  TxnId tm_;
+  std::vector<Kid> kids_;
+  std::unordered_map<TxnId, std::size_t> kid_index_;
+
+  // Read-phase state.
+  bool awake_ = false;
+  Versioned data_;
+  ConfigStamp stamp_;
+  quorum::Configuration current_config_;  // parsed from stamp_
+  std::uint64_t read_ = 0;
+  std::vector<std::uint8_t> requested_;
+  std::size_t write_requested_count_ = 0;
+  /// Replica masks for committed data / config writes.
+  std::uint64_t data_written_ = 0;
+  std::uint64_t config_written_ = 0;
+};
+
+class RReadTm final : public RTmBase {
+ public:
+  RReadTm(const RSpec& spec, ItemId item, TxnId tm);
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+};
+
+class RWriteTm final : public RTmBase {
+ public:
+  RWriteTm(const RSpec& spec, ItemId item, TxnId tm);
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+
+ private:
+  /// A data-write kid is requestable iff it carries (t+1, value(T)).
+  bool WriteKidEnabled(const Kid& kid) const;
+  Plain value_;
+};
+
+class RReconfigTm final : public RTmBase {
+ public:
+  RReconfigTm(const RSpec& spec, ItemId item, TxnId tm);
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+
+ private:
+  /// Data writes must carry exactly the (t, v) pair read.
+  bool DataKidEnabled(const Kid& kid) const;
+  /// Config writes must carry (target, g+1).
+  bool ConfigKidEnabled(const Kid& kid) const;
+  /// Both phases complete: data at a write-quorum of the target, stamp at a
+  /// write-quorum of the old configuration.
+  bool ReadyToCommit() const;
+  quorum::Configuration target_;
+};
+
+}  // namespace qcnt::reconfig

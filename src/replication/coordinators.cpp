@@ -1,0 +1,406 @@
+#include "replication/coordinators.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::replication {
+
+namespace {
+std::uint64_t QuorumMask(const quorum::Quorum& q) {
+  std::uint64_t mask = 0;
+  for (ReplicaId r : q) {
+    QCNT_CHECK(r < 64);
+    mask |= 1ull << r;
+  }
+  return mask;
+}
+}  // namespace
+
+// --- ReadCoordinator ---------------------------------------------------------
+
+ReadCoordinator::ReadCoordinator(const ReplicatedSpec& spec, ItemId item,
+                                 TxnId self)
+    : spec_(&spec), item_(item), self_(self) {
+  const ItemInfo& info = spec.Item(item);
+  const txn::SystemType& type = spec.Type();
+  initial_ = Versioned{0, info.initial};
+  for (TxnId child : type.Children(self)) {
+    QCNT_CHECK(type.IsAccess(child) &&
+               type.KindOf(child) == txn::AccessKind::kRead);
+    kid_index_[child] = kids_.size();
+    kids_.push_back({child, spec.ReplicaOf(type.ObjectOf(child))});
+  }
+  for (const quorum::Quorum& q : info.config.ReadQuorums()) {
+    read_quorum_masks_.push_back(QuorumMask(q));
+  }
+  Reset();
+}
+
+void ReadCoordinator::Reset() {
+  awake_ = false;
+  data_ = initial_;
+  requested_.assign(kids_.size(), 0);
+  read_ = 0;
+}
+
+std::string ReadCoordinator::Name() const {
+  return spec_->Type().Label(self_);
+}
+
+bool ReadCoordinator::HasReadQuorum() const {
+  for (std::uint64_t mask : read_quorum_masks_) {
+    if ((read_ & mask) == mask) return true;
+  }
+  return false;
+}
+
+bool ReadCoordinator::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == self_;
+    default:
+      return kid_index_.count(a.txn) != 0;
+  }
+}
+
+bool ReadCoordinator::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool ReadCoordinator::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !requested_[kid_index_.at(a.txn)];
+    case ioa::ActionKind::kRequestCommit:
+      // The coordinator returns the assembled versioned pair to its TM.
+      return awake_ && HasReadQuorum() && a.value == Value{data_};
+  }
+  return false;
+}
+
+void ReadCoordinator::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_[kid_index_.at(a.txn)] = 1;
+      break;
+    case ioa::ActionKind::kCommit: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      read_ |= 1ull << kid.replica;
+      if (const auto* d = std::get_if<Versioned>(&a.value)) {
+        if (d->version > data_.version) data_ = *d;
+      }
+      break;
+    }
+    case ioa::ActionKind::kAbort:
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void ReadCoordinator::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(kids_[i].txn));
+  }
+  if (HasReadQuorum()) {
+    out.push_back(ioa::RequestCommit(self_, Value{data_}));
+  }
+}
+
+// --- WriteCoordinator --------------------------------------------------------
+
+WriteCoordinator::WriteCoordinator(const ReplicatedSpec& spec, ItemId item,
+                                   TxnId self)
+    : spec_(&spec), item_(item), self_(self) {
+  const ItemInfo& info = spec.Item(item);
+  const txn::SystemType& type = spec.Type();
+  for (TxnId child : type.Children(self)) {
+    QCNT_CHECK(type.IsAccess(child) &&
+               type.KindOf(child) == txn::AccessKind::kWrite);
+    kid_index_[child] = kids_.size();
+    kids_.push_back({child, spec.ReplicaOf(type.ObjectOf(child))});
+  }
+  for (const quorum::Quorum& q : info.config.WriteQuorums()) {
+    write_quorum_masks_.push_back(QuorumMask(q));
+  }
+  Reset();
+}
+
+void WriteCoordinator::Reset() {
+  awake_ = false;
+  requested_.assign(kids_.size(), 0);
+  written_ = 0;
+}
+
+std::string WriteCoordinator::Name() const {
+  return spec_->Type().Label(self_);
+}
+
+bool WriteCoordinator::HasWriteQuorum() const {
+  for (std::uint64_t mask : write_quorum_masks_) {
+    if ((written_ & mask) == mask) return true;
+  }
+  return false;
+}
+
+bool WriteCoordinator::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == self_;
+    default:
+      return kid_index_.count(a.txn) != 0;
+  }
+}
+
+bool WriteCoordinator::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool WriteCoordinator::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !requested_[kid_index_.at(a.txn)];
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && IsNil(a.value) && HasWriteQuorum();
+  }
+  return false;
+}
+
+void WriteCoordinator::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_[kid_index_.at(a.txn)] = 1;
+      break;
+    case ioa::ActionKind::kCommit:
+      written_ |= 1ull << kids_[kid_index_.at(a.txn)].replica;
+      break;
+    case ioa::ActionKind::kAbort:
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void WriteCoordinator::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(kids_[i].txn));
+  }
+  if (HasWriteQuorum()) out.push_back(ioa::RequestCommit(self_, kNil));
+}
+
+// --- CoordReadTm -------------------------------------------------------------
+
+CoordReadTm::CoordReadTm(const ReplicatedSpec& spec, ItemId item, TxnId tm,
+                         TxnId coordinator)
+    : spec_(&spec), item_(item), tm_(tm), coordinator_(coordinator) {
+  QCNT_CHECK(spec.Type().Parent(coordinator) == tm);
+  Reset();
+}
+
+void CoordReadTm::Reset() {
+  awake_ = false;
+  requested_ = false;
+  have_result_ = false;
+  data_ = Versioned{0, spec_->Item(item_).initial};
+}
+
+std::string CoordReadTm::Name() const { return spec_->Type().Label(tm_); }
+
+bool CoordReadTm::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == tm_;
+    default:
+      return a.txn == coordinator_;
+  }
+}
+
+bool CoordReadTm::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool CoordReadTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !requested_;
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && have_result_ && a.value == FromPlain(data_.value);
+  }
+  return false;
+}
+
+void CoordReadTm::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_ = true;
+      break;
+    case ioa::ActionKind::kCommit:
+      if (const auto* d = std::get_if<Versioned>(&a.value)) {
+        data_ = *d;
+        have_result_ = true;
+      }
+      break;
+    case ioa::ActionKind::kAbort:
+      break;  // the single coordinator aborted: the read cannot complete
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void CoordReadTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  if (!requested_) out.push_back(ioa::RequestCreate(coordinator_));
+  if (have_result_) {
+    out.push_back(ioa::RequestCommit(tm_, FromPlain(data_.value)));
+  }
+}
+
+// --- CoordWriteTm ------------------------------------------------------------
+
+CoordWriteTm::CoordWriteTm(const ReplicatedSpec& spec, ItemId item, TxnId tm,
+                           TxnId read_coordinator,
+                           std::vector<TxnId> write_coordinators)
+    : spec_(&spec),
+      item_(item),
+      tm_(tm),
+      read_coordinator_(read_coordinator),
+      write_coordinators_(std::move(write_coordinators)) {
+  QCNT_CHECK(spec.Type().Parent(read_coordinator) == tm);
+  for (TxnId wc : write_coordinators_) {
+    QCNT_CHECK(spec.Type().Parent(wc) == tm);
+  }
+  Reset();
+}
+
+void CoordWriteTm::Reset() {
+  awake_ = false;
+  read_requested_ = false;
+  have_version_ = false;
+  data_ = Versioned{};
+  write_requested_ = false;
+  write_done_ = false;
+}
+
+std::string CoordWriteTm::Name() const { return spec_->Type().Label(tm_); }
+
+TxnId CoordWriteTm::TargetWriteCoordinator() const {
+  const std::uint64_t target = data_.version + 1;
+  if (target == 0 || target > write_coordinators_.size()) return kNoTxn;
+  return write_coordinators_[target - 1];
+}
+
+bool CoordWriteTm::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == tm_;
+    default:
+      if (a.txn == read_coordinator_) return true;
+      for (TxnId wc : write_coordinators_) {
+        if (a.txn == wc) return true;
+      }
+      return false;
+  }
+}
+
+bool CoordWriteTm::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool CoordWriteTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;
+    case ioa::ActionKind::kRequestCreate:
+      if (!awake_) return false;
+      if (a.txn == read_coordinator_) return !read_requested_;
+      // A write coordinator: only the one installing version+1, once the
+      // version is known and no other write has been launched.
+      return have_version_ && !write_requested_ &&
+             a.txn == TargetWriteCoordinator();
+    case ioa::ActionKind::kRequestCommit:
+      return awake_ && IsNil(a.value) && write_done_;
+  }
+  return false;
+}
+
+void CoordWriteTm::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      if (a.txn == read_coordinator_) {
+        read_requested_ = true;
+      } else {
+        write_requested_ = true;
+      }
+      break;
+    case ioa::ActionKind::kCommit:
+      if (a.txn == read_coordinator_) {
+        if (const auto* d = std::get_if<Versioned>(&a.value)) {
+          // Only the version matters for a write (as in the flat TM).
+          if (!have_version_ || d->version > data_.version) data_ = *d;
+          have_version_ = true;
+        }
+      } else {
+        write_done_ = true;
+      }
+      break;
+    case ioa::ActionKind::kAbort:
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void CoordWriteTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  if (!read_requested_) out.push_back(ioa::RequestCreate(read_coordinator_));
+  if (have_version_ && !write_requested_) {
+    const TxnId wc = TargetWriteCoordinator();
+    if (wc != kNoTxn) out.push_back(ioa::RequestCreate(wc));
+  }
+  if (write_done_) out.push_back(ioa::RequestCommit(tm_, kNil));
+}
+
+}  // namespace qcnt::replication

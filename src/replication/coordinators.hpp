@@ -1,0 +1,164 @@
+// Coordinator modules — the paper's extra nesting level (Section 4).
+//
+// "To simplify our reasoning, we separate the read, write, and reconfigure
+// tasks of the TMs into modules called coordinators. This is done most
+// naturally by introducing another level of nesting, providing additional
+// evidence of the power of nesting as a modelling tool."
+//
+// In coordinated mode a TM's children are not accesses but coordinator
+// subtransactions, and the accesses hang under the coordinators:
+//
+//   read-TM ──► read-coordinator ──► read accesses on DMs
+//   write-TM ─► read-coordinator             (version discovery)
+//            └► write-coordinator(vn) ──► write accesses carrying vn
+//
+// A read-coordinator REQUEST-COMMITs with the (version, value) pair it
+// assembled from a read quorum — the nesting machinery itself carries the
+// phase result up to the TM via the COMMIT operation. A write-coordinator
+// is parameterized (in its *name*, per the paper's convention) by the
+// version it installs and commits with nil once a write quorum has
+// acknowledged. The coordinated TMs orchestrate their coordinators and are
+// observationally identical to the flat Section-3 TMs, which the
+// Theorem-10 machinery verifies against the very same system A.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ioa/automaton.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+/// Phase module performing the read phase over the DMs of one item.
+/// Commits with the highest-versioned (version, value) pair seen once a
+/// read quorum has reported.
+class ReadCoordinator : public ioa::Automaton {
+ public:
+  ReadCoordinator(const ReplicatedSpec& spec, ItemId item, TxnId self);
+
+  TxnId Txn() const { return self_; }
+  bool HasReadQuorum() const;
+
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  struct Kid {
+    TxnId txn;
+    ReplicaId replica;
+  };
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId self_;
+  std::vector<Kid> kids_;
+  std::unordered_map<TxnId, std::size_t> kid_index_;
+  std::vector<std::uint64_t> read_quorum_masks_;
+  Versioned initial_;
+  // State.
+  bool awake_ = false;
+  Versioned data_;
+  std::vector<std::uint8_t> requested_;
+  std::uint64_t read_ = 0;
+};
+
+/// Phase module installing one specific version at a write quorum.
+class WriteCoordinator : public ioa::Automaton {
+ public:
+  WriteCoordinator(const ReplicatedSpec& spec, ItemId item, TxnId self);
+
+  TxnId Txn() const { return self_; }
+  bool HasWriteQuorum() const;
+
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  struct Kid {
+    TxnId txn;
+    ReplicaId replica;
+  };
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId self_;
+  std::vector<Kid> kids_;
+  std::unordered_map<TxnId, std::size_t> kid_index_;
+  std::vector<std::uint64_t> write_quorum_masks_;
+  // State.
+  bool awake_ = false;
+  std::vector<std::uint8_t> requested_;
+  std::uint64_t written_ = 0;
+};
+
+/// Read-TM over a read-coordinator.
+class CoordReadTm : public ioa::Automaton {
+ public:
+  CoordReadTm(const ReplicatedSpec& spec, ItemId item, TxnId tm,
+              TxnId coordinator);
+
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId tm_;
+  TxnId coordinator_;
+  // State.
+  bool awake_ = false;
+  bool requested_ = false;
+  bool have_result_ = false;
+  Versioned data_;
+};
+
+/// Write-TM over a read-coordinator plus per-version write-coordinators.
+class CoordWriteTm : public ioa::Automaton {
+ public:
+  /// write_coordinators[k] installs version k+1.
+  CoordWriteTm(const ReplicatedSpec& spec, ItemId item, TxnId tm,
+               TxnId read_coordinator, std::vector<TxnId> write_coordinators);
+
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  /// The coordinator installing version data_.version + 1, if materialized.
+  TxnId TargetWriteCoordinator() const;
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId tm_;
+  TxnId read_coordinator_;
+  std::vector<TxnId> write_coordinators_;
+  // State.
+  bool awake_ = false;
+  bool read_requested_ = false;
+  bool have_version_ = false;
+  Versioned data_;
+  bool write_requested_ = false;
+  bool write_done_ = false;
+};
+
+}  // namespace qcnt::replication

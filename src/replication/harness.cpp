@@ -1,0 +1,124 @@
+#include "replication/harness.hpp"
+
+#include "quorum/strategies.hpp"
+#include "txn/random_transaction.hpp"
+
+namespace qcnt::replication {
+
+Harness::Harness(ReplicatedSpec spec, std::vector<TxnId> user_txns)
+    : spec_(std::move(spec)), user_txns_(std::move(user_txns)) {}
+
+UserAutomataFactory Harness::Users() const {
+  // The factory must outlive this Harness copy-safely: capture by value.
+  const txn::SystemType* type = &spec_.Type();
+  std::vector<TxnId> txns = user_txns_;
+  return [type, txns](ioa::System& sys) {
+    for (TxnId t : txns) {
+      sys.Emplace<txn::RandomTransaction>(*type, t);
+    }
+  };
+}
+
+namespace {
+
+quorum::Configuration RandomConfiguration(Rng& rng, ReplicaId n) {
+  switch (rng.Below(4)) {
+    case 0:
+      return quorum::ReadOneWriteAll(n);
+    case 1:
+      return quorum::ReadAllWriteOne(n);
+    case 2:
+      return quorum::Majority(n);
+    default: {
+      // Random weighted voting: votes in 1..3, thresholds at majority.
+      std::vector<std::uint32_t> votes;
+      std::uint32_t total = 0;
+      for (ReplicaId i = 0; i < n; ++i) {
+        votes.push_back(1 + static_cast<std::uint32_t>(rng.Below(3)));
+        total += votes.back();
+      }
+      const std::uint32_t w = total / 2 + 1;
+      // Any read threshold with r + w > total works; bias toward small r.
+      const std::uint32_t r = total + 1 - w;
+      return quorum::WeightedVoting(votes, r, w);
+    }
+  }
+}
+
+}  // namespace
+
+Harness MakeRandomHarness(Rng& rng, const HarnessOptions& options) {
+  ReplicatedSpec spec;
+
+  const std::size_t item_count = static_cast<std::size_t>(
+      rng.Range(static_cast<std::int64_t>(options.min_items),
+                static_cast<std::int64_t>(options.max_items)));
+  std::vector<ItemId> items;
+  for (std::size_t i = 0; i < item_count; ++i) {
+    const ReplicaId n = static_cast<ReplicaId>(
+        rng.Range(options.min_replicas, options.max_replicas));
+    items.push_back(spec.AddItem("x" + std::to_string(i), n,
+                                 RandomConfiguration(rng, n),
+                                 Plain{std::int64_t{0}}));
+  }
+
+  std::vector<ObjectId> plain_objects;
+  const std::size_t plain_count = options.max_plain_objects == 0
+                                      ? 0
+                                      : rng.Below(options.max_plain_objects + 1);
+  for (std::size_t i = 0; i < plain_count; ++i) {
+    plain_objects.push_back(spec.AddPlainObject("p" + std::to_string(i),
+                                                Plain{std::int64_t{0}}));
+  }
+
+  std::int64_t next_value = 1;
+  auto populate = [&](TxnId parent) {
+    const std::size_t tms = 1 + rng.Below(options.max_tms_per_txn);
+    for (std::size_t k = 0; k < tms; ++k) {
+      const ItemId x = items[rng.Index(items.size())];
+      if (rng.Chance(0.5)) {
+        spec.AddReadTm(parent, x);
+      } else {
+        spec.AddWriteTm(parent, x, Plain{next_value++});
+      }
+    }
+    // Occasionally hang a non-replica access off the transaction too.
+    if (!plain_objects.empty() && rng.Chance(0.5)) {
+      const ObjectId o = plain_objects[rng.Index(plain_objects.size())];
+      if (rng.Chance(0.5)) {
+        spec.AddPlainRead(parent, o);
+      } else {
+        spec.AddPlainWrite(parent, o, Plain{next_value++});
+      }
+    }
+  };
+
+  std::vector<TxnId> user_txns{kRootTxn};
+  const std::size_t top = 1 + rng.Below(options.max_top_level_txns);
+  for (std::size_t i = 0; i < top; ++i) {
+    const TxnId u = spec.AddTransaction(kRootTxn, "U" + std::to_string(i));
+    user_txns.push_back(u);
+    if (rng.Chance(options.nest_probability)) {
+      const std::size_t subs = 1 + rng.Below(2);
+      for (std::size_t s = 0; s < subs; ++s) {
+        const TxnId v =
+            spec.AddTransaction(u, "U" + std::to_string(i) + "." +
+                                       std::to_string(s));
+        user_txns.push_back(v);
+        populate(v);
+      }
+    }
+    populate(u);
+  }
+
+  spec.Finalize(options.read_attempts, options.write_attempts);
+  return Harness(std::move(spec), std::move(user_txns));
+}
+
+std::function<double(const ioa::Action&)> AbortWeight(double abort_weight) {
+  return [abort_weight](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? abort_weight : 1.0;
+  };
+}
+
+}  // namespace qcnt::replication

@@ -1,0 +1,54 @@
+// Randomized system generation for property tests and theorem benches.
+//
+// MakeRandomHarness builds a ReplicatedSpec with a random shape — several
+// logical items with random replica counts and configuration strategies,
+// a random forest of (possibly nested) user transactions, TMs sprinkled
+// through them, and optional non-replica objects — together with the
+// user-automata factory needed by BuildB/BuildA. User transactions are
+// RandomTransaction automata, exercising the full latitude the model
+// grants them; combined with Explorer seeds and a tunable ABORT weight,
+// a (seed, options) pair denotes one reproducible adversarial execution.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "replication/theorem10.hpp"
+
+namespace qcnt::replication {
+
+struct HarnessOptions {
+  std::size_t min_items = 1, max_items = 3;
+  ReplicaId min_replicas = 2, max_replicas = 5;
+  std::size_t max_top_level_txns = 4;
+  /// Probability that a top-level user transaction gets nested children.
+  double nest_probability = 0.4;
+  std::size_t max_tms_per_txn = 3;
+  std::size_t max_plain_objects = 2;
+  std::size_t read_attempts = 2;
+  std::size_t write_attempts = 1;
+};
+
+class Harness {
+ public:
+  Harness(ReplicatedSpec spec, std::vector<TxnId> user_txns);
+
+  const ReplicatedSpec& Spec() const { return spec_; }
+  const std::vector<TxnId>& UserTxns() const { return user_txns_; }
+
+  /// Factory adding RandomTransaction automata for T0 and every user txn.
+  UserAutomataFactory Users() const;
+
+ private:
+  ReplicatedSpec spec_;
+  /// All user transactions including the root.
+  std::vector<TxnId> user_txns_;
+};
+
+Harness MakeRandomHarness(Rng& rng, const HarnessOptions& options = {});
+
+/// An Explorer weight giving ABORT actions the given relative weight
+/// (1.0 = as likely as any other single enabled action; 0 = never abort).
+std::function<double(const ioa::Action&)> AbortWeight(double abort_weight);
+
+}  // namespace qcnt::replication

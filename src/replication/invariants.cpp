@@ -1,0 +1,104 @@
+#include "replication/invariants.hpp"
+
+#include "common/check.hpp"
+#include "replication/logical.hpp"
+#include "txn/read_write_object.hpp"
+
+namespace qcnt::replication {
+
+namespace {
+
+/// Live (version, value) of each DM of item x, indexed by ReplicaId.
+std::vector<Versioned> DmStates(const ReplicatedSpec& spec,
+                                const ioa::System& b, ItemId x) {
+  const ItemInfo& info = spec.Item(x);
+  std::vector<Versioned> states(info.dm_objects.size());
+  std::vector<std::uint8_t> found(info.dm_objects.size(), 0);
+  for (std::size_t i = 0; i < b.ComponentCount(); ++i) {
+    const auto* obj =
+        dynamic_cast<const txn::ReadWriteObject*>(&b.Component(i));
+    if (obj == nullptr) continue;
+    if (spec.ItemOfDm(obj->Object()) != x) continue;
+    const ReplicaId r = spec.ReplicaOf(obj->Object());
+    states[r] = std::get<Versioned>(obj->Data());
+    found[r] = 1;
+  }
+  for (std::uint8_t f : found) QCNT_CHECK_MSG(f, "missing DM automaton");
+  return states;
+}
+
+}  // namespace
+
+InvariantReport CheckLemmas(const ReplicatedSpec& spec, const ioa::System& b,
+                            const ioa::Schedule& beta) {
+  for (const ItemInfo& info : spec.Items()) {
+    const ItemId x = info.id;
+    const std::vector<Versioned> dms = DmStates(spec, b, x);
+    const std::uint64_t current_vn = CurrentVersion(spec, x, beta);
+
+    // Lemma 7: highest version among DM states == current-vn(x, β).
+    std::uint64_t highest = 0;
+    for (const Versioned& d : dms) highest = std::max(highest, d.version);
+    if (highest != current_vn) {
+      return {false, "Lemma 7 violated for " + info.name + ": highest DM vn " +
+                         std::to_string(highest) + " != current-vn " +
+                         std::to_string(current_vn)};
+    }
+
+    // Lemma 8 applies between logical operations.
+    const ioa::Schedule access = AccessSequence(spec, x, beta);
+    if (access.size() % 2 != 0) continue;
+    const Plain logical_state = LogicalState(spec, x, beta);
+
+    // 1a: some write-quorum entirely at current-vn.
+    bool quorum_current = false;
+    for (const quorum::Quorum& q : info.config.WriteQuorums()) {
+      bool all = true;
+      for (ReplicaId r : q) {
+        if (dms[r].version != current_vn) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        quorum_current = true;
+        break;
+      }
+    }
+    if (!quorum_current) {
+      return {false, "Lemma 8.1a violated for " + info.name +
+                         ": no write-quorum holds current-vn " +
+                         std::to_string(current_vn)};
+    }
+
+    // 1b: every DM at current-vn holds logical-state.
+    for (ReplicaId r = 0; r < dms.size(); ++r) {
+      if (dms[r].version == current_vn && !(dms[r].value == logical_state)) {
+        return {false, "Lemma 8.1b violated for " + info.name + ": DM " +
+                           std::to_string(r) + " at current-vn holds " +
+                           qcnt::ToString(dms[r].value) +
+                           ", expected logical-state " +
+                           qcnt::ToString(logical_state)};
+      }
+    }
+
+    // 2: a read-TM's REQUEST-COMMIT returns logical-state.
+    if (!beta.empty()) {
+      const ioa::Action& last = beta.back();
+      if (last.kind == ioa::ActionKind::kRequestCommit &&
+          spec.TmItem(last.txn) == x &&
+          info.write_values.count(last.txn) == 0) {
+        if (!(last.value == FromPlain(logical_state))) {
+          return {false, "Lemma 8.2 violated for " + info.name +
+                             ": read-TM returned " +
+                             qcnt::ToString(last.value) +
+                             ", expected logical-state " +
+                             qcnt::ToString(logical_state)};
+        }
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace qcnt::replication

@@ -1,0 +1,36 @@
+// Mechanized Lemma 7 and Lemma 8 (Section 3.1).
+//
+// Lemma 7: after any schedule β of B, the highest version number among the
+// states of the DMs in dm(x) equals current-vn(x, β).
+//
+// Lemma 8 (for β with access(x, β) of even length, i.e. between logical
+// operations):
+//   1a. some write-quorum q ∈ config(x).w has every DM in q holding version
+//       number current-vn(x, β);
+//   1b. every DM of x holding version number current-vn(x, β) holds value
+//       logical-state(x, β);
+//   2.  if β ends in REQUEST-COMMIT(T, v) with T a read-TM for x, then
+//       v = logical-state(x, β).
+//
+// CheckLemmas evaluates all applicable clauses against the *live* DM
+// automaton states of a running system B, so an Explorer observer can
+// assert them after every single step of a random execution.
+#pragma once
+
+#include "ioa/system.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+struct InvariantReport {
+  bool ok = true;
+  std::string message;
+};
+
+/// Check Lemma 7 and every applicable clause of Lemma 8 for all items,
+/// given system B in the state reached by β (b must be the composed system
+/// that actually executed β).
+InvariantReport CheckLemmas(const ReplicatedSpec& spec, const ioa::System& b,
+                            const ioa::Schedule& beta);
+
+}  // namespace qcnt::replication

@@ -1,0 +1,58 @@
+#include "replication/logical.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::replication {
+
+ioa::Schedule AccessSequence(const ReplicatedSpec& spec, ItemId x,
+                             const ioa::Schedule& beta) {
+  ioa::Schedule out;
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kCreate &&
+        a.kind != ioa::ActionKind::kRequestCommit) {
+      continue;
+    }
+    if (spec.TmItem(a.txn) == x) out.push_back(a);
+  }
+  return out;
+}
+
+Plain LogicalState(const ReplicatedSpec& spec, ItemId x,
+                   const ioa::Schedule& beta) {
+  const ItemInfo& info = spec.Item(x);
+  Plain state = info.initial;
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kRequestCommit) continue;
+    if (spec.TmItem(a.txn) != x) continue;
+    if (info.write_values.count(a.txn)) {
+      state = info.write_values.at(a.txn);
+    }
+  }
+  return state;
+}
+
+std::uint64_t CurrentVersion(const ReplicatedSpec& spec, ItemId x,
+                             const ioa::Schedule& beta) {
+  const ItemInfo& info = spec.Item(x);
+  const txn::SystemType& type = spec.Type();
+  // last(x, β): for each DM, the last write access with a REQUEST-COMMIT.
+  std::vector<std::uint64_t> last_vn(info.dm_objects.size(), 0);
+  std::vector<std::uint8_t> seen(info.dm_objects.size(), 0);
+  for (const ioa::Action& a : beta) {
+    if (a.kind != ioa::ActionKind::kRequestCommit) continue;
+    if (!spec.IsReplicaAccess(a.txn)) continue;
+    if (type.KindOf(a.txn) != txn::AccessKind::kWrite) continue;
+    const ObjectId obj = type.ObjectOf(a.txn);
+    if (spec.ItemOfDm(obj) != x) continue;
+    const ReplicaId r = spec.ReplicaOf(obj);
+    last_vn[r] = std::get<Versioned>(type.DataOf(a.txn)).version;
+    seen[r] = 1;
+  }
+  std::uint64_t current = 0;
+  for (std::size_t r = 0; r < last_vn.size(); ++r) {
+    if (seen[r]) current = std::max(current, last_vn[r]);
+  }
+  return current;
+}
+
+}  // namespace qcnt::replication

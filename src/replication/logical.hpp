@@ -1,0 +1,33 @@
+// Schedule-analysis functions of Section 3.1.
+//
+//   access(x, β)        — the subsequence of CREATE / REQUEST-COMMIT
+//                         operations for members of tm(x);
+//   logical-state(x, β) — value(T) of the last write-TM that request-
+//                         committed in access(x, β), or i_x if none;
+//   current-vn(x, β)    — the highest version number carried by the *last*
+//                         write access request-committed at each DM of x
+//                         (0 when no DM has committed a write access).
+//
+// These are definitions over schedules, not automata; the invariant
+// checkers (invariants.hpp) and the Lemma 8 property tests compare them
+// against live automaton state.
+#pragma once
+
+#include "ioa/action.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+/// access(x, β).
+ioa::Schedule AccessSequence(const ReplicatedSpec& spec, ItemId x,
+                             const ioa::Schedule& beta);
+
+/// logical-state(x, β).
+Plain LogicalState(const ReplicatedSpec& spec, ItemId x,
+                   const ioa::Schedule& beta);
+
+/// current-vn(x, β).
+std::uint64_t CurrentVersion(const ReplicatedSpec& spec, ItemId x,
+                             const ioa::Schedule& beta);
+
+}  // namespace qcnt::replication

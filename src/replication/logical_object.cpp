@@ -1,0 +1,69 @@
+#include "replication/logical_object.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::replication {
+
+LogicalObject::LogicalObject(const ReplicatedSpec& spec, ItemId item)
+    : spec_(&spec), item_(item) {
+  QCNT_CHECK(spec.Finalized());
+  Reset();
+}
+
+void LogicalObject::Reset() {
+  active_ = kNoTxn;
+  data_ = spec_->Item(item_).initial;
+}
+
+std::string LogicalObject::Name() const {
+  return "logical-object(" + spec_->Item(item_).name + ")";
+}
+
+bool LogicalObject::IsReadTm(TxnId t) const {
+  for (TxnId tm : spec_->Item(item_).read_tms) {
+    if (tm == t) return true;
+  }
+  return false;
+}
+
+bool LogicalObject::IsOperation(const ioa::Action& a) const {
+  if (a.kind != ioa::ActionKind::kCreate &&
+      a.kind != ioa::ActionKind::kRequestCommit) {
+    return false;
+  }
+  return spec_->TmItem(a.txn) == item_;
+}
+
+bool LogicalObject::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCommit && IsOperation(a);
+}
+
+bool LogicalObject::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind == ioa::ActionKind::kCreate) return true;  // input
+  if (active_ != a.txn) return false;
+  if (IsReadTm(a.txn)) return a.value == FromPlain(data_);
+  return IsNil(a.value);
+}
+
+void LogicalObject::Apply(const ioa::Action& a) {
+  if (a.kind == ioa::ActionKind::kCreate) {
+    active_ = a.txn;
+    return;
+  }
+  if (!IsReadTm(a.txn)) {
+    data_ = spec_->Item(item_).write_values.at(a.txn);
+  }
+  active_ = kNoTxn;
+}
+
+void LogicalObject::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (active_ == kNoTxn) return;
+  if (IsReadTm(active_)) {
+    out.push_back(ioa::RequestCommit(active_, FromPlain(data_)));
+  } else {
+    out.push_back(ioa::RequestCommit(active_, kNil));
+  }
+}
+
+}  // namespace qcnt::replication

@@ -1,0 +1,42 @@
+// The logical read-write object O(x) of system A (Section 3.2).
+//
+// In the non-replicated system each logical item x is implemented by a
+// single read-write object over domain V_x whose *accesses are the TM
+// names*: F_BA maps a read-TM to a read access and a write-TM T to a write
+// access with data value(T). Because our system A shares transaction names
+// with system B, this automaton simply treats the tm(x) ids as its access
+// set and implements ordinary read-write object semantics over Plain values.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+class LogicalObject : public ioa::Automaton {
+ public:
+  LogicalObject(const ReplicatedSpec& spec, ItemId item);
+
+  const Plain& Data() const { return data_; }
+  TxnId Active() const { return active_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  bool IsReadTm(TxnId t) const;
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  // State.
+  TxnId active_ = kNoTxn;
+  Plain data_;
+};
+
+}  // namespace qcnt::replication

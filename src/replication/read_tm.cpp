@@ -1,0 +1,121 @@
+#include "replication/read_tm.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::replication {
+
+namespace {
+std::uint64_t QuorumMask(const quorum::Quorum& q) {
+  std::uint64_t mask = 0;
+  for (ReplicaId r : q) {
+    QCNT_CHECK(r < 64);
+    mask |= 1ull << r;
+  }
+  return mask;
+}
+}  // namespace
+
+ReadTm::ReadTm(const ReplicatedSpec& spec, ItemId item, TxnId tm)
+    : spec_(&spec), item_(item), tm_(tm) {
+  QCNT_CHECK(spec.Finalized());
+  const ItemInfo& info = spec.Item(item);
+  const txn::SystemType& type = spec.Type();
+  initial_ = Versioned{0, info.initial};
+  for (TxnId child : type.Children(tm)) {
+    QCNT_CHECK(type.IsAccess(child) &&
+               type.KindOf(child) == txn::AccessKind::kRead);
+    kid_index_[child] = kids_.size();
+    kids_.push_back({child, spec.ReplicaOf(type.ObjectOf(child))});
+  }
+  for (const quorum::Quorum& q : info.config.ReadQuorums()) {
+    read_quorum_masks_.push_back(QuorumMask(q));
+  }
+  Reset();
+}
+
+void ReadTm::Reset() {
+  awake_ = false;
+  data_ = initial_;
+  requested_.assign(kids_.size(), 0);
+  read_ = 0;
+}
+
+std::string ReadTm::Name() const { return spec_->Type().Label(tm_); }
+
+bool ReadTm::HasReadQuorum() const {
+  for (std::uint64_t mask : read_quorum_masks_) {
+    if ((read_ & mask) == mask) return true;
+  }
+  return false;
+}
+
+bool ReadTm::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == tm_;
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return kid_index_.count(a.txn) != 0;
+  }
+  return false;
+}
+
+bool ReadTm::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool ReadTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !requested_[kid_index_.at(a.txn)];
+    case ioa::ActionKind::kRequestCommit:
+      // Preconditions: awake; some read-quorum ⊆ read; v = data.value.
+      return awake_ && HasReadQuorum() && a.value == FromPlain(data_.value);
+  }
+  return false;
+}
+
+void ReadTm::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_[kid_index_.at(a.txn)] = 1;
+      break;
+    case ioa::ActionKind::kCommit: {
+      // read(s) = read(s') ∪ {O(T')}; keep the highest-versioned data.
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      read_ |= 1ull << kid.replica;
+      if (const auto* d = std::get_if<Versioned>(&a.value)) {
+        if (d->version > data_.version) data_ = *d;
+      }
+      break;
+    }
+    case ioa::ActionKind::kAbort:
+      break;  // (no change) — the paper's postcondition is empty
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void ReadTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(kids_[i].txn));
+  }
+  if (HasReadQuorum()) {
+    out.push_back(ioa::RequestCommit(tm_, FromPlain(data_.value)));
+  }
+}
+
+}  // namespace qcnt::replication

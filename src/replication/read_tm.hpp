@@ -1,0 +1,63 @@
+// Read transaction managers (Section 3.1), transcribed from the paper.
+//
+// A read-TM T for item x performs a logical read: it invokes read accesses
+// on DMs for x, keeps the (version-number, value) pair with the highest
+// version seen, and once COMMITs have arrived from some read-quorum of DMs
+// it may request to commit with that value. State components: awake, data,
+// requested, read — with the paper's exact pre/postconditions, including
+// the deliberately vacuous ABORT postcondition ("it is not necessary for
+// correctness for the read-TM to remember which of its children aborted").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ioa/automaton.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+class ReadTm : public ioa::Automaton {
+ public:
+  ReadTm(const ReplicatedSpec& spec, ItemId item, TxnId tm);
+
+  TxnId Txn() const { return tm_; }
+  bool Awake() const { return awake_; }
+  const Versioned& Data() const { return data_; }
+  /// Bitmask of replicas in the `read` state component.
+  std::uint64_t ReadMask() const { return read_; }
+  /// Does `read` contain some read-quorum of config(x)?
+  bool HasReadQuorum() const;
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  struct Kid {
+    TxnId txn;
+    ReplicaId replica;
+  };
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId tm_;
+  std::vector<Kid> kids_;
+  std::unordered_map<TxnId, std::size_t> kid_index_;
+  /// Read-quorums of config(x) as replica bitmasks.
+  std::vector<std::uint64_t> read_quorum_masks_;
+  Versioned initial_;
+
+  // State (paper names).
+  bool awake_ = false;
+  Versioned data_;
+  std::vector<std::uint8_t> requested_;
+  std::uint64_t read_ = 0;
+};
+
+}  // namespace qcnt::replication

@@ -1,0 +1,299 @@
+#include "replication/spec.hpp"
+
+#include "common/check.hpp"
+#include "replication/coordinators.hpp"
+#include "replication/logical_object.hpp"
+#include "replication/read_tm.hpp"
+#include "replication/write_tm.hpp"
+#include "txn/read_write_object.hpp"
+#include "txn/serial_scheduler.hpp"
+
+namespace qcnt::replication {
+
+bool ItemInfo::IsTm(TxnId t) const {
+  for (TxnId tm : read_tms) {
+    if (tm == t) return true;
+  }
+  for (TxnId tm : write_tms) {
+    if (tm == t) return true;
+  }
+  return false;
+}
+
+ItemId ReplicatedSpec::AddItem(std::string name, ReplicaId replicas,
+                               quorum::Configuration config, Plain initial) {
+  QCNT_CHECK_MSG(config.IsLegal(), "configuration must be legal");
+  return AddItemUnchecked(std::move(name), replicas, std::move(config),
+                          std::move(initial));
+}
+
+ItemId ReplicatedSpec::AddItemUnchecked(std::string name, ReplicaId replicas,
+                                        quorum::Configuration config,
+                                        Plain initial) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(replicas >= 1);
+  QCNT_CHECK(!config.ReadQuorums().empty() && !config.WriteQuorums().empty());
+  QCNT_CHECK_MSG(config.UniverseSize() <= replicas,
+                 "quorums mention replica ids beyond the replica count");
+  ItemInfo info;
+  info.id = static_cast<ItemId>(items_.size());
+  info.name = std::move(name);
+  info.initial = std::move(initial);
+  info.config = std::move(config);
+  for (ReplicaId r = 0; r < replicas; ++r) {
+    const ObjectId obj =
+        type_.AddObject(info.name + ".dm" + std::to_string(r));
+    info.dm_objects.push_back(obj);
+    dm_of_object_[obj] = {info.id, r};
+  }
+  items_.push_back(std::move(info));
+  return items_.back().id;
+}
+
+TxnId ReplicatedSpec::AddTransaction(TxnId parent, std::string label) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem,
+                 "TMs may not have non-access children");
+  return type_.AddTransaction(parent, std::move(label));
+}
+
+TxnId ReplicatedSpec::AddReadTm(TxnId parent, ItemId item) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(item < items_.size());
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem, "TMs may not nest");
+  ItemInfo& info = items_[item];
+  const TxnId tm = type_.AddTransaction(
+      parent, "read-TM[" + info.name + "]#" +
+                  std::to_string(info.read_tms.size()));
+  info.read_tms.push_back(tm);
+  tm_item_[tm] = item;
+  return tm;
+}
+
+TxnId ReplicatedSpec::AddWriteTm(TxnId parent, ItemId item, Plain value) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(item < items_.size());
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem, "TMs may not nest");
+  ItemInfo& info = items_[item];
+  const TxnId tm = type_.AddTransaction(
+      parent, "write-TM[" + info.name + "=" + qcnt::ToString(value) + "]#" +
+                  std::to_string(info.write_tms.size()));
+  info.write_tms.push_back(tm);
+  info.write_values[tm] = std::move(value);
+  tm_item_[tm] = item;
+  return tm;
+}
+
+ObjectId ReplicatedSpec::AddPlainObject(std::string label, Plain initial) {
+  QCNT_CHECK(!finalized_);
+  const ObjectId obj = type_.AddObject(std::move(label));
+  plain_objects_.push_back({obj, std::move(initial)});
+  return obj;
+}
+
+TxnId ReplicatedSpec::AddPlainRead(TxnId parent, ObjectId object,
+                                   std::string label) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK_MSG(!dm_of_object_.count(object),
+                 "replica accesses are created by Finalize() only");
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem,
+                 "TMs access only their item's DMs");
+  return type_.AddReadAccess(parent, object, std::move(label));
+}
+
+TxnId ReplicatedSpec::AddPlainWrite(TxnId parent, ObjectId object,
+                                    Plain value, std::string label) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK_MSG(!dm_of_object_.count(object),
+                 "replica accesses are created by Finalize() only");
+  QCNT_CHECK_MSG(TmItem(parent) == kNoItem,
+                 "TMs access only their item's DMs");
+  return type_.AddWriteAccess(parent, object, FromPlain(value),
+                              std::move(label));
+}
+
+void ReplicatedSpec::Finalize(std::size_t read_attempts,
+                              std::size_t write_attempts) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(read_attempts >= 1 && write_attempts >= 1);
+  for (ItemInfo& info : items_) {
+    // The highest version number any execution can reach equals the number
+    // of write-TMs for the item (each completed logical write increments
+    // the current version by exactly one — Lemma 8).
+    const std::uint64_t max_vn = info.write_tms.size();
+
+    auto add_read_accesses = [&](TxnId tm) {
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::size_t k = 0; k < read_attempts; ++k) {
+          const TxnId acc = type_.AddReadAccess(
+              tm, info.dm_objects[r],
+              type_.Label(tm) + ".r" + std::to_string(r) + "." +
+                  std::to_string(k));
+          info.accesses.push_back(acc);
+          access_item_[acc] = info.id;
+        }
+      }
+    };
+
+    for (TxnId tm : info.read_tms) add_read_accesses(tm);
+    for (TxnId tm : info.write_tms) {
+      add_read_accesses(tm);
+      const Plain& value = info.write_values.at(tm);
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::uint64_t vn = 1; vn <= max_vn; ++vn) {
+          for (std::size_t k = 0; k < write_attempts; ++k) {
+            const TxnId acc = type_.AddWriteAccess(
+                tm, info.dm_objects[r], Value{Versioned{vn, value}},
+                type_.Label(tm) + ".w" + std::to_string(r) + ".v" +
+                    std::to_string(vn) + "." + std::to_string(k));
+            info.accesses.push_back(acc);
+            access_item_[acc] = info.id;
+          }
+        }
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+void ReplicatedSpec::FinalizeCoordinated(std::size_t read_attempts,
+                                         std::size_t write_attempts) {
+  QCNT_CHECK(!finalized_);
+  QCNT_CHECK(read_attempts >= 1 && write_attempts >= 1);
+  for (ItemInfo& info : items_) {
+    const std::uint64_t max_vn = info.write_tms.size();
+
+    auto add_read_coordinator = [&](TxnId tm) {
+      const TxnId coord =
+          type_.AddTransaction(tm, type_.Label(tm) + ".read-coord");
+      coordinator_item_[coord] = info.id;
+      tm_read_coord_[tm] = coord;
+      for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+        for (std::size_t k = 0; k < read_attempts; ++k) {
+          const TxnId acc = type_.AddReadAccess(
+              coord, info.dm_objects[r],
+              type_.Label(coord) + ".r" + std::to_string(r) + "." +
+                  std::to_string(k));
+          info.accesses.push_back(acc);
+          access_item_[acc] = info.id;
+        }
+      }
+    };
+
+    for (TxnId tm : info.read_tms) add_read_coordinator(tm);
+    for (TxnId tm : info.write_tms) {
+      add_read_coordinator(tm);
+      const Plain& value = info.write_values.at(tm);
+      std::vector<TxnId>& coords = tm_write_coords_[tm];
+      for (std::uint64_t vn = 1; vn <= max_vn; ++vn) {
+        const TxnId coord = type_.AddTransaction(
+            tm, type_.Label(tm) + ".write-coord.v" + std::to_string(vn));
+        coordinator_item_[coord] = info.id;
+        coords.push_back(coord);
+        for (ReplicaId r = 0; r < info.dm_objects.size(); ++r) {
+          for (std::size_t k = 0; k < write_attempts; ++k) {
+            const TxnId acc = type_.AddWriteAccess(
+                coord, info.dm_objects[r], Value{Versioned{vn, value}},
+                type_.Label(coord) + ".w" + std::to_string(r) + "." +
+                    std::to_string(k));
+            info.accesses.push_back(acc);
+            access_item_[acc] = info.id;
+          }
+        }
+      }
+    }
+  }
+  finalized_ = true;
+  coordinated_ = true;
+}
+
+bool ReplicatedSpec::IsCoordinator(TxnId t) const {
+  return coordinator_item_.count(t) != 0;
+}
+
+bool ReplicatedSpec::IsReplicationInternal(TxnId t) const {
+  return IsReplicaAccess(t) || IsCoordinator(t);
+}
+
+const ItemInfo& ReplicatedSpec::Item(ItemId x) const {
+  QCNT_CHECK(x < items_.size());
+  return items_[x];
+}
+
+bool ReplicatedSpec::IsReplicaAccess(TxnId t) const {
+  return access_item_.count(t) != 0;
+}
+
+ItemId ReplicatedSpec::TmItem(TxnId t) const {
+  auto it = tm_item_.find(t);
+  return it == tm_item_.end() ? kNoItem : it->second;
+}
+
+bool ReplicatedSpec::IsUserTransaction(TxnId t) const {
+  return t < type_.TxnCount() && !type_.IsAccess(t) &&
+         TmItem(t) == kNoItem && !IsCoordinator(t);
+}
+
+ReplicaId ReplicatedSpec::ReplicaOf(ObjectId dm_object) const {
+  auto it = dm_of_object_.find(dm_object);
+  QCNT_CHECK(it != dm_of_object_.end());
+  return it->second.second;
+}
+
+ItemId ReplicatedSpec::ItemOfDm(ObjectId dm_object) const {
+  auto it = dm_of_object_.find(dm_object);
+  return it == dm_of_object_.end() ? kNoItem : it->second.first;
+}
+
+ioa::System ReplicatedSpec::BuildSystemB() const {
+  QCNT_CHECK(finalized_);
+  ioa::System sys("system-B");
+  sys.Emplace<txn::SerialScheduler>(type_);
+  for (const ItemInfo& info : items_) {
+    for (ObjectId dm : info.dm_objects) {
+      // A DM for x is a read-write object over N × V_x with initial (0, i_x).
+      sys.Emplace<txn::ReadWriteObject>(type_, dm,
+                                        Value{Versioned{0, info.initial}});
+    }
+    if (coordinated_) {
+      for (TxnId tm : info.read_tms) {
+        const TxnId rc = tm_read_coord_.at(tm);
+        sys.Emplace<ReadCoordinator>(*this, info.id, rc);
+        sys.Emplace<CoordReadTm>(*this, info.id, tm, rc);
+      }
+      for (TxnId tm : info.write_tms) {
+        const TxnId rc = tm_read_coord_.at(tm);
+        sys.Emplace<ReadCoordinator>(*this, info.id, rc);
+        const std::vector<TxnId>& wcs = tm_write_coords_.at(tm);
+        for (TxnId wc : wcs) sys.Emplace<WriteCoordinator>(*this, info.id, wc);
+        sys.Emplace<CoordWriteTm>(*this, info.id, tm, rc, wcs);
+      }
+      continue;
+    }
+    for (TxnId tm : info.read_tms) {
+      sys.Emplace<ReadTm>(*this, info.id, tm);
+    }
+    for (TxnId tm : info.write_tms) {
+      sys.Emplace<WriteTm>(*this, info.id, tm);
+    }
+  }
+  for (const PlainObjectInfo& po : plain_objects_) {
+    sys.Emplace<txn::ReadWriteObject>(type_, po.object, FromPlain(po.initial));
+  }
+  return sys;
+}
+
+ioa::System ReplicatedSpec::BuildSystemA() const {
+  QCNT_CHECK(finalized_);
+  ioa::System sys("system-A");
+  sys.Emplace<txn::SerialScheduler>(type_);
+  for (const ItemInfo& info : items_) {
+    sys.Emplace<LogicalObject>(*this, info.id);
+  }
+  for (const PlainObjectInfo& po : plain_objects_) {
+    sys.Emplace<txn::ReadWriteObject>(type_, po.object, FromPlain(po.initial));
+  }
+  return sys;
+}
+
+}  // namespace qcnt::replication

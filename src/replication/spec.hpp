@@ -1,0 +1,159 @@
+// Replicated serial system specification and builders (Sections 3.1, 3.2).
+//
+// A ReplicatedSpec describes one instance of the paper's setup: a set I of
+// logical data items, each with its data managers dm(x), a legal
+// configuration config(x), and transaction managers tm_r(x) / tm_w(x); plus
+// arbitrary user transactions and non-replica objects. Finalize()
+// materializes the replica accesses acc(x) under every TM:
+//
+//   * a read-TM gets `read_attempts` read accesses per DM (multiple
+//     attempts model the paper's "invokes any number of accesses", and give
+//     a TM spare accesses when the scheduler aborts some);
+//   * a write-TM additionally gets `write_attempts` write accesses per DM
+//     *per possible version number*. Version numbers are part of an access's
+//     name (parameters distinguish transactions), and a run with W write-TMs
+//     on x can write versions 1..W only, so the materialized finite tree
+//     covers every reachable execution of the paper's infinite tree.
+//
+// After Finalize(), BuildSystemB() composes the replicated serial system B
+// (serial scheduler + DMs + TMs + non-replica objects) and BuildSystemA()
+// the corresponding non-replicated serial system A (serial scheduler +
+// one logical read-write object per item + the same non-replica objects).
+// Both use the *same* transaction names, so the paper's correspondence
+// mapping F_BA is the identity and Theorem 10's projection can be replayed
+// on A directly. User-transaction automata are added by the caller —
+// identically to both systems — via the helpers in theorem10.hpp or by hand.
+#pragma once
+
+#include <unordered_map>
+
+#include "ioa/system.hpp"
+#include "quorum/configuration.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::replication {
+
+/// Everything known about one logical data item x.
+struct ItemInfo {
+  ItemId id = kNoItem;
+  std::string name;
+  Plain initial;
+  quorum::Configuration config;
+  /// dm(x): basic-object ids of the replicas; index is the ReplicaId used
+  /// in config's quorums.
+  std::vector<ObjectId> dm_objects;
+  std::vector<TxnId> read_tms;
+  std::vector<TxnId> write_tms;
+  /// value(T) for each write-TM.
+  std::unordered_map<TxnId, Plain> write_values;
+  /// acc(x): every replica access (filled by Finalize()).
+  std::vector<TxnId> accesses;
+
+  bool IsTm(TxnId t) const;
+};
+
+class ReplicatedSpec {
+ public:
+  ReplicatedSpec() = default;
+
+  // --- declaration (before Finalize) ---------------------------------------
+
+  /// Declare logical item x with `replicas` DMs and a legal configuration
+  /// whose quorums range over replica ids 0..replicas-1.
+  ItemId AddItem(std::string name, ReplicaId replicas,
+                 quorum::Configuration config, Plain initial);
+
+  /// Fault-injection variant: skips the legality (quorum-intersection)
+  /// check. Exists so tests and the intersection-ablation bench can
+  /// demonstrate that Lemma 8 and Theorem 10 genuinely *depend* on the
+  /// intersection property — never use in real systems.
+  ItemId AddItemUnchecked(std::string name, ReplicaId replicas,
+                          quorum::Configuration config, Plain initial);
+
+  /// Add a non-access user transaction.
+  TxnId AddTransaction(TxnId parent, std::string label = {});
+
+  /// Add a read-TM / write-TM for item under a user transaction.
+  TxnId AddReadTm(TxnId parent, ItemId item);
+  TxnId AddWriteTm(TxnId parent, ItemId item, Plain value);
+
+  /// Non-replica objects and accesses (the a, b accesses of Figure 1).
+  ObjectId AddPlainObject(std::string label, Plain initial);
+  TxnId AddPlainRead(TxnId parent, ObjectId object, std::string label = {});
+  TxnId AddPlainWrite(TxnId parent, ObjectId object, Plain value,
+                      std::string label = {});
+
+  /// Materialize replica accesses. Must be called exactly once, after all
+  /// declarations and before building systems.
+  void Finalize(std::size_t read_attempts = 1, std::size_t write_attempts = 1);
+
+  /// Coordinated materialization (the paper's extra nesting level): each
+  /// TM gets coordinator subtransactions, and the replica accesses hang
+  /// under the coordinators — a read coordinator per TM plus, for write
+  /// TMs, one write coordinator per reachable version. BuildSystemB then
+  /// composes the coordinated automata; system A is unchanged.
+  void FinalizeCoordinated(std::size_t read_attempts = 1,
+                           std::size_t write_attempts = 1);
+
+  /// Was FinalizeCoordinated used?
+  bool Coordinated() const { return coordinated_; }
+  /// Is t a coordinator subtransaction?
+  bool IsCoordinator(TxnId t) const;
+  /// Part of the replication machinery (coordinator or replica access) —
+  /// exactly what the Theorem-10 projection deletes.
+  bool IsReplicationInternal(TxnId t) const;
+
+  // --- queries (after Finalize) ---------------------------------------------
+
+  const txn::SystemType& Type() const { return type_; }
+  const std::vector<ItemInfo>& Items() const { return items_; }
+  const ItemInfo& Item(ItemId x) const;
+  bool Finalized() const { return finalized_; }
+
+  /// Is t a replica access (member of acc(x) for some x)?
+  bool IsReplicaAccess(TxnId t) const;
+  /// Is t a TM (member of tm(x) for some x)? Returns the item or kNoItem.
+  ItemId TmItem(TxnId t) const;
+  /// User transactions: non-access transactions that are not TMs.
+  bool IsUserTransaction(TxnId t) const;
+
+  /// Replica id of a DM object within its item.
+  ReplicaId ReplicaOf(ObjectId dm_object) const;
+  /// Item owning a DM object, or kNoItem.
+  ItemId ItemOfDm(ObjectId dm_object) const;
+
+  // --- system construction ---------------------------------------------------
+
+  /// Replicated serial system B: serial scheduler, one DM read-write object
+  /// per replica, read-/write-TM automata, and non-replica objects. User
+  /// transaction automata must be added by the caller.
+  ioa::System BuildSystemB() const;
+
+  /// Non-replicated serial system A (Section 3.2): serial scheduler, one
+  /// logical read-write object per item (whose accesses are the TM names),
+  /// and the same non-replica objects.
+  ioa::System BuildSystemA() const;
+
+ private:
+  struct PlainObjectInfo {
+    ObjectId object;
+    Plain initial;
+  };
+
+  txn::SystemType type_;
+  std::vector<ItemInfo> items_;
+  std::vector<PlainObjectInfo> plain_objects_;
+  /// txn -> item for TMs; txn -> item for replica accesses.
+  std::unordered_map<TxnId, ItemId> tm_item_;
+  std::unordered_map<TxnId, ItemId> access_item_;
+  /// dm object -> (item, replica).
+  std::unordered_map<ObjectId, std::pair<ItemId, ReplicaId>> dm_of_object_;
+  /// Coordinated-mode bookkeeping.
+  std::unordered_map<TxnId, ItemId> coordinator_item_;
+  std::unordered_map<TxnId, TxnId> tm_read_coord_;
+  std::unordered_map<TxnId, std::vector<TxnId>> tm_write_coords_;
+  bool finalized_ = false;
+  bool coordinated_ = false;
+};
+
+}  // namespace qcnt::replication

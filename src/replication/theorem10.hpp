@@ -1,0 +1,46 @@
+// Theorem 10: the replicated serial system B simulates the non-replicated
+// serial system A.
+//
+// The proof's construction is executable: given a schedule β of B, delete
+// every operation of every replica access; the result α must be a schedule
+// of A, must agree with β at every non-DM object, and must give every user
+// transaction exactly the same local schedule. CheckTheorem10 performs the
+// construction and validates all three conditions by replaying α against a
+// freshly built system A (with the same user-transaction automata as B).
+#pragma once
+
+#include <functional>
+
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+/// Adds the user-transaction automata (for T0 and every user transaction)
+/// to a system under construction. The same factory must be used for B and
+/// A so that the two systems share primitives outside the replication layer.
+using UserAutomataFactory = std::function<void(ioa::System&)>;
+
+/// Compose system B / system A including user automata.
+ioa::System BuildB(const ReplicatedSpec& spec,
+                   const UserAutomataFactory& users);
+ioa::System BuildA(const ReplicatedSpec& spec,
+                   const UserAutomataFactory& users);
+
+/// The construction from the proof of Theorem 10: remove all REQUEST-CREATE,
+/// CREATE, REQUEST-COMMIT, COMMIT and ABORT operations of replica accesses.
+ioa::Schedule ProjectOutReplicaAccesses(const ReplicatedSpec& spec,
+                                        const ioa::Schedule& beta);
+
+struct Theorem10Result {
+  bool ok = true;
+  std::string message;
+  /// The constructed candidate schedule of A.
+  ioa::Schedule alpha;
+};
+
+/// Validate Theorem 10 for one schedule β of B.
+Theorem10Result CheckTheorem10(const ReplicatedSpec& spec,
+                               const UserAutomataFactory& users,
+                               const ioa::Schedule& beta);
+
+}  // namespace qcnt::replication

@@ -1,0 +1,169 @@
+#include "replication/write_tm.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::replication {
+
+namespace {
+std::uint64_t QuorumMask(const quorum::Quorum& q) {
+  std::uint64_t mask = 0;
+  for (ReplicaId r : q) {
+    QCNT_CHECK(r < 64);
+    mask |= 1ull << r;
+  }
+  return mask;
+}
+}  // namespace
+
+WriteTm::WriteTm(const ReplicatedSpec& spec, ItemId item, TxnId tm)
+    : spec_(&spec), item_(item), tm_(tm) {
+  QCNT_CHECK(spec.Finalized());
+  const ItemInfo& info = spec.Item(item);
+  const txn::SystemType& type = spec.Type();
+  value_ = info.write_values.at(tm);
+  data_ = Versioned{0, std::monostate{}};
+  for (TxnId child : type.Children(tm)) {
+    QCNT_CHECK(type.IsAccess(child));
+    Kid kid;
+    kid.txn = child;
+    kid.replica = spec.ReplicaOf(type.ObjectOf(child));
+    kid.is_write = type.KindOf(child) == txn::AccessKind::kWrite;
+    kid.version = 0;
+    if (kid.is_write) {
+      const auto& data = std::get<Versioned>(type.DataOf(child));
+      QCNT_CHECK_MSG(data.value == value_,
+                     "write accesses must carry value(T)");
+      kid.version = data.version;
+    }
+    kid_index_[child] = kids_.size();
+    kids_.push_back(kid);
+  }
+  for (const quorum::Quorum& q : info.config.ReadQuorums()) {
+    read_quorum_masks_.push_back(QuorumMask(q));
+  }
+  for (const quorum::Quorum& q : info.config.WriteQuorums()) {
+    write_quorum_masks_.push_back(QuorumMask(q));
+  }
+  Reset();
+}
+
+void WriteTm::Reset() {
+  awake_ = false;
+  data_ = Versioned{0, std::monostate{}};
+  requested_.assign(kids_.size(), 0);
+  write_requested_count_ = 0;
+  read_ = 0;
+  written_ = 0;
+}
+
+std::string WriteTm::Name() const { return spec_->Type().Label(tm_); }
+
+bool WriteTm::HasReadQuorum() const {
+  for (std::uint64_t mask : read_quorum_masks_) {
+    if ((read_ & mask) == mask) return true;
+  }
+  return false;
+}
+
+bool WriteTm::HasWriteQuorum() const {
+  for (std::uint64_t mask : write_quorum_masks_) {
+    if ((written_ & mask) == mask) return true;
+  }
+  return false;
+}
+
+bool WriteTm::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == tm_;
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return kid_index_.count(a.txn) != 0;
+  }
+  return false;
+}
+
+bool WriteTm::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool WriteTm::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      if (!awake_ || requested_[kid_index_.at(a.txn)]) return false;
+      if (!kid.is_write) return true;
+      // Write access preconditions: a read-quorum has been read and the
+      // access carries d = (data.version-number + 1, value(T)).
+      return HasReadQuorum() && kid.version == NextVersion();
+    }
+    case ioa::ActionKind::kRequestCommit:
+      // Preconditions: awake; v = nil; some write-quorum ⊆ written.
+      return awake_ && IsNil(a.value) && HasWriteQuorum();
+  }
+  return false;
+}
+
+void WriteTm::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate: {
+      const std::size_t i = kid_index_.at(a.txn);
+      if (!requested_[i]) {
+        requested_[i] = 1;
+        if (kids_[i].is_write) ++write_requested_count_;
+      }
+      break;
+    }
+    case ioa::ActionKind::kCommit: {
+      const Kid& kid = kids_[kid_index_.at(a.txn)];
+      if (kid.is_write) {
+        written_ |= 1ull << kid.replica;
+      } else if (write_requested_count_ == 0) {
+        // Read COMMITs are ignored once writes have been invoked, so the TM
+        // never counts its own writes toward version discovery.
+        read_ |= 1ull << kid.replica;
+        if (const auto* d = std::get_if<Versioned>(&a.value)) {
+          if (d->version > data_.version) data_.version = d->version;
+        }
+      }
+      break;
+    }
+    case ioa::ActionKind::kAbort:
+      break;  // (no change)
+    case ioa::ActionKind::kRequestCommit:
+      awake_ = false;
+      break;
+  }
+}
+
+void WriteTm::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_) return;
+  const bool read_quorum = HasReadQuorum();
+  for (std::size_t i = 0; i < kids_.size(); ++i) {
+    if (requested_[i]) continue;
+    const Kid& kid = kids_[i];
+    if (kid.is_write) {
+      if (read_quorum && kid.version == NextVersion()) {
+        out.push_back(ioa::RequestCreate(kid.txn));
+      }
+    } else {
+      out.push_back(ioa::RequestCreate(kid.txn));
+    }
+  }
+  if (HasWriteQuorum()) {
+    out.push_back(ioa::RequestCommit(tm_, kNil));
+  }
+}
+
+}  // namespace qcnt::replication

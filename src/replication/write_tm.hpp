@@ -1,0 +1,79 @@
+// Write transaction managers (Section 3.1), transcribed from the paper.
+//
+// A write-TM T for item x with associated value(T) performs a logical
+// write: it first invokes read accesses until COMMITs from some read-quorum
+// have arrived (version discovery), then invokes write accesses carrying
+// (data.version-number + 1, value(T)), and may request to commit (with nil)
+// once COMMITs from some write-quorum of DMs have arrived.
+//
+// Two subtleties from the paper are preserved exactly:
+//   * a read COMMIT updates the TM's state only while write-requested = {},
+//     so the TM never "sees the data it wrote and incorrectly increases its
+//     version-number";
+//   * only the *version-number* of a read COMMIT is recorded — the value
+//     component of the TM's data is never consulted for a write.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ioa/automaton.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+
+class WriteTm : public ioa::Automaton {
+ public:
+  WriteTm(const ReplicatedSpec& spec, ItemId item, TxnId tm);
+
+  TxnId Txn() const { return tm_; }
+  bool Awake() const { return awake_; }
+  /// Only the version component is meaningful (see header comment).
+  const Versioned& Data() const { return data_; }
+  std::uint64_t ReadMask() const { return read_; }
+  std::uint64_t WrittenMask() const { return written_; }
+  bool HasReadQuorum() const;
+  bool HasWriteQuorum() const;
+  /// Has any write access been requested yet?
+  bool WriteRequested() const { return write_requested_count_ > 0; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  struct Kid {
+    TxnId txn;
+    ReplicaId replica;
+    bool is_write;
+    std::uint64_t version;  // for write kids: the version the access writes
+  };
+
+  /// The data a write access must carry to be requestable now.
+  std::uint64_t NextVersion() const { return data_.version + 1; }
+
+  const ReplicatedSpec* spec_;
+  ItemId item_;
+  TxnId tm_;
+  Plain value_;  // value(T)
+  std::vector<Kid> kids_;
+  std::unordered_map<TxnId, std::size_t> kid_index_;
+  std::vector<std::uint64_t> read_quorum_masks_;
+  std::vector<std::uint64_t> write_quorum_masks_;
+
+  // State (paper names: awake, data, read-requested, write-requested,
+  // read, written).
+  bool awake_ = false;
+  Versioned data_;
+  std::vector<std::uint8_t> requested_;
+  std::size_t write_requested_count_ = 0;
+  std::uint64_t read_ = 0;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace qcnt::replication

@@ -1,0 +1,35 @@
+#include "runtime/bus.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::runtime {
+
+Bus::Bus(std::size_t nodes) : up_(nodes) {
+  QCNT_CHECK(nodes >= 1);
+  mailboxes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    up_[i].store(true);
+  }
+}
+
+Mailbox& Bus::MailboxOf(NodeId node) {
+  QCNT_CHECK(node < mailboxes_.size());
+  return *mailboxes_[node];
+}
+
+void Bus::Send(NodeId from, NodeId to, RtMessage msg) {
+  QCNT_CHECK(from < mailboxes_.size() && to < mailboxes_.size());
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!up_[from].load() || !up_[to].load()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  mailboxes_[to]->Push(Envelope{from, std::move(msg)});
+}
+
+void Bus::CloseAll() {
+  for (auto& mb : mailboxes_) mb->Close();
+}
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,42 @@
+// In-process message bus: one mailbox per node, crash/recover simulation.
+//
+// Sends to crashed nodes are silently dropped, as are sends *from* crashed
+// nodes, so a crashed replica is indistinguishable from a network-isolated
+// one — which is exactly the failure model quorum consensus tolerates.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace qcnt::runtime {
+
+class Bus {
+ public:
+  explicit Bus(std::size_t nodes);
+
+  std::size_t NodeCount() const { return mailboxes_.size(); }
+  Mailbox& MailboxOf(NodeId node);
+
+  void Send(NodeId from, NodeId to, RtMessage msg);
+
+  void Crash(NodeId node) { up_[node].store(false); }
+  void Recover(NodeId node) { up_[node].store(true); }
+  bool IsUp(NodeId node) const { return up_[node].load(); }
+
+  std::uint64_t MessagesSent() const { return sent_.load(); }
+  std::uint64_t MessagesDropped() const { return dropped_.load(); }
+
+  /// Close every mailbox (shutdown).
+  void CloseAll();
+
+ private:
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::atomic<bool>> up_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace qcnt::runtime

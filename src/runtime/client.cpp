@@ -1,0 +1,204 @@
+#include "runtime/client.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace qcnt::runtime {
+
+namespace {
+std::chrono::microseconds Since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+}
+}  // namespace
+
+QuorumClient::QuorumClient(Bus& bus, NodeId id,
+                           std::vector<quorum::QuorumSystem> configs,
+                           std::uint32_t initial_config, Options options)
+    : bus_(&bus),
+      id_(id),
+      configs_(std::move(configs)),
+      options_(options),
+      config_id_(initial_config) {
+  QCNT_CHECK(initial_config < configs_.size());
+  QCNT_CHECK(id >= ReplicaCount());
+}
+
+QuorumClient::QuorumClient(Bus& bus, NodeId id,
+                           std::vector<quorum::QuorumSystem> configs,
+                           std::uint32_t initial_config)
+    : QuorumClient(bus, id, std::move(configs), initial_config, Options{}) {}
+
+void QuorumClient::BroadcastToReplicas(const RtMessage& m) {
+  for (NodeId r = 0; r < ReplicaCount(); ++r) bus_->Send(id_, r, m);
+}
+
+QuorumClient::ReadPhase QuorumClient::RunReadPhase(
+    const std::string& key, std::uint64_t op,
+    std::chrono::steady_clock::time_point deadline) {
+  RtMessage req;
+  req.kind = RtMessage::Kind::kReadReq;
+  req.op = op;
+  req.key = key;
+  BroadcastToReplicas(req);
+
+  ReadPhase phase;
+  phase.best_config = config_id_;
+  phase.best_generation = generation_;
+  std::uint64_t responded = 0;
+  std::array<std::uint64_t, 64> versions{};
+  while (!phase.ok) {
+    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+    if (!e) break;  // timeout or shutdown
+    const RtMessage& m = e->msg;
+    if (m.op != op || m.kind != RtMessage::Kind::kReadResp) continue;
+    const std::uint64_t bit = 1ull << e->from;
+    const bool first = responded == 0;
+    responded |= bit;
+    versions[e->from] = m.version;
+    if (first || m.version > phase.best_version ||
+        (m.version == phase.best_version && m.value > phase.best_value)) {
+      phase.best_version = m.version;
+      phase.best_value = m.value;
+    }
+    if (m.generation > phase.best_generation) {
+      phase.best_generation = m.generation;
+      phase.best_config = m.config_id;
+    }
+    if (m.generation > generation_) {
+      generation_ = m.generation;
+      config_id_ = m.config_id;
+    }
+    if (configs_[phase.best_config].has_read(responded)) phase.ok = true;
+  }
+  for (NodeId r = 0; r < ReplicaCount(); ++r) {
+    if ((responded & (1ull << r)) && versions[r] < phase.best_version) {
+      phase.stale |= 1ull << r;
+    }
+  }
+  return phase;
+}
+
+ClientResult QuorumClient::Read(const std::string& key) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + options_.timeout;
+  const std::uint64_t op = next_op_++;
+  const ReadPhase phase = RunReadPhase(key, op, deadline);
+  if (options_.read_repair && phase.ok && phase.stale != 0) {
+    // Fire-and-forget: install the freshest pair at lagging replicas. The
+    // acks will arrive under this op id and be discarded as stale traffic
+    // by later operations' filters.
+    RtMessage repair;
+    repair.kind = RtMessage::Kind::kWriteReq;
+    repair.op = op;
+    repair.key = key;
+    repair.version = phase.best_version;
+    repair.value = phase.best_value;
+    for (NodeId r = 0; r < ReplicaCount(); ++r) {
+      if (phase.stale & (1ull << r)) {
+        bus_->Send(id_, r, repair);
+        ++repairs_issued_;
+      }
+    }
+  }
+  ClientResult result;
+  result.ok = phase.ok;
+  result.value = phase.best_value;
+  result.latency = Since(t0);
+  return result;
+}
+
+ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + options_.timeout;
+  const std::uint64_t op = next_op_++;
+  ClientResult result;
+
+  const ReadPhase phase = RunReadPhase(key, op, deadline);
+  if (!phase.ok) {
+    result.latency = Since(t0);
+    return result;
+  }
+
+  RtMessage w;
+  w.kind = RtMessage::Kind::kWriteReq;
+  w.op = op;
+  w.key = key;
+  w.version = phase.best_version + 1;
+  w.value = value;
+  BroadcastToReplicas(w);
+
+  std::uint64_t acked = 0;
+  while (!configs_[phase.best_config].has_write(acked)) {
+    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+    if (!e) {
+      result.latency = Since(t0);
+      return result;  // timeout
+    }
+    if (e->msg.op != op || e->msg.kind != RtMessage::Kind::kWriteAck) {
+      continue;
+    }
+    acked |= 1ull << e->from;
+  }
+  result.ok = true;
+  result.value = value;
+  result.latency = Since(t0);
+  return result;
+}
+
+ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
+  QCNT_CHECK(target < configs_.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + options_.timeout;
+  const std::uint64_t op = next_op_++;
+  ClientResult result;
+
+  // The stamp is store-wide; the read phase runs on a distinguished key so
+  // version discovery still exercises a read quorum of the old config.
+  const ReadPhase phase = RunReadPhase("", op, deadline);
+  if (!phase.ok) {
+    result.latency = Since(t0);
+    return result;
+  }
+
+  RtMessage data;
+  data.kind = RtMessage::Kind::kWriteReq;
+  data.op = op;
+  data.key = "";
+  data.version = phase.best_version;
+  data.value = phase.best_value;
+  BroadcastToReplicas(data);
+
+  RtMessage cfg;
+  cfg.kind = RtMessage::Kind::kConfigWriteReq;
+  cfg.op = op;
+  cfg.generation = phase.best_generation + 1;
+  cfg.config_id = target;
+  BroadcastToReplicas(cfg);
+
+  std::uint64_t data_acked = 0, cfg_acked = 0;
+  while (!(configs_[target].has_write(data_acked) &&
+           configs_[phase.best_config].has_write(cfg_acked))) {
+    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+    if (!e) {
+      result.latency = Since(t0);
+      return result;
+    }
+    if (e->msg.op != op) continue;
+    if (e->msg.kind == RtMessage::Kind::kWriteAck) {
+      data_acked |= 1ull << e->from;
+    } else if (e->msg.kind == RtMessage::Kind::kConfigWriteAck) {
+      cfg_acked |= 1ull << e->from;
+    }
+  }
+  if (phase.best_generation + 1 > generation_) {
+    generation_ = phase.best_generation + 1;
+    config_id_ = target;
+  }
+  result.ok = true;
+  result.latency = Since(t0);
+  return result;
+}
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,82 @@
+// Blocking quorum client.
+//
+// One client per thread; each logical operation runs the two-phase quorum
+// protocol synchronously against the client's own mailbox. Operation ids
+// disambiguate stale responses from timed-out earlier operations.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+#include "quorum/strategies.hpp"
+#include "runtime/bus.hpp"
+
+namespace qcnt::runtime {
+
+struct ClientResult {
+  bool ok = false;
+  std::int64_t value = 0;
+  std::chrono::microseconds latency{0};
+};
+
+class QuorumClient {
+ public:
+  struct Options {
+    std::chrono::milliseconds timeout{1000};
+    /// After a read quorum completes, asynchronously write the freshest
+    /// (version, value) back to any responding replica that returned a
+    /// stale version (Gifford-style read repair). Repairs are fire-and-
+    /// forget; they never delay the read.
+    bool read_repair = false;
+  };
+
+  /// `configs` is the static table of installable configurations (shared
+  /// with every client); initial_config is in force at generation 0.
+  /// Replicas are nodes [0, configs[...].n); this client is node `id`.
+  QuorumClient(Bus& bus, NodeId id,
+               std::vector<quorum::QuorumSystem> configs,
+               std::uint32_t initial_config, Options options);
+  QuorumClient(Bus& bus, NodeId id,
+               std::vector<quorum::QuorumSystem> configs,
+               std::uint32_t initial_config);
+
+  std::uint32_t BelievedConfig() const { return config_id_; }
+
+  /// Logical read: read-quorum collection, freshest value wins.
+  ClientResult Read(const std::string& key);
+  /// Logical write: version discovery then write-quorum installation.
+  ClientResult Write(const std::string& key, std::int64_t value);
+  /// Gifford reconfiguration to configs[target].
+  ClientResult Reconfigure(std::uint32_t target);
+
+  /// Number of read-repair write-backs issued so far.
+  std::uint64_t RepairsIssued() const { return repairs_issued_; }
+
+ private:
+  struct ReadPhase {
+    bool ok = false;
+    std::uint64_t best_version = 0;
+    std::int64_t best_value = 0;
+    std::uint64_t best_generation = 0;
+    std::uint32_t best_config = 0;
+    /// Bitmask of responders whose version lagged best_version.
+    std::uint64_t stale = 0;
+  };
+
+  std::uint32_t ReplicaCount() const { return configs_.front().n; }
+  void BroadcastToReplicas(const RtMessage& m);
+  /// Run the read phase for `key` under the current deadline.
+  ReadPhase RunReadPhase(const std::string& key, std::uint64_t op,
+                         std::chrono::steady_clock::time_point deadline);
+
+  Bus* bus_;
+  NodeId id_;
+  std::vector<quorum::QuorumSystem> configs_;
+  Options options_;
+  std::uint32_t config_id_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_op_ = 1;
+  std::uint64_t repairs_issued_ = 0;
+};
+
+}  // namespace qcnt::runtime

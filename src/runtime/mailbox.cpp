@@ -1,0 +1,47 @@
+#include "runtime/mailbox.hpp"
+
+namespace qcnt::runtime {
+
+void Mailbox::Push(Envelope e) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    queue_.push_back(std::move(e));
+  }
+  cv_.notify_one();
+}
+
+std::optional<Envelope> Mailbox::Pop(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, deadline,
+                 [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Envelope e = std::move(queue_.front());
+  queue_.pop_front();
+  return e;
+}
+
+std::optional<Envelope> Mailbox::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Envelope e = std::move(queue_.front());
+  queue_.pop_front();
+  return e;
+}
+
+void Mailbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,40 @@
+// A blocking MPSC mailbox.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/message.hpp"
+
+namespace qcnt::runtime {
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void Push(Envelope e);
+
+  /// Block until a message arrives or the deadline passes; nullopt on
+  /// timeout or when the mailbox is closed and drained.
+  std::optional<Envelope> Pop(std::chrono::steady_clock::time_point deadline);
+
+  /// Block indefinitely; nullopt only when closed and drained.
+  std::optional<Envelope> Pop();
+
+  /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
+  void Close();
+
+  std::size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,41 @@
+// Wire messages of the threaded runtime.
+//
+// The runtime is the deployable counterpart of the verified automaton
+// layer: real threads, real mailboxes, the same quorum protocol. Messages
+// are small value types; the key is carried as a string so the store is
+// multi-item (each key is an independent logical data item with its own
+// version number, exactly as items are independent in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qcnt::runtime {
+
+using NodeId = std::uint32_t;
+
+struct RtMessage {
+  enum class Kind : std::uint8_t {
+    kReadReq,
+    kReadResp,
+    kWriteReq,
+    kWriteAck,
+    kConfigWriteReq,
+    kConfigWriteAck,
+    kShutdown,  // internal: stop a server loop
+  };
+  Kind kind = Kind::kReadReq;
+  std::uint64_t op = 0;
+  std::string key;
+  std::uint64_t version = 0;
+  std::int64_t value = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t config_id = 0;
+};
+
+struct Envelope {
+  NodeId from = 0;
+  RtMessage msg;
+};
+
+}  // namespace qcnt::runtime

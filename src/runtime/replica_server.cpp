@@ -1,0 +1,72 @@
+#include "runtime/replica_server.hpp"
+
+namespace qcnt::runtime {
+
+ReplicaServer::ReplicaServer(Bus& bus, NodeId id) : bus_(&bus), id_(id) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+ReplicaServer::~ReplicaServer() { Shutdown(); }
+
+void ReplicaServer::Shutdown() {
+  if (!thread_.joinable()) return;
+  // Push directly: the bus would drop the message if this node is
+  // "crashed", but shutdown must always get through.
+  bus_->MailboxOf(id_).Push(
+      Envelope{id_, RtMessage{RtMessage::Kind::kShutdown, 0, {}, 0, 0, 0, 0}});
+  thread_.join();
+}
+
+void ReplicaServer::Loop() {
+  for (;;) {
+    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop();
+    if (!e) return;                                      // mailbox closed
+    if (e->msg.kind == RtMessage::Kind::kShutdown) return;
+    Handle(*e);
+  }
+}
+
+void ReplicaServer::Handle(const Envelope& e) {
+  const RtMessage& m = e.msg;
+  RtMessage reply;
+  reply.op = m.op;
+  reply.key = m.key;
+  switch (m.kind) {
+    case RtMessage::Kind::kReadReq: {
+      const Versioned& v = data_[m.key];
+      reply.kind = RtMessage::Kind::kReadResp;
+      reply.version = v.version;
+      reply.value = v.value;
+      reply.generation = generation_;
+      reply.config_id = config_id_;
+      break;
+    }
+    case RtMessage::Kind::kWriteReq: {
+      Versioned& v = data_[m.key];
+      // (version, value) is a total order: concurrent writers that race to
+      // the same version converge deterministically (the verified automaton
+      // layer shows a concurrency-control layer prevents such races; the
+      // runtime stays safe without one).
+      if (m.version > v.version ||
+          (m.version == v.version && m.value >= v.value)) {
+        v.version = m.version;
+        v.value = m.value;
+      }
+      reply.kind = RtMessage::Kind::kWriteAck;
+      break;
+    }
+    case RtMessage::Kind::kConfigWriteReq: {
+      if (m.generation >= generation_) {
+        generation_ = m.generation;
+        config_id_ = m.config_id;
+      }
+      reply.kind = RtMessage::Kind::kConfigWriteAck;
+      break;
+    }
+    default:
+      return;
+  }
+  bus_->Send(id_, e.from, std::move(reply));
+}
+
+}  // namespace qcnt::runtime

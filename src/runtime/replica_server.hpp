@@ -1,0 +1,47 @@
+// Replica server: one thread per replica, owning the replica's state.
+//
+// The state per key is a (version, value) pair — a Section-3 DM — plus one
+// store-wide (generation, configuration) stamp for Section-4
+// reconfiguration. The server loop pops a request, applies it, and replies;
+// a kShutdown message ends the loop.
+#pragma once
+
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/bus.hpp"
+
+namespace qcnt::runtime {
+
+class ReplicaServer {
+ public:
+  /// Starts the server thread immediately.
+  ReplicaServer(Bus& bus, NodeId id);
+  ~ReplicaServer();
+
+  ReplicaServer(const ReplicaServer&) = delete;
+  ReplicaServer& operator=(const ReplicaServer&) = delete;
+
+  NodeId Id() const { return id_; }
+
+  /// Ask the loop to exit and join the thread.
+  void Shutdown();
+
+ private:
+  struct Versioned {
+    std::uint64_t version = 0;
+    std::int64_t value = 0;
+  };
+
+  void Loop();
+  void Handle(const Envelope& e);
+
+  Bus* bus_;
+  NodeId id_;
+  std::unordered_map<std::string, Versioned> data_;
+  std::uint64_t generation_ = 0;
+  std::uint32_t config_id_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,65 @@
+#include "runtime/store.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::runtime {
+
+namespace {
+StoreOptions Normalize(StoreOptions options) {
+  QCNT_CHECK(options.replicas >= 1 && options.replicas <= 63);
+  QCNT_CHECK(options.max_clients >= 1);
+  if (options.configs.empty()) {
+    options.configs.push_back(
+        quorum::MajoritySystem(static_cast<ReplicaId>(options.replicas)));
+    options.initial_config = 0;
+  }
+  QCNT_CHECK(options.initial_config < options.configs.size());
+  QCNT_CHECK_MSG(options.configs.front().n == options.replicas,
+                 "the first configuration fixes the replica universe");
+  for (const quorum::QuorumSystem& s : options.configs) {
+    QCNT_CHECK_MSG(s.n <= options.replicas,
+                   "configurations may not mention unknown replicas");
+  }
+  return options;
+}
+}  // namespace
+
+ReplicatedStore::ReplicatedStore(StoreOptions options)
+    : options_(Normalize(std::move(options))),
+      bus_(options_.replicas + options_.max_clients) {
+  for (std::size_t r = 0; r < options_.replicas; ++r) {
+    replicas_.push_back(
+        std::make_unique<ReplicaServer>(bus_, static_cast<NodeId>(r)));
+  }
+}
+
+ReplicatedStore::~ReplicatedStore() {
+  for (auto& r : replicas_) r->Shutdown();
+  bus_.CloseAll();
+}
+
+std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
+  QCNT_CHECK_MSG(next_client_ < options_.max_clients,
+                 "client limit reached; raise StoreOptions::max_clients");
+  const NodeId id =
+      static_cast<NodeId>(options_.replicas + next_client_++);
+  return std::make_unique<QuorumClient>(bus_, id, options_.configs,
+                                        options_.initial_config,
+                                        options_.client_options);
+}
+
+void ReplicatedStore::Crash(std::size_t replica) {
+  QCNT_CHECK(replica < replicas_.size());
+  bus_.Crash(static_cast<NodeId>(replica));
+}
+
+void ReplicatedStore::Recover(std::size_t replica) {
+  QCNT_CHECK(replica < replicas_.size());
+  bus_.Recover(static_cast<NodeId>(replica));
+}
+
+bool ReplicatedStore::IsUp(std::size_t replica) const {
+  return bus_.IsUp(static_cast<NodeId>(replica));
+}
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,66 @@
+// ReplicatedStore: the library's deployable public API.
+//
+// A ReplicatedStore owns a bus, n replica server threads, and hands out
+// blocking clients. Keys are independent logical data items; every
+// operation runs Gifford's quorum protocol under the store's current
+// configuration, tolerating replica crashes up to quorum availability and
+// supporting online reconfiguration (Section 4) to restore write
+// availability after failures.
+//
+//   qcnt::runtime::ReplicatedStore store(
+//       qcnt::runtime::StoreOptions{.replicas = 5});
+//   auto client = store.MakeClient();
+//   client->Write("balance", 100);
+//   auto r = client->Read("balance");   // r.value == 100
+//   store.Crash(4);                      // still within quorum
+#pragma once
+
+#include <memory>
+
+#include "runtime/client.hpp"
+#include "runtime/replica_server.hpp"
+
+namespace qcnt::runtime {
+
+struct StoreOptions {
+  std::size_t replicas = 3;
+  /// Maximum number of concurrently live clients.
+  std::size_t max_clients = 16;
+  /// Table of installable configurations. When empty, defaults to
+  /// { majority(replicas) } with entry 0 initial.
+  std::vector<quorum::QuorumSystem> configs;
+  std::uint32_t initial_config = 0;
+  QuorumClient::Options client_options;
+};
+
+class ReplicatedStore {
+ public:
+  explicit ReplicatedStore(StoreOptions options);
+  ~ReplicatedStore();
+
+  ReplicatedStore(const ReplicatedStore&) = delete;
+  ReplicatedStore& operator=(const ReplicatedStore&) = delete;
+
+  std::size_t ReplicaCount() const { return replicas_.size(); }
+  const std::vector<quorum::QuorumSystem>& Configs() const {
+    return options_.configs;
+  }
+
+  /// Create a client (each client must be used from one thread at a time).
+  std::unique_ptr<QuorumClient> MakeClient();
+
+  /// Crash / recover a replica (by replica index).
+  void Crash(std::size_t replica);
+  void Recover(std::size_t replica);
+  bool IsUp(std::size_t replica) const;
+
+  std::uint64_t MessagesSent() const { return bus_.MessagesSent(); }
+
+ private:
+  StoreOptions options_;
+  Bus bus_;
+  std::vector<std::unique_ptr<ReplicaServer>> replicas_;
+  std::size_t next_client_ = 0;
+};
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,107 @@
+// Simulated message network with latency, drops, crashes and partitions.
+//
+// Nodes exchange small Message values. Delivery latency is sampled from a
+// configurable distribution; messages may be dropped independently; crashed
+// nodes neither send nor receive; partitioned node pairs cannot
+// communicate. Everything is driven by the shared Simulator, and all
+// randomness comes from one seeded Rng, so runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace qcnt::sim {
+
+using NodeId = std::uint32_t;
+
+/// Protocol messages of the simulated quorum store (store.hpp). One flat
+/// struct keeps the network layer trivially copyable and protocol-agnostic.
+struct Message {
+  enum class Kind : std::uint8_t {
+    kReadReq,
+    kReadResp,
+    kWriteReq,
+    kWriteAck,
+    kConfigWriteReq,
+    kConfigWriteAck,
+  };
+  Kind kind = Kind::kReadReq;
+  std::uint64_t op = 0;        // client operation id
+  std::uint64_t version = 0;   // data version number
+  std::int64_t value = 0;      // data value
+  std::uint64_t generation = 0;  // configuration generation
+  std::uint32_t config_id = 0;   // index into the statically known configs
+};
+
+struct LatencyModel {
+  enum class Kind : std::uint8_t { kFixed, kUniform, kExponential };
+  Kind kind = Kind::kFixed;
+  /// kFixed: value = a. kUniform: [a, b]. kExponential: mean a, offset b
+  /// (i.e. b + Exp(a), so there is a propagation floor).
+  double a = 1.0;
+  double b = 0.0;
+
+  Time Sample(Rng& rng) const;
+
+  static LatencyModel Fixed(double ms) {
+    return {Kind::kFixed, ms, 0.0};
+  }
+  static LatencyModel Uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  static LatencyModel Exponential(double mean, double floor = 0.0) {
+    return {Kind::kExponential, mean, floor};
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(NodeId from, const Message&)>;
+
+  Network(Simulator& sim, std::size_t nodes, LatencyModel latency,
+          double drop_probability, std::uint64_t seed);
+
+  std::size_t NodeCount() const { return handlers_.size(); }
+  void SetHandler(NodeId node, Handler handler);
+
+  /// Deliver m from `from` to `to` after a sampled latency, unless either
+  /// endpoint is down at send or delivery time, the pair is partitioned,
+  /// or the message is dropped.
+  void Send(NodeId from, NodeId to, const Message& m);
+
+  void Crash(NodeId node);
+  void Recover(NodeId node);
+  bool IsUp(NodeId node) const;
+  /// Bitmask of currently up nodes (node i -> bit i; node count <= 64).
+  std::uint64_t UpMask() const;
+
+  /// Split the network into {nodes with bit set} vs the rest. Messages
+  /// across the cut are dropped until Heal().
+  void Partition(std::uint64_t side_mask);
+  void Heal();
+
+  std::uint64_t MessagesSent() const { return sent_; }
+  std::uint64_t MessagesDelivered() const { return delivered_; }
+  std::uint64_t MessagesDropped() const { return dropped_; }
+
+ private:
+  bool Reachable(NodeId from, NodeId to) const;
+
+  Simulator* sim_;
+  LatencyModel latency_;
+  double drop_probability_;
+  Rng rng_;
+  std::vector<Handler> handlers_;
+  std::vector<std::uint8_t> up_;
+  bool partitioned_ = false;
+  std::uint64_t partition_side_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace qcnt::sim

@@ -1,0 +1,35 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::sim {
+
+void Simulator::At(Time t, std::function<void()> fn) {
+  QCNT_CHECK(t >= now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::After(Time delay, std::function<void()> fn) {
+  QCNT_CHECK(delay >= 0.0);
+  At(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // Moving out of a priority_queue requires a const_cast dance; copy the
+  // metadata first, then steal the callable.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::Run(Time until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Step();
+  }
+}
+
+}  // namespace qcnt::sim

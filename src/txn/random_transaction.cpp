@@ -1,0 +1,98 @@
+#include "txn/random_transaction.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::txn {
+
+RandomTransaction::RandomTransaction(const SystemType& type, TxnId txn)
+    : RandomTransaction(type, txn, type.Children(txn)) {}
+
+RandomTransaction::RandomTransaction(const SystemType& type, TxnId txn,
+                                     std::vector<TxnId> children)
+    : type_(&type), txn_(txn), children_(std::move(children)) {
+  QCNT_CHECK(txn < type.TxnCount() && !type.IsAccess(txn));
+  for (TxnId child : children_) {
+    QCNT_CHECK(type.Parent(child) == txn);
+  }
+  Reset();
+}
+
+void RandomTransaction::Reset() {
+  awake_ = false;
+  commit_requested_ = false;
+  requested_.assign(children_.size(), 0);
+}
+
+std::string RandomTransaction::Name() const {
+  return "random-transaction(" + type_->Label(txn_) + ")";
+}
+
+std::size_t RandomTransaction::ChildIndex(TxnId t) const {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == t) return i;
+  }
+  return children_.size();
+}
+
+bool RandomTransaction::IsOperation(const ioa::Action& a) const {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return a.txn == txn_;
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return a.txn < type_->TxnCount() && type_->Parent(a.txn) == txn_ &&
+             ChildIndex(a.txn) < children_.size();
+  }
+  return false;
+}
+
+bool RandomTransaction::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kRequestCreate ||
+                            a.kind == ioa::ActionKind::kRequestCommit);
+}
+
+bool RandomTransaction::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      return true;  // inputs
+    case ioa::ActionKind::kRequestCreate:
+      return awake_ && !commit_requested_ && !requested_[ChildIndex(a.txn)];
+    case ioa::ActionKind::kRequestCommit:
+      // The root models the environment and never finishes its work.
+      return txn_ != kRootTxn && awake_ && !commit_requested_ &&
+             IsNil(a.value);
+  }
+  return false;
+}
+
+void RandomTransaction::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kCreate:
+      awake_ = true;
+      break;
+    case ioa::ActionKind::kRequestCreate:
+      requested_[ChildIndex(a.txn)] = 1;
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      commit_requested_ = true;
+      break;
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort:
+      break;  // a random transaction ignores its children's fates
+  }
+}
+
+void RandomTransaction::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (!awake_ || commit_requested_) return;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!requested_[i]) out.push_back(ioa::RequestCreate(children_[i]));
+  }
+  if (txn_ != kRootTxn) out.push_back(ioa::RequestCommit(txn_, kNil));
+}
+
+}  // namespace qcnt::txn

@@ -1,0 +1,46 @@
+// Maximally nondeterministic non-access transactions.
+//
+// For property tests we want transactions that exercise the *full* latitude
+// the paper grants: requesting any subset of children in any order, and
+// requesting commit at any time after creation — even with children still
+// outstanding ("the model allows a transaction to request to commit without
+// discovering the fate of all subtransactions whose creation it has
+// requested"). RandomTransaction enables every such output and lets the
+// Explorer's RNG choose; it preserves well-formedness and nothing more.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+
+class RandomTransaction : public ioa::Automaton {
+ public:
+  /// The set of requestable children defaults to all children of txn in
+  /// `type`; pass a subset to restrict (e.g. when TMs own some children).
+  RandomTransaction(const SystemType& type, TxnId txn);
+  RandomTransaction(const SystemType& type, TxnId txn,
+                    std::vector<TxnId> children);
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  std::size_t ChildIndex(TxnId t) const;
+
+  const SystemType* type_;
+  TxnId txn_;
+  std::vector<TxnId> children_;
+  // State.
+  bool awake_ = false;
+  bool commit_requested_ = false;
+  std::vector<std::uint8_t> requested_;
+};
+
+}  // namespace qcnt::txn

@@ -1,0 +1,69 @@
+#include "txn/read_write_object.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::txn {
+
+ReadWriteObject::ReadWriteObject(const SystemType& type, ObjectId object,
+                                 Value initial)
+    : type_(&type),
+      object_(object),
+      initial_(std::move(initial)),
+      data_(initial_) {
+  QCNT_CHECK(object < type.ObjectCount());
+}
+
+std::string ReadWriteObject::Name() const {
+  return "read-write-object(" + type_->ObjectLabel(object_) + ")";
+}
+
+bool ReadWriteObject::IsOperation(const ioa::Action& a) const {
+  if (a.kind != ioa::ActionKind::kCreate &&
+      a.kind != ioa::ActionKind::kRequestCommit) {
+    return false;
+  }
+  return a.txn < type_->TxnCount() && type_->IsAccess(a.txn) &&
+         type_->ObjectOf(a.txn) == object_;
+}
+
+bool ReadWriteObject::IsOutput(const ioa::Action& a) const {
+  return a.kind == ioa::ActionKind::kRequestCommit && IsOperation(a);
+}
+
+bool ReadWriteObject::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  if (a.kind == ioa::ActionKind::kCreate) return true;  // input
+  // REQUEST-COMMIT(T,v): T must be the active access; a read returns the
+  // current data, a write returns nil.
+  if (active_ != a.txn) return false;
+  if (type_->KindOf(a.txn) == AccessKind::kRead) return a.value == data_;
+  return IsNil(a.value);
+}
+
+void ReadWriteObject::Apply(const ioa::Action& a) {
+  if (a.kind == ioa::ActionKind::kCreate) {
+    active_ = a.txn;
+    return;
+  }
+  QCNT_DCHECK(a.kind == ioa::ActionKind::kRequestCommit);
+  if (type_->KindOf(a.txn) == AccessKind::kWrite) {
+    data_ = type_->DataOf(a.txn);
+  }
+  active_ = kNoTxn;
+}
+
+void ReadWriteObject::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  if (active_ == kNoTxn) return;
+  if (type_->KindOf(active_) == AccessKind::kRead) {
+    out.push_back(ioa::RequestCommit(active_, data_));
+  } else {
+    out.push_back(ioa::RequestCommit(active_, kNil));
+  }
+}
+
+void ReadWriteObject::Reset() {
+  active_ = kNoTxn;
+  data_ = initial_;
+}
+
+}  // namespace qcnt::txn

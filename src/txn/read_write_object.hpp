@@ -1,0 +1,45 @@
+// Read-write objects (Section 2.3).
+//
+// A read-write object is a fully specified basic object whose state is
+// (active, data): `active` holds the current access (nil when idle) and
+// `data` holds an element of the object's domain. A read access
+// request-commits with the current data; a write access request-commits
+// with nil and installs data(T). The DMs of Section 3 are read-write
+// objects over version/value pairs; system A implements each logical item
+// as a single read-write object over its plain domain.
+#pragma once
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+
+class ReadWriteObject : public ioa::Automaton {
+ public:
+  /// The object's accesses, kinds, and write payloads come from `type`;
+  /// `initial` is the object's initial data value.
+  ReadWriteObject(const SystemType& type, ObjectId object, Value initial);
+
+  ObjectId Object() const { return object_; }
+  const Value& Data() const { return data_; }
+  TxnId Active() const { return active_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  const SystemType* type_;
+  ObjectId object_;
+  Value initial_;
+  // State.
+  TxnId active_ = kNoTxn;
+  Value data_;
+};
+
+}  // namespace qcnt::txn

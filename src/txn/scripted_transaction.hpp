@@ -1,0 +1,79 @@
+// Scripted non-access transactions.
+//
+// The paper leaves transaction automata "largely unspecified", constraining
+// them only to preserve well-formedness. ScriptedTransaction is the
+// workhorse implementation used for user transactions and for the root T0:
+// it requests a fixed list of children (sequentially or all at once), then
+// requests commit with a value computed from the children's outcomes. It
+// tolerates child aborts — an aborted child simply contributes no value —
+// which is exactly the failure model the generalized algorithm must absorb.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+
+class ScriptedTransaction : public ioa::Automaton {
+ public:
+  /// Outcome of script child i: its COMMIT value, or nullopt if it aborted.
+  using Outcomes = std::vector<std::optional<Value>>;
+  /// Computes the REQUEST-COMMIT value from the children's outcomes.
+  using Reduce = std::function<Value(const Outcomes&)>;
+
+  struct Options {
+    /// Request children one at a time, each after the previous returned
+    /// (Argus-style); otherwise request all children immediately.
+    bool sequential = true;
+    /// Commit-value computation; default commits with nil.
+    Reduce reduce;
+  };
+
+  /// children must all be children of txn in `type`.
+  ScriptedTransaction(const SystemType& type, TxnId txn,
+                      std::vector<TxnId> children, Options options);
+  ScriptedTransaction(const SystemType& type, TxnId txn,
+                      std::vector<TxnId> children);
+
+  TxnId Txn() const { return txn_; }
+  bool Awake() const { return awake_; }
+  bool CommitRequested() const { return commit_requested_; }
+  /// Outcome of script child i (by script position).
+  const std::optional<Value>& Outcome(std::size_t i) const;
+  /// Number of script children that have returned so far.
+  std::size_t ReturnedCount() const { return returned_count_; }
+
+  // Automaton interface.
+  std::string Name() const override;
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  bool IsScriptChild(TxnId t) const;
+  std::size_t ScriptIndex(TxnId t) const;
+  /// The script position that may be requested next, or npos.
+  std::optional<std::size_t> NextToRequest() const;
+  bool ReadyToCommit() const;
+  Value CommitValue() const;
+
+  const SystemType* type_;
+  TxnId txn_;
+  std::vector<TxnId> script_;
+  Options options_;
+  // State.
+  bool awake_ = false;
+  bool commit_requested_ = false;
+  std::vector<std::uint8_t> requested_;
+  std::vector<std::uint8_t> returned_;
+  Outcomes outcomes_;
+  std::size_t returned_count_ = 0;
+};
+
+}  // namespace qcnt::txn

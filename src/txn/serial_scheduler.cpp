@@ -1,0 +1,128 @@
+#include "txn/serial_scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::txn {
+
+SerialScheduler::SerialScheduler(const SystemType& type) : type_(&type) {
+  Reset();
+}
+
+void SerialScheduler::Reset() {
+  const std::size_t n = type_->TxnCount();
+  create_requested_.assign(n, 0);
+  created_.assign(n, 0);
+  aborted_.assign(n, 0);
+  returned_.assign(n, 0);
+  committed_.assign(n, 0);
+  commit_requested_.clear();
+  create_order_.clear();
+  // Initially create-requested = {T0}.
+  create_requested_[kRootTxn] = 1;
+  create_order_.push_back(kRootTxn);
+}
+
+std::optional<Value> SerialScheduler::CommitValue(TxnId t) const {
+  if (!committed_[t]) return std::nullopt;
+  for (const auto& [txn, v] : commit_requested_) {
+    if (txn == t) return v;
+  }
+  return std::nullopt;
+}
+
+bool SerialScheduler::IsOperation(const ioa::Action& a) const {
+  return a.txn < type_->TxnCount();
+}
+
+bool SerialScheduler::IsOutput(const ioa::Action& a) const {
+  return IsOperation(a) && (a.kind == ioa::ActionKind::kCreate ||
+                            a.kind == ioa::ActionKind::kCommit ||
+                            a.kind == ioa::ActionKind::kAbort);
+}
+
+bool SerialScheduler::SiblingsReturned(TxnId t) const {
+  const TxnId parent = type_->Parent(t);
+  if (parent == kNoTxn) return true;  // the root has no siblings
+  for (TxnId sibling : type_->Children(parent)) {
+    if (sibling != t && created_[sibling] && !returned_[sibling]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SerialScheduler::ChildrenReturned(TxnId t) const {
+  for (TxnId child : type_->Children(t)) {
+    if (create_requested_[child] && !returned_[child]) return false;
+  }
+  return true;
+}
+
+bool SerialScheduler::CommitRequestedWith(TxnId t, const Value& v) const {
+  for (const auto& [txn, value] : commit_requested_) {
+    if (txn == t && value == v) return true;
+  }
+  return false;
+}
+
+bool SerialScheduler::Enabled(const ioa::Action& a) const {
+  if (!IsOperation(a)) return false;
+  switch (a.kind) {
+    case ioa::ActionKind::kRequestCreate:
+    case ioa::ActionKind::kRequestCommit:
+      return true;  // inputs
+    case ioa::ActionKind::kCreate:
+      return create_requested_[a.txn] && !created_[a.txn] &&
+             !aborted_[a.txn] && SiblingsReturned(a.txn);
+    case ioa::ActionKind::kCommit:
+      // "Since it has no parent, T0 may neither commit nor abort."
+      return a.txn != kRootTxn && CommitRequestedWith(a.txn, a.value) &&
+             !returned_[a.txn] && ChildrenReturned(a.txn);
+    case ioa::ActionKind::kAbort:
+      // "Since it has no parent, T0 may neither commit nor abort."
+      return a.txn != kRootTxn && create_requested_[a.txn] &&
+             !created_[a.txn] && !aborted_[a.txn] && SiblingsReturned(a.txn);
+  }
+  return false;
+}
+
+void SerialScheduler::Apply(const ioa::Action& a) {
+  switch (a.kind) {
+    case ioa::ActionKind::kRequestCreate:
+      if (!create_requested_[a.txn]) {
+        create_requested_[a.txn] = 1;
+        create_order_.push_back(a.txn);
+      }
+      break;
+    case ioa::ActionKind::kRequestCommit:
+      commit_requested_.emplace_back(a.txn, a.value);
+      break;
+    case ioa::ActionKind::kCreate:
+      created_[a.txn] = 1;
+      break;
+    case ioa::ActionKind::kCommit:
+      committed_[a.txn] = 1;
+      returned_[a.txn] = 1;
+      break;
+    case ioa::ActionKind::kAbort:
+      aborted_[a.txn] = 1;
+      returned_[a.txn] = 1;
+      break;
+  }
+}
+
+void SerialScheduler::EnabledOutputs(std::vector<ioa::Action>& out) const {
+  for (TxnId t : create_order_) {
+    if (created_[t] || aborted_[t]) continue;
+    if (!SiblingsReturned(t)) continue;
+    out.push_back(ioa::Create(t));
+    if (t != kRootTxn) out.push_back(ioa::Abort(t));
+  }
+  for (const auto& [t, v] : commit_requested_) {
+    if (t == kRootTxn || returned_[t]) continue;
+    if (!ChildrenReturned(t)) continue;
+    out.push_back(ioa::Commit(t, v));
+  }
+}
+
+}  // namespace qcnt::txn

@@ -1,0 +1,67 @@
+// The serial scheduler automaton (Section 2.2), transcribed verbatim.
+//
+// Inputs:  REQUEST-CREATE(T), REQUEST-COMMIT(T,v)
+// Outputs: CREATE(T), COMMIT(T,v), ABORT(T)
+//
+// State components: create-requested, created, commit-requested (a set of
+// (transaction, value) pairs), committed, aborted, returned; initially
+// create-requested = {T0} and the rest empty.
+//
+// The scheduler runs the transaction tree as a depth-first traversal: a
+// transaction may be created only if its creation was requested, it was not
+// created or aborted before, and all of its created siblings have returned;
+// it may commit only after every child whose creation was requested has
+// returned. An abort is only possible *before* creation — the semantics of
+// ABORT(T) are that T was never created, which is what lets the replication
+// algorithm tolerate access aborts without recovery machinery.
+#pragma once
+
+#include <optional>
+
+#include "ioa/automaton.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+
+class SerialScheduler : public ioa::Automaton {
+ public:
+  explicit SerialScheduler(const SystemType& type);
+
+  // State observers (for tests and invariant checks).
+  bool CreateRequested(TxnId t) const { return create_requested_[t] != 0; }
+  bool Created(TxnId t) const { return created_[t] != 0; }
+  bool Aborted(TxnId t) const { return aborted_[t] != 0; }
+  bool Returned(TxnId t) const { return returned_[t] != 0; }
+  bool Committed(TxnId t) const { return committed_[t] != 0; }
+  /// Value with which T committed; empty unless Committed(t).
+  std::optional<Value> CommitValue(TxnId t) const;
+
+  // Automaton interface.
+  std::string Name() const override { return "serial-scheduler"; }
+  bool IsOperation(const ioa::Action& a) const override;
+  bool IsOutput(const ioa::Action& a) const override;
+  bool Enabled(const ioa::Action& a) const override;
+  void Apply(const ioa::Action& a) override;
+  void EnabledOutputs(std::vector<ioa::Action>& out) const override;
+  void Reset() override;
+
+ private:
+  /// All created siblings of t have returned.
+  bool SiblingsReturned(TxnId t) const;
+  /// All children of t whose creation was requested have returned.
+  bool ChildrenReturned(TxnId t) const;
+  bool CommitRequestedWith(TxnId t, const Value& v) const;
+
+  const SystemType* type_;
+  std::vector<std::uint8_t> create_requested_;
+  std::vector<std::uint8_t> created_;
+  std::vector<std::uint8_t> aborted_;
+  std::vector<std::uint8_t> returned_;
+  std::vector<std::uint8_t> committed_;
+  /// (T, v) pairs in commit-requested, in arrival order.
+  std::vector<std::pair<TxnId, Value>> commit_requested_;
+  /// Transactions in create-requested, in arrival order (enumeration aid).
+  std::vector<TxnId> create_order_;
+};
+
+}  // namespace qcnt::txn

@@ -1,0 +1,182 @@
+#include "txn/system_type.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace qcnt::txn {
+
+SystemType::SystemType() {
+  // The root transaction T0 models the external environment.
+  TxnNode root;
+  root.label = "T0";
+  nodes_.push_back(std::move(root));
+}
+
+TxnId SystemType::AddTransaction(TxnId parent, std::string label) {
+  QCNT_CHECK(parent < nodes_.size());
+  QCNT_CHECK_MSG(!IsAccess(parent), "accesses are leaves");
+  const TxnId id = static_cast<TxnId>(nodes_.size());
+  TxnNode node;
+  node.parent = parent;
+  node.label = label.empty() ? ("T" + std::to_string(id)) : std::move(label);
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+ObjectId SystemType::AddObject(std::string label) {
+  const ObjectId id = static_cast<ObjectId>(objects_.size());
+  ObjectNode node;
+  node.label = label.empty() ? ("X" + std::to_string(id)) : std::move(label);
+  objects_.push_back(std::move(node));
+  return id;
+}
+
+TxnId SystemType::AddAccess(TxnId parent, ObjectId object, AccessKind kind,
+                            Value data, std::string label) {
+  QCNT_CHECK(parent < nodes_.size());
+  QCNT_CHECK(object < objects_.size());
+  QCNT_CHECK_MSG(!IsAccess(parent), "accesses are leaves");
+  const TxnId id = static_cast<TxnId>(nodes_.size());
+  TxnNode node;
+  node.parent = parent;
+  node.kind = kind;
+  node.object = object;
+  node.data = std::move(data);
+  node.label = label.empty() ? ("T" + std::to_string(id)) : std::move(label);
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  objects_[object].accesses.push_back(id);
+  return id;
+}
+
+TxnId SystemType::AddReadAccess(TxnId parent, ObjectId object,
+                                std::string label) {
+  return AddAccess(parent, object, AccessKind::kRead, kNil, std::move(label));
+}
+
+TxnId SystemType::AddWriteAccess(TxnId parent, ObjectId object, Value data,
+                                 std::string label) {
+  return AddAccess(parent, object, AccessKind::kWrite, std::move(data),
+                   std::move(label));
+}
+
+TxnId SystemType::Parent(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].parent;
+}
+
+const std::vector<TxnId>& SystemType::Children(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].children;
+}
+
+bool SystemType::IsAccess(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].kind != AccessKind::kNone;
+}
+
+AccessKind SystemType::KindOf(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].kind;
+}
+
+const Value& SystemType::DataOf(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].data;
+}
+
+ObjectId SystemType::ObjectOf(TxnId t) const {
+  QCNT_CHECK(IsAccess(t));
+  return nodes_[t].object;
+}
+
+const std::vector<TxnId>& SystemType::AccessesOf(ObjectId o) const {
+  QCNT_CHECK(o < objects_.size());
+  return objects_[o].accesses;
+}
+
+const std::string& SystemType::Label(TxnId t) const {
+  QCNT_CHECK(t < nodes_.size());
+  return nodes_[t].label;
+}
+
+const std::string& SystemType::ObjectLabel(ObjectId o) const {
+  QCNT_CHECK(o < objects_.size());
+  return objects_[o].label;
+}
+
+bool SystemType::IsAncestor(TxnId anc, TxnId t) const {
+  QCNT_CHECK(anc < nodes_.size() && t < nodes_.size());
+  while (t != kNoTxn) {
+    if (t == anc) return true;
+    t = nodes_[t].parent;
+  }
+  return false;
+}
+
+std::size_t SystemType::Depth(TxnId t) const {
+  std::size_t d = 0;
+  while (nodes_[t].parent != kNoTxn) {
+    t = nodes_[t].parent;
+    ++d;
+  }
+  return d;
+}
+
+TxnId SystemType::Lca(TxnId a, TxnId b) const {
+  std::size_t da = Depth(a), db = Depth(b);
+  while (da > db) {
+    a = nodes_[a].parent;
+    --da;
+  }
+  while (db > da) {
+    b = nodes_[b].parent;
+    --db;
+  }
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return a;
+}
+
+std::string SystemType::ToAscii() const {
+  std::ostringstream os;
+  // Depth-first, children in creation order.
+  struct Frame {
+    TxnId t;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{kRootTxn, 0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    for (std::size_t i = 0; i < f.depth; ++i) os << "  ";
+    os << nodes_[f.t].label;
+    if (IsAccess(f.t)) {
+      os << " [" << (nodes_[f.t].kind == AccessKind::kRead ? "read " : "write ")
+         << objects_[nodes_[f.t].object].label << ']';
+    }
+    os << '\n';
+    const auto& kids = nodes_[f.t].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+std::string SystemType::Pretty(const ioa::Action& a) const {
+  std::ostringstream os;
+  os << ioa::KindName(a.kind) << '(' << Label(a.txn);
+  if (a.kind == ioa::ActionKind::kRequestCommit ||
+      a.kind == ioa::ActionKind::kCommit) {
+    os << ", " << qcnt::ToString(a.value);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace qcnt::txn

@@ -1,0 +1,98 @@
+// System types: (T, parent, O, V) of Section 2.2.
+//
+// A SystemType is the predefined naming scheme for every transaction that
+// might ever be invoked: a finite tree of transaction names rooted at T0,
+// whose leaves (accesses) are partitioned into objects. Access names carry
+// their attributes — kind(T) ∈ {read, write} and data(T) — exactly as in
+// the paper's read-write objects, where the parameters of an access are
+// part of its *name* ("transactions that have different input parameters
+// are different transactions").
+//
+// The paper allows infinite trees; our systems construct the finite
+// fragment that a given workload can reach, which is equivalent for the
+// finite executions we study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/value.hpp"
+#include "ioa/action.hpp"
+
+namespace qcnt::txn {
+
+enum class AccessKind : std::uint8_t { kNone, kRead, kWrite };
+
+class SystemType {
+ public:
+  SystemType();
+
+  // --- construction --------------------------------------------------------
+
+  /// Add an internal (non-access) transaction under parent.
+  TxnId AddTransaction(TxnId parent, std::string label = {});
+
+  /// Register a new basic object.
+  ObjectId AddObject(std::string label = {});
+
+  /// Add a read access to object under parent.
+  TxnId AddReadAccess(TxnId parent, ObjectId object, std::string label = {});
+
+  /// Add a write access to object under parent, carrying data(T).
+  TxnId AddWriteAccess(TxnId parent, ObjectId object, Value data,
+                       std::string label = {});
+
+  // --- queries --------------------------------------------------------------
+
+  std::size_t TxnCount() const { return nodes_.size(); }
+  std::size_t ObjectCount() const { return objects_.size(); }
+
+  TxnId Parent(TxnId t) const;
+  const std::vector<TxnId>& Children(TxnId t) const;
+  bool IsAccess(TxnId t) const;
+  AccessKind KindOf(TxnId t) const;
+  const Value& DataOf(TxnId t) const;
+  ObjectId ObjectOf(TxnId t) const;
+  const std::vector<TxnId>& AccessesOf(ObjectId o) const;
+
+  const std::string& Label(TxnId t) const;
+  const std::string& ObjectLabel(ObjectId o) const;
+
+  /// Is `anc` an ancestor of `t`? (Every transaction is its own ancestor.)
+  bool IsAncestor(TxnId anc, TxnId t) const;
+
+  /// Least common ancestor.
+  TxnId Lca(TxnId a, TxnId b) const;
+
+  /// Depth of t (root has depth 0).
+  std::size_t Depth(TxnId t) const;
+
+  /// Render the tree as indented ASCII (Figures 1 and 2 of the paper).
+  std::string ToAscii() const;
+
+  /// Render an action with labels, e.g. "COMMIT(read-TM[x], (vn=1,5))".
+  std::string Pretty(const ioa::Action& a) const;
+
+ private:
+  struct TxnNode {
+    TxnId parent = kNoTxn;
+    std::vector<TxnId> children;
+    AccessKind kind = AccessKind::kNone;
+    ObjectId object = kNoObject;
+    Value data = kNil;
+    std::string label;
+  };
+  struct ObjectNode {
+    std::vector<TxnId> accesses;
+    std::string label;
+  };
+
+  TxnId AddAccess(TxnId parent, ObjectId object, AccessKind kind, Value data,
+                  std::string label);
+
+  std::vector<TxnNode> nodes_;
+  std::vector<ObjectNode> objects_;
+};
+
+}  // namespace qcnt::txn

@@ -1,0 +1,121 @@
+#include "txn/wellformed.hpp"
+
+#include "common/check.hpp"
+
+namespace qcnt::txn {
+
+WellFormednessChecker::WellFormednessChecker(const SystemType& type)
+    : type_(&type) {
+  Reset();
+}
+
+void WellFormednessChecker::Reset() {
+  create_seen_.assign(type_->TxnCount(), 0);
+  request_create_seen_.assign(type_->TxnCount(), 0);
+  request_commit_seen_.assign(type_->TxnCount(), 0);
+  return_seen_.assign(type_->TxnCount(), 0);
+  pending_access_.assign(type_->ObjectCount(), kNoTxn);
+}
+
+std::string WellFormednessChecker::Feed(const ioa::Action& a) {
+  const SystemType& type = *type_;
+  QCNT_CHECK(a.txn < type.TxnCount());
+  switch (a.kind) {
+    case ioa::ActionKind::kRequestCreate: {
+      // Operation of parent(T): parent created, not yet requested commit,
+      // and no duplicate request.
+      if (a.txn == kRootTxn) return "REQUEST-CREATE of the root";
+      const TxnId parent = type.Parent(a.txn);
+      if (request_create_seen_[a.txn]) {
+        return "duplicate REQUEST-CREATE for " + type.Label(a.txn);
+      }
+      if (!create_seen_[parent]) {
+        return "REQUEST-CREATE before CREATE of parent " + type.Label(parent);
+      }
+      if (request_commit_seen_[parent]) {
+        return "REQUEST-CREATE after parent " + type.Label(parent) +
+               " requested commit";
+      }
+      request_create_seen_[a.txn] = 1;
+      return {};
+    }
+    case ioa::ActionKind::kCreate: {
+      if (create_seen_[a.txn]) {
+        return "duplicate CREATE for " + type.Label(a.txn);
+      }
+      if (type.IsAccess(a.txn)) {
+        // Basic-object well-formedness: no pending access on the object.
+        const ObjectId obj = type.ObjectOf(a.txn);
+        if (pending_access_[obj] != kNoTxn) {
+          return "CREATE of " + type.Label(a.txn) + " while access " +
+                 type.Label(pending_access_[obj]) + " is pending on " +
+                 type.ObjectLabel(obj);
+        }
+        pending_access_[obj] = a.txn;
+      }
+      create_seen_[a.txn] = 1;
+      return {};
+    }
+    case ioa::ActionKind::kRequestCommit: {
+      if (request_commit_seen_[a.txn]) {
+        return "duplicate REQUEST-COMMIT for " + type.Label(a.txn);
+      }
+      if (!create_seen_[a.txn]) {
+        return "REQUEST-COMMIT before CREATE of " + type.Label(a.txn);
+      }
+      if (type.IsAccess(a.txn)) {
+        pending_access_[type.ObjectOf(a.txn)] = kNoTxn;
+      }
+      request_commit_seen_[a.txn] = 1;
+      return {};
+    }
+    case ioa::ActionKind::kCommit:
+    case ioa::ActionKind::kAbort: {
+      // Operation of parent(T): child's creation was requested, and this is
+      // the first return operation for the child.
+      if (a.txn == kRootTxn) return "return operation for the root";
+      if (!request_create_seen_[a.txn]) {
+        return "return for " + type.Label(a.txn) +
+               " whose creation was never requested";
+      }
+      if (return_seen_[a.txn]) {
+        return "second return operation for " + type.Label(a.txn);
+      }
+      return_seen_[a.txn] = 1;
+      return {};
+    }
+  }
+  return "unknown action kind";
+}
+
+bool WellFormednessChecker::FeedAll(const ioa::Schedule& s,
+                                    std::string* message) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    std::string err = Feed(s[i]);
+    if (!err.empty()) {
+      if (message != nullptr) {
+        *message = "action " + std::to_string(i) + " (" +
+                   type_->Pretty(s[i]) + "): " + err;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsWellFormed(const SystemType& type, const ioa::Schedule& s,
+                  std::string* message) {
+  WellFormednessChecker checker(type);
+  return checker.FeedAll(s, message);
+}
+
+bool IsOrphan(const SystemType& type, const ioa::Schedule& s, TxnId t) {
+  for (const ioa::Action& a : s) {
+    if (a.kind == ioa::ActionKind::kAbort && type.IsAncestor(a.txn, t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace qcnt::txn

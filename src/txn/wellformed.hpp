@@ -1,0 +1,55 @@
+// Well-formedness (Section 2.2).
+//
+// The paper defines well-formedness recursively for sequences of operations
+// of a single transaction and of a single basic object, and calls a system
+// sequence well-formed iff its projection at every primitive is well-formed.
+// The checker below consumes a system schedule action by action and reports
+// the first violation; because the per-primitive rules only reference a
+// bounded amount of history (creation, request, and return flags plus the
+// pending access of each object), the whole check is incremental and O(1)
+// amortized per action.
+#pragma once
+
+#include <string>
+
+#include "ioa/action.hpp"
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+
+class WellFormednessChecker {
+ public:
+  explicit WellFormednessChecker(const SystemType& type);
+
+  /// Feed the next action of a system schedule. Returns the empty string if
+  /// the extended sequence remains well-formed, otherwise a description of
+  /// the violated clause. A violating action is NOT applied to the checker
+  /// state, so feeding can continue (useful for tests probing single rules).
+  std::string Feed(const ioa::Action& a);
+
+  /// Feed an entire schedule; true iff every step was well-formed. When
+  /// false and message != nullptr, *message names the first violation.
+  bool FeedAll(const ioa::Schedule& s, std::string* message = nullptr);
+
+  void Reset();
+
+ private:
+  const SystemType* type_;
+  // Per-transaction history flags.
+  std::vector<std::uint8_t> create_seen_;
+  std::vector<std::uint8_t> request_create_seen_;
+  std::vector<std::uint8_t> request_commit_seen_;
+  std::vector<std::uint8_t> return_seen_;
+  // Per-object pending access (created, not yet request-committed).
+  std::vector<TxnId> pending_access_;
+};
+
+/// One-shot check of a full schedule against a system type.
+bool IsWellFormed(const SystemType& type, const ioa::Schedule& s,
+                  std::string* message = nullptr);
+
+/// Is T an orphan in s — does s contain ABORT(T') for an ancestor T' of T?
+/// (Footnote to Theorem 11.)
+bool IsOrphan(const SystemType& type, const ioa::Schedule& s, TxnId t);
+
+}  // namespace qcnt::txn

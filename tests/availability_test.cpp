@@ -1,0 +1,169 @@
+// Tests for availability analysis: closed-form cross-checks, Monte-Carlo
+// agreement with exact enumeration, and qualitative claims from the paper's
+// introduction (replication improves read availability; quorum choice
+// trades read availability against write availability).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quorum/availability.hpp"
+
+namespace qcnt::quorum {
+namespace {
+
+double BinomialTail(int n, int k, double p) {
+  // P[X >= k] for X ~ Binomial(n, p).
+  double total = 0.0;
+  for (int i = k; i <= n; ++i) {
+    double coeff = 1.0;
+    for (int j = 0; j < i; ++j) {
+      coeff *= static_cast<double>(n - j) / static_cast<double>(j + 1);
+    }
+    // coeff now is C(n, i).
+    total += coeff * std::pow(p, i) * std::pow(1 - p, n - i);
+  }
+  return total;
+}
+
+TEST(Availability, RowaClosedForm) {
+  const double p = 0.9;
+  const ReplicaId n = 5;
+  const Availability a = ExactAvailability(ReadOneWriteAllSystem(n), p);
+  EXPECT_NEAR(a.read, 1.0 - std::pow(1.0 - p, n), 1e-12);
+  EXPECT_NEAR(a.write, std::pow(p, n), 1e-12);
+}
+
+TEST(Availability, MajorityClosedForm) {
+  const double p = 0.8;
+  const ReplicaId n = 5;
+  const Availability a = ExactAvailability(MajoritySystem(n), p);
+  const double expected = BinomialTail(5, 3, p);
+  EXPECT_NEAR(a.read, expected, 1e-12);
+  EXPECT_NEAR(a.write, expected, 1e-12);
+}
+
+TEST(Availability, PrimaryCopyClosedForm) {
+  const Availability a = ExactAvailability(PrimaryCopySystem(7), 0.85);
+  EXPECT_NEAR(a.read, 0.85, 1e-12);
+  EXPECT_NEAR(a.write, 0.85, 1e-12);
+}
+
+TEST(Availability, DegenerateProbabilities) {
+  const QuorumSystem s = MajoritySystem(3);
+  const Availability zero = ExactAvailability(s, 0.0);
+  EXPECT_EQ(zero.read, 0.0);
+  const Availability one = ExactAvailability(s, 1.0);
+  EXPECT_EQ(one.read, 1.0);
+  EXPECT_EQ(one.write, 1.0);
+}
+
+TEST(Availability, MonteCarloAgreesWithExact) {
+  Rng rng(99);
+  const QuorumSystem s = GridSystem(3, 3);
+  const double p = 0.7;
+  const Availability exact = ExactAvailability(s, p);
+  const Availability mc = MonteCarloAvailability(s, p, 60000, rng);
+  EXPECT_NEAR(mc.read, exact.read, 0.01);
+  EXPECT_NEAR(mc.write, exact.write, 0.01);
+}
+
+TEST(Availability, ReplicationBeatsSingleCopyForReads) {
+  // The paper's motivating claim: replication improves availability.
+  const double p = 0.9;
+  for (ReplicaId n : {3, 5, 7}) {
+    const Availability maj = ExactAvailability(MajoritySystem(n), p);
+    EXPECT_GT(maj.read, p) << "n=" << n;
+    EXPECT_GT(maj.write, p) << "n=" << n;
+  }
+}
+
+TEST(Availability, RowaTradesWritesForReads) {
+  const double p = 0.9;
+  const ReplicaId n = 5;
+  const Availability rowa = ExactAvailability(ReadOneWriteAllSystem(n), p);
+  const Availability maj = ExactAvailability(MajoritySystem(n), p);
+  EXPECT_GT(rowa.read, maj.read);
+  EXPECT_LT(rowa.write, maj.write);
+}
+
+TEST(Availability, MonotoneInUpProbability) {
+  const QuorumSystem s = MajoritySystem(7);
+  double prev_read = -1.0, prev_write = -1.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.1) {
+    const Availability a = ExactAvailability(s, std::min(p, 1.0));
+    EXPECT_GE(a.read, prev_read - 1e-12);
+    EXPECT_GE(a.write, prev_write - 1e-12);
+    prev_read = a.read;
+    prev_write = a.write;
+  }
+}
+
+TEST(Availability, CostFullyUp) {
+  const OperationCost rowa = FullyUpCost(ReadOneWriteAllSystem(5));
+  EXPECT_EQ(rowa.read_messages, 1.0);
+  EXPECT_EQ(rowa.write_messages, 6.0);  // 1 (read phase) + 5 (write phase)
+
+  const OperationCost maj = FullyUpCost(MajoritySystem(5));
+  EXPECT_EQ(maj.read_messages, 3.0);
+  EXPECT_EQ(maj.write_messages, 6.0);
+}
+
+TEST(Availability, HierarchicalCheaperThanMajorityAtScale) {
+  const QuorumSystem hier = HierarchicalMajoritySystem(3, 3);  // n = 27
+  const QuorumSystem maj = MajoritySystem(27);
+  const OperationCost hc = FullyUpCost(hier);
+  const OperationCost mc = FullyUpCost(maj);
+  EXPECT_LT(hc.read_messages, mc.read_messages);  // 8 < 14
+}
+
+TEST(Availability, ExpectedCostConditionedOnSuccess) {
+  Rng rng(5);
+  const OperationCost c =
+      ExpectedCost(MajoritySystem(5), 0.9, 20000, rng);
+  // The picked quorum is always exactly the majority size.
+  EXPECT_NEAR(c.read_messages, 3.0, 1e-9);
+  EXPECT_NEAR(c.write_messages, 6.0, 1e-9);
+}
+
+TEST(Availability, GridWriteRequiresFullColumn) {
+  const QuorumSystem s = GridSystem(2, 2);
+  // Up replicas {0, 1} form the top row: read quorum yes, write quorum no
+  // (no full column up).
+  const std::uint64_t top_row = 0b0011;
+  EXPECT_TRUE(s.has_read(top_row));
+  EXPECT_FALSE(s.has_write(top_row));
+  // Up replicas {0, 2} form column 0: both read (covers col 0? no —
+  // column 1 has no live replica) — actually a read quorum needs one
+  // replica per column, so {0,2} lacks column 1.
+  EXPECT_FALSE(s.has_read(0b0101));
+  // Three up replicas {0,1,2}: column 0 fully up + cover of column 1.
+  EXPECT_TRUE(s.has_write(0b0111));
+}
+
+}  // namespace
+}  // namespace qcnt::quorum
+
+namespace qcnt::quorum {
+namespace {
+
+TEST(Availability, TreeQuorumReadBeatsWriteAvailability) {
+  // Writes require the root, so write availability is capped by p; reads
+  // survive root failure via child majorities.
+  const QuorumSystem s = TreeQuorumSystem(3, 2);
+  const double p = 0.9;
+  const Availability a = ExactAvailability(s, p);
+  EXPECT_GT(a.read, p);
+  EXPECT_LE(a.write, p + 1e-12);
+}
+
+TEST(Availability, TreeQuorumMonteCarloAgrees) {
+  Rng rng(41);
+  const QuorumSystem s = TreeQuorumSystem(3, 3);
+  const Availability exact = ExactAvailability(s, 0.85);
+  const Availability mc = MonteCarloAvailability(s, 0.85, 60000, rng);
+  EXPECT_NEAR(mc.read, exact.read, 0.01);
+  EXPECT_NEAR(mc.write, exact.write, 0.01);
+}
+
+}  // namespace
+}  // namespace qcnt::quorum

@@ -1,0 +1,319 @@
+// Tests for the concurrency-control layer: Moss nested read/write locking,
+// the concurrent scheduler, and the Theorem-11 one-copy serializability
+// property of Quorum Consensus over locked copies.
+#include <gtest/gtest.h>
+
+#include "cc/concurrent_scheduler.hpp"
+#include "cc/locked_object.hpp"
+#include "cc/system_c.hpp"
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace qcnt::cc {
+namespace {
+
+using ioa::Abort;
+using ioa::Commit;
+using ioa::Create;
+using ioa::RequestCommit;
+using ioa::RequestCreate;
+
+struct LockFixture {
+  txn::SystemType type;
+  TxnId u1, u2, v1;  // v1 is a child of u1
+  ObjectId x;
+  TxnId r1, w1, r2, w2, rv;  // accesses: r/w under u1, u2; rv under v1
+  LockFixture() {
+    u1 = type.AddTransaction(kRootTxn, "U1");
+    u2 = type.AddTransaction(kRootTxn, "U2");
+    v1 = type.AddTransaction(u1, "V1");
+    x = type.AddObject("x");
+    r1 = type.AddReadAccess(u1, x, "r1");
+    w1 = type.AddWriteAccess(u1, x, Value{std::int64_t{10}}, "w1");
+    r2 = type.AddReadAccess(u2, x, "r2");
+    w2 = type.AddWriteAccess(u2, x, Value{std::int64_t{20}}, "w2");
+    rv = type.AddReadAccess(v1, x, "rv");
+  }
+};
+
+TEST(LockedObject, ReadSharing) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.r1));
+  obj.Apply(Create(f.r2));
+  // Both reads grantable concurrently.
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.r1, Value{std::int64_t{0}})));
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.r2, Value{std::int64_t{0}})));
+  obj.Apply(RequestCommit(f.r1, Value{std::int64_t{0}}));
+  obj.Apply(RequestCommit(f.r2, Value{std::int64_t{0}}));
+  EXPECT_EQ(obj.ReadLockCount(), 2u);
+}
+
+TEST(LockedObject, WriteBlockedByForeignReadLock) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.r1));
+  obj.Apply(RequestCommit(f.r1, Value{std::int64_t{0}}));  // u1 access holds lock
+  obj.Apply(Create(f.w2));
+  EXPECT_FALSE(obj.WriteLockFree(f.w2));
+  EXPECT_FALSE(obj.Enabled(RequestCommit(f.w2, kNil)));
+}
+
+TEST(LockedObject, ReadBlockedByForeignWriteLock) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Apply(Create(f.r2));
+  EXPECT_FALSE(obj.ReadLockFree(f.r2));
+  std::vector<ioa::Action> outs;
+  obj.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(LockedObject, AncestorLocksDoNotBlock) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  // w1 commits: lock inherited by u1, an ancestor of rv (u1 -> v1 -> rv).
+  obj.Apply(Commit(f.w1, kNil));
+  obj.Apply(Create(f.rv));
+  EXPECT_TRUE(obj.ReadLockFree(f.rv));
+  // rv sees u1's uncommitted write.
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.rv, Value{std::int64_t{10}})));
+}
+
+TEST(LockedObject, CommitInheritsLocksUpward) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  EXPECT_EQ(obj.WriteLockDepth(), 1u);
+  obj.Apply(Commit(f.w1, kNil));  // lock now held by u1
+  // u2's write still blocked (u1 is not an ancestor of w2).
+  obj.Apply(Create(f.w2));
+  EXPECT_FALSE(obj.WriteLockFree(f.w2));
+  // u1 commits: lock inherited by the root, an ancestor of everything.
+  obj.Apply(Commit(f.u1, kNil));
+  EXPECT_TRUE(obj.WriteLockFree(f.w2));
+}
+
+TEST(LockedObject, AbortDiscardsVersions) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Apply(Commit(f.w1, kNil));  // version held by u1
+  EXPECT_EQ(obj.CurrentValue(), Value{std::int64_t{10}});
+  obj.Apply(Abort(f.u1));  // u1's subtree rolled back
+  EXPECT_EQ(obj.CurrentValue(), Value{std::int64_t{0}});
+  EXPECT_EQ(obj.WriteLockDepth(), 0u);
+  // x is free again for u2.
+  obj.Apply(Create(f.w2));
+  EXPECT_TRUE(obj.WriteLockFree(f.w2));
+}
+
+TEST(LockedObject, AbortDiscardsPendingDescendants) {
+  LockFixture f;
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Apply(Create(f.r2));  // blocked behind w1's lock
+  obj.Apply(Abort(f.u2));   // r2's ancestor aborts while blocked
+  std::vector<ioa::Action> outs;
+  obj.Apply(Commit(f.w1, kNil));
+  obj.Apply(Commit(f.u1, kNil));
+  obj.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());  // r2 no longer pending
+}
+
+TEST(LockedObject, NestedCommitCollapsesVersions) {
+  LockFixture f;
+  // v1's write then u1's own write, both eventually held by u1.
+  const TxnId wv = f.type.AddWriteAccess(f.v1, f.x, Value{std::int64_t{5}});
+  LockedObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(wv));
+  obj.Apply(RequestCommit(wv, kNil));
+  obj.Apply(Commit(wv, kNil));  // held by v1
+  obj.Apply(Commit(f.v1, kNil));  // held by u1
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Apply(Commit(f.w1, kNil));  // also held by u1 -> collapse
+  EXPECT_EQ(obj.WriteLockDepth(), 1u);
+  EXPECT_EQ(obj.CurrentValue(), Value{std::int64_t{10}});
+}
+
+TEST(ConcurrentScheduler, AllowsConcurrentSiblings) {
+  LockFixture f;
+  ConcurrentScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(RequestCreate(f.u2));
+  s.Apply(Create(f.u1));
+  // Unlike the serial scheduler, u2 may be created while u1 is live.
+  EXPECT_TRUE(s.Enabled(Create(f.u2)));
+}
+
+TEST(ConcurrentScheduler, AbortAfterCreate) {
+  LockFixture f;
+  ConcurrentScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  EXPECT_TRUE(s.Enabled(Abort(f.u1)));
+  s.Apply(Abort(f.u1));
+  EXPECT_TRUE(s.Aborted(f.u1));
+  EXPECT_TRUE(s.Returned(f.u1));
+}
+
+TEST(ConcurrentScheduler, OrphansCannotCommit) {
+  LockFixture f;
+  ConcurrentScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  s.Apply(RequestCreate(f.v1));
+  s.Apply(Create(f.v1));
+  s.Apply(Abort(f.u1));  // v1 is now an orphan
+  EXPECT_TRUE(s.IsOrphan(f.v1));
+  s.Apply(RequestCommit(f.v1, kNil));
+  EXPECT_FALSE(s.Enabled(Commit(f.v1, kNil)));
+}
+
+// --- Theorem 11: QC over locking is one-copy serializable -------------------
+
+struct ConcurrentFixture {
+  ReplicatedSpec spec;
+  ItemId x, y;
+  std::vector<TxnId> users;
+  std::vector<std::vector<TxnId>> scripts;
+  UserAutomataFactory factory;
+
+  explicit ConcurrentFixture(Rng& rng) {
+    x = spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+    y = spec.AddItem("y", 2, quorum::ReadOneWriteAll(2),
+                     Plain{std::int64_t{0}});
+    std::int64_t next = 1;
+    const std::size_t user_count = 2 + rng.Below(2);
+    for (std::size_t i = 0; i < user_count; ++i) {
+      const TxnId u =
+          spec.AddTransaction(kRootTxn, "U" + std::to_string(i));
+      std::vector<TxnId> script;
+      const std::size_t tms = 1 + rng.Below(3);
+      for (std::size_t k = 0; k < tms; ++k) {
+        const ItemId item = rng.Chance(0.5) ? x : y;
+        if (rng.Chance(0.5)) {
+          script.push_back(spec.AddReadTm(u, item));
+        } else {
+          script.push_back(spec.AddWriteTm(u, item, Plain{next++}));
+        }
+      }
+      users.push_back(u);
+      scripts.push_back(std::move(script));
+    }
+    spec.Finalize(/*read_attempts=*/2, /*write_attempts=*/1);
+
+    const ReplicatedSpec* s = &spec;
+    auto users_copy = users;
+    auto scripts_copy = scripts;
+    factory = [s, users_copy, scripts_copy](ioa::System& sys) {
+      txn::ScriptedTransaction::Options root_opts;
+      root_opts.sequential = false;  // run the users concurrently
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), kRootTxn, users_copy,
+                                            root_opts);
+      for (std::size_t i = 0; i < users_copy.size(); ++i) {
+        sys.Emplace<txn::ScriptedTransaction>(s->Type(), users_copy[i],
+                                              scripts_copy[i]);
+      }
+    };
+  }
+};
+
+class OneCopySweep : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(OneCopySweep, ConcurrentRunsAreOneCopySerializable) {
+  const auto [seed_int, abort_weight] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed_int) * 424243 + 11);
+  ConcurrentFixture f(rng);
+  ioa::System sys = BuildSystemC(f.spec, f.factory);
+  ioa::ExploreOptions opts;
+  opts.max_steps = 20000;
+  opts.weight = [w = abort_weight](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? w : 1.0;
+  };
+  const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  const OneCopyResult check = CheckOneCopySerializability(f.spec, r.schedule);
+  EXPECT_TRUE(check.ok) << "seed=" << seed_int << " abort=" << abort_weight
+                        << ": " << check.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, OneCopySweep,
+    ::testing::Combine(::testing::Range(0, 30),
+                       ::testing::Values(0.0, 0.05, 0.25)));
+
+TEST(OneCopy, RecoveryIsActuallyExercised) {
+  // Across the sweep's configurations, created transactions do get aborted
+  // (so the locking layer's rollback path is covered), yet one-copy
+  // serializability holds.
+  std::size_t rollbacks = 0, commits = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 71 + 3);
+    ConcurrentFixture f(rng);
+    ioa::System sys = BuildSystemC(f.spec, f.factory);
+    ioa::ExploreOptions opts;
+    opts.max_steps = 20000;
+    opts.weight = [](const ioa::Action& a) {
+      return a.kind == ioa::ActionKind::kAbort ? 0.15 : 1.0;
+    };
+    const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+    ASSERT_TRUE(r.quiescent);
+    const RunStats stats = CollectRunStats(f.spec, r.schedule);
+    rollbacks += stats.aborted_created_txns;
+    commits += stats.committed_top_level;
+    const OneCopyResult check =
+        CheckOneCopySerializability(f.spec, r.schedule);
+    ASSERT_TRUE(check.ok) << check.message;
+  }
+  EXPECT_GT(rollbacks, 0u);
+  EXPECT_GT(commits, 0u);
+}
+
+TEST(OneCopy, SerializationMatchesCommitOrder) {
+  // With genuinely concurrent users, conflicting writers deadlock unless
+  // the scheduler may abort (and retries are not modelled), so give the
+  // explorer a small abort weight and look for a run where at least one
+  // transaction commits; the serialization must list the committed
+  // top-levels in exactly their COMMIT order.
+  bool verified = false;
+  for (std::uint64_t seed = 0; seed < 40 && !verified; ++seed) {
+    Rng rng(seed * 17 + 7);
+    ConcurrentFixture f(rng);
+    ioa::System sys = BuildSystemC(f.spec, f.factory);
+    ioa::ExploreOptions opts;
+    opts.weight = [](const ioa::Action& a) {
+      return a.kind == ioa::ActionKind::kAbort ? 0.03 : 1.0;
+    };
+    const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+    if (!r.quiescent) continue;
+    const OneCopyResult check =
+        CheckOneCopySerializability(f.spec, r.schedule);
+    ASSERT_TRUE(check.ok) << check.message;
+    if (check.serialization.empty()) continue;
+    // Cross-check the order against the raw schedule.
+    std::vector<TxnId> commit_order;
+    for (const ioa::Action& a : r.schedule) {
+      if (a.kind == ioa::ActionKind::kCommit &&
+          f.spec.Type().Parent(a.txn) == kRootTxn) {
+        commit_order.push_back(a.txn);
+      }
+    }
+    EXPECT_EQ(check.serialization, commit_order);
+    verified = true;
+  }
+  EXPECT_TRUE(verified);
+}
+
+}  // namespace
+}  // namespace qcnt::cc

@@ -1,0 +1,169 @@
+// Unit tests for common utilities: RNG determinism and distributions,
+// Value semantics, and the check macros.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/value.hpp"
+
+namespace qcnt {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(10), 10u);
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.3);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(21);
+  Rng b = a.Fork();
+  // The fork and the parent should not produce identical streams.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Value, NilDetection) {
+  EXPECT_TRUE(IsNil(kNil));
+  EXPECT_FALSE(IsNil(Value{std::int64_t{0}}));
+  EXPECT_TRUE(IsNil(Plain{std::monostate{}}));
+  EXPECT_FALSE(IsNil(Plain{std::string{"x"}}));
+}
+
+TEST(Value, PlainRoundTrip) {
+  const Plain p{std::int64_t{42}};
+  EXPECT_EQ(ToPlain(FromPlain(p)), p);
+  const Plain s{std::string{"hello"}};
+  EXPECT_EQ(ToPlain(FromPlain(s)), s);
+  const Plain nil{};
+  EXPECT_EQ(ToPlain(FromPlain(nil)), nil);
+}
+
+TEST(Value, ToPlainRejectsVersioned) {
+  EXPECT_THROW(ToPlain(Value{Versioned{1, Plain{std::int64_t{5}}}}),
+               InvariantViolation);
+}
+
+TEST(Value, VersionedEquality) {
+  const Versioned a{3, Plain{std::int64_t{7}}};
+  const Versioned b{3, Plain{std::int64_t{7}}};
+  const Versioned c{4, Plain{std::int64_t{7}}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(ToString(kNil), "nil");
+  EXPECT_EQ(ToString(Value{std::int64_t{5}}), "5");
+  EXPECT_EQ(ToString(Value{std::string{"ab"}}), "\"ab\"");
+  EXPECT_EQ(ToString(Versioned{2, Plain{std::int64_t{9}}}), "(vn=2,9)");
+}
+
+TEST(Value, ConfigStampEquality) {
+  QuorumSetPayload q{{{0, 1}}, {{1, 2}}};
+  ConfigStamp a{q, 1}, b{q, 1}, c{q, 2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(QCNT_CHECK(false), InvariantViolation);
+  EXPECT_NO_THROW(QCNT_CHECK(true));
+}
+
+TEST(Check, MessageIncluded) {
+  try {
+    QCNT_CHECK_MSG(false, "custom detail");
+    FAIL() << "should have thrown";
+  } catch (const InvariantViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace qcnt

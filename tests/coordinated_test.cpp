@@ -1,0 +1,217 @@
+// Tests for coordinated mode: the paper's extra nesting level, where TMs
+// delegate their read/write phases to coordinator subtransactions. The
+// coordinated systems must satisfy the same Theorem 10 (against the very
+// same system A) and the same Lemma 7/8 invariants.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/harness.hpp"
+#include "replication/invariants.hpp"
+#include "replication/logical.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+struct CoordFixture {
+  ReplicatedSpec spec;
+  ItemId x;
+  TxnId u, wtm, rtm;
+  UserAutomataFactory users;
+
+  explicit CoordFixture(std::size_t read_attempts = 1) {
+    x = spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+    u = spec.AddTransaction(kRootTxn, "U");
+    wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{7}});
+    rtm = spec.AddReadTm(u, x);
+    spec.FinalizeCoordinated(read_attempts);
+    const ReplicatedSpec* s = &spec;
+    const TxnId cu = u, cw = wtm, cr = rtm;
+    users = [s, cu, cw, cr](ioa::System& sys) {
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), kRootTxn,
+                                            std::vector<TxnId>{cu});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), cu,
+                                            std::vector<TxnId>{cw, cr});
+    };
+  }
+};
+
+TEST(Coordinated, MaterializationShape) {
+  CoordFixture f;
+  EXPECT_TRUE(f.spec.Coordinated());
+  // The write-TM has a read coordinator + one write coordinator (W = 1).
+  const auto& kids = f.spec.Type().Children(f.wtm);
+  ASSERT_EQ(kids.size(), 2u);
+  for (TxnId k : kids) {
+    EXPECT_TRUE(f.spec.IsCoordinator(k));
+    EXPECT_TRUE(f.spec.IsReplicationInternal(k));
+    EXPECT_FALSE(f.spec.IsUserTransaction(k));
+    EXPECT_FALSE(f.spec.IsReplicaAccess(k));
+    // Accesses hang under the coordinator, three per (majority over 3 DMs).
+    EXPECT_EQ(f.spec.Type().Children(k).size(), 3u);
+    for (TxnId acc : f.spec.Type().Children(k)) {
+      EXPECT_TRUE(f.spec.IsReplicaAccess(acc));
+    }
+  }
+  // The read-TM has exactly its read coordinator.
+  EXPECT_EQ(f.spec.Type().Children(f.rtm).size(), 1u);
+}
+
+TEST(Coordinated, WriteThenReadReturnsValue) {
+  CoordFixture f;
+  ioa::System b = BuildB(f.spec, f.users);
+  Rng rng(4);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  bool found = false;
+  for (const ioa::Action& a : r.schedule) {
+    if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == f.rtm) {
+      EXPECT_EQ(a.value, Value{std::int64_t{7}});
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(LogicalState(f.spec, f.x, r.schedule), Plain{std::int64_t{7}});
+}
+
+TEST(Coordinated, SchedulesAreWellFormed) {
+  CoordFixture f;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    ioa::System b = BuildB(f.spec, f.users);
+    const ioa::ExploreResult r = ioa::Explore(b, seed);
+    ASSERT_TRUE(r.quiescent);
+    std::string msg;
+    EXPECT_TRUE(txn::IsWellFormed(f.spec.Type(), r.schedule, &msg))
+        << "seed " << seed << ": " << msg;
+  }
+}
+
+TEST(Coordinated, ProjectionRemovesCoordinatorsToo) {
+  CoordFixture f;
+  ioa::System b = BuildB(f.spec, f.users);
+  Rng rng(9);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  const ioa::Schedule alpha = ProjectOutReplicaAccesses(f.spec, r.schedule);
+  for (const ioa::Action& a : alpha) {
+    EXPECT_FALSE(f.spec.IsCoordinator(a.txn));
+    EXPECT_FALSE(f.spec.IsReplicaAccess(a.txn));
+  }
+  // But the TMs themselves remain.
+  bool tm_seen = false;
+  for (const ioa::Action& a : alpha) {
+    if (a.txn == f.rtm) tm_seen = true;
+  }
+  EXPECT_TRUE(tm_seen);
+}
+
+class CoordinatedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordinatedSweep, Theorem10AndLemmasHold) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  // Random small coordinated systems with varying abort pressure.
+  Rng rng(seed * 999331 + 7);
+  ReplicatedSpec spec;
+  const ReplicaId n = static_cast<ReplicaId>(rng.Range(2, 4));
+  const ItemId x =
+      spec.AddItem("x", n, quorum::Majority(n), Plain{std::int64_t{0}});
+  const ItemId y = spec.AddItem("y", 2, quorum::ReadOneWriteAll(2),
+                                Plain{std::int64_t{0}});
+  const TxnId u1 = spec.AddTransaction(kRootTxn, "U1");
+  const TxnId u2 = spec.AddTransaction(kRootTxn, "U2");
+  std::vector<TxnId> s1{spec.AddWriteTm(u1, x, Plain{std::int64_t{1}}),
+                        spec.AddReadTm(u1, y)};
+  std::vector<TxnId> s2{spec.AddWriteTm(u2, y, Plain{std::int64_t{2}}),
+                        spec.AddReadTm(u2, x),
+                        spec.AddWriteTm(u2, x, Plain{std::int64_t{3}})};
+  spec.FinalizeCoordinated(/*read_attempts=*/2);
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u1, u2});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u1, s1);
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u2, s2);
+  };
+
+  ioa::System b = BuildB(spec, users);
+  ioa::Schedule so_far;
+  InvariantReport first_failure;
+  ioa::ExploreOptions opts;
+  const double abort_weight = (seed % 3 == 0) ? 0.0 : 0.3;
+  opts.weight = [&spec, abort_weight](const ioa::Action& a) {
+    if (a.kind != ioa::ActionKind::kAbort) return 1.0;
+    // Abort accesses and occasionally coordinators (exercising the TM's
+    // stuck-coordinator path).
+    if (spec.IsReplicaAccess(a.txn)) return abort_weight;
+    if (spec.IsCoordinator(a.txn)) return abort_weight * 0.2;
+    return 0.0;
+  };
+  opts.observer = [&](const ioa::Action& a, const ioa::System& sys) {
+    so_far.push_back(a);
+    if (!first_failure.ok) return;
+    first_failure = CheckLemmas(spec, sys, so_far);
+  };
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  EXPECT_TRUE(first_failure.ok) << first_failure.message;
+
+  std::string msg;
+  EXPECT_TRUE(txn::IsWellFormed(spec.Type(), r.schedule, &msg)) << msg;
+  const Theorem10Result t10 = CheckTheorem10(spec, users, r.schedule);
+  EXPECT_TRUE(t10.ok) << "seed " << seed << ": " << t10.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoordinatedSweep, ::testing::Range(0, 30));
+
+TEST(Coordinated, FlatAndCoordinatedAgreeOnOutcomes) {
+  // The same workload under Finalize and FinalizeCoordinated yields the
+  // same logical outcomes (abort-free, deterministic scripts).
+  auto run = [](bool coordinated) {
+    ReplicatedSpec spec;
+    const ItemId x =
+        spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+    const TxnId u = spec.AddTransaction(kRootTxn, "U");
+    const TxnId w1 = spec.AddWriteTm(u, x, Plain{std::int64_t{5}});
+    const TxnId r1 = spec.AddReadTm(u, x);
+    const TxnId w2 = spec.AddWriteTm(u, x, Plain{std::int64_t{6}});
+    const TxnId r2 = spec.AddReadTm(u, x);
+    if (coordinated) {
+      spec.FinalizeCoordinated();
+    } else {
+      spec.Finalize();
+    }
+    UserAutomataFactory users = [&](ioa::System& sys) {
+      sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                            std::vector<TxnId>{u});
+      sys.Emplace<txn::ScriptedTransaction>(
+          spec.Type(), u, std::vector<TxnId>{w1, r1, w2, r2});
+    };
+    ioa::System b = BuildB(spec, users);
+    Rng rng(1);
+    ioa::ExploreOptions opts;
+    opts.weight = AbortWeight(0.0);
+    const ioa::ExploreResult res = ioa::Explore(b, rng, opts);
+    std::vector<Value> reads;
+    for (const ioa::Action& a : res.schedule) {
+      if (a.kind == ioa::ActionKind::kRequestCommit &&
+          (a.txn == r1 || a.txn == r2)) {
+        reads.push_back(a.value);
+      }
+    }
+    return reads;
+  };
+  const auto flat = run(false);
+  const auto coordinated = run(true);
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat, coordinated);
+  EXPECT_EQ(flat[0], Value{std::int64_t{5}});
+  EXPECT_EQ(flat[1], Value{std::int64_t{6}});
+}
+
+}  // namespace
+}  // namespace qcnt::replication

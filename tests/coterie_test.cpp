@@ -1,0 +1,135 @@
+// Tests for coterie theory: the coterie predicate, domination, the
+// Garcia-Molina–Barbara non-domination characterization, minimal
+// transversals, and vote-assignability.
+#include <gtest/gtest.h>
+
+#include "quorum/coterie.hpp"
+#include "quorum/strategies.hpp"
+
+namespace qcnt::quorum {
+namespace {
+
+std::vector<Quorum> Majorities(ReplicaId n) {
+  return Majority(n).ReadQuorums();
+}
+
+TEST(Coterie, MajorityIsACoterie) {
+  EXPECT_TRUE(IsCoterie(Majorities(3), 3));
+  EXPECT_TRUE(IsCoterie(Majorities(5), 5));
+}
+
+TEST(Coterie, RejectsNonIntersecting) {
+  EXPECT_FALSE(IsCoterie({{0}, {1}}, 2));
+}
+
+TEST(Coterie, RejectsNonAntichain) {
+  EXPECT_FALSE(IsCoterie({{0}, {0, 1}}, 2));
+}
+
+TEST(Coterie, RejectsEmptyAndOutOfUniverse) {
+  EXPECT_FALSE(IsCoterie({}, 3));
+  EXPECT_FALSE(IsCoterie({{0, 5}}, 3));  // replica 5 outside {0,1,2}
+}
+
+TEST(Coterie, SingletonCoterie) {
+  EXPECT_TRUE(IsCoterie({{0}}, 3));  // primary copy
+  EXPECT_TRUE(IsCoterie({{0, 1, 2}}, 3));  // all-of-them
+}
+
+TEST(Coterie, DominationBasics) {
+  // {{0}} dominates {{0,1}}: the singleton is contained in the pair.
+  EXPECT_TRUE(Dominates({{0}}, {{0, 1}}));
+  EXPECT_FALSE(Dominates({{0, 1}}, {{0}}));
+  // A coterie never dominates itself.
+  EXPECT_FALSE(Dominates(Majorities(3), Majorities(3)));
+}
+
+TEST(Coterie, OddMajorityIsNonDominated) {
+  EXPECT_FALSE(IsDominated(Majorities(3), 3));
+  EXPECT_FALSE(IsDominated(Majorities(5), 5));
+}
+
+TEST(Coterie, EvenMajorityIsDominated) {
+  // Majority over an even universe is the classic dominated example: break
+  // ties by favoring one side. The witness intersects every 3-of-4 quorum
+  // without containing one (e.g. a suitable 2-element set).
+  EXPECT_TRUE(IsDominated(Majorities(4), 4));
+  const auto witness = DominationWitness(Majorities(4), 4);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_LT(witness->size(), 3u);
+}
+
+TEST(Coterie, WitnessProperties) {
+  const auto witness = DominationWitness(Majorities(4), 4);
+  ASSERT_TRUE(witness.has_value());
+  for (const Quorum& q : Majorities(4)) {
+    EXPECT_TRUE(Intersects(*witness, q));
+    EXPECT_FALSE(IsSubset(q, *witness));
+  }
+}
+
+TEST(Coterie, PrimaryCopyNonDominated) {
+  EXPECT_FALSE(IsDominated({{0}}, 5));
+}
+
+TEST(Coterie, AllOfThemIsDominated) {
+  // The write-all coterie is dominated (by the primary copy, among others).
+  EXPECT_TRUE(IsDominated({{0, 1, 2}}, 3));
+  EXPECT_TRUE(Dominates({{0}}, {{0, 1, 2}}));
+}
+
+TEST(Coterie, GridWriteQuorumsAreCoterie) {
+  const Configuration g = Grid(2, 2);
+  EXPECT_TRUE(IsCoterie(g.WriteQuorums(), 4));
+}
+
+TEST(Coterie, TransversalsOfMajority) {
+  // The minimal transversals of the 2-of-3 majority coterie are exactly the
+  // 2-element sets: a single replica misses the quorum made of the others.
+  const auto ts = MinimalTransversals(Majorities(3), 3);
+  EXPECT_EQ(ts.size(), 3u);
+  for (const Quorum& t : ts) EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Coterie, TransversalsOfPrimary) {
+  // Only {0} blocks the primary-copy coterie.
+  const auto ts = MinimalTransversals({{0}}, 3);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0], Quorum{0});
+}
+
+TEST(Coterie, SelfTransversalityOfNonDominatedCoteries) {
+  // An ND coterie equals its own set of minimal transversals (a classical
+  // characterization); check it for the odd majorities.
+  for (ReplicaId n : {3, 5}) {
+    auto ts = MinimalTransversals(Majorities(n), n);
+    auto expected = Majorities(n);
+    std::sort(ts.begin(), ts.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ts, expected) << "n=" << n;
+  }
+}
+
+TEST(Coterie, MajorityIsVoteAssignable) {
+  EXPECT_TRUE(IsVoteAssignable(Majorities(3), 3));
+  EXPECT_TRUE(IsVoteAssignable(Majorities(5), 5, 1));
+}
+
+TEST(Coterie, PrimaryCopyIsVoteAssignable) {
+  // All votes at replica 0.
+  EXPECT_TRUE(IsVoteAssignable({{0}}, 3));
+}
+
+TEST(Coterie, WeightedShapeIsVoteAssignable) {
+  // Quorums of votes (2,1,1) with threshold 2: {0}, {1,2}.
+  EXPECT_TRUE(IsVoteAssignable({{0}, {1, 2}}, 3));
+}
+
+TEST(Coterie, NonVoteAssignableShape) {
+  // {{0,1},{1,2},{2,3},{3,0}} (the 4-cycle) is a classic non-vote-
+  // assignable quorum set: votes would force the two diagonals to tie.
+  EXPECT_FALSE(IsVoteAssignable({{0, 1}, {1, 2}, {2, 3}, {0, 3}}, 4));
+}
+
+}  // namespace
+}  // namespace qcnt::quorum

@@ -1,0 +1,251 @@
+// Fault-injection tests: the correctness checkers must not be vacuous.
+//
+// Two families:
+//  1. Break the algorithm's key hypothesis — quorum intersection — via
+//     AddItemUnchecked and confirm that Lemma 8 / Theorem 10 violations
+//     really occur and are caught.
+//  2. Feed hand-corrupted schedules to the checkers and confirm detection.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/harness.hpp"
+#include "replication/invariants.hpp"
+#include "replication/logical.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+/// Disjoint read/write quorums over 2 replicas: reads go to replica 0,
+/// writes to replica 1 — the illegal configuration par excellence.
+quorum::Configuration DisjointConfig() {
+  return quorum::Configuration({{0}}, {{1}});
+}
+
+struct BrokenFixture {
+  ReplicatedSpec spec;
+  ItemId x;
+  TxnId u, wtm, rtm;
+  UserAutomataFactory users;
+
+  /// The paper's TMs may touch more DMs than a quorum, which can mask the
+  /// broken configuration by luck; this weight confines the read-TM to its
+  /// (non-intersecting) read quorum {0} and the write-TM's installs to its
+  /// write quorum {1} — the efficient behavior a real implementation would
+  /// use ("one would want to limit the number of accesses invoked").
+  std::function<double(const ioa::Action&)> QuorumOnlyWeight() const {
+    const ReplicatedSpec* s = &spec;
+    const TxnId r = rtm, w = wtm;
+    return [s, r, w](const ioa::Action& a) {
+      if (a.kind == ioa::ActionKind::kAbort) return 0.0;
+      if (a.kind == ioa::ActionKind::kRequestCreate &&
+          s->Type().IsAccess(a.txn)) {
+        const TxnId parent = s->Type().Parent(a.txn);
+        const ReplicaId replica =
+            s->ReplicaOf(s->Type().ObjectOf(a.txn));
+        if (parent == r && replica != 0) return 0.0;
+        if (parent == w && replica != 1 &&
+            s->Type().KindOf(a.txn) == txn::AccessKind::kWrite) {
+          return 0.0;
+        }
+      }
+      return 1.0;
+    };
+  }
+
+  BrokenFixture() {
+    x = spec.AddItemUnchecked("x", 2, DisjointConfig(),
+                              Plain{std::int64_t{0}});
+    u = spec.AddTransaction(kRootTxn, "U");
+    wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{9}});
+    rtm = spec.AddReadTm(u, x);
+    spec.Finalize();
+    const ReplicatedSpec* s = &spec;
+    const TxnId cu = u, cw = wtm, cr = rtm;
+    users = [s, cu, cw, cr](ioa::System& sys) {
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), kRootTxn,
+                                            std::vector<TxnId>{cu});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), cu,
+                                            std::vector<TxnId>{cw, cr});
+    };
+  }
+};
+
+TEST(FaultInjection, AddItemRejectsIllegalConfigByDefault) {
+  ReplicatedSpec spec;
+  EXPECT_ANY_THROW(spec.AddItem("x", 2, DisjointConfig(), Plain{}));
+  EXPECT_NO_THROW(spec.AddItemUnchecked("x", 2, DisjointConfig(), Plain{}));
+}
+
+TEST(FaultInjection, DisjointQuorumsBreakLemma8AndAreDetected) {
+  // Without read/write intersection the read-TM reads replica 0, which the
+  // write-quorum {1} never touched: the read returns the initial value
+  // instead of the written 9. The Lemma-8 checker must flag it.
+  BrokenFixture f;
+  std::size_t violations = 0, runs = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    ioa::System b = BuildB(f.spec, f.users);
+    ioa::Schedule so_far;
+    bool lemma_ok = true;
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    opts.weight = f.QuorumOnlyWeight();
+    opts.observer = [&](const ioa::Action& a, const ioa::System& sys) {
+      so_far.push_back(a);
+      if (!lemma_ok) return;
+      lemma_ok = CheckLemmas(f.spec, sys, so_far).ok;
+    };
+    const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+    ASSERT_TRUE(r.quiescent);
+    ++runs;
+    if (!lemma_ok) ++violations;
+  }
+  // Every abort-free run completes the write then the stale read.
+  EXPECT_EQ(violations, runs);
+}
+
+TEST(FaultInjection, DisjointQuorumsBreakTheorem10AndAreDetected) {
+  BrokenFixture f;
+  ioa::System b = BuildB(f.spec, f.users);
+  Rng rng(3);
+  ioa::ExploreOptions opts;
+  opts.weight = f.QuorumOnlyWeight();
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  // The stale read is a step the one-copy system A cannot take.
+  const Theorem10Result t10 = CheckTheorem10(f.spec, f.users, r.schedule);
+  EXPECT_FALSE(t10.ok);
+  EXPECT_NE(t10.message.find("not a schedule of A"), std::string::npos);
+}
+
+TEST(FaultInjection, WriteWriteIntersectionAloneIsNotEnough) {
+  // Reads {0} / writes {{0},{1}}: every write quorum intersects... reads?
+  // {0} ∩ {1} = ∅, so the configuration is illegal even though write
+  // quorums pairwise intersect read quorum {0} only half the time. A write
+  // landing on replica 1 is invisible to the reader.
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItemUnchecked(
+      "x", 2, quorum::Configuration({{0}}, {{0}, {1}}),
+      Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId w = spec.AddWriteTm(u, x, Plain{std::int64_t{5}});
+  const TxnId r = spec.AddReadTm(u, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                          std::vector<TxnId>{w, r});
+  };
+  // Drive the adversarial choice: the write-TM uses write quorum {1} only,
+  // the read-TM consults only its read quorum {0}.
+  auto adversarial = [&spec, w, r](const ioa::Action& a) {
+    if (a.kind == ioa::ActionKind::kAbort) return 0.0;
+    if (a.kind == ioa::ActionKind::kRequestCreate &&
+        spec.Type().IsAccess(a.txn)) {
+      const TxnId parent = spec.Type().Parent(a.txn);
+      const ReplicaId replica =
+          spec.ReplicaOf(spec.Type().ObjectOf(a.txn));
+      if (parent == r && replica != 0) return 0.0;
+      if (parent == w && replica == 0 &&
+          spec.Type().KindOf(a.txn) == txn::AccessKind::kWrite) {
+        return 0.0;
+      }
+    }
+    return 1.0;
+  };
+  bool any_violation = false;
+  for (std::uint64_t seed = 0; seed < 40 && !any_violation; ++seed) {
+    ioa::System b = BuildB(spec, users);
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    opts.weight = adversarial;
+    const ioa::ExploreResult res = ioa::Explore(b, rng, opts);
+    if (!res.quiescent) continue;
+    if (!CheckTheorem10(spec, users, res.schedule).ok) any_violation = true;
+  }
+  EXPECT_TRUE(any_violation);
+}
+
+TEST(FaultInjection, CorruptedReadValueDetectedByLemmaChecker) {
+  // Take a healthy run, then corrupt the read-TM's returned value in the
+  // schedule; Lemma 8 part 2 must flag the forgery.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId w = spec.AddWriteTm(u, x, Plain{std::int64_t{7}});
+  const TxnId r = spec.AddReadTm(u, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                          std::vector<TxnId>{w, r});
+  };
+  ioa::System b = BuildB(spec, users);
+  Rng rng(5);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult res = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(res.quiescent);
+
+  ioa::Schedule corrupted;
+  bool truncated_at_forgery = false;
+  for (const ioa::Action& a : res.schedule) {
+    if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == r) {
+      corrupted.push_back(
+          ioa::RequestCommit(r, Value{std::int64_t{12345}}));
+      truncated_at_forgery = true;
+      break;
+    }
+    corrupted.push_back(a);
+  }
+  ASSERT_TRUE(truncated_at_forgery);
+  // Rebuild the live system state for the corrupted prefix (the DM states
+  // depend only on replica-access actions, which we kept).
+  ioa::System b2 = BuildB(spec, users);
+  for (const ioa::Action& a : corrupted) b2.Apply(a);
+  EXPECT_FALSE(CheckLemmas(spec, b2, corrupted).ok);
+}
+
+TEST(FaultInjection, CorruptedLogicalStateDetectedByTheoremChecker) {
+  // Replace a write-TM's value in the write_values map? Not possible — so
+  // instead corrupt the *schedule*: drop the write-TM's REQUEST-COMMIT and
+  // keep the read that returns its value. The replayed system A then sees
+  // a read of a value never written.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId w = spec.AddWriteTm(u, x, Plain{std::int64_t{7}});
+  const TxnId r = spec.AddReadTm(u, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                          std::vector<TxnId>{w, r});
+  };
+  ioa::System b = BuildB(spec, users);
+  Rng rng(5);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult res = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(res.quiescent);
+
+  ioa::Schedule corrupted;
+  for (const ioa::Action& a : res.schedule) {
+    if (a.txn == w && (a.kind == ioa::ActionKind::kRequestCommit ||
+                       a.kind == ioa::ActionKind::kCommit)) {
+      continue;  // erase the logical write's completion
+    }
+    corrupted.push_back(a);
+  }
+  EXPECT_FALSE(CheckTheorem10(spec, users, corrupted).ok);
+}
+
+}  // namespace
+}  // namespace qcnt::replication

@@ -1,0 +1,207 @@
+// Integration tests: deep nesting, several items under different quorum
+// strategies, interleaved non-replica objects, and mid-tree aborts — with
+// hand-computed expected values and the full checker battery on every run.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/harness.hpp"
+#include "replication/invariants.hpp"
+#include "replication/logical.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+/// Value a transaction committed with in the schedule, if any.
+std::optional<Value> CommittedValue(const ioa::Schedule& s, TxnId t) {
+  for (const ioa::Action& a : s) {
+    if (a.kind == ioa::ActionKind::kCommit && a.txn == t) return a.value;
+  }
+  return std::nullopt;
+}
+
+struct DeepFixture {
+  ReplicatedSpec spec;
+  ItemId x, y;
+  ObjectId scratch;
+  // Tree: T0 -> U -> {V1 -> {W1}, V2}, TMs at every level.
+  TxnId u, v1, v2, w1;
+  TxnId u_write_x;        // U writes x = 1 directly
+  TxnId v1_read_x;        // V1 reads x (expects 1)
+  TxnId w1_write_y;       // W1 (depth 3) writes y = 2
+  TxnId w1_scratch;       // W1 also writes the non-replica object
+  TxnId v2_read_y;        // V2 reads y (expects 2)
+  TxnId v2_write_x;       // V2 writes x = 3
+  TxnId u_read_x;         // U reads x after children (expects 3)
+  UserAutomataFactory users;
+
+  DeepFixture() {
+    x = spec.AddItem("x", 4, quorum::Majority(4), Plain{std::int64_t{0}});
+    y = spec.AddItem("y", 3, quorum::ReadOneWriteAll(3),
+                     Plain{std::int64_t{0}});
+    scratch = spec.AddPlainObject("scratch", Plain{std::int64_t{0}});
+
+    u = spec.AddTransaction(kRootTxn, "U");
+    u_write_x = spec.AddWriteTm(u, x, Plain{std::int64_t{1}});
+    v1 = spec.AddTransaction(u, "V1");
+    v1_read_x = spec.AddReadTm(v1, x);
+    w1 = spec.AddTransaction(v1, "W1");
+    w1_write_y = spec.AddWriteTm(w1, y, Plain{std::int64_t{2}});
+    w1_scratch = spec.AddPlainWrite(w1, scratch, Plain{std::int64_t{99}});
+    v2 = spec.AddTransaction(u, "V2");
+    v2_read_y = spec.AddReadTm(v2, y);
+    v2_write_x = spec.AddWriteTm(v2, x, Plain{std::int64_t{3}});
+    u_read_x = spec.AddReadTm(u, x);
+    spec.Finalize(/*read_attempts=*/2);
+
+    const ReplicatedSpec* s = &spec;
+    const auto c = *this;  // copy ids only; spec captured via pointer
+    users = [s, u_ = u, v1_ = v1, v2_ = v2, w1_ = w1, uwx = u_write_x,
+             v1rx = v1_read_x, w1wy = w1_write_y, w1s = w1_scratch,
+             v2ry = v2_read_y, v2wx = v2_write_x,
+             urx = u_read_x](ioa::System& sys) {
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), kRootTxn,
+                                            std::vector<TxnId>{u_});
+      sys.Emplace<txn::ScriptedTransaction>(
+          s->Type(), u_, std::vector<TxnId>{uwx, v1_, v2_, urx});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), v1_,
+                                            std::vector<TxnId>{v1rx, w1_});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), w1_,
+                                            std::vector<TxnId>{w1wy, w1s});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), v2_,
+                                            std::vector<TxnId>{v2ry, v2wx});
+    };
+    (void)c;
+  }
+};
+
+TEST(Integration, DeepNestingDeterministicValues) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    DeepFixture f;
+    ioa::System b = BuildB(f.spec, f.users);
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    opts.weight = AbortWeight(0.0);
+    const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+    ASSERT_TRUE(r.quiescent);
+
+    // Program order: U writes x=1; V1 reads x (1) and W1 writes y=2 and
+    // scratch=99; V2 reads y (2) then writes x=3; U reads x (3).
+    EXPECT_EQ(CommittedValue(r.schedule, f.v1_read_x),
+              Value{std::int64_t{1}});
+    EXPECT_EQ(CommittedValue(r.schedule, f.v2_read_y),
+              Value{std::int64_t{2}});
+    EXPECT_EQ(CommittedValue(r.schedule, f.u_read_x),
+              Value{std::int64_t{3}});
+
+    EXPECT_EQ(LogicalState(f.spec, f.x, r.schedule), Plain{std::int64_t{3}});
+    EXPECT_EQ(LogicalState(f.spec, f.y, r.schedule), Plain{std::int64_t{2}});
+
+    std::string msg;
+    EXPECT_TRUE(txn::IsWellFormed(f.spec.Type(), r.schedule, &msg)) << msg;
+    const Theorem10Result t10 = CheckTheorem10(f.spec, f.users, r.schedule);
+    EXPECT_TRUE(t10.ok) << "seed " << seed << ": " << t10.message;
+    const InvariantReport inv = CheckLemmas(f.spec, b, r.schedule);
+    EXPECT_TRUE(inv.ok) << inv.message;
+  }
+}
+
+TEST(Integration, MidTreeAbortRollsBackSubtreeAtomically) {
+  // Abort V2 (which would have read y and written x=3): U's final read
+  // then sees its own earlier write x=1, and the theorem still holds.
+  DeepFixture f;
+  ioa::System b = BuildB(f.spec, f.users);
+  Rng rng(77);
+  ioa::ExploreOptions opts;
+  opts.weight = [&f](const ioa::Action& a) {
+    if (a.kind != ioa::ActionKind::kAbort) return 1.0;
+    return a.txn == f.v2 ? 1000.0 : 0.0;
+  };
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+
+  // V2 aborted; in the serial model it was never created.
+  bool v2_aborted = false;
+  for (const ioa::Action& a : r.schedule) {
+    if (a.kind == ioa::ActionKind::kAbort && a.txn == f.v2) v2_aborted = true;
+    EXPECT_NE(a, ioa::Create(f.v2));
+  }
+  ASSERT_TRUE(v2_aborted);
+
+  EXPECT_EQ(CommittedValue(r.schedule, f.u_read_x), Value{std::int64_t{1}});
+  EXPECT_EQ(LogicalState(f.spec, f.x, r.schedule), Plain{std::int64_t{1}});
+  // W1 under V1 still ran: y and scratch updated.
+  EXPECT_EQ(LogicalState(f.spec, f.y, r.schedule), Plain{std::int64_t{2}});
+
+  const Theorem10Result t10 = CheckTheorem10(f.spec, f.users, r.schedule);
+  EXPECT_TRUE(t10.ok) << t10.message;
+}
+
+TEST(Integration, PlainObjectsCoexistWithReplication) {
+  DeepFixture f;
+  ioa::System b = BuildB(f.spec, f.users);
+  Rng rng(5);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  // The scratch (non-replica) write access committed with nil; the object
+  // path is untouched by the projection.
+  EXPECT_EQ(CommittedValue(r.schedule, f.w1_scratch), Value{kNil});
+  const ioa::Schedule alpha = ProjectOutReplicaAccesses(f.spec, r.schedule);
+  std::size_t scratch_ops_beta = 0, scratch_ops_alpha = 0;
+  for (const ioa::Action& a : r.schedule) {
+    if (a.txn == f.w1_scratch) ++scratch_ops_beta;
+  }
+  for (const ioa::Action& a : alpha) {
+    if (a.txn == f.w1_scratch) ++scratch_ops_alpha;
+  }
+  EXPECT_EQ(scratch_ops_beta, scratch_ops_alpha);
+  EXPECT_GT(scratch_ops_beta, 0u);
+}
+
+TEST(Integration, DifferentStrategiesPerItemInOneSystem) {
+  // x under grid(2,2), y under weighted voting, z under read-all-write-one,
+  // all in one transaction tree.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 4, quorum::Grid(2, 2), Plain{std::int64_t{0}});
+  const ItemId y = spec.AddItem("y", 3, quorum::WeightedVoting({2, 1, 1}, 2, 3),
+                                Plain{std::int64_t{0}});
+  const ItemId z = spec.AddItem("z", 2, quorum::ReadAllWriteOne(2),
+                                Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  std::vector<TxnId> script;
+  script.push_back(spec.AddWriteTm(u, x, Plain{std::int64_t{10}}));
+  script.push_back(spec.AddWriteTm(u, y, Plain{std::int64_t{20}}));
+  script.push_back(spec.AddWriteTm(u, z, Plain{std::int64_t{30}}));
+  const TxnId rx = spec.AddReadTm(u, x);
+  const TxnId ry = spec.AddReadTm(u, y);
+  const TxnId rz = spec.AddReadTm(u, z);
+  script.insert(script.end(), {rx, ry, rz});
+  spec.Finalize(2);
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u, script);
+  };
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    ioa::System b = BuildB(spec, users);
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    opts.weight = AbortWeight(0.0);
+    const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+    ASSERT_TRUE(r.quiescent);
+    EXPECT_EQ(CommittedValue(r.schedule, rx), Value{std::int64_t{10}});
+    EXPECT_EQ(CommittedValue(r.schedule, ry), Value{std::int64_t{20}});
+    EXPECT_EQ(CommittedValue(r.schedule, rz), Value{std::int64_t{30}});
+    EXPECT_TRUE(CheckTheorem10(spec, users, r.schedule).ok);
+    EXPECT_TRUE(CheckLemmas(spec, b, r.schedule).ok);
+  }
+}
+
+}  // namespace
+}  // namespace qcnt::replication

@@ -1,0 +1,216 @@
+// Unit tests for the I/O automaton framework: actions, composition,
+// projection, replay, and the exploration driver.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "ioa/system.hpp"
+
+namespace qcnt::ioa {
+namespace {
+
+// A toy automaton: counts to `limit` by emitting CREATE(t) actions for a
+// fixed txn id; accepts COMMIT(t) as input, which resets the count.
+class Counter : public Automaton {
+ public:
+  Counter(TxnId txn, int limit) : txn_(txn), limit_(limit) {}
+
+  int Count() const { return count_; }
+
+  std::string Name() const override {
+    return "counter(T" + std::to_string(txn_) + ")";
+  }
+  bool IsOperation(const Action& a) const override {
+    return a.txn == txn_ && (a.kind == ActionKind::kCreate ||
+                             a.kind == ActionKind::kCommit);
+  }
+  bool IsOutput(const Action& a) const override {
+    return a.txn == txn_ && a.kind == ActionKind::kCreate;
+  }
+  bool Enabled(const Action& a) const override {
+    if (!IsOperation(a)) return false;
+    if (a.kind == ActionKind::kCommit) return true;
+    return count_ < limit_;
+  }
+  void Apply(const Action& a) override {
+    if (a.kind == ActionKind::kCreate) {
+      ++count_;
+    } else {
+      count_ = 0;
+    }
+  }
+  void EnabledOutputs(std::vector<Action>& out) const override {
+    if (count_ < limit_) out.push_back(Create(txn_));
+  }
+  void Reset() override { count_ = 0; }
+
+ private:
+  TxnId txn_;
+  int limit_;
+  int count_ = 0;
+};
+
+TEST(Action, Equality) {
+  EXPECT_EQ(Create(3), Create(3));
+  EXPECT_NE(Create(3), Create(4));
+  EXPECT_NE(Create(3), Abort(3));
+  EXPECT_EQ(Commit(1, Value{std::int64_t{5}}), Commit(1, Value{std::int64_t{5}}));
+  EXPECT_NE(Commit(1, Value{std::int64_t{5}}), Commit(1, kNil));
+}
+
+TEST(Action, ReturnOperationPredicate) {
+  EXPECT_TRUE(IsReturnOperation(Commit(1, kNil)));
+  EXPECT_TRUE(IsReturnOperation(Abort(1)));
+  EXPECT_FALSE(IsReturnOperation(Create(1)));
+  EXPECT_FALSE(IsReturnOperation(RequestCommit(1, kNil)));
+  EXPECT_FALSE(IsReturnOperation(RequestCreate(1)));
+}
+
+TEST(Action, ToStringContainsKindAndTxn) {
+  const std::string s = ToString(Commit(7, Value{std::int64_t{9}}));
+  EXPECT_NE(s.find("COMMIT"), std::string::npos);
+  EXPECT_NE(s.find("T7"), std::string::npos);
+  EXPECT_NE(s.find('9'), std::string::npos);
+}
+
+TEST(System, ComposesAndDispatches) {
+  System sys;
+  auto& c1 = sys.Emplace<Counter>(1, 2);
+  auto& c2 = sys.Emplace<Counter>(2, 3);
+  EXPECT_TRUE(sys.IsOperation(Create(1)));
+  EXPECT_TRUE(sys.IsOutput(Create(2)));
+  EXPECT_FALSE(sys.IsOperation(Create(9)));
+
+  sys.Apply(Create(1));
+  EXPECT_EQ(c1.Count(), 1);
+  EXPECT_EQ(c2.Count(), 0);
+}
+
+TEST(System, OutputOwnerUnique) {
+  System sys;
+  sys.Emplace<Counter>(1, 2);
+  sys.Emplace<Counter>(2, 2);
+  EXPECT_NE(sys.OutputOwner(Create(1)), nullptr);
+  EXPECT_EQ(sys.OutputOwner(Create(5)), nullptr);
+  EXPECT_EQ(sys.OutputOwner(Commit(1, kNil)), nullptr);  // input of composition
+}
+
+TEST(System, EnabledReflectsOwner) {
+  System sys;
+  sys.Emplace<Counter>(1, 1);
+  EXPECT_TRUE(sys.Enabled(Create(1)));
+  sys.Apply(Create(1));
+  EXPECT_FALSE(sys.Enabled(Create(1)));  // limit reached
+  EXPECT_TRUE(sys.Enabled(Commit(1, kNil)));  // input: always enabled
+}
+
+TEST(System, ResetRestoresStart) {
+  System sys;
+  auto& c = sys.Emplace<Counter>(1, 5);
+  sys.Apply(Create(1));
+  sys.Apply(Create(1));
+  EXPECT_EQ(c.Count(), 2);
+  sys.Reset();
+  EXPECT_EQ(c.Count(), 0);
+}
+
+TEST(Execution, ProjectFilters) {
+  Schedule s{Create(1), Create(2), Commit(1, kNil), Abort(2)};
+  const Schedule only1 =
+      Project(s, [](const Action& a) { return a.txn == 1; });
+  ASSERT_EQ(only1.size(), 2u);
+  EXPECT_EQ(only1[0], Create(1));
+  EXPECT_EQ(only1[1], Commit(1, kNil));
+}
+
+TEST(Execution, ProjectToAutomaton) {
+  Counter c(1, 3);
+  Schedule s{Create(1), Create(2), Commit(1, kNil), Commit(2, kNil)};
+  const Schedule proj = ProjectToAutomaton(s, c);
+  ASSERT_EQ(proj.size(), 2u);
+  EXPECT_EQ(proj[0].txn, 1u);
+  EXPECT_EQ(proj[1].txn, 1u);
+}
+
+TEST(Execution, ReplayAcceptsLegalSchedule) {
+  System sys;
+  sys.Emplace<Counter>(1, 2);
+  const Schedule s{Create(1), Create(1), Commit(1, kNil), Create(1)};
+  const ReplayResult r = Replay(sys, s);
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(Execution, ReplayRejectsDisabledOutput) {
+  System sys;
+  sys.Emplace<Counter>(1, 1);
+  const Schedule s{Create(1), Create(1)};  // second CREATE exceeds limit
+  const ReplayResult r = Replay(sys, s);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_index, 1u);
+}
+
+TEST(Execution, ReplayRejectsForeignAction) {
+  System sys;
+  sys.Emplace<Counter>(1, 1);
+  const Schedule s{Create(9)};
+  const ReplayResult r = Replay(sys, s);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("not an operation"), std::string::npos);
+}
+
+TEST(Explorer, RunsToQuiescence) {
+  System sys;
+  auto& c1 = sys.Emplace<Counter>(1, 2);
+  auto& c2 = sys.Emplace<Counter>(2, 3);
+  const ExploreResult r = Explore(sys, 123);
+  EXPECT_TRUE(r.quiescent);
+  EXPECT_EQ(r.schedule.size(), 5u);
+  EXPECT_EQ(c1.Count(), 2);
+  EXPECT_EQ(c2.Count(), 3);
+}
+
+TEST(Explorer, DeterministicBySeed) {
+  auto run = [](std::uint64_t seed) {
+    System sys;
+    sys.Emplace<Counter>(1, 4);
+    sys.Emplace<Counter>(2, 4);
+    return Explore(sys, seed).schedule;
+  };
+  EXPECT_EQ(run(77), run(77));
+}
+
+TEST(Explorer, RespectsMaxSteps) {
+  System sys;
+  sys.Emplace<Counter>(1, 1000000);
+  Rng rng(1);
+  ExploreOptions opts;
+  opts.max_steps = 10;
+  const ExploreResult r = Explore(sys, rng, opts);
+  EXPECT_FALSE(r.quiescent);
+  EXPECT_EQ(r.schedule.size(), 10u);
+}
+
+TEST(Explorer, WeightZeroSuppressesAction) {
+  System sys;
+  sys.Emplace<Counter>(1, 5);
+  sys.Emplace<Counter>(2, 5);
+  Rng rng(1);
+  ExploreOptions opts;
+  opts.weight = [](const Action& a) { return a.txn == 1 ? 0.0 : 1.0; };
+  const ExploreResult r = Explore(sys, rng, opts);
+  for (const Action& a : r.schedule) EXPECT_EQ(a.txn, 2u);
+  EXPECT_EQ(r.schedule.size(), 5u);
+}
+
+TEST(Explorer, ObserverSeesEveryStep) {
+  System sys;
+  sys.Emplace<Counter>(1, 3);
+  Rng rng(1);
+  ExploreOptions opts;
+  std::size_t steps = 0;
+  opts.observer = [&steps](const Action&, const System&) { ++steps; };
+  const ExploreResult r = Explore(sys, rng, opts);
+  EXPECT_EQ(steps, r.schedule.size());
+}
+
+}  // namespace
+}  // namespace qcnt::ioa

@@ -1,0 +1,129 @@
+// Mechanized Lemmas 6, 7 and 8: checked after every step of randomized
+// executions of system B across system shapes, strategies and abort rates.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/harness.hpp"
+#include "replication/invariants.hpp"
+#include "replication/logical.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+TEST(Lemma6, AccessSequenceAlternates) {
+  // access(x, β) begins with a CREATE and alternates REQUEST-COMMIT /
+  // CREATE with matching TMs.
+  Rng rng(404);
+  const Harness h = MakeRandomHarness(rng);
+  ioa::System b = BuildB(h.Spec(), h.Users());
+  const ioa::ExploreResult r = ioa::Explore(b, rng, {});
+  ASSERT_TRUE(r.quiescent);
+  for (const ItemInfo& info : h.Spec().Items()) {
+    const ioa::Schedule acc = AccessSequence(h.Spec(), info.id, r.schedule);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      if (i % 2 == 0) {
+        EXPECT_EQ(acc[i].kind, ioa::ActionKind::kCreate);
+      } else {
+        EXPECT_EQ(acc[i].kind, ioa::ActionKind::kRequestCommit);
+        EXPECT_EQ(acc[i].txn, acc[i - 1].txn);
+      }
+    }
+  }
+}
+
+TEST(LogicalState, InitialAndAfterWrites) {
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::Majority(2), Plain{std::int64_t{100}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId w = spec.AddWriteTm(u, x, Plain{std::int64_t{200}});
+  spec.Finalize();
+  // Empty schedule: initial value; after the write-TM request-commits: 200.
+  EXPECT_EQ(LogicalState(spec, x, {}), Plain{std::int64_t{100}});
+  ioa::Schedule beta{ioa::Create(w), ioa::RequestCommit(w, kNil)};
+  EXPECT_EQ(LogicalState(spec, x, beta), Plain{std::int64_t{200}});
+  EXPECT_EQ(CurrentVersion(spec, x, {}), 0u);
+}
+
+class LemmaSweep : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(LemmaSweep, Lemmas7And8HoldAtEveryStep) {
+  const auto [seed_int, abort_weight] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed_int) * 7777777 + 3);
+  const Harness h = MakeRandomHarness(rng);
+
+  ioa::System b = BuildB(h.Spec(), h.Users());
+  ioa::Schedule so_far;
+  InvariantReport first_failure;
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(abort_weight);
+  opts.observer = [&](const ioa::Action& a, const ioa::System& sys) {
+    so_far.push_back(a);
+    if (!first_failure.ok) return;
+    const InvariantReport rep = CheckLemmas(h.Spec(), sys, so_far);
+    if (!rep.ok) first_failure = rep;
+  };
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+  EXPECT_TRUE(first_failure.ok)
+      << "seed=" << seed_int << " abort=" << abort_weight << ": "
+      << first_failure.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, LemmaSweep,
+    ::testing::Combine(::testing::Range(0, 25),
+                       ::testing::Values(0.0, 0.5)));
+
+TEST(Lemma8, ReadTmReturnsLogicalStateDirected) {
+  // Interleave two items and several TMs; every read-TM request-commit must
+  // carry the logical state at that point.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const ItemId y = spec.AddItem("y", 2, quorum::ReadOneWriteAll(2),
+                                Plain{std::int64_t{50}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  std::vector<TxnId> script;
+  script.push_back(spec.AddWriteTm(u, x, Plain{std::int64_t{1}}));
+  script.push_back(spec.AddReadTm(u, x));
+  script.push_back(spec.AddReadTm(u, y));
+  script.push_back(spec.AddWriteTm(u, y, Plain{std::int64_t{51}}));
+  script.push_back(spec.AddWriteTm(u, x, Plain{std::int64_t{2}}));
+  script.push_back(spec.AddReadTm(u, x));
+  script.push_back(spec.AddReadTm(u, y));
+  spec.Finalize();
+
+  UserAutomataFactory users = [&](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{u});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u, script);
+  };
+  ioa::System b = BuildB(spec, users);
+  Rng rng(31337);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent);
+
+  // Expected values returned by the four read-TMs in script order.
+  const std::vector<std::pair<TxnId, std::int64_t>> expected{
+      {script[1], 1}, {script[2], 50}, {script[5], 2}, {script[6], 51}};
+  for (const auto& [tm, value] : expected) {
+    bool found = false;
+    for (const ioa::Action& a : r.schedule) {
+      if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == tm) {
+        EXPECT_EQ(a.value, Value{value}) << "tm " << tm;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "tm " << tm << " never request-committed";
+  }
+}
+
+}  // namespace
+}  // namespace qcnt::replication

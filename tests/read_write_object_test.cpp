@@ -1,0 +1,105 @@
+// Tests for the fully specified read-write object automaton of Section 2.3.
+#include <gtest/gtest.h>
+
+#include "txn/read_write_object.hpp"
+
+namespace qcnt::txn {
+namespace {
+
+using ioa::Create;
+using ioa::RequestCommit;
+
+struct Fixture {
+  SystemType type;
+  ObjectId x;
+  TxnId u, r1, r2, w1;
+  Fixture() {
+    u = type.AddTransaction(kRootTxn, "U");
+    x = type.AddObject("x");
+    r1 = type.AddReadAccess(u, x, "r1");
+    r2 = type.AddReadAccess(u, x, "r2");
+    w1 = type.AddWriteAccess(u, x, Value{std::int64_t{5}}, "w1");
+  }
+};
+
+TEST(ReadWriteObject, InitialData) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{0}});
+  EXPECT_EQ(obj.Data(), Value{std::int64_t{0}});
+  EXPECT_EQ(obj.Active(), kNoTxn);
+}
+
+TEST(ReadWriteObject, OperationSignature) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, kNil);
+  EXPECT_TRUE(obj.IsOperation(Create(f.r1)));
+  EXPECT_TRUE(obj.IsOperation(RequestCommit(f.w1, kNil)));
+  EXPECT_FALSE(obj.IsOperation(Create(f.u)));          // not an access
+  EXPECT_FALSE(obj.IsOperation(ioa::Commit(f.r1, kNil)));  // not its op
+  EXPECT_TRUE(obj.IsOutput(RequestCommit(f.r1, kNil)));
+  EXPECT_FALSE(obj.IsOutput(Create(f.r1)));
+}
+
+TEST(ReadWriteObject, ReadReturnsData) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{3}});
+  obj.Apply(Create(f.r1));
+  EXPECT_EQ(obj.Active(), f.r1);
+  // Only the REQUEST-COMMIT with v = data is enabled.
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.r1, Value{std::int64_t{3}})));
+  EXPECT_FALSE(obj.Enabled(RequestCommit(f.r1, Value{std::int64_t{4}})));
+  std::vector<ioa::Action> outs;
+  obj.EnabledOutputs(outs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], RequestCommit(f.r1, Value{std::int64_t{3}}));
+}
+
+TEST(ReadWriteObject, WriteInstallsData) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  // Writes request-commit with nil.
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.w1, kNil)));
+  EXPECT_FALSE(obj.Enabled(RequestCommit(f.w1, Value{std::int64_t{5}})));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  EXPECT_EQ(obj.Data(), Value{std::int64_t{5}});
+  EXPECT_EQ(obj.Active(), kNoTxn);
+}
+
+TEST(ReadWriteObject, ReadAfterWriteSeesNewData) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Apply(Create(f.r1));
+  EXPECT_TRUE(obj.Enabled(RequestCommit(f.r1, Value{std::int64_t{5}})));
+}
+
+TEST(ReadWriteObject, NoOutputWhenIdle) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, kNil);
+  std::vector<ioa::Action> outs;
+  obj.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+  EXPECT_FALSE(obj.Enabled(RequestCommit(f.r1, kNil)));
+}
+
+TEST(ReadWriteObject, OnlyActiveAccessMayCommit) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{1}});
+  obj.Apply(Create(f.r1));
+  EXPECT_FALSE(obj.Enabled(RequestCommit(f.r2, Value{std::int64_t{1}})));
+}
+
+TEST(ReadWriteObject, ResetRestoresInitialState) {
+  Fixture f;
+  ReadWriteObject obj(f.type, f.x, Value{std::int64_t{0}});
+  obj.Apply(Create(f.w1));
+  obj.Apply(RequestCommit(f.w1, kNil));
+  obj.Reset();
+  EXPECT_EQ(obj.Data(), Value{std::int64_t{0}});
+  EXPECT_EQ(obj.Active(), kNoTxn);
+}
+
+}  // namespace
+}  // namespace qcnt::txn

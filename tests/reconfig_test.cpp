@@ -1,0 +1,433 @@
+// Tests for the Section-4 reconfiguration subsystem: reconfigurable DMs,
+// spy automata, the three TM kinds, generation/version invariants, and the
+// simulation theorem with dynamic configurations.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "reconfig/reconfig_dm.hpp"
+#include "reconfig/spy.hpp"
+#include "reconfig/theorem.hpp"
+#include "reconfig/tms.hpp"
+#include "txn/random_transaction.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::reconfig {
+namespace {
+
+using ioa::Create;
+using ioa::RequestCommit;
+using ioa::RequestCreate;
+
+std::function<double(const ioa::Action&)> NoAborts() {
+  return [](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? 0.0 : 1.0;
+  };
+}
+
+TEST(RSpec, MaterializesAllAccessKinds) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  spec.AddWriteTm(u, x, Plain{std::int64_t{1}});
+  const TxnId rc = spec.AddReconfigTm(u, x, quorum::ReadOneWriteAll(3));
+  spec.Finalize();
+
+  std::size_t reads = 0, data_writes = 0, config_writes = 0;
+  for (TxnId acc : spec.Type().Children(rc)) {
+    if (spec.Type().KindOf(acc) == txn::AccessKind::kRead) {
+      ++reads;
+    } else if (std::holds_alternative<Versioned>(spec.Type().DataOf(acc))) {
+      ++data_writes;
+    } else {
+      ++config_writes;
+    }
+  }
+  EXPECT_EQ(reads, 3u);
+  // versions 0..1 x values {0, 1} x 3 replicas = 12 data writes.
+  EXPECT_EQ(data_writes, 12u);
+  // one reconfigure-TM => generations {1} x 3 replicas.
+  EXPECT_EQ(config_writes, 3u);
+}
+
+TEST(RSpec, PossibleConfigsDeduplicated) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  spec.AddReconfigTm(u, x, quorum::Majority(3));          // same as initial
+  spec.AddReconfigTm(u, x, quorum::ReadOneWriteAll(3));   // new
+  spec.Finalize();
+  EXPECT_EQ(spec.PossibleConfigs(x).size(), 2u);
+}
+
+TEST(ReconfigDm, ReadReturnsFullSnapshot) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::Majority(2), Plain{std::int64_t{9}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId rtm = spec.AddReadTm(u, x);
+  spec.Finalize();
+  const ObjectId dm0 = spec.Item(x).dm_objects[0];
+  ReconfigDm dm(spec, dm0);
+  EXPECT_EQ(dm.Data(), (Versioned{0, Plain{std::int64_t{9}}}));
+  EXPECT_EQ(dm.Stamp().generation, 0u);
+
+  // Find a read access of the read-TM on replica 0.
+  TxnId acc = kNoTxn;
+  for (TxnId c : spec.Type().Children(rtm)) {
+    if (spec.Type().ObjectOf(c) == dm0) acc = c;
+  }
+  ASSERT_NE(acc, kNoTxn);
+  dm.Apply(Create(acc));
+  std::vector<ioa::Action> outs;
+  dm.EnabledOutputs(outs);
+  ASSERT_EQ(outs.size(), 1u);
+  const auto& snap = std::get<ReplicaSnapshot>(outs[0].value);
+  EXPECT_EQ(snap.data.version, 0u);
+  EXPECT_EQ(snap.stamp.config, quorum::Majority(2).ToPayload());
+}
+
+TEST(ReconfigDm, WritesDispatchOnPayload) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::Majority(2), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{5}});
+  const TxnId rc = spec.AddReconfigTm(u, x, quorum::ReadOneWriteAll(2));
+  spec.Finalize();
+  const ObjectId dm0 = spec.Item(x).dm_objects[0];
+  ReconfigDm dm(spec, dm0);
+
+  TxnId data_write = kNoTxn, config_write = kNoTxn;
+  for (TxnId c : spec.Type().Children(wtm)) {
+    if (spec.Type().KindOf(c) == txn::AccessKind::kWrite &&
+        spec.Type().ObjectOf(c) == dm0) {
+      data_write = c;
+    }
+  }
+  for (TxnId c : spec.Type().Children(rc)) {
+    if (spec.Type().ObjectOf(c) == dm0 &&
+        std::holds_alternative<ConfigStamp>(spec.Type().DataOf(c))) {
+      config_write = c;
+    }
+  }
+  ASSERT_NE(data_write, kNoTxn);
+  ASSERT_NE(config_write, kNoTxn);
+
+  dm.Apply(Create(data_write));
+  dm.Apply(RequestCommit(data_write, kNil));
+  EXPECT_EQ(dm.Data().version, 1u);
+  EXPECT_EQ(dm.Stamp().generation, 0u);  // data write leaves stamp alone
+
+  dm.Apply(Create(config_write));
+  dm.Apply(RequestCommit(config_write, kNil));
+  EXPECT_EQ(dm.Data().version, 1u);  // config write leaves data alone
+  EXPECT_EQ(dm.Stamp().generation, 1u);
+  EXPECT_EQ(dm.Stamp().config, quorum::ReadOneWriteAll(2).ToPayload());
+}
+
+TEST(Spy, InvokesOnlyBetweenCreateAndRequestCommit) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::Majority(2), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId rc = spec.AddReconfigTm(u, x, quorum::ReadOneWriteAll(2));
+  spec.Finalize();
+
+  Spy spy(spec.Type(), u, {rc});
+  std::vector<ioa::Action> outs;
+  spy.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());  // user not created yet
+  EXPECT_FALSE(spy.Enabled(RequestCreate(rc)));
+
+  spy.Apply(Create(u));
+  EXPECT_TRUE(spy.Enabled(RequestCreate(rc)));
+  spy.Apply(RequestCommit(u, kNil));  // user announces completion
+  EXPECT_FALSE(spy.Enabled(RequestCreate(rc)));
+  outs.clear();
+  spy.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(Spy, NeverRepeatsRequests) {
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::Majority(2), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId rc = spec.AddReconfigTm(u, x, quorum::ReadOneWriteAll(2));
+  spec.Finalize();
+  Spy spy(spec.Type(), u, {rc});
+  spy.Apply(Create(u));
+  spy.Apply(RequestCreate(rc));
+  EXPECT_FALSE(spy.Enabled(RequestCreate(rc)));
+}
+
+// --- end-to-end fixtures ----------------------------------------------------
+
+struct EndToEnd {
+  RSpec spec;
+  ItemId x;
+  TxnId u1, u2, u3;
+  TxnId w1, r1, rc2, r3;
+  UserAutomataFactory users;
+
+  EndToEnd() {
+    x = spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+    u1 = spec.AddTransaction(kRootTxn, "U1");
+    w1 = spec.AddWriteTm(u1, x, Plain{std::int64_t{7}});
+    r1 = spec.AddReadTm(u1, x);
+    u2 = spec.AddTransaction(kRootTxn, "U2");
+    rc2 = spec.AddReconfigTm(u2, x, quorum::ReadOneWriteAll(3));
+    u3 = spec.AddTransaction(kRootTxn, "U3");
+    r3 = spec.AddReadTm(u3, x);
+    spec.Finalize(/*read_attempts=*/2);
+    const RSpec* s = &spec;
+    const TxnId cu1 = u1, cu2 = u2, cu3 = u3, cw1 = w1, cr1 = r1, cr3 = r3,
+                crc2 = rc2;
+    users = [s, cu1, cu2, cu3, cw1, cr1, cr3, crc2](ioa::System& sys) {
+      sys.Emplace<txn::ScriptedTransaction>(
+          s->Type(), kRootTxn, std::vector<TxnId>{cu1, cu2, cu3});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), cu1,
+                                            std::vector<TxnId>{cw1, cr1});
+      // U2 has no children of its own; its spy invokes the reconfiguration.
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), cu2,
+                                            std::vector<TxnId>{});
+      sys.Emplace<Spy>(s->Type(), cu2, std::vector<TxnId>{crc2});
+      sys.Emplace<txn::ScriptedTransaction>(s->Type(), cu3,
+                                            std::vector<TxnId>{cr3});
+    };
+  }
+};
+
+TEST(ReconfigEndToEnd, ReadsCorrectAcrossReconfiguration) {
+  EndToEnd f;
+  ioa::System sys = BuildR(f.spec, f.users);
+  Rng rng(42);
+  ioa::ExploreOptions opts;
+  // No aborts; U2 (which has no work of its own) may not announce
+  // completion until its spy has launched the reconfiguration — otherwise
+  // the run may legitimately skip it, which other tests cover.
+  auto spy_fired = std::make_shared<bool>(false);
+  opts.observer = [&f, spy_fired](const ioa::Action& a, const ioa::System&) {
+    if (a.kind == ioa::ActionKind::kRequestCreate && a.txn == f.rc2) {
+      *spy_fired = true;
+    }
+  };
+  opts.weight = [&f, spy_fired](const ioa::Action& a) {
+    if (a.kind == ioa::ActionKind::kAbort) return 0.0;
+    if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == f.u2) {
+      return *spy_fired ? 1.0 : 0.0;
+    }
+    return 1.0;
+  };
+  const ioa::ExploreResult res = ioa::Explore(sys, rng, opts);
+  ASSERT_TRUE(res.quiescent);
+  std::string msg;
+  ASSERT_TRUE(txn::IsWellFormed(f.spec.Type(), res.schedule, &msg)) << msg;
+
+  // Both read-TMs must return 7 (written before any of them runs? U1's
+  // read runs after U1's write; U3's read runs last).
+  for (TxnId tm : {f.r1, f.r3}) {
+    bool found = false;
+    for (const ioa::Action& a : res.schedule) {
+      if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == tm) {
+        EXPECT_EQ(a.value, Value{std::int64_t{7}}) << "tm " << tm;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "read-TM " << tm << " never completed";
+  }
+  // The reconfiguration actually happened (spy is unstoppable without
+  // aborts once U2 is created).
+  EXPECT_EQ(CompletedReconfigs(f.spec, f.x, res.schedule).size(), 1u);
+  EXPECT_EQ(CurrentConfiguration(f.spec, f.x, res.schedule),
+            quorum::ReadOneWriteAll(3));
+}
+
+TEST(ReconfigEndToEnd, InvariantsHoldAtEveryStep) {
+  EndToEnd f;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    ioa::System sys = BuildR(f.spec, f.users);
+    ioa::Schedule so_far;
+    RInvariantReport first_failure;
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    opts.weight = NoAborts();
+    opts.observer = [&](const ioa::Action& a, const ioa::System& s) {
+      so_far.push_back(a);
+      if (!first_failure.ok) return;
+      const RInvariantReport rep =
+          CheckReconfigInvariants(f.spec, s, so_far);
+      if (!rep.ok) first_failure = rep;
+    };
+    const ioa::ExploreResult res = ioa::Explore(sys, rng, opts);
+    ASSERT_TRUE(res.quiescent);
+    EXPECT_TRUE(first_failure.ok)
+        << "seed " << seed << ": " << first_failure.message;
+  }
+}
+
+TEST(ReconfigEndToEnd, TheoremHoldsWithAborts) {
+  EndToEnd f;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    ioa::System sys = BuildR(f.spec, f.users);
+    Rng rng(seed * 31 + 7);
+    ioa::ExploreOptions opts;
+    opts.weight = [&f](const ioa::Action& a) {
+      if (a.kind != ioa::ActionKind::kAbort) return 1.0;
+      // Abort replica accesses and occasionally whole TMs.
+      return f.spec.IsReplicaAccess(a.txn) ? 0.4
+             : f.spec.TmItem(a.txn) != kNoItem ? 0.1
+                                               : 0.0;
+    };
+    const ioa::ExploreResult res = ioa::Explore(sys, rng, opts);
+    ASSERT_TRUE(res.quiescent);
+    const RTheoremResult t = CheckReconfigTheorem(f.spec, f.users, res.schedule);
+    EXPECT_TRUE(t.ok) << "seed " << seed << ": " << t.message;
+  }
+}
+
+TEST(ReconfigEndToEnd, ChainedReconfigurationsAdvanceGenerations) {
+  // Two reconfigurations in sequence: majority -> ROWA -> grid-ish
+  // (read-all-write-one), with writes interleaved between them.
+  RSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u1 = spec.AddTransaction(kRootTxn, "U1");
+  const TxnId w1 = spec.AddWriteTm(u1, x, Plain{std::int64_t{1}});
+  const TxnId rc1 = spec.AddReconfigTm(u1, x, quorum::ReadOneWriteAll(3));
+  const TxnId u2 = spec.AddTransaction(kRootTxn, "U2");
+  const TxnId w2 = spec.AddWriteTm(u2, x, Plain{std::int64_t{2}});
+  const TxnId rc2 = spec.AddReconfigTm(u2, x, quorum::ReadAllWriteOne(3));
+  const TxnId u3 = spec.AddTransaction(kRootTxn, "U3");
+  const TxnId r3 = spec.AddReadTm(u3, x);
+  spec.Finalize();
+
+  UserAutomataFactory users = [&](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u1, u2, u3});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u1,
+                                          std::vector<TxnId>{w1});
+    sys.Emplace<Spy>(spec.Type(), u1, std::vector<TxnId>{rc1});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u2,
+                                          std::vector<TxnId>{w2});
+    sys.Emplace<Spy>(spec.Type(), u2, std::vector<TxnId>{rc2});
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), u3,
+                                          std::vector<TxnId>{r3});
+  };
+
+  ioa::System sys = BuildR(spec, users);
+  Rng rng(11);
+  ioa::ExploreOptions opts;
+  opts.weight = NoAborts();
+  const ioa::ExploreResult res = ioa::Explore(sys, rng, opts);
+  ASSERT_TRUE(res.quiescent);
+
+  EXPECT_EQ(CompletedReconfigs(spec, x, res.schedule).size(), 2u);
+  // Final read sees the last write regardless of configuration churn.
+  bool found = false;
+  for (const ioa::Action& a : res.schedule) {
+    if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == r3) {
+      EXPECT_EQ(a.value, Value{std::int64_t{2}});
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  const RTheoremResult t = CheckReconfigTheorem(spec, users, res.schedule);
+  EXPECT_TRUE(t.ok) << t.message;
+}
+
+// --- randomized sweep -------------------------------------------------------
+
+class ReconfigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReconfigSweep, RandomSystemsSatisfyTheoremAndInvariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  RSpec spec;
+  const ReplicaId n = static_cast<ReplicaId>(rng.Range(2, 4));
+  const ItemId x =
+      spec.AddItem("x", n, quorum::Majority(n), Plain{std::int64_t{0}});
+
+  auto random_config = [&rng, n]() {
+    switch (rng.Below(3)) {
+      case 0:
+        return quorum::ReadOneWriteAll(n);
+      case 1:
+        return quorum::ReadAllWriteOne(n);
+      default:
+        return quorum::Majority(n);
+    }
+  };
+
+  struct UserPlan {
+    TxnId user;
+    std::vector<TxnId> script;
+    std::vector<TxnId> reconfigs;
+  };
+  std::vector<UserPlan> plans;
+  std::vector<TxnId> top;
+  const std::size_t users_count = 1 + rng.Below(3);
+  std::int64_t next = 1;
+  for (std::size_t i = 0; i < users_count; ++i) {
+    UserPlan plan;
+    plan.user = spec.AddTransaction(kRootTxn, "U" + std::to_string(i));
+    top.push_back(plan.user);
+    const std::size_t tms = 1 + rng.Below(3);
+    for (std::size_t k = 0; k < tms; ++k) {
+      if (rng.Chance(0.5)) {
+        plan.script.push_back(spec.AddReadTm(plan.user, x));
+      } else {
+        plan.script.push_back(spec.AddWriteTm(plan.user, x, Plain{next++}));
+      }
+    }
+    if (rng.Chance(0.6)) {
+      plan.reconfigs.push_back(
+          spec.AddReconfigTm(plan.user, x, random_config()));
+    }
+    plans.push_back(std::move(plan));
+  }
+  spec.Finalize(/*read_attempts=*/2);
+
+  UserAutomataFactory users = [&spec, &plans, &top](ioa::System& sys) {
+    sys.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn, top);
+    for (const UserPlan& plan : plans) {
+      sys.Emplace<txn::ScriptedTransaction>(spec.Type(), plan.user,
+                                            plan.script);
+      if (!plan.reconfigs.empty()) {
+        sys.Emplace<Spy>(spec.Type(), plan.user, plan.reconfigs);
+      }
+    }
+  };
+
+  ioa::System sys = BuildR(spec, users);
+  ioa::Schedule so_far;
+  RInvariantReport first_failure;
+  ioa::ExploreOptions opts;
+  const double abort_weight = rng.Chance(0.5) ? 0.0 : 0.3;
+  opts.weight = [&spec, abort_weight](const ioa::Action& a) {
+    if (a.kind != ioa::ActionKind::kAbort) return 1.0;
+    return spec.IsReplicaAccess(a.txn) ? abort_weight : 0.0;
+  };
+  opts.observer = [&](const ioa::Action& a, const ioa::System& s) {
+    so_far.push_back(a);
+    if (!first_failure.ok) return;
+    const RInvariantReport rep = CheckReconfigInvariants(spec, s, so_far);
+    if (!rep.ok) first_failure = rep;
+  };
+  const ioa::ExploreResult res = ioa::Explore(sys, rng, opts);
+  ASSERT_TRUE(res.quiescent);
+  EXPECT_TRUE(first_failure.ok) << first_failure.message;
+
+  std::string msg;
+  EXPECT_TRUE(txn::IsWellFormed(spec.Type(), res.schedule, &msg)) << msg;
+  const RTheoremResult t = CheckReconfigTheorem(spec, users, res.schedule);
+  EXPECT_TRUE(t.ok) << t.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReconfigSweep, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace qcnt::reconfig

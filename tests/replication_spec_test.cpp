@@ -1,0 +1,133 @@
+// Tests for ReplicatedSpec: declaration rules, access materialization,
+// classification queries, and the structure of the built systems.
+#include <gtest/gtest.h>
+
+#include "quorum/strategies.hpp"
+#include "replication/spec.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+TEST(ReplicatedSpec, AddItemCreatesDmObjects) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 3, quorum::Majority(3),
+                                Plain{std::int64_t{0}});
+  const ItemInfo& info = spec.Item(x);
+  EXPECT_EQ(info.dm_objects.size(), 3u);
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_EQ(spec.ReplicaOf(info.dm_objects[r]), r);
+    EXPECT_EQ(spec.ItemOfDm(info.dm_objects[r]), x);
+  }
+}
+
+TEST(ReplicatedSpec, RejectsIllegalConfiguration) {
+  ReplicatedSpec spec;
+  EXPECT_ANY_THROW(spec.AddItem(
+      "x", 3, quorum::Configuration({{0}}, {{1}}), Plain{}));
+}
+
+TEST(ReplicatedSpec, RejectsConfigBeyondReplicaCount) {
+  ReplicatedSpec spec;
+  EXPECT_ANY_THROW(
+      spec.AddItem("x", 2, quorum::Majority(3), Plain{}));
+}
+
+TEST(ReplicatedSpec, TmsMayNotNest) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 2, quorum::ReadOneWriteAll(2), Plain{});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId tm = spec.AddReadTm(u, x);
+  EXPECT_ANY_THROW(spec.AddReadTm(tm, x));
+  EXPECT_ANY_THROW(spec.AddTransaction(tm, "bad"));
+}
+
+TEST(ReplicatedSpec, FinalizeMaterializesReadTmAccesses) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 3, quorum::Majority(3), Plain{});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId tm = spec.AddReadTm(u, x);
+  spec.Finalize(/*read_attempts=*/2);
+  // 3 replicas x 2 attempts read accesses under the read-TM.
+  EXPECT_EQ(spec.Type().Children(tm).size(), 6u);
+  for (TxnId acc : spec.Type().Children(tm)) {
+    EXPECT_TRUE(spec.IsReplicaAccess(acc));
+    EXPECT_EQ(spec.Type().KindOf(acc), txn::AccessKind::kRead);
+  }
+}
+
+TEST(ReplicatedSpec, FinalizeMaterializesWriteVersions) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 2, quorum::Majority(2), Plain{});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId tm1 = spec.AddWriteTm(u, x, Plain{std::int64_t{1}});
+  spec.AddWriteTm(u, x, Plain{std::int64_t{2}});
+  spec.Finalize(1, 1);
+  // Each write-TM: 2 read accesses + 2 replicas * 2 possible versions.
+  EXPECT_EQ(spec.Type().Children(tm1).size(), 2u + 4u);
+  std::size_t writes = 0;
+  for (TxnId acc : spec.Type().Children(tm1)) {
+    if (spec.Type().KindOf(acc) == txn::AccessKind::kWrite) {
+      ++writes;
+      const auto& data = std::get<Versioned>(spec.Type().DataOf(acc));
+      EXPECT_GE(data.version, 1u);
+      EXPECT_LE(data.version, 2u);
+      EXPECT_EQ(data.value, Plain{std::int64_t{1}});
+    }
+  }
+  EXPECT_EQ(writes, 4u);
+}
+
+TEST(ReplicatedSpec, ClassificationQueries) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 2, quorum::ReadOneWriteAll(2), Plain{});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId tm = spec.AddReadTm(u, x);
+  const ObjectId p = spec.AddPlainObject("p", Plain{std::int64_t{0}});
+  const TxnId pa = spec.AddPlainRead(u, p);
+  spec.Finalize();
+
+  EXPECT_TRUE(spec.IsUserTransaction(kRootTxn));
+  EXPECT_TRUE(spec.IsUserTransaction(u));
+  EXPECT_FALSE(spec.IsUserTransaction(tm));
+  EXPECT_EQ(spec.TmItem(tm), x);
+  EXPECT_EQ(spec.TmItem(u), kNoItem);
+  EXPECT_FALSE(spec.IsReplicaAccess(pa));
+  EXPECT_FALSE(spec.IsUserTransaction(pa));
+  for (TxnId acc : spec.Type().Children(tm)) {
+    EXPECT_TRUE(spec.IsReplicaAccess(acc));
+  }
+}
+
+TEST(ReplicatedSpec, PlainAccessesMayNotTargetDms) {
+  ReplicatedSpec spec;
+  const ItemId x = spec.AddItem("x", 2, quorum::ReadOneWriteAll(2), Plain{});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const ObjectId dm = spec.Item(x).dm_objects[0];
+  EXPECT_ANY_THROW(spec.AddPlainRead(u, dm));
+  EXPECT_ANY_THROW(spec.AddPlainWrite(u, dm, Plain{std::int64_t{1}}));
+}
+
+TEST(ReplicatedSpec, BuildSystemsComposeExpectedComponents) {
+  ReplicatedSpec spec;
+  spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  spec.AddReadTm(u, 0);
+  spec.AddWriteTm(u, 0, Plain{std::int64_t{1}});
+  spec.AddPlainObject("p", Plain{});
+  spec.Finalize();
+
+  // B: scheduler + 3 DMs + 2 TMs + 1 plain object = 7 components.
+  EXPECT_EQ(spec.BuildSystemB().ComponentCount(), 7u);
+  // A: scheduler + 1 logical object + 1 plain object = 3 components.
+  EXPECT_EQ(spec.BuildSystemA().ComponentCount(), 3u);
+}
+
+TEST(ReplicatedSpec, BuildBeforeFinalizeThrows) {
+  ReplicatedSpec spec;
+  spec.AddItem("x", 2, quorum::ReadOneWriteAll(2), Plain{});
+  EXPECT_ANY_THROW(spec.BuildSystemB());
+  EXPECT_ANY_THROW(spec.BuildSystemA());
+}
+
+}  // namespace
+}  // namespace qcnt::replication

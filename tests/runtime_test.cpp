@@ -1,0 +1,185 @@
+// Tests for the threaded runtime: mailboxes, the bus, replica servers, and
+// the blocking ReplicatedStore public API under crashes and reconfiguration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/store.hpp"
+
+namespace qcnt::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mailbox, PushPop) {
+  Mailbox mb;
+  mb.Push(Envelope{3, RtMessage{RtMessage::Kind::kReadReq, 7, "k", 0, 0, 0, 0}});
+  auto e = mb.Pop(std::chrono::steady_clock::now() + 100ms);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->from, 3u);
+  EXPECT_EQ(e->msg.op, 7u);
+  EXPECT_EQ(e->msg.key, "k");
+}
+
+TEST(Mailbox, PopTimesOut) {
+  Mailbox mb;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto e = mb.Pop(t0 + 50ms);
+  EXPECT_FALSE(e.has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 45ms);
+}
+
+TEST(Mailbox, CloseWakesWaiters) {
+  Mailbox mb;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    mb.Close();
+  });
+  auto e = mb.Pop();  // would block forever without Close
+  EXPECT_FALSE(e.has_value());
+  closer.join();
+}
+
+TEST(Mailbox, PushAfterCloseIgnored) {
+  Mailbox mb;
+  mb.Close();
+  mb.Push(Envelope{});
+  EXPECT_EQ(mb.Size(), 0u);
+}
+
+TEST(Bus, DropsToCrashedNode) {
+  Bus bus(2);
+  bus.Crash(1);
+  bus.Send(0, 1, {});
+  EXPECT_EQ(bus.MailboxOf(1).Size(), 0u);
+  EXPECT_EQ(bus.MessagesDropped(), 1u);
+  bus.Recover(1);
+  bus.Send(0, 1, {});
+  EXPECT_EQ(bus.MailboxOf(1).Size(), 1u);
+}
+
+TEST(ReplicatedStore, WriteThenRead) {
+  ReplicatedStore store(StoreOptions{.replicas = 3});
+  auto client = store.MakeClient();
+  const ClientResult w = client->Write("alpha", 42);
+  ASSERT_TRUE(w.ok);
+  const ClientResult r = client->Read("alpha");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 42);
+}
+
+TEST(ReplicatedStore, IndependentKeys) {
+  ReplicatedStore store(StoreOptions{.replicas = 3});
+  auto client = store.MakeClient();
+  ASSERT_TRUE(client->Write("a", 1).ok);
+  ASSERT_TRUE(client->Write("b", 2).ok);
+  EXPECT_EQ(client->Read("a").value, 1);
+  EXPECT_EQ(client->Read("b").value, 2);
+  // Unwritten keys read the initial value 0.
+  const ClientResult r = client->Read("c");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 0);
+}
+
+TEST(ReplicatedStore, CrossClientVisibility) {
+  ReplicatedStore store(StoreOptions{.replicas = 5});
+  auto writer = store.MakeClient();
+  auto reader = store.MakeClient();
+  ASSERT_TRUE(writer->Write("x", 11).ok);
+  const ClientResult r = reader->Read("x");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 11);
+}
+
+TEST(ReplicatedStore, ToleratesMinorityCrash) {
+  ReplicatedStore store(StoreOptions{.replicas = 5});
+  auto client = store.MakeClient();
+  ASSERT_TRUE(client->Write("x", 5).ok);
+  store.Crash(0);
+  store.Crash(1);
+  const ClientResult w = store.MakeClient()->Write("x", 6);
+  EXPECT_TRUE(w.ok);
+  const ClientResult r = client->Read("x");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 6);
+}
+
+TEST(ReplicatedStore, MajorityCrashBlocksThenRecoveryHeals) {
+  StoreOptions options;
+  options.replicas = 3;
+  options.client_options.timeout = 100ms;
+  ReplicatedStore store(std::move(options));
+  auto client = store.MakeClient();
+  ASSERT_TRUE(client->Write("x", 1).ok);
+  store.Crash(1);
+  store.Crash(2);
+  const ClientResult blocked = client->Write("x", 2);
+  EXPECT_FALSE(blocked.ok);
+  store.Recover(1);
+  const ClientResult healed = client->Write("x", 3);
+  EXPECT_TRUE(healed.ok);
+  EXPECT_EQ(client->Read("x").value, 3);
+}
+
+TEST(ReplicatedStore, ConcurrentClientsConverge) {
+  ReplicatedStore store(StoreOptions{.replicas = 5, .max_clients = 8});
+  constexpr int kThreads = 4, kOpsPerThread = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    auto client = store.MakeClient();
+    threads.emplace_back([client = std::move(client), t, &failures] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t v = t * 1000 + i;
+        if (!client->Write("ctr", v).ok) ++failures;
+        if (!client->Read("ctr").ok) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The final value is whichever write carried the highest version; it must
+  // be one of the written values and reads must agree across clients.
+  auto c1 = store.MakeClient();
+  auto c2 = store.MakeClient();
+  const ClientResult r1 = c1->Read("ctr");
+  const ClientResult r2 = c2->Read("ctr");
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.value, r2.value);
+}
+
+TEST(ReplicatedStore, ReconfigurationRestoresAvailability) {
+  StoreOptions options;
+  options.replicas = 5;
+  options.configs = {
+      quorum::MajoritySystem(5),
+      quorum::FromConfiguration(
+          "majority-of-012",
+          quorum::Configuration({{0, 1}, {0, 2}, {1, 2}},
+                                {{0, 1}, {0, 2}, {1, 2}}))};
+  options.client_options.timeout = 150ms;
+  ReplicatedStore store(std::move(options));
+  auto client = store.MakeClient();
+  ASSERT_TRUE(client->Write("x", 1).ok);
+
+  store.Crash(3);
+  store.Crash(4);
+  ASSERT_TRUE(client->Reconfigure(1).ok);
+  EXPECT_EQ(client->BelievedConfig(), 1u);
+
+  store.Crash(2);
+  // Under the old majority(5) config only 2 replicas are up: writes would
+  // fail. The new config needs 2 of {0,1,2}.
+  const ClientResult w = client->Write("x", 2);
+  EXPECT_TRUE(w.ok);
+  EXPECT_EQ(client->Read("x").value, 2);
+}
+
+TEST(ReplicatedStore, ClientLimitEnforced) {
+  ReplicatedStore store(StoreOptions{.replicas = 3, .max_clients = 1});
+  auto c = store.MakeClient();
+  EXPECT_ANY_THROW(store.MakeClient());
+}
+
+}  // namespace
+}  // namespace qcnt::runtime

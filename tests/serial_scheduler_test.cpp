@@ -1,0 +1,227 @@
+// Tests for the serial scheduler automaton: each pre/postcondition from the
+// paper, the depth-first (serial) property of generated executions, and the
+// theorem "all serial schedules are well-formed" as a randomized property.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "txn/random_transaction.hpp"
+#include "txn/read_write_object.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/serial_scheduler.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::txn {
+namespace {
+
+using ioa::Abort;
+using ioa::ActionKind;
+using ioa::Commit;
+using ioa::Create;
+using ioa::RequestCommit;
+using ioa::RequestCreate;
+
+struct TreeFixture {
+  SystemType type;
+  TxnId u1, u2, v;  // u1, u2 top-level; v child of u1
+  TreeFixture() {
+    u1 = type.AddTransaction(kRootTxn, "U1");
+    u2 = type.AddTransaction(kRootTxn, "U2");
+    v = type.AddTransaction(u1, "V");
+  }
+};
+
+TEST(SerialScheduler, InitialState) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  EXPECT_TRUE(s.CreateRequested(kRootTxn));
+  EXPECT_FALSE(s.Created(kRootTxn));
+  // Only CREATE(T0) is enabled initially (no ABORT of the root).
+  std::vector<ioa::Action> outs;
+  s.EnabledOutputs(outs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], Create(kRootTxn));
+}
+
+TEST(SerialScheduler, CreateRequiresRequest) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  EXPECT_FALSE(s.Enabled(Create(f.u1)));
+  s.Apply(RequestCreate(f.u1));
+  EXPECT_TRUE(s.Enabled(Create(f.u1)));
+}
+
+TEST(SerialScheduler, NoDoubleCreate) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  EXPECT_FALSE(s.Enabled(Create(f.u1)));
+}
+
+TEST(SerialScheduler, SiblingExclusion) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(RequestCreate(f.u2));
+  s.Apply(Create(f.u1));
+  // u1 created and not returned: u2 may be neither created nor aborted.
+  EXPECT_FALSE(s.Enabled(Create(f.u2)));
+  EXPECT_FALSE(s.Enabled(Abort(f.u2)));
+  // After u1 returns, u2 becomes eligible.
+  s.Apply(RequestCommit(f.u1, kNil));
+  s.Apply(Commit(f.u1, kNil));
+  EXPECT_TRUE(s.Enabled(Create(f.u2)));
+  EXPECT_TRUE(s.Enabled(Abort(f.u2)));
+}
+
+TEST(SerialScheduler, AbortOnlyBeforeCreate) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  EXPECT_TRUE(s.Enabled(Abort(f.u1)));
+  s.Apply(Create(f.u1));
+  EXPECT_FALSE(s.Enabled(Abort(f.u1)));  // T was created: abort impossible
+}
+
+TEST(SerialScheduler, AbortMarksReturned) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Abort(f.u1));
+  EXPECT_TRUE(s.Aborted(f.u1));
+  EXPECT_TRUE(s.Returned(f.u1));
+  EXPECT_FALSE(s.Created(f.u1));
+  // An aborted transaction can never be created.
+  EXPECT_FALSE(s.Enabled(Create(f.u1)));
+}
+
+TEST(SerialScheduler, CommitRequiresMatchingValue) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  s.Apply(RequestCommit(f.u1, Value{std::int64_t{42}}));
+  EXPECT_FALSE(s.Enabled(Commit(f.u1, kNil)));
+  EXPECT_TRUE(s.Enabled(Commit(f.u1, Value{std::int64_t{42}})));
+}
+
+TEST(SerialScheduler, CommitWaitsForRequestedChildren) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  s.Apply(RequestCreate(f.v));
+  s.Apply(RequestCommit(f.u1, kNil));
+  // v was requested and has not returned.
+  EXPECT_FALSE(s.Enabled(Commit(f.u1, kNil)));
+  s.Apply(Abort(f.v));
+  EXPECT_TRUE(s.Enabled(Commit(f.u1, kNil)));
+}
+
+TEST(SerialScheduler, CommitRecordsValue) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  s.Apply(RequestCreate(f.u1));
+  s.Apply(Create(f.u1));
+  s.Apply(RequestCommit(f.u1, Value{std::int64_t{7}}));
+  s.Apply(Commit(f.u1, Value{std::int64_t{7}}));
+  EXPECT_TRUE(s.Committed(f.u1));
+  ASSERT_TRUE(s.CommitValue(f.u1).has_value());
+  EXPECT_EQ(*s.CommitValue(f.u1), Value{std::int64_t{7}});
+  EXPECT_EQ(s.CommitValue(f.u2), std::nullopt);
+}
+
+TEST(SerialScheduler, RootNeverAborts) {
+  TreeFixture f;
+  SerialScheduler s(f.type);
+  EXPECT_FALSE(s.Enabled(Abort(kRootTxn)));
+}
+
+// --- whole-system properties over random executions -----------------------
+
+struct RandomSystem {
+  SystemType type;
+  std::vector<TxnId> txns;
+
+  RandomSystem() {
+    txns.push_back(kRootTxn);
+    const TxnId u1 = type.AddTransaction(kRootTxn, "U1");
+    const TxnId u2 = type.AddTransaction(kRootTxn, "U2");
+    const TxnId v1 = type.AddTransaction(u1, "V1");
+    const TxnId v2 = type.AddTransaction(u1, "V2");
+    txns.insert(txns.end(), {u1, u2, v1, v2});
+    const ObjectId x = type.AddObject("x");
+    const ObjectId y = type.AddObject("y");
+    type.AddReadAccess(v1, x);
+    type.AddWriteAccess(v1, x, Value{std::int64_t{1}});
+    type.AddReadAccess(v2, y);
+    type.AddWriteAccess(u2, y, Value{std::int64_t{2}});
+    type.AddReadAccess(u2, x);
+  }
+
+  ioa::System Build() const {
+    ioa::System sys;
+    sys.Emplace<SerialScheduler>(type);
+    for (TxnId t : txns) sys.Emplace<RandomTransaction>(type, t);
+    sys.Emplace<ReadWriteObject>(type, 0, Value{std::int64_t{0}});
+    sys.Emplace<ReadWriteObject>(type, 1, Value{std::int64_t{0}});
+    return sys;
+  }
+};
+
+class SerialScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerialScheduleProperty, SchedulesAreWellFormed) {
+  // Lynch-Merritt: all serial schedules are well-formed. Explore random
+  // executions and check the projection property.
+  RandomSystem rs;
+  ioa::System sys = rs.Build();
+  const ioa::ExploreResult r =
+      ioa::Explore(sys, static_cast<std::uint64_t>(GetParam()));
+  EXPECT_TRUE(r.quiescent);
+  std::string msg;
+  EXPECT_TRUE(IsWellFormed(rs.type, r.schedule, &msg)) << msg;
+}
+
+TEST_P(SerialScheduleProperty, DepthFirstTraversal) {
+  // In a serial execution, the set of created-but-not-returned
+  // transactions always forms a chain (a path from the root).
+  RandomSystem rs;
+  ioa::System sys = rs.Build();
+  std::vector<TxnId> live;  // stack of created, unreturned transactions
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  ioa::ExploreOptions opts;
+  opts.observer = [&](const ioa::Action& a, const ioa::System&) {
+    switch (a.kind) {
+      case ActionKind::kCreate:
+        if (!live.empty()) {
+          // New transaction must be a child of the innermost live one.
+          EXPECT_EQ(rs.type.Parent(a.txn), live.back());
+        } else {
+          EXPECT_EQ(a.txn, kRootTxn);
+        }
+        live.push_back(a.txn);
+        break;
+      case ActionKind::kCommit:
+        ASSERT_FALSE(live.empty());
+        EXPECT_EQ(live.back(), a.txn);
+        live.pop_back();
+        break;
+      case ActionKind::kAbort:
+        // Aborted transactions were never created, so the stack is
+        // untouched; but the abort must not occur strictly inside a live
+        // subtree other than its parent's.
+        break;
+      default:
+        break;
+    }
+  };
+  const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+  EXPECT_TRUE(r.quiescent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialScheduleProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace qcnt::txn

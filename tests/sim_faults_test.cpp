@@ -1,0 +1,125 @@
+// Tests for simulator fault handling: retransmission under heavy drops and
+// quorum behavior across network partitions.
+#include <gtest/gtest.h>
+
+#include "quorum/strategies.hpp"
+#include "sim/store.hpp"
+
+namespace qcnt::sim {
+namespace {
+
+Deployment MakeLossy(double drop, std::uint64_t seed, Time retransmit) {
+  std::vector<quorum::QuorumSystem> configs{quorum::MajoritySystem(5)};
+  QuorumStoreClient::Options opts;
+  opts.timeout = 500.0;
+  opts.retransmit_interval = retransmit;
+  return Deployment(5, 1, configs, 0, LatencyModel::Uniform(1.0, 3.0), drop,
+                    seed, opts);
+}
+
+TEST(Retransmit, SurvivesHeavyDrops) {
+  // At 40% drop probability a single broadcast of 5 requests frequently
+  // misses a 3-response quorum (the replies are lossy too); periodic
+  // retransmission recovers.
+  std::size_t ok_without = 0, ok_with = 0;
+  const std::size_t trials = 40;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    {
+      Deployment d = MakeLossy(0.4, seed, 0.0);
+      OpResult w;
+      d.clients[0]->Write(1, [&](const OpResult& r) { w = r; });
+      d.sim.Run();
+      if (w.ok) ++ok_without;
+    }
+    {
+      Deployment d = MakeLossy(0.4, seed, 25.0);
+      OpResult w;
+      d.clients[0]->Write(1, [&](const OpResult& r) { w = r; });
+      d.sim.Run();
+      if (w.ok) ++ok_with;
+    }
+  }
+  EXPECT_EQ(ok_with, trials);       // retransmission always gets through
+  EXPECT_LT(ok_without, trials);    // naked broadcasts sometimes fail
+}
+
+TEST(Retransmit, IdempotentUnderDuplicates) {
+  // Aggressive retransmission duplicates every request; versions must not
+  // be double-incremented.
+  Deployment d = MakeLossy(0.0, 1, 2.0);
+  for (std::int64_t v = 1; v <= 3; ++v) {
+    OpResult w;
+    d.clients[0]->Write(v * 10, [&](const OpResult& r) { w = r; });
+    d.sim.Run();
+    ASSERT_TRUE(w.ok);
+  }
+  OpResult r;
+  d.clients[0]->Read([&](const OpResult& res) { r = res; });
+  d.sim.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 30);
+  // Every replica holds version exactly 3.
+  for (const auto& replica : d.replicas) {
+    EXPECT_EQ(replica->Version(), 3u);
+  }
+}
+
+TEST(Partition, MajoritySideStaysLive) {
+  std::vector<quorum::QuorumSystem> configs{quorum::MajoritySystem(5)};
+  QuorumStoreClient::Options opts;
+  opts.timeout = 200.0;
+  // Client is node 5; put it with replicas {0,1,2}.
+  Deployment d(5, 1, configs, 0, LatencyModel::Fixed(1.0), 0.0, 3, opts);
+  d.net.Partition(0b100111 /* replicas 0,1,2 + client(5) */);
+
+  OpResult w;
+  d.clients[0]->Write(7, [&](const OpResult& r) { w = r; });
+  d.sim.Run();
+  EXPECT_TRUE(w.ok);  // 3 of 5 reachable: still a majority
+}
+
+TEST(Partition, MinoritySideBlocksThenHeals) {
+  std::vector<quorum::QuorumSystem> configs{quorum::MajoritySystem(5)};
+  QuorumStoreClient::Options opts;
+  opts.timeout = 200.0;
+  Deployment d(5, 1, configs, 0, LatencyModel::Fixed(1.0), 0.0, 3, opts);
+  // Client with only replicas {0,1}: a minority island.
+  d.net.Partition(0b100011);
+
+  OpResult w1;
+  d.clients[0]->Write(7, [&](const OpResult& r) { w1 = r; });
+  d.sim.Run();
+  EXPECT_FALSE(w1.ok);
+
+  d.net.Heal();
+  OpResult w2;
+  d.clients[0]->Write(8, [&](const OpResult& r) { w2 = r; });
+  d.sim.Run();
+  EXPECT_TRUE(w2.ok);
+
+  OpResult r;
+  d.clients[0]->Read([&](const OpResult& res) { r = res; });
+  d.sim.Run();
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 8);
+}
+
+TEST(Partition, NoSplitBrainWithMajorityQuorums) {
+  // Clients on both sides of a partition: at most one side can write.
+  std::vector<quorum::QuorumSystem> configs{quorum::MajoritySystem(5)};
+  QuorumStoreClient::Options opts;
+  opts.timeout = 200.0;
+  Deployment d(5, 2, configs, 0, LatencyModel::Fixed(1.0), 0.0, 9, opts);
+  // Side A: replicas {0,1,2} + client 5. Side B: replicas {3,4} + client 6.
+  d.net.Partition(0b0100111);
+
+  OpResult wa, wb;
+  d.clients[0]->Write(1, [&](const OpResult& r) { wa = r; });
+  d.clients[1]->Write(2, [&](const OpResult& r) { wb = r; });
+  d.sim.Run();
+  EXPECT_TRUE(wa.ok);
+  EXPECT_FALSE(wb.ok);  // the minority side cannot commit a write
+}
+
+}  // namespace
+}  // namespace qcnt::sim

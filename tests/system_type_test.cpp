@@ -1,0 +1,113 @@
+// Unit tests for SystemType: tree construction, ancestry, lca, access
+// attributes, and rendering.
+#include <gtest/gtest.h>
+
+#include "txn/system_type.hpp"
+
+namespace qcnt::txn {
+namespace {
+
+SystemType MakeSample() {
+  SystemType t;
+  const TxnId u1 = t.AddTransaction(kRootTxn, "U1");
+  const TxnId u2 = t.AddTransaction(kRootTxn, "U2");
+  const ObjectId x = t.AddObject("x");
+  t.AddReadAccess(u1, x, "r1");
+  t.AddWriteAccess(u2, x, Value{std::int64_t{5}}, "w1");
+  return t;
+}
+
+TEST(SystemType, RootExists) {
+  SystemType t;
+  EXPECT_EQ(t.TxnCount(), 1u);
+  EXPECT_EQ(t.Parent(kRootTxn), kNoTxn);
+  EXPECT_FALSE(t.IsAccess(kRootTxn));
+  EXPECT_EQ(t.Label(kRootTxn), "T0");
+}
+
+TEST(SystemType, ParentChildLinks) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn, "U");
+  const TxnId v = t.AddTransaction(u, "V");
+  EXPECT_EQ(t.Parent(v), u);
+  EXPECT_EQ(t.Parent(u), kRootTxn);
+  ASSERT_EQ(t.Children(u).size(), 1u);
+  EXPECT_EQ(t.Children(u)[0], v);
+}
+
+TEST(SystemType, AccessAttributes) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn);
+  const ObjectId x = t.AddObject("x");
+  const TxnId r = t.AddReadAccess(u, x);
+  const TxnId w = t.AddWriteAccess(u, x, Value{std::int64_t{9}});
+  EXPECT_TRUE(t.IsAccess(r));
+  EXPECT_EQ(t.KindOf(r), AccessKind::kRead);
+  EXPECT_EQ(t.KindOf(w), AccessKind::kWrite);
+  EXPECT_EQ(t.DataOf(w), Value{std::int64_t{9}});
+  EXPECT_EQ(t.ObjectOf(r), x);
+  ASSERT_EQ(t.AccessesOf(x).size(), 2u);
+}
+
+TEST(SystemType, AccessesAreLeaves) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn);
+  const ObjectId x = t.AddObject();
+  const TxnId r = t.AddReadAccess(u, x);
+  EXPECT_ANY_THROW(t.AddTransaction(r));
+  EXPECT_ANY_THROW(t.AddReadAccess(r, x));
+}
+
+TEST(SystemType, Ancestry) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn);
+  const TxnId v = t.AddTransaction(u);
+  const TxnId w = t.AddTransaction(kRootTxn);
+  EXPECT_TRUE(t.IsAncestor(kRootTxn, v));
+  EXPECT_TRUE(t.IsAncestor(u, v));
+  EXPECT_TRUE(t.IsAncestor(v, v));  // a transaction is its own ancestor
+  EXPECT_FALSE(t.IsAncestor(v, u));
+  EXPECT_FALSE(t.IsAncestor(w, v));
+}
+
+TEST(SystemType, DepthAndLca) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn);
+  const TxnId v1 = t.AddTransaction(u);
+  const TxnId v2 = t.AddTransaction(u);
+  const TxnId w = t.AddTransaction(v1);
+  EXPECT_EQ(t.Depth(kRootTxn), 0u);
+  EXPECT_EQ(t.Depth(w), 3u);
+  EXPECT_EQ(t.Lca(v1, v2), u);
+  EXPECT_EQ(t.Lca(w, v2), u);
+  EXPECT_EQ(t.Lca(w, v1), v1);
+  EXPECT_EQ(t.Lca(w, w), w);
+}
+
+TEST(SystemType, AsciiRendering) {
+  const SystemType t = MakeSample();
+  const std::string art = t.ToAscii();
+  EXPECT_NE(art.find("T0"), std::string::npos);
+  EXPECT_NE(art.find("U1"), std::string::npos);
+  EXPECT_NE(art.find("[read x]"), std::string::npos);
+  EXPECT_NE(art.find("[write x]"), std::string::npos);
+}
+
+TEST(SystemType, PrettyAction) {
+  const SystemType t = MakeSample();
+  const std::string s = t.Pretty(ioa::Create(1));
+  EXPECT_EQ(s, "CREATE(U1)");
+  const std::string c = t.Pretty(ioa::Commit(2, Value{std::int64_t{3}}));
+  EXPECT_EQ(c, "COMMIT(U2, 3)");
+}
+
+TEST(SystemType, DefaultLabels) {
+  SystemType t;
+  const TxnId u = t.AddTransaction(kRootTxn);
+  EXPECT_EQ(t.Label(u), "T1");
+  const ObjectId x = t.AddObject();
+  EXPECT_EQ(t.ObjectLabel(x), "X0");
+}
+
+}  // namespace
+}  // namespace qcnt::txn

@@ -1,0 +1,175 @@
+// Mechanized Theorem 10: the projection of any schedule of the replicated
+// serial system B (deleting replica-access operations) is a schedule of the
+// non-replicated serial system A, agreeing at every user transaction.
+// Directed cases plus a randomized sweep over system shapes, quorum
+// strategies, seeds, and abort rates.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/harness.hpp"
+#include "replication/logical.hpp"
+#include "replication/theorem10.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+TEST(Theorem10, DirectedWriteThenRead) {
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{5}});
+  const TxnId rtm = spec.AddReadTm(u, x);
+  spec.Finalize();
+
+  UserAutomataFactory users = [&](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{u});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                        std::vector<TxnId>{wtm, rtm});
+  };
+
+  ioa::System b = BuildB(spec, users);
+  const ioa::ExploreResult r = ioa::Explore(b, 17);
+  EXPECT_TRUE(r.quiescent);
+
+  const Theorem10Result t10 = CheckTheorem10(spec, users, r.schedule);
+  EXPECT_TRUE(t10.ok) << t10.message;
+  // The projection must contain no replica-access operation.
+  for (const ioa::Action& a : t10.alpha) {
+    EXPECT_FALSE(spec.IsReplicaAccess(a.txn));
+  }
+  // And it must be strictly shorter (some DM traffic existed) unless the
+  // whole user transaction aborted before creating TMs.
+  EXPECT_LE(t10.alpha.size(), r.schedule.size());
+}
+
+TEST(Theorem10, AlphaIsWellFormed) {
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 2, quorum::ReadOneWriteAll(2), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId wtm = spec.AddWriteTm(u, x, Plain{std::int64_t{1}});
+  const TxnId rtm = spec.AddReadTm(u, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{u});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                        std::vector<TxnId>{wtm, rtm});
+  };
+  ioa::System b = BuildB(spec, users);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const ioa::ExploreResult r = ioa::Explore(b, seed);
+    const ioa::Schedule alpha = ProjectOutReplicaAccesses(spec, r.schedule);
+    std::string msg;
+    EXPECT_TRUE(txn::IsWellFormed(spec.Type(), alpha, &msg))
+        << "seed " << seed << ": " << msg;
+  }
+}
+
+TEST(Theorem10, UserProjectionsIdentical) {
+  // Condition 2 of the theorem, checked explicitly per user transaction.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+  const TxnId u1 = spec.AddTransaction(kRootTxn, "U1");
+  const TxnId u2 = spec.AddTransaction(kRootTxn, "U2");
+  const TxnId w1 = spec.AddWriteTm(u1, x, Plain{std::int64_t{11}});
+  const TxnId r2 = spec.AddReadTm(u2, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{u1, u2});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u1,
+                                        std::vector<TxnId>{w1});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u2,
+                                        std::vector<TxnId>{r2});
+  };
+  ioa::System b = BuildB(spec, users);
+  const ioa::ExploreResult r = ioa::Explore(b, 99);
+  const ioa::Schedule alpha = ProjectOutReplicaAccesses(spec, r.schedule);
+
+  auto user_ops = [&](const ioa::Schedule& s, TxnId t) {
+    return ioa::Project(s, [&](const ioa::Action& a) {
+      // Operations of transaction t: its own create/commit ops plus
+      // request/return ops of its children.
+      return a.txn == t ||
+             (a.txn < spec.Type().TxnCount() &&
+              spec.Type().Parent(a.txn) == t);
+    });
+  };
+  for (TxnId t : {kRootTxn, u1, u2}) {
+    EXPECT_EQ(user_ops(r.schedule, t), user_ops(alpha, t)) << "txn " << t;
+  }
+}
+
+TEST(Theorem10, SequentialReadsSeeLastWrite) {
+  // Semantic check via system A's state: after replaying alpha, the
+  // logical object holds logical-state(x, beta).
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 4, quorum::Majority(4), Plain{std::int64_t{0}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId w1 = spec.AddWriteTm(u, x, Plain{std::int64_t{1}});
+  const TxnId w2 = spec.AddWriteTm(u, x, Plain{std::int64_t{2}});
+  const TxnId r1 = spec.AddReadTm(u, x);
+  spec.Finalize();
+  UserAutomataFactory users = [&](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{u});
+    s.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                        std::vector<TxnId>{w1, w2, r1});
+  };
+  ioa::System b = BuildB(spec, users);
+  Rng rng(5);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(0.0);
+  const ioa::ExploreResult res = ioa::Explore(b, rng, opts);
+  EXPECT_TRUE(res.quiescent);
+  EXPECT_EQ(LogicalState(spec, x, res.schedule), Plain{std::int64_t{2}});
+  const Theorem10Result t10 = CheckTheorem10(spec, users, res.schedule);
+  EXPECT_TRUE(t10.ok) << t10.message;
+}
+
+// --- randomized sweep -------------------------------------------------------
+
+struct SweepParam {
+  std::uint64_t seed;
+  double abort_weight;
+};
+
+class Theorem10Sweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Theorem10Sweep, RandomSystemsSimulateA) {
+  const auto [seed_int, abort_weight] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed_int) * 1000003 + 17);
+  const Harness h = MakeRandomHarness(rng);
+  const UserAutomataFactory users = h.Users();
+
+  ioa::System b = BuildB(h.Spec(), users);
+  ioa::ExploreOptions opts;
+  opts.weight = AbortWeight(abort_weight);
+  const ioa::ExploreResult r = ioa::Explore(b, rng, opts);
+  ASSERT_TRUE(r.quiescent) << "exploration did not quiesce";
+
+  std::string msg;
+  ASSERT_TRUE(txn::IsWellFormed(h.Spec().Type(), r.schedule, &msg)) << msg;
+
+  const Theorem10Result t10 = CheckTheorem10(h.Spec(), users, r.schedule);
+  EXPECT_TRUE(t10.ok) << "seed=" << seed_int
+                      << " abort_weight=" << abort_weight << ": "
+                      << t10.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, Theorem10Sweep,
+    ::testing::Combine(::testing::Range(0, 40),
+                       ::testing::Values(0.0, 0.3, 1.0)));
+
+}  // namespace
+}  // namespace qcnt::replication

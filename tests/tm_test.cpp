@@ -1,0 +1,265 @@
+// Directed tests for the read-TM and write-TM automata: quorum gating,
+// version bookkeeping, the write-requested guard, and end-to-end logical
+// operations in small serial systems.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "quorum/strategies.hpp"
+#include "replication/read_tm.hpp"
+#include "replication/theorem10.hpp"
+#include "replication/write_tm.hpp"
+#include "txn/scripted_transaction.hpp"
+
+namespace qcnt::replication {
+namespace {
+
+using ioa::Abort;
+using ioa::Commit;
+using ioa::Create;
+using ioa::RequestCommit;
+using ioa::RequestCreate;
+
+struct SpecFixture {
+  ReplicatedSpec spec;
+  ItemId x;
+  TxnId u, read_tm, write_tm;
+  SpecFixture() {
+    x = spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{0}});
+    u = spec.AddTransaction(kRootTxn, "U");
+    write_tm = spec.AddWriteTm(u, x, Plain{std::int64_t{7}});
+    read_tm = spec.AddReadTm(u, x);
+    spec.Finalize(/*read_attempts=*/1, /*write_attempts=*/1);
+  }
+
+  /// Child of tm that is a read access to replica r.
+  TxnId ReadAccess(TxnId tm, ReplicaId r) const {
+    for (TxnId c : spec.Type().Children(tm)) {
+      if (spec.Type().KindOf(c) == txn::AccessKind::kRead &&
+          spec.ReplicaOf(spec.Type().ObjectOf(c)) == r) {
+        return c;
+      }
+    }
+    return kNoTxn;
+  }
+
+  /// Child of tm that writes version vn to replica r.
+  TxnId WriteAccess(TxnId tm, ReplicaId r, std::uint64_t vn) const {
+    for (TxnId c : spec.Type().Children(tm)) {
+      if (spec.Type().KindOf(c) != txn::AccessKind::kWrite) continue;
+      if (spec.ReplicaOf(spec.Type().ObjectOf(c)) != r) continue;
+      if (std::get<Versioned>(spec.Type().DataOf(c)).version == vn) return c;
+    }
+    return kNoTxn;
+  }
+};
+
+TEST(ReadTm, RequestCommitGatedOnReadQuorum) {
+  SpecFixture f;
+  ReadTm tm(f.spec, f.x, f.read_tm);
+  tm.Apply(Create(f.read_tm));
+  EXPECT_FALSE(tm.HasReadQuorum());
+  EXPECT_FALSE(tm.Enabled(RequestCommit(f.read_tm, Value{std::int64_t{0}})));
+
+  // Commits from replicas 0 and 1 form a majority.
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  EXPECT_FALSE(tm.HasReadQuorum());
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  EXPECT_TRUE(tm.HasReadQuorum());
+  EXPECT_TRUE(tm.Enabled(RequestCommit(f.read_tm, Value{std::int64_t{0}})));
+}
+
+TEST(ReadTm, KeepsHighestVersion) {
+  SpecFixture f;
+  ReadTm tm(f.spec, f.x, f.read_tm);
+  tm.Apply(Create(f.read_tm));
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 0),
+                  Value{Versioned{2, Plain{std::int64_t{20}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 1),
+                  Value{Versioned{1, Plain{std::int64_t{10}}}}));
+  EXPECT_EQ(tm.Data().version, 2u);
+  EXPECT_EQ(tm.Data().value, Plain{std::int64_t{20}});
+  // The TM returns the highest-versioned value, not the latest received.
+  EXPECT_TRUE(tm.Enabled(RequestCommit(f.read_tm, Value{std::int64_t{20}})));
+  EXPECT_FALSE(tm.Enabled(RequestCommit(f.read_tm, Value{std::int64_t{10}})));
+}
+
+TEST(ReadTm, AbortHasNoPostconditions) {
+  SpecFixture f;
+  ReadTm tm(f.spec, f.x, f.read_tm);
+  tm.Apply(Create(f.read_tm));
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 0),
+                  Value{Versioned{1, Plain{std::int64_t{5}}}}));
+  const auto before_mask = tm.ReadMask();
+  const auto before_data = tm.Data();
+  tm.Apply(Abort(f.ReadAccess(f.read_tm, 1)));
+  EXPECT_EQ(tm.ReadMask(), before_mask);
+  EXPECT_EQ(tm.Data(), before_data);
+}
+
+TEST(ReadTm, NoDuplicateRequestCreate) {
+  SpecFixture f;
+  ReadTm tm(f.spec, f.x, f.read_tm);
+  tm.Apply(Create(f.read_tm));
+  const TxnId acc = f.ReadAccess(f.read_tm, 0);
+  EXPECT_TRUE(tm.Enabled(RequestCreate(acc)));
+  tm.Apply(RequestCreate(acc));
+  EXPECT_FALSE(tm.Enabled(RequestCreate(acc)));
+}
+
+TEST(ReadTm, AsleepAfterRequestCommit) {
+  SpecFixture f;
+  ReadTm tm(f.spec, f.x, f.read_tm);
+  tm.Apply(Create(f.read_tm));
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.read_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(RequestCommit(f.read_tm, Value{std::int64_t{0}}));
+  EXPECT_FALSE(tm.Awake());
+  std::vector<ioa::Action> outs;
+  tm.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(WriteTm, WriteAccessGatedOnReadQuorumAndVersion) {
+  SpecFixture f;
+  WriteTm tm(f.spec, f.x, f.write_tm);
+  tm.Apply(Create(f.write_tm));
+  const TxnId w0v1 = f.WriteAccess(f.write_tm, 0, 1);
+  ASSERT_NE(w0v1, kNoTxn);
+  EXPECT_FALSE(tm.Enabled(RequestCreate(w0v1)));  // no read quorum yet
+
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  EXPECT_TRUE(tm.HasReadQuorum());
+  // Version to write is current + 1 = 1.
+  EXPECT_TRUE(tm.Enabled(RequestCreate(w0v1)));
+}
+
+TEST(WriteTm, ReadCommitsIgnoredAfterWriteRequested) {
+  SpecFixture f;
+  WriteTm tm(f.spec, f.x, f.write_tm);
+  tm.Apply(Create(f.write_tm));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(RequestCreate(f.WriteAccess(f.write_tm, 0, 1)));
+  EXPECT_TRUE(tm.WriteRequested());
+  // A late read COMMIT reporting the TM's own write must not bump the
+  // version (the paper's write-requested guard).
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 2),
+                  Value{Versioned{1, Plain{std::int64_t{7}}}}));
+  EXPECT_EQ(tm.Data().version, 0u);
+}
+
+TEST(WriteTm, RequestCommitGatedOnWriteQuorum) {
+  SpecFixture f;
+  WriteTm tm(f.spec, f.x, f.write_tm);
+  tm.Apply(Create(f.write_tm));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  EXPECT_FALSE(tm.Enabled(RequestCommit(f.write_tm, kNil)));
+  tm.Apply(Commit(f.WriteAccess(f.write_tm, 0, 1), kNil));
+  EXPECT_FALSE(tm.HasWriteQuorum());
+  tm.Apply(Commit(f.WriteAccess(f.write_tm, 1, 1), kNil));
+  EXPECT_TRUE(tm.HasWriteQuorum());
+  EXPECT_TRUE(tm.Enabled(RequestCommit(f.write_tm, kNil)));
+  // Write-TMs commit with nil only.
+  EXPECT_FALSE(
+      tm.Enabled(RequestCommit(f.write_tm, Value{std::int64_t{7}})));
+}
+
+TEST(WriteTm, EnabledOutputsOfferOnlyCorrectVersion) {
+  SpecFixture f;
+  WriteTm tm(f.spec, f.x, f.write_tm);
+  tm.Apply(Create(f.write_tm));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 0),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  tm.Apply(Commit(f.ReadAccess(f.write_tm, 1),
+                  Value{Versioned{0, Plain{std::int64_t{0}}}}));
+  std::vector<ioa::Action> outs;
+  tm.EnabledOutputs(outs);
+  for (const ioa::Action& a : outs) {
+    if (a.kind != ioa::ActionKind::kRequestCreate) continue;
+    if (f.spec.Type().KindOf(a.txn) != txn::AccessKind::kWrite) continue;
+    EXPECT_EQ(std::get<Versioned>(f.spec.Type().DataOf(a.txn)).version, 1u);
+  }
+}
+
+// --- end-to-end logical operations ----------------------------------------
+
+TEST(TmEndToEnd, WriteThenReadReturnsWrittenValue) {
+  SpecFixture f;
+  ioa::System sys = BuildB(f.spec, [&f](ioa::System& s) {
+    s.Emplace<txn::ScriptedTransaction>(f.spec.Type(), kRootTxn,
+                                        std::vector<TxnId>{f.u});
+    s.Emplace<txn::ScriptedTransaction>(
+        f.spec.Type(), f.u, std::vector<TxnId>{f.write_tm, f.read_tm});
+  });
+  Rng rng(2024);
+  ioa::ExploreOptions opts;
+  opts.weight = [](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? 0.0 : 1.0;
+  };
+  const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+  EXPECT_TRUE(r.quiescent);
+  // Find the read-TM's REQUEST-COMMIT: must carry the written value 7.
+  bool found = false;
+  for (const ioa::Action& a : r.schedule) {
+    if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == f.read_tm) {
+      EXPECT_EQ(a.value, Value{std::int64_t{7}});
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TmEndToEnd, ReadToleratesMinorityAccessAborts) {
+  // With 2 read attempts per DM and majority quorums, the logical read
+  // completes even when the scheduler aborts several accesses.
+  ReplicatedSpec spec;
+  const ItemId x =
+      spec.AddItem("x", 3, quorum::Majority(3), Plain{std::int64_t{3}});
+  const TxnId u = spec.AddTransaction(kRootTxn, "U");
+  const TxnId rtm = spec.AddReadTm(u, x);
+  spec.Finalize(/*read_attempts=*/3);
+
+  std::size_t completed = 0, aborted_accesses = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    ioa::System sys = BuildB(spec, [&](ioa::System& s) {
+      s.Emplace<txn::ScriptedTransaction>(spec.Type(), kRootTxn,
+                                          std::vector<TxnId>{u});
+      s.Emplace<txn::ScriptedTransaction>(spec.Type(), u,
+                                          std::vector<TxnId>{rtm});
+    });
+    Rng rng(seed);
+    ioa::ExploreOptions opts;
+    // Abort replica accesses with weight 0.5, never abort TMs/users.
+    opts.weight = [&spec](const ioa::Action& a) {
+      if (a.kind != ioa::ActionKind::kAbort) return 1.0;
+      return spec.IsReplicaAccess(a.txn) ? 0.5 : 0.0;
+    };
+    const ioa::ExploreResult r = ioa::Explore(sys, rng, opts);
+    EXPECT_TRUE(r.quiescent);
+    for (const ioa::Action& a : r.schedule) {
+      if (a.kind == ioa::ActionKind::kAbort) ++aborted_accesses;
+      if (a.kind == ioa::ActionKind::kRequestCommit && a.txn == rtm) {
+        EXPECT_EQ(a.value, Value{std::int64_t{3}});
+        ++completed;
+      }
+    }
+  }
+  // Aborts really occurred, and most runs still completed the read.
+  EXPECT_GT(aborted_accesses, 0u);
+  EXPECT_GT(completed, 20u);
+}
+
+}  // namespace
+}  // namespace qcnt::replication

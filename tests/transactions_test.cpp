@@ -1,0 +1,196 @@
+// Tests for the transaction automata (scripted and random): output
+// discipline, abort tolerance, sequencing, and value reduction.
+#include <gtest/gtest.h>
+
+#include "ioa/explorer.hpp"
+#include "txn/random_transaction.hpp"
+#include "txn/read_write_object.hpp"
+#include "txn/scripted_transaction.hpp"
+#include "txn/serial_scheduler.hpp"
+#include "txn/wellformed.hpp"
+
+namespace qcnt::txn {
+namespace {
+
+using ioa::Abort;
+using ioa::Commit;
+using ioa::Create;
+using ioa::RequestCommit;
+using ioa::RequestCreate;
+
+struct Fixture {
+  SystemType type;
+  TxnId u, c1, c2;
+  Fixture() {
+    u = type.AddTransaction(kRootTxn, "U");
+    c1 = type.AddTransaction(u, "C1");
+    c2 = type.AddTransaction(u, "C2");
+  }
+};
+
+TEST(ScriptedTransaction, SilentUntilCreated) {
+  Fixture f;
+  ScriptedTransaction t(f.type, f.u, {f.c1, f.c2});
+  std::vector<ioa::Action> outs;
+  t.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(ScriptedTransaction, SequentialRequestsInOrder) {
+  Fixture f;
+  ScriptedTransaction t(f.type, f.u, {f.c1, f.c2});
+  t.Apply(Create(f.u));
+  std::vector<ioa::Action> outs;
+  t.EnabledOutputs(outs);
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0], RequestCreate(f.c1));
+  // c2 may not be requested before c1 returns.
+  EXPECT_FALSE(t.Enabled(RequestCreate(f.c2)));
+  t.Apply(RequestCreate(f.c1));
+  outs.clear();
+  t.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());  // waiting on c1
+  t.Apply(Commit(f.c1, kNil));
+  EXPECT_TRUE(t.Enabled(RequestCreate(f.c2)));
+}
+
+TEST(ScriptedTransaction, ParallelRequestsAllThenCommit) {
+  Fixture f;
+  ScriptedTransaction::Options opts;
+  opts.sequential = false;
+  ScriptedTransaction t(f.type, f.u, {f.c1, f.c2}, opts);
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  EXPECT_TRUE(t.Enabled(RequestCreate(f.c2)));
+  t.Apply(RequestCreate(f.c2));
+  // Not ready to commit until both children return.
+  EXPECT_FALSE(t.Enabled(RequestCommit(f.u, kNil)));
+  t.Apply(Abort(f.c1));
+  t.Apply(Commit(f.c2, kNil));
+  EXPECT_TRUE(t.Enabled(RequestCommit(f.u, kNil)));
+}
+
+TEST(ScriptedTransaction, AbortedChildYieldsNoOutcome) {
+  Fixture f;
+  ScriptedTransaction t(f.type, f.u, {f.c1, f.c2});
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  t.Apply(Abort(f.c1));
+  t.Apply(RequestCreate(f.c2));
+  t.Apply(Commit(f.c2, Value{std::int64_t{4}}));
+  EXPECT_EQ(t.Outcome(0), std::nullopt);
+  ASSERT_TRUE(t.Outcome(1).has_value());
+  EXPECT_EQ(*t.Outcome(1), Value{std::int64_t{4}});
+  EXPECT_EQ(t.ReturnedCount(), 2u);
+}
+
+TEST(ScriptedTransaction, ReduceComputesCommitValue) {
+  Fixture f;
+  ScriptedTransaction::Options opts;
+  opts.reduce = [](const ScriptedTransaction::Outcomes& o) -> Value {
+    std::int64_t sum = 0;
+    for (const auto& v : o) {
+      if (v && std::holds_alternative<std::int64_t>(*v)) {
+        sum += std::get<std::int64_t>(*v);
+      }
+    }
+    return Value{sum};
+  };
+  ScriptedTransaction t(f.type, f.u, {f.c1, f.c2}, opts);
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  t.Apply(Commit(f.c1, Value{std::int64_t{3}}));
+  t.Apply(RequestCreate(f.c2));
+  t.Apply(Commit(f.c2, Value{std::int64_t{4}}));
+  EXPECT_TRUE(t.Enabled(RequestCommit(f.u, Value{std::int64_t{7}})));
+  EXPECT_FALSE(t.Enabled(RequestCommit(f.u, kNil)));
+}
+
+TEST(ScriptedTransaction, NoOutputsAfterRequestCommit) {
+  Fixture f;
+  ScriptedTransaction t(f.type, f.u, {f.c1});
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  t.Apply(Commit(f.c1, kNil));
+  t.Apply(RequestCommit(f.u, kNil));
+  std::vector<ioa::Action> outs;
+  t.EnabledOutputs(outs);
+  EXPECT_TRUE(outs.empty());
+}
+
+TEST(ScriptedTransaction, RejectsForeignChildren) {
+  Fixture f;
+  const TxnId w = f.type.AddTransaction(kRootTxn, "W");
+  EXPECT_ANY_THROW(ScriptedTransaction(f.type, f.u, {w}));
+}
+
+TEST(RandomTransaction, MayCommitWithOutstandingChildren) {
+  Fixture f;
+  RandomTransaction t(f.type, f.u);
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  // The paper explicitly allows requesting commit without knowing the
+  // fates of requested children.
+  EXPECT_TRUE(t.Enabled(RequestCommit(f.u, kNil)));
+}
+
+TEST(RandomTransaction, NeverRepeatsRequestCreate) {
+  Fixture f;
+  RandomTransaction t(f.type, f.u);
+  t.Apply(Create(f.u));
+  t.Apply(RequestCreate(f.c1));
+  EXPECT_FALSE(t.Enabled(RequestCreate(f.c1)));
+  EXPECT_TRUE(t.Enabled(RequestCreate(f.c2)));
+}
+
+TEST(RandomTransaction, PreservesWellFormednessUnderExploration) {
+  Fixture f;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    ioa::System sys;
+    sys.Emplace<SerialScheduler>(f.type);
+    sys.Emplace<RandomTransaction>(f.type, kRootTxn);
+    sys.Emplace<RandomTransaction>(f.type, f.u);
+    sys.Emplace<RandomTransaction>(f.type, f.c1);
+    sys.Emplace<RandomTransaction>(f.type, f.c2);
+    const ioa::ExploreResult r = ioa::Explore(sys, seed);
+    EXPECT_TRUE(r.quiescent);
+    std::string msg;
+    EXPECT_TRUE(IsWellFormed(f.type, r.schedule, &msg))
+        << "seed " << seed << ": " << msg;
+  }
+}
+
+TEST(ScriptedTransaction, FullSystemRunsToCompletion) {
+  // End-to-end serial system: T0 -> U -> two accesses on one object.
+  SystemType type;
+  const TxnId u = type.AddTransaction(kRootTxn, "U");
+  const ObjectId x = type.AddObject("x");
+  const TxnId w = type.AddWriteAccess(u, x, Value{std::int64_t{9}});
+  const TxnId r = type.AddReadAccess(u, x);
+
+  ioa::System sys;
+  sys.Emplace<SerialScheduler>(type);
+  auto& root = sys.Emplace<ScriptedTransaction>(
+      type, kRootTxn, std::vector<TxnId>{u});
+  ScriptedTransaction::Options opts;
+  opts.reduce = [](const ScriptedTransaction::Outcomes& o) -> Value {
+    return o[1] ? *o[1] : kNil;  // return what the read child saw
+  };
+  sys.Emplace<ScriptedTransaction>(type, u, std::vector<TxnId>{w, r}, opts);
+  sys.Emplace<ReadWriteObject>(type, x, Value{std::int64_t{0}});
+
+  Rng rng(12345);
+  ioa::ExploreOptions eopts;
+  // Suppress aborts so the run is deterministic in outcome.
+  eopts.weight = [](const ioa::Action& a) {
+    return a.kind == ioa::ActionKind::kAbort ? 0.0 : 1.0;
+  };
+  const ioa::ExploreResult res = ioa::Explore(sys, rng, eopts);
+  EXPECT_TRUE(res.quiescent);
+  // U committed with the value the read access returned: the written 9.
+  ASSERT_TRUE(root.Outcome(0).has_value());
+  EXPECT_EQ(*root.Outcome(0), Value{std::int64_t{9}});
+}
+
+}  // namespace
+}  // namespace qcnt::txn
