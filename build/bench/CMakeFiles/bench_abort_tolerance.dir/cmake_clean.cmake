@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abort_tolerance.dir/bench_abort_tolerance.cpp.o"
+  "CMakeFiles/bench_abort_tolerance.dir/bench_abort_tolerance.cpp.o.d"
+  "bench_abort_tolerance"
+  "bench_abort_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abort_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure_trees.dir/bench_figure_trees.cpp.o"
+  "CMakeFiles/bench_figure_trees.dir/bench_figure_trees.cpp.o.d"
+  "bench_figure_trees"
+  "bench_figure_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

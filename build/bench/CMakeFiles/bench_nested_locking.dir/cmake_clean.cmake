@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_locking.dir/bench_nested_locking.cpp.o"
+  "CMakeFiles/bench_nested_locking.dir/bench_nested_locking.cpp.o.d"
+  "bench_nested_locking"
+  "bench_nested_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quorum_cost.dir/bench_quorum_cost.cpp.o"
+  "CMakeFiles/bench_quorum_cost.dir/bench_quorum_cost.cpp.o.d"
+  "bench_quorum_cost"
+  "bench_quorum_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quorum_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_latency.dir/bench_sim_latency.cpp.o"
+  "CMakeFiles/bench_sim_latency.dir/bench_sim_latency.cpp.o.d"
+  "bench_sim_latency"
+  "bench_sim_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

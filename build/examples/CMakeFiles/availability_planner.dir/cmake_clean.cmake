@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_planner.dir/availability_planner.cpp.o"
+  "CMakeFiles/availability_planner.dir/availability_planner.cpp.o.d"
+  "availability_planner"
+  "availability_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/concurrent_scheduler.cpp" "src/cc/CMakeFiles/qcnt_cc.dir/concurrent_scheduler.cpp.o" "gcc" "src/cc/CMakeFiles/qcnt_cc.dir/concurrent_scheduler.cpp.o.d"
+  "/root/repo/src/cc/deadlock.cpp" "src/cc/CMakeFiles/qcnt_cc.dir/deadlock.cpp.o" "gcc" "src/cc/CMakeFiles/qcnt_cc.dir/deadlock.cpp.o.d"
+  "/root/repo/src/cc/locked_object.cpp" "src/cc/CMakeFiles/qcnt_cc.dir/locked_object.cpp.o" "gcc" "src/cc/CMakeFiles/qcnt_cc.dir/locked_object.cpp.o.d"
+  "/root/repo/src/cc/system_c.cpp" "src/cc/CMakeFiles/qcnt_cc.dir/system_c.cpp.o" "gcc" "src/cc/CMakeFiles/qcnt_cc.dir/system_c.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/qcnt_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/qcnt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_cc.dir/concurrent_scheduler.cpp.o"
+  "CMakeFiles/qcnt_cc.dir/concurrent_scheduler.cpp.o.d"
+  "CMakeFiles/qcnt_cc.dir/deadlock.cpp.o"
+  "CMakeFiles/qcnt_cc.dir/deadlock.cpp.o.d"
+  "CMakeFiles/qcnt_cc.dir/locked_object.cpp.o"
+  "CMakeFiles/qcnt_cc.dir/locked_object.cpp.o.d"
+  "CMakeFiles/qcnt_cc.dir/system_c.cpp.o"
+  "CMakeFiles/qcnt_cc.dir/system_c.cpp.o.d"
+  "libqcnt_cc.a"
+  "libqcnt_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcnt_cc.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_common.dir/rng.cpp.o"
+  "CMakeFiles/qcnt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qcnt_common.dir/value.cpp.o"
+  "CMakeFiles/qcnt_common.dir/value.cpp.o.d"
+  "libqcnt_common.a"
+  "libqcnt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

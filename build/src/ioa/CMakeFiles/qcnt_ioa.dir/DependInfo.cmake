@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ioa/action.cpp" "src/ioa/CMakeFiles/qcnt_ioa.dir/action.cpp.o" "gcc" "src/ioa/CMakeFiles/qcnt_ioa.dir/action.cpp.o.d"
+  "/root/repo/src/ioa/execution.cpp" "src/ioa/CMakeFiles/qcnt_ioa.dir/execution.cpp.o" "gcc" "src/ioa/CMakeFiles/qcnt_ioa.dir/execution.cpp.o.d"
+  "/root/repo/src/ioa/explorer.cpp" "src/ioa/CMakeFiles/qcnt_ioa.dir/explorer.cpp.o" "gcc" "src/ioa/CMakeFiles/qcnt_ioa.dir/explorer.cpp.o.d"
+  "/root/repo/src/ioa/system.cpp" "src/ioa/CMakeFiles/qcnt_ioa.dir/system.cpp.o" "gcc" "src/ioa/CMakeFiles/qcnt_ioa.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

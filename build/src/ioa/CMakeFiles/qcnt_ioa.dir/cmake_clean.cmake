@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_ioa.dir/action.cpp.o"
+  "CMakeFiles/qcnt_ioa.dir/action.cpp.o.d"
+  "CMakeFiles/qcnt_ioa.dir/execution.cpp.o"
+  "CMakeFiles/qcnt_ioa.dir/execution.cpp.o.d"
+  "CMakeFiles/qcnt_ioa.dir/explorer.cpp.o"
+  "CMakeFiles/qcnt_ioa.dir/explorer.cpp.o.d"
+  "CMakeFiles/qcnt_ioa.dir/system.cpp.o"
+  "CMakeFiles/qcnt_ioa.dir/system.cpp.o.d"
+  "libqcnt_ioa.a"
+  "libqcnt_ioa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_ioa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qcnt_ioa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quorum/availability.cpp" "src/quorum/CMakeFiles/qcnt_quorum.dir/availability.cpp.o" "gcc" "src/quorum/CMakeFiles/qcnt_quorum.dir/availability.cpp.o.d"
+  "/root/repo/src/quorum/configuration.cpp" "src/quorum/CMakeFiles/qcnt_quorum.dir/configuration.cpp.o" "gcc" "src/quorum/CMakeFiles/qcnt_quorum.dir/configuration.cpp.o.d"
+  "/root/repo/src/quorum/coterie.cpp" "src/quorum/CMakeFiles/qcnt_quorum.dir/coterie.cpp.o" "gcc" "src/quorum/CMakeFiles/qcnt_quorum.dir/coterie.cpp.o.d"
+  "/root/repo/src/quorum/strategies.cpp" "src/quorum/CMakeFiles/qcnt_quorum.dir/strategies.cpp.o" "gcc" "src/quorum/CMakeFiles/qcnt_quorum.dir/strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

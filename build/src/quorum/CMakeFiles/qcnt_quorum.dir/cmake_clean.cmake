@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_quorum.dir/availability.cpp.o"
+  "CMakeFiles/qcnt_quorum.dir/availability.cpp.o.d"
+  "CMakeFiles/qcnt_quorum.dir/configuration.cpp.o"
+  "CMakeFiles/qcnt_quorum.dir/configuration.cpp.o.d"
+  "CMakeFiles/qcnt_quorum.dir/coterie.cpp.o"
+  "CMakeFiles/qcnt_quorum.dir/coterie.cpp.o.d"
+  "CMakeFiles/qcnt_quorum.dir/strategies.cpp.o"
+  "CMakeFiles/qcnt_quorum.dir/strategies.cpp.o.d"
+  "libqcnt_quorum.a"
+  "libqcnt_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconfig/r_logical_object.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/r_logical_object.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/r_logical_object.cpp.o.d"
+  "/root/repo/src/reconfig/reconfig_dm.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/reconfig_dm.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/reconfig_dm.cpp.o.d"
+  "/root/repo/src/reconfig/rspec.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/rspec.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/rspec.cpp.o.d"
+  "/root/repo/src/reconfig/spy.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/spy.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/spy.cpp.o.d"
+  "/root/repo/src/reconfig/theorem.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/theorem.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/theorem.cpp.o.d"
+  "/root/repo/src/reconfig/tms.cpp" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/tms.cpp.o" "gcc" "src/reconfig/CMakeFiles/qcnt_reconfig.dir/tms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/qcnt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_reconfig.dir/r_logical_object.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/r_logical_object.cpp.o.d"
+  "CMakeFiles/qcnt_reconfig.dir/reconfig_dm.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/reconfig_dm.cpp.o.d"
+  "CMakeFiles/qcnt_reconfig.dir/rspec.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/rspec.cpp.o.d"
+  "CMakeFiles/qcnt_reconfig.dir/spy.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/spy.cpp.o.d"
+  "CMakeFiles/qcnt_reconfig.dir/theorem.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/theorem.cpp.o.d"
+  "CMakeFiles/qcnt_reconfig.dir/tms.cpp.o"
+  "CMakeFiles/qcnt_reconfig.dir/tms.cpp.o.d"
+  "libqcnt_reconfig.a"
+  "libqcnt_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/coordinators.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/coordinators.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/coordinators.cpp.o.d"
+  "/root/repo/src/replication/harness.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/harness.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/harness.cpp.o.d"
+  "/root/repo/src/replication/invariants.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/invariants.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/invariants.cpp.o.d"
+  "/root/repo/src/replication/logical.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/logical.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/logical.cpp.o.d"
+  "/root/repo/src/replication/logical_object.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/logical_object.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/logical_object.cpp.o.d"
+  "/root/repo/src/replication/read_tm.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/read_tm.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/read_tm.cpp.o.d"
+  "/root/repo/src/replication/spec.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/spec.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/spec.cpp.o.d"
+  "/root/repo/src/replication/theorem10.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/theorem10.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/theorem10.cpp.o.d"
+  "/root/repo/src/replication/write_tm.cpp" "src/replication/CMakeFiles/qcnt_replication.dir/write_tm.cpp.o" "gcc" "src/replication/CMakeFiles/qcnt_replication.dir/write_tm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/qcnt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_replication.dir/coordinators.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/coordinators.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/harness.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/harness.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/invariants.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/invariants.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/logical.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/logical.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/logical_object.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/logical_object.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/read_tm.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/read_tm.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/spec.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/spec.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/theorem10.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/theorem10.cpp.o.d"
+  "CMakeFiles/qcnt_replication.dir/write_tm.cpp.o"
+  "CMakeFiles/qcnt_replication.dir/write_tm.cpp.o.d"
+  "libqcnt_replication.a"
+  "libqcnt_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

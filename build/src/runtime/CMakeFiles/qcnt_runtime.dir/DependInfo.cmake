@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/bus.cpp" "src/runtime/CMakeFiles/qcnt_runtime.dir/bus.cpp.o" "gcc" "src/runtime/CMakeFiles/qcnt_runtime.dir/bus.cpp.o.d"
+  "/root/repo/src/runtime/client.cpp" "src/runtime/CMakeFiles/qcnt_runtime.dir/client.cpp.o" "gcc" "src/runtime/CMakeFiles/qcnt_runtime.dir/client.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "src/runtime/CMakeFiles/qcnt_runtime.dir/mailbox.cpp.o" "gcc" "src/runtime/CMakeFiles/qcnt_runtime.dir/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/replica_server.cpp" "src/runtime/CMakeFiles/qcnt_runtime.dir/replica_server.cpp.o" "gcc" "src/runtime/CMakeFiles/qcnt_runtime.dir/replica_server.cpp.o.d"
+  "/root/repo/src/runtime/store.cpp" "src/runtime/CMakeFiles/qcnt_runtime.dir/store.cpp.o" "gcc" "src/runtime/CMakeFiles/qcnt_runtime.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

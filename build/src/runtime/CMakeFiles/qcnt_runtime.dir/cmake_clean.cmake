@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_runtime.dir/bus.cpp.o"
+  "CMakeFiles/qcnt_runtime.dir/bus.cpp.o.d"
+  "CMakeFiles/qcnt_runtime.dir/client.cpp.o"
+  "CMakeFiles/qcnt_runtime.dir/client.cpp.o.d"
+  "CMakeFiles/qcnt_runtime.dir/mailbox.cpp.o"
+  "CMakeFiles/qcnt_runtime.dir/mailbox.cpp.o.d"
+  "CMakeFiles/qcnt_runtime.dir/replica_server.cpp.o"
+  "CMakeFiles/qcnt_runtime.dir/replica_server.cpp.o.d"
+  "CMakeFiles/qcnt_runtime.dir/store.cpp.o"
+  "CMakeFiles/qcnt_runtime.dir/store.cpp.o.d"
+  "libqcnt_runtime.a"
+  "libqcnt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

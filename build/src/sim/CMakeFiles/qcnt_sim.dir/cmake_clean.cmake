@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_sim.dir/network.cpp.o"
+  "CMakeFiles/qcnt_sim.dir/network.cpp.o.d"
+  "CMakeFiles/qcnt_sim.dir/simulator.cpp.o"
+  "CMakeFiles/qcnt_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/qcnt_sim.dir/store.cpp.o"
+  "CMakeFiles/qcnt_sim.dir/store.cpp.o.d"
+  "libqcnt_sim.a"
+  "libqcnt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

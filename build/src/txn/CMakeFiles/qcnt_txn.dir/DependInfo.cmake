@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/random_transaction.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/random_transaction.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/random_transaction.cpp.o.d"
+  "/root/repo/src/txn/read_write_object.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/read_write_object.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/read_write_object.cpp.o.d"
+  "/root/repo/src/txn/scripted_transaction.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/scripted_transaction.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/scripted_transaction.cpp.o.d"
+  "/root/repo/src/txn/serial_scheduler.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/serial_scheduler.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/serial_scheduler.cpp.o.d"
+  "/root/repo/src/txn/system_type.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/system_type.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/system_type.cpp.o.d"
+  "/root/repo/src/txn/wellformed.cpp" "src/txn/CMakeFiles/qcnt_txn.dir/wellformed.cpp.o" "gcc" "src/txn/CMakeFiles/qcnt_txn.dir/wellformed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcnt_txn.dir/random_transaction.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/random_transaction.cpp.o.d"
+  "CMakeFiles/qcnt_txn.dir/read_write_object.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/read_write_object.cpp.o.d"
+  "CMakeFiles/qcnt_txn.dir/scripted_transaction.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/scripted_transaction.cpp.o.d"
+  "CMakeFiles/qcnt_txn.dir/serial_scheduler.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/serial_scheduler.cpp.o.d"
+  "CMakeFiles/qcnt_txn.dir/system_type.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/system_type.cpp.o.d"
+  "CMakeFiles/qcnt_txn.dir/wellformed.cpp.o"
+  "CMakeFiles/qcnt_txn.dir/wellformed.cpp.o.d"
+  "libqcnt_txn.a"
+  "libqcnt_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcnt_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcnt_txn.a"
+)

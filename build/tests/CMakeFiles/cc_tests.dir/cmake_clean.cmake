@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_tests.dir/cc_test.cpp.o"
+  "CMakeFiles/cc_tests.dir/cc_test.cpp.o.d"
+  "CMakeFiles/cc_tests.dir/deadlock_test.cpp.o"
+  "CMakeFiles/cc_tests.dir/deadlock_test.cpp.o.d"
+  "cc_tests"
+  "cc_tests.pdb"
+  "cc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

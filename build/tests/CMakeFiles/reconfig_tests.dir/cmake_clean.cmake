@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_tests.dir/reconfig_test.cpp.o"
+  "CMakeFiles/reconfig_tests.dir/reconfig_test.cpp.o.d"
+  "reconfig_tests"
+  "reconfig_tests.pdb"
+  "reconfig_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

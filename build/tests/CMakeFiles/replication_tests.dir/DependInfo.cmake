@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coordinated_test.cpp" "tests/CMakeFiles/replication_tests.dir/coordinated_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/coordinated_test.cpp.o.d"
+  "/root/repo/tests/explorer_property_test.cpp" "tests/CMakeFiles/replication_tests.dir/explorer_property_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/explorer_property_test.cpp.o.d"
+  "/root/repo/tests/fault_injection_test.cpp" "tests/CMakeFiles/replication_tests.dir/fault_injection_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/fault_injection_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/replication_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/lemma_property_test.cpp" "tests/CMakeFiles/replication_tests.dir/lemma_property_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/lemma_property_test.cpp.o.d"
+  "/root/repo/tests/replication_spec_test.cpp" "tests/CMakeFiles/replication_tests.dir/replication_spec_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/replication_spec_test.cpp.o.d"
+  "/root/repo/tests/theorem10_test.cpp" "tests/CMakeFiles/replication_tests.dir/theorem10_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/theorem10_test.cpp.o.d"
+  "/root/repo/tests/tm_test.cpp" "tests/CMakeFiles/replication_tests.dir/tm_test.cpp.o" "gcc" "tests/CMakeFiles/replication_tests.dir/tm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/qcnt_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/qcnt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

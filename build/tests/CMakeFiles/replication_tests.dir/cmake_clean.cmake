@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_tests.dir/coordinated_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/coordinated_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/explorer_property_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/explorer_property_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/fault_injection_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/fault_injection_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/lemma_property_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/lemma_property_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/replication_spec_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/replication_spec_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/theorem10_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/theorem10_test.cpp.o.d"
+  "CMakeFiles/replication_tests.dir/tm_test.cpp.o"
+  "CMakeFiles/replication_tests.dir/tm_test.cpp.o.d"
+  "replication_tests"
+  "replication_tests.pdb"
+  "replication_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

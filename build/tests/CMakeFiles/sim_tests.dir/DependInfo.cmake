@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_faults_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_faults_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_faults_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replication/CMakeFiles/qcnt_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/qcnt_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ioa/CMakeFiles/qcnt_ioa.dir/DependInfo.cmake"
+  "/root/repo/build/src/quorum/CMakeFiles/qcnt_quorum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcnt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcnt_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_tests.dir/read_write_object_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/read_write_object_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/serial_scheduler_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/serial_scheduler_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/system_type_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/system_type_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/transactions_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/transactions_test.cpp.o.d"
+  "CMakeFiles/txn_tests.dir/wellformed_test.cpp.o"
+  "CMakeFiles/txn_tests.dir/wellformed_test.cpp.o.d"
+  "txn_tests"
+  "txn_tests.pdb"
+  "txn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/txn_tests[1]_include.cmake")
+include("/root/repo/build/tests/reconfig_tests[1]_include.cmake")
+include("/root/repo/build/tests/replication_tests[1]_include.cmake")
+include("/root/repo/build/tests/cc_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
