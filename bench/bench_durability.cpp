@@ -1,0 +1,157 @@
+// E14 — the price of durability: write throughput across fsync policies.
+//
+// Same workload against four backends: in-memory (the seed's semantics),
+// and the durable WAL backend under fsync=always / group-commit / never.
+// The table also reports the storage counters so the fsync batching is
+// visible (group-commit: fsyncs << records at nearly fsync=never speed).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "runtime/store.hpp"
+#include "table.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace qcnt;
+using runtime::ReplicatedStore;
+using runtime::StoreOptions;
+
+constexpr const char* kScratch = "bench_durability_scratch";
+
+StoreOptions Options(std::optional<storage::FsyncPolicy> policy,
+                     const std::string& dir) {
+  StoreOptions options;
+  options.replicas = 3;
+  if (policy) {
+    storage::DurabilityOptions durability;
+    durability.directory = dir;
+    durability.fsync = *policy;
+    durability.group_commit_window = std::chrono::microseconds(500);
+    options.durability = durability;
+  }
+  return options;
+}
+
+struct Measurement {
+  double writes_per_sec = 0;
+  storage::StorageStats stats;
+};
+
+Measurement MeasureWrites(std::optional<storage::FsyncPolicy> policy,
+                          std::size_t ops) {
+  const std::string dir =
+      std::string(kScratch) + "/" +
+      (policy ? storage::ToString(*policy) : "memory");
+  fs::remove_all(dir);
+  Measurement m;
+  {
+    ReplicatedStore store(Options(policy, dir));
+    auto client = store.MakeClient();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      const std::string key = "k" + std::to_string(i % 8);
+      if (!client->Write(key, static_cast<std::int64_t>(i)).ok) return m;
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    m.writes_per_sec = static_cast<double>(ops) / secs;
+    m.stats = store.TotalStorageStats();
+  }
+  fs::remove_all(dir);
+  return m;
+}
+
+void PrintDurabilityCost() {
+  bench::Banner(
+      "E14: durability cost — write throughput, 3 replicas, 1 client, "
+      "8 keys");
+  bench::Table table({"backend", "writes/s", "records", "fsyncs", "MiB",
+                      "snapshots"});
+  const std::size_t ops = 400;
+  const std::vector<
+      std::pair<std::string, std::optional<storage::FsyncPolicy>>>
+      rows = {{"memory (no durability)", std::nullopt},
+              {"wal fsync=always", storage::FsyncPolicy::kAlways},
+              {"wal fsync=group-commit", storage::FsyncPolicy::kGroupCommit},
+              {"wal fsync=never", storage::FsyncPolicy::kNever}};
+  for (const auto& [name, policy] : rows) {
+    const Measurement m = MeasureWrites(policy, ops);
+    table.AddRow({name, bench::Table::Num(m.writes_per_sec, 0),
+                  std::to_string(m.stats.records_appended),
+                  std::to_string(m.stats.fsyncs),
+                  bench::Table::Num(static_cast<double>(
+                                        m.stats.bytes_appended) /
+                                        (1024.0 * 1024.0),
+                                    2),
+                  std::to_string(m.stats.snapshots_installed)});
+  }
+  table.Print();
+  std::cout
+      << "\nShape checks: memory >= never >= group-commit >= always in "
+         "writes/s; group-commit\nissues far fewer fsyncs than records "
+         "(one per batching window); fsync=never issues\nnone. The gap "
+         "between always and never is the per-commit fsync cost the "
+         "group-commit\nwindow amortizes.\n";
+  fs::remove_all(kScratch);
+}
+
+void BM_DurableWriteAlways(benchmark::State& state) {
+  const std::string dir = std::string(kScratch) + "/bm_always";
+  fs::remove_all(dir);
+  {
+    ReplicatedStore store(Options(storage::FsyncPolicy::kAlways, dir));
+    auto client = store.MakeClient();
+    std::int64_t v = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client->Write("k", ++v).ok);
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableWriteAlways);
+
+void BM_DurableWriteGroupCommit(benchmark::State& state) {
+  const std::string dir = std::string(kScratch) + "/bm_group";
+  fs::remove_all(dir);
+  {
+    ReplicatedStore store(Options(storage::FsyncPolicy::kGroupCommit, dir));
+    auto client = store.MakeClient();
+    std::int64_t v = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client->Write("k", ++v).ok);
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableWriteGroupCommit);
+
+void BM_DurableWriteNever(benchmark::State& state) {
+  const std::string dir = std::string(kScratch) + "/bm_never";
+  fs::remove_all(dir);
+  {
+    ReplicatedStore store(Options(storage::FsyncPolicy::kNever, dir));
+    auto client = store.MakeClient();
+    std::int64_t v = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(client->Write("k", ++v).ok);
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_DurableWriteNever);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintDurabilityCost();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  fs::remove_all(kScratch);
+  return 0;
+}

@@ -18,6 +18,15 @@ Mailbox& Bus::MailboxOf(NodeId node) {
   return *mailboxes_[node];
 }
 
+void Bus::Crash(NodeId node) {
+  QCNT_CHECK(node < mailboxes_.size());
+  up_[node].store(false);
+  // Drain after marking down: sends racing with the crash either see the
+  // down flag and drop, or land in the queue before this drain clears it.
+  // Messages queued before the crash must not be handled by a dead node.
+  mailboxes_[node]->Clear();
+}
+
 void Bus::Send(NodeId from, NodeId to, RtMessage msg) {
   QCNT_CHECK(from < mailboxes_.size() && to < mailboxes_.size());
   sent_.fetch_add(1, std::memory_order_relaxed);

@@ -22,7 +22,9 @@ class Bus {
 
   void Send(NodeId from, NodeId to, RtMessage msg);
 
-  void Crash(NodeId node) { up_[node].store(false); }
+  /// Fail-stop: mark the node down and drain its mailbox, so messages
+  /// queued before the crash are not processed afterward.
+  void Crash(NodeId node);
   void Recover(NodeId node) { up_[node].store(true); }
   bool IsUp(NodeId node) const { return up_[node].load(); }
 

@@ -39,6 +39,11 @@ void Mailbox::Close() {
   cv_.notify_all();
 }
 
+void Mailbox::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+}
+
 std::size_t Mailbox::Size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();

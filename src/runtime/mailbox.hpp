@@ -28,6 +28,10 @@ class Mailbox {
   /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
   void Close();
 
+  /// Discard every queued message (fail-stop crash: the backlog dies with
+  /// the node). The mailbox stays usable for later pushes.
+  void Clear();
+
   std::size_t Size() const;
 
  private:

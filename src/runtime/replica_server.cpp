@@ -1,12 +1,25 @@
 #include "runtime/replica_server.hpp"
 
+#include "common/check.hpp"
+
 namespace qcnt::runtime {
 
-ReplicaServer::ReplicaServer(Bus& bus, NodeId id) : bus_(&bus), id_(id) {
-  thread_ = std::thread([this] { Loop(); });
+ReplicaServer::ReplicaServer(Bus& bus, NodeId id)
+    : ReplicaServer(bus, id, storage::MakeMemoryBackend()) {}
+
+ReplicaServer::ReplicaServer(Bus& bus, NodeId id,
+                             std::unique_ptr<storage::Backend> backend)
+    : bus_(&bus), id_(id), backend_(std::move(backend)) {
+  QCNT_CHECK(backend_ != nullptr);
+  Start();
 }
 
 ReplicaServer::~ReplicaServer() { Shutdown(); }
+
+void ReplicaServer::Start() {
+  state_ = backend_->Recover();
+  thread_ = std::thread([this] { Loop(); });
+}
 
 void ReplicaServer::Shutdown() {
   if (!thread_.joinable()) return;
@@ -15,6 +28,18 @@ void ReplicaServer::Shutdown() {
   bus_->MailboxOf(id_).Push(
       Envelope{id_, RtMessage{RtMessage::Kind::kShutdown, 0, {}, 0, 0, 0, 0}});
   thread_.join();
+  thread_ = std::thread();
+}
+
+void ReplicaServer::CrashAndWipe() {
+  Shutdown();
+  state_ = storage::Image{};
+  backend_->OnCrash();
+}
+
+void ReplicaServer::Restart() {
+  if (thread_.joinable()) return;
+  Start();
 }
 
 void ReplicaServer::Loop() {
@@ -33,16 +58,16 @@ void ReplicaServer::Handle(const Envelope& e) {
   reply.key = m.key;
   switch (m.kind) {
     case RtMessage::Kind::kReadReq: {
-      const Versioned& v = data_[m.key];
+      const storage::Versioned& v = state_.data[m.key];
       reply.kind = RtMessage::Kind::kReadResp;
       reply.version = v.version;
       reply.value = v.value;
-      reply.generation = generation_;
-      reply.config_id = config_id_;
+      reply.generation = state_.generation;
+      reply.config_id = state_.config_id;
       break;
     }
     case RtMessage::Kind::kWriteReq: {
-      Versioned& v = data_[m.key];
+      storage::Versioned& v = state_.data[m.key];
       // (version, value) is a total order: concurrent writers that race to
       // the same version converge deterministically (the verified automaton
       // layer shows a concurrency-control layer prevents such races; the
@@ -51,14 +76,20 @@ void ReplicaServer::Handle(const Envelope& e) {
           (m.version == v.version && m.value >= v.value)) {
         v.version = m.version;
         v.value = m.value;
+        // Write-ahead: the record is logged (and, per fsync policy, made
+        // durable) before the ack below is sent.
+        backend_->ApplyWrite(m.key, v.version, v.value);
+        backend_->MaybeCompact(state_);
       }
       reply.kind = RtMessage::Kind::kWriteAck;
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
-      if (m.generation >= generation_) {
-        generation_ = m.generation;
-        config_id_ = m.config_id;
+      if (m.generation >= state_.generation) {
+        state_.generation = m.generation;
+        state_.config_id = m.config_id;
+        backend_->ApplyConfig(state_.generation, state_.config_id);
+        backend_->MaybeCompact(state_);
       }
       reply.kind = RtMessage::Kind::kConfigWriteAck;
       break;

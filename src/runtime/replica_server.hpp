@@ -2,21 +2,33 @@
 //
 // The state per key is a (version, value) pair — a Section-3 DM — plus one
 // store-wide (generation, configuration) stamp for Section-4
-// reconfiguration. The server loop pops a request, applies it, and replies;
-// a kShutdown message ends the loop.
+// reconfiguration, held together as a storage::Image. The server loop pops
+// a request, applies it to the image, notifies its storage::Backend (the
+// write-ahead step under a durable backend), and replies; a kShutdown
+// message ends the loop.
+//
+// Crash semantics: CrashAndWipe() stops the loop and discards the image —
+// a real fail-stop, unlike a bus partition. Restart() rebuilds the image
+// through the backend's recovery path and relaunches the loop. Under the
+// in-memory backend recovery returns an empty image, so stores that need
+// the seed's lossless-crash behavior keep using the bus partition alone.
 #pragma once
 
+#include <memory>
 #include <thread>
-#include <unordered_map>
 
 #include "runtime/bus.hpp"
+#include "storage/backend.hpp"
 
 namespace qcnt::runtime {
 
 class ReplicaServer {
  public:
-  /// Starts the server thread immediately.
+  /// Starts the server thread immediately (in-memory backend).
   ReplicaServer(Bus& bus, NodeId id);
+  /// Starts the server thread immediately, recovering state from `backend`.
+  ReplicaServer(Bus& bus, NodeId id,
+                std::unique_ptr<storage::Backend> backend);
   ~ReplicaServer();
 
   ReplicaServer(const ReplicaServer&) = delete;
@@ -27,20 +39,28 @@ class ReplicaServer {
   /// Ask the loop to exit and join the thread.
   void Shutdown();
 
- private:
-  struct Versioned {
-    std::uint64_t version = 0;
-    std::int64_t value = 0;
-  };
+  /// Fail-stop: stop the loop and wipe all volatile state. The caller is
+  /// expected to have partitioned the node (Bus::Crash) first so the ack
+  /// of an in-flight request cannot escape.
+  void CrashAndWipe();
 
+  /// Relaunch after CrashAndWipe (or Shutdown): recover the image from
+  /// the backend and restart the loop. No-op if already running.
+  void Restart();
+
+  bool Running() const { return thread_.joinable(); }
+
+  storage::StorageStats StorageStats() const { return backend_->Stats(); }
+
+ private:
+  void Start();
   void Loop();
   void Handle(const Envelope& e);
 
   Bus* bus_;
   NodeId id_;
-  std::unordered_map<std::string, Versioned> data_;
-  std::uint64_t generation_ = 0;
-  std::uint32_t config_id_ = 0;
+  std::unique_ptr<storage::Backend> backend_;
+  storage::Image state_;
   std::thread thread_;
 };
 

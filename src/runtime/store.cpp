@@ -20,7 +20,19 @@ StoreOptions Normalize(StoreOptions options) {
     QCNT_CHECK_MSG(s.n <= options.replicas,
                    "configurations may not mention unknown replicas");
   }
+  if (options.durability) {
+    QCNT_CHECK_MSG(!options.durability->directory.empty(),
+                   "durability requires a directory");
+  }
   return options;
+}
+
+std::unique_ptr<storage::Backend> MakeBackend(const StoreOptions& options,
+                                              std::size_t replica) {
+  if (!options.durability) return storage::MakeMemoryBackend();
+  return storage::MakeDurableBackend(
+      options.durability->directory + "/replica_" + std::to_string(replica),
+      *options.durability);
 }
 }  // namespace
 
@@ -28,8 +40,8 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
     : options_(Normalize(std::move(options))),
       bus_(options_.replicas + options_.max_clients) {
   for (std::size_t r = 0; r < options_.replicas; ++r) {
-    replicas_.push_back(
-        std::make_unique<ReplicaServer>(bus_, static_cast<NodeId>(r)));
+    replicas_.push_back(std::make_unique<ReplicaServer>(
+        bus_, static_cast<NodeId>(r), MakeBackend(options_, r)));
   }
 }
 
@@ -50,16 +62,34 @@ std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
 
 void ReplicatedStore::Crash(std::size_t replica) {
   QCNT_CHECK(replica < replicas_.size());
+  // Partition first so an in-flight reply cannot escape, then (durable
+  // only) fail-stop the server: stop the loop, discard the image.
   bus_.Crash(static_cast<NodeId>(replica));
+  if (Durable()) replicas_[replica]->CrashAndWipe();
 }
 
 void ReplicatedStore::Recover(std::size_t replica) {
   QCNT_CHECK(replica < replicas_.size());
+  // Rebuild state before reopening the bus, so the replica rejoins
+  // quorums only once recovery replay has completed.
+  if (Durable()) replicas_[replica]->Restart();
   bus_.Recover(static_cast<NodeId>(replica));
 }
 
 bool ReplicatedStore::IsUp(std::size_t replica) const {
   return bus_.IsUp(static_cast<NodeId>(replica));
+}
+
+storage::StorageStats ReplicatedStore::ReplicaStorageStats(
+    std::size_t replica) const {
+  QCNT_CHECK(replica < replicas_.size());
+  return replicas_[replica]->StorageStats();
+}
+
+storage::StorageStats ReplicatedStore::TotalStorageStats() const {
+  storage::StorageStats total;
+  for (const auto& r : replicas_) total += r->StorageStats();
+  return total;
 }
 
 }  // namespace qcnt::runtime

@@ -13,9 +13,17 @@
 //   client->Write("balance", 100);
 //   auto r = client->Read("balance");   // r.value == 100
 //   store.Crash(4);                      // still within quorum
+//
+// With StoreOptions::durability set, each replica keeps a write-ahead log
+// and snapshots under `durability->directory/replica_<r>`; Crash() then
+// wipes the replica's volatile state (true fail-stop) and Recover()
+// rebuilds it from disk through storage::RecoveryManager — so quorum
+// reads after recovery genuinely exercise Lemma 8 rather than reading a
+// map that never died.
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "runtime/client.hpp"
 #include "runtime/replica_server.hpp"
@@ -31,6 +39,10 @@ struct StoreOptions {
   std::vector<quorum::QuorumSystem> configs;
   std::uint32_t initial_config = 0;
   QuorumClient::Options client_options;
+  /// When set, replicas persist to `directory/replica_<r>` and crashes
+  /// lose volatile state; when unset, replicas are purely in-memory and a
+  /// crash is only a partition (the original semantics).
+  std::optional<storage::DurabilityOptions> durability;
 };
 
 class ReplicatedStore {
@@ -45,16 +57,23 @@ class ReplicatedStore {
   const std::vector<quorum::QuorumSystem>& Configs() const {
     return options_.configs;
   }
+  bool Durable() const { return options_.durability.has_value(); }
 
   /// Create a client (each client must be used from one thread at a time).
   std::unique_ptr<QuorumClient> MakeClient();
 
-  /// Crash / recover a replica (by replica index).
+  /// Crash / recover a replica (by replica index). Under a durable
+  /// backend, Crash discards the replica's in-memory state and Recover
+  /// replays snapshot + log before the replica rejoins quorums.
   void Crash(std::size_t replica);
   void Recover(std::size_t replica);
   bool IsUp(std::size_t replica) const;
 
   std::uint64_t MessagesSent() const { return bus_.MessagesSent(); }
+
+  /// Storage counters for one replica / summed over all replicas.
+  storage::StorageStats ReplicaStorageStats(std::size_t replica) const;
+  storage::StorageStats TotalStorageStats() const;
 
  private:
   StoreOptions options_;

@@ -1,0 +1,132 @@
+#include "storage/backend.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/check.hpp"
+#include "storage/snapshot.hpp"
+
+namespace qcnt::storage {
+
+namespace {
+
+class MemoryBackend final : public Backend {
+ public:
+  bool Durable() const override { return false; }
+  Image Recover() override { return {}; }
+  void ApplyWrite(const std::string&, std::uint64_t, std::int64_t) override {}
+  void ApplyConfig(std::uint64_t, std::uint32_t) override {}
+};
+
+class DurableBackend final : public Backend {
+ public:
+  DurableBackend(std::string dir, DurabilityOptions options)
+      : dir_(std::move(dir)), options_(std::move(options)) {
+    std::filesystem::create_directories(dir_);
+  }
+
+  bool Durable() const override { return true; }
+
+  Image Recover() override {
+    wal_.reset();  // release any pre-crash handle before reopening
+    const RecoveryManager::Result r = RecoveryManager(dir_).Recover();
+    recoveries_.fetch_add(1, std::memory_order_relaxed);
+    recovery_replayed_.fetch_add(r.replayed, std::memory_order_relaxed);
+    wal_ = std::make_unique<Wal>(
+        RecoveryManager::WalPath(dir_),
+        Wal::Options{options_.fsync, options_.group_commit_window});
+    if (r.torn_tail) {
+      // Cut the torn frame so fresh appends don't land after garbage.
+      wal_->TruncateTo(r.wal_valid_bytes);
+      torn_tails_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r.image;
+  }
+
+  void ApplyWrite(const std::string& key, std::uint64_t version,
+                  std::int64_t value) override {
+    WalRecord rec;
+    rec.type = WalRecord::Type::kWrite;
+    rec.key = key;
+    rec.version = version;
+    rec.value = value;
+    AppendAndCount(rec);
+  }
+
+  void ApplyConfig(std::uint64_t generation,
+                   std::uint32_t config_id) override {
+    WalRecord rec;
+    rec.type = WalRecord::Type::kConfig;
+    rec.generation = generation;
+    rec.config_id = config_id;
+    AppendAndCount(rec);
+  }
+
+  void MaybeCompact(const Image& image) override {
+    if (!wal_ || wal_->SizeBytes() < options_.snapshot_threshold_bytes) {
+      return;
+    }
+    WriteSnapshot(dir_, image);
+    wal_->Reset();
+    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void OnCrash() override {
+    // fail-stop: the process would die here; we just drop the handle.
+    // Data already write(2)n survives in the file, mirroring a process
+    // crash; fsync policy governs what a machine crash could lose.
+    wal_.reset();
+  }
+
+  StorageStats Stats() const override {
+    StorageStats s;
+    s.records_appended = records_.load(std::memory_order_relaxed);
+    s.bytes_appended = bytes_.load(std::memory_order_relaxed);
+    s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+    s.snapshots_installed = snapshots_.load(std::memory_order_relaxed);
+    s.recoveries = recoveries_.load(std::memory_order_relaxed);
+    s.recovery_replayed =
+        recovery_replayed_.load(std::memory_order_relaxed);
+    s.torn_tails_discarded = torn_tails_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  void AppendAndCount(const WalRecord& rec) {
+    QCNT_CHECK_MSG(wal_ != nullptr,
+                   "durable backend used before Recover()");
+    const std::uint64_t bytes_before = wal_->BytesAppended();
+    const std::uint64_t fsyncs_before = wal_->Fsyncs();
+    wal_->Append(rec);
+    records_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
+                     std::memory_order_relaxed);
+    fsyncs_.fetch_add(wal_->Fsyncs() - fsyncs_before,
+                      std::memory_order_relaxed);
+  }
+
+  std::string dir_;
+  DurabilityOptions options_;
+  std::unique_ptr<Wal> wal_;
+
+  // Only the server thread mutates the counters; Stats() may race from
+  // other threads, hence the atomics. Deltas (not the Wal's own totals)
+  // keep them monotone across crash/recover reopens.
+  std::atomic<std::uint64_t> records_{0}, bytes_{0}, fsyncs_{0};
+  std::atomic<std::uint64_t> snapshots_{0}, recoveries_{0};
+  std::atomic<std::uint64_t> recovery_replayed_{0}, torn_tails_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> MakeMemoryBackend() {
+  return std::make_unique<MemoryBackend>();
+}
+
+std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
+                                            DurabilityOptions options) {
+  return std::make_unique<DurableBackend>(std::move(dir),
+                                          std::move(options));
+}
+
+}  // namespace qcnt::storage

@@ -1,0 +1,96 @@
+// Pluggable per-replica storage backend.
+//
+// A ReplicaServer applies every mutation to its in-memory Image and then
+// notifies its Backend *before* acking the client — write-ahead in the
+// Gray/Lamport sense: the ack implies the backend accepted the record.
+//
+//   MemoryBackend  — no-op persistence; a crash only partitions the node
+//                    (the seed's behavior, zero overhead on the hot path).
+//   DurableBackend — WAL + snapshots in a per-replica directory; a crash
+//                    wipes the replica's volatile state and recovery
+//                    rebuilds the Image via RecoveryManager.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/image.hpp"
+#include "storage/recovery.hpp"
+#include "storage/wal.hpp"
+
+namespace qcnt::storage {
+
+/// Knobs for the durable backend (embedded in runtime StoreOptions).
+struct DurabilityOptions {
+  /// Store-wide root; replica r keeps its WAL + snapshot under
+  /// `<directory>/replica_<r>`.
+  std::string directory;
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+  std::chrono::microseconds group_commit_window{500};
+  /// Snapshot + reset the WAL once it exceeds this many bytes.
+  std::uint64_t snapshot_threshold_bytes = 1u << 20;
+};
+
+/// Counter snapshot; aggregated across replicas by the store's stats
+/// surface, alongside the bus message counters.
+struct StorageStats {
+  std::uint64_t records_appended = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t snapshots_installed = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recovery_replayed = 0;  // WAL records replayed, total
+  std::uint64_t torn_tails_discarded = 0;
+
+  StorageStats& operator+=(const StorageStats& o) {
+    records_appended += o.records_appended;
+    bytes_appended += o.bytes_appended;
+    fsyncs += o.fsyncs;
+    snapshots_installed += o.snapshots_installed;
+    recoveries += o.recoveries;
+    recovery_replayed += o.recovery_replayed;
+    torn_tails_discarded += o.torn_tails_discarded;
+    return *this;
+  }
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// True when a crash of the owning replica must wipe volatile state.
+  virtual bool Durable() const = 0;
+
+  /// Rebuild the replica's state at (re)start.
+  virtual Image Recover() = 0;
+
+  /// An applied (i.e. version-accepted) write, before the ack.
+  virtual void ApplyWrite(const std::string& key, std::uint64_t version,
+                          std::int64_t value) = 0;
+
+  /// An applied configuration install, before the ack.
+  virtual void ApplyConfig(std::uint64_t generation,
+                           std::uint32_t config_id) = 0;
+
+  /// Called after each apply with the replica's full state; the backend
+  /// may compact (snapshot + log reset) when its log grew past threshold.
+  virtual void MaybeCompact(const Image& image) { (void)image; }
+
+  /// The owning replica fail-stopped: release file handles, drop nothing
+  /// durable. Volatile state is wiped by the replica itself.
+  virtual void OnCrash() {}
+
+  virtual StorageStats Stats() const { return {}; }
+};
+
+/// The seed's semantics: nothing persists, nothing is lost.
+std::unique_ptr<Backend> MakeMemoryBackend();
+
+/// WAL + snapshot persistence under `dir` (created if absent).
+std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
+                                            DurabilityOptions options);
+
+}  // namespace qcnt::storage

@@ -1,0 +1,38 @@
+#include "storage/recovery.hpp"
+
+#include <utility>
+
+#include "storage/snapshot.hpp"
+
+namespace qcnt::storage {
+
+std::string RecoveryManager::WalPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+RecoveryManager::RecoveryManager(std::string dir) : dir_(std::move(dir)) {}
+
+RecoveryManager::Result RecoveryManager::Recover() const {
+  Result result;
+  if (std::optional<Image> snap = LoadSnapshot(dir_)) {
+    result.image = std::move(*snap);
+    result.from_snapshot = true;
+  }
+  const Wal::ReplayResult replay =
+      Wal::Replay(WalPath(dir_), [&](const WalRecord& r) {
+        switch (r.type) {
+          case WalRecord::Type::kWrite:
+            result.image.ApplyWrite(r.key, r.version, r.value);
+            break;
+          case WalRecord::Type::kConfig:
+            result.image.ApplyConfig(r.generation, r.config_id);
+            break;
+        }
+      });
+  result.replayed = replay.records;
+  result.wal_valid_bytes = replay.valid_bytes;
+  result.torn_tail = replay.torn_tail;
+  return result;
+}
+
+}  // namespace qcnt::storage

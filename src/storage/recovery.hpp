@@ -1,0 +1,42 @@
+// RecoveryManager: rebuild a replica's Image from its durability directory.
+//
+// Recovery = load the snapshot (if any, CRC-validated) then replay the WAL
+// over it with the live server's own merge rule. The result is exactly the
+// state the replica had durably acknowledged before it lost volatile
+// memory; anything after the last synced record is gone — which is the
+// failure the quorum protocol is built to absorb (Lemma 8: any read quorum
+// still intersects every write quorum, so the highest-versioned surviving
+// copy is the logical state).
+#pragma once
+
+#include <string>
+
+#include "storage/image.hpp"
+#include "storage/wal.hpp"
+
+namespace qcnt::storage {
+
+class RecoveryManager {
+ public:
+  /// `wal.log` inside `dir`.
+  static std::string WalPath(const std::string& dir);
+
+  explicit RecoveryManager(std::string dir);
+
+  struct Result {
+    Image image;
+    bool from_snapshot = false;       // a valid snapshot seeded the image
+    std::uint64_t replayed = 0;       // WAL records applied on top
+    std::uint64_t wal_valid_bytes = 0;  // well-formed WAL prefix length
+    bool torn_tail = false;           // trailing garbage detected and cut
+  };
+
+  /// Rebuild the image. Does not modify any file; the caller decides
+  /// whether to truncate the WAL to `wal_valid_bytes` before appending.
+  Result Recover() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace qcnt::storage

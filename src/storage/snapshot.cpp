@@ -1,0 +1,131 @@
+#include "storage/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "storage/crc32.hpp"
+
+namespace qcnt::storage {
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'S', 'N', 'P'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+void PutU32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void PutU64(std::vector<unsigned char>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort; some filesystems refuse
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+
+void WriteSnapshot(const std::string& dir, const Image& image) {
+  std::vector<unsigned char> payload;
+  PutU64(payload, image.generation);
+  PutU32(payload, image.config_id);
+  PutU64(payload, image.data.size());
+  for (const auto& [key, v] : image.data) {
+    PutU32(payload, static_cast<std::uint32_t>(key.size()));
+    payload.insert(payload.end(), key.begin(), key.end());
+    PutU64(payload, v.version);
+    PutU64(payload, static_cast<std::uint64_t>(v.value));
+  }
+
+  std::vector<unsigned char> file;
+  file.reserve(4 + 4 + payload.size() + 4);
+  file.insert(file.end(), kMagic, kMagic + 4);
+  PutU32(file, kFormatVersion);
+  file.insert(file.end(), payload.begin(), payload.end());
+  PutU32(file, Crc32(payload.data(), payload.size()));
+
+  const std::string tmp = dir + "/snapshot.tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  QCNT_CHECK_MSG(fd >= 0, "cannot open snapshot temp file: " + tmp);
+  const unsigned char* p = file.data();
+  std::size_t n = file.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    QCNT_CHECK_MSG(w > 0, "snapshot write failed");
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  QCNT_CHECK(::fsync(fd) == 0);
+  ::close(fd);
+  QCNT_CHECK_MSG(std::rename(tmp.c_str(), SnapshotPath(dir).c_str()) == 0,
+                 "snapshot rename failed");
+  FsyncDir(dir);
+}
+
+std::optional<Image> LoadSnapshot(const std::string& dir) {
+  std::ifstream in(SnapshotPath(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+  if (bytes.size() < 4 + 4 + 8 + 4 + 8 + 4) return std::nullopt;
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return std::nullopt;
+  if (GetU32(bytes.data() + 4) != kFormatVersion) return std::nullopt;
+  const unsigned char* payload = bytes.data() + 8;
+  const std::size_t payload_size = bytes.size() - 8 - 4;
+  const std::uint32_t stored_crc = GetU32(bytes.data() + bytes.size() - 4);
+  if (Crc32(payload, payload_size) != stored_crc) return std::nullopt;
+
+  Image image;
+  std::size_t pos = 0;
+  auto need = [&](std::size_t n) { return payload_size - pos >= n; };
+  image.generation = GetU64(payload + pos);
+  pos += 8;
+  image.config_id = GetU32(payload + pos);
+  pos += 4;
+  const std::uint64_t count = GetU64(payload + pos);
+  pos += 8;
+  image.data.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!need(4)) return std::nullopt;
+    const std::uint32_t keylen = GetU32(payload + pos);
+    pos += 4;
+    if (!need(keylen + 16)) return std::nullopt;
+    std::string key(reinterpret_cast<const char*>(payload + pos), keylen);
+    pos += keylen;
+    Versioned v;
+    v.version = GetU64(payload + pos);
+    pos += 8;
+    v.value = static_cast<std::int64_t>(GetU64(payload + pos));
+    pos += 8;
+    image.data.emplace(std::move(key), v);
+  }
+  return image;
+}
+
+}  // namespace qcnt::storage

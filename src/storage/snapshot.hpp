@@ -1,0 +1,33 @@
+// Snapshot: a point-in-time Image serialized to one file.
+//
+// File layout: magic "QSNP", format version, then the payload
+// (generation, config_id, entry count, entries), then CRC32(payload).
+// Installation is atomic: write to `snapshot.tmp` in the same directory,
+// fsync, rename over `snapshot.bin`, fsync the directory — a crash at any
+// point leaves either the old snapshot or the new one, never a mix.
+//
+// Compaction contract: because recovery replays the WAL *over* the
+// snapshot with the same newer-version-wins merge the live server uses,
+// a snapshot taken at any prefix of the log is safe — replaying records
+// the snapshot already covers is idempotent. The log can therefore be
+// reset right after a snapshot installs without an ordering dance.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "storage/image.hpp"
+
+namespace qcnt::storage {
+
+/// `snapshot.bin` inside `dir`.
+std::string SnapshotPath(const std::string& dir);
+
+/// Atomically install `image` as `dir`'s snapshot.
+void WriteSnapshot(const std::string& dir, const Image& image);
+
+/// Load `dir`'s snapshot; nullopt when absent or failing validation
+/// (bad magic, short file, CRC mismatch) — recovery then starts empty.
+std::optional<Image> LoadSnapshot(const std::string& dir);
+
+}  // namespace qcnt::storage

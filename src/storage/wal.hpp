@@ -1,0 +1,113 @@
+// Append-only write-ahead log.
+//
+// Frame layout (little-endian):
+//
+//   +----------------+----------------+=========================+
+//   | payload length | CRC32(payload) |         payload         |
+//   |    4 bytes     |    4 bytes     |  `payload length` bytes |
+//   +----------------+----------------+=========================+
+//
+// Payload layout:
+//
+//   type:u8  version:u64  value:i64  generation:u64  config_id:u32
+//   keylen:u32  key bytes
+//
+// Replay walks frames from the front and stops at the first frame whose
+// header is truncated, whose length is implausible, or whose CRC does not
+// match — a torn final record from a crash mid-append is thereby discarded
+// rather than corrupting recovery (the quorum protocol tolerates the lost
+// tail: a replica that misses writes is exactly the paper's failure model).
+//
+// Durability policy: every Append write(2)s the frame immediately (so a
+// *process* crash loses nothing once the syscall returns); fsync timing is
+// governed by FsyncPolicy and decides what a *machine* crash can lose.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace qcnt::storage {
+
+enum class FsyncPolicy : std::uint8_t {
+  kAlways,       // fsync after every record (commit is durable when acked)
+  kGroupCommit,  // fsync at most once per window; the window's tail is at risk
+  kNever,        // never fsync; the OS decides (fastest, weakest)
+};
+
+const char* ToString(FsyncPolicy policy);
+
+struct WalRecord {
+  enum class Type : std::uint8_t { kWrite = 1, kConfig = 2 };
+  Type type = Type::kWrite;
+  std::string key;
+  std::uint64_t version = 0;
+  std::int64_t value = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t config_id = 0;
+};
+
+class Wal {
+ public:
+  struct Options {
+    FsyncPolicy fsync = FsyncPolicy::kAlways;
+    std::chrono::microseconds group_commit_window{500};
+  };
+
+  /// Opens (creating if absent) `path` and positions appends at its end.
+  Wal(std::string path, Options options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Frame, write, and (per policy) fsync one record.
+  void Append(const WalRecord& record);
+
+  /// Force an fsync covering everything appended so far.
+  void Sync();
+
+  /// Discard everything after `offset` bytes (recovery cuts a torn tail).
+  void TruncateTo(std::uint64_t offset);
+
+  /// Empty the log (after a snapshot made its contents redundant).
+  void Reset();
+
+  /// Flush and close the file; further Appends are invalid.
+  void Close();
+
+  std::uint64_t SizeBytes() const { return size_; }
+  std::uint64_t RecordsAppended() const { return records_; }
+  std::uint64_t BytesAppended() const { return bytes_appended_; }
+  std::uint64_t Fsyncs() const { return fsyncs_; }
+  const std::string& Path() const { return path_; }
+
+  struct ReplayResult {
+    std::uint64_t records = 0;      // frames applied
+    std::uint64_t valid_bytes = 0;  // prefix length of well-formed frames
+    bool torn_tail = false;         // trailing bytes failed length/CRC checks
+  };
+
+  /// Replay `path` front to back, invoking `apply` per valid record. A
+  /// missing file is an empty log. Stops at the first invalid frame.
+  static ReplayResult Replay(
+      const std::string& path,
+      const std::function<void(const WalRecord&)>& apply);
+
+ private:
+  void DoSync();
+  void MaybeSync();
+
+  std::string path_;
+  Options options_;
+  int fd_ = -1;
+  std::uint64_t size_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  bool sync_pending_ = false;  // appended since the last fsync
+  std::chrono::steady_clock::time_point window_start_{};
+};
+
+}  // namespace qcnt::storage
