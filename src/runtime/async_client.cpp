@@ -1,0 +1,281 @@
+#include "runtime/async_client.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qcnt::runtime {
+
+/// Per-operation state machine: read phase (version discovery) and, for
+/// writes, a write phase installing best_version + 1. Shared between the
+/// client's bookkeeping and the caller's OpFuture.
+struct OpFuture::State {
+  std::uint64_t id = 0;
+  bool is_write = false;
+  std::string key;
+  std::int64_t value = 0;
+  enum class Phase : std::uint8_t { kRead, kWrite };
+  Phase phase = Phase::kRead;
+  std::chrono::steady_clock::time_point start{};
+  std::chrono::steady_clock::time_point deadline{};
+  std::uint64_t responded = 0;  // read-phase responder bitmask
+  std::uint64_t acked = 0;      // write-phase acker bitmask
+  std::uint64_t best_version = 0;
+  std::int64_t best_value = 0;
+  std::uint64_t best_generation = 0;
+  std::uint32_t best_config = 0;
+  bool done = false;
+  ClientResult result;
+};
+
+bool OpFuture::Ready() const { return state_->done; }
+
+ClientResult OpFuture::Get() {
+  while (!state_->done && client_->PumpOnce()) {
+  }
+  QCNT_CHECK_MSG(state_->done, "future unresolved with nothing in flight");
+  return state_->result;
+}
+
+namespace {
+std::chrono::microseconds Since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - t0);
+}
+}  // namespace
+
+AsyncQuorumClient::AsyncQuorumClient(Bus& bus, NodeId id,
+                                     std::vector<quorum::QuorumSystem> configs,
+                                     std::uint32_t initial_config,
+                                     Options options)
+    : bus_(&bus),
+      id_(id),
+      configs_(std::move(configs)),
+      options_(options),
+      config_id_(initial_config) {
+  QCNT_CHECK(initial_config < configs_.size());
+  QCNT_CHECK(id >= ReplicaCount());
+  QCNT_CHECK(options_.window >= 1);
+  QCNT_CHECK(options_.max_batch >= 1);
+}
+
+AsyncQuorumClient::~AsyncQuorumClient() = default;
+
+void AsyncQuorumClient::Broadcast(RtMessage m) {
+  stats_.batches_sent += 1;
+  stats_.batched_requests += m.batch.size();
+  for (NodeId r = 0; r < ReplicaCount(); ++r) bus_->Send(id_, r, m);
+}
+
+OpFuture AsyncQuorumClient::SubmitRead(std::string key) {
+  return Submit(std::move(key), /*is_write=*/false, 0);
+}
+
+OpFuture AsyncQuorumClient::SubmitWrite(std::string key, std::int64_t value) {
+  return Submit(std::move(key), /*is_write=*/true, value);
+}
+
+OpFuture AsyncQuorumClient::Submit(std::string key, bool is_write,
+                                   std::int64_t value) {
+  // Backpressure before accepting the new op: a full pipeline pumps
+  // completions, which also flushes staged batches — the pipeline keeps
+  // streaming even when every op targets the same handful of keys and
+  // in_flight_ alone could never reach the window.
+  while (pending_ >= options_.window && PumpOnce()) {
+  }
+  auto op = std::make_shared<Op>();
+  op->id = next_op_++;
+  op->is_write = is_write;
+  op->key = std::move(key);
+  op->value = value;
+  ++stats_.ops_submitted;
+  ++pending_;
+  auto& queue = per_key_[op->key];
+  queue.push_back(op);
+  if (queue.size() == 1) Admit(op);
+  return OpFuture(this, op);
+}
+
+void AsyncQuorumClient::Admit(const std::shared_ptr<Op>& op) {
+  op->phase = Op::Phase::kRead;
+  op->start = std::chrono::steady_clock::now();
+  op->deadline = op->start + options_.timeout;
+  op->best_config = config_id_;
+  op->best_generation = generation_;
+  in_flight_.emplace(op->id, op);
+  staged_reads_.push_back(BatchEntry{op->id, op->key, 0, 0});
+  if (staged_reads_.size() >= options_.max_batch) FlushReads();
+}
+
+void AsyncQuorumClient::FlushReads() {
+  if (staged_reads_.empty()) return;
+  RtMessage m;
+  m.kind = RtMessage::Kind::kBatchReadReq;
+  m.batch = std::move(staged_reads_);
+  staged_reads_.clear();
+  Broadcast(std::move(m));
+}
+
+void AsyncQuorumClient::FlushWrites() {
+  if (staged_writes_.empty()) return;
+  RtMessage m;
+  m.kind = RtMessage::Kind::kBatchWriteReq;
+  m.batch = std::move(staged_writes_);
+  staged_writes_.clear();
+  Broadcast(std::move(m));
+}
+
+void AsyncQuorumClient::Flush() {
+  FlushReads();
+  FlushWrites();
+}
+
+bool AsyncQuorumClient::PumpOnce() {
+  // First drain whatever already arrived, without blocking and without
+  // flushing: each response completes ops, admits same-key successors and
+  // stages follow-up write phases, so the batches flushed below coalesce
+  // a whole burst of progress instead of going out one entry at a time.
+  Mailbox& mailbox = bus_->MailboxOf(id_);
+  while (std::optional<Envelope> e = mailbox.TryPop()) {
+    Dispatch(*e);
+  }
+  Flush();
+  ExpireOverdue(std::chrono::steady_clock::now());
+  if (in_flight_.empty()) return false;
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  for (const auto& [id, op] : in_flight_) {
+    deadline = std::min(deadline, op->deadline);
+  }
+  std::optional<Envelope> e = mailbox.Pop(deadline);
+  const auto now = std::chrono::steady_clock::now();
+  if (!e) {
+    if (now < deadline) {
+      // The only early nullopt from a blocking Pop is a closed mailbox:
+      // the store is shutting down, nothing in flight can ever complete.
+      FailAllInFlight();
+    } else {
+      ExpireOverdue(now);
+    }
+    return !in_flight_.empty() || !staged_reads_.empty() ||
+           !staged_writes_.empty();
+  }
+  Dispatch(*e);
+  ExpireOverdue(now);
+  return true;
+}
+
+void AsyncQuorumClient::Dispatch(const Envelope& e) {
+  switch (e.msg.kind) {
+    case RtMessage::Kind::kBatchReadResp:
+      HandleBatchReadResp(e);
+      break;
+    case RtMessage::Kind::kBatchWriteAck:
+      HandleBatchWriteAck(e);
+      break;
+    default:
+      break;  // stray single-op traffic; not ours
+  }
+}
+
+void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
+  const RtMessage& m = e.msg;
+  if (m.generation > generation_) {
+    generation_ = m.generation;
+    config_id_ = m.config_id;
+  }
+  const std::uint64_t bit = 1ull << e.from;
+  for (const BatchEntry& entry : m.batch) {
+    auto it = in_flight_.find(entry.op);
+    if (it == in_flight_.end()) continue;  // completed or timed out
+    const std::shared_ptr<Op> op = it->second;
+    if (op->phase != Op::Phase::kRead) continue;
+    const bool first = op->responded == 0;
+    op->responded |= bit;
+    if (first || entry.version > op->best_version ||
+        (entry.version == op->best_version &&
+         entry.value > op->best_value)) {
+      op->best_version = entry.version;
+      op->best_value = entry.value;
+    }
+    if (m.generation > op->best_generation) {
+      op->best_generation = m.generation;
+      op->best_config = m.config_id;
+    }
+    if (!configs_[op->best_config].has_read(op->responded)) continue;
+    if (op->is_write) {
+      // Version discovery done: stage the install at best + 1. Per-key
+      // serialization guarantees no other in-flight op can interleave a
+      // write to this key between discovery and install.
+      op->phase = Op::Phase::kWrite;
+      op->result.version = op->best_version + 1;
+      staged_writes_.push_back(
+          BatchEntry{op->id, op->key, op->best_version + 1, op->value});
+      if (staged_writes_.size() >= options_.max_batch) FlushWrites();
+    } else {
+      op->result.value = op->best_value;
+      op->result.version = op->best_version;
+      Complete(op, true);
+    }
+  }
+}
+
+void AsyncQuorumClient::HandleBatchWriteAck(const Envelope& e) {
+  const std::uint64_t bit = 1ull << e.from;
+  for (const BatchEntry& entry : e.msg.batch) {
+    auto it = in_flight_.find(entry.op);
+    if (it == in_flight_.end()) continue;
+    const std::shared_ptr<Op> op = it->second;
+    if (op->phase != Op::Phase::kWrite) continue;
+    op->acked |= bit;
+    if (configs_[op->best_config].has_write(op->acked)) {
+      op->result.value = op->value;
+      Complete(op, true);
+    }
+  }
+}
+
+void AsyncQuorumClient::Complete(const std::shared_ptr<Op>& op, bool ok) {
+  op->result.ok = ok;
+  op->result.latency = Since(op->start);
+  op->done = true;
+  in_flight_.erase(op->id);
+  --pending_;
+  ++stats_.ops_completed;
+  if (!ok) ++stats_.ops_failed;
+  stats_.total_latency += op->result.latency;
+  stats_.max_latency = std::max(stats_.max_latency, op->result.latency);
+
+  auto it = per_key_.find(op->key);
+  QCNT_CHECK(it != per_key_.end() && it->second.front() == op);
+  it->second.pop_front();
+  if (it->second.empty()) {
+    per_key_.erase(it);
+  } else {
+    // Hand the key to its successor; the slot this op freed keeps the
+    // window invariant.
+    Admit(it->second.front());
+  }
+}
+
+void AsyncQuorumClient::FailAllInFlight() {
+  while (!in_flight_.empty()) {
+    Complete(in_flight_.begin()->second, false);
+  }
+}
+
+void AsyncQuorumClient::ExpireOverdue(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<Op>> overdue;
+  for (const auto& [id, op] : in_flight_) {
+    if (op->deadline <= now) overdue.push_back(op);
+  }
+  for (const auto& op : overdue) Complete(op, false);
+}
+
+bool AsyncQuorumClient::Drain() {
+  while (PumpOnce()) {
+  }
+  return stats_.ops_failed == 0;
+}
+
+}  // namespace qcnt::runtime

@@ -1,0 +1,150 @@
+// Asynchronous, batched quorum client.
+//
+// SubmitRead / SubmitWrite return futures immediately; up to `window`
+// operations run their quorum phases concurrently, and staged requests are
+// coalesced into multi-op bus messages (kBatchReadReq / kBatchWriteReq) so
+// a replica serves many operations per mailbox wakeup and logs a whole
+// write batch with one group-commit append.
+//
+// Correctness envelope (DESIGN.md §7): the paper's protocol constrains
+// only the per-item version-number order (Lemmas 7/8 quantify over one
+// item x at a time), so operations on *disjoint* keys pipeline freely
+// while operations on the *same* key are serialized behind each other in
+// submission order — at most one op per key has live quorum phases, hence
+// every write still derives its version from a read quorum that reflects
+// the preceding write. A workload replayed through this client therefore
+// produces the same per-item version sequences and the same final replica
+// images as the sequential QuorumClient (asserted for randomized workloads
+// by tests/runtime_async_test.cpp).
+//
+// Threading model: the client is single-threaded and cooperatively driven.
+// There is no background thread; progress happens inside Submit*, Flush,
+// Drain and OpFuture::Get, which pump the client's own mailbox. One client
+// per thread, as with QuorumClient.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "quorum/strategies.hpp"
+#include "runtime/bus.hpp"
+#include "runtime/client.hpp"
+
+namespace qcnt::runtime {
+
+class AsyncQuorumClient;
+
+/// Completion handle for one submitted operation. Valid only while the
+/// owning AsyncQuorumClient is alive; Get() drives the client until this
+/// operation resolves (ok=false on timeout or bus shutdown).
+class OpFuture {
+ public:
+  bool Ready() const;
+  ClientResult Get();
+
+ private:
+  friend class AsyncQuorumClient;
+  struct State;
+  OpFuture(AsyncQuorumClient* client, std::shared_ptr<State> state)
+      : client_(client), state_(std::move(state)) {}
+  AsyncQuorumClient* client_;
+  std::shared_ptr<State> state_;
+};
+
+class AsyncQuorumClient {
+ public:
+  struct Options {
+    /// Per-operation deadline, measured from admission.
+    std::chrono::milliseconds timeout{1000};
+    /// Maximum outstanding (submitted, not yet completed) operations —
+    /// the pipeline depth. Submitting past the window blocks the caller
+    /// inside Submit*, pumping completions (and flushing staged batches)
+    /// until a slot frees. Ops queued behind a same-key predecessor count
+    /// against the window even though their quorum phases are not live
+    /// yet: backpressure is what keeps the pipeline draining.
+    std::size_t window = 16;
+    /// Flush threshold: staged requests are sent once this many coalesce
+    /// (Flush()/Drain()/pumping send partial batches earlier).
+    std::size_t max_batch = 32;
+  };
+
+  /// Client-side batching/latency counters, alongside the replica-side
+  /// BatchStats and the storage counters.
+  struct Stats {
+    std::uint64_t ops_submitted = 0;
+    std::uint64_t ops_completed = 0;  // includes failures
+    std::uint64_t ops_failed = 0;
+    std::uint64_t batches_sent = 0;     // broadcast batch messages
+    std::uint64_t batched_requests = 0; // entries across those batches
+    std::chrono::microseconds total_latency{0};
+    std::chrono::microseconds max_latency{0};
+  };
+
+  AsyncQuorumClient(Bus& bus, NodeId id,
+                    std::vector<quorum::QuorumSystem> configs,
+                    std::uint32_t initial_config, Options options);
+
+  ~AsyncQuorumClient();
+  AsyncQuorumClient(const AsyncQuorumClient&) = delete;
+  AsyncQuorumClient& operator=(const AsyncQuorumClient&) = delete;
+
+  /// Stage a logical read / write. May block while the in-flight window
+  /// is full (draining completions, never waiting on this op itself).
+  OpFuture SubmitRead(std::string key);
+  OpFuture SubmitWrite(std::string key, std::int64_t value);
+
+  /// Send staged batches now instead of waiting for max_batch to fill.
+  void Flush();
+
+  /// Drive everything in flight to completion. Returns true when every
+  /// operation this client ever submitted succeeded.
+  bool Drain();
+
+  std::uint32_t BelievedConfig() const { return config_id_; }
+  const Stats& ClientStats() const { return stats_; }
+
+ private:
+  friend class OpFuture;
+  using Op = OpFuture::State;
+
+  std::uint32_t ReplicaCount() const { return configs_.front().n; }
+  OpFuture Submit(std::string key, bool is_write, std::int64_t value);
+  void Broadcast(RtMessage m);
+  void Admit(const std::shared_ptr<Op>& op);
+  void FlushReads();
+  void FlushWrites();
+  /// One scheduling step: flush staged batches, then block on the mailbox
+  /// until a message, the earliest op deadline, or shutdown. Returns false
+  /// when there is nothing in flight to wait for.
+  bool PumpOnce();
+  void Dispatch(const Envelope& e);
+  void HandleBatchReadResp(const Envelope& e);
+  void HandleBatchWriteAck(const Envelope& e);
+  void Complete(const std::shared_ptr<Op>& op, bool ok);
+  void FailAllInFlight();
+  void ExpireOverdue(std::chrono::steady_clock::time_point now);
+
+  Bus* bus_;
+  NodeId id_;
+  std::vector<quorum::QuorumSystem> configs_;
+  Options options_;
+  std::uint32_t config_id_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t next_op_ = 1;
+
+  /// Ops with live quorum phases, by op id.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Op>> in_flight_;
+  /// All outstanding ops: |in_flight_| plus ops queued behind a same-key
+  /// predecessor. Submit* blocks while pending_ >= window.
+  std::size_t pending_ = 0;
+  /// Per-key FIFO; only the front op of each queue may be in flight.
+  std::unordered_map<std::string, std::deque<std::shared_ptr<Op>>> per_key_;
+  std::vector<BatchEntry> staged_reads_;
+  std::vector<BatchEntry> staged_writes_;
+  Stats stats_;
+};
+
+}  // namespace qcnt::runtime

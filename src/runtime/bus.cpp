@@ -27,6 +27,14 @@ void Bus::Crash(NodeId node) {
   mailboxes_[node]->Clear();
 }
 
+void Bus::Recover(NodeId node) {
+  QCNT_CHECK(node < mailboxes_.size());
+  // Reopen before flipping the up flag so a sender that sees up==true is
+  // guaranteed a mailbox that accepts the message.
+  mailboxes_[node]->Reopen();
+  up_[node].store(true);
+}
+
 void Bus::Send(NodeId from, NodeId to, RtMessage msg) {
   QCNT_CHECK(from < mailboxes_.size() && to < mailboxes_.size());
   sent_.fetch_add(1, std::memory_order_relaxed);

@@ -25,7 +25,11 @@ class Bus {
   /// Fail-stop: mark the node down and drain its mailbox, so messages
   /// queued before the crash are not processed afterward.
   void Crash(NodeId node);
-  void Recover(NodeId node) { up_[node].store(true); }
+  /// Bring the node back up. Also reopens the node's mailbox: a crash that
+  /// raced with CloseAll (shutdown ordering) leaves the mailbox closed, and
+  /// without reopening it every post-recovery send would be dropped on the
+  /// mailbox floor while the node counts as "up".
+  void Recover(NodeId node);
   bool IsUp(NodeId node) const { return up_[node].load(); }
 
   std::uint64_t MessagesSent() const { return sent_.load(); }

@@ -105,6 +105,7 @@ ClientResult QuorumClient::Read(const std::string& key) {
   ClientResult result;
   result.ok = phase.ok;
   result.value = phase.best_value;
+  result.version = phase.best_version;
   result.latency = Since(t0);
   return result;
 }
@@ -143,6 +144,7 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
   }
   result.ok = true;
   result.value = value;
+  result.version = w.version;
   result.latency = Since(t0);
   return result;
 }

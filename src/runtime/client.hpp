@@ -16,6 +16,11 @@ namespace qcnt::runtime {
 struct ClientResult {
   bool ok = false;
   std::int64_t value = 0;
+  /// For reads: the freshest version observed by the read quorum. For
+  /// writes: the version this operation installed. Lets callers reason
+  /// about per-item ordering (an acked write at version v must never be
+  /// superseded by anything older than v).
+  std::uint64_t version = 0;
   std::chrono::microseconds latency{0};
 };
 

@@ -31,12 +31,25 @@ std::optional<Envelope> Mailbox::Pop() {
   return e;
 }
 
+std::optional<Envelope> Mailbox::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Envelope e = std::move(queue_.front());
+  queue_.pop_front();
+  return e;
+}
+
 void Mailbox::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
+}
+
+void Mailbox::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = false;
 }
 
 void Mailbox::Clear() {

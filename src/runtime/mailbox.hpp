@@ -25,8 +25,18 @@ class Mailbox {
   /// Block indefinitely; nullopt only when closed and drained.
   std::optional<Envelope> Pop();
 
+  /// Never blocks (no condition-variable wait, just the queue lock):
+  /// nullopt when the queue is momentarily empty. The async client's
+  /// opportunistic drain between blocking waits.
+  std::optional<Envelope> TryPop();
+
   /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
   void Close();
+
+  /// Undo Close: subsequent Pushes are accepted again. A node that crashed
+  /// while the store was shutting down (Close) and is later recovered must
+  /// get a usable mailbox back, or sends to it vanish silently.
+  void Reopen();
 
   /// Discard every queued message (fail-stop crash: the backlog dies with
   /// the node). The mailbox stays usable for later pushes.

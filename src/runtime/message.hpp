@@ -9,10 +9,22 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace qcnt::runtime {
 
 using NodeId = std::uint32_t;
+
+/// One operation inside a multi-op (batched) message. In a batch read
+/// request only (op, key) are meaningful; in a batch read response all
+/// four fields are; in a batch write request (op, key, version, value)
+/// carry the install; in a batch write ack only op is.
+struct BatchEntry {
+  std::uint64_t op = 0;
+  std::string key;
+  std::uint64_t version = 0;
+  std::int64_t value = 0;
+};
 
 struct RtMessage {
   enum class Kind : std::uint8_t {
@@ -22,7 +34,12 @@ struct RtMessage {
     kWriteAck,
     kConfigWriteReq,
     kConfigWriteAck,
-    kShutdown,  // internal: stop a server loop
+    kBatchReadReq,   // batch: one read-phase probe per entry
+    kBatchReadResp,  // batch: per-entry (version, value); stamp top-level
+    kBatchWriteReq,  // batch: one write install per entry
+    kBatchWriteAck,  // batch: acks every entry's op id
+    kShutdown,       // internal: stop a server loop
+    kImagePeek,      // internal: copy the replica's state for observers
   };
   Kind kind = Kind::kReadReq;
   std::uint64_t op = 0;
@@ -31,6 +48,10 @@ struct RtMessage {
   std::int64_t value = 0;
   std::uint64_t generation = 0;
   std::uint32_t config_id = 0;
+  /// Entries of a kBatch* message; empty for single-op messages. A batch
+  /// is applied by the replica with one mailbox wakeup and (for writes)
+  /// one group-commit append through the durable backend.
+  std::vector<BatchEntry> batch;
 };
 
 struct Envelope {

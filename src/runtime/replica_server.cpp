@@ -8,8 +8,12 @@ ReplicaServer::ReplicaServer(Bus& bus, NodeId id)
     : ReplicaServer(bus, id, storage::MakeMemoryBackend()) {}
 
 ReplicaServer::ReplicaServer(Bus& bus, NodeId id,
-                             std::unique_ptr<storage::Backend> backend)
-    : bus_(&bus), id_(id), backend_(std::move(backend)) {
+                             std::unique_ptr<storage::Backend> backend,
+                             bool record_history)
+    : bus_(&bus),
+      id_(id),
+      backend_(std::move(backend)),
+      record_history_(record_history) {
   QCNT_CHECK(backend_ != nullptr);
   Start();
 }
@@ -34,12 +38,34 @@ void ReplicaServer::Shutdown() {
 void ReplicaServer::CrashAndWipe() {
   Shutdown();
   state_ = storage::Image{};
+  history_.clear();  // volatile, dies with the node
   backend_->OnCrash();
 }
 
 void ReplicaServer::Restart() {
   if (thread_.joinable()) return;
   Start();
+}
+
+ReplicaSnapshot ReplicaServer::Peek() {
+  QCNT_CHECK_MSG(Running(), "Peek() requires a running replica");
+  std::unique_lock<std::mutex> lock(peek_mu_);
+  const std::uint64_t want = ++peeks_requested_;
+  RtMessage m;
+  m.kind = RtMessage::Kind::kImagePeek;
+  // Push directly (not Bus::Send): peeking is an observer's side channel
+  // and must work even on a bus-partitioned node.
+  bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
+  peek_cv_.wait(lock, [&] { return peeks_served_ >= want; });
+  return peek_snapshot_;
+}
+
+BatchStats ReplicaServer::BatchStats() const {
+  runtime::BatchStats s;
+  s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  s.batched_ops = batched_ops_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ReplicaServer::Loop() {
@@ -49,6 +75,74 @@ void ReplicaServer::Loop() {
     if (e->msg.kind == RtMessage::Kind::kShutdown) return;
     Handle(*e);
   }
+}
+
+bool ReplicaServer::ApplyToImage(const std::string& key,
+                                 std::uint64_t version, std::int64_t value) {
+  storage::Versioned& v = state_.data[key];
+  // (version, value) is a total order: concurrent writers that race to
+  // the same version converge deterministically (the verified automaton
+  // layer shows a concurrency-control layer prevents such races; the
+  // runtime stays safe without one).
+  if (version > v.version || (version == v.version && value >= v.value)) {
+    v.version = version;
+    v.value = value;
+    if (record_history_) history_.push_back({key, version, value});
+    return true;
+  }
+  return false;
+}
+
+void ReplicaServer::CountBatch(std::size_t entries) {
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  batched_ops_.fetch_add(entries, std::memory_order_relaxed);
+  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < entries &&
+         !max_batch_.compare_exchange_weak(prev, entries,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+void ReplicaServer::HandleBatchRead(const RtMessage& m, RtMessage& reply) {
+  reply.kind = RtMessage::Kind::kBatchReadResp;
+  reply.generation = state_.generation;
+  reply.config_id = state_.config_id;
+  reply.batch.reserve(m.batch.size());
+  for (const BatchEntry& entry : m.batch) {
+    const storage::Versioned& v = state_.data[entry.key];
+    reply.batch.push_back(
+        BatchEntry{entry.op, entry.key, v.version, v.value});
+  }
+  CountBatch(m.batch.size());
+}
+
+void ReplicaServer::HandleBatchWrite(const RtMessage& m, RtMessage& reply) {
+  // Apply every entry to the image first, collecting the accepted ones,
+  // then log them with a single batch append — one write(2), one
+  // group-commit fsync decision — before the single ack below. Write-ahead
+  // still holds: the ack covers exactly the records the backend accepted.
+  std::vector<storage::WalRecord> accepted;
+  accepted.reserve(m.batch.size());
+  for (const BatchEntry& entry : m.batch) {
+    if (ApplyToImage(entry.key, entry.version, entry.value)) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecord::Type::kWrite;
+      rec.key = entry.key;
+      rec.version = entry.version;
+      rec.value = entry.value;
+      accepted.push_back(std::move(rec));
+    }
+  }
+  if (!accepted.empty()) {
+    backend_->ApplyWriteBatch(accepted);
+    backend_->MaybeCompact(state_);
+  }
+  reply.kind = RtMessage::Kind::kBatchWriteAck;
+  reply.batch.reserve(m.batch.size());
+  for (const BatchEntry& entry : m.batch) {
+    reply.batch.push_back(BatchEntry{entry.op, {}, 0, 0});
+  }
+  CountBatch(m.batch.size());
 }
 
 void ReplicaServer::Handle(const Envelope& e) {
@@ -67,18 +161,10 @@ void ReplicaServer::Handle(const Envelope& e) {
       break;
     }
     case RtMessage::Kind::kWriteReq: {
-      storage::Versioned& v = state_.data[m.key];
-      // (version, value) is a total order: concurrent writers that race to
-      // the same version converge deterministically (the verified automaton
-      // layer shows a concurrency-control layer prevents such races; the
-      // runtime stays safe without one).
-      if (m.version > v.version ||
-          (m.version == v.version && m.value >= v.value)) {
-        v.version = m.version;
-        v.value = m.value;
+      if (ApplyToImage(m.key, m.version, m.value)) {
         // Write-ahead: the record is logged (and, per fsync policy, made
         // durable) before the ack below is sent.
-        backend_->ApplyWrite(m.key, v.version, v.value);
+        backend_->ApplyWrite(m.key, m.version, m.value);
         backend_->MaybeCompact(state_);
       }
       reply.kind = RtMessage::Kind::kWriteAck;
@@ -93,6 +179,19 @@ void ReplicaServer::Handle(const Envelope& e) {
       }
       reply.kind = RtMessage::Kind::kConfigWriteAck;
       break;
+    }
+    case RtMessage::Kind::kBatchReadReq:
+      HandleBatchRead(m, reply);
+      break;
+    case RtMessage::Kind::kBatchWriteReq:
+      HandleBatchWrite(m, reply);
+      break;
+    case RtMessage::Kind::kImagePeek: {
+      std::lock_guard<std::mutex> lock(peek_mu_);
+      peek_snapshot_ = ReplicaSnapshot{state_, history_};
+      ++peeks_served_;
+      peek_cv_.notify_all();
+      return;  // side channel: no bus reply
     }
     default:
       return;

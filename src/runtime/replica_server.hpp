@@ -7,6 +7,11 @@
 // write-ahead step under a durable backend), and replies; a kShutdown
 // message ends the loop.
 //
+// Batched requests (kBatchReadReq / kBatchWriteReq) apply every entry with
+// a single mailbox wakeup, and all version-accepted writes of a batch go
+// through storage::Backend::ApplyWriteBatch — one log append, one
+// group-commit fsync decision — before the single ack covering them all.
+//
 // Crash semantics: CrashAndWipe() stops the loop and discards the image —
 // a real fail-stop, unlike a bus partition. Restart() rebuilds the image
 // through the backend's recovery path and relaunches the loop. Under the
@@ -14,7 +19,10 @@
 // the seed's lossless-crash behavior keep using the bus partition alone.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "runtime/bus.hpp"
@@ -22,13 +30,46 @@
 
 namespace qcnt::runtime {
 
+/// One version-accepted write, in application order — recorded only when
+/// the server was built with record_history (test observability: the
+/// per-item subsequences are exactly the version-number sequences Lemma
+/// 7/8 constrain, so equivalence suites compare them across runtimes).
+struct AppliedWrite {
+  std::string key;
+  std::uint64_t version = 0;
+  std::int64_t value = 0;
+};
+
+/// Point-in-time copy of a replica's volatile state, taken on the server
+/// thread itself (so it is a consistent snapshot between operations, never
+/// mid-batch).
+struct ReplicaSnapshot {
+  storage::Image image;
+  std::vector<AppliedWrite> history;  // empty unless record_history
+};
+
+/// Replica-side batching counters (volatile, unlike StorageStats).
+struct BatchStats {
+  std::uint64_t batches_applied = 0;  // kBatch* messages handled
+  std::uint64_t batched_ops = 0;      // entries across those messages
+  std::uint64_t max_batch = 0;        // largest single batch seen
+
+  BatchStats& operator+=(const BatchStats& o) {
+    batches_applied += o.batches_applied;
+    batched_ops += o.batched_ops;
+    max_batch = max_batch > o.max_batch ? max_batch : o.max_batch;
+    return *this;
+  }
+};
+
 class ReplicaServer {
  public:
   /// Starts the server thread immediately (in-memory backend).
   ReplicaServer(Bus& bus, NodeId id);
   /// Starts the server thread immediately, recovering state from `backend`.
   ReplicaServer(Bus& bus, NodeId id,
-                std::unique_ptr<storage::Backend> backend);
+                std::unique_ptr<storage::Backend> backend,
+                bool record_history = false);
   ~ReplicaServer();
 
   ReplicaServer(const ReplicaServer&) = delete;
@@ -50,18 +91,44 @@ class ReplicaServer {
 
   bool Running() const { return thread_.joinable(); }
 
+  /// Consistent copy of the replica's state, taken by the server loop
+  /// between operations. Must only be called while the server is running.
+  ReplicaSnapshot Peek();
+
   storage::StorageStats StorageStats() const { return backend_->Stats(); }
+  runtime::BatchStats BatchStats() const;
 
  private:
   void Start();
   void Loop();
   void Handle(const Envelope& e);
+  void HandleBatchRead(const RtMessage& m, RtMessage& reply);
+  void HandleBatchWrite(const RtMessage& m, RtMessage& reply);
+  /// Newer-version-wins merge of one write into the image; true when the
+  /// write was accepted (and therefore must reach the backend).
+  bool ApplyToImage(const std::string& key, std::uint64_t version,
+                    std::int64_t value);
+  void CountBatch(std::size_t entries);
 
   Bus* bus_;
   NodeId id_;
   std::unique_ptr<storage::Backend> backend_;
   storage::Image state_;
+  bool record_history_ = false;
+  std::vector<AppliedWrite> history_;
   std::thread thread_;
+
+  // Peek handshake: requesters push a kImagePeek message and wait for the
+  // loop to copy state_ into peek_snapshot_ under peek_mu_.
+  std::mutex peek_mu_;
+  std::condition_variable peek_cv_;
+  std::uint64_t peeks_requested_ = 0;
+  std::uint64_t peeks_served_ = 0;
+  ReplicaSnapshot peek_snapshot_;
+
+  std::atomic<std::uint64_t> batches_applied_{0};
+  std::atomic<std::uint64_t> batched_ops_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
 };
 
 }  // namespace qcnt::runtime

@@ -41,7 +41,8 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
       bus_(options_.replicas + options_.max_clients) {
   for (std::size_t r = 0; r < options_.replicas; ++r) {
     replicas_.push_back(std::make_unique<ReplicaServer>(
-        bus_, static_cast<NodeId>(r), MakeBackend(options_, r)));
+        bus_, static_cast<NodeId>(r), MakeBackend(options_, r),
+        options_.record_applied_history));
   }
 }
 
@@ -58,6 +59,20 @@ std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
   return std::make_unique<QuorumClient>(bus_, id, options_.configs,
                                         options_.initial_config,
                                         options_.client_options);
+}
+
+std::unique_ptr<AsyncQuorumClient> ReplicatedStore::MakeAsyncClient() {
+  return MakeAsyncClient(options_.async_client_options);
+}
+
+std::unique_ptr<AsyncQuorumClient> ReplicatedStore::MakeAsyncClient(
+    AsyncQuorumClient::Options options) {
+  QCNT_CHECK_MSG(next_client_ < options_.max_clients,
+                 "client limit reached; raise StoreOptions::max_clients");
+  const NodeId id =
+      static_cast<NodeId>(options_.replicas + next_client_++);
+  return std::make_unique<AsyncQuorumClient>(
+      bus_, id, options_.configs, options_.initial_config, options);
 }
 
 void ReplicatedStore::Crash(std::size_t replica) {
@@ -90,6 +105,22 @@ storage::StorageStats ReplicatedStore::TotalStorageStats() const {
   storage::StorageStats total;
   for (const auto& r : replicas_) total += r->StorageStats();
   return total;
+}
+
+BatchStats ReplicatedStore::ReplicaBatchStats(std::size_t replica) const {
+  QCNT_CHECK(replica < replicas_.size());
+  return replicas_[replica]->BatchStats();
+}
+
+BatchStats ReplicatedStore::TotalBatchStats() const {
+  BatchStats total;
+  for (const auto& r : replicas_) total += r->BatchStats();
+  return total;
+}
+
+ReplicaSnapshot ReplicatedStore::ReplicaPeek(std::size_t replica) const {
+  QCNT_CHECK(replica < replicas_.size());
+  return replicas_[replica]->Peek();
 }
 
 }  // namespace qcnt::runtime

@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "runtime/async_client.hpp"
 #include "runtime/client.hpp"
 #include "runtime/replica_server.hpp"
 
@@ -39,10 +40,14 @@ struct StoreOptions {
   std::vector<quorum::QuorumSystem> configs;
   std::uint32_t initial_config = 0;
   QuorumClient::Options client_options;
+  AsyncQuorumClient::Options async_client_options;
   /// When set, replicas persist to `directory/replica_<r>` and crashes
   /// lose volatile state; when unset, replicas are purely in-memory and a
   /// crash is only a partition (the original semantics).
   std::optional<storage::DurabilityOptions> durability;
+  /// Test observability: replicas record every version-accepted write in
+  /// application order (see AppliedWrite); read back via ReplicaPeek.
+  bool record_applied_history = false;
 };
 
 class ReplicatedStore {
@@ -62,6 +67,13 @@ class ReplicatedStore {
   /// Create a client (each client must be used from one thread at a time).
   std::unique_ptr<QuorumClient> MakeClient();
 
+  /// Create an asynchronous pipelined/batched client (also one thread at a
+  /// time; see async_client.hpp for the ordering envelope). Draws from the
+  /// same max_clients budget as MakeClient.
+  std::unique_ptr<AsyncQuorumClient> MakeAsyncClient();
+  std::unique_ptr<AsyncQuorumClient> MakeAsyncClient(
+      AsyncQuorumClient::Options options);
+
   /// Crash / recover a replica (by replica index). Under a durable
   /// backend, Crash discards the replica's in-memory state and Recover
   /// replays snapshot + log before the replica rejoins quorums.
@@ -74,6 +86,15 @@ class ReplicatedStore {
   /// Storage counters for one replica / summed over all replicas.
   storage::StorageStats ReplicaStorageStats(std::size_t replica) const;
   storage::StorageStats TotalStorageStats() const;
+
+  /// Replica-side batching counters, alongside the storage counters.
+  BatchStats ReplicaBatchStats(std::size_t replica) const;
+  BatchStats TotalBatchStats() const;
+
+  /// Consistent snapshot of a running replica's state (image + applied
+  /// history when record_applied_history is set), taken between ops on the
+  /// server thread itself.
+  ReplicaSnapshot ReplicaPeek(std::size_t replica) const;
 
  private:
   StoreOptions options_;

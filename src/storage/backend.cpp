@@ -53,6 +53,21 @@ class DurableBackend final : public Backend {
     AppendAndCount(rec);
   }
 
+  void ApplyWriteBatch(const std::vector<WalRecord>& records) override {
+    if (records.empty()) return;
+    QCNT_CHECK_MSG(wal_ != nullptr,
+                   "durable backend used before Recover()");
+    const std::uint64_t bytes_before = wal_->BytesAppended();
+    const std::uint64_t fsyncs_before = wal_->Fsyncs();
+    wal_->AppendBatch(records);
+    records_.fetch_add(records.size(), std::memory_order_relaxed);
+    bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
+                     std::memory_order_relaxed);
+    fsyncs_.fetch_add(wal_->Fsyncs() - fsyncs_before,
+                      std::memory_order_relaxed);
+    batch_appends_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   void ApplyConfig(std::uint64_t generation,
                    std::uint32_t config_id) override {
     WalRecord rec;
@@ -82,6 +97,7 @@ class DurableBackend final : public Backend {
     StorageStats s;
     s.records_appended = records_.load(std::memory_order_relaxed);
     s.bytes_appended = bytes_.load(std::memory_order_relaxed);
+    s.batch_appends = batch_appends_.load(std::memory_order_relaxed);
     s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
     s.snapshots_installed = snapshots_.load(std::memory_order_relaxed);
     s.recoveries = recoveries_.load(std::memory_order_relaxed);
@@ -113,6 +129,7 @@ class DurableBackend final : public Backend {
   // other threads, hence the atomics. Deltas (not the Wal's own totals)
   // keep them monotone across crash/recover reopens.
   std::atomic<std::uint64_t> records_{0}, bytes_{0}, fsyncs_{0};
+  std::atomic<std::uint64_t> batch_appends_{0};
   std::atomic<std::uint64_t> snapshots_{0}, recoveries_{0};
   std::atomic<std::uint64_t> recovery_replayed_{0}, torn_tails_{0};
 };

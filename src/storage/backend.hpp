@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "storage/image.hpp"
 #include "storage/recovery.hpp"
@@ -39,6 +40,7 @@ struct DurabilityOptions {
 struct StorageStats {
   std::uint64_t records_appended = 0;
   std::uint64_t bytes_appended = 0;
+  std::uint64_t batch_appends = 0;  // multi-record appends (one sync each)
   std::uint64_t fsyncs = 0;
   std::uint64_t snapshots_installed = 0;
   std::uint64_t recoveries = 0;
@@ -48,6 +50,7 @@ struct StorageStats {
   StorageStats& operator+=(const StorageStats& o) {
     records_appended += o.records_appended;
     bytes_appended += o.bytes_appended;
+    batch_appends += o.batch_appends;
     fsyncs += o.fsyncs;
     snapshots_installed += o.snapshots_installed;
     recoveries += o.recoveries;
@@ -70,6 +73,14 @@ class Backend {
   /// An applied (i.e. version-accepted) write, before the ack.
   virtual void ApplyWrite(const std::string& key, std::uint64_t version,
                           std::int64_t value) = 0;
+
+  /// A batch of applied writes, before the single ack that covers them
+  /// all. The durable backend appends the batch with one write(2) and one
+  /// fsync-policy decision (group commit at batch granularity); the
+  /// default forwards record-by-record for backends without a batch path.
+  virtual void ApplyWriteBatch(const std::vector<WalRecord>& records) {
+    for (const WalRecord& r : records) ApplyWrite(r.key, r.version, r.value);
+  }
 
   /// An applied configuration install, before the ack.
   virtual void ApplyConfig(std::uint64_t generation,

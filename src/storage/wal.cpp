@@ -118,6 +118,27 @@ void Wal::Append(const WalRecord& record) {
   MaybeSync();
 }
 
+void Wal::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return;
+  QCNT_CHECK_MSG(fd_ >= 0, "append on closed WAL");
+  std::vector<unsigned char> buffer;
+  for (const WalRecord& record : records) {
+    const std::vector<unsigned char> payload = EncodePayload(record);
+    PutU32(buffer, static_cast<std::uint32_t>(payload.size()));
+    PutU32(buffer, Crc32(payload.data(), payload.size()));
+    buffer.insert(buffer.end(), payload.begin(), payload.end());
+  }
+  WriteAll(fd_, buffer.data(), buffer.size());
+  size_ += buffer.size();
+  bytes_appended_ += buffer.size();
+  records_ += records.size();
+  if (!sync_pending_) {
+    sync_pending_ = true;
+    window_start_ = std::chrono::steady_clock::now();
+  }
+  MaybeSync();
+}
+
 void Wal::MaybeSync() {
   switch (options_.fsync) {
     case FsyncPolicy::kAlways:

@@ -58,6 +58,31 @@ TEST(Bus, DropsToCrashedNode) {
   EXPECT_EQ(bus.MailboxOf(1).Size(), 1u);
 }
 
+TEST(Bus, RecoverReopensMailboxClosedByShutdownRace) {
+  // Regression: a node that crashes while the bus is closing (CloseAll
+  // during store teardown racing a Crash/Recover sequence) used to come
+  // back "up" with a permanently closed mailbox — every subsequent send
+  // was accepted by the bus and silently dropped by the mailbox.
+  Bus bus(2);
+  bus.Crash(1);
+  bus.CloseAll();  // shutdown ordering: close wins the race
+  bus.Recover(1);
+  bus.Send(0, 1, {});
+  EXPECT_EQ(bus.MailboxOf(1).Size(), 1u);
+  EXPECT_EQ(bus.MessagesDropped(), 0u);
+}
+
+TEST(Bus, CrashRecoverSendDeliversAfterClose) {
+  Bus bus(3);
+  bus.CloseAll();
+  bus.Crash(2);
+  bus.Recover(2);
+  bus.Send(0, 2, RtMessage{RtMessage::Kind::kReadReq, 9, "k", 0, 0, 0, 0});
+  auto e = bus.MailboxOf(2).Pop(std::chrono::steady_clock::now() + 100ms);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->msg.op, 9u);
+}
+
 TEST(ReplicatedStore, WriteThenRead) {
   ReplicatedStore store(StoreOptions{.replicas = 3});
   auto client = store.MakeClient();
