@@ -136,8 +136,8 @@ bool AsyncQuorumClient::PumpOnce() {
   // stages follow-up write phases, so the batches flushed below coalesce
   // a whole burst of progress instead of going out one entry at a time.
   Mailbox& mailbox = bus_->MailboxOf(id_);
-  while (std::optional<Envelope> e = mailbox.TryPop()) {
-    Dispatch(*e);
+  for (Envelope& e : mailbox.TryPopAll()) {
+    Dispatch(e);
   }
   Flush();
   ExpireOverdue(std::chrono::steady_clock::now());

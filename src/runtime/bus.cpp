@@ -4,7 +4,7 @@
 
 namespace qcnt::runtime {
 
-Bus::Bus(std::size_t nodes) : up_(nodes) {
+Bus::Bus(std::size_t nodes) : up_(nodes), crash_hooks_(nodes) {
   QCNT_CHECK(nodes >= 1);
   mailboxes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -25,6 +25,22 @@ void Bus::Crash(NodeId node) {
   // down flag and drop, or land in the queue before this drain clears it.
   // Messages queued before the crash must not be handled by a dead node.
   mailboxes_[node]->Clear();
+  // Last, let the node kill its internal stages (shard sub-mailboxes).
+  // Ordering matters: the dispatch thread refuses to route external work
+  // once up_ is false, so after the hook drains the shard inboxes nothing
+  // pre-crash can reach a shard again.
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hook = crash_hooks_[node];
+  }
+  if (hook) hook();
+}
+
+void Bus::SetCrashHook(NodeId node, std::function<void()> hook) {
+  QCNT_CHECK(node < mailboxes_.size());
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  crash_hooks_[node] = std::move(hook);
 }
 
 void Bus::Recover(NodeId node) {

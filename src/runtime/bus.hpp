@@ -6,7 +6,9 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "runtime/mailbox.hpp"
@@ -32,6 +34,13 @@ class Bus {
   void Recover(NodeId node);
   bool IsUp(NodeId node) const { return up_[node].load(); }
 
+  /// Install a callback that Crash(node) runs after the node is marked
+  /// down and its bus mailbox drained. A sharded replica clears its shard
+  /// sub-mailboxes (and aborts any cross-shard barrier) here, so the whole
+  /// replica fail-stops atomically: once Crash returns, no shard will
+  /// answer a pre-crash message. Pass nullptr to remove.
+  void SetCrashHook(NodeId node, std::function<void()> hook);
+
   std::uint64_t MessagesSent() const { return sent_.load(); }
   std::uint64_t MessagesDropped() const { return dropped_.load(); }
 
@@ -41,6 +50,8 @@ class Bus {
  private:
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::atomic<bool>> up_;
+  mutable std::mutex hooks_mu_;
+  std::vector<std::function<void()>> crash_hooks_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
 };

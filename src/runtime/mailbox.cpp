@@ -22,21 +22,19 @@ std::optional<Envelope> Mailbox::Pop(
   return e;
 }
 
-std::optional<Envelope> Mailbox::Pop() {
+std::deque<Envelope> Mailbox::PopAll() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return std::nullopt;
-  Envelope e = std::move(queue_.front());
-  queue_.pop_front();
-  return e;
+  std::deque<Envelope> batch;
+  batch.swap(queue_);
+  return batch;
 }
 
-std::optional<Envelope> Mailbox::TryPop() {
+std::deque<Envelope> Mailbox::TryPopAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  Envelope e = std::move(queue_.front());
-  queue_.pop_front();
-  return e;
+  std::deque<Envelope> batch;
+  batch.swap(queue_);
+  return batch;
 }
 
 void Mailbox::Close() {

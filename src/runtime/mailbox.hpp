@@ -22,13 +22,16 @@ class Mailbox {
   /// timeout or when the mailbox is closed and drained.
   std::optional<Envelope> Pop(std::chrono::steady_clock::time_point deadline);
 
-  /// Block indefinitely; nullopt only when closed and drained.
-  std::optional<Envelope> Pop();
+  /// Block until at least one message is queued, then move the *entire*
+  /// queue out under a single lock acquisition. A consumer that was asleep
+  /// behind a burst wakes once and gets the whole burst instead of paying
+  /// one lock round trip per message. Empty result ⇔ closed and drained.
+  std::deque<Envelope> PopAll();
 
-  /// Never blocks (no condition-variable wait, just the queue lock):
-  /// nullopt when the queue is momentarily empty. The async client's
-  /// opportunistic drain between blocking waits.
-  std::optional<Envelope> TryPop();
+  /// Non-blocking variant of PopAll (just the queue lock, no wait): moves
+  /// out whatever is queued right now, possibly nothing. The async
+  /// client's opportunistic drain between blocking waits.
+  std::deque<Envelope> TryPopAll();
 
   /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
   void Close();

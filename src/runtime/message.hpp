@@ -40,7 +40,19 @@ struct RtMessage {
     kBatchWriteAck,  // batch: acks every entry's op id
     kShutdown,       // internal: stop a server loop
     kImagePeek,      // internal: copy the replica's state for observers
+                     // (`generation` carries the peek epoch on sharded
+                     // replicas so a retried peek is served exactly once)
   };
+  // Sharded replicas (StoreOptions::shards_per_replica > 1) route these
+  // messages internally by key hash. A kBatch* request may therefore be
+  // answered with *several* responses from the same replica — one per
+  // shard the batch touched. Clients already tolerate this: batch
+  // responses are folded per entry under per-op replica bitmasks, and each
+  // op's key lives in exactly one shard, so every replica still
+  // contributes exactly one response entry per op. A kConfigWriteReq is
+  // broadcast to every shard (the stamp is store-wide state) and acked
+  // once, after all shards have applied it; when forwarded shard-ward its
+  // `value` field carries the dispatch barrier epoch.
   Kind kind = Kind::kReadReq;
   std::uint64_t op = 0;
   std::string key;

@@ -1,45 +1,101 @@
 #include "runtime/replica_server.hpp"
 
+#include <chrono>
+
 #include "common/check.hpp"
+#include "runtime/sharding.hpp"
 
 namespace qcnt::runtime {
 
 ReplicaServer::ReplicaServer(Bus& bus, NodeId id)
-    : ReplicaServer(bus, id, storage::MakeMemoryBackend()) {}
+    : ReplicaServer(bus, id, 1, [](std::size_t) {
+        return storage::MakeMemoryBackend();
+      }) {}
 
-ReplicaServer::ReplicaServer(Bus& bus, NodeId id,
-                             std::unique_ptr<storage::Backend> backend,
+ReplicaServer::ReplicaServer(Bus& bus, NodeId id, std::size_t shards,
+                             const BackendFactory& make_backend,
                              bool record_history)
-    : bus_(&bus),
-      id_(id),
-      backend_(std::move(backend)),
-      record_history_(record_history) {
-  QCNT_CHECK(backend_ != nullptr);
+    : bus_(&bus), id_(id), record_history_(record_history) {
+  QCNT_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->backend = make_backend(s);
+    QCNT_CHECK(shard->backend != nullptr);
+    shards_.push_back(std::move(shard));
+  }
+  // The hook makes Bus::Crash atomic across shards: it drains every shard
+  // sub-mailbox and aborts a pending config barrier, inside Crash itself.
+  bus_->SetCrashHook(id_, [this] { OnBusCrash(); });
   Start();
 }
 
-ReplicaServer::~ReplicaServer() { Shutdown(); }
+ReplicaServer::~ReplicaServer() {
+  Shutdown();
+  bus_->SetCrashHook(id_, nullptr);
+}
 
 void ReplicaServer::Start() {
-  state_ = backend_->Recover();
-  thread_ = std::thread([this] { Loop(); });
+  for (auto& sh : shards_) {
+    sh->inbox.Clear();  // drop anything queued across a crash/restart
+    sh->image = sh->backend->Recover();
+  }
+  if (Multi()) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->thread = std::thread([this, s] { ShardLoop(s); });
+    }
+    thread_ = std::thread([this] { DispatchLoop(); });
+  } else {
+    thread_ = std::thread([this] { SingleLoop(); });
+  }
 }
 
 void ReplicaServer::Shutdown() {
   if (!thread_.joinable()) return;
   // Push directly: the bus would drop the message if this node is
-  // "crashed", but shutdown must always get through.
-  bus_->MailboxOf(id_).Push(
-      Envelope{id_, RtMessage{RtMessage::Kind::kShutdown, 0, {}, 0, 0, 0, 0}});
+  // "crashed", but shutdown must always get through. The dispatch loop
+  // forwards the shutdown to every shard before exiting.
+  RtMessage m;
+  m.kind = RtMessage::Kind::kShutdown;
+  bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
   thread_.join();
   thread_ = std::thread();
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) {
+      sh->thread.join();
+      sh->thread = std::thread();
+    }
+  }
+}
+
+void ReplicaServer::StopShards() {
+  for (auto& sh : shards_) {
+    RtMessage m;
+    m.kind = RtMessage::Kind::kShutdown;
+    sh->inbox.Push(Envelope{id_, std::move(m)});
+  }
+}
+
+void ReplicaServer::OnBusCrash() {
+  // Runs inside Bus::Crash, after up_ flipped and the bus mailbox was
+  // drained. Draining the shard inboxes here closes the window where a
+  // shard could still be working through a pre-crash backlog; waking the
+  // barrier lets the dispatch thread observe the crash instead of waiting
+  // for config applications that were just discarded.
+  for (auto& sh : shards_) sh->inbox.Clear();
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+  }
+  barrier_cv_.notify_all();
 }
 
 void ReplicaServer::CrashAndWipe() {
   Shutdown();
-  state_ = storage::Image{};
-  history_.clear();  // volatile, dies with the node
-  backend_->OnCrash();
+  for (auto& sh : shards_) {
+    sh->image = storage::Image{};
+    sh->history.clear();  // volatile, dies with the node
+    sh->backend->OnCrash();
+  }
 }
 
 void ReplicaServer::Restart() {
@@ -49,15 +105,78 @@ void ReplicaServer::Restart() {
 
 ReplicaSnapshot ReplicaServer::Peek() {
   QCNT_CHECK_MSG(Running(), "Peek() requires a running replica");
+  std::lock_guard<std::mutex> call(peek_call_mu_);
   std::unique_lock<std::mutex> lock(peek_mu_);
-  const std::uint64_t want = ++peeks_requested_;
-  RtMessage m;
-  m.kind = RtMessage::Kind::kImagePeek;
-  // Push directly (not Bus::Send): peeking is an observer's side channel
-  // and must work even on a bus-partitioned node.
-  bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
-  peek_cv_.wait(lock, [&] { return peeks_served_ >= want; });
-  return peek_snapshot_;
+  const std::uint64_t epoch = ++peek_epoch_;
+  peek_slots_.assign(shards_.size(), ReplicaSnapshot{});
+  peek_filled_.assign(shards_.size(), 0);
+  peek_served_ = 0;
+  const auto push_request = [&] {
+    RtMessage m;
+    m.kind = RtMessage::Kind::kImagePeek;
+    m.generation = epoch;
+    // Push directly (not Bus::Send): peeking is an observer's side channel
+    // and must work even on a bus-partitioned node.
+    bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
+  };
+  push_request();
+  while (peek_served_ < shards_.size()) {
+    // A concurrent Bus::Crash can clear an in-flight peek out of the shard
+    // inboxes; retry with the same epoch (filled flags dedup) until every
+    // shard has answered.
+    if (!peek_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+          return peek_served_ >= shards_.size();
+        })) {
+      push_request();
+    }
+  }
+  ReplicaSnapshot out;
+  for (ReplicaSnapshot& slot : peek_slots_) {
+    // Shard images are key-disjoint; the stamp merge takes the newest.
+    for (auto& [key, v] : slot.image.data) {
+      out.image.data.emplace(key, v);
+    }
+    out.image.ApplyConfig(slot.image.generation, slot.image.config_id);
+    out.history.insert(out.history.end(),
+                       std::make_move_iterator(slot.history.begin()),
+                       std::make_move_iterator(slot.history.end()));
+  }
+  out.stats = BatchStats();
+  return out;
+}
+
+void ReplicaServer::ServePeek(std::size_t idx, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(peek_mu_);
+  if (epoch != peek_epoch_ || idx >= peek_filled_.size() ||
+      peek_filled_[idx]) {
+    return;  // stale epoch or a retry already served by this shard
+  }
+  Shard& sh = *shards_[idx];
+  peek_slots_[idx].image = sh.image;
+  peek_slots_[idx].history = sh.history;
+  peek_filled_[idx] = 1;
+  ++peek_served_;
+  peek_cv_.notify_all();
+}
+
+std::vector<ShardCounters> ReplicaServer::CollectShardCounters() const {
+  std::vector<ShardCounters> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardCounters c;
+    c.ops = sh->ops.load(std::memory_order_relaxed);
+    c.batches = sh->batches.load(std::memory_order_relaxed);
+    c.fsyncs = sh->backend->Stats().fsyncs;
+    c.queue_peak = sh->queue_peak.load(std::memory_order_relaxed);
+    out.push_back(c);
+  }
+  return out;
+}
+
+storage::StorageStats ReplicaServer::StorageStats() const {
+  storage::StorageStats total;
+  for (const auto& sh : shards_) total += sh->backend->Stats();
+  return total;
 }
 
 BatchStats ReplicaServer::BatchStats() const {
@@ -65,21 +184,122 @@ BatchStats ReplicaServer::BatchStats() const {
   s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   s.batched_ops = batched_ops_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.per_shard = CollectShardCounters();
   return s;
 }
 
-void ReplicaServer::Loop() {
+void ReplicaServer::SingleLoop() {
+  Shard& sh = *shards_[0];
+  Mailbox& mailbox = bus_->MailboxOf(id_);
   for (;;) {
-    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop();
-    if (!e) return;                                      // mailbox closed
-    if (e->msg.kind == RtMessage::Kind::kShutdown) return;
-    Handle(*e);
+    std::deque<Envelope> batch = mailbox.PopAll();
+    if (batch.empty()) return;  // mailbox closed and drained
+    TrackPeak(sh.queue_peak, batch.size());
+    for (Envelope& e : batch) {
+      if (e.msg.kind == RtMessage::Kind::kShutdown) return;
+      HandleOnShard(0, e);
+    }
   }
 }
 
-bool ReplicaServer::ApplyToImage(const std::string& key,
+void ReplicaServer::DispatchLoop() {
+  Mailbox& mailbox = bus_->MailboxOf(id_);
+  for (;;) {
+    std::deque<Envelope> batch = mailbox.PopAll();
+    if (batch.empty()) {
+      StopShards();  // mailbox closed and drained
+      return;
+    }
+    for (Envelope& e : batch) {
+      if (e.msg.kind == RtMessage::Kind::kShutdown) {
+        StopShards();
+        return;
+      }
+      Route(std::move(e));
+    }
+  }
+}
+
+void ReplicaServer::Route(Envelope e) {
+  switch (e.msg.kind) {
+    case RtMessage::Kind::kImagePeek:
+      // Internal side channel: fan to every shard regardless of up/down.
+      for (auto& sh : shards_) {
+        sh->inbox.Push(Envelope{e.from, e.msg});
+      }
+      return;
+    case RtMessage::Kind::kConfigWriteReq:
+      if (!bus_->IsUp(id_)) return;
+      BroadcastConfigAndAck(e);
+      return;
+    case RtMessage::Kind::kBatchReadReq:
+    case RtMessage::Kind::kBatchWriteReq:
+      // A message popped just before a crash must not reach a shard after
+      // the crash hook drained the shard inboxes; dropping here narrows
+      // that window (the up-check in Bus::Send keeps replies from escaping
+      // in any case).
+      if (!bus_->IsUp(id_)) return;
+      SplitBatch(std::move(e));
+      return;
+    case RtMessage::Kind::kReadReq:
+    case RtMessage::Kind::kWriteReq: {
+      if (!bus_->IsUp(id_)) return;
+      const std::size_t s = ShardForKey(e.msg.key, shards_.size());
+      shards_[s]->inbox.Push(std::move(e));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ReplicaServer::SplitBatch(Envelope e) {
+  std::vector<std::vector<BatchEntry>> parts(shards_.size());
+  for (BatchEntry& entry : e.msg.batch) {
+    parts[ShardForKey(entry.key, shards_.size())].push_back(
+        std::move(entry));
+  }
+  for (std::size_t s = 0; s < parts.size(); ++s) {
+    if (parts[s].empty()) continue;
+    RtMessage m;
+    m.kind = e.msg.kind;
+    m.op = e.msg.op;
+    m.batch = std::move(parts[s]);
+    shards_[s]->inbox.Push(Envelope{e.from, std::move(m)});
+  }
+}
+
+void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
+  std::uint64_t epoch;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    epoch = ++barrier_epoch_;
+    barrier_pending_ = shards_.size();
+  }
+  for (auto& sh : shards_) {
+    RtMessage m = e.msg;
+    m.value = static_cast<std::int64_t>(epoch);  // barrier epoch
+    sh->inbox.Push(Envelope{e.from, std::move(m)});
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier_mu_);
+    barrier_cv_.wait(lock, [&] {
+      return barrier_pending_ == 0 || !bus_->IsUp(id_);
+    });
+    // Crashed mid-barrier: the hook drained the shard inboxes, so some
+    // shards may never apply this config. No ack escapes (the node is
+    // down); an unacked reconfiguration carries no guarantee.
+    if (barrier_pending_ != 0) return;
+  }
+  RtMessage ack;
+  ack.kind = RtMessage::Kind::kConfigWriteAck;
+  ack.op = e.msg.op;
+  bus_->Send(id_, e.from, std::move(ack));
+}
+
+bool ReplicaServer::ApplyToImage(Shard& sh, const std::string& key,
                                  std::uint64_t version, std::int64_t value) {
-  storage::Versioned& v = state_.data[key];
+  storage::Versioned& v = sh.image.data[key];
   // (version, value) is a total order: concurrent writers that race to
   // the same version converge deterministically (the verified automaton
   // layer shows a concurrency-control layer prevents such races; the
@@ -87,36 +307,44 @@ bool ReplicaServer::ApplyToImage(const std::string& key,
   if (version > v.version || (version == v.version && value >= v.value)) {
     v.version = version;
     v.value = value;
-    if (record_history_) history_.push_back({key, version, value});
+    if (record_history_) sh.history.push_back({key, version, value});
     return true;
   }
   return false;
 }
 
-void ReplicaServer::CountBatch(std::size_t entries) {
-  batches_applied_.fetch_add(1, std::memory_order_relaxed);
-  batched_ops_.fetch_add(entries, std::memory_order_relaxed);
-  std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
-  while (prev < entries &&
-         !max_batch_.compare_exchange_weak(prev, entries,
-                                           std::memory_order_relaxed)) {
+void ReplicaServer::TrackPeak(std::atomic<std::uint64_t>& peak,
+                              std::uint64_t v) {
+  std::uint64_t prev = peak.load(std::memory_order_relaxed);
+  while (prev < v && !peak.compare_exchange_weak(prev, v,
+                                                 std::memory_order_relaxed)) {
   }
 }
 
-void ReplicaServer::HandleBatchRead(const RtMessage& m, RtMessage& reply) {
+void ReplicaServer::CountBatch(Shard& sh, std::size_t entries) {
+  batches_applied_.fetch_add(1, std::memory_order_relaxed);
+  batched_ops_.fetch_add(entries, std::memory_order_relaxed);
+  TrackPeak(max_batch_, entries);
+  sh.batches.fetch_add(1, std::memory_order_relaxed);
+  sh.ops.fetch_add(entries, std::memory_order_relaxed);
+}
+
+void ReplicaServer::HandleBatchRead(Shard& sh, const RtMessage& m,
+                                    RtMessage& reply) {
   reply.kind = RtMessage::Kind::kBatchReadResp;
-  reply.generation = state_.generation;
-  reply.config_id = state_.config_id;
+  reply.generation = sh.image.generation;
+  reply.config_id = sh.image.config_id;
   reply.batch.reserve(m.batch.size());
   for (const BatchEntry& entry : m.batch) {
-    const storage::Versioned& v = state_.data[entry.key];
+    const storage::Versioned& v = sh.image.data[entry.key];
     reply.batch.push_back(
         BatchEntry{entry.op, entry.key, v.version, v.value});
   }
-  CountBatch(m.batch.size());
+  CountBatch(sh, m.batch.size());
 }
 
-void ReplicaServer::HandleBatchWrite(const RtMessage& m, RtMessage& reply) {
+void ReplicaServer::HandleBatchWrite(Shard& sh, const RtMessage& m,
+                                     RtMessage& reply) {
   // Apply every entry to the image first, collecting the accepted ones,
   // then log them with a single batch append — one write(2), one
   // group-commit fsync decision — before the single ack below. Write-ahead
@@ -124,7 +352,7 @@ void ReplicaServer::HandleBatchWrite(const RtMessage& m, RtMessage& reply) {
   std::vector<storage::WalRecord> accepted;
   accepted.reserve(m.batch.size());
   for (const BatchEntry& entry : m.batch) {
-    if (ApplyToImage(entry.key, entry.version, entry.value)) {
+    if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
       storage::WalRecord rec;
       rec.type = storage::WalRecord::Type::kWrite;
       rec.key = entry.key;
@@ -134,69 +362,91 @@ void ReplicaServer::HandleBatchWrite(const RtMessage& m, RtMessage& reply) {
     }
   }
   if (!accepted.empty()) {
-    backend_->ApplyWriteBatch(accepted);
-    backend_->MaybeCompact(state_);
+    sh.backend->ApplyWriteBatch(accepted);
+    sh.backend->MaybeCompact(sh.image);
   }
   reply.kind = RtMessage::Kind::kBatchWriteAck;
   reply.batch.reserve(m.batch.size());
   for (const BatchEntry& entry : m.batch) {
     reply.batch.push_back(BatchEntry{entry.op, {}, 0, 0});
   }
-  CountBatch(m.batch.size());
+  CountBatch(sh, m.batch.size());
 }
 
-void ReplicaServer::Handle(const Envelope& e) {
+void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
+  Shard& sh = *shards_[idx];
   const RtMessage& m = e.msg;
   RtMessage reply;
   reply.op = m.op;
   reply.key = m.key;
   switch (m.kind) {
     case RtMessage::Kind::kReadReq: {
-      const storage::Versioned& v = state_.data[m.key];
+      const storage::Versioned& v = sh.image.data[m.key];
       reply.kind = RtMessage::Kind::kReadResp;
       reply.version = v.version;
       reply.value = v.value;
-      reply.generation = state_.generation;
-      reply.config_id = state_.config_id;
+      reply.generation = sh.image.generation;
+      reply.config_id = sh.image.config_id;
+      sh.ops.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case RtMessage::Kind::kWriteReq: {
-      if (ApplyToImage(m.key, m.version, m.value)) {
+      if (ApplyToImage(sh, m.key, m.version, m.value)) {
         // Write-ahead: the record is logged (and, per fsync policy, made
         // durable) before the ack below is sent.
-        backend_->ApplyWrite(m.key, m.version, m.value);
-        backend_->MaybeCompact(state_);
+        sh.backend->ApplyWrite(m.key, m.version, m.value);
+        sh.backend->MaybeCompact(sh.image);
       }
       reply.kind = RtMessage::Kind::kWriteAck;
+      sh.ops.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
-      if (m.generation >= state_.generation) {
-        state_.generation = m.generation;
-        state_.config_id = m.config_id;
-        backend_->ApplyConfig(state_.generation, state_.config_id);
-        backend_->MaybeCompact(state_);
+      if (m.generation >= sh.image.generation) {
+        sh.image.generation = m.generation;
+        sh.image.config_id = m.config_id;
+        sh.backend->ApplyConfig(sh.image.generation, sh.image.config_id);
+        sh.backend->MaybeCompact(sh.image);
+      }
+      sh.ops.fetch_add(1, std::memory_order_relaxed);
+      if (Multi()) {
+        // Barrier leg: the dispatch thread acks once every shard has
+        // applied + logged the stamp (m.value carries the epoch).
+        std::lock_guard<std::mutex> lock(barrier_mu_);
+        if (static_cast<std::uint64_t>(m.value) == barrier_epoch_ &&
+            barrier_pending_ > 0 && --barrier_pending_ == 0) {
+          barrier_cv_.notify_all();
+        }
+        return;
       }
       reply.kind = RtMessage::Kind::kConfigWriteAck;
       break;
     }
     case RtMessage::Kind::kBatchReadReq:
-      HandleBatchRead(m, reply);
+      HandleBatchRead(sh, m, reply);
       break;
     case RtMessage::Kind::kBatchWriteReq:
-      HandleBatchWrite(m, reply);
+      HandleBatchWrite(sh, m, reply);
       break;
-    case RtMessage::Kind::kImagePeek: {
-      std::lock_guard<std::mutex> lock(peek_mu_);
-      peek_snapshot_ = ReplicaSnapshot{state_, history_};
-      ++peeks_served_;
-      peek_cv_.notify_all();
+    case RtMessage::Kind::kImagePeek:
+      ServePeek(idx, m.generation);
       return;  // side channel: no bus reply
-    }
     default:
       return;
   }
   bus_->Send(id_, e.from, std::move(reply));
+}
+
+void ReplicaServer::ShardLoop(std::size_t idx) {
+  Shard& sh = *shards_[idx];
+  for (;;) {
+    std::deque<Envelope> batch = sh.inbox.PopAll();
+    TrackPeak(sh.queue_peak, batch.size());
+    for (Envelope& e : batch) {
+      if (e.msg.kind == RtMessage::Kind::kShutdown) return;
+      HandleOnShard(idx, e);
+    }
+  }
 }
 
 }  // namespace qcnt::runtime

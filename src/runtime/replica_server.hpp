@@ -1,26 +1,37 @@
-// Replica server: one thread per replica, owning the replica's state.
+// Replica server: a dispatch stage plus worker shards, owning the
+// replica's state as a key-hash partition.
 //
 // The state per key is a (version, value) pair — a Section-3 DM — plus one
 // store-wide (generation, configuration) stamp for Section-4
-// reconfiguration, held together as a storage::Image. The server loop pops
-// a request, applies it to the image, notifies its storage::Backend (the
-// write-ahead step under a durable backend), and replies; a kShutdown
-// message ends the loop.
+// reconfiguration, held together as storage::Image fragments, one per
+// shard. Keys are independent logical items (their per-item version orders
+// are what Lemmas 7/8 constrain), so partitioning them across worker
+// threads changes no protocol-visible behavior: each key's requests are
+// still handled in arrival order by the one shard that owns it.
 //
-// Batched requests (kBatchReadReq / kBatchWriteReq) apply every entry with
-// a single mailbox wakeup, and all version-accepted writes of a batch go
-// through storage::Backend::ApplyWriteBatch — one log append, one
-// group-commit fsync decision — before the single ack covering them all.
+// With shards == 1 there is no dispatch stage: a single worker thread
+// drains the bus mailbox directly (the pre-sharding architecture, plus the
+// batched PopAll drain). With shards > 1 a dispatch thread drains the bus
+// mailbox and routes: single-key messages to ShardForKey(key), batches
+// split per shard (a client may thus receive several kBatch*Resp for one
+// request — one per shard touched; batch responses are folded per entry,
+// so this is invisible to the protocol), kConfigWriteReq broadcast to all
+// shards and acked once after a barrier confirms every shard applied and
+// logged it (the stamp is store-wide state).
 //
-// Crash semantics: CrashAndWipe() stops the loop and discards the image —
-// a real fail-stop, unlike a bus partition. Restart() rebuilds the image
-// through the backend's recovery path and relaunches the loop. Under the
-// in-memory backend recovery returns an empty image, so stores that need
-// the seed's lossless-crash behavior keep using the bus partition alone.
+// Crash semantics stay fail-stop at replica granularity: Bus::Crash marks
+// the node down, drains its bus mailbox, then (via the crash hook) drains
+// every shard sub-mailbox and aborts any config barrier — all shards of a
+// crashed replica die atomically; Bus::Send's up-check guarantees no shard
+// answers afterward. CrashAndWipe() additionally stops the threads and
+// discards every shard's image; Restart() rebuilds each shard from its own
+// backend (under durability: its own WAL segment + snapshot) and
+// relaunches the threads.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -40,12 +51,23 @@ struct AppliedWrite {
   std::int64_t value = 0;
 };
 
-/// Point-in-time copy of a replica's volatile state, taken on the server
-/// thread itself (so it is a consistent snapshot between operations, never
-/// mid-batch).
-struct ReplicaSnapshot {
-  storage::Image image;
-  std::vector<AppliedWrite> history;  // empty unless record_history
+/// Per-shard execution counters (volatile, unlike StorageStats). `ops`
+/// counts operations applied (single requests and batch entries alike);
+/// `queue_peak` is the high-water mark of messages moved by one mailbox
+/// drain — together they show how evenly the key hash spreads load.
+struct ShardCounters {
+  std::uint64_t ops = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t queue_peak = 0;
+
+  ShardCounters& operator+=(const ShardCounters& o) {
+    ops += o.ops;
+    batches += o.batches;
+    fsyncs += o.fsyncs;
+    queue_peak = queue_peak > o.queue_peak ? queue_peak : o.queue_peak;
+    return *this;
+  }
 };
 
 /// Replica-side batching counters (volatile, unlike StorageStats).
@@ -53,22 +75,48 @@ struct BatchStats {
   std::uint64_t batches_applied = 0;  // kBatch* messages handled
   std::uint64_t batched_ops = 0;      // entries across those messages
   std::uint64_t max_batch = 0;        // largest single batch seen
+  /// One slot per shard; merging stats from replicas with different shard
+  /// counts aligns slots by index (shard balance only means something
+  /// within one replica, but aggregate totals still add up).
+  std::vector<ShardCounters> per_shard;
 
   BatchStats& operator+=(const BatchStats& o) {
     batches_applied += o.batches_applied;
     batched_ops += o.batched_ops;
     max_batch = max_batch > o.max_batch ? max_batch : o.max_batch;
+    if (per_shard.size() < o.per_shard.size()) {
+      per_shard.resize(o.per_shard.size());
+    }
+    for (std::size_t i = 0; i < o.per_shard.size(); ++i) {
+      per_shard[i] += o.per_shard[i];
+    }
     return *this;
   }
 };
 
+/// Point-in-time copy of a replica's volatile state. Each shard snapshots
+/// itself on its own thread between operations (never mid-batch); the
+/// shard images are key-disjoint, so the merged image is a consistent
+/// per-key snapshot. History is concatenated shard-by-shard: per-key order
+/// is exact (a key lives in one shard); cross-key interleaving is not
+/// meaningful under sharded execution.
+struct ReplicaSnapshot {
+  storage::Image image;
+  std::vector<AppliedWrite> history;  // empty unless record_history
+  BatchStats stats;                   // includes per-shard counters
+};
+
 class ReplicaServer {
  public:
-  /// Starts the server thread immediately (in-memory backend).
+  /// Builds the backend for one shard (called once per shard index).
+  using BackendFactory =
+      std::function<std::unique_ptr<storage::Backend>(std::size_t)>;
+
+  /// Single shard, in-memory backend; starts the server thread.
   ReplicaServer(Bus& bus, NodeId id);
-  /// Starts the server thread immediately, recovering state from `backend`.
-  ReplicaServer(Bus& bus, NodeId id,
-                std::unique_ptr<storage::Backend> backend,
+  /// `shards` worker shards, each recovering from its own backend.
+  ReplicaServer(Bus& bus, NodeId id, std::size_t shards,
+                const BackendFactory& make_backend,
                 bool record_history = false);
   ~ReplicaServer();
 
@@ -76,55 +124,92 @@ class ReplicaServer {
   ReplicaServer& operator=(const ReplicaServer&) = delete;
 
   NodeId Id() const { return id_; }
+  std::size_t ShardCount() const { return shards_.size(); }
 
-  /// Ask the loop to exit and join the thread.
+  /// Ask the loops to exit and join all threads.
   void Shutdown();
 
-  /// Fail-stop: stop the loop and wipe all volatile state. The caller is
-  /// expected to have partitioned the node (Bus::Crash) first so the ack
-  /// of an in-flight request cannot escape.
+  /// Fail-stop: stop every thread and wipe all volatile state. The caller
+  /// is expected to have partitioned the node (Bus::Crash) first so the
+  /// ack of an in-flight request cannot escape.
   void CrashAndWipe();
 
-  /// Relaunch after CrashAndWipe (or Shutdown): recover the image from
-  /// the backend and restart the loop. No-op if already running.
+  /// Relaunch after CrashAndWipe (or Shutdown): recover each shard's image
+  /// from its backend and restart the threads. No-op if already running.
   void Restart();
 
   bool Running() const { return thread_.joinable(); }
 
-  /// Consistent copy of the replica's state, taken by the server loop
-  /// between operations. Must only be called while the server is running.
+  /// Consistent merged copy of the replica's state (see ReplicaSnapshot).
+  /// Must only be called while the server is running.
   ReplicaSnapshot Peek();
 
-  storage::StorageStats StorageStats() const { return backend_->Stats(); }
+  storage::StorageStats StorageStats() const;
   runtime::BatchStats BatchStats() const;
 
  private:
+  struct Shard {
+    Mailbox inbox;  // unused in single-shard mode (no dispatch stage)
+    storage::Image image;
+    std::vector<AppliedWrite> history;
+    std::unique_ptr<storage::Backend> backend;
+    std::thread thread;
+    std::atomic<std::uint64_t> ops{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> queue_peak{0};
+  };
+
+  bool Multi() const { return shards_.size() > 1; }
+
   void Start();
-  void Loop();
-  void Handle(const Envelope& e);
-  void HandleBatchRead(const RtMessage& m, RtMessage& reply);
-  void HandleBatchWrite(const RtMessage& m, RtMessage& reply);
-  /// Newer-version-wins merge of one write into the image; true when the
-  /// write was accepted (and therefore must reach the backend).
-  bool ApplyToImage(const std::string& key, std::uint64_t version,
+  void SingleLoop();
+  void DispatchLoop();
+  void ShardLoop(std::size_t idx);
+  void Route(Envelope e);
+  void SplitBatch(Envelope e);
+  void BroadcastConfigAndAck(const Envelope& e);
+  void StopShards();
+  void OnBusCrash();
+
+  void HandleOnShard(std::size_t idx, Envelope& e);
+  void HandleBatchRead(Shard& sh, const RtMessage& m, RtMessage& reply);
+  void HandleBatchWrite(Shard& sh, const RtMessage& m, RtMessage& reply);
+  /// Newer-version-wins merge of one write into the shard image; true when
+  /// the write was accepted (and therefore must reach the backend).
+  bool ApplyToImage(Shard& sh, const std::string& key, std::uint64_t version,
                     std::int64_t value);
-  void CountBatch(std::size_t entries);
+  void ServePeek(std::size_t idx, std::uint64_t epoch);
+  void CountBatch(Shard& sh, std::size_t entries);
+  static void TrackPeak(std::atomic<std::uint64_t>& peak, std::uint64_t v);
+  std::vector<ShardCounters> CollectShardCounters() const;
 
   Bus* bus_;
   NodeId id_;
-  std::unique_ptr<storage::Backend> backend_;
-  storage::Image state_;
   bool record_history_ = false;
-  std::vector<AppliedWrite> history_;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread thread_;  // dispatch thread (multi) or the sole worker
 
-  // Peek handshake: requesters push a kImagePeek message and wait for the
-  // loop to copy state_ into peek_snapshot_ under peek_mu_.
+  // Config barrier (multi-shard): dispatch broadcasts a kConfigWriteReq to
+  // every shard (its `value` carries the epoch) and acks the client only
+  // once every shard has applied + logged it. The epoch guards against a
+  // shard's late decrement from a barrier that a crash aborted.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  std::uint64_t barrier_epoch_ = 0;
+  std::size_t barrier_pending_ = 0;
+
+  // Peek handshake: the requester pushes one kImagePeek (epoch in
+  // `generation`); dispatch fans it to every shard; each shard fills its
+  // slot once per epoch. A crash can clear an in-flight peek from the
+  // shard inboxes, so the requester retries the same epoch on a timeout —
+  // the filled flags make retries idempotent.
+  std::mutex peek_call_mu_;  // serializes concurrent Peek() callers
   std::mutex peek_mu_;
   std::condition_variable peek_cv_;
-  std::uint64_t peeks_requested_ = 0;
-  std::uint64_t peeks_served_ = 0;
-  ReplicaSnapshot peek_snapshot_;
+  std::uint64_t peek_epoch_ = 0;
+  std::size_t peek_served_ = 0;
+  std::vector<ReplicaSnapshot> peek_slots_;
+  std::vector<char> peek_filled_;
 
   std::atomic<std::uint64_t> batches_applied_{0};
   std::atomic<std::uint64_t> batched_ops_{0};

@@ -1,13 +1,32 @@
 #include "runtime/store.hpp"
 
+#include <cstdlib>
+
 #include "common/check.hpp"
+#include "runtime/sharding.hpp"
 
 namespace qcnt::runtime {
 
 namespace {
+std::size_t ResolveShards() {
+  // QCNT_SHARDS lets a test matrix (CI runs the runtime suite under TSan
+  // with 4 shards) force a count without touching every StoreOptions
+  // literal; out-of-range values fall back to the hardware default.
+  if (const char* env = std::getenv("QCNT_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1 && v <= 64) return static_cast<std::size_t>(v);
+  }
+  return DefaultShardsPerReplica();
+}
+
 StoreOptions Normalize(StoreOptions options) {
   QCNT_CHECK(options.replicas >= 1 && options.replicas <= 63);
   QCNT_CHECK(options.max_clients >= 1);
+  if (options.shards_per_replica == 0) {
+    options.shards_per_replica = ResolveShards();
+  }
+  QCNT_CHECK_MSG(options.shards_per_replica <= 64,
+                 "shards_per_replica out of range");
   if (options.configs.empty()) {
     options.configs.push_back(
         quorum::MajoritySystem(static_cast<ReplicaId>(options.replicas)));
@@ -27,12 +46,26 @@ StoreOptions Normalize(StoreOptions options) {
   return options;
 }
 
-std::unique_ptr<storage::Backend> MakeBackend(const StoreOptions& options,
-                                              std::size_t replica) {
+std::string ReplicaDir(const StoreOptions& options, std::size_t replica) {
+  return options.durability->directory + "/replica_" +
+         std::to_string(replica);
+}
+
+std::unique_ptr<storage::Backend> MakeShardBackend(
+    const StoreOptions& options, std::size_t replica, std::size_t shard) {
   if (!options.durability) return storage::MakeMemoryBackend();
-  return storage::MakeDurableBackend(
-      options.durability->directory + "/replica_" + std::to_string(replica),
-      *options.durability);
+  return storage::MakeDurableShardBackend(ReplicaDir(options, replica),
+                                          *options.durability, shard);
+}
+
+/// Refuse to open a durability directory whose layout cannot host this
+/// replica: corrupt manifest, shard count changed, or a WAL segment the
+/// manifest names is gone. Recovering a subset silently would drop acked
+/// writes — the one thing the WAL exists to prevent.
+void ValidateDurableLayout(const StoreOptions& options, std::size_t replica) {
+  const auto check = storage::RecoveryManager(ReplicaDir(options, replica))
+                         .ValidateShardLayout(options.shards_per_replica);
+  QCNT_CHECK_MSG(check.ok, check.error);
 }
 }  // namespace
 
@@ -40,9 +73,21 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
     : options_(Normalize(std::move(options))),
       bus_(options_.replicas + options_.max_clients) {
   for (std::size_t r = 0; r < options_.replicas; ++r) {
+    if (Durable()) ValidateDurableLayout(options_, r);
     replicas_.push_back(std::make_unique<ReplicaServer>(
-        bus_, static_cast<NodeId>(r), MakeBackend(options_, r),
+        bus_, static_cast<NodeId>(r), options_.shards_per_replica,
+        [this, r](std::size_t shard) {
+          return MakeShardBackend(options_, r, shard);
+        },
         options_.record_applied_history));
+    // Pin the shard count only after the backends created their segment
+    // files, so a manifest never names segments that were not yet laid
+    // down. Before this point no client existed, so nothing acked can be
+    // lost to the (tiny) window where segments exist without a manifest.
+    if (Durable()) {
+      storage::RecoveryManager::WriteManifest(ReplicaDir(options_, r),
+                                              options_.shards_per_replica);
+    }
   }
 }
 
@@ -86,8 +131,13 @@ void ReplicatedStore::Crash(std::size_t replica) {
 void ReplicatedStore::Recover(std::size_t replica) {
   QCNT_CHECK(replica < replicas_.size());
   // Rebuild state before reopening the bus, so the replica rejoins
-  // quorums only once recovery replay has completed.
-  if (Durable()) replicas_[replica]->Restart();
+  // quorums only once recovery replay has completed. Re-validate the
+  // layout first: a segment that vanished while the replica was down must
+  // fail recovery loudly, not resurrect a subset of the acked state.
+  if (Durable()) {
+    ValidateDurableLayout(options_, replica);
+    replicas_[replica]->Restart();
+  }
   bus_.Recover(static_cast<NodeId>(replica));
 }
 

@@ -41,6 +41,14 @@ struct StoreOptions {
   std::uint32_t initial_config = 0;
   QuorumClient::Options client_options;
   AsyncQuorumClient::Options async_client_options;
+  /// Worker shards per replica: each replica partitions its keyspace
+  /// across this many threads (see replica_server.hpp). 0 = auto: the
+  /// QCNT_SHARDS environment variable when set, else
+  /// min(4, hardware_concurrency). Under durability each shard keeps its
+  /// own WAL segment (`wal_<s>.log`) and snapshot; the directory's
+  /// MANIFEST pins the count, and reopening with a different count is
+  /// rejected (segment striping is not self-rebalancing).
+  std::size_t shards_per_replica = 0;
   /// When set, replicas persist to `directory/replica_<r>` and crashes
   /// lose volatile state; when unset, replicas are purely in-memory and a
   /// crash is only a partition (the original semantics).
@@ -63,6 +71,10 @@ class ReplicatedStore {
     return options_.configs;
   }
   bool Durable() const { return options_.durability.has_value(); }
+  /// Resolved shard count (after the 0 = auto default is applied).
+  std::size_t ShardsPerReplica() const {
+    return options_.shards_per_replica;
+  }
 
   /// Create a client (each client must be used from one thread at a time).
   std::unique_ptr<QuorumClient> MakeClient();

@@ -1,6 +1,7 @@
 #include "storage/backend.hpp"
 
 #include <filesystem>
+#include <optional>
 #include <utility>
 
 #include "common/check.hpp"
@@ -20,8 +21,12 @@ class MemoryBackend final : public Backend {
 
 class DurableBackend final : public Backend {
  public:
-  DurableBackend(std::string dir, DurabilityOptions options)
-      : dir_(std::move(dir)), options_(std::move(options)) {
+  // `shard`: nullopt = legacy unsharded layout (wal.log / snapshot.bin);
+  // a value selects that shard's segment pair (wal_<s>.log /
+  // snapshot_<s>.bin). Several shard backends share one directory.
+  DurableBackend(std::string dir, DurabilityOptions options,
+                 std::optional<std::size_t> shard)
+      : dir_(std::move(dir)), options_(std::move(options)), shard_(shard) {
     std::filesystem::create_directories(dir_);
   }
 
@@ -29,11 +34,13 @@ class DurableBackend final : public Backend {
 
   Image Recover() override {
     wal_.reset();  // release any pre-crash handle before reopening
-    const RecoveryManager::Result r = RecoveryManager(dir_).Recover();
+    const RecoveryManager rm(dir_);
+    const RecoveryManager::Result r =
+        shard_ ? rm.RecoverShard(*shard_) : rm.Recover();
     recoveries_.fetch_add(1, std::memory_order_relaxed);
     recovery_replayed_.fetch_add(r.replayed, std::memory_order_relaxed);
     wal_ = std::make_unique<Wal>(
-        RecoveryManager::WalPath(dir_),
+        WalFilePath(),
         Wal::Options{options_.fsync, options_.group_commit_window});
     if (r.torn_tail) {
       // Cut the torn frame so fresh appends don't land after garbage.
@@ -81,7 +88,7 @@ class DurableBackend final : public Backend {
     if (!wal_ || wal_->SizeBytes() < options_.snapshot_threshold_bytes) {
       return;
     }
-    WriteSnapshot(dir_, image);
+    WriteSnapshotFile(SnapshotFilePath(), image);
     wal_->Reset();
     snapshots_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -108,6 +115,16 @@ class DurableBackend final : public Backend {
   }
 
  private:
+  std::string WalFilePath() const {
+    return shard_ ? RecoveryManager::ShardWalPath(dir_, *shard_)
+                  : RecoveryManager::WalPath(dir_);
+  }
+
+  std::string SnapshotFilePath() const {
+    return shard_ ? RecoveryManager::ShardSnapshotPath(dir_, *shard_)
+                  : SnapshotPath(dir_);
+  }
+
   void AppendAndCount(const WalRecord& rec) {
     QCNT_CHECK_MSG(wal_ != nullptr,
                    "durable backend used before Recover()");
@@ -123,6 +140,7 @@ class DurableBackend final : public Backend {
 
   std::string dir_;
   DurabilityOptions options_;
+  std::optional<std::size_t> shard_;
   std::unique_ptr<Wal> wal_;
 
   // Only the server thread mutates the counters; Stats() may race from
@@ -142,8 +160,15 @@ std::unique_ptr<Backend> MakeMemoryBackend() {
 
 std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
                                             DurabilityOptions options) {
-  return std::make_unique<DurableBackend>(std::move(dir),
-                                          std::move(options));
+  return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
+                                          std::nullopt);
+}
+
+std::unique_ptr<Backend> MakeDurableShardBackend(std::string dir,
+                                                 DurabilityOptions options,
+                                                 std::size_t shard) {
+  return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
+                                          shard);
 }
 
 }  // namespace qcnt::storage

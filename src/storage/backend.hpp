@@ -100,8 +100,17 @@ class Backend {
 /// The seed's semantics: nothing persists, nothing is lost.
 std::unique_ptr<Backend> MakeMemoryBackend();
 
-/// WAL + snapshot persistence under `dir` (created if absent).
+/// WAL + snapshot persistence under `dir` (created if absent), using the
+/// unsharded layout (`wal.log` / `snapshot.bin`).
 std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
                                             DurabilityOptions options);
+
+/// Persistence for one shard of a sharded replica: the same directory
+/// holds `wal_<shard>.log` / `snapshot_<shard>.bin` per shard. The caller
+/// (the store) pins the shard count in the directory's MANIFEST so
+/// recovery can detect missing segments and count changes.
+std::unique_ptr<Backend> MakeDurableShardBackend(std::string dir,
+                                                 DurabilityOptions options,
+                                                 std::size_t shard);
 
 }  // namespace qcnt::storage

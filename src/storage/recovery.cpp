@@ -1,25 +1,50 @@
 #include "storage/recovery.hpp"
 
-#include <utility>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "storage/crc32.hpp"
 #include "storage/snapshot.hpp"
 
 namespace qcnt::storage {
 
-std::string RecoveryManager::WalPath(const std::string& dir) {
-  return dir + "/wal.log";
+namespace {
+
+// MANIFEST layout: "QMAN", format version u32, shard count u32,
+// CRC32(version || count). Tiny on purpose — its only job is to pin the
+// shard count so recovery can tell "fresh directory" from "directory
+// missing segments".
+constexpr char kManifestMagic[4] = {'Q', 'M', 'A', 'N'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+void PutU32(std::vector<unsigned char>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
 }
 
-RecoveryManager::RecoveryManager(std::string dir) : dir_(std::move(dir)) {}
+std::uint32_t GetU32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
 
-RecoveryManager::Result RecoveryManager::Recover() const {
-  Result result;
-  if (std::optional<Image> snap = LoadSnapshot(dir_)) {
+// Snapshot + WAL replay for one (snapshot path, wal path) pair.
+RecoveryManager::Result RecoverPaths(const std::string& snap_path,
+                                     const std::string& wal_path) {
+  RecoveryManager::Result result;
+  if (std::optional<Image> snap = LoadSnapshotFile(snap_path)) {
     result.image = std::move(*snap);
     result.from_snapshot = true;
   }
   const Wal::ReplayResult replay =
-      Wal::Replay(WalPath(dir_), [&](const WalRecord& r) {
+      Wal::Replay(wal_path, [&](const WalRecord& r) {
         switch (r.type) {
           case WalRecord::Type::kWrite:
             result.image.ApplyWrite(r.key, r.version, r.value);
@@ -33,6 +58,166 @@ RecoveryManager::Result RecoveryManager::Recover() const {
   result.wal_valid_bytes = replay.valid_bytes;
   result.torn_tail = replay.torn_tail;
   return result;
+}
+
+}  // namespace
+
+std::string RecoveryManager::WalPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+std::string RecoveryManager::ShardWalPath(const std::string& dir,
+                                          std::size_t shard) {
+  return dir + "/wal_" + std::to_string(shard) + ".log";
+}
+
+std::string RecoveryManager::ShardSnapshotPath(const std::string& dir,
+                                               std::size_t shard) {
+  return dir + "/snapshot_" + std::to_string(shard) + ".bin";
+}
+
+std::string RecoveryManager::ManifestPath(const std::string& dir) {
+  return dir + "/MANIFEST";
+}
+
+void RecoveryManager::WriteManifest(const std::string& dir,
+                                    std::size_t shard_count) {
+  QCNT_CHECK(shard_count >= 1);
+  std::vector<unsigned char> payload;
+  PutU32(payload, kManifestVersion);
+  PutU32(payload, static_cast<std::uint32_t>(shard_count));
+
+  std::vector<unsigned char> file;
+  file.insert(file.end(), kManifestMagic, kManifestMagic + 4);
+  file.insert(file.end(), payload.begin(), payload.end());
+  PutU32(file, Crc32(payload.data(), payload.size()));
+
+  const std::string path = ManifestPath(dir);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  QCNT_CHECK_MSG(fd >= 0, "cannot open manifest temp file: " + tmp);
+  const unsigned char* p = file.data();
+  std::size_t n = file.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    QCNT_CHECK_MSG(w > 0, "manifest write failed");
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  QCNT_CHECK(::fsync(fd) == 0);
+  ::close(fd);
+  QCNT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "manifest rename failed");
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::optional<std::size_t> RecoveryManager::ReadManifest(
+    const std::string& dir) {
+  std::ifstream in(ManifestPath(dir), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>()};
+  if (bytes.size() != 4 + 4 + 4 + 4) return std::nullopt;
+  if (std::memcmp(bytes.data(), kManifestMagic, 4) != 0) return std::nullopt;
+  const unsigned char* payload = bytes.data() + 4;
+  if (Crc32(payload, 8) != GetU32(bytes.data() + 12)) return std::nullopt;
+  if (GetU32(payload) != kManifestVersion) return std::nullopt;
+  const std::uint32_t count = GetU32(payload + 4);
+  if (count < 1) return std::nullopt;
+  return static_cast<std::size_t>(count);
+}
+
+RecoveryManager::RecoveryManager(std::string dir) : dir_(std::move(dir)) {}
+
+RecoveryManager::Result RecoveryManager::Recover() const {
+  return RecoverPaths(SnapshotPath(dir_), WalPath(dir_));
+}
+
+RecoveryManager::Result RecoveryManager::RecoverShard(
+    std::size_t shard) const {
+  return RecoverPaths(ShardSnapshotPath(dir_, shard),
+                      ShardWalPath(dir_, shard));
+}
+
+RecoveryManager::LayoutCheck RecoveryManager::ValidateShardLayout(
+    std::size_t expected_shards) const {
+  LayoutCheck check;
+  const bool manifest_file = std::filesystem::exists(ManifestPath(dir_));
+  const std::optional<std::size_t> count = ReadManifest(dir_);
+  if (!count) {
+    if (manifest_file) {
+      check.ok = false;
+      check.error = "corrupt manifest: " + ManifestPath(dir_);
+      return check;
+    }
+    if (std::filesystem::exists(WalPath(dir_))) {
+      check.ok = false;
+      check.error = "unsharded layout (wal.log, no manifest) in " + dir_ +
+                    "; sharded replicas cannot adopt it";
+      return check;
+    }
+    return check;  // fresh directory
+  }
+  check.manifest_present = true;
+  check.shard_count = *count;
+  if (*count != expected_shards) {
+    check.ok = false;
+    check.error = "shard count mismatch in " + dir_ + ": manifest has " +
+                  std::to_string(*count) + ", configured " +
+                  std::to_string(expected_shards);
+    return check;
+  }
+  for (std::size_t s = 0; s < *count; ++s) {
+    if (!std::filesystem::exists(ShardWalPath(dir_, s))) {
+      check.ok = false;
+      check.error = "missing WAL segment: " + ShardWalPath(dir_, s);
+      return check;
+    }
+  }
+  return check;
+}
+
+RecoveryManager::ReplicaResult RecoveryManager::RecoverReplica() const {
+  ReplicaResult out;
+  const bool manifest_file = std::filesystem::exists(ManifestPath(dir_));
+  const std::optional<std::size_t> count = ReadManifest(dir_);
+  if (!count) {
+    if (manifest_file) {
+      out.ok = false;
+      out.error = "corrupt manifest: " + ManifestPath(dir_);
+      return out;
+    }
+    // Legacy unsharded layout (or a fresh directory): the single log is
+    // the whole replica.
+    Result r = Recover();
+    out.image = std::move(r.image);
+    out.shard_count = 1;
+    out.replayed = r.replayed;
+    out.torn_segments = r.torn_tail ? 1 : 0;
+    return out;
+  }
+  out.shard_count = *count;
+  for (std::size_t s = 0; s < *count; ++s) {
+    if (!std::filesystem::exists(ShardWalPath(dir_, s))) {
+      out.ok = false;
+      out.error = "missing WAL segment: " + ShardWalPath(dir_, s);
+      return out;
+    }
+    Result r = RecoverShard(s);
+    // Segments are key-disjoint, so this merge never conflicts on a key;
+    // the store-wide (generation, config_id) stamp takes the max.
+    for (const auto& [key, v] : r.image.data) {
+      out.image.ApplyWrite(key, v.version, v.value);
+    }
+    out.image.ApplyConfig(r.image.generation, r.image.config_id);
+    out.replayed += r.replayed;
+    if (r.torn_tail) ++out.torn_segments;
+  }
+  return out;
 }
 
 }  // namespace qcnt::storage

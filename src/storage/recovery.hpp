@@ -7,8 +7,19 @@
 // failure the quorum protocol is built to absorb (Lemma 8: any read quorum
 // still intersects every write quorum, so the highest-versioned surviving
 // copy is the logical state).
+//
+// Sharded layout: a replica running S worker shards stripes its log as
+// `wal_<s>.log` + `snapshot_<s>.bin`, one pair per shard, plus a MANIFEST
+// pinning S. Keys are routed to shards by a hash that is stable across
+// runs, so segment s contains *only* shard s's keys and each segment can
+// be recovered independently; merging segment images is conflict-free.
+// The manifest makes partial layouts detectable: recovery with a missing
+// segment, or a configured shard count that disagrees with the manifest,
+// is rejected outright instead of silently resurrecting a subset of the
+// acked state.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "storage/image.hpp"
@@ -18,8 +29,21 @@ namespace qcnt::storage {
 
 class RecoveryManager {
  public:
-  /// `wal.log` inside `dir`.
+  /// `wal.log` inside `dir` (legacy unsharded layout).
   static std::string WalPath(const std::string& dir);
+  /// `wal_<shard>.log` inside `dir`.
+  static std::string ShardWalPath(const std::string& dir, std::size_t shard);
+  /// `snapshot_<shard>.bin` inside `dir`.
+  static std::string ShardSnapshotPath(const std::string& dir,
+                                       std::size_t shard);
+  /// `MANIFEST` inside `dir`.
+  static std::string ManifestPath(const std::string& dir);
+
+  /// Atomically (tmp + rename) record `shard_count` in `dir`'s manifest.
+  static void WriteManifest(const std::string& dir, std::size_t shard_count);
+  /// The manifest's shard count; nullopt when the file is absent or fails
+  /// validation (bad magic, short file, CRC mismatch).
+  static std::optional<std::size_t> ReadManifest(const std::string& dir);
 
   explicit RecoveryManager(std::string dir);
 
@@ -31,9 +55,42 @@ class RecoveryManager {
     bool torn_tail = false;           // trailing garbage detected and cut
   };
 
-  /// Rebuild the image. Does not modify any file; the caller decides
-  /// whether to truncate the WAL to `wal_valid_bytes` before appending.
+  /// Rebuild the image from the unsharded layout (`wal.log`). Does not
+  /// modify any file; the caller decides whether to truncate the WAL to
+  /// `wal_valid_bytes` before appending.
   Result Recover() const;
+
+  /// Rebuild one shard's image from its segment pair.
+  Result RecoverShard(std::size_t shard) const;
+
+  struct LayoutCheck {
+    bool ok = true;
+    bool manifest_present = false;
+    std::size_t shard_count = 0;  // from the manifest, when present
+    std::string error;            // set when !ok
+  };
+
+  /// Verify the directory can host a replica configured with
+  /// `expected_shards` shards. A fresh directory (no manifest, no legacy
+  /// wal.log) passes; a manifest disagreeing with `expected_shards`, a
+  /// corrupt manifest, a manifest with a missing WAL segment, or a legacy
+  /// unsharded log all fail with a diagnostic.
+  LayoutCheck ValidateShardLayout(std::size_t expected_shards) const;
+
+  struct ReplicaResult {
+    bool ok = true;
+    std::string error;            // set when !ok
+    Image image;                  // merged across all segments
+    std::size_t shard_count = 0;  // segments merged
+    std::uint64_t replayed = 0;   // total WAL records applied
+    std::size_t torn_segments = 0;
+  };
+
+  /// Rebuild the whole replica image by recovering and merging every
+  /// segment the manifest names (or the legacy single log when no manifest
+  /// exists). Refuses — rather than recovering a silent subset — when the
+  /// manifest is corrupt or any named segment file is missing.
+  ReplicaResult RecoverReplica() const;
 
  private:
   std::string dir_;

@@ -51,7 +51,7 @@ std::string SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.bin";
 }
 
-void WriteSnapshot(const std::string& dir, const Image& image) {
+void WriteSnapshotFile(const std::string& path, const Image& image) {
   std::vector<unsigned char> payload;
   PutU64(payload, image.generation);
   PutU32(payload, image.config_id);
@@ -70,7 +70,7 @@ void WriteSnapshot(const std::string& dir, const Image& image) {
   file.insert(file.end(), payload.begin(), payload.end());
   PutU32(file, Crc32(payload.data(), payload.size()));
 
-  const std::string tmp = dir + "/snapshot.tmp";
+  const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
   QCNT_CHECK_MSG(fd >= 0, "cannot open snapshot temp file: " + tmp);
   const unsigned char* p = file.data();
@@ -83,13 +83,22 @@ void WriteSnapshot(const std::string& dir, const Image& image) {
   }
   QCNT_CHECK(::fsync(fd) == 0);
   ::close(fd);
-  QCNT_CHECK_MSG(std::rename(tmp.c_str(), SnapshotPath(dir).c_str()) == 0,
+  QCNT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                  "snapshot rename failed");
-  FsyncDir(dir);
+  const std::size_t slash = path.rfind('/');
+  if (slash != std::string::npos) FsyncDir(path.substr(0, slash));
+}
+
+void WriteSnapshot(const std::string& dir, const Image& image) {
+  WriteSnapshotFile(SnapshotPath(dir), image);
 }
 
 std::optional<Image> LoadSnapshot(const std::string& dir) {
-  std::ifstream in(SnapshotPath(dir), std::ios::binary);
+  return LoadSnapshotFile(SnapshotPath(dir));
+}
+
+std::optional<Image> LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
                                    std::istreambuf_iterator<char>()};

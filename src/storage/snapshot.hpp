@@ -23,11 +23,19 @@ namespace qcnt::storage {
 /// `snapshot.bin` inside `dir`.
 std::string SnapshotPath(const std::string& dir);
 
-/// Atomically install `image` as `dir`'s snapshot.
+/// Atomically install `image` at `path` (tmp = path + ".tmp", fsync,
+/// rename, fsync parent directory). Sharded replicas keep one snapshot
+/// file per shard in the same directory, so the path is caller-chosen.
+void WriteSnapshotFile(const std::string& path, const Image& image);
+
+/// Load the snapshot at `path`; nullopt when absent or failing validation
+/// (bad magic, short file, CRC mismatch) — recovery then starts empty.
+std::optional<Image> LoadSnapshotFile(const std::string& path);
+
+/// Atomically install `image` as `dir`'s (unsharded) snapshot.
 void WriteSnapshot(const std::string& dir, const Image& image);
 
-/// Load `dir`'s snapshot; nullopt when absent or failing validation
-/// (bad magic, short file, CRC mismatch) — recovery then starts empty.
+/// Load `dir`'s (unsharded) snapshot.
 std::optional<Image> LoadSnapshot(const std::string& dir);
 
 }  // namespace qcnt::storage

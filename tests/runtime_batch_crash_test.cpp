@@ -7,9 +7,12 @@
 // it — Lemma 8 under real state loss, batched edition).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <map>
 
+#include "runtime/sharding.hpp"
 #include "runtime/store.hpp"
 #include "storage/recovery.hpp"
 
@@ -38,6 +41,7 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
 
   StoreOptions options;
   options.replicas = kReplicas;
+  options.shards_per_replica = 1;  // single segment: the whole stream
   options.durability = storage::DurabilityOptions{
       .directory = scratch.path,
       .fsync = storage::FsyncPolicy::kAlways,
@@ -80,8 +84,8 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
   //    nothing interleaved out of order and nothing past the crash point
   //    it could not have applied.
   std::map<std::string, std::uint64_t> last_version;
-  const std::string wal_path = storage::RecoveryManager::WalPath(
-      scratch.path + "/replica_2");
+  const std::string wal_path = storage::RecoveryManager::ShardWalPath(
+      scratch.path + "/replica_2", 0);
   std::uint64_t replayed = 0;
   storage::Wal::Replay(wal_path, [&](const storage::WalRecord& rec) {
     ASSERT_EQ(rec.type, storage::WalRecord::Type::kWrite);
@@ -123,6 +127,228 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
   // The stream really went through the batch path: multi-record appends
   // reached the durable layer on the survivors.
   EXPECT_GT(store.ReplicaStorageStats(0).batch_appends, 0u);
+}
+
+// Sharded edition of the prefix property: with 4 worker shards the crash
+// cuts 4 independent WAL segments at 4 independent points, but each
+// segment must still be a per-item gapless prefix, every item must live in
+// exactly the segment its hash names, and the merged recovery must equal
+// what the segments say.
+TEST(BatchCrash, ShardedRecoveryYieldsPerItemPrefix) {
+  ScratchDir scratch("sharded_prefix");
+  constexpr std::size_t kReplicas = 3;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kOps = 400;
+  constexpr std::size_t kCrashAt = 200;
+  // Enough keys that every shard owns at least one.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 12; ++i) keys.push_back("key" + std::to_string(i));
+
+  StoreOptions options;
+  options.replicas = kReplicas;
+  options.shards_per_replica = kShards;
+  options.durability = storage::DurabilityOptions{
+      .directory = scratch.path,
+      .fsync = storage::FsyncPolicy::kAlways,
+      .group_commit_window = 500us,
+      .snapshot_threshold_bytes = 64u << 20,  // never compact mid-test
+  };
+  ReplicatedStore store(std::move(options));
+  ASSERT_EQ(store.ShardsPerReplica(), kShards);
+  auto client = store.MakeAsyncClient(
+      AsyncQuorumClient::Options{.window = 32, .max_batch = 16});
+
+  const auto payload = [&](std::size_t key_idx, std::uint64_t version) {
+    return static_cast<std::int64_t>(key_idx * 1'000'000 + version);
+  };
+
+  std::map<std::string, std::uint64_t> writes_per_key;
+  std::vector<OpFuture> futures;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const std::size_t key_idx = i % keys.size();
+    const std::string& key = keys[key_idx];
+    const std::uint64_t version = ++writes_per_key[key];
+    futures.push_back(client->SubmitWrite(key, payload(key_idx, version)));
+    if (i == kCrashAt) store.Crash(2);
+  }
+  ASSERT_TRUE(client->Drain());
+  for (auto& f : futures) ASSERT_TRUE(f.Get().ok);
+
+  store.Recover(2);
+
+  // 1. Every segment is a per-item gapless prefix holding only the keys
+  //    its shard owns.
+  const std::string replica_dir = scratch.path + "/replica_2";
+  std::map<std::string, std::uint64_t> last_version;
+  std::uint64_t replayed = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::string wal_path =
+        storage::RecoveryManager::ShardWalPath(replica_dir, s);
+    ASSERT_TRUE(fs::exists(wal_path)) << wal_path;
+    storage::Wal::Replay(wal_path, [&](const storage::WalRecord& rec) {
+      ASSERT_EQ(rec.type, storage::WalRecord::Type::kWrite);
+      ASSERT_EQ(ShardForKey(rec.key, kShards), s)
+          << "key " << rec.key << " logged in the wrong segment";
+      const std::uint64_t expect = last_version[rec.key] + 1;
+      ASSERT_EQ(rec.version, expect)
+          << "torn interleaving: key " << rec.key << " jumped to version "
+          << rec.version;
+      ASSERT_LE(rec.version, writes_per_key[rec.key]);
+      last_version[rec.key] = rec.version;
+      ++replayed;
+    });
+  }
+  ASSERT_GT(replayed, 0u);
+  ASSERT_LT(replayed, kOps);
+
+  // 2. RecoverReplica's merged image agrees with the segments.
+  const auto merged =
+      storage::RecoveryManager(replica_dir).RecoverReplica();
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(merged.shard_count, kShards);
+  for (const auto& [key, version] : last_version) {
+    if (version == 0) continue;
+    const auto it = merged.image.data.find(key);
+    ASSERT_NE(it, merged.image.data.end()) << key;
+    EXPECT_EQ(it->second.version, version) << key;
+  }
+
+  // 3. The live recovered replica serves exactly that state, and quorum
+  //    reads still return every acked value.
+  const ReplicaSnapshot snap = store.ReplicaPeek(2);
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const auto it = snap.image.data.find(keys[k]);
+    const storage::Versioned v =
+        it == snap.image.data.end() ? storage::Versioned{} : it->second;
+    EXPECT_EQ(v.version, last_version[keys[k]]) << keys[k];
+    if (v.version > 0) EXPECT_EQ(v.value, payload(k, v.version));
+  }
+  auto reader = store.MakeClient();
+  for (std::size_t k = 0; k < keys.size(); ++k) {
+    const ClientResult r = reader->Read(keys[k]);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.version, writes_per_key[keys[k]]);
+    EXPECT_EQ(r.value, payload(k, writes_per_key[keys[k]]));
+  }
+}
+
+// A WAL segment that disappears while the replica is down must fail
+// recovery loudly — both through RecoverReplica and through the store's
+// own Recover path — never silently resurrect a subset of acked state.
+TEST(BatchCrash, MissingShardSegmentIsRejectedNotSilentlyDropped) {
+  ScratchDir scratch("missing_segment");
+  constexpr std::size_t kShards = 4;
+  StoreOptions options;
+  options.replicas = 3;
+  options.shards_per_replica = kShards;
+  options.durability = storage::DurabilityOptions{
+      .directory = scratch.path,
+      .fsync = storage::FsyncPolicy::kAlways,
+  };
+  ReplicatedStore store(std::move(options));
+  auto client = store.MakeAsyncClient();
+  for (int i = 0; i < 32; ++i) {
+    client->SubmitWrite("key" + std::to_string(i % 8), i);
+  }
+  ASSERT_TRUE(client->Drain());
+
+  store.Crash(2);
+  const std::string replica_dir = scratch.path + "/replica_2";
+  fs::remove(storage::RecoveryManager::ShardWalPath(replica_dir, 2));
+
+  const auto merged =
+      storage::RecoveryManager(replica_dir).RecoverReplica();
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("wal_2.log"), std::string::npos)
+      << merged.error;
+  EXPECT_ANY_THROW(store.Recover(2));
+}
+
+// A corrupt manifest is equally fatal: without a trustworthy shard count
+// the segment set cannot be proven complete.
+TEST(BatchCrash, CorruptManifestIsRejected) {
+  ScratchDir scratch("corrupt_manifest");
+  StoreOptions options;
+  options.replicas = 1;
+  options.shards_per_replica = 2;
+  options.durability =
+      storage::DurabilityOptions{.directory = scratch.path};
+  {
+    ReplicatedStore store(options);
+    auto client = store.MakeClient();
+    ASSERT_TRUE(client->Write("x", 1).ok);
+  }
+  const std::string replica_dir = scratch.path + "/replica_0";
+  {
+    std::ofstream out(storage::RecoveryManager::ManifestPath(replica_dir),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  EXPECT_FALSE(storage::RecoveryManager(replica_dir).RecoverReplica().ok);
+  EXPECT_ANY_THROW(ReplicatedStore{std::move(options)});
+}
+
+// Reopening a directory with a different shard count must be rejected:
+// the key→segment striping is pinned at creation and not self-rebalancing.
+TEST(BatchCrash, ShardCountChangeIsRejected) {
+  ScratchDir scratch("count_change");
+  StoreOptions options;
+  options.replicas = 1;
+  options.shards_per_replica = 4;
+  options.durability =
+      storage::DurabilityOptions{.directory = scratch.path};
+  {
+    ReplicatedStore store(options);
+    auto client = store.MakeClient();
+    ASSERT_TRUE(client->Write("x", 1).ok);
+  }
+  options.shards_per_replica = 2;
+  EXPECT_ANY_THROW(ReplicatedStore{std::move(options)});
+}
+
+// A torn tail in one segment is a normal crash artifact, not corruption:
+// recovery truncates that segment's tail and reports it, while the other
+// segments replay in full.
+TEST(BatchCrash, TornSegmentTailIsTruncatedAndReported) {
+  ScratchDir scratch("torn_segment");
+  constexpr std::size_t kShards = 2;
+  StoreOptions options;
+  options.replicas = 1;
+  options.shards_per_replica = kShards;
+  options.durability =
+      storage::DurabilityOptions{.directory = scratch.path};
+  // Two keys in different shards, so both segments hold data.
+  std::string key_a, key_b;
+  for (int i = 0; key_a.empty() || key_b.empty(); ++i) {
+    const std::string k = "key" + std::to_string(i);
+    if (ShardForKey(k, kShards) == 0) {
+      if (key_a.empty()) key_a = k;
+    } else if (key_b.empty()) {
+      key_b = k;
+    }
+  }
+  {
+    ReplicatedStore store(options);
+    auto client = store.MakeClient();
+    ASSERT_TRUE(client->Write(key_a, 10).ok);
+    ASSERT_TRUE(client->Write(key_b, 20).ok);
+    ASSERT_TRUE(client->Write(key_b, 21).ok);
+  }
+  const std::string replica_dir = scratch.path + "/replica_0";
+  const std::string torn =
+      storage::RecoveryManager::ShardWalPath(replica_dir, 1);
+  fs::resize_file(torn, fs::file_size(torn) - 2);
+
+  const auto merged =
+      storage::RecoveryManager(replica_dir).RecoverReplica();
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(merged.torn_segments, 1u);
+  // Shard 0's key is intact; shard 1 lost exactly its torn final record.
+  EXPECT_EQ(merged.image.data.at(key_a).value, 10);
+  EXPECT_EQ(merged.image.data.at(key_b).value, 20);
+
+  ReplicatedStore store(std::move(options));
+  EXPECT_EQ(store.ReplicaStorageStats(0).torn_tails_discarded, 1u);
 }
 
 TEST(BatchCrash, CrashBeforeAnyBatchRecoversEmpty) {

@@ -145,7 +145,8 @@ TEST(DurableStore, CrashLosesStateRecoveryRestoresIt) {
 
   store.Recover(2);
   const auto stats = store.ReplicaStorageStats(2);
-  EXPECT_EQ(stats.recoveries, 2u);  // initial start + this recovery
+  // Initial start + this recovery, each recovering every shard segment.
+  EXPECT_EQ(stats.recoveries, 2u * store.ShardsPerReplica());
   EXPECT_GT(stats.recovery_replayed, 0u);
 
   // Force read quorums to include the recovered replica: {1, 2}.
@@ -229,20 +230,23 @@ TEST(DurableStore, RestartRecoversFromSnapshotPlusTail) {
 /// discarded; the quorum absorbs the lost tail.
 TEST(DurableStore, TornFinalRecordDiscardedOnRecovery) {
   ScratchDir dir("torn_tail");
+  // One shard pinned so "x" lands in a known WAL segment to tear.
+  StoreOptions options = DurableOptions(dir.path);
+  options.shards_per_replica = 1;
   {
-    ReplicatedStore store(DurableOptions(dir.path));
+    ReplicatedStore store(options);
     auto client = store.MakeClient();
     ASSERT_TRUE(client->Write("x", 1).ok);
     ASSERT_TRUE(client->Write("x", 2).ok);
   }
   // Tear the last record of replica 2's log only; the other replicas keep
   // the full history, so the logical state must survive.
-  const std::string wal = storage::RecoveryManager::WalPath(
-      dir.path + "/replica_2");
+  const std::string wal = storage::RecoveryManager::ShardWalPath(
+      dir.path + "/replica_2", 0);
   ASSERT_TRUE(fs::exists(wal));
   fs::resize_file(wal, fs::file_size(wal) - 2);
 
-  ReplicatedStore store(DurableOptions(dir.path));
+  ReplicatedStore store(std::move(options));
   auto client = store.MakeClient();
   EXPECT_EQ(store.ReplicaStorageStats(2).torn_tails_discarded, 1u);
   // Read quorum {1, 2}: replica 2 answers with the torn-away write
@@ -359,7 +363,8 @@ TEST(DurableStore, StatsSurfaceCountsAppendsAndFsyncs) {
   EXPECT_EQ(stats.records_appended, 6u);  // 2 writes x 3 replicas
   EXPECT_EQ(stats.fsyncs, 6u);            // kAlways default
   EXPECT_GT(stats.bytes_appended, 0u);
-  EXPECT_EQ(stats.recoveries, 3u);  // one initial recovery per replica
+  // One initial recovery per shard segment per replica.
+  EXPECT_EQ(stats.recoveries, 3u * store.ShardsPerReplica());
 }
 
 }  // namespace

@@ -35,9 +35,32 @@ TEST(Mailbox, CloseWakesWaiters) {
     std::this_thread::sleep_for(20ms);
     mb.Close();
   });
-  auto e = mb.Pop();  // would block forever without Close
-  EXPECT_FALSE(e.has_value());
+  auto batch = mb.PopAll();  // would block forever without Close
+  EXPECT_TRUE(batch.empty());
   closer.join();
+}
+
+TEST(Mailbox, PopAllDrainsWholeQueueAtOnce) {
+  Mailbox mb;
+  for (std::uint64_t op = 1; op <= 5; ++op) {
+    mb.Push(Envelope{1, RtMessage{RtMessage::Kind::kReadReq, op, "k",
+                                  0, 0, 0, 0}});
+  }
+  auto batch = mb.PopAll();
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::uint64_t op = 1; op <= 5; ++op) {
+    EXPECT_EQ(batch[op - 1].msg.op, op);  // FIFO preserved
+  }
+  EXPECT_EQ(mb.Size(), 0u);
+}
+
+TEST(Mailbox, TryPopAllNeverBlocks) {
+  Mailbox mb;
+  EXPECT_TRUE(mb.TryPopAll().empty());
+  mb.Push(Envelope{2, RtMessage{RtMessage::Kind::kReadReq, 1, "k",
+                                0, 0, 0, 0}});
+  EXPECT_EQ(mb.TryPopAll().size(), 1u);
+  EXPECT_TRUE(mb.TryPopAll().empty());
 }
 
 TEST(Mailbox, PushAfterCloseIgnored) {
