@@ -6,18 +6,21 @@
 
 namespace qcnt::runtime {
 
-/// Per-operation state machine: read phase (version discovery) and, for
-/// writes, a write phase installing best_version + 1. Shared between the
+/// Per-operation state machine: read phase (version discovery), for writes
+/// a write phase installing the discovered version + 1, and a backoff
+/// phase parking the op between failed attempts. Shared between the
 /// client's bookkeeping and the caller's OpFuture.
 struct OpFuture::State {
-  std::uint64_t id = 0;
+  std::uint64_t id = 0;  // current attempt's op id (fresh per attempt)
   bool is_write = false;
   std::string key;
   std::int64_t value = 0;
-  enum class Phase : std::uint8_t { kRead, kWrite };
+  enum class Phase : std::uint8_t { kRead, kWrite, kBackoff };
   Phase phase = Phase::kRead;
+  std::uint32_t attempt = 0;
   std::chrono::steady_clock::time_point start{};
   std::chrono::steady_clock::time_point deadline{};
+  std::chrono::steady_clock::time_point retry_at{};  // backoff expiry
   std::uint64_t responded = 0;  // read-phase responder bitmask
   std::uint64_t acked = 0;      // write-phase acker bitmask
   std::uint64_t best_version = 0;
@@ -52,11 +55,16 @@ AsyncQuorumClient::AsyncQuorumClient(Bus& bus, NodeId id,
       id_(id),
       configs_(std::move(configs)),
       options_(options),
-      config_id_(initial_config) {
+      config_id_(initial_config),
+      backoff_rng_(0xa5bacc0ffull ^ id) {
   QCNT_CHECK(initial_config < configs_.size());
+  // Responder/acker bookkeeping is a 64-bit bitmask indexed by replica
+  // id; a larger universe would shift out of range (silent UB).
+  QCNT_CHECK(ReplicaCount() <= 64);
   QCNT_CHECK(id >= ReplicaCount());
   QCNT_CHECK(options_.window >= 1);
   QCNT_CHECK(options_.max_batch >= 1);
+  QCNT_CHECK(options_.max_attempts >= 1);
 }
 
 AsyncQuorumClient::~AsyncQuorumClient() = default;
@@ -97,9 +105,18 @@ OpFuture AsyncQuorumClient::Submit(std::string key, bool is_write,
 }
 
 void AsyncQuorumClient::Admit(const std::shared_ptr<Op>& op) {
-  op->phase = Op::Phase::kRead;
   op->start = std::chrono::steady_clock::now();
-  op->deadline = op->start + options_.timeout;
+  op->attempt = 1;
+  StartAttempt(op);
+}
+
+void AsyncQuorumClient::StartAttempt(const std::shared_ptr<Op>& op) {
+  op->phase = Op::Phase::kRead;
+  op->deadline = std::chrono::steady_clock::now() + options_.timeout;
+  op->responded = 0;
+  op->acked = 0;
+  op->best_version = 0;
+  op->best_value = 0;
   op->best_config = config_id_;
   op->best_generation = generation_;
   in_flight_.emplace(op->id, op);
@@ -140,27 +157,31 @@ bool AsyncQuorumClient::PumpOnce() {
     Dispatch(e);
   }
   Flush();
-  ExpireOverdue(std::chrono::steady_clock::now());
+  HandleTimers(std::chrono::steady_clock::now());
+  Flush();  // retries relaunched by HandleTimers stage new reads
   if (in_flight_.empty()) return false;
-  auto deadline = std::chrono::steady_clock::time_point::max();
+  // Earliest timer: op deadlines for live attempts, backoff expiries for
+  // parked ops.
+  auto wake = std::chrono::steady_clock::time_point::max();
   for (const auto& [id, op] : in_flight_) {
-    deadline = std::min(deadline, op->deadline);
+    wake = std::min(
+        wake, op->phase == Op::Phase::kBackoff ? op->retry_at : op->deadline);
   }
-  std::optional<Envelope> e = mailbox.Pop(deadline);
+  std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(wake);
   const auto now = std::chrono::steady_clock::now();
   if (!e) {
-    if (now < deadline) {
+    if (now < wake) {
       // The only early nullopt from a blocking Pop is a closed mailbox:
       // the store is shutting down, nothing in flight can ever complete.
       FailAllInFlight();
     } else {
-      ExpireOverdue(now);
+      HandleTimers(now);
     }
     return !in_flight_.empty() || !staged_reads_.empty() ||
            !staged_writes_.empty();
   }
   Dispatch(*e);
-  ExpireOverdue(now);
+  HandleTimers(now);
   return true;
 }
 
@@ -178,6 +199,9 @@ void AsyncQuorumClient::Dispatch(const Envelope& e) {
 }
 
 void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
+  // A sender id outside the replica universe would index out of the
+  // responder bitmask; such envelopes are stray traffic, never evidence.
+  if (e.from >= ReplicaCount()) return;
   const RtMessage& m = e.msg;
   if (m.generation > generation_) {
     generation_ = m.generation;
@@ -186,11 +210,18 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : m.batch) {
     auto it = in_flight_.find(entry.op);
-    if (it == in_flight_.end()) continue;  // completed or timed out
+    if (it == in_flight_.end()) continue;  // completed, retried or timed out
     const std::shared_ptr<Op> op = it->second;
     if (op->phase != Op::Phase::kRead) continue;
     const bool first = op->responded == 0;
     op->responded |= bit;
+    if (!first && entry.version == op->best_version &&
+        entry.value != op->best_value) {
+      // Lemma 8 violation: two copies of one version with different
+      // values. Count it loudly; the larger-value tie-break below keeps
+      // the outcome deterministic without hiding the divergence.
+      ++stats_.divergences_observed;
+    }
     if (first || entry.version > op->best_version ||
         (entry.version == op->best_version &&
          entry.value > op->best_value)) {
@@ -203,23 +234,30 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
     }
     if (!configs_[op->best_config].has_read(op->responded)) continue;
     if (op->is_write) {
-      // Version discovery done: stage the install at best + 1. Per-key
+      // Version discovery done: stage the install above both the
+      // discovered version and everything this client ever staged for
+      // the key (install_floor_ — covers earlier attempts of this op and
+      // abandoned earlier ops whose stragglers may still land). Per-key
       // serialization guarantees no other in-flight op can interleave a
       // write to this key between discovery and install.
+      std::uint64_t& floor = install_floor_[op->key];
+      const std::uint64_t install = std::max(op->best_version, floor) + 1;
+      floor = install;
       op->phase = Op::Phase::kWrite;
-      op->result.version = op->best_version + 1;
+      op->result.version = install;
       staged_writes_.push_back(
-          BatchEntry{op->id, op->key, op->best_version + 1, op->value});
+          BatchEntry{op->id, op->key, install, op->value});
       if (staged_writes_.size() >= options_.max_batch) FlushWrites();
     } else {
       op->result.value = op->best_value;
       op->result.version = op->best_version;
-      Complete(op, true);
+      Complete(op, ClientStatus::kOk);
     }
   }
 }
 
 void AsyncQuorumClient::HandleBatchWriteAck(const Envelope& e) {
+  if (e.from >= ReplicaCount()) return;
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : e.msg.batch) {
     auto it = in_flight_.find(entry.op);
@@ -229,19 +267,22 @@ void AsyncQuorumClient::HandleBatchWriteAck(const Envelope& e) {
     op->acked |= bit;
     if (configs_[op->best_config].has_write(op->acked)) {
       op->result.value = op->value;
-      Complete(op, true);
+      Complete(op, ClientStatus::kOk);
     }
   }
 }
 
-void AsyncQuorumClient::Complete(const std::shared_ptr<Op>& op, bool ok) {
-  op->result.ok = ok;
+void AsyncQuorumClient::Complete(const std::shared_ptr<Op>& op,
+                                 ClientStatus status) {
+  op->result.status = status;
+  op->result.ok = status == ClientStatus::kOk;
+  op->result.attempts = op->attempt;
   op->result.latency = Since(op->start);
   op->done = true;
   in_flight_.erase(op->id);
   --pending_;
   ++stats_.ops_completed;
-  if (!ok) ++stats_.ops_failed;
+  if (!op->result.ok) ++stats_.ops_failed;
   stats_.total_latency += op->result.latency;
   stats_.max_latency = std::max(stats_.max_latency, op->result.latency);
 
@@ -259,17 +300,57 @@ void AsyncQuorumClient::Complete(const std::shared_ptr<Op>& op, bool ok) {
 
 void AsyncQuorumClient::FailAllInFlight() {
   while (!in_flight_.empty()) {
-    Complete(in_flight_.begin()->second, false);
+    Complete(in_flight_.begin()->second, ClientStatus::kShutdown);
   }
 }
 
-void AsyncQuorumClient::ExpireOverdue(
-    std::chrono::steady_clock::time_point now) {
-  std::vector<std::shared_ptr<Op>> overdue;
-  for (const auto& [id, op] : in_flight_) {
-    if (op->deadline <= now) overdue.push_back(op);
+std::chrono::microseconds AsyncQuorumClient::BackoffDelay(
+    std::uint32_t attempt) {
+  auto delay = options_.backoff_base;
+  for (std::uint32_t i = 1; i < attempt && delay < options_.backoff_max; ++i) {
+    delay *= 2;
   }
-  for (const auto& op : overdue) Complete(op, false);
+  delay = std::min<std::chrono::milliseconds>(delay, options_.backoff_max);
+  const std::int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(delay).count();
+  if (us <= 0) return std::chrono::microseconds{0};
+  // Full jitter over the upper half decorrelates clients that failed
+  // together.
+  return std::chrono::microseconds(backoff_rng_.Range(us / 2, us));
+}
+
+void AsyncQuorumClient::HandleTimers(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<Op>> due;
+  for (const auto& [id, op] : in_flight_) {
+    const auto when =
+        op->phase == Op::Phase::kBackoff ? op->retry_at : op->deadline;
+    if (when <= now) due.push_back(op);
+  }
+  for (const auto& op : due) {
+    if (op->phase == Op::Phase::kBackoff) {
+      // Backoff elapsed: relaunch under a fresh op id so responses to the
+      // dead attempt (which stay addressed to the old id) can never
+      // satisfy this one.
+      in_flight_.erase(op->id);
+      op->id = next_op_++;
+      ++op->attempt;
+      ++stats_.retries;
+      StartAttempt(op);
+    } else if (op->attempt < options_.max_attempts) {
+      // Attempt timed out with attempts to spare: park in backoff. The
+      // op keeps its (stale) id in in_flight_ so the timer wheel sees it;
+      // the kBackoff phase shields it from late responses.
+      op->phase = Op::Phase::kBackoff;
+      op->retry_at = now + BackoffDelay(op->attempt);
+    } else if (options_.max_attempts > 1) {
+      Complete(op, ClientStatus::kRetriesExhausted);
+    } else {
+      Complete(op, (op->responded | op->acked) != 0
+                       ? ClientStatus::kTimeout
+                       : ClientStatus::kNoQuorum);
+    }
+  }
 }
 
 bool AsyncQuorumClient::Drain() {

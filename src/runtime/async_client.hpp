@@ -17,6 +17,16 @@
 // images as the sequential QuorumClient (asserted for randomized workloads
 // by tests/runtime_async_test.cpp).
 //
+// Failure handling mirrors QuorumClient: each operation runs up to
+// Options::max_attempts attempts, each with a fresh op id (so stale
+// responses from a timed-out attempt can never satisfy a later one) and
+// its own deadline, separated by jittered exponential backoff served by
+// the same timer machinery as deadlines — backoff never blocks the
+// pipeline; unrelated ops keep streaming. A retried write installs at
+// max(discovered version, highest version any earlier attempt installed)
+// + 1, so a straggling install from a failed attempt can never overtake
+// the version the operation finally acks (see client.hpp).
+//
 // Threading model: the client is single-threaded and cooperatively driven.
 // There is no background thread; progress happens inside Submit*, Flush,
 // Drain and OpFuture::Get, which pump the client's own mailbox. One client
@@ -29,6 +39,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "quorum/strategies.hpp"
 #include "runtime/bus.hpp"
 #include "runtime/client.hpp"
@@ -39,7 +50,7 @@ class AsyncQuorumClient;
 
 /// Completion handle for one submitted operation. Valid only while the
 /// owning AsyncQuorumClient is alive; Get() drives the client until this
-/// operation resolves (ok=false on timeout or bus shutdown).
+/// operation resolves (result.status says how).
 class OpFuture {
  public:
   bool Ready() const;
@@ -57,8 +68,15 @@ class OpFuture {
 class AsyncQuorumClient {
  public:
   struct Options {
-    /// Per-operation deadline, measured from admission.
+    /// Per-attempt deadline, measured from attempt start.
     std::chrono::milliseconds timeout{1000};
+    /// Attempts per logical operation; 1 = classic single-shot pipeline.
+    std::size_t max_attempts = 1;
+    /// Backoff before attempt k+1: uniform jitter over
+    /// [base·2^(k-1)/2, base·2^(k-1)], capped at backoff_max. Served by
+    /// the pump's timer wheel, not by sleeping.
+    std::chrono::milliseconds backoff_base{2};
+    std::chrono::milliseconds backoff_max{64};
     /// Maximum outstanding (submitted, not yet completed) operations —
     /// the pipeline depth. Submitting past the window blocks the caller
     /// inside Submit*, pumping completions (and flushing staged batches)
@@ -77,8 +95,12 @@ class AsyncQuorumClient {
     std::uint64_t ops_submitted = 0;
     std::uint64_t ops_completed = 0;  // includes failures
     std::uint64_t ops_failed = 0;
+    std::uint64_t retries = 0;          // extra attempts beyond the first
     std::uint64_t batches_sent = 0;     // broadcast batch messages
     std::uint64_t batched_requests = 0; // entries across those batches
+    /// Lemma 8 invariant counter: read responses carrying best_version
+    /// with a different value (see QuorumClient::DivergencesObserved).
+    std::uint64_t divergences_observed = 0;
     std::chrono::microseconds total_latency{0};
     std::chrono::microseconds max_latency{0};
   };
@@ -114,18 +136,27 @@ class AsyncQuorumClient {
   OpFuture Submit(std::string key, bool is_write, std::int64_t value);
   void Broadcast(RtMessage m);
   void Admit(const std::shared_ptr<Op>& op);
+  /// (Re)launch the op's read phase under a fresh deadline: reset quorum
+  /// bookkeeping and stage the read request. The op must already carry
+  /// its id and be absent from in_flight_.
+  void StartAttempt(const std::shared_ptr<Op>& op);
   void FlushReads();
   void FlushWrites();
   /// One scheduling step: flush staged batches, then block on the mailbox
-  /// until a message, the earliest op deadline, or shutdown. Returns false
-  /// when there is nothing in flight to wait for.
+  /// until a message, the earliest timer (op deadline or backoff expiry),
+  /// or shutdown. Returns false when there is nothing in flight to wait
+  /// for.
   bool PumpOnce();
   void Dispatch(const Envelope& e);
   void HandleBatchReadResp(const Envelope& e);
   void HandleBatchWriteAck(const Envelope& e);
-  void Complete(const std::shared_ptr<Op>& op, bool ok);
+  void Complete(const std::shared_ptr<Op>& op, ClientStatus status);
   void FailAllInFlight();
-  void ExpireOverdue(std::chrono::steady_clock::time_point now);
+  /// Fire every due timer: expire overdue attempts (scheduling a backoff
+  /// or completing with a failure status) and relaunch ops whose backoff
+  /// elapsed under a fresh op id.
+  void HandleTimers(std::chrono::steady_clock::time_point now);
+  std::chrono::microseconds BackoffDelay(std::uint32_t attempt);
 
   Bus* bus_;
   NodeId id_;
@@ -135,7 +166,7 @@ class AsyncQuorumClient {
   std::uint64_t generation_ = 0;
   std::uint64_t next_op_ = 1;
 
-  /// Ops with live quorum phases, by op id.
+  /// Ops with live quorum phases (or parked in backoff), by op id.
   std::unordered_map<std::uint64_t, std::shared_ptr<Op>> in_flight_;
   /// All outstanding ops: |in_flight_| plus ops queued behind a same-key
   /// predecessor. Submit* blocks while pending_ >= window.
@@ -144,7 +175,13 @@ class AsyncQuorumClient {
   std::unordered_map<std::string, std::deque<std::shared_ptr<Op>>> per_key_;
   std::vector<BatchEntry> staged_reads_;
   std::vector<BatchEntry> staged_writes_;
+  /// Highest install version this client ever staged, per key; every new
+  /// install goes strictly above it so stragglers from failed attempts or
+  /// abandoned ops can never collide with a later install (see
+  /// client.hpp).
+  std::unordered_map<std::string, std::uint64_t> install_floor_;
   Stats stats_;
+  Rng backoff_rng_;
 };
 
 }  // namespace qcnt::runtime

@@ -1,6 +1,8 @@
 #include "runtime/client.hpp"
 
+#include <algorithm>
 #include <array>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -13,6 +15,22 @@ std::chrono::microseconds Since(std::chrono::steady_clock::time_point t0) {
 }
 }  // namespace
 
+const char* ToString(ClientStatus status) {
+  switch (status) {
+    case ClientStatus::kOk:
+      return "ok";
+    case ClientStatus::kTimeout:
+      return "timeout";
+    case ClientStatus::kNoQuorum:
+      return "no-quorum";
+    case ClientStatus::kRetriesExhausted:
+      return "retries-exhausted";
+    case ClientStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
 QuorumClient::QuorumClient(Bus& bus, NodeId id,
                            std::vector<quorum::QuorumSystem> configs,
                            std::uint32_t initial_config, Options options)
@@ -20,9 +38,14 @@ QuorumClient::QuorumClient(Bus& bus, NodeId id,
       id_(id),
       configs_(std::move(configs)),
       options_(options),
-      config_id_(initial_config) {
+      config_id_(initial_config),
+      backoff_rng_(0xbacc0ffull ^ id) {
   QCNT_CHECK(initial_config < configs_.size());
+  // Responder bookkeeping is a 64-bit bitmask indexed by replica id; a
+  // larger universe would shift out of range (silent UB).
+  QCNT_CHECK(ReplicaCount() <= 64);
   QCNT_CHECK(id >= ReplicaCount());
+  QCNT_CHECK(options_.max_attempts >= 1);
 }
 
 QuorumClient::QuorumClient(Bus& bus, NodeId id,
@@ -50,13 +73,30 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
   std::array<std::uint64_t, 64> versions{};
   while (!phase.ok) {
     std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
-    if (!e) break;  // timeout or shutdown
+    if (!e) {
+      // A blocking Pop returns early only when the mailbox closed: the
+      // store is shutting down and no response will ever arrive.
+      phase.shutdown = std::chrono::steady_clock::now() < deadline;
+      break;
+    }
+    // A sender id outside the replica universe would index out of the
+    // bitmask; such envelopes are stray traffic, never quorum evidence.
+    if (e->from >= ReplicaCount()) continue;
     const RtMessage& m = e->msg;
     if (m.op != op || m.kind != RtMessage::Kind::kReadResp) continue;
     const std::uint64_t bit = 1ull << e->from;
     const bool first = responded == 0;
     responded |= bit;
+    phase.any_response = true;
     versions[e->from] = m.version;
+    if (!first && m.version == phase.best_version &&
+        m.value != phase.best_value) {
+      // Two copies of the same version with different values — a Lemma 8
+      // violation. Count it loudly; the tie-break below (larger value
+      // wins, matching the replica-side total order) keeps the outcome
+      // deterministic but must never hide the divergence.
+      ++divergences_observed_;
+    }
     if (first || m.version > phase.best_version ||
         (m.version == phase.best_version && m.value > phase.best_value)) {
       phase.best_version = m.version;
@@ -80,71 +120,139 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
   return phase;
 }
 
+void QuorumClient::MaybeRepair(const std::string& key, std::uint64_t op,
+                               const ReadPhase& phase) {
+  if (!options_.read_repair || phase.stale == 0) return;
+  // Fire-and-forget: install the freshest pair at lagging replicas. The
+  // acks will arrive under this op id and be discarded as stale traffic
+  // by later operations' filters.
+  RtMessage repair;
+  repair.kind = RtMessage::Kind::kWriteReq;
+  repair.op = op;
+  repair.key = key;
+  repair.version = phase.best_version;
+  repair.value = phase.best_value;
+  for (NodeId r = 0; r < ReplicaCount(); ++r) {
+    if ((phase.stale & (1ull << r)) == 0) continue;
+    // Count only repairs the bus accepted: a send the bus dropped
+    // (crashed or partitioned replica) repaired nothing, and chaos-test
+    // accounting relies on this counter being trustworthy.
+    if (bus_->Send(id_, r, repair)) ++repairs_issued_;
+  }
+}
+
+ClientStatus QuorumClient::AttemptStatus(const ReadPhase& phase,
+                                         std::size_t attempt) const {
+  if (phase.shutdown) return ClientStatus::kShutdown;
+  if (attempt >= options_.max_attempts && options_.max_attempts > 1) {
+    return ClientStatus::kRetriesExhausted;
+  }
+  return phase.any_response ? ClientStatus::kTimeout
+                            : ClientStatus::kNoQuorum;
+}
+
+void QuorumClient::Backoff(std::size_t attempt) {
+  auto delay = options_.backoff_base;
+  for (std::size_t i = 1; i < attempt && delay < options_.backoff_max; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, options_.backoff_max);
+  const std::int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(delay).count();
+  if (us <= 0) return;
+  // Full jitter over the upper half of the window decorrelates clients
+  // that failed together.
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(backoff_rng_.Range(us / 2, us)));
+}
+
 ClientResult QuorumClient::Read(const std::string& key) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto deadline = t0 + options_.timeout;
-  const std::uint64_t op = next_op_++;
-  const ReadPhase phase = RunReadPhase(key, op, deadline);
-  if (options_.read_repair && phase.ok && phase.stale != 0) {
-    // Fire-and-forget: install the freshest pair at lagging replicas. The
-    // acks will arrive under this op id and be discarded as stale traffic
-    // by later operations' filters.
-    RtMessage repair;
-    repair.kind = RtMessage::Kind::kWriteReq;
-    repair.op = op;
-    repair.key = key;
-    repair.version = phase.best_version;
-    repair.value = phase.best_value;
-    for (NodeId r = 0; r < ReplicaCount(); ++r) {
-      if (phase.stale & (1ull << r)) {
-        bus_->Send(id_, r, repair);
-        ++repairs_issued_;
-      }
-    }
-  }
   ClientResult result;
-  result.ok = phase.ok;
-  result.value = phase.best_value;
-  result.version = phase.best_version;
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    result.attempts = static_cast<std::uint32_t>(attempt);
+    const std::uint64_t op = next_op_++;  // per-attempt sub-op id
+    const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
+    const ReadPhase phase = RunReadPhase(key, op, deadline);
+    if (phase.ok) {
+      MaybeRepair(key, op, phase);
+      result.ok = true;
+      result.status = ClientStatus::kOk;
+      result.value = phase.best_value;
+      result.version = phase.best_version;
+      break;
+    }
+    result.status = AttemptStatus(phase, attempt);
+    if (phase.shutdown) break;
+    if (attempt < options_.max_attempts) Backoff(attempt);
+  }
   result.latency = Since(t0);
   return result;
 }
 
 ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
   const auto t0 = std::chrono::steady_clock::now();
-  const auto deadline = t0 + options_.timeout;
-  const std::uint64_t op = next_op_++;
   ClientResult result;
+  // Every install goes strictly above everything this client ever staged
+  // for the key (across attempts AND across operations): the acked
+  // version is then ≥ every straggler on the wire, so a reordered or
+  // abandoned retry can never leave a higher-versioned orphan to collide
+  // with a later write's version.
+  std::uint64_t& version_floor = install_floor_[key];
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    result.attempts = static_cast<std::uint32_t>(attempt);
+    const std::uint64_t op = next_op_++;  // per-attempt sub-op id
+    const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
 
-  const ReadPhase phase = RunReadPhase(key, op, deadline);
-  if (!phase.ok) {
-    result.latency = Since(t0);
-    return result;
-  }
-
-  RtMessage w;
-  w.kind = RtMessage::Kind::kWriteReq;
-  w.op = op;
-  w.key = key;
-  w.version = phase.best_version + 1;
-  w.value = value;
-  BroadcastToReplicas(w);
-
-  std::uint64_t acked = 0;
-  while (!configs_[phase.best_config].has_write(acked)) {
-    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
-    if (!e) {
-      result.latency = Since(t0);
-      return result;  // timeout
-    }
-    if (e->msg.op != op || e->msg.kind != RtMessage::Kind::kWriteAck) {
+    const ReadPhase phase = RunReadPhase(key, op, deadline);
+    if (!phase.ok) {
+      result.status = AttemptStatus(phase, attempt);
+      if (phase.shutdown) break;
+      if (attempt < options_.max_attempts) Backoff(attempt);
       continue;
     }
-    acked |= 1ull << e->from;
+
+    RtMessage w;
+    w.kind = RtMessage::Kind::kWriteReq;
+    w.op = op;
+    w.key = key;
+    w.version = std::max(phase.best_version, version_floor) + 1;
+    w.value = value;
+    version_floor = w.version;
+    BroadcastToReplicas(w);
+
+    std::uint64_t acked = 0;
+    bool shutdown = false, quorum = true;
+    while (!configs_[phase.best_config].has_write(acked)) {
+      std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+      if (!e) {
+        shutdown = std::chrono::steady_clock::now() < deadline;
+        quorum = false;
+        break;
+      }
+      if (e->from >= ReplicaCount()) continue;
+      if (e->msg.op != op || e->msg.kind != RtMessage::Kind::kWriteAck) {
+        continue;
+      }
+      acked |= 1ull << e->from;
+    }
+    if (quorum) {
+      result.ok = true;
+      result.status = ClientStatus::kOk;
+      result.value = value;
+      result.version = w.version;
+      break;
+    }
+    // A read quorum responded this attempt, so "no response at all" can't
+    // be the story — classify as timeout (or exhausted/shutdown).
+    result.status = shutdown ? ClientStatus::kShutdown
+                    : (attempt >= options_.max_attempts &&
+                       options_.max_attempts > 1)
+                        ? ClientStatus::kRetriesExhausted
+                        : ClientStatus::kTimeout;
+    if (shutdown) break;
+    if (attempt < options_.max_attempts) Backoff(attempt);
   }
-  result.ok = true;
-  result.value = value;
-  result.version = w.version;
   result.latency = Since(t0);
   return result;
 }
@@ -152,53 +260,72 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
 ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
   QCNT_CHECK(target < configs_.size());
   const auto t0 = std::chrono::steady_clock::now();
-  const auto deadline = t0 + options_.timeout;
-  const std::uint64_t op = next_op_++;
   ClientResult result;
+  for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
+    result.attempts = static_cast<std::uint32_t>(attempt);
+    const std::uint64_t op = next_op_++;
+    const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
 
-  // The stamp is store-wide; the read phase runs on a distinguished key so
-  // version discovery still exercises a read quorum of the old config.
-  const ReadPhase phase = RunReadPhase("", op, deadline);
-  if (!phase.ok) {
-    result.latency = Since(t0);
-    return result;
-  }
-
-  RtMessage data;
-  data.kind = RtMessage::Kind::kWriteReq;
-  data.op = op;
-  data.key = "";
-  data.version = phase.best_version;
-  data.value = phase.best_value;
-  BroadcastToReplicas(data);
-
-  RtMessage cfg;
-  cfg.kind = RtMessage::Kind::kConfigWriteReq;
-  cfg.op = op;
-  cfg.generation = phase.best_generation + 1;
-  cfg.config_id = target;
-  BroadcastToReplicas(cfg);
-
-  std::uint64_t data_acked = 0, cfg_acked = 0;
-  while (!(configs_[target].has_write(data_acked) &&
-           configs_[phase.best_config].has_write(cfg_acked))) {
-    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
-    if (!e) {
-      result.latency = Since(t0);
-      return result;
+    // The stamp is store-wide; the read phase runs on a distinguished key
+    // so version discovery still exercises a read quorum of the old config.
+    const ReadPhase phase = RunReadPhase("", op, deadline);
+    if (!phase.ok) {
+      result.status = AttemptStatus(phase, attempt);
+      if (phase.shutdown) break;
+      if (attempt < options_.max_attempts) Backoff(attempt);
+      continue;
     }
-    if (e->msg.op != op) continue;
-    if (e->msg.kind == RtMessage::Kind::kWriteAck) {
-      data_acked |= 1ull << e->from;
-    } else if (e->msg.kind == RtMessage::Kind::kConfigWriteAck) {
-      cfg_acked |= 1ull << e->from;
+
+    RtMessage data;
+    data.kind = RtMessage::Kind::kWriteReq;
+    data.op = op;
+    data.key = "";
+    data.version = phase.best_version;
+    data.value = phase.best_value;
+    BroadcastToReplicas(data);
+
+    RtMessage cfg;
+    cfg.kind = RtMessage::Kind::kConfigWriteReq;
+    cfg.op = op;
+    cfg.generation = phase.best_generation + 1;
+    cfg.config_id = target;
+    BroadcastToReplicas(cfg);
+
+    std::uint64_t data_acked = 0, cfg_acked = 0;
+    bool shutdown = false, quorum = true;
+    while (!(configs_[target].has_write(data_acked) &&
+             configs_[phase.best_config].has_write(cfg_acked))) {
+      std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+      if (!e) {
+        shutdown = std::chrono::steady_clock::now() < deadline;
+        quorum = false;
+        break;
+      }
+      if (e->from >= ReplicaCount()) continue;
+      if (e->msg.op != op) continue;
+      if (e->msg.kind == RtMessage::Kind::kWriteAck) {
+        data_acked |= 1ull << e->from;
+      } else if (e->msg.kind == RtMessage::Kind::kConfigWriteAck) {
+        cfg_acked |= 1ull << e->from;
+      }
     }
+    if (quorum) {
+      if (phase.best_generation + 1 > generation_) {
+        generation_ = phase.best_generation + 1;
+        config_id_ = target;
+      }
+      result.ok = true;
+      result.status = ClientStatus::kOk;
+      break;
+    }
+    result.status = shutdown ? ClientStatus::kShutdown
+                    : (attempt >= options_.max_attempts &&
+                       options_.max_attempts > 1)
+                        ? ClientStatus::kRetriesExhausted
+                        : ClientStatus::kTimeout;
+    if (shutdown) break;
+    if (attempt < options_.max_attempts) Backoff(attempt);
   }
-  if (phase.best_generation + 1 > generation_) {
-    generation_ = phase.best_generation + 1;
-    config_id_ = target;
-  }
-  result.ok = true;
   result.latency = Since(t0);
   return result;
 }

@@ -2,32 +2,76 @@
 //
 // One client per thread; each logical operation runs the two-phase quorum
 // protocol synchronously against the client's own mailbox. Operation ids
-// disambiguate stale responses from timed-out earlier operations.
+// disambiguate stale responses from timed-out earlier operations — and,
+// since every retry attempt draws a fresh op id, from earlier attempts of
+// the *same* logical operation.
+//
+// Failure handling: an operation runs up to Options::max_attempts
+// attempts, each with its own timeout, separated by exponential backoff
+// with jitter. Retries are safe because (a) attempt ids keep stale
+// responses out of later attempts, (b) replicas apply writes idempotently
+// (a re-delivered install of the same (version, value) is a no-op), and
+// (c) every install this client stages for a key goes strictly above
+// every version it ever staged for that key (install_floor_), so a
+// straggling install from a failed attempt — even of an operation that
+// exhausted its retries — can never collide with or overtake a later
+// operation's version (see Write()).
 #pragma once
 
 #include <chrono>
 #include <optional>
+#include <unordered_map>
 
+#include "common/rng.hpp"
 #include "quorum/strategies.hpp"
 #include "runtime/bus.hpp"
 
 namespace qcnt::runtime {
 
+/// Why an operation resolved the way it did. `kOk` is the only success.
+enum class ClientStatus : std::uint8_t {
+  kOk,
+  /// The attempt heard from some replicas but no quorum before deadline.
+  kTimeout,
+  /// The attempt heard from no replica at all — partitioned or every
+  /// replica down; no quorum can possibly assemble.
+  kNoQuorum,
+  /// A retrying client (max_attempts > 1) exhausted every attempt.
+  kRetriesExhausted,
+  /// The bus shut down underneath the operation; retrying is pointless.
+  kShutdown,
+};
+
+const char* ToString(ClientStatus status);
+
 struct ClientResult {
+  /// Convenience mirror of `status == ClientStatus::kOk`.
   bool ok = false;
+  ClientStatus status = ClientStatus::kTimeout;
   std::int64_t value = 0;
   /// For reads: the freshest version observed by the read quorum. For
   /// writes: the version this operation installed. Lets callers reason
   /// about per-item ordering (an acked write at version v must never be
   /// superseded by anything older than v).
   std::uint64_t version = 0;
+  /// Attempts consumed (1 when the first attempt resolved it).
+  std::uint32_t attempts = 0;
   std::chrono::microseconds latency{0};
 };
 
 class QuorumClient {
  public:
   struct Options {
+    /// Per-attempt deadline.
     std::chrono::milliseconds timeout{1000};
+    /// Attempts per logical operation. 1 = the classic single-shot client
+    /// (fail on first timeout); >1 enables retry with backoff — the right
+    /// setting whenever the bus injects faults.
+    std::size_t max_attempts = 1;
+    /// Backoff before attempt k+1: uniform jitter over
+    /// [base·2^(k-1)/2, base·2^(k-1)], capped at backoff_max.
+    std::chrono::milliseconds backoff_base{2};
+    std::chrono::milliseconds backoff_max{64};
     /// After a read quorum completes, asynchronously write the freshest
     /// (version, value) back to any responding replica that returned a
     /// stale version (Gifford-style read repair). Repairs are fire-and-
@@ -54,12 +98,25 @@ class QuorumClient {
   /// Gifford reconfiguration to configs[target].
   ClientResult Reconfigure(std::uint32_t target);
 
-  /// Number of read-repair write-backs issued so far.
+  /// Number of read-repair write-backs actually delivered to (or accepted
+  /// for delivery by) the bus — repairs the bus dropped on the floor
+  /// (crashed or partitioned replica) are not counted.
   std::uint64_t RepairsIssued() const { return repairs_issued_; }
+
+  /// Lemma 8 invariant counter: times a read quorum returned two copies
+  /// with the same version but different values. In a correct run this is
+  /// always zero (Lemma 8: all copies of a version hold the logical
+  /// state); nonzero means divergence, surfaced here instead of being
+  /// silently masked by the tie-break.
+  std::uint64_t DivergencesObserved() const { return divergences_observed_; }
 
  private:
   struct ReadPhase {
     bool ok = false;
+    /// The mailbox closed under us (store shutdown) — abort retries.
+    bool shutdown = false;
+    /// At least one replica responded before the deadline.
+    bool any_response = false;
     std::uint64_t best_version = 0;
     std::int64_t best_value = 0;
     std::uint64_t best_generation = 0;
@@ -73,6 +130,13 @@ class QuorumClient {
   /// Run the read phase for `key` under the current deadline.
   ReadPhase RunReadPhase(const std::string& key, std::uint64_t op,
                          std::chrono::steady_clock::time_point deadline);
+  void MaybeRepair(const std::string& key, std::uint64_t op,
+                   const ReadPhase& phase);
+  /// Failure status of one attempt (never kOk).
+  ClientStatus AttemptStatus(const ReadPhase& phase,
+                             std::size_t attempt) const;
+  /// Sleep the jittered exponential backoff before attempt + 1.
+  void Backoff(std::size_t attempt);
 
   Bus* bus_;
   NodeId id_;
@@ -82,6 +146,15 @@ class QuorumClient {
   std::uint64_t generation_ = 0;
   std::uint64_t next_op_ = 1;
   std::uint64_t repairs_issued_ = 0;
+  std::uint64_t divergences_observed_ = 0;
+  /// Highest install version this client ever staged, per key. Every new
+  /// install goes strictly above it, so no install this client ever put
+  /// on the wire — including from attempts or whole operations that were
+  /// abandoned — can carry the same version as a later one with a
+  /// different value (the client-side half of the Lemma 8 guarantee
+  /// under retries; replicas reject the stale stragglers).
+  std::unordered_map<std::string, std::uint64_t> install_floor_;
+  Rng backoff_rng_;
 };
 
 }  // namespace qcnt::runtime

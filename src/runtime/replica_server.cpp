@@ -303,8 +303,12 @@ bool ReplicaServer::ApplyToImage(Shard& sh, const std::string& key,
   // (version, value) is a total order: concurrent writers that race to
   // the same version converge deterministically (the verified automaton
   // layer shows a concurrency-control layer prevents such races; the
-  // runtime stays safe without one).
-  if (version > v.version || (version == v.version && value >= v.value)) {
+  // runtime stays safe without one). Strictly-greater on the value leg
+  // makes the apply idempotent: a re-delivered copy of an already-held
+  // (version, value) is a no-op — no duplicate history entry, and (in the
+  // batch path) no duplicate WAL record — while still being acked, which
+  // is what lets a lossy/duplicating bus retry writes safely.
+  if (version > v.version || (version == v.version && value > v.value)) {
     v.version = version;
     v.value = value;
     if (record_history_) sh.history.push_back({key, version, value});
@@ -402,7 +406,9 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
-      if (m.generation >= sh.image.generation) {
+      // Strictly newer generations only: a duplicated config install is a
+      // no-op (no re-log), mirroring ApplyToImage's idempotence.
+      if (m.generation > sh.image.generation) {
         sh.image.generation = m.generation;
         sh.image.config_id = m.config_id;
         sh.backend->ApplyConfig(sh.image.generation, sh.image.config_id);

@@ -43,6 +43,22 @@ StoreOptions Normalize(StoreOptions options) {
     QCNT_CHECK_MSG(!options.durability->directory.empty(),
                    "durability requires a directory");
   }
+  if (options.faults) {
+    FaultPlan& f = *options.faults;
+    QCNT_CHECK_MSG(f.drop >= 0.0 && f.drop <= 1.0, "drop out of [0, 1]");
+    QCNT_CHECK_MSG(f.duplicate >= 0.0 && f.duplicate <= 1.0,
+                   "duplicate out of [0, 1]");
+    QCNT_CHECK_MSG(f.delay_min.count() >= 0 &&
+                       f.delay_min <= f.delay_max,
+                   "delay_min must be in [0, delay_max]");
+    // QCNT_FAULT_SEED lets a CI chaos matrix vary the seed per run
+    // without editing tests (same pattern as QCNT_SHARDS above).
+    if (const char* env = std::getenv("QCNT_FAULT_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') f.seed = v;
+    }
+  }
   return options;
 }
 
@@ -72,6 +88,10 @@ void ValidateDurableLayout(const StoreOptions& options, std::size_t replica) {
 ReplicatedStore::ReplicatedStore(StoreOptions options)
     : options_(Normalize(std::move(options))),
       bus_(options_.replicas + options_.max_clients) {
+  // Install faults before any replica thread starts so the very first
+  // message already flows through the injector and per-link RNG streams
+  // are reproducible from the seed alone.
+  if (options_.faults) bus_.SetFaults(*options_.faults);
   for (std::size_t r = 0; r < options_.replicas; ++r) {
     if (Durable()) ValidateDurableLayout(options_, r);
     replicas_.push_back(std::make_unique<ReplicaServer>(

@@ -56,6 +56,13 @@ struct StoreOptions {
   /// Test observability: replicas record every version-accepted write in
   /// application order (see AppliedWrite); read back via ReplicaPeek.
   bool record_applied_history = false;
+  /// When set, installed as the bus-wide default FaultPlan before any
+  /// replica thread starts (see bus.hpp): every link becomes a lossy,
+  /// duplicating, delaying, reordering channel, deterministically from
+  /// FaultPlan::seed. The QCNT_FAULT_SEED environment variable, when set,
+  /// overrides the seed — the hook a CI chaos matrix uses to vary runs
+  /// without editing tests. Mutable at runtime via SetFaults below.
+  std::optional<FaultPlan> faults;
 };
 
 class ReplicatedStore {
@@ -94,6 +101,31 @@ class ReplicatedStore {
   bool IsUp(std::size_t replica) const;
 
   std::uint64_t MessagesSent() const { return bus_.MessagesSent(); }
+
+  // --- Fault injection (see bus.hpp) ---------------------------------------
+  // Node ids: replicas are [0, replicas); clients are assigned
+  // [replicas, replicas + max_clients) in MakeClient order — use these ids
+  // to scope partitions and per-link plans.
+
+  /// Install `plan` as the default for every link (replaces any plan from
+  /// StoreOptions::faults).
+  void SetFaults(const FaultPlan& plan) { bus_.SetFaults(plan); }
+  /// Override the plan for one directed link.
+  void SetLinkFaults(NodeId from, NodeId to, const FaultPlan& plan) {
+    bus_.SetLinkFaults(from, to, plan);
+  }
+  /// Remove the default plan and all per-link overrides.
+  void ClearFaults() { bus_.ClearFaults(); }
+  /// Partition node sets `a` and `b` from each other (see Bus::Partition).
+  void Partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                 bool symmetric = true) {
+    bus_.Partition(a, b, symmetric);
+  }
+  /// Heal every installed partition.
+  void Heal() { bus_.Heal(); }
+  /// Deliver everything the fault layer still holds (test drains).
+  void FlushFaults() { bus_.FlushFaults(); }
+  FaultStats InjectedFaults() const { return bus_.InjectedFaults(); }
 
   /// Storage counters for one replica / summed over all replicas.
   storage::StorageStats ReplicaStorageStats(std::size_t replica) const;

@@ -273,9 +273,11 @@ TEST(DurableStore, ConfigStampSurvivesCrashRecovery) {
   ASSERT_TRUE(client->Write("x", 1).ok);
   ASSERT_TRUE(client->Reconfigure(1).ok);
 
-  // Replica 2 logs: the x-write, the reconfigure's data write, and the
-  // config install.
-  WaitForAppends(store, 2, 3);
+  // Replica 2 logs: the x-write and the config install. The
+  // reconfigure's data write re-installs the stamp key at its current
+  // (version, value) — a no-op under the idempotent apply, so it is
+  // acked without logging a redundant record.
+  WaitForAppends(store, 2, 2);
   store.Crash(2);
   store.Recover(2);
 
