@@ -1,0 +1,215 @@
+// E18 — the cost of the wire: in-process Bus vs. loopback TCP.
+//
+// The same ReplicatedStore, the same quorum protocol, two substrates:
+// direct mailbox pushes (Bus) vs. the full codec + non-blocking-socket +
+// event-loop path (TcpTransport on 127.0.0.1). Two sections:
+//
+//   1. Sync latency — one blocking client, single-key read and write
+//      round trips; reports mean and p99 microseconds per op. Every
+//      quorum op is several messages (probe + install to every replica,
+//      their responses), so the per-op delta is a few wire crossings.
+//   2. Pipelined throughput — the async client with a deep window and
+//      batching, ops/second. Batching amortizes framing as it amortizes
+//      mailbox wakeups, so the relative gap narrows vs. section 1.
+//
+// The point of the experiment is honesty about deployment cost: the
+// repo's other benchmarks measure protocol effects on the Bus; this one
+// pins how much the real network multiplies the constant factor, on the
+// same hardware, with zero protocol changes (the transport is swapped
+// under an unchanged client/replica stack — the Transport abstraction is
+// doing the work). Results print as tables and are written as JSON
+// (argv[1], default "BENCH_transport.json") for CI archiving.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/store.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace qcnt;
+using runtime::AsyncQuorumClient;
+using runtime::OpFuture;
+using runtime::ReplicatedStore;
+using runtime::StoreOptions;
+using runtime::TcpStoreOptions;
+
+constexpr std::size_t kReplicas = 5;
+constexpr std::size_t kSyncOps = 2000;
+constexpr std::size_t kAsyncOps = 20000;
+constexpr std::size_t kWindow = 64;
+constexpr std::size_t kKeys = 64;
+
+StoreOptions Options(bool tcp) {
+  StoreOptions o;
+  o.replicas = kReplicas;
+  if (tcp) o.tcp = TcpStoreOptions{};
+  // Loopback is reliable but not instantaneous; retries keep scheduler
+  // hiccups from aborting a latency sample.
+  o.client_options.max_attempts = 3;
+  o.async_client_options.max_attempts = 3;
+  return o;
+}
+
+struct LatencyRow {
+  std::string transport;
+  std::string op;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(p * (v.size() - 1));
+  return v[i];
+}
+
+/// Mean/p50/p99 of kSyncOps blocking round trips per op type.
+std::vector<LatencyRow> SyncLatency(bool tcp) {
+  ReplicatedStore store(Options(tcp));
+  auto client = store.MakeClient();
+  const char* name = tcp ? "tcp" : "bus";
+
+  std::vector<double> write_us, read_us;
+  for (std::size_t i = 0; i < kSyncOps; ++i) {
+    const std::string key = "k" + std::to_string(i % kKeys);
+    auto w = client->Write(key, static_cast<std::int64_t>(i));
+    if (w.ok) write_us.push_back(static_cast<double>(w.latency.count()));
+    auto r = client->Read(key);
+    if (r.ok) read_us.push_back(static_cast<double>(r.latency.count()));
+  }
+
+  auto row = [&](const char* op, std::vector<double>& v) {
+    LatencyRow r;
+    r.transport = name;
+    r.op = op;
+    double sum = 0;
+    for (double x : v) sum += x;
+    r.mean_us = v.empty() ? 0 : sum / static_cast<double>(v.size());
+    r.p50_us = Percentile(v, 0.50);
+    r.p99_us = Percentile(v, 0.99);
+    return r;
+  };
+  return {row("read", read_us), row("write", write_us)};
+}
+
+struct ThroughputRow {
+  std::string transport;
+  double ops_per_sec = 0;
+  double wall_ms = 0;
+  std::uint64_t frames = 0;  // wire frames (tcp only; 0 on the bus)
+};
+
+/// Pipelined mixed workload (50/50 read/write) through the async client.
+ThroughputRow AsyncThroughput(bool tcp) {
+  ReplicatedStore store(Options(tcp));
+  AsyncQuorumClient::Options aopts = Options(tcp).async_client_options;
+  aopts.window = kWindow;
+  auto client = store.MakeAsyncClient(aopts);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<OpFuture> inflight;
+  inflight.reserve(kAsyncOps);
+  for (std::size_t i = 0; i < kAsyncOps; ++i) {
+    const std::string key = "k" + std::to_string(i % kKeys);
+    if (i % 2 == 0) {
+      inflight.push_back(
+          client->SubmitWrite(key, static_cast<std::int64_t>(i)));
+    } else {
+      inflight.push_back(client->SubmitRead(key));
+    }
+  }
+  client->Flush();
+  std::size_t ok = 0;
+  for (auto& f : inflight) ok += f.Get().ok ? 1 : 0;
+  const auto wall = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+
+  ThroughputRow r;
+  r.transport = tcp ? "tcp" : "bus";
+  r.wall_ms = wall.count();
+  r.ops_per_sec = static_cast<double>(ok) / (wall.count() / 1000.0);
+  r.frames = store.WireStats().frames_sent;
+  return r;
+}
+
+void WriteJson(const std::string& path, const std::vector<LatencyRow>& lat,
+               const std::vector<ThroughputRow>& thr) {
+  std::ofstream os(path);
+  os << "{\n  \"experiment\": \"E18\",\n";
+  os << "  \"replicas\": " << kReplicas << ",\n";
+  os << "  \"sync_ops\": " << kSyncOps << ",\n";
+  os << "  \"async_ops\": " << kAsyncOps << ",\n";
+  os << "  \"async_window\": " << kWindow << ",\n";
+  os << "  \"sync_latency_us\": [\n";
+  for (std::size_t i = 0; i < lat.size(); ++i) {
+    const LatencyRow& r = lat[i];
+    os << "    {\"transport\": \"" << r.transport << "\", \"op\": \"" << r.op
+       << "\", \"mean\": " << bench::Table::Num(r.mean_us, 1)
+       << ", \"p50\": " << bench::Table::Num(r.p50_us, 1)
+       << ", \"p99\": " << bench::Table::Num(r.p99_us, 1) << "}"
+       << (i + 1 < lat.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"async_throughput\": [\n";
+  for (std::size_t i = 0; i < thr.size(); ++i) {
+    const ThroughputRow& r = thr[i];
+    os << "    {\"transport\": \"" << r.transport
+       << "\", \"ops_per_sec\": " << bench::Table::Num(r.ops_per_sec, 0)
+       << ", \"wall_ms\": " << bench::Table::Num(r.wall_ms, 1)
+       << ", \"wire_frames\": " << r.frames << "}"
+       << (i + 1 < thr.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_transport.json";
+
+  bench::Banner("E18.1 — sync quorum op latency: bus vs loopback TCP");
+  std::vector<LatencyRow> lat;
+  for (bool tcp : {false, true}) {
+    auto rows = SyncLatency(tcp);
+    lat.insert(lat.end(), rows.begin(), rows.end());
+  }
+  {
+    bench::Table t({"transport", "op", "mean us", "p50 us", "p99 us"});
+    for (const LatencyRow& r : lat) {
+      t.AddRow({r.transport, r.op, bench::Table::Num(r.mean_us, 1),
+                bench::Table::Num(r.p50_us, 1),
+                bench::Table::Num(r.p99_us, 1)});
+    }
+    t.Print();
+  }
+
+  bench::Banner("E18.2 — pipelined async throughput: bus vs loopback TCP");
+  std::vector<ThroughputRow> thr;
+  for (bool tcp : {false, true}) thr.push_back(AsyncThroughput(tcp));
+  {
+    bench::Table t({"transport", "ops/s", "wall ms", "wire frames"});
+    for (const ThroughputRow& r : thr) {
+      t.AddRow({r.transport, bench::Table::Num(r.ops_per_sec, 0),
+                bench::Table::Num(r.wall_ms, 1), std::to_string(r.frames)});
+    }
+    t.Print();
+  }
+
+  // Shape checks: every section produced data, and the TCP path really
+  // used the wire (nonzero frames) while the bus did not.
+  bool ok = lat.size() == 4 && thr.size() == 2;
+  for (const LatencyRow& r : lat) ok = ok && r.mean_us > 0;
+  for (const ThroughputRow& r : thr) ok = ok && r.ops_per_sec > 0;
+  ok = ok && thr[0].frames == 0 && thr[1].frames > 0;
+
+  WriteJson(json_path, lat, thr);
+  std::cout << "\n" << (ok ? "OK" : "SHAPE CHECK FAILED") << "; wrote "
+            << json_path << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,239 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+#include "storage/crc32.hpp"
+
+namespace qcnt::net {
+
+namespace {
+
+using runtime::BatchEntry;
+
+constexpr std::uint8_t kMaxKind =
+    static_cast<std::uint8_t>(RtMessage::Kind::kImagePeek);
+
+void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounded little-endian reader over the payload. Every Get checks the
+/// remaining length and latches `ok = false` on underrun, so the decode
+/// path needs exactly one error check at the end.
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+  bool ok = true;
+
+  std::uint8_t U8() {
+    if (left < 1) return Fail();
+    --left;
+    return *p++;
+  }
+  std::uint32_t U32() {
+    if (left < 4) return Fail();
+    const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                            static_cast<std::uint32_t>(p[1]) << 8 |
+                            static_cast<std::uint32_t>(p[2]) << 16 |
+                            static_cast<std::uint32_t>(p[3]) << 24;
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t U64() {
+    const std::uint64_t lo = U32();
+    const std::uint64_t hi = U32();
+    return lo | hi << 32;
+  }
+  std::string String() {
+    const std::uint32_t n = U32();
+    if (!ok || left < n) {
+      Fail();
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return s;
+  }
+
+ private:
+  std::uint8_t Fail() {
+    ok = false;
+    left = 0;
+    return 0;
+  }
+};
+
+std::uint32_t ReadHeaderU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+const char* ToString(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kNeedMore:
+      return "need-more";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadVersion:
+      return "bad-version";
+    case DecodeStatus::kOversized:
+      return "oversized";
+    case DecodeStatus::kCrcMismatch:
+      return "crc-mismatch";
+    case DecodeStatus::kUnknownKind:
+      return "unknown-kind";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(const WireFrame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t header_at = out.size();
+  PutU32(out, kFrameMagic);
+  PutU8(out, kWireVersion);
+  PutU32(out, 0);  // payload_len, patched below
+  PutU32(out, 0);  // crc32, patched below
+
+  const std::size_t payload_at = out.size();
+  PutU32(out, frame.from);
+  PutU32(out, frame.to);
+  PutU8(out, static_cast<std::uint8_t>(frame.msg.kind));
+  PutU64(out, frame.msg.op);
+  PutU64(out, frame.msg.version);
+  PutU64(out, static_cast<std::uint64_t>(frame.msg.value));
+  PutU64(out, frame.msg.generation);
+  PutU32(out, frame.msg.config_id);
+  PutString(out, frame.msg.key);
+  PutU32(out, static_cast<std::uint32_t>(frame.msg.batch.size()));
+  for (const BatchEntry& e : frame.msg.batch) {
+    PutU64(out, e.op);
+    PutU64(out, e.version);
+    PutU64(out, static_cast<std::uint64_t>(e.value));
+    PutString(out, e.key);
+  }
+
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - payload_at);
+  const std::uint32_t crc =
+      storage::Crc32(out.data() + payload_at, payload_len);
+  std::uint8_t* header = out.data() + header_at;
+  header[5] = static_cast<std::uint8_t>(payload_len);
+  header[6] = static_cast<std::uint8_t>(payload_len >> 8);
+  header[7] = static_cast<std::uint8_t>(payload_len >> 16);
+  header[8] = static_cast<std::uint8_t>(payload_len >> 24);
+  header[9] = static_cast<std::uint8_t>(crc);
+  header[10] = static_cast<std::uint8_t>(crc >> 8);
+  header[11] = static_cast<std::uint8_t>(crc >> 16);
+  header[12] = static_cast<std::uint8_t>(crc >> 24);
+}
+
+DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size,
+                         std::size_t max_frame_bytes) {
+  DecodeResult r;
+  if (size < kFrameHeaderBytes) {
+    // Whatever bytes are present, validate them as far as they go: a
+    // stream that opens with a wrong magic is corrupt now, not after
+    // more bytes arrive.
+    for (std::size_t i = 0; i < size && i < 4; ++i) {
+      if (data[i] != static_cast<std::uint8_t>(kFrameMagic >> (8 * i))) {
+        r.status = DecodeStatus::kBadMagic;
+        return r;
+      }
+    }
+    if (size >= 5 && data[4] != kWireVersion) {
+      r.status = DecodeStatus::kBadVersion;
+      return r;
+    }
+    r.status = DecodeStatus::kNeedMore;
+    return r;
+  }
+  if (ReadHeaderU32(data) != kFrameMagic) {
+    r.status = DecodeStatus::kBadMagic;
+    return r;
+  }
+  if (data[4] != kWireVersion) {
+    r.status = DecodeStatus::kBadVersion;
+    return r;
+  }
+  const std::uint32_t payload_len = ReadHeaderU32(data + 5);
+  if (payload_len > max_frame_bytes) {
+    r.status = DecodeStatus::kOversized;
+    return r;
+  }
+  if (size < kFrameHeaderBytes + payload_len) {
+    r.status = DecodeStatus::kNeedMore;
+    return r;
+  }
+  const std::uint32_t want_crc = ReadHeaderU32(data + 9);
+  const std::uint8_t* payload = data + kFrameHeaderBytes;
+  if (storage::Crc32(payload, payload_len) != want_crc) {
+    r.status = DecodeStatus::kCrcMismatch;
+    return r;
+  }
+
+  Reader in{payload, payload_len};
+  r.frame.from = in.U32();
+  r.frame.to = in.U32();
+  const std::uint8_t kind = in.U8();
+  if (in.ok && kind > kMaxKind) {
+    r.status = DecodeStatus::kUnknownKind;
+    return r;
+  }
+  r.frame.msg.kind = static_cast<RtMessage::Kind>(kind);
+  r.frame.msg.op = in.U64();
+  r.frame.msg.version = in.U64();
+  r.frame.msg.value = static_cast<std::int64_t>(in.U64());
+  r.frame.msg.generation = in.U64();
+  r.frame.msg.config_id = in.U32();
+  r.frame.msg.key = in.String();
+  const std::uint32_t batch_count = in.U32();
+  // Entries are ≥ 28 bytes each; bounding the reserve by what the payload
+  // could actually hold keeps a corrupt count from allocating gigabytes.
+  if (in.ok && batch_count <= in.left / 28) {
+    r.frame.msg.batch.reserve(batch_count);
+  }
+  for (std::uint32_t i = 0; in.ok && i < batch_count; ++i) {
+    BatchEntry e;
+    e.op = in.U64();
+    e.version = in.U64();
+    e.value = static_cast<std::int64_t>(in.U64());
+    e.key = in.String();
+    r.frame.msg.batch.push_back(std::move(e));
+  }
+  if (!in.ok || in.left != 0) {
+    r.status = DecodeStatus::kMalformed;
+    r.frame = WireFrame{};
+    return r;
+  }
+  r.status = DecodeStatus::kOk;
+  r.consumed = kFrameHeaderBytes + payload_len;
+  return r;
+}
+
+}  // namespace qcnt::net

@@ -1,0 +1,26 @@
+// Typed errors of the net subsystem.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qcnt::net {
+
+/// A configuration the transport cannot honor — e.g. installing a
+/// FaultPlan on a TCP-backed store (fault injection is an in-process-Bus
+/// feature; on a real network, faults come from the network). Thrown at
+/// construction / call time so the misconfiguration is loud, never
+/// silently ignored.
+class TransportConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A socket-layer failure the transport cannot recover from by itself
+/// (bind/listen failure at construction, resolver failure).
+class TransportIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace qcnt::net

@@ -1,6 +1,6 @@
-#include "runtime/mailbox.hpp"
+#include "net/mailbox.hpp"
 
-namespace qcnt::runtime {
+namespace qcnt::net {
 
 void Mailbox::Push(Envelope e) {
   {
@@ -60,4 +60,4 @@ std::size_t Mailbox::Size() const {
   return queue_.size();
 }
 
-}  // namespace qcnt::runtime
+}  // namespace qcnt::net

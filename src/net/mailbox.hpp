@@ -1,0 +1,65 @@
+// A blocking MPSC mailbox — the receive half of every Transport.
+//
+// Lives in net (rather than runtime) because it is the delivery surface
+// shared by all transports: the in-process Bus pushes into it directly,
+// and the TCP transport's event loop pushes decoded frames into it. Node
+// code (replica servers, clients) only ever pops; where the envelope came
+// from is the transport's business.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "runtime/message.hpp"
+
+namespace qcnt::net {
+
+using runtime::Envelope;
+
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  void Push(Envelope e);
+
+  /// Block until a message arrives or the deadline passes; nullopt on
+  /// timeout or when the mailbox is closed and drained.
+  std::optional<Envelope> Pop(std::chrono::steady_clock::time_point deadline);
+
+  /// Block until at least one message is queued, then move the *entire*
+  /// queue out under a single lock acquisition. A consumer that was asleep
+  /// behind a burst wakes once and gets the whole burst instead of paying
+  /// one lock round trip per message. Empty result ⇔ closed and drained.
+  std::deque<Envelope> PopAll();
+
+  /// Non-blocking variant of PopAll (just the queue lock, no wait): moves
+  /// out whatever is queued right now, possibly nothing. The async
+  /// client's opportunistic drain between blocking waits.
+  std::deque<Envelope> TryPopAll();
+
+  /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
+  void Close();
+
+  /// Undo Close: subsequent Pushes are accepted again. A node that crashed
+  /// while the store was shutting down (Close) and is later recovered must
+  /// get a usable mailbox back, or sends to it vanish silently.
+  void Reopen();
+
+  /// Discard every queued message (fail-stop crash: the backlog dies with
+  /// the node). The mailbox stays usable for later pushes.
+  void Clear();
+
+  std::size_t Size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace qcnt::net

@@ -1,0 +1,558 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace qcnt::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// Compact an inbound buffer once the decoded prefix exceeds this.
+constexpr std::size_t kCompactThreshold = 1 << 20;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  QCNT_CHECK(flags >= 0);
+  QCNT_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void SetNoDelay(int fd) {
+  // Quorum round trips are latency-bound small frames; Nagle would
+  // serialize them behind delayed acks.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in ResolveOrThrow(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportIoError("tcp transport: not a numeric IPv4 address: " +
+                           ep.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options,
+                           std::vector<NodeId> local_nodes)
+    : options_(std::move(options)),
+      universe_(options_.universe),
+      local_(universe_.size(), 0),
+      mailboxes_(universe_.size()),
+      up_(universe_.size()),
+      crash_hooks_(universe_.size()),
+      peers_(universe_.size()),
+      retarget_(universe_.size(), 0) {
+  QCNT_CHECK_MSG(!universe_.empty(), "tcp transport: empty universe");
+  QCNT_CHECK_MSG(!local_nodes.empty(), "tcp transport: no hosted nodes");
+  for (std::size_t i = 0; i < universe_.size(); ++i) up_[i].store(true);
+  for (NodeId node : local_nodes) {
+    QCNT_CHECK(node < universe_.size());
+    QCNT_CHECK_MSG(!local_[node], "tcp transport: duplicate hosted node");
+    local_[node] = 1;
+    mailboxes_[node] = std::make_unique<Mailbox>();
+  }
+
+  QCNT_CHECK(::pipe(wake_pipe_) == 0);
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+
+  // Bind every hosted node's listener before the loop (and before the
+  // constructor returns), so a single-process universe can immediately
+  // connect node-to-node and a multi-process replica is reachable the
+  // moment its constructor finishes.
+  for (NodeId node : local_nodes) {
+    sockaddr_in addr = ResolveOrThrow(universe_[node]);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw TransportIoError("tcp transport: socket() failed");
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const int err = errno;
+      ::close(fd);
+      throw TransportIoError("tcp transport: cannot listen on " +
+                             universe_[node].host + ":" +
+                             std::to_string(universe_[node].port) +
+                             " for node " + std::to_string(node) + ": " +
+                             std::strerror(err));
+    }
+    SetNonBlocking(fd);
+    // Resolve an ephemeral bind back into the universe table.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    QCNT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+               0);
+    universe_[node].port = ntohs(bound.sin_port);
+    listen_fds_.push_back(fd);
+    listen_nodes_.push_back(node);
+  }
+
+  loop_ = std::thread([this] { Loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stop_.store(true);
+  WakeLoop();
+  if (loop_.joinable()) loop_.join();
+  for (int fd : listen_fds_) ::close(fd);
+  for (Peer& p : peers_) CloseFd(p.fd);
+  for (Inbound& in : inbound_) CloseFd(in.fd);
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+}
+
+Mailbox& TcpTransport::MailboxOf(NodeId node) {
+  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK_MSG(local_[node],
+                 "tcp transport: mailbox of a node hosted elsewhere");
+  return *mailboxes_[node];
+}
+
+bool TcpTransport::IsLocal(NodeId node) const {
+  return node < local_.size() && local_[node] != 0;
+}
+
+bool TcpTransport::IsUp(NodeId node) const {
+  QCNT_CHECK(node < universe_.size());
+  // No failure detector for remote nodes: quorum timeouts are the
+  // detector, exactly as in the paper's failure model.
+  if (!local_[node]) return true;
+  return up_[node].load();
+}
+
+bool TcpTransport::Send(NodeId from, NodeId to, RtMessage msg) {
+  QCNT_CHECK(from < universe_.size() && to < universe_.size());
+  QCNT_CHECK_MSG(local_[from], "tcp transport: send from a remote node");
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  if (!up_[from].load()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (from == to) {
+    // Degenerate self-send: no wire involved (mirrors the Bus).
+    if (!up_[to].load()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    mailboxes_[to]->Push(Envelope{from, std::move(msg)});
+    return true;
+  }
+  // Every cross-node message rides the wire, even when the destination
+  // is hosted by this same instance: a loopback universe then measures
+  // (and tests) the genuine codec + socket path.
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (universe_[to].port == 0) {
+      ++stats_.unroutable_drops;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Peer& peer = peers_[to];
+    if (peer.outbuf.size() - peer.out_off >= options_.max_write_queue_bytes) {
+      ++stats_.backpressure_drops;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const bool was_empty = peer.outbuf.size() == peer.out_off;
+    EncodeFrame(WireFrame{from, to, std::move(msg)}, peer.outbuf);
+    ++stats_.frames_sent;
+    // The loop needs a nudge when this peer had nothing pending (it may
+    // be sleeping with no interest in the peer's fd) — not on every
+    // frame of a burst.
+    wake = was_empty || peer.state != PeerState::kConnected;
+  }
+  if (wake) WakeLoop();
+  return true;
+}
+
+void TcpTransport::Crash(NodeId node) {
+  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK_MSG(local_[node], "tcp transport: crash of a remote node");
+  up_[node].store(false);
+  // Same ordering as Bus::Crash: mark down, drain the backlog, then let
+  // the node kill its internal stages.
+  mailboxes_[node]->Clear();
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hook = crash_hooks_[node];
+  }
+  if (hook) hook();
+}
+
+void TcpTransport::Recover(NodeId node) {
+  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK_MSG(local_[node], "tcp transport: recover of a remote node");
+  mailboxes_[node]->Reopen();
+  up_[node].store(true);
+}
+
+void TcpTransport::SetCrashHook(NodeId node, std::function<void()> hook) {
+  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK_MSG(local_[node], "tcp transport: crash hook on a remote node");
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  crash_hooks_[node] = std::move(hook);
+}
+
+void TcpTransport::CloseAll() {
+  for (std::size_t i = 0; i < mailboxes_.size(); ++i) {
+    if (mailboxes_[i]) mailboxes_[i]->Close();
+  }
+}
+
+Endpoint TcpTransport::ActualEndpoint(NodeId node) const {
+  QCNT_CHECK(node < universe_.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  return universe_[node];
+}
+
+void TcpTransport::SetPeerEndpoint(NodeId node, Endpoint endpoint) {
+  QCNT_CHECK(node < universe_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    universe_[node] = std::move(endpoint);
+    // The loop owns every fd: flag the peer and let the loop tear the
+    // old connection down and redial (buffered frames carry over).
+    retarget_[node] = 1;
+  }
+  WakeLoop();
+}
+
+TcpStats TcpTransport::WireStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// --- Event loop -----------------------------------------------------------
+
+void TcpTransport::WakeLoop() {
+  const char byte = 1;
+  // Nonblocking: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+void TcpTransport::CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void TcpTransport::StartConnect(Peer& peer, NodeId node) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(universe_[node].port);
+  if (::inet_pton(AF_INET, universe_[node].host.c_str(), &addr.sin_addr) !=
+      1) {
+    FailPeer(peer, /*count_attempt=*/true);
+    return;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FailPeer(peer, /*count_attempt=*/true);
+    return;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  ++stats_.reconnect_attempts;
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc == 0) {
+    peer.fd = fd;
+    peer.state = PeerState::kConnected;
+    peer.failures = 0;
+    ++stats_.connects;
+    FlushPeer(peer);
+  } else if (errno == EINPROGRESS) {
+    peer.fd = fd;
+    peer.state = PeerState::kConnecting;
+  } else {
+    ::close(fd);
+    FailPeer(peer, /*count_attempt=*/false);  // already counted above
+  }
+}
+
+void TcpTransport::FailPeer(Peer& peer, bool count_attempt) {
+  if (count_attempt) ++stats_.reconnect_attempts;
+  CloseFd(peer.fd);
+  peer.state = PeerState::kBackoff;
+  peer.failures = std::min(peer.failures + 1, 20u);
+  auto backoff = options_.reconnect_base * (1u << std::min(peer.failures - 1,
+                                                           10u));
+  backoff = std::min(backoff,
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         options_.reconnect_max));
+  peer.retry_at = std::chrono::steady_clock::now() + backoff;
+}
+
+void TcpTransport::FlushPeer(Peer& peer) {
+  while (peer.out_off < peer.outbuf.size()) {
+    const ssize_t n =
+        ::send(peer.fd, peer.outbuf.data() + peer.out_off,
+               peer.outbuf.size() - peer.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      peer.out_off += static_cast<std::size_t>(n);
+      stats_.bytes_sent += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    FailPeer(peer, /*count_attempt=*/false);
+    return;
+  }
+  // Fully drained: recycle the buffer — capacity kept, so a steady-state
+  // sender appends frames into already-allocated memory.
+  peer.outbuf.clear();
+  peer.out_off = 0;
+}
+
+void TcpTransport::AcceptAll(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN, or a raced-away connection
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    Inbound in;
+    in.fd = fd;
+    inbound_.push_back(std::move(in));
+  }
+}
+
+bool TcpTransport::DrainInbound(Inbound& in) {
+  for (;;) {
+    const std::size_t old = in.inbuf.size();
+    in.inbuf.resize(old + kReadChunk);
+    const ssize_t n = ::recv(in.fd, in.inbuf.data() + old, kReadChunk, 0);
+    if (n < 0) {
+      in.inbuf.resize(old);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    if (n == 0) {
+      in.inbuf.resize(old);
+      // Peer closed. Any complete frames already buffered were decoded
+      // below on earlier iterations; a partial tail is a truncated frame
+      // and dies with the connection.
+      return false;
+    }
+    in.inbuf.resize(old + static_cast<std::size_t>(n));
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) < kReadChunk) break;
+  }
+  // Decode every complete frame in the unconsumed region.
+  for (;;) {
+    DecodeResult r =
+        DecodeFrame(in.inbuf.data() + in.in_off, in.inbuf.size() - in.in_off,
+                    options_.max_frame_bytes);
+    if (r.status == DecodeStatus::kOk) {
+      ++stats_.frames_received;
+      in.in_off += r.consumed;
+      DispatchFrame(std::move(r.frame));
+      continue;
+    }
+    if (r.status == DecodeStatus::kNeedMore) break;
+    // Typed decode error: the stream cannot be resynchronized — drop the
+    // connection (the sender will reconnect and retransmit at the quorum
+    // layer's pace).
+    ++stats_.decode_errors;
+    return false;
+  }
+  if (in.in_off == in.inbuf.size()) {
+    in.inbuf.clear();
+    in.in_off = 0;
+  } else if (in.in_off > kCompactThreshold) {
+    in.inbuf.erase(in.inbuf.begin(),
+                   in.inbuf.begin() + static_cast<std::ptrdiff_t>(in.in_off));
+    in.in_off = 0;
+  }
+  return true;
+}
+
+void TcpTransport::DispatchFrame(WireFrame frame) {
+  if (frame.to >= universe_.size() || !local_[frame.to]) {
+    // Misrouted — a peer table disagreement. Drop; never a crash.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Up-check at dispatch time, exactly the Bus's straggler rule: a frame
+  // in flight across a crash dies unless the node recovered first.
+  if (!up_[frame.to].load()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  mailboxes_[frame.to]->Push(Envelope{frame.from, std::move(frame.msg)});
+}
+
+std::chrono::steady_clock::time_point TcpTransport::NextRetryDeadline()
+    const {
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  for (const Peer& peer : peers_) {
+    if (peer.state == PeerState::kBackoff) {
+      deadline = std::min(deadline, peer.retry_at);
+    }
+  }
+  return deadline;
+}
+
+void TcpTransport::Loop() {
+  std::vector<pollfd> fds;
+  // Parallel map from fds index to what it is: listener i, peer node, or
+  // inbound index (rebuilt each iteration; sizes are small — ≤64 nodes).
+  enum class FdKind { kWake, kListen, kPeer, kInbound };
+  struct FdRef {
+    FdKind kind;
+    std::size_t index;
+  };
+  std::vector<FdRef> refs;
+
+  for (;;) {
+    if (stop_.load()) return;
+    fds.clear();
+    refs.clear();
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    refs.push_back(FdRef{FdKind::kWake, 0});
+    for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
+      fds.push_back(pollfd{listen_fds_[i], POLLIN, 0});
+      refs.push_back(FdRef{FdKind::kListen, i});
+    }
+
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Apply pending retargets first: close the stale connection, then
+      // fall through to the normal "pending traffic → connect" path.
+      for (std::size_t node = 0; node < retarget_.size(); ++node) {
+        if (!retarget_[node]) continue;
+        retarget_[node] = 0;
+        Peer& peer = peers_[node];
+        CloseFd(peer.fd);
+        peer.state = PeerState::kIdle;
+        peer.failures = 0;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t node = 0; node < peers_.size(); ++node) {
+        Peer& peer = peers_[node];
+        const bool pending = peer.out_off < peer.outbuf.size();
+        if (peer.state == PeerState::kBackoff && now >= peer.retry_at) {
+          peer.state = PeerState::kIdle;
+        }
+        if (peer.state == PeerState::kIdle && pending &&
+            universe_[node].port != 0) {
+          StartConnect(peer, static_cast<NodeId>(node));
+        }
+        if (peer.state == PeerState::kConnected && pending) {
+          FlushPeer(peer);
+        }
+        short events = 0;
+        switch (peer.state) {
+          case PeerState::kConnecting:
+            events = POLLOUT;
+            break;
+          case PeerState::kConnected:
+            events = POLLIN;  // EOF detection; peers never send on it
+            if (peer.out_off < peer.outbuf.size()) events |= POLLOUT;
+            break;
+          case PeerState::kIdle:
+          case PeerState::kBackoff:
+            break;
+        }
+        if (events != 0 && peer.fd >= 0) {
+          fds.push_back(pollfd{peer.fd, events, 0});
+          refs.push_back(FdRef{FdKind::kPeer, node});
+        }
+      }
+      for (std::size_t i = 0; i < inbound_.size(); ++i) {
+        fds.push_back(pollfd{inbound_[i].fd, POLLIN, 0});
+        refs.push_back(FdRef{FdKind::kInbound, i});
+      }
+      const auto retry = NextRetryDeadline();
+      if (retry != std::chrono::steady_clock::time_point::max()) {
+        const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+            retry - std::chrono::steady_clock::now());
+        timeout_ms = std::max<int>(0, static_cast<int>(until.count()) + 1);
+      }
+    }
+
+    ::poll(fds.data(), fds.size(), timeout_ms);
+    if (stop_.load()) return;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      switch (refs[i].kind) {
+        case FdKind::kWake: {
+          char buf[256];
+          while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+          }
+          break;
+        }
+        case FdKind::kListen:
+          AcceptAll(listen_fds_[refs[i].index]);
+          break;
+        case FdKind::kPeer: {
+          Peer& peer = peers_[refs[i].index];
+          if (peer.fd != fds[i].fd) break;  // retargeted meanwhile
+          if (peer.state == PeerState::kConnecting) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 || err != 0) {
+              FailPeer(peer, /*count_attempt=*/false);
+            } else {
+              peer.state = PeerState::kConnected;
+              peer.failures = 0;
+              ++stats_.connects;
+              FlushPeer(peer);
+            }
+            break;
+          }
+          if ((fds[i].revents & POLLIN) != 0) {
+            // Outbound connections are write-only at the frame level;
+            // readable means EOF (peer process died/restarted) or stray
+            // bytes we discard.
+            char scratch[1024];
+            const ssize_t n = ::recv(peer.fd, scratch, sizeof(scratch), 0);
+            if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+              FailPeer(peer, /*count_attempt=*/false);
+              break;
+            }
+          }
+          if ((fds[i].revents & (POLLERR | POLLHUP)) != 0) {
+            FailPeer(peer, /*count_attempt=*/false);
+            break;
+          }
+          if ((fds[i].revents & POLLOUT) != 0) FlushPeer(peer);
+          break;
+        }
+        case FdKind::kInbound: {
+          Inbound& in = inbound_[refs[i].index];
+          if (in.fd != fds[i].fd) break;
+          if (!DrainInbound(in)) CloseFd(in.fd);
+          break;
+        }
+      }
+    }
+    // Compact closed inbound connections outside the fd walk.
+    inbound_.erase(std::remove_if(inbound_.begin(), inbound_.end(),
+                                  [](const Inbound& in) { return in.fd < 0; }),
+                   inbound_.end());
+  }
+}
+
+}  // namespace qcnt::net

@@ -1,0 +1,202 @@
+// TCP transport: the runtime's messages over real sockets.
+//
+// One TcpTransport instance serves one OS process and hosts a subset of
+// the node universe (one replica, or a handful of clients, or — for the
+// single-process loopback benchmark — every node). Each hosted node gets
+// a listening socket; every frame carries its own (from, to) routing, so
+// one connection per *destination process-port* is shared by all local
+// senders.
+//
+// Architecture (DESIGN.md §10):
+//
+//   Send(from, to, m)                    event-loop thread
+//   ───────────────────┐                 ┌──────────────────────────────
+//   encode frame onto  │   wake pipe     │ poll() over listeners, peer
+//   peer's write queue ├────────────────▶│ connections, wake pipe
+//   (reusable buffer)  │                 │  · flush write queues
+//   ───────────────────┘                 │  · read + decode frames,
+//                                        │    Push into local mailboxes
+//                                        │  · run per-peer reconnect
+//                                        │    state machines (backoff)
+//
+// Per-peer connection state machine:
+//
+//   kIdle ──send──▶ kConnecting ──writable+SO_ERROR==0──▶ kConnected
+//     ▲                  │ error                              │ EOF/error
+//     └── queue empty ── kBackoff ◀───────────────────────────┘
+//                          │ retry_at elapsed (exponential, capped)
+//                          └────────▶ kConnecting
+//
+// Delivery semantics match the Transport contract: at-most-once, FIFO
+// per peer (one ordered byte stream), up-check at dispatch time (a frame
+// for a crashed local node is dropped; one that arrives after Recover is
+// delivered — the same straggler rule the Bus documents). Sends while a
+// peer is unreachable are buffered up to max_write_queue_bytes, then
+// dropped and counted: the quorum layer's retries own end-to-end
+// delivery, the transport only owns best-effort ordered streams.
+//
+// Fault injection (FaultPlan, partitions) is deliberately absent — that
+// is the in-process Bus's job; on TCP, the network itself is the fault
+// injector. Configuring faults on a TCP-backed store throws
+// TransportConfigError (see store.cpp).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/error.hpp"
+#include "net/transport.hpp"
+
+namespace qcnt::net {
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  /// 0 means: for a hosted node, "bind an ephemeral port" (read the
+  /// result back via ActualEndpoint); for a remote node, "not yet known"
+  /// (supply it via SetPeerEndpoint before traffic can flow).
+  std::uint16_t port = 0;
+};
+
+struct TcpTransportOptions {
+  /// Endpoint per node id; index == NodeId. Fixed-port deployments
+  /// (multi-process) assign port_base + id; single-process universes may
+  /// leave every port 0 and let the kernel pick.
+  std::vector<Endpoint> universe;
+  /// Reconnect backoff: base doubles per consecutive failure, capped.
+  std::chrono::milliseconds reconnect_base{5};
+  std::chrono::milliseconds reconnect_max{500};
+  /// Decoder ceiling per frame (see codec.hpp).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Cap on bytes buffered toward one unreachable peer before new sends
+  /// are dropped (and counted) instead of growing without bound.
+  std::size_t max_write_queue_bytes = 4u << 20;
+};
+
+/// Wire-level counters (what the sockets actually did), alongside the
+/// Transport-level sent/dropped totals.
+struct TcpStats {
+  std::uint64_t frames_sent = 0;      // frames encoded onto a peer stream
+  std::uint64_t frames_received = 0;  // frames decoded and dispatched
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t connects = 0;         // successful outbound connects
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t decode_errors = 0;    // connections dropped on bad frames
+  std::uint64_t backpressure_drops = 0;
+  std::uint64_t unroutable_drops = 0;  // peer endpoint unknown (port 0)
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds one listener per node in `local_nodes` and starts the event
+  /// loop. Throws TransportIoError when a bind/listen fails.
+  TcpTransport(TcpTransportOptions options, std::vector<NodeId> local_nodes);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // --- Transport ----------------------------------------------------------
+  std::size_t NodeCount() const override { return universe_.size(); }
+  Mailbox& MailboxOf(NodeId node) override;
+  bool Send(NodeId from, NodeId to, RtMessage msg) override;
+  void Crash(NodeId node) override;
+  void Recover(NodeId node) override;
+  bool IsUp(NodeId node) const override;
+  void SetCrashHook(NodeId node, std::function<void()> hook) override;
+  void CloseAll() override;
+  std::uint64_t MessagesSent() const override { return sent_.load(); }
+  std::uint64_t MessagesDropped() const override { return dropped_.load(); }
+  const char* Name() const override { return "tcp"; }
+
+  // --- TCP-specific -------------------------------------------------------
+
+  /// The endpoint a node is actually reachable at (ephemeral ports
+  /// resolved for hosted nodes).
+  Endpoint ActualEndpoint(NodeId node) const;
+
+  /// Re-target a remote node (a restarted peer that came back on a new
+  /// port, or an endpoint that was unknown at construction). Drops the
+  /// current connection to the peer, if any; buffered frames carry over
+  /// and flush after the next connect.
+  void SetPeerEndpoint(NodeId node, Endpoint endpoint);
+
+  bool IsLocal(NodeId node) const;
+
+  TcpStats WireStats() const;
+
+ private:
+  enum class PeerState : std::uint8_t {
+    kIdle,        // no connection, nothing queued
+    kConnecting,  // nonblocking connect in flight
+    kConnected,
+    kBackoff,     // connect failed / connection died; retry at retry_at
+  };
+
+  /// Outbound connection state machine toward one remote node.
+  struct Peer {
+    PeerState state = PeerState::kIdle;
+    int fd = -1;
+    /// Pending encoded frames; [out_off, size) is unsent. The vector is
+    /// reused across flushes (cleared, capacity kept), so a steady-state
+    /// sender allocates nothing per message.
+    std::vector<std::uint8_t> outbuf;
+    std::size_t out_off = 0;
+    std::uint32_t failures = 0;  // consecutive, drives the backoff
+    std::chrono::steady_clock::time_point retry_at{};
+  };
+
+  /// One accepted inbound connection (any remote process; frames carry
+  /// their own routing, so inbound connections need no identity).
+  struct Inbound {
+    int fd = -1;
+    std::vector<std::uint8_t> inbuf;
+    std::size_t in_off = 0;  // decoded prefix, compacted periodically
+  };
+
+  void Loop();
+  void WakeLoop();
+  /// All helpers below require mu_ held (they run on the loop thread).
+  void StartConnect(Peer& peer, NodeId node);
+  void FailPeer(Peer& peer, bool count_attempt);
+  void FlushPeer(Peer& peer);
+  void AcceptAll(int listen_fd);
+  /// Read + decode everything available; false = close the connection.
+  bool DrainInbound(Inbound& in);
+  void DispatchFrame(WireFrame frame);
+  void CloseFd(int& fd);
+  std::chrono::steady_clock::time_point NextRetryDeadline() const;
+
+  TcpTransportOptions options_;
+  std::vector<Endpoint> universe_;  // mutable copy (SetPeerEndpoint)
+  std::vector<char> local_;         // 1 = hosted by this instance
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // hosted nodes only
+  std::vector<std::atomic<bool>> up_;
+
+  mutable std::mutex hooks_mu_;
+  std::vector<std::function<void()>> crash_hooks_;
+
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;  // guards peers_, inbound_, stats_, universe_
+  std::vector<Peer> peers_;  // index == destination NodeId
+  std::vector<char> retarget_;  // SetPeerEndpoint → loop handshake
+  std::vector<Inbound> inbound_;
+  TcpStats stats_;
+
+  std::vector<int> listen_fds_;        // parallel to hosted nodes
+  std::vector<NodeId> listen_nodes_;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+};
+
+}  // namespace qcnt::net

@@ -1,0 +1,83 @@
+// Transport: the message-passing substrate of the threaded runtime.
+//
+// Extracted from the in-process Bus so the same replica servers and
+// quorum clients can run over different substrates:
+//
+//   * runtime::Bus      — mailboxes + threads inside one process; the
+//                         test/fault-injection transport (FaultPlan,
+//                         partitions, deterministic chaos).
+//   * net::TcpTransport — real sockets; replicas and clients as separate
+//                         OS processes on real ports (tcp_transport.hpp).
+//
+// The contract, shared by all implementations (and pinned by
+// tests/transport_conformance_test.cpp):
+//
+//   * Send(from, to, m) is asynchronous and at-most-once. `true` means
+//     the transport accepted the message for delivery, not that it
+//     arrived; `false` means it was dropped immediately (sender or
+//     receiver down locally, unroutable peer, backpressure). End-to-end
+//     delivery is the quorum protocol's job (retries + idempotence).
+//   * Messages between a live (from, to) pair are delivered in send
+//     order (FIFO links: one mailbox per receiver in-process, one
+//     ordered byte stream per peer over TCP).
+//   * Delivery happens by Push into the receiver's Mailbox, tagged with
+//     the sender id. MailboxOf is only meaningful for nodes hosted by
+//     this transport instance (every node, for a Bus; this process's
+//     nodes, for a TcpTransport).
+//   * Crash(node) is local fail-stop: the node stops receiving, its
+//     queued backlog is discarded, and the node's crash hook runs so
+//     internal stages (shard sub-mailboxes) die atomically with it.
+//     Recover(node) restores delivery. Neither is a remote operation —
+//     crashing a *remote* process is done by killing it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/mailbox.hpp"
+#include "runtime/message.hpp"
+
+namespace qcnt::net {
+
+using runtime::NodeId;
+using runtime::RtMessage;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Size of the node-id universe (replicas + clients).
+  virtual std::size_t NodeCount() const = 0;
+
+  /// Receive queue of a node hosted by this transport instance.
+  virtual Mailbox& MailboxOf(NodeId node) = 0;
+
+  /// Deliver (or schedule) one message; see the contract above.
+  virtual bool Send(NodeId from, NodeId to, RtMessage msg) = 0;
+
+  /// Fail-stop a locally hosted node: mark it down, discard its queued
+  /// backlog, run its crash hook.
+  virtual void Crash(NodeId node) = 0;
+  /// Bring a locally hosted node back up (reopens its mailbox).
+  virtual void Recover(NodeId node) = 0;
+  /// Liveness of a locally hosted node. Remote nodes report true — a
+  /// transport has no failure detector; quorum timeouts are the detector.
+  virtual bool IsUp(NodeId node) const = 0;
+
+  /// Install a callback that Crash(node) runs after the node is marked
+  /// down and its mailbox drained (see replica_server.hpp). nullptr
+  /// removes it.
+  virtual void SetCrashHook(NodeId node, std::function<void()> hook) = 0;
+
+  /// Close every hosted mailbox (shutdown).
+  virtual void CloseAll() = 0;
+
+  /// Messages offered to Send / dropped by it, transport-wide.
+  virtual std::uint64_t MessagesSent() const = 0;
+  virtual std::uint64_t MessagesDropped() const = 0;
+
+  /// Implementation tag for logs and test output ("bus", "tcp").
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace qcnt::net

@@ -47,11 +47,11 @@ std::chrono::microseconds Since(std::chrono::steady_clock::time_point t0) {
 }
 }  // namespace
 
-AsyncQuorumClient::AsyncQuorumClient(Bus& bus, NodeId id,
+AsyncQuorumClient::AsyncQuorumClient(Transport& transport, NodeId id,
                                      std::vector<quorum::QuorumSystem> configs,
                                      std::uint32_t initial_config,
                                      Options options)
-    : bus_(&bus),
+    : transport_(&transport),
       id_(id),
       configs_(std::move(configs)),
       options_(options),
@@ -72,7 +72,7 @@ AsyncQuorumClient::~AsyncQuorumClient() = default;
 void AsyncQuorumClient::Broadcast(RtMessage m) {
   stats_.batches_sent += 1;
   stats_.batched_requests += m.batch.size();
-  for (NodeId r = 0; r < ReplicaCount(); ++r) bus_->Send(id_, r, m);
+  for (NodeId r = 0; r < ReplicaCount(); ++r) transport_->Send(id_, r, m);
 }
 
 OpFuture AsyncQuorumClient::SubmitRead(std::string key) {
@@ -152,7 +152,7 @@ bool AsyncQuorumClient::PumpOnce() {
   // flushing: each response completes ops, admits same-key successors and
   // stages follow-up write phases, so the batches flushed below coalesce
   // a whole burst of progress instead of going out one entry at a time.
-  Mailbox& mailbox = bus_->MailboxOf(id_);
+  Mailbox& mailbox = transport_->MailboxOf(id_);
   for (Envelope& e : mailbox.TryPopAll()) {
     Dispatch(e);
   }
@@ -167,7 +167,7 @@ bool AsyncQuorumClient::PumpOnce() {
     wake = std::min(
         wake, op->phase == Op::Phase::kBackoff ? op->retry_at : op->deadline);
   }
-  std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(wake);
+  std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(wake);
   const auto now = std::chrono::steady_clock::now();
   if (!e) {
     if (now < wake) {

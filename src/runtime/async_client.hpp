@@ -105,7 +105,7 @@ class AsyncQuorumClient {
     std::chrono::microseconds max_latency{0};
   };
 
-  AsyncQuorumClient(Bus& bus, NodeId id,
+  AsyncQuorumClient(Transport& transport, NodeId id,
                     std::vector<quorum::QuorumSystem> configs,
                     std::uint32_t initial_config, Options options);
 
@@ -158,7 +158,7 @@ class AsyncQuorumClient {
   void HandleTimers(std::chrono::steady_clock::time_point now);
   std::chrono::microseconds BackoffDelay(std::uint32_t attempt);
 
-  Bus* bus_;
+  Transport* transport_;
   NodeId id_;
   std::vector<quorum::QuorumSystem> configs_;
   Options options_;

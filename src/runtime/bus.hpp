@@ -34,9 +34,15 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "net/transport.hpp"
 #include "runtime/mailbox.hpp"
 
 namespace qcnt::runtime {
+
+/// The substrate abstraction the runtime is written against; the Bus is
+/// its in-process implementation, net::TcpTransport the cross-process
+/// one (see net/transport.hpp).
+using Transport = net::Transport;
 
 /// Per-link fault injection plan. Probabilities are per message; decisions
 /// are drawn from a per-link RNG seeded by (seed, from, to), so the same
@@ -78,37 +84,37 @@ struct FaultStats {
   std::uint64_t partition_drops = 0;  // messages eaten by a partition
 };
 
-class Bus {
+class Bus final : public Transport {
  public:
   explicit Bus(std::size_t nodes);
-  ~Bus();
+  ~Bus() override;
 
-  std::size_t NodeCount() const { return mailboxes_.size(); }
-  Mailbox& MailboxOf(NodeId node);
+  std::size_t NodeCount() const override { return mailboxes_.size(); }
+  Mailbox& MailboxOf(NodeId node) override;
 
   /// Deliver (or schedule) one message. Returns true when the message was
   /// delivered or handed to the fault layer for (possibly duplicated,
   /// delayed, reordered) delivery; false when it was dropped — sender or
   /// receiver down, link partitioned, or eaten by the drop dice. Callers
   /// that account for side effects (read repair) must count only true.
-  bool Send(NodeId from, NodeId to, RtMessage msg);
+  bool Send(NodeId from, NodeId to, RtMessage msg) override;
 
   /// Fail-stop: mark the node down and drain its mailbox, so messages
   /// queued before the crash are not processed afterward.
-  void Crash(NodeId node);
+  void Crash(NodeId node) override;
   /// Bring the node back up. Also reopens the node's mailbox: a crash that
   /// raced with CloseAll (shutdown ordering) leaves the mailbox closed, and
   /// without reopening it every post-recovery send would be dropped on the
   /// mailbox floor while the node counts as "up".
-  void Recover(NodeId node);
-  bool IsUp(NodeId node) const { return up_[node].load(); }
+  void Recover(NodeId node) override;
+  bool IsUp(NodeId node) const override { return up_[node].load(); }
 
   /// Install a callback that Crash(node) runs after the node is marked
   /// down and its bus mailbox drained. A sharded replica clears its shard
   /// sub-mailboxes (and aborts any cross-shard barrier) here, so the whole
   /// replica fail-stops atomically: once Crash returns, no shard will
   /// answer a pre-crash message. Pass nullptr to remove.
-  void SetCrashHook(NodeId node, std::function<void()> hook);
+  void SetCrashHook(NodeId node, std::function<void()> hook) override;
 
   // --- Fault injection -----------------------------------------------------
 
@@ -138,11 +144,13 @@ class Bus {
 
   FaultStats InjectedFaults() const;
 
-  std::uint64_t MessagesSent() const { return sent_.load(); }
-  std::uint64_t MessagesDropped() const { return dropped_.load(); }
+  std::uint64_t MessagesSent() const override { return sent_.load(); }
+  std::uint64_t MessagesDropped() const override { return dropped_.load(); }
+
+  const char* Name() const override { return "bus"; }
 
   /// Close every mailbox (shutdown).
-  void CloseAll();
+  void CloseAll() override;
 
  private:
   struct HeldMessage {

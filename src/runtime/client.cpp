@@ -31,10 +31,10 @@ const char* ToString(ClientStatus status) {
   return "unknown";
 }
 
-QuorumClient::QuorumClient(Bus& bus, NodeId id,
+QuorumClient::QuorumClient(Transport& transport, NodeId id,
                            std::vector<quorum::QuorumSystem> configs,
                            std::uint32_t initial_config, Options options)
-    : bus_(&bus),
+    : transport_(&transport),
       id_(id),
       configs_(std::move(configs)),
       options_(options),
@@ -48,13 +48,14 @@ QuorumClient::QuorumClient(Bus& bus, NodeId id,
   QCNT_CHECK(options_.max_attempts >= 1);
 }
 
-QuorumClient::QuorumClient(Bus& bus, NodeId id,
+QuorumClient::QuorumClient(Transport& transport, NodeId id,
                            std::vector<quorum::QuorumSystem> configs,
                            std::uint32_t initial_config)
-    : QuorumClient(bus, id, std::move(configs), initial_config, Options{}) {}
+    : QuorumClient(transport, id, std::move(configs), initial_config,
+                   Options{}) {}
 
 void QuorumClient::BroadcastToReplicas(const RtMessage& m) {
-  for (NodeId r = 0; r < ReplicaCount(); ++r) bus_->Send(id_, r, m);
+  for (NodeId r = 0; r < ReplicaCount(); ++r) transport_->Send(id_, r, m);
 }
 
 QuorumClient::ReadPhase QuorumClient::RunReadPhase(
@@ -72,7 +73,7 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
   std::uint64_t responded = 0;
   std::array<std::uint64_t, 64> versions{};
   while (!phase.ok) {
-    std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+    std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
     if (!e) {
       // A blocking Pop returns early only when the mailbox closed: the
       // store is shutting down and no response will ever arrive.
@@ -137,7 +138,7 @@ void QuorumClient::MaybeRepair(const std::string& key, std::uint64_t op,
     // Count only repairs the bus accepted: a send the bus dropped
     // (crashed or partitioned replica) repaired nothing, and chaos-test
     // accounting relies on this counter being trustworthy.
-    if (bus_->Send(id_, r, repair)) ++repairs_issued_;
+    if (transport_->Send(id_, r, repair)) ++repairs_issued_;
   }
 }
 
@@ -224,7 +225,7 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
     std::uint64_t acked = 0;
     bool shutdown = false, quorum = true;
     while (!configs_[phase.best_config].has_write(acked)) {
-      std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+      std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
       if (!e) {
         shutdown = std::chrono::steady_clock::now() < deadline;
         quorum = false;
@@ -295,7 +296,7 @@ ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
     bool shutdown = false, quorum = true;
     while (!(configs_[target].has_write(data_acked) &&
              configs_[phase.best_config].has_write(cfg_acked))) {
-      std::optional<Envelope> e = bus_->MailboxOf(id_).Pop(deadline);
+      std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
       if (!e) {
         shutdown = std::chrono::steady_clock::now() < deadline;
         quorum = false;

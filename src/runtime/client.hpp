@@ -82,10 +82,10 @@ class QuorumClient {
   /// `configs` is the static table of installable configurations (shared
   /// with every client); initial_config is in force at generation 0.
   /// Replicas are nodes [0, configs[...].n); this client is node `id`.
-  QuorumClient(Bus& bus, NodeId id,
+  QuorumClient(Transport& transport, NodeId id,
                std::vector<quorum::QuorumSystem> configs,
                std::uint32_t initial_config, Options options);
-  QuorumClient(Bus& bus, NodeId id,
+  QuorumClient(Transport& transport, NodeId id,
                std::vector<quorum::QuorumSystem> configs,
                std::uint32_t initial_config);
 
@@ -138,7 +138,7 @@ class QuorumClient {
   /// Sleep the jittered exponential backoff before attempt + 1.
   void Backoff(std::size_t attempt);
 
-  Bus* bus_;
+  Transport* transport_;
   NodeId id_;
   std::vector<quorum::QuorumSystem> configs_;
   Options options_;

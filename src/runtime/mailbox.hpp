@@ -1,57 +1,12 @@
-// A blocking MPSC mailbox.
+// Compatibility shim: Mailbox moved to src/net (it is the delivery
+// surface of every Transport, not a runtime-only detail). Existing
+// runtime code and tests keep including and naming it from here.
 #pragma once
 
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <optional>
-
-#include "runtime/message.hpp"
+#include "net/mailbox.hpp"
 
 namespace qcnt::runtime {
 
-class Mailbox {
- public:
-  Mailbox() = default;
-  Mailbox(const Mailbox&) = delete;
-  Mailbox& operator=(const Mailbox&) = delete;
-
-  void Push(Envelope e);
-
-  /// Block until a message arrives or the deadline passes; nullopt on
-  /// timeout or when the mailbox is closed and drained.
-  std::optional<Envelope> Pop(std::chrono::steady_clock::time_point deadline);
-
-  /// Block until at least one message is queued, then move the *entire*
-  /// queue out under a single lock acquisition. A consumer that was asleep
-  /// behind a burst wakes once and gets the whole burst instead of paying
-  /// one lock round trip per message. Empty result ⇔ closed and drained.
-  std::deque<Envelope> PopAll();
-
-  /// Non-blocking variant of PopAll (just the queue lock, no wait): moves
-  /// out whatever is queued right now, possibly nothing. The async
-  /// client's opportunistic drain between blocking waits.
-  std::deque<Envelope> TryPopAll();
-
-  /// Wake all waiters; subsequent Pops drain the queue then return nullopt.
-  void Close();
-
-  /// Undo Close: subsequent Pushes are accepted again. A node that crashed
-  /// while the store was shutting down (Close) and is later recovered must
-  /// get a usable mailbox back, or sends to it vanish silently.
-  void Reopen();
-
-  /// Discard every queued message (fail-stop crash: the backlog dies with
-  /// the node). The mailbox stays usable for later pushes.
-  void Clear();
-
-  std::size_t Size() const;
-
- private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Envelope> queue_;
-  bool closed_ = false;
-};
+using net::Mailbox;
 
 }  // namespace qcnt::runtime

@@ -7,15 +7,16 @@
 
 namespace qcnt::runtime {
 
-ReplicaServer::ReplicaServer(Bus& bus, NodeId id)
-    : ReplicaServer(bus, id, 1, [](std::size_t) {
+ReplicaServer::ReplicaServer(Transport& transport, NodeId id)
+    : ReplicaServer(transport, id, 1, [](std::size_t) {
         return storage::MakeMemoryBackend();
       }) {}
 
-ReplicaServer::ReplicaServer(Bus& bus, NodeId id, std::size_t shards,
+ReplicaServer::ReplicaServer(Transport& transport, NodeId id,
+                             const std::size_t shards,
                              const BackendFactory& make_backend,
                              bool record_history)
-    : bus_(&bus), id_(id), record_history_(record_history) {
+    : transport_(&transport), id_(id), record_history_(record_history) {
   QCNT_CHECK(shards >= 1);
   shards_.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -26,13 +27,13 @@ ReplicaServer::ReplicaServer(Bus& bus, NodeId id, std::size_t shards,
   }
   // The hook makes Bus::Crash atomic across shards: it drains every shard
   // sub-mailbox and aborts a pending config barrier, inside Crash itself.
-  bus_->SetCrashHook(id_, [this] { OnBusCrash(); });
+  transport_->SetCrashHook(id_, [this] { OnBusCrash(); });
   Start();
 }
 
 ReplicaServer::~ReplicaServer() {
   Shutdown();
-  bus_->SetCrashHook(id_, nullptr);
+  transport_->SetCrashHook(id_, nullptr);
 }
 
 void ReplicaServer::Start() {
@@ -57,7 +58,7 @@ void ReplicaServer::Shutdown() {
   // forwards the shutdown to every shard before exiting.
   RtMessage m;
   m.kind = RtMessage::Kind::kShutdown;
-  bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
+  transport_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
   thread_.join();
   thread_ = std::thread();
   for (auto& sh : shards_) {
@@ -117,7 +118,7 @@ ReplicaSnapshot ReplicaServer::Peek() {
     m.generation = epoch;
     // Push directly (not Bus::Send): peeking is an observer's side channel
     // and must work even on a bus-partitioned node.
-    bus_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
+    transport_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
   };
   push_request();
   while (peek_served_ < shards_.size()) {
@@ -190,7 +191,7 @@ BatchStats ReplicaServer::BatchStats() const {
 
 void ReplicaServer::SingleLoop() {
   Shard& sh = *shards_[0];
-  Mailbox& mailbox = bus_->MailboxOf(id_);
+  Mailbox& mailbox = transport_->MailboxOf(id_);
   for (;;) {
     std::deque<Envelope> batch = mailbox.PopAll();
     if (batch.empty()) return;  // mailbox closed and drained
@@ -203,7 +204,7 @@ void ReplicaServer::SingleLoop() {
 }
 
 void ReplicaServer::DispatchLoop() {
-  Mailbox& mailbox = bus_->MailboxOf(id_);
+  Mailbox& mailbox = transport_->MailboxOf(id_);
   for (;;) {
     std::deque<Envelope> batch = mailbox.PopAll();
     if (batch.empty()) {
@@ -229,7 +230,7 @@ void ReplicaServer::Route(Envelope e) {
       }
       return;
     case RtMessage::Kind::kConfigWriteReq:
-      if (!bus_->IsUp(id_)) return;
+      if (!transport_->IsUp(id_)) return;
       BroadcastConfigAndAck(e);
       return;
     case RtMessage::Kind::kBatchReadReq:
@@ -238,12 +239,12 @@ void ReplicaServer::Route(Envelope e) {
       // the crash hook drained the shard inboxes; dropping here narrows
       // that window (the up-check in Bus::Send keeps replies from escaping
       // in any case).
-      if (!bus_->IsUp(id_)) return;
+      if (!transport_->IsUp(id_)) return;
       SplitBatch(std::move(e));
       return;
     case RtMessage::Kind::kReadReq:
     case RtMessage::Kind::kWriteReq: {
-      if (!bus_->IsUp(id_)) return;
+      if (!transport_->IsUp(id_)) return;
       const std::size_t s = ShardForKey(e.msg.key, shards_.size());
       shards_[s]->inbox.Push(std::move(e));
       return;
@@ -284,7 +285,7 @@ void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
   {
     std::unique_lock<std::mutex> lock(barrier_mu_);
     barrier_cv_.wait(lock, [&] {
-      return barrier_pending_ == 0 || !bus_->IsUp(id_);
+      return barrier_pending_ == 0 || !transport_->IsUp(id_);
     });
     // Crashed mid-barrier: the hook drained the shard inboxes, so some
     // shards may never apply this config. No ack escapes (the node is
@@ -294,7 +295,7 @@ void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
   RtMessage ack;
   ack.kind = RtMessage::Kind::kConfigWriteAck;
   ack.op = e.msg.op;
-  bus_->Send(id_, e.from, std::move(ack));
+  transport_->Send(id_, e.from, std::move(ack));
 }
 
 bool ReplicaServer::ApplyToImage(Shard& sh, const std::string& key,
@@ -440,7 +441,7 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
     default:
       return;
   }
-  bus_->Send(id_, e.from, std::move(reply));
+  transport_->Send(id_, e.from, std::move(reply));
 }
 
 void ReplicaServer::ShardLoop(std::size_t idx) {

@@ -112,10 +112,12 @@ class ReplicaServer {
   using BackendFactory =
       std::function<std::unique_ptr<storage::Backend>(std::size_t)>;
 
-  /// Single shard, in-memory backend; starts the server thread.
-  ReplicaServer(Bus& bus, NodeId id);
+  /// Single shard, in-memory backend; starts the server thread. The
+  /// transport may be the in-process Bus or a net::TcpTransport hosting
+  /// this node — the server only uses the Transport surface.
+  ReplicaServer(Transport& transport, NodeId id);
   /// `shards` worker shards, each recovering from its own backend.
-  ReplicaServer(Bus& bus, NodeId id, std::size_t shards,
+  ReplicaServer(Transport& transport, NodeId id, std::size_t shards,
                 const BackendFactory& make_backend,
                 bool record_history = false);
   ~ReplicaServer();
@@ -183,7 +185,7 @@ class ReplicaServer {
   static void TrackPeak(std::atomic<std::uint64_t>& peak, std::uint64_t v);
   std::vector<ShardCounters> CollectShardCounters() const;
 
-  Bus* bus_;
+  Transport* transport_;
   NodeId id_;
   bool record_history_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;

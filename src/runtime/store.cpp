@@ -1,8 +1,12 @@
 #include "runtime/store.hpp"
 
 #include <cstdlib>
+#include <limits>
+#include <utility>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "net/error.hpp"
 #include "runtime/sharding.hpp"
 
 namespace qcnt::runtime {
@@ -12,9 +16,8 @@ std::size_t ResolveShards() {
   // QCNT_SHARDS lets a test matrix (CI runs the runtime suite under TSan
   // with 4 shards) force a count without touching every StoreOptions
   // literal; out-of-range values fall back to the hardware default.
-  if (const char* env = std::getenv("QCNT_SHARDS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1 && v <= 64) return static_cast<std::size_t>(v);
+  if (const auto v = common::EnvU64("QCNT_SHARDS", 1, 64)) {
+    return static_cast<std::size_t>(*v);
   }
   return DefaultShardsPerReplica();
 }
@@ -43,6 +46,14 @@ StoreOptions Normalize(StoreOptions options) {
     QCNT_CHECK_MSG(!options.durability->directory.empty(),
                    "durability requires a directory");
   }
+  if (options.faults && options.tcp) {
+    // Loud and typed, not a silently ignored plan: the seeded injector
+    // lives in the Bus, and a TCP store never routes through it.
+    throw net::TransportConfigError(
+        "StoreOptions::faults is an in-process-Bus feature and cannot be "
+        "combined with StoreOptions::tcp (on TCP the network itself is "
+        "the fault injector)");
+  }
   if (options.faults) {
     FaultPlan& f = *options.faults;
     QCNT_CHECK_MSG(f.drop >= 0.0 && f.drop <= 1.0, "drop out of [0, 1]");
@@ -53,13 +64,42 @@ StoreOptions Normalize(StoreOptions options) {
                    "delay_min must be in [0, delay_max]");
     // QCNT_FAULT_SEED lets a CI chaos matrix vary the seed per run
     // without editing tests (same pattern as QCNT_SHARDS above).
-    if (const char* env = std::getenv("QCNT_FAULT_SEED")) {
-      char* end = nullptr;
-      const unsigned long long v = std::strtoull(env, &end, 10);
-      if (end != env && *end == '\0') f.seed = v;
+    if (const auto v = common::EnvU64("QCNT_FAULT_SEED", 0,
+                                      std::numeric_limits<std::uint64_t>::max())) {
+      f.seed = *v;
+    }
+  }
+  if (options.tcp && options.tcp->port_base == 0) {
+    // Fixed ports on demand (e.g. to watch loopback traffic in a packet
+    // capture); the default ephemeral ports cannot collide across
+    // concurrent test runs.
+    if (const auto v = common::EnvU64("QCNT_TCP_PORT_BASE", 1024,
+                                      65535 - 64 - 16)) {
+      options.tcp->port_base = static_cast<std::uint16_t>(*v);
     }
   }
   return options;
+}
+
+/// Every node of the universe hosted by this process, talking loopback
+/// TCP to itself: the honest single-process deployment of the real wire
+/// path (bench_transport's subject, and the TCP e2e tests').
+std::unique_ptr<net::TcpTransport> MakeLoopbackTransport(
+    const StoreOptions& options) {
+  const std::size_t n = options.replicas + options.max_clients;
+  net::TcpTransportOptions topts;
+  topts.universe.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    topts.universe[i].host = options.tcp->host;
+    if (options.tcp->port_base != 0) {
+      topts.universe[i].port =
+          static_cast<std::uint16_t>(options.tcp->port_base + i);
+    }
+  }
+  std::vector<NodeId> local(n);
+  for (std::size_t i = 0; i < n; ++i) local[i] = static_cast<NodeId>(i);
+  return std::make_unique<net::TcpTransport>(std::move(topts),
+                                             std::move(local));
 }
 
 std::string ReplicaDir(const StoreOptions& options, std::size_t replica) {
@@ -86,16 +126,25 @@ void ValidateDurableLayout(const StoreOptions& options, std::size_t replica) {
 }  // namespace
 
 ReplicatedStore::ReplicatedStore(StoreOptions options)
-    : options_(Normalize(std::move(options))),
-      bus_(options_.replicas + options_.max_clients) {
+    : options_(Normalize(std::move(options))) {
+  if (options_.tcp) {
+    auto tcp = MakeLoopbackTransport(options_);
+    tcp_ = tcp.get();
+    transport_ = std::move(tcp);
+  } else {
+    auto bus =
+        std::make_unique<Bus>(options_.replicas + options_.max_clients);
+    bus_ = bus.get();
+    transport_ = std::move(bus);
+  }
   // Install faults before any replica thread starts so the very first
   // message already flows through the injector and per-link RNG streams
   // are reproducible from the seed alone.
-  if (options_.faults) bus_.SetFaults(*options_.faults);
+  if (options_.faults) bus_->SetFaults(*options_.faults);
   for (std::size_t r = 0; r < options_.replicas; ++r) {
     if (Durable()) ValidateDurableLayout(options_, r);
     replicas_.push_back(std::make_unique<ReplicaServer>(
-        bus_, static_cast<NodeId>(r), options_.shards_per_replica,
+        *transport_, static_cast<NodeId>(r), options_.shards_per_replica,
         [this, r](std::size_t shard) {
           return MakeShardBackend(options_, r, shard);
         },
@@ -113,7 +162,7 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
 
 ReplicatedStore::~ReplicatedStore() {
   for (auto& r : replicas_) r->Shutdown();
-  bus_.CloseAll();
+  transport_->CloseAll();
 }
 
 std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
@@ -121,7 +170,7 @@ std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
                  "client limit reached; raise StoreOptions::max_clients");
   const NodeId id =
       static_cast<NodeId>(options_.replicas + next_client_++);
-  return std::make_unique<QuorumClient>(bus_, id, options_.configs,
+  return std::make_unique<QuorumClient>(*transport_, id, options_.configs,
                                         options_.initial_config,
                                         options_.client_options);
 }
@@ -137,20 +186,20 @@ std::unique_ptr<AsyncQuorumClient> ReplicatedStore::MakeAsyncClient(
   const NodeId id =
       static_cast<NodeId>(options_.replicas + next_client_++);
   return std::make_unique<AsyncQuorumClient>(
-      bus_, id, options_.configs, options_.initial_config, options);
+      *transport_, id, options_.configs, options_.initial_config, options);
 }
 
 void ReplicatedStore::Crash(std::size_t replica) {
   QCNT_CHECK(replica < replicas_.size());
   // Partition first so an in-flight reply cannot escape, then (durable
   // only) fail-stop the server: stop the loop, discard the image.
-  bus_.Crash(static_cast<NodeId>(replica));
+  transport_->Crash(static_cast<NodeId>(replica));
   if (Durable()) replicas_[replica]->CrashAndWipe();
 }
 
 void ReplicatedStore::Recover(std::size_t replica) {
   QCNT_CHECK(replica < replicas_.size());
-  // Rebuild state before reopening the bus, so the replica rejoins
+  // Rebuild state before reopening the transport, so the replica rejoins
   // quorums only once recovery replay has completed. Re-validate the
   // layout first: a segment that vanished while the replica was down must
   // fail recovery loudly, not resurrect a subset of the acked state.
@@ -158,11 +207,51 @@ void ReplicatedStore::Recover(std::size_t replica) {
     ValidateDurableLayout(options_, replica);
     replicas_[replica]->Restart();
   }
-  bus_.Recover(static_cast<NodeId>(replica));
+  transport_->Recover(static_cast<NodeId>(replica));
 }
 
 bool ReplicatedStore::IsUp(std::size_t replica) const {
-  return bus_.IsUp(static_cast<NodeId>(replica));
+  return transport_->IsUp(static_cast<NodeId>(replica));
+}
+
+net::TcpStats ReplicatedStore::WireStats() const {
+  if (tcp_ == nullptr) return net::TcpStats{};
+  return tcp_->WireStats();
+}
+
+Bus& ReplicatedStore::RequireBus(const char* what) const {
+  if (bus_ == nullptr) {
+    throw net::TransportConfigError(
+        std::string(what) +
+        " is an in-process-Bus feature; this store runs over TCP, where "
+        "the network itself is the fault injector");
+  }
+  return *bus_;
+}
+
+void ReplicatedStore::SetFaults(const FaultPlan& plan) {
+  RequireBus("SetFaults").SetFaults(plan);
+}
+
+void ReplicatedStore::SetLinkFaults(NodeId from, NodeId to,
+                                    const FaultPlan& plan) {
+  RequireBus("SetLinkFaults").SetLinkFaults(from, to, plan);
+}
+
+void ReplicatedStore::ClearFaults() { RequireBus("ClearFaults").ClearFaults(); }
+
+void ReplicatedStore::Partition(const std::vector<NodeId>& a,
+                                const std::vector<NodeId>& b,
+                                bool symmetric) {
+  RequireBus("Partition").Partition(a, b, symmetric);
+}
+
+void ReplicatedStore::Heal() { RequireBus("Heal").Heal(); }
+
+void ReplicatedStore::FlushFaults() { RequireBus("FlushFaults").FlushFaults(); }
+
+FaultStats ReplicatedStore::InjectedFaults() const {
+  return RequireBus("InjectedFaults").InjectedFaults();
 }
 
 storage::StorageStats ReplicatedStore::ReplicaStorageStats(

@@ -25,11 +25,29 @@
 #include <memory>
 #include <optional>
 
+#include "net/tcp_transport.hpp"
 #include "runtime/async_client.hpp"
 #include "runtime/client.hpp"
 #include "runtime/replica_server.hpp"
 
 namespace qcnt::runtime {
+
+/// TCP-backed deployment of a single-process store: every node (replicas
+/// and clients) still lives in this process, but all cross-node traffic
+/// rides loopback TCP through one net::TcpTransport — the full codec +
+/// socket + event-loop path, measurable against the in-process Bus
+/// (bench_transport, E18). Fault injection is incompatible with this mode
+/// (see StoreOptions::faults); multi-machine deployments assemble
+/// TcpTransport + ReplicaServer directly (examples/multi_process.cpp).
+struct TcpStoreOptions {
+  std::string host = "127.0.0.1";
+  /// First listen port: node i (replicas then clients) listens on
+  /// port_base + i. 0 = let the kernel pick ephemeral ports per node
+  /// (self-contained; no collisions across concurrent test runs). The
+  /// QCNT_TCP_PORT_BASE environment variable, when set and in range,
+  /// overrides a zero port_base.
+  std::uint16_t port_base = 0;
+};
 
 struct StoreOptions {
   std::size_t replicas = 3;
@@ -62,7 +80,13 @@ struct StoreOptions {
   /// FaultPlan::seed. The QCNT_FAULT_SEED environment variable, when set,
   /// overrides the seed — the hook a CI chaos matrix uses to vary runs
   /// without editing tests. Mutable at runtime via SetFaults below.
+  /// Incompatible with `tcp`: fault injection is an in-process-Bus
+  /// feature, and combining the two throws net::TransportConfigError at
+  /// construction rather than silently ignoring the plan.
   std::optional<FaultPlan> faults;
+  /// When set, the store's nodes communicate over loopback TCP instead
+  /// of the in-process Bus (see TcpStoreOptions).
+  std::optional<TcpStoreOptions> tcp;
 };
 
 class ReplicatedStore {
@@ -78,6 +102,9 @@ class ReplicatedStore {
     return options_.configs;
   }
   bool Durable() const { return options_.durability.has_value(); }
+  bool OverTcp() const { return tcp_ != nullptr; }
+  /// "bus" or "tcp".
+  const char* TransportName() const { return transport_->Name(); }
   /// Resolved shard count (after the 0 = auto default is applied).
   std::size_t ShardsPerReplica() const {
     return options_.shards_per_replica;
@@ -100,32 +127,36 @@ class ReplicatedStore {
   void Recover(std::size_t replica);
   bool IsUp(std::size_t replica) const;
 
-  std::uint64_t MessagesSent() const { return bus_.MessagesSent(); }
+  std::uint64_t MessagesSent() const { return transport_->MessagesSent(); }
+
+  /// Socket-level counters; only meaningful on a TCP-backed store (zeros
+  /// on the in-process Bus).
+  net::TcpStats WireStats() const;
 
   // --- Fault injection (see bus.hpp) ---------------------------------------
   // Node ids: replicas are [0, replicas); clients are assigned
   // [replicas, replicas + max_clients) in MakeClient order — use these ids
   // to scope partitions and per-link plans.
+  //
+  // Every method below is an in-process-Bus feature: on a TCP-backed
+  // store it throws net::TransportConfigError (the real network is the
+  // fault injector there).
 
   /// Install `plan` as the default for every link (replaces any plan from
   /// StoreOptions::faults).
-  void SetFaults(const FaultPlan& plan) { bus_.SetFaults(plan); }
+  void SetFaults(const FaultPlan& plan);
   /// Override the plan for one directed link.
-  void SetLinkFaults(NodeId from, NodeId to, const FaultPlan& plan) {
-    bus_.SetLinkFaults(from, to, plan);
-  }
+  void SetLinkFaults(NodeId from, NodeId to, const FaultPlan& plan);
   /// Remove the default plan and all per-link overrides.
-  void ClearFaults() { bus_.ClearFaults(); }
+  void ClearFaults();
   /// Partition node sets `a` and `b` from each other (see Bus::Partition).
   void Partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
-                 bool symmetric = true) {
-    bus_.Partition(a, b, symmetric);
-  }
+                 bool symmetric = true);
   /// Heal every installed partition.
-  void Heal() { bus_.Heal(); }
+  void Heal();
   /// Deliver everything the fault layer still holds (test drains).
-  void FlushFaults() { bus_.FlushFaults(); }
-  FaultStats InjectedFaults() const { return bus_.InjectedFaults(); }
+  void FlushFaults();
+  FaultStats InjectedFaults() const;
 
   /// Storage counters for one replica / summed over all replicas.
   storage::StorageStats ReplicaStorageStats(std::size_t replica) const;
@@ -141,8 +172,16 @@ class ReplicatedStore {
   ReplicaSnapshot ReplicaPeek(std::size_t replica) const;
 
  private:
+  /// The Bus when in-process (fault APIs available), else throws.
+  Bus& RequireBus(const char* what) const;
+
   StoreOptions options_;
-  Bus bus_;
+  /// The message substrate: a Bus, or a TcpTransport hosting every node
+  /// on loopback. bus_/tcp_ are borrowed views of transport_ for the
+  /// implementation-specific surfaces (fault injection / wire stats).
+  std::unique_ptr<Transport> transport_;
+  Bus* bus_ = nullptr;
+  net::TcpTransport* tcp_ = nullptr;
   std::vector<std::unique_ptr<ReplicaServer>> replicas_;
   std::size_t next_client_ = 0;
 };

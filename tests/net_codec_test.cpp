@@ -1,0 +1,285 @@
+// Wire codec tests: every message kind round-trips losslessly, and every
+// way a frame can be damaged yields a typed decode error — never a crash,
+// never a silently wrong message (satellite of the transport subsystem).
+#include "net/codec.hpp"
+
+#include <cstring>
+
+#include "storage/crc32.hpp"
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace qcnt::net {
+namespace {
+
+using runtime::BatchEntry;
+using runtime::RtMessage;
+
+RtMessage FullMessage(RtMessage::Kind kind) {
+  RtMessage m;
+  m.kind = kind;
+  m.op = 0x0123456789abcdefull;
+  m.key = "account/\x00\xff balance";  // embedded NUL + high byte survive
+  m.key.push_back('\0');
+  m.version = std::numeric_limits<std::uint64_t>::max();
+  m.value = -42;  // negative: two's-complement u64 on the wire
+  m.generation = 7;
+  m.config_id = 3;
+  return m;
+}
+
+std::vector<RtMessage::Kind> AllKinds() {
+  return {RtMessage::Kind::kReadReq,       RtMessage::Kind::kReadResp,
+          RtMessage::Kind::kWriteReq,      RtMessage::Kind::kWriteAck,
+          RtMessage::Kind::kConfigWriteReq, RtMessage::Kind::kConfigWriteAck,
+          RtMessage::Kind::kBatchReadReq,  RtMessage::Kind::kBatchReadResp,
+          RtMessage::Kind::kBatchWriteReq, RtMessage::Kind::kBatchWriteAck,
+          RtMessage::Kind::kShutdown,      RtMessage::Kind::kImagePeek};
+}
+
+void ExpectEqual(const RtMessage& a, const RtMessage& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.generation, b.generation);
+  EXPECT_EQ(a.config_id, b.config_id);
+  ASSERT_EQ(a.batch.size(), b.batch.size());
+  for (std::size_t i = 0; i < a.batch.size(); ++i) {
+    EXPECT_EQ(a.batch[i].op, b.batch[i].op);
+    EXPECT_EQ(a.batch[i].key, b.batch[i].key);
+    EXPECT_EQ(a.batch[i].version, b.batch[i].version);
+    EXPECT_EQ(a.batch[i].value, b.batch[i].value);
+  }
+}
+
+std::vector<std::uint8_t> Encode(const WireFrame& f) {
+  std::vector<std::uint8_t> buf;
+  EncodeFrame(f, buf);
+  return buf;
+}
+
+TEST(Codec, EveryKindRoundTripsWithAllFieldsSet) {
+  for (RtMessage::Kind kind : AllKinds()) {
+    WireFrame f;
+    f.from = 0xdeadbeefu;
+    f.to = 12;
+    f.msg = FullMessage(kind);
+    const auto buf = Encode(f);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    ASSERT_EQ(r.status, DecodeStatus::kOk)
+        << "kind " << static_cast<int>(kind) << ": " << ToString(r.status);
+    EXPECT_EQ(r.consumed, buf.size());
+    EXPECT_EQ(r.frame.from, f.from);
+    EXPECT_EQ(r.frame.to, f.to);
+    ExpectEqual(r.frame.msg, f.msg);
+  }
+}
+
+TEST(Codec, BatchEntriesRoundTrip) {
+  WireFrame f;
+  f.from = 3;
+  f.to = 0;
+  f.msg.kind = RtMessage::Kind::kBatchWriteReq;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    BatchEntry e;
+    e.op = 1000 + i;
+    e.key = "key-" + std::string(i, 'x');
+    e.version = i * 17;
+    e.value = static_cast<std::int64_t>(i) - 50;  // crosses zero
+    f.msg.batch.push_back(std::move(e));
+  }
+  const auto buf = Encode(f);
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  ExpectEqual(r.frame.msg, f.msg);
+}
+
+TEST(Codec, DefaultMessageRoundTrips) {
+  WireFrame f;  // everything zero / empty
+  const auto buf = Encode(f);
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  ASSERT_EQ(r.status, DecodeStatus::kOk);
+  EXPECT_EQ(r.frame.from, 0u);
+  EXPECT_EQ(r.frame.to, 0u);
+  ExpectEqual(r.frame.msg, RtMessage{});
+}
+
+TEST(Codec, BackToBackFramesDecodeSequentially) {
+  // A TCP segment may hold several frames; decode must consume exactly
+  // one at a time and report precise byte counts.
+  WireFrame a, b;
+  a.from = 1;
+  a.msg = FullMessage(RtMessage::Kind::kReadReq);
+  b.from = 2;
+  b.msg = FullMessage(RtMessage::Kind::kWriteAck);
+  std::vector<std::uint8_t> buf;
+  EncodeFrame(a, buf);
+  const std::size_t first = buf.size();
+  EncodeFrame(b, buf);
+
+  DecodeResult r1 = DecodeFrame(buf.data(), buf.size());
+  ASSERT_EQ(r1.status, DecodeStatus::kOk);
+  EXPECT_EQ(r1.consumed, first);
+  EXPECT_EQ(r1.frame.from, 1u);
+
+  DecodeResult r2 = DecodeFrame(buf.data() + r1.consumed,
+                                buf.size() - r1.consumed);
+  ASSERT_EQ(r2.status, DecodeStatus::kOk);
+  EXPECT_EQ(r2.consumed, buf.size() - first);
+  EXPECT_EQ(r2.frame.from, 2u);
+}
+
+TEST(Codec, EncodeAppendsWithoutClearing) {
+  std::vector<std::uint8_t> buf = {0xaa, 0xbb};
+  WireFrame f;
+  EncodeFrame(f, buf);
+  EXPECT_EQ(buf[0], 0xaa);
+  EXPECT_EQ(buf[1], 0xbb);
+  DecodeResult r = DecodeFrame(buf.data() + 2, buf.size() - 2);
+  EXPECT_EQ(r.status, DecodeStatus::kOk);
+}
+
+TEST(Codec, EveryTruncationIsNeedMoreNotACrash) {
+  // Every strict prefix of a valid frame must ask for more bytes —
+  // partial reads are the normal case on a stream socket.
+  WireFrame f;
+  f.from = 9;
+  f.msg = FullMessage(RtMessage::Kind::kBatchReadResp);
+  f.msg.batch.push_back(BatchEntry{1, "k", 2, 3});
+  const auto buf = Encode(f);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    DecodeResult r = DecodeFrame(buf.data(), len);
+    EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "prefix length " << len;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(Codec, BadMagicIsRejected) {
+  auto buf = Encode(WireFrame{});
+  buf[0] ^= 0xff;
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kBadMagic);
+  // Detectable even before a full header has arrived.
+  EXPECT_EQ(DecodeFrame(buf.data(), 4).status, DecodeStatus::kBadMagic);
+}
+
+TEST(Codec, BadVersionIsRejected) {
+  auto buf = Encode(WireFrame{});
+  buf[4] = kWireVersion + 1;
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kBadVersion);
+  EXPECT_EQ(DecodeFrame(buf.data(), 5).status, DecodeStatus::kBadVersion);
+}
+
+TEST(Codec, OversizedLengthIsRejectedBeforeBuffering) {
+  auto buf = Encode(WireFrame{});
+  // A hostile length must be rejected from the header alone, even though
+  // the buffer holds nowhere near that many bytes.
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(buf.data() + 5, &huge, sizeof(huge));
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  EXPECT_EQ(r.status, DecodeStatus::kOversized);
+  // And a legitimate length over a caller's tighter ceiling, likewise.
+  auto ok = Encode(WireFrame{});
+  EXPECT_EQ(DecodeFrame(ok.data(), ok.size(), /*max_frame_bytes=*/8).status,
+            DecodeStatus::kOversized);
+}
+
+TEST(Codec, CorruptPayloadFailsCrc) {
+  WireFrame f;
+  f.msg = FullMessage(RtMessage::Kind::kWriteReq);
+  auto buf = Encode(f);
+  for (std::size_t i = kFrameHeaderBytes; i < buf.size(); ++i) {
+    auto bad = buf;
+    bad[i] ^= 0x01;
+    DecodeResult r = DecodeFrame(bad.data(), bad.size());
+    EXPECT_EQ(r.status, DecodeStatus::kCrcMismatch) << "flipped byte " << i;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(Codec, CorruptCrcFieldIsDetected) {
+  auto buf = Encode(WireFrame{});
+  buf[9] ^= 0xff;  // first CRC byte
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kCrcMismatch);
+}
+
+// Re-encode a frame with an arbitrary payload, header and CRC made
+// consistent — the shape of frames a buggy (not bit-flipped) sender emits.
+std::vector<std::uint8_t> FrameWithPayload(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> buf;
+  WireFrame f;
+  EncodeFrame(f, buf);  // valid header template
+  buf.resize(kFrameHeaderBytes);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(buf.data() + 5, &len, sizeof(len));
+  const std::uint32_t crc =
+      storage::Crc32(payload.data(), payload.size());
+  std::memcpy(buf.data() + 9, &crc, sizeof(crc));
+  return buf;
+}
+
+std::vector<std::uint8_t> ValidPayload(std::uint8_t kind_byte) {
+  WireFrame f;
+  auto buf = Encode(f);
+  std::vector<std::uint8_t> payload(buf.begin() + kFrameHeaderBytes,
+                                    buf.end());
+  payload[8] = kind_byte;  // kind follows from(4) + to(4)
+  return payload;
+}
+
+TEST(Codec, UnknownKindIsRejectedWithCrcIntact) {
+  const auto buf = FrameWithPayload(ValidPayload(0xee));
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  EXPECT_EQ(r.status, DecodeStatus::kUnknownKind);
+}
+
+TEST(Codec, TruncatedPayloadStructureIsMalformed) {
+  // Valid CRC over a payload whose key length runs past the end.
+  auto payload = ValidPayload(0);
+  payload.resize(payload.size() - 4);  // drop batch_count → key overruns
+  const auto buf = FrameWithPayload(payload);
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kMalformed);
+}
+
+TEST(Codec, TrailingPayloadBytesAreMalformed) {
+  auto payload = ValidPayload(0);
+  payload.push_back(0x00);  // one byte past a complete message
+  const auto buf = FrameWithPayload(payload);
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kMalformed);
+}
+
+TEST(Codec, HugeBatchCountDoesNotBalloonAllocation) {
+  // batch_count claims 2^31 entries in a tiny payload: must fail cleanly
+  // (kMalformed), not reserve gigabytes first.
+  auto payload = ValidPayload(static_cast<std::uint8_t>(
+      runtime::RtMessage::Kind::kBatchWriteReq));
+  const std::uint32_t huge = 0x80000000u;
+  std::memcpy(payload.data() + payload.size() - 4, &huge, sizeof(huge));
+  const auto buf = FrameWithPayload(payload);
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kMalformed);
+}
+
+TEST(Codec, ToStringCoversEveryStatus) {
+  for (DecodeStatus s :
+       {DecodeStatus::kOk, DecodeStatus::kNeedMore, DecodeStatus::kBadMagic,
+        DecodeStatus::kBadVersion, DecodeStatus::kOversized,
+        DecodeStatus::kCrcMismatch, DecodeStatus::kUnknownKind,
+        DecodeStatus::kMalformed}) {
+    EXPECT_STRNE(ToString(s), "");
+  }
+}
+
+}  // namespace
+}  // namespace qcnt::net
