@@ -11,7 +11,7 @@ namespace {
 using runtime::BatchEntry;
 
 constexpr std::uint8_t kMaxKind =
-    static_cast<std::uint8_t>(RtMessage::Kind::kImagePeek);
+    static_cast<std::uint8_t>(RtMessage::Kind::kJoinReq);
 
 void PutU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
   out.push_back(v);

@@ -37,7 +37,10 @@ using runtime::NodeId;
 using runtime::RtMessage;
 
 inline constexpr std::uint32_t kFrameMagic = 0x544E4351u;  // "QCNT"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// v2: membership-change kinds (kCatchupReq/kCatchupChunk/kCatchupDone/
+/// kJoinReq) joined the kind space. Field layout is unchanged, but a v1
+/// decoder would mis-reject the new kinds, so the version bumps.
+inline constexpr std::uint8_t kWireVersion = 2;
 /// magic(4) + version(1) + payload_len(4) + crc32(4).
 inline constexpr std::size_t kFrameHeaderBytes = 13;
 /// Default ceiling on payload_len. Generous: the largest legitimate frame

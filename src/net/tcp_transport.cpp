@@ -21,6 +21,15 @@ namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
 /// Compact an inbound buffer once the decoded prefix exceeds this.
 constexpr std::size_t kCompactThreshold = 1 << 20;
+/// Default universe-capacity headroom beyond the construction-time nodes
+/// (see TcpTransportOptions::max_nodes).
+constexpr std::size_t kGrowthHeadroom = 32;
+
+std::size_t CapacityOf(const TcpTransportOptions& o) {
+  const std::size_t want =
+      o.max_nodes == 0 ? o.universe.size() + kGrowthHeadroom : o.max_nodes;
+  return std::max(want, o.universe.size());
+}
 
 void SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -52,17 +61,20 @@ TcpTransport::TcpTransport(TcpTransportOptions options,
                            std::vector<NodeId> local_nodes)
     : options_(std::move(options)),
       universe_(options_.universe),
-      local_(universe_.size(), 0),
-      mailboxes_(universe_.size()),
-      up_(universe_.size()),
-      crash_hooks_(universe_.size()),
-      peers_(universe_.size()),
-      retarget_(universe_.size(), 0) {
+      local_(CapacityOf(options_), 0),
+      mailboxes_(CapacityOf(options_)),
+      up_(CapacityOf(options_)),
+      crash_hooks_(CapacityOf(options_)),
+      peers_(CapacityOf(options_)),
+      retarget_(CapacityOf(options_), 0) {
   QCNT_CHECK_MSG(!universe_.empty(), "tcp transport: empty universe");
   QCNT_CHECK_MSG(!local_nodes.empty(), "tcp transport: no hosted nodes");
-  for (std::size_t i = 0; i < universe_.size(); ++i) up_[i].store(true);
+  const std::size_t nodes = universe_.size();
+  universe_.resize(CapacityOf(options_));  // headroom slots: port 0, dark
+  count_.store(nodes, std::memory_order_release);
+  for (std::size_t i = 0; i < nodes; ++i) up_[i].store(true);
   for (NodeId node : local_nodes) {
-    QCNT_CHECK(node < universe_.size());
+    QCNT_CHECK(node < nodes);
     QCNT_CHECK_MSG(!local_[node], "tcp transport: duplicate hosted node");
     local_[node] = 1;
     mailboxes_[node] = std::make_unique<Mailbox>();
@@ -77,33 +89,38 @@ TcpTransport::TcpTransport(TcpTransportOptions options,
   // connect node-to-node and a multi-process replica is reachable the
   // moment its constructor finishes.
   for (NodeId node : local_nodes) {
-    sockaddr_in addr = ResolveOrThrow(universe_[node]);
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw TransportIoError("tcp transport: socket() failed");
-    int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-        ::listen(fd, 64) != 0) {
-      const int err = errno;
-      ::close(fd);
-      throw TransportIoError("tcp transport: cannot listen on " +
-                             universe_[node].host + ":" +
-                             std::to_string(universe_[node].port) +
-                             " for node " + std::to_string(node) + ": " +
-                             std::strerror(err));
-    }
-    SetNonBlocking(fd);
-    // Resolve an ephemeral bind back into the universe table.
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    QCNT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
-               0);
-    universe_[node].port = ntohs(bound.sin_port);
+    const int fd = BindListenerOrThrow(node);
     listen_fds_.push_back(fd);
     listen_nodes_.push_back(node);
   }
 
   loop_ = std::thread([this] { Loop(); });
+}
+
+int TcpTransport::BindListenerOrThrow(NodeId node) {
+  sockaddr_in addr = ResolveOrThrow(universe_[node]);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportIoError("tcp transport: socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TransportIoError("tcp transport: cannot listen on " +
+                           universe_[node].host + ":" +
+                           std::to_string(universe_[node].port) +
+                           " for node " + std::to_string(node) + ": " +
+                           std::strerror(err));
+  }
+  SetNonBlocking(fd);
+  // Resolve an ephemeral bind back into the universe table.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  QCNT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+             0);
+  universe_[node].port = ntohs(bound.sin_port);
+  return fd;
 }
 
 TcpTransport::~TcpTransport() {
@@ -118,7 +135,7 @@ TcpTransport::~TcpTransport() {
 }
 
 Mailbox& TcpTransport::MailboxOf(NodeId node) {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   QCNT_CHECK_MSG(local_[node],
                  "tcp transport: mailbox of a node hosted elsewhere");
   return *mailboxes_[node];
@@ -129,7 +146,7 @@ bool TcpTransport::IsLocal(NodeId node) const {
 }
 
 bool TcpTransport::IsUp(NodeId node) const {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   // No failure detector for remote nodes: quorum timeouts are the
   // detector, exactly as in the paper's failure model.
   if (!local_[node]) return true;
@@ -137,7 +154,7 @@ bool TcpTransport::IsUp(NodeId node) const {
 }
 
 bool TcpTransport::Send(NodeId from, NodeId to, RtMessage msg) {
-  QCNT_CHECK(from < universe_.size() && to < universe_.size());
+  QCNT_CHECK(from < NodeCount() && to < NodeCount());
   QCNT_CHECK_MSG(local_[from], "tcp transport: send from a remote node");
   sent_.fetch_add(1, std::memory_order_relaxed);
   if (!up_[from].load()) {
@@ -183,7 +200,7 @@ bool TcpTransport::Send(NodeId from, NodeId to, RtMessage msg) {
 }
 
 void TcpTransport::Crash(NodeId node) {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   QCNT_CHECK_MSG(local_[node], "tcp transport: crash of a remote node");
   up_[node].store(false);
   // Same ordering as Bus::Crash: mark down, drain the backlog, then let
@@ -198,14 +215,14 @@ void TcpTransport::Crash(NodeId node) {
 }
 
 void TcpTransport::Recover(NodeId node) {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   QCNT_CHECK_MSG(local_[node], "tcp transport: recover of a remote node");
   mailboxes_[node]->Reopen();
   up_[node].store(true);
 }
 
 void TcpTransport::SetCrashHook(NodeId node, std::function<void()> hook) {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   QCNT_CHECK_MSG(local_[node], "tcp transport: crash hook on a remote node");
   std::lock_guard<std::mutex> lock(hooks_mu_);
   crash_hooks_[node] = std::move(hook);
@@ -218,21 +235,50 @@ void TcpTransport::CloseAll() {
 }
 
 Endpoint TcpTransport::ActualEndpoint(NodeId node) const {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK(node < NodeCount());
   std::lock_guard<std::mutex> lock(mu_);
   return universe_[node];
 }
 
 void TcpTransport::SetPeerEndpoint(NodeId node, Endpoint endpoint) {
-  QCNT_CHECK(node < universe_.size());
+  QCNT_CHECK_MSG(node < peers_.size(),
+                 "tcp transport: peer id beyond universe capacity");
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A brand-new peer (membership change): admit it into the logical
+    // universe. Its slot — peer state machine, up flag, retarget flag —
+    // was pre-allocated at construction, so no reader races a resize.
+    if (node >= count_.load(std::memory_order_acquire)) {
+      count_.store(static_cast<std::size_t>(node) + 1,
+                   std::memory_order_release);
+    }
     universe_[node] = std::move(endpoint);
     // The loop owns every fd: flag the peer and let the loop tear the
     // old connection down and redial (buffered frames carry over).
     retarget_[node] = 1;
   }
   WakeLoop();
+}
+
+void TcpTransport::AddLocalNode(NodeId node, Endpoint endpoint) {
+  QCNT_CHECK_MSG(node < local_.size(),
+                 "tcp transport: node id beyond universe capacity");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QCNT_CHECK_MSG(!local_[node], "tcp transport: node already hosted");
+    universe_[node] = std::move(endpoint);
+    const int fd = BindListenerOrThrow(node);  // resolves ephemeral port
+    local_[node] = 1;
+    mailboxes_[node] = std::make_unique<Mailbox>();
+    up_[node].store(true);
+    if (node >= count_.load(std::memory_order_acquire)) {
+      count_.store(static_cast<std::size_t>(node) + 1,
+                   std::memory_order_release);
+    }
+    listen_fds_.push_back(fd);
+    listen_nodes_.push_back(node);
+  }
+  WakeLoop();  // the loop re-snapshots listeners under mu_ each iteration
 }
 
 TcpStats TcpTransport::WireStats() const {
@@ -427,14 +473,17 @@ void TcpTransport::Loop() {
     refs.clear();
     fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
     refs.push_back(FdRef{FdKind::kWake, 0});
-    for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
-      fds.push_back(pollfd{listen_fds_[i], POLLIN, 0});
-      refs.push_back(FdRef{FdKind::kListen, i});
-    }
 
     int timeout_ms = -1;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Listener set is snapshotted under mu_: AddLocalNode may append a
+      // listener at runtime (membership change) and wakes the loop so the
+      // next snapshot includes it.
+      for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
+        fds.push_back(pollfd{listen_fds_[i], POLLIN, 0});
+        refs.push_back(FdRef{FdKind::kListen, i});
+      }
       // Apply pending retargets first: close the stale connection, then
       // fall through to the normal "pending traffic → connect" path.
       for (std::size_t node = 0; node < retarget_.size(); ++node) {

@@ -77,6 +77,11 @@ struct TcpTransportOptions {
   /// Cap on bytes buffered toward one unreachable peer before new sends
   /// are dropped (and counted) instead of growing without bound.
   std::size_t max_write_queue_bytes = 4u << 20;
+  /// Universe capacity ceiling for membership change. All per-node state
+  /// (peers, up-flags, mailbox slots) is pre-allocated to this size so
+  /// AddLocalNode / a growing SetPeerEndpoint never reallocates under a
+  /// concurrent sender. 0 means universe.size() + a default headroom.
+  std::size_t max_nodes = 0;
 };
 
 /// Wire-level counters (what the sockets actually did), alongside the
@@ -104,7 +109,12 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   // --- Transport ----------------------------------------------------------
-  std::size_t NodeCount() const override { return universe_.size(); }
+  /// Logical universe size: construction-time nodes plus any added since.
+  /// Slots in [NodeCount(), Capacity()) are pre-allocated but dark.
+  std::size_t NodeCount() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+  std::size_t Capacity() const { return peers_.size(); }
   Mailbox& MailboxOf(NodeId node) override;
   bool Send(NodeId from, NodeId to, RtMessage msg) override;
   void Crash(NodeId node) override;
@@ -125,8 +135,18 @@ class TcpTransport final : public Transport {
   /// Re-target a remote node (a restarted peer that came back on a new
   /// port, or an endpoint that was unknown at construction). Drops the
   /// current connection to the peer, if any; buffered frames carry over
-  /// and flush after the next connect.
+  /// and flush after the next connect. A node id at or beyond NodeCount()
+  /// (but within Capacity) is a *brand-new* peer joining the universe:
+  /// the logical node count grows to include it.
   void SetPeerEndpoint(NodeId node, Endpoint endpoint);
+
+  /// Host an additional node on this instance at runtime (membership
+  /// change): binds a listener at `endpoint` (port 0 = ephemeral; read
+  /// back via ActualEndpoint), creates the node's mailbox, marks it up,
+  /// and grows the logical universe to include it. Throws
+  /// TransportIoError when the bind fails. The id must be unhosted and
+  /// within Capacity; ids between NodeCount() and `node` stay dark.
+  void AddLocalNode(NodeId node, Endpoint endpoint);
 
   bool IsLocal(NodeId node) const;
 
@@ -163,6 +183,10 @@ class TcpTransport final : public Transport {
 
   void Loop();
   void WakeLoop();
+  /// Bind + listen for `node` at universe_[node], resolving an ephemeral
+  /// port back into the table. Returns the listening fd; throws
+  /// TransportIoError on failure. Requires mu_ held (or pre-loop ctor).
+  int BindListenerOrThrow(NodeId node);
   /// All helpers below require mu_ held (they run on the loop thread).
   void StartConnect(Peer& peer, NodeId node);
   void FailPeer(Peer& peer, bool count_attempt);
@@ -174,11 +198,14 @@ class TcpTransport final : public Transport {
   void CloseFd(int& fd);
   std::chrono::steady_clock::time_point NextRetryDeadline() const;
 
+  // Every per-node container below is sized to Capacity() at construction
+  // and never reallocated; membership growth only advances count_.
   TcpTransportOptions options_;
   std::vector<Endpoint> universe_;  // mutable copy (SetPeerEndpoint)
   std::vector<char> local_;         // 1 = hosted by this instance
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // hosted nodes only
   std::vector<std::atomic<bool>> up_;
+  std::atomic<std::size_t> count_{0};  // logical node count
 
   mutable std::mutex hooks_mu_;
   std::vector<std::function<void()>> crash_hooks_;
@@ -192,6 +219,7 @@ class TcpTransport final : public Transport {
   std::vector<Inbound> inbound_;
   TcpStats stats_;
 
+  // Guarded by mu_ once the loop runs (AddLocalNode appends at runtime).
   std::vector<int> listen_fds_;        // parallel to hosted nodes
   std::vector<NodeId> listen_nodes_;
   int wake_pipe_[2] = {-1, -1};

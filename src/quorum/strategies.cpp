@@ -200,6 +200,36 @@ QuorumSystem MajoritySystem(ReplicaId n) {
   return s;
 }
 
+QuorumSystem MajorityOverSystem(const std::vector<ReplicaId>& members) {
+  QCNT_CHECK_MSG(!members.empty(), "majority-over: empty member set");
+  std::uint64_t member_mask = 0;
+  ReplicaId max_id = 0;
+  for (ReplicaId m : members) {
+    QCNT_CHECK_MSG(m < 64, "majority-over: member id beyond bitmask domain");
+    QCNT_CHECK_MSG((member_mask & (1ull << m)) == 0,
+                   "majority-over: duplicate member");
+    member_mask |= 1ull << m;
+    max_id = std::max(max_id, m);
+  }
+  const ReplicaId k =
+      MajorityThreshold(static_cast<ReplicaId>(members.size()));
+  QuorumSystem s;
+  s.name = "majority-over(" + std::to_string(members.size()) + ")";
+  // n is the id-space bound, not the member count: member ids need not be
+  // contiguous once replicas join after clients were numbered (membership
+  // change), so predicates mask `up` down to the member set first.
+  s.n = static_cast<ReplicaId>(max_id + 1);
+  s.has_read = [member_mask, k](std::uint64_t up) {
+    return std::popcount(up & member_mask) >= static_cast<int>(k);
+  };
+  s.has_write = s.has_read;
+  s.pick_read = [member_mask, k](std::uint64_t up) {
+    return PickLowest(up & member_mask, k);
+  };
+  s.pick_write = s.pick_read;
+  return s;
+}
+
 QuorumSystem WeightedVotingSystem(std::vector<std::uint32_t> votes,
                                   std::uint32_t read_threshold,
                                   std::uint32_t write_threshold) {

@@ -65,6 +65,13 @@ Configuration PrimaryCopy(ReplicaId n);
 QuorumSystem ReadOneWriteAllSystem(ReplicaId n);
 QuorumSystem ReadAllWriteOneSystem(ReplicaId n);
 QuorumSystem MajoritySystem(ReplicaId n);
+/// Majority quorums over an *arbitrary* member set within a ≤64-id
+/// universe: `up` bitmasks are masked down to the members before the
+/// popcount threshold. The runtime's membership change uses this — node
+/// ids stay fixed for life, so a grown or shrunk replica set is a
+/// non-contiguous id list, not a prefix [0, n). Member ids must be
+/// distinct and < 64.
+QuorumSystem MajorityOverSystem(const std::vector<ReplicaId>& members);
 QuorumSystem WeightedVotingSystem(std::vector<std::uint32_t> votes,
                                   std::uint32_t read_threshold,
                                   std::uint32_t write_threshold);

@@ -19,6 +19,12 @@
 //     write-quorum of c' and the stamp (c', g+1) to a write-quorum of the
 //     old c, then request-commits with nil. Writing the new configuration
 //     to an old write-quorum only is the paper's sharpening of Gifford.
+//
+// These TMs reconfigure over a *fixed* replica universe. The runtime
+// counterpart that also grows/shrinks the universe — streaming a joining
+// replica current before the stamp and sealing it after — is
+// reconfig/catchup.hpp (MembershipCoordinator); its phase B is exactly
+// RReconfigTm's write pattern, executed by runtime::QuorumClient.
 #pragma once
 
 #include <cstdint>

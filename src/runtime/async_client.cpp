@@ -23,10 +23,13 @@ struct OpFuture::State {
   std::chrono::steady_clock::time_point retry_at{};  // backoff expiry
   std::uint64_t responded = 0;  // read-phase responder bitmask
   std::uint64_t acked = 0;      // write-phase acker bitmask
+  std::uint64_t fenced = 0;     // write-phase generation-NACK bitmask
   std::uint64_t best_version = 0;
   std::int64_t best_value = 0;
   std::uint64_t best_generation = 0;
   std::uint32_t best_config = 0;
+  /// Resolved entry for best_config; quorum checks run against it.
+  std::shared_ptr<const MemberConfig> config;
   bool done = false;
   ClientResult result;
 };
@@ -48,31 +51,58 @@ std::chrono::microseconds Since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 AsyncQuorumClient::AsyncQuorumClient(Transport& transport, NodeId id,
-                                     std::vector<quorum::QuorumSystem> configs,
+                                     std::shared_ptr<ConfigTable> table,
                                      std::uint32_t initial_config,
                                      Options options)
     : transport_(&transport),
       id_(id),
-      configs_(std::move(configs)),
+      table_(std::move(table)),
       options_(options),
       config_id_(initial_config),
       backoff_rng_(0xa5bacc0ffull ^ id) {
-  QCNT_CHECK(initial_config < configs_.size());
-  // Responder/acker bookkeeping is a 64-bit bitmask indexed by replica
-  // id; a larger universe would shift out of range (silent UB).
-  QCNT_CHECK(ReplicaCount() <= 64);
-  QCNT_CHECK(id >= ReplicaCount());
+  QCNT_CHECK(table_ != nullptr);
+  QCNT_CHECK(initial_config < table_->Size());
+  // Responder/acker bookkeeping is a 64-bit bitmask indexed by node id
+  // (member ids are checked < 64 when the table is built); the client
+  // itself must not be quorumed over.
+  const auto mc = table_->At(initial_config);
+  QCNT_CHECK_MSG(id >= 64 || (mc->member_mask & (1ull << id)) == 0,
+                 "client id collides with a configuration member");
   QCNT_CHECK(options_.window >= 1);
   QCNT_CHECK(options_.max_batch >= 1);
   QCNT_CHECK(options_.max_attempts >= 1);
 }
+
+AsyncQuorumClient::AsyncQuorumClient(Transport& transport, NodeId id,
+                                     std::vector<quorum::QuorumSystem> configs,
+                                     std::uint32_t initial_config,
+                                     Options options)
+    : AsyncQuorumClient(transport, id,
+                        std::make_shared<ConfigTable>(std::move(configs)),
+                        initial_config, options) {}
 
 AsyncQuorumClient::~AsyncQuorumClient() = default;
 
 void AsyncQuorumClient::Broadcast(RtMessage m) {
   stats_.batches_sent += 1;
   stats_.batched_requests += m.batch.size();
-  for (NodeId r = 0; r < ReplicaCount(); ++r) transport_->Send(id_, r, m);
+  // Target the believed configuration's members at send time: once a
+  // response teaches this client a newer generation, the very next flush
+  // already reaches the new replica set.
+  const auto mc = table_->At(config_id_);
+  for (NodeId r : mc->members) transport_->Send(id_, r, m);
+}
+
+void AsyncQuorumClient::Learn(std::uint64_t generation,
+                              std::uint32_t config_id) {
+  // (generation, config_id) order — see QuorumClient::Learn.
+  if (generation < generation_ ||
+      (generation == generation_ && config_id <= config_id_)) {
+    return;
+  }
+  if (table_->TryAt(config_id) == nullptr) return;  // unresolvable: stray
+  generation_ = generation;
+  config_id_ = config_id;
 }
 
 OpFuture AsyncQuorumClient::SubmitRead(std::string key) {
@@ -115,10 +145,12 @@ void AsyncQuorumClient::StartAttempt(const std::shared_ptr<Op>& op) {
   op->deadline = std::chrono::steady_clock::now() + options_.timeout;
   op->responded = 0;
   op->acked = 0;
+  op->fenced = 0;
   op->best_version = 0;
   op->best_value = 0;
   op->best_config = config_id_;
   op->best_generation = generation_;
+  op->config = table_->At(config_id_);
   in_flight_.emplace(op->id, op);
   staged_reads_.push_back(BatchEntry{op->id, op->key, 0, 0});
   if (staged_reads_.size() >= options_.max_batch) FlushReads();
@@ -137,6 +169,9 @@ void AsyncQuorumClient::FlushWrites() {
   if (staged_writes_.empty()) return;
   RtMessage m;
   m.kind = RtMessage::Kind::kBatchWriteReq;
+  // The believed generation rides on the whole batch; a replica holding a
+  // newer one fences every entry (per-entry NACKs teach the retry).
+  m.generation = generation_;
   m.batch = std::move(staged_writes_);
   staged_writes_.clear();
   Broadcast(std::move(m));
@@ -199,20 +234,21 @@ void AsyncQuorumClient::Dispatch(const Envelope& e) {
 }
 
 void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
-  // A sender id outside the replica universe would index out of the
-  // responder bitmask; such envelopes are stray traffic, never evidence.
-  if (e.from >= ReplicaCount()) return;
+  // A sender id outside the bitmask domain would shift out of range;
+  // such envelopes are stray traffic, never quorum evidence.
+  if (e.from >= 64) return;
   const RtMessage& m = e.msg;
-  if (m.generation > generation_) {
-    generation_ = m.generation;
-    config_id_ = m.config_id;
-  }
+  Learn(m.generation, m.config_id);
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : m.batch) {
     auto it = in_flight_.find(entry.op);
     if (it == in_flight_.end()) continue;  // completed, retried or timed out
     const std::shared_ptr<Op> op = it->second;
     if (op->phase != Op::Phase::kRead) continue;
+    // Only members of the op's configuration are evidence — neither
+    // toward the quorum nor in the freshest-version race (a forged or
+    // decommissioned sender must not win version discovery).
+    if ((op->config->member_mask & bit) == 0) continue;
     const bool first = op->responded == 0;
     op->responded |= bit;
     if (!first && entry.version == op->best_version &&
@@ -228,11 +264,22 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
       op->best_version = entry.version;
       op->best_value = entry.value;
     }
-    if (m.generation > op->best_generation) {
-      op->best_generation = m.generation;
-      op->best_config = m.config_id;
+    if (m.generation > op->best_generation ||
+        (m.generation == op->best_generation &&
+         m.config_id > op->best_config)) {
+      // Chase the newest configuration named by the evidence, in the
+      // (generation, config_id) stamp order; the quorum check below
+      // re-arms under it.
+      if (auto mc = table_->TryAt(m.config_id)) {
+        op->best_generation = m.generation;
+        op->best_config = m.config_id;
+        op->config = std::move(mc);
+      }
     }
-    if (!configs_[op->best_config].has_read(op->responded)) continue;
+    if (!op->config->system.has_read(op->responded &
+                                     op->config->member_mask)) {
+      continue;
+    }
     if (op->is_write) {
       // Version discovery done: stage the install above both the
       // discovered version and everything this client ever staged for
@@ -257,15 +304,34 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
 }
 
 void AsyncQuorumClient::HandleBatchWriteAck(const Envelope& e) {
-  if (e.from >= ReplicaCount()) return;
+  if (e.from >= 64) return;
+  // A fenced ack still names the newer configuration in its header —
+  // that's the notification channel that re-targets the retry.
+  Learn(e.msg.generation, e.msg.config_id);
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : e.msg.batch) {
     auto it = in_flight_.find(entry.op);
     if (it == in_flight_.end()) continue;
     const std::shared_ptr<Op> op = it->second;
     if (op->phase != Op::Phase::kWrite) continue;
+    if ((op->config->member_mask & bit) == 0) continue;  // non-member ack
+    if (entry.value != 0) {
+      // Fenced: refused, not quorum evidence. A fenced replica's
+      // generation only grows, so it can never ack this attempt — once
+      // the refusers exclude every write quorum, park the op for an
+      // immediate retry (already re-targeted by the Learn above) instead
+      // of letting it ride out the attempt deadline.
+      op->fenced |= bit;
+      if (op->attempt < options_.max_attempts &&
+          !op->config->system.has_write(op->config->member_mask &
+                                        ~op->fenced)) {
+        op->phase = Op::Phase::kBackoff;
+        op->retry_at = std::chrono::steady_clock::now();
+      }
+      continue;
+    }
     op->acked |= bit;
-    if (configs_[op->best_config].has_write(op->acked)) {
+    if (op->config->system.has_write(op->acked & op->config->member_mask)) {
       op->result.value = op->value;
       Complete(op, ClientStatus::kOk);
     }

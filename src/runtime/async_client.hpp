@@ -43,6 +43,7 @@
 #include "quorum/strategies.hpp"
 #include "runtime/bus.hpp"
 #include "runtime/client.hpp"
+#include "runtime/config_table.hpp"
 
 namespace qcnt::runtime {
 
@@ -105,6 +106,15 @@ class AsyncQuorumClient {
     std::chrono::microseconds max_latency{0};
   };
 
+  /// `table` is the shared registry of installable configurations (it
+  /// may grow at runtime; see config_table.hpp) — responses revealing a
+  /// newer generation re-target every later broadcast, and fenced write
+  /// acks (a replica refusing an install under a stale generation) teach
+  /// the client the new configuration without counting toward a quorum.
+  AsyncQuorumClient(Transport& transport, NodeId id,
+                    std::shared_ptr<ConfigTable> table,
+                    std::uint32_t initial_config, Options options);
+  /// Convenience: wrap a static table of prefix-universe configurations.
   AsyncQuorumClient(Transport& transport, NodeId id,
                     std::vector<quorum::QuorumSystem> configs,
                     std::uint32_t initial_config, Options options);
@@ -132,9 +142,10 @@ class AsyncQuorumClient {
   friend class OpFuture;
   using Op = OpFuture::State;
 
-  std::uint32_t ReplicaCount() const { return configs_.front().n; }
   OpFuture Submit(std::string key, bool is_write, std::int64_t value);
   void Broadcast(RtMessage m);
+  /// Adopt (generation, config_id) evidence from a response.
+  void Learn(std::uint64_t generation, std::uint32_t config_id);
   void Admit(const std::shared_ptr<Op>& op);
   /// (Re)launch the op's read phase under a fresh deadline: reset quorum
   /// bookkeeping and stage the read request. The op must already carry
@@ -160,7 +171,7 @@ class AsyncQuorumClient {
 
   Transport* transport_;
   NodeId id_;
-  std::vector<quorum::QuorumSystem> configs_;
+  std::shared_ptr<ConfigTable> table_;
   Options options_;
   std::uint32_t config_id_;
   std::uint64_t generation_ = 0;

@@ -10,14 +10,34 @@ bool Bus::DueLater(const DelayedMessage& a, const DelayedMessage& b) {
   return a.due > b.due || (a.due == b.due && a.tie > b.tie);
 }
 
+namespace {
+/// Pre-allocated slots beyond the construction-time universe, claimable at
+/// runtime via AddNode (membership change). Headroom keeps growth free of
+/// vector reallocation: every mailbox and atomic up-flag a concurrent
+/// sender might touch already exists.
+constexpr std::size_t kGrowthHeadroom = 32;
+}  // namespace
+
 Bus::Bus(std::size_t nodes)
-    : up_(nodes), crash_hooks_(nodes), blocked_(nodes * nodes, 0) {
+    : up_(nodes + kGrowthHeadroom), crash_hooks_(nodes + kGrowthHeadroom) {
   QCNT_CHECK(nodes >= 1);
-  mailboxes_.reserve(nodes);
-  for (std::size_t i = 0; i < nodes; ++i) {
+  const std::size_t capacity = nodes + kGrowthHeadroom;
+  mailboxes_.reserve(capacity);
+  for (std::size_t i = 0; i < capacity; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
-    up_[i].store(true);
+    up_[i].store(i < nodes);  // headroom slots stay dark until AddNode
   }
+  count_.store(nodes, std::memory_order_release);
+}
+
+NodeId Bus::AddNode() {
+  std::lock_guard<std::mutex> lock(hooks_mu_);  // serialize growth
+  const std::size_t id = count_.load(std::memory_order_acquire);
+  QCNT_CHECK_MSG(id < mailboxes_.size(), "bus universe capacity exhausted");
+  mailboxes_[id]->Reopen();  // fresh slot; no-op unless CloseAll raced
+  up_[id].store(true, std::memory_order_release);
+  count_.store(id + 1, std::memory_order_release);
+  return static_cast<NodeId>(id);
 }
 
 Bus::~Bus() {
@@ -30,12 +50,12 @@ Bus::~Bus() {
 }
 
 Mailbox& Bus::MailboxOf(NodeId node) {
-  QCNT_CHECK(node < mailboxes_.size());
+  QCNT_CHECK(node < NodeCount());
   return *mailboxes_[node];
 }
 
 void Bus::Crash(NodeId node) {
-  QCNT_CHECK(node < mailboxes_.size());
+  QCNT_CHECK(node < NodeCount());
   up_[node].store(false);
   // Drain after marking down: sends racing with the crash either see the
   // down flag and drop, or land in the queue before this drain clears it.
@@ -54,13 +74,13 @@ void Bus::Crash(NodeId node) {
 }
 
 void Bus::SetCrashHook(NodeId node, std::function<void()> hook) {
-  QCNT_CHECK(node < mailboxes_.size());
+  QCNT_CHECK(node < NodeCount());
   std::lock_guard<std::mutex> lock(hooks_mu_);
   crash_hooks_[node] = std::move(hook);
 }
 
 void Bus::Recover(NodeId node) {
-  QCNT_CHECK(node < mailboxes_.size());
+  QCNT_CHECK(node < NodeCount());
   // Reopen before flipping the up flag so a sender that sees up==true is
   // guaranteed a mailbox that accepts the message.
   mailboxes_[node]->Reopen();
@@ -68,7 +88,7 @@ void Bus::Recover(NodeId node) {
 }
 
 bool Bus::Send(NodeId from, NodeId to, RtMessage msg) {
-  QCNT_CHECK(from < mailboxes_.size() && to < mailboxes_.size());
+  QCNT_CHECK(from < NodeCount() && to < NodeCount());
   sent_.fetch_add(1, std::memory_order_relaxed);
   if (!up_[from].load() || !up_[to].load()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -101,9 +121,9 @@ void Bus::SetFaults(const FaultPlan& plan) {
 }
 
 void Bus::SetLinkFaults(NodeId from, NodeId to, const FaultPlan& plan) {
-  QCNT_CHECK(from < mailboxes_.size() && to < mailboxes_.size());
+  QCNT_CHECK(from < NodeCount() && to < NodeCount());
   std::lock_guard<std::mutex> lock(fault_mu_);
-  LinkState& link = links_[from * NodeCount() + to];
+  LinkState& link = links_[LinkKey(from, to)];
   link.plan = plan;
   link.seeded = false;  // reseed from the new plan on the next send
   if (plan.delay_max.count() > 0 || plan.reorder_window > 0) {
@@ -127,8 +147,8 @@ void Bus::Partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
   for (NodeId x : a) {
     for (NodeId y : b) {
       QCNT_CHECK(x < NodeCount() && y < NodeCount());
-      blocked_[x * NodeCount() + y] = 1;
-      if (symmetric) blocked_[y * NodeCount() + x] = 1;
+      blocked_.insert(LinkKey(x, y));
+      if (symmetric) blocked_.insert(LinkKey(y, x));
     }
   }
   faults_active_.store(true, std::memory_order_release);
@@ -136,7 +156,7 @@ void Bus::Partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
 
 void Bus::Heal() {
   std::lock_guard<std::mutex> lock(fault_mu_);
-  std::fill(blocked_.begin(), blocked_.end(), 0);
+  blocked_.clear();
 }
 
 FaultStats Bus::InjectedFaults() const {
@@ -152,24 +172,25 @@ const FaultPlan* Bus::PlanFor(LinkState& link) const {
 
 void Bus::SeedLink(LinkState& link, NodeId from, NodeId to,
                    const FaultPlan& plan) {
-  // SplitMix over (seed, link index) gives each directed link its own
+  // SplitMix over (seed, link pair) gives each directed link its own
   // stream: decisions depend only on the seed and the link's send count,
-  // never on cross-link interleaving.
+  // never on cross-link interleaving — and never on the universe size, so
+  // a link to a node added after construction gets the same lazily-derived
+  // stream treatment as any founding link.
   std::uint64_t s =
-      plan.seed ^ (0x9e3779b97f4a7c15ull *
-                   (static_cast<std::uint64_t>(from) * NodeCount() + to + 1));
+      plan.seed ^ (0x9e3779b97f4a7c15ull * (LinkKey(from, to) + 1));
   link.rng = Rng(SplitMix64(s));
   link.seeded = true;
 }
 
 bool Bus::SendWithFaults(NodeId from, NodeId to, RtMessage msg) {
   std::lock_guard<std::mutex> lock(fault_mu_);
-  if (blocked_[from * NodeCount() + to]) {
+  if (blocked_.count(LinkKey(from, to)) != 0) {
     ++fault_stats_.partition_drops;
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  LinkState& link = links_[from * NodeCount() + to];
+  LinkState& link = links_[LinkKey(from, to)];
   const FaultPlan* plan = PlanFor(link);
   if (plan == nullptr || !plan->Active()) {
     mailboxes_[to]->Push(Envelope{from, std::move(msg)});

@@ -31,6 +31,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -89,7 +90,20 @@ class Bus final : public Transport {
   explicit Bus(std::size_t nodes);
   ~Bus() override;
 
-  std::size_t NodeCount() const override { return mailboxes_.size(); }
+  /// Logical universe size: nodes created at construction plus AddNode
+  /// calls. Slots beyond this (up to Capacity) are pre-allocated but dark.
+  std::size_t NodeCount() const override {
+    return count_.load(std::memory_order_acquire);
+  }
+  /// Pre-allocated universe ceiling; AddNode beyond it is a check failure.
+  std::size_t Capacity() const { return mailboxes_.size(); }
+  /// Grow the universe by one node (membership change). The slot's mailbox
+  /// and up-flag were pre-allocated at construction, so no existing
+  /// reference is invalidated and no send ever races a vector growth. The
+  /// new node starts up, with an empty mailbox; fault plans and per-link
+  /// streams cover its links lazily, exactly like links between founding
+  /// nodes. Returns the new node's id.
+  NodeId AddNode();
   Mailbox& MailboxOf(NodeId node) override;
 
   /// Deliver (or schedule) one message. Returns true when the message was
@@ -173,6 +187,15 @@ class Bus final : public Transport {
     Envelope e;
   };
 
+  /// Directed-link key, stable under universe growth: (from << 32) | to.
+  /// Keying (and seeding) by a NodeCount()-based index would re-map every
+  /// link — and restart every per-link fault stream — whenever a node
+  /// joins; the pair key keeps streams pinned to their link forever.
+  static std::uint64_t LinkKey(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
   static bool DueLater(const DelayedMessage& a, const DelayedMessage& b);
   bool SendWithFaults(NodeId from, NodeId to, RtMessage msg);
   /// All helpers below require fault_mu_ held.
@@ -187,8 +210,9 @@ class Bus final : public Transport {
   void EnsureNetThread();
   void NetLoop();
 
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
-  std::vector<std::atomic<bool>> up_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // sized to Capacity()
+  std::vector<std::atomic<bool>> up_;                // sized to Capacity()
+  std::atomic<std::size_t> count_{0};                // logical node count
   mutable std::mutex hooks_mu_;
   std::vector<std::function<void()>> crash_hooks_;
   std::atomic<std::uint64_t> sent_{0};
@@ -200,8 +224,8 @@ class Bus final : public Transport {
   mutable std::mutex fault_mu_;
   std::condition_variable fault_cv_;
   std::optional<FaultPlan> default_plan_;
-  std::unordered_map<std::uint64_t, LinkState> links_;  // key: from*n + to
-  std::vector<char> blocked_;                           // n*n matrix
+  std::unordered_map<std::uint64_t, LinkState> links_;   // key: LinkKey
+  std::unordered_set<std::uint64_t> blocked_;            // partitioned links
   FaultStats fault_stats_;
   std::vector<DelayedMessage> delayed_;  // min-heap on (due, tie)
   std::uint64_t delayed_tie_ = 0;

@@ -32,21 +32,31 @@ const char* ToString(ClientStatus status) {
 }
 
 QuorumClient::QuorumClient(Transport& transport, NodeId id,
-                           std::vector<quorum::QuorumSystem> configs,
+                           std::shared_ptr<ConfigTable> table,
                            std::uint32_t initial_config, Options options)
     : transport_(&transport),
       id_(id),
-      configs_(std::move(configs)),
+      table_(std::move(table)),
       options_(options),
       config_id_(initial_config),
       backoff_rng_(0xbacc0ffull ^ id) {
-  QCNT_CHECK(initial_config < configs_.size());
-  // Responder bookkeeping is a 64-bit bitmask indexed by replica id; a
-  // larger universe would shift out of range (silent UB).
-  QCNT_CHECK(ReplicaCount() <= 64);
-  QCNT_CHECK(id >= ReplicaCount());
+  QCNT_CHECK(table_ != nullptr);
+  QCNT_CHECK(initial_config < table_->Size());
+  // Responder bookkeeping is a 64-bit bitmask indexed by node id (member
+  // ids are checked < 64 when the table is built); the client itself must
+  // not be quorumed over.
+  const auto mc = table_->At(initial_config);
+  QCNT_CHECK_MSG(id >= 64 || (mc->member_mask & (1ull << id)) == 0,
+                 "client id collides with a configuration member");
   QCNT_CHECK(options_.max_attempts >= 1);
 }
+
+QuorumClient::QuorumClient(Transport& transport, NodeId id,
+                           std::vector<quorum::QuorumSystem> configs,
+                           std::uint32_t initial_config, Options options)
+    : QuorumClient(transport, id,
+                   std::make_shared<ConfigTable>(std::move(configs)),
+                   initial_config, options) {}
 
 QuorumClient::QuorumClient(Transport& transport, NodeId id,
                            std::vector<quorum::QuorumSystem> configs,
@@ -54,8 +64,27 @@ QuorumClient::QuorumClient(Transport& transport, NodeId id,
     : QuorumClient(transport, id, std::move(configs), initial_config,
                    Options{}) {}
 
-void QuorumClient::BroadcastToReplicas(const RtMessage& m) {
-  for (NodeId r = 0; r < ReplicaCount(); ++r) transport_->Send(id_, r, m);
+void QuorumClient::BroadcastTo(const MemberConfig& config,
+                               const RtMessage& m) {
+  for (NodeId r : config.members) transport_->Send(id_, r, m);
+}
+
+void QuorumClient::Learn(std::uint64_t generation, std::uint32_t config_id) {
+  // Stamps order by (generation, config_id): config ids are append-ordered
+  // in the shared table, so when an orphaned stamp from a timed-out
+  // reconfigure attempt collides in generation with a later install (of an
+  // adjacent configuration), every client deterministically resolves the
+  // tie toward the newer configuration.
+  if (generation < generation_ ||
+      (generation == generation_ && config_id <= config_id_)) {
+    return;
+  }
+  // Adopt only config ids the shared table can resolve; membership change
+  // appends the target before stamping it, so an unresolvable id is stray
+  // or corrupt traffic, never a config this client must chase.
+  if (table_->TryAt(config_id) == nullptr) return;
+  generation_ = generation;
+  config_id_ = config_id;
 }
 
 QuorumClient::ReadPhase QuorumClient::RunReadPhase(
@@ -65,11 +94,12 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
   req.kind = RtMessage::Kind::kReadReq;
   req.op = op;
   req.key = key;
-  BroadcastToReplicas(req);
 
   ReadPhase phase;
   phase.best_config = config_id_;
   phase.best_generation = generation_;
+  phase.config = table_->At(config_id_);
+  BroadcastTo(*phase.config, req);
   std::uint64_t responded = 0;
   std::array<std::uint64_t, 64> versions{};
   while (!phase.ok) {
@@ -80,11 +110,16 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
       phase.shutdown = std::chrono::steady_clock::now() < deadline;
       break;
     }
-    // A sender id outside the replica universe would index out of the
-    // bitmask; such envelopes are stray traffic, never quorum evidence.
-    if (e->from >= ReplicaCount()) continue;
+    // A sender id outside the bitmask domain would shift out of range;
+    // such envelopes are stray traffic, never quorum evidence.
+    if (e->from >= 64) continue;
     const RtMessage& m = e->msg;
     if (m.op != op || m.kind != RtMessage::Kind::kReadResp) continue;
+    // Only members of the configuration under evaluation are evidence —
+    // neither toward the quorum nor in the freshest-version race. A
+    // forged (or decommissioned) sender outside the member set must not
+    // win version discovery with a fabricated version.
+    if ((phase.config->member_mask & (1ull << e->from)) == 0) continue;
     const std::uint64_t bit = 1ull << e->from;
     const bool first = responded == 0;
     responded |= bit;
@@ -103,17 +138,28 @@ QuorumClient::ReadPhase QuorumClient::RunReadPhase(
       phase.best_version = m.version;
       phase.best_value = m.value;
     }
-    if (m.generation > phase.best_generation) {
-      phase.best_generation = m.generation;
-      phase.best_config = m.config_id;
+    if (m.generation > phase.best_generation ||
+        (m.generation == phase.best_generation &&
+         m.config_id > phase.best_config)) {
+      // Chase the newest configuration the quorum evidence names, in the
+      // (generation, config_id) stamp order; the quorum check below
+      // re-arms under it (reading a read quorum of an old config
+      // necessarily reveals a newer generation when one was installed —
+      // the stamp covers an old write quorum).
+      if (auto mc = table_->TryAt(m.config_id)) {
+        phase.best_generation = m.generation;
+        phase.best_config = m.config_id;
+        phase.config = std::move(mc);
+      }
     }
-    if (m.generation > generation_) {
-      generation_ = m.generation;
-      config_id_ = m.config_id;
+    Learn(m.generation, m.config_id);
+    // Mask evidence down to the config's members: a response from a node
+    // the config does not quorum over must never complete the phase.
+    if (phase.config->system.has_read(responded & phase.config->member_mask)) {
+      phase.ok = true;
     }
-    if (configs_[phase.best_config].has_read(responded)) phase.ok = true;
   }
-  for (NodeId r = 0; r < ReplicaCount(); ++r) {
+  for (NodeId r = 0; r < 64; ++r) {
     if ((responded & (1ull << r)) && versions[r] < phase.best_version) {
       phase.stale |= 1ull << r;
     }
@@ -133,7 +179,11 @@ void QuorumClient::MaybeRepair(const std::string& key, std::uint64_t op,
   repair.key = key;
   repair.version = phase.best_version;
   repair.value = phase.best_value;
-  for (NodeId r = 0; r < ReplicaCount(); ++r) {
+  // Stamp the believed generation: a repair must not be fenced off by
+  // replicas that already installed the configuration this client just
+  // learned about from the same read quorum.
+  repair.generation = generation_;
+  for (NodeId r = 0; r < 64; ++r) {
     if ((phase.stale & (1ull << r)) == 0) continue;
     // Count only repairs the bus accepted: a send the bus dropped
     // (crashed or partitioned replica) repaired nothing, and chaos-test
@@ -219,20 +269,43 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
     w.key = key;
     w.version = std::max(phase.best_version, version_floor) + 1;
     w.value = value;
+    // The believed generation rides along; a replica that has installed a
+    // newer one fences the install (NACK) instead of applying it, and the
+    // NACK teaches this client the new configuration for the retry.
+    w.generation = generation_;
     version_floor = w.version;
-    BroadcastToReplicas(w);
+    BroadcastTo(*phase.config, w);
 
+    const MemberConfig& wc = *phase.config;
     std::uint64_t acked = 0;
+    std::uint64_t fenced = 0;
     bool shutdown = false, quorum = true;
-    while (!configs_[phase.best_config].has_write(acked)) {
+    while (!wc.system.has_write(acked & wc.member_mask)) {
       std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
       if (!e) {
         shutdown = std::chrono::steady_clock::now() < deadline;
         quorum = false;
         break;
       }
-      if (e->from >= ReplicaCount()) continue;
+      if (e->from >= 64) continue;
+      if ((wc.member_mask & (1ull << e->from)) == 0) continue;
       if (e->msg.op != op || e->msg.kind != RtMessage::Kind::kWriteAck) {
+        continue;
+      }
+      if (e->msg.value != 0) {
+        // Fenced: the replica holds a newer generation and refused the
+        // install. Not quorum evidence — but it names the configuration
+        // the retry must target. A fenced replica's generation only
+        // grows, so it can never ack this attempt: once the refusers
+        // exclude every write quorum the attempt is unwinnable, and
+        // waiting out the deadline would only stretch the client-visible
+        // stall a reconfiguration causes.
+        Learn(e->msg.generation, e->msg.config_id);
+        fenced |= 1ull << e->from;
+        if (!wc.system.has_write(wc.member_mask & ~fenced)) {
+          quorum = false;
+          break;
+        }
         continue;
       }
       acked |= 1ull << e->from;
@@ -258,10 +331,20 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
   return result;
 }
 
-ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
-  QCNT_CHECK(target < configs_.size());
+ClientResult QuorumClient::Reconfigure(std::uint32_t target,
+                                       std::uint64_t* stamp_acked_out) {
+  QCNT_CHECK(target < table_->Size());
+  const auto target_cfg = table_->At(target);
   const auto t0 = std::chrono::steady_clock::now();
   ClientResult result;
+  // Highest generation any attempt of this call put on the wire. A timed-
+  // out attempt may still have planted its stamp on some replica; if a
+  // later attempt's read quorum never sees that orphan and succeeds with a
+  // lower generation, believing only the successful one would leave this
+  // client issuing installs the orphaned replica fences. Believing the max
+  // is always safe: generations only order fences, and every attempt here
+  // stamps the same target configuration.
+  std::uint64_t stamped = 0;
   for (std::size_t attempt = 1; attempt <= options_.max_attempts; ++attempt) {
     result.attempts = static_cast<std::uint32_t>(attempt);
     const std::uint64_t op = next_op_++;
@@ -276,6 +359,7 @@ ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
       if (attempt < options_.max_attempts) Backoff(attempt);
       continue;
     }
+    const MemberConfig& old_cfg = *phase.config;
 
     RtMessage data;
     data.kind = RtMessage::Kind::kWriteReq;
@@ -283,37 +367,70 @@ ClientResult QuorumClient::Reconfigure(std::uint32_t target) {
     data.key = "";
     data.version = phase.best_version;
     data.value = phase.best_value;
-    BroadcastToReplicas(data);
+    // The data leg belongs to the generation being installed: replicas
+    // that already applied this attempt's stamp must not fence it.
+    data.generation = phase.best_generation + 1;
 
     RtMessage cfg;
     cfg.kind = RtMessage::Kind::kConfigWriteReq;
     cfg.op = op;
     cfg.generation = phase.best_generation + 1;
     cfg.config_id = target;
-    BroadcastToReplicas(cfg);
+    stamped = std::max(stamped, cfg.generation);
+
+    // Both legs go to the union of old and target members. The quorum
+    // requirements stay the paper's: data at a write quorum of the
+    // *target*, stamp at a write quorum of the *old* configuration (the
+    // §4 sharpening) — but sending the stamp to joining members too means
+    // they normally learn their generation immediately instead of waiting
+    // to be fenced into it.
+    for (NodeId r : old_cfg.members) {
+      transport_->Send(id_, r, data);
+      transport_->Send(id_, r, cfg);
+    }
+    for (NodeId r : target_cfg->members) {
+      if ((old_cfg.member_mask & (1ull << r)) != 0) continue;
+      transport_->Send(id_, r, data);
+      transport_->Send(id_, r, cfg);
+    }
 
     std::uint64_t data_acked = 0, cfg_acked = 0;
     bool shutdown = false, quorum = true;
-    while (!(configs_[target].has_write(data_acked) &&
-             configs_[phase.best_config].has_write(cfg_acked))) {
+    while (!(target_cfg->system.has_write(data_acked &
+                                          target_cfg->member_mask) &&
+             old_cfg.system.has_write(cfg_acked & old_cfg.member_mask))) {
       std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
       if (!e) {
         shutdown = std::chrono::steady_clock::now() < deadline;
         quorum = false;
         break;
       }
-      if (e->from >= ReplicaCount()) continue;
+      if (e->from >= 64) continue;
+      if (((old_cfg.member_mask | target_cfg->member_mask) &
+           (1ull << e->from)) == 0) {
+        continue;
+      }
       if (e->msg.op != op) continue;
       if (e->msg.kind == RtMessage::Kind::kWriteAck) {
+        if (e->msg.value != 0) {
+          // Fenced data leg: an even newer generation won the race.
+          Learn(e->msg.generation, e->msg.config_id);
+          continue;
+        }
         data_acked |= 1ull << e->from;
       } else if (e->msg.kind == RtMessage::Kind::kConfigWriteAck) {
         cfg_acked |= 1ull << e->from;
       }
     }
     if (quorum) {
-      if (phase.best_generation + 1 > generation_) {
-        generation_ = phase.best_generation + 1;
+      if (stamped > generation_) {
+        generation_ = stamped;
         config_id_ = target;
+      }
+      if (stamp_acked_out != nullptr) {
+        // Exactly the old members whose stamp ack the quorum saw — the
+        // seal set S_acked of DESIGN.md §11.
+        *stamp_acked_out = cfg_acked & old_cfg.member_mask;
       }
       result.ok = true;
       result.status = ClientStatus::kOk;

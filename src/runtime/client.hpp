@@ -19,12 +19,14 @@
 #pragma once
 
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "common/rng.hpp"
 #include "quorum/strategies.hpp"
 #include "runtime/bus.hpp"
+#include "runtime/config_table.hpp"
 
 namespace qcnt::runtime {
 
@@ -79,9 +81,17 @@ class QuorumClient {
     bool read_repair = false;
   };
 
-  /// `configs` is the static table of installable configurations (shared
-  /// with every client); initial_config is in force at generation 0.
-  /// Replicas are nodes [0, configs[...].n); this client is node `id`.
+  /// `table` is the shared registry of installable configurations;
+  /// initial_config is in force at generation 0. The table may grow at
+  /// runtime (membership change appends the target before stamping it),
+  /// and this client re-targets its broadcasts whenever a response
+  /// reveals a newer generation. This client is node `id`, which must not
+  /// be a member of the initial configuration.
+  QuorumClient(Transport& transport, NodeId id,
+               std::shared_ptr<ConfigTable> table,
+               std::uint32_t initial_config, Options options);
+  /// Convenience: wrap a static table of prefix-universe configurations
+  /// (replicas are nodes [0, configs[i].n), the pre-membership shape).
   QuorumClient(Transport& transport, NodeId id,
                std::vector<quorum::QuorumSystem> configs,
                std::uint32_t initial_config, Options options);
@@ -90,13 +100,21 @@ class QuorumClient {
                std::uint32_t initial_config);
 
   std::uint32_t BelievedConfig() const { return config_id_; }
+  std::uint64_t BelievedGeneration() const { return generation_; }
 
   /// Logical read: read-quorum collection, freshest value wins.
   ClientResult Read(const std::string& key);
   /// Logical write: version discovery then write-quorum installation.
   ClientResult Write(const std::string& key, std::int64_t value);
-  /// Gifford reconfiguration to configs[target].
-  ClientResult Reconfigure(std::uint32_t target);
+  /// Gifford reconfiguration to table entry `target`. When
+  /// `stamp_acked_out` is non-null it receives the exact set of *old*-
+  /// configuration members that acked the generation stamp — the
+  /// membership coordinator's seal pass streams deltas from every one of
+  /// them, which is what makes a grown configuration safe (any write
+  /// acked under the old generation has a write quorum intersecting this
+  /// set; see DESIGN.md §11).
+  ClientResult Reconfigure(std::uint32_t target,
+                           std::uint64_t* stamp_acked_out = nullptr);
 
   /// Number of read-repair write-backs actually delivered to (or accepted
   /// for delivery by) the bus — repairs the bus dropped on the floor
@@ -121,12 +139,17 @@ class QuorumClient {
     std::int64_t best_value = 0;
     std::uint64_t best_generation = 0;
     std::uint32_t best_config = 0;
+    /// Resolved entry for best_config (the config the quorum check ran
+    /// under); the write leg quorums against the same snapshot.
+    std::shared_ptr<const MemberConfig> config;
     /// Bitmask of responders whose version lagged best_version.
     std::uint64_t stale = 0;
   };
 
-  std::uint32_t ReplicaCount() const { return configs_.front().n; }
-  void BroadcastToReplicas(const RtMessage& m);
+  void BroadcastTo(const MemberConfig& config, const RtMessage& m);
+  /// Adopt (generation, config_id) evidence from a response; newer
+  /// generations re-target every later broadcast.
+  void Learn(std::uint64_t generation, std::uint32_t config_id);
   /// Run the read phase for `key` under the current deadline.
   ReadPhase RunReadPhase(const std::string& key, std::uint64_t op,
                          std::chrono::steady_clock::time_point deadline);
@@ -140,7 +163,7 @@ class QuorumClient {
 
   Transport* transport_;
   NodeId id_;
-  std::vector<quorum::QuorumSystem> configs_;
+  std::shared_ptr<ConfigTable> table_;
   Options options_;
   std::uint32_t config_id_;
   std::uint64_t generation_ = 0;

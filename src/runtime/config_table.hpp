@@ -1,0 +1,129 @@
+// Shared, runtime-appendable registry of installable configurations.
+//
+// The paper's configuration object names a read/write quorum family; the
+// runtime additionally needs to know *which node ids* a configuration
+// quorums over, because membership change makes the replica set a
+// non-contiguous id list (node ids are assigned for life and never
+// reused, so a universe that grew 3 → 4 → 3 is {0, 1, 3}, not [0, 3)).
+//
+// A MemberConfig pairs the quorum predicates with that member list. The
+// table is shared by the store and every client it hands out: a
+// reconfiguration appends the target configuration *before* installing
+// its stamp, so any config_id a replica ever returns in a response is
+// resolvable by every client — that lookup is how a client re-targets
+// its broadcasts after the membership changed underneath it.
+//
+// Thread safety: Append/At/Size may race freely (clients run on their
+// own threads; AddReplica appends from the membership coordinator).
+// Entries are immutable once appended and handed out by shared_ptr, so a
+// client can hold a snapshot across a whole quorum phase without holding
+// the lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "quorum/strategies.hpp"
+#include "runtime/message.hpp"
+
+namespace qcnt::runtime {
+
+/// One installable configuration: quorum predicates plus the exact node
+/// ids they quorum over. `member_mask` is the members as an up-set-style
+/// bitmask (all ids < 64, the same domain the QuorumSystem predicates
+/// use); responder bookkeeping is masked with it before a quorum check so
+/// evidence from non-members can never satisfy a quorum.
+struct MemberConfig {
+  quorum::QuorumSystem system;
+  std::vector<NodeId> members;
+  std::uint64_t member_mask = 0;
+};
+
+class ConfigTable {
+ public:
+  /// A configuration over the prefix universe [0, system.n) — how every
+  /// pre-membership-change configuration was expressed.
+  static MemberConfig Prefix(quorum::QuorumSystem system) {
+    QCNT_CHECK_MSG(system.n <= 64,
+                   "universe beyond the 64-bit quorum bitmask domain");
+    MemberConfig c;
+    c.members.reserve(system.n);
+    for (NodeId r = 0; r < system.n; ++r) c.members.push_back(r);
+    c.member_mask = system.n == 64 ? ~0ull : (1ull << system.n) - 1;
+    c.system = std::move(system);
+    return c;
+  }
+
+  /// Majority quorums over an arbitrary member set (the shape membership
+  /// change installs; see quorum::MajorityOverSystem).
+  static MemberConfig Majority(std::vector<NodeId> members) {
+    MemberConfig c;
+    c.system = quorum::MajorityOverSystem(
+        {members.begin(), members.end()});
+    c.member_mask = MaskOf(members);
+    c.members = std::move(members);
+    return c;
+  }
+
+  static std::uint64_t MaskOf(const std::vector<NodeId>& members) {
+    std::uint64_t mask = 0;
+    for (NodeId r : members) {
+      QCNT_CHECK_MSG(r < 64, "member id out of the 64-bit quorum domain");
+      mask |= 1ull << r;
+    }
+    return mask;
+  }
+
+  explicit ConfigTable(std::vector<MemberConfig> configs) {
+    QCNT_CHECK_MSG(!configs.empty(), "a store needs at least one config");
+    for (MemberConfig& c : configs) Append(std::move(c));
+  }
+
+  /// Convenience: wrap a static table of prefix-universe systems (the
+  /// pre-membership-change StoreOptions shape).
+  explicit ConfigTable(std::vector<quorum::QuorumSystem> systems) {
+    QCNT_CHECK_MSG(!systems.empty(), "a store needs at least one config");
+    for (quorum::QuorumSystem& s : systems) Append(Prefix(std::move(s)));
+  }
+
+  /// Append a configuration; returns its config_id. The id is valid (and
+  /// the entry visible to every sharer) before Append returns — callers
+  /// append the target *before* stamping it anywhere.
+  std::uint32_t Append(MemberConfig config) {
+    QCNT_CHECK_MSG(!config.members.empty(), "a config needs members");
+    if (config.member_mask == 0) config.member_mask = MaskOf(config.members);
+    auto entry = std::make_shared<const MemberConfig>(std::move(config));
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(std::move(entry));
+    return static_cast<std::uint32_t>(entries_.size() - 1);
+  }
+
+  std::shared_ptr<const MemberConfig> At(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    QCNT_CHECK_MSG(id < entries_.size(), "unknown config id");
+    return entries_[id];
+  }
+
+  /// At() that answers nullptr for an id this table has never seen —
+  /// what a client uses on ids learned from the wire (a corrupt or
+  /// hostile response must not crash the client).
+  std::shared_ptr<const MemberConfig> TryAt(std::uint32_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= entries_.size()) return nullptr;
+    return entries_[id];
+  }
+
+  std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const MemberConfig>> entries_;
+};
+
+}  // namespace qcnt::runtime

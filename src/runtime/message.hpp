@@ -42,6 +42,24 @@ struct RtMessage {
     kImagePeek,      // internal: copy the replica's state for observers
                      // (`generation` carries the peek epoch on sharded
                      // replicas so a retried peek is served exactly once)
+    // --- Membership change / streaming catchup (DESIGN.md §11). The four
+    // kinds reuse the existing fields; no new struct members.
+    kCatchupReq,     // puller -> donor: `key` = resume cursor (exclusive;
+                     // "" = shard start), `value` = max entries per chunk,
+                     // `version` = donor shard index to pull from,
+                     // `op` = pull op id
+    kCatchupChunk,   // donor -> puller: `batch` = (key, version, value)
+                     // entries in ascending key order, `key` = next cursor,
+                     // `value` = 1 if more remain else 0, `generation` /
+                     // `config_id` = donor's current stamp, `version` =
+                     // donor shard count; `op` echoes the request. A
+                     // `version` of 0 with empty batch signals a typed
+                     // refusal (donor down or manifest mismatch).
+    kCatchupDone,    // joiner -> coordinator: `value` = 0 ok, nonzero =
+                     // typed error code; `version` = entries streamed
+    kJoinReq,        // coordinator -> joiner: start pulling; `value` =
+                     // donor node id, `version` = expected shard count,
+                     // `op` = join op id
   };
   // Sharded replicas (StoreOptions::shards_per_replica > 1) route these
   // messages internally by key hash. A kBatch* request may therefore be

@@ -1,11 +1,21 @@
 #include "runtime/replica_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.hpp"
 #include "runtime/sharding.hpp"
 
 namespace qcnt::runtime {
+
+namespace {
+/// Default (and ceiling-guarded) entries per catchup chunk. Bounded
+/// chunks are the point: the donor never materializes more than one
+/// chunk, and the joiner applies chunk k before chunk k+1 is requested,
+/// so live traffic interleaves at chunk granularity.
+constexpr std::size_t kCatchupChunkEntries = 128;
+constexpr std::size_t kCatchupChunkCeiling = 4096;
+}  // namespace
 
 ReplicaServer::ReplicaServer(Transport& transport, NodeId id)
     : ReplicaServer(transport, id, 1, [](std::size_t) {
@@ -92,6 +102,7 @@ void ReplicaServer::OnBusCrash() {
 
 void ReplicaServer::CrashAndWipe() {
   Shutdown();
+  join_ = JoinState{};  // a pull in progress dies with the node
   for (auto& sh : shards_) {
     sh->image = storage::Image{};
     sh->history.clear();  // volatile, dies with the node
@@ -249,6 +260,30 @@ void ReplicaServer::Route(Envelope e) {
       shards_[s]->inbox.Push(std::move(e));
       return;
     }
+    case RtMessage::Kind::kCatchupReq: {
+      // Donor side: `version` names the shard to scan. A request beyond
+      // this replica's layout is answered with an empty chunk whose shard
+      // count exposes the mismatch (the puller refuses the join).
+      if (!transport_->IsUp(id_)) return;
+      if (e.msg.version < shards_.size()) {
+        shards_[e.msg.version]->inbox.Push(std::move(e));
+      } else {
+        RtMessage refusal;
+        refusal.kind = RtMessage::Kind::kCatchupChunk;
+        refusal.op = e.msg.op;
+        refusal.version = shards_.size();
+        transport_->Send(id_, e.from, std::move(refusal));
+      }
+      return;
+    }
+    case RtMessage::Kind::kJoinReq:
+      if (!transport_->IsUp(id_)) return;
+      HandleJoinReq(e);
+      return;
+    case RtMessage::Kind::kCatchupChunk:
+      if (!transport_->IsUp(id_)) return;
+      HandleJoinChunk(e);
+      return;
     default:
       return;
   }
@@ -265,6 +300,12 @@ void ReplicaServer::SplitBatch(Envelope e) {
     RtMessage m;
     m.kind = e.msg.kind;
     m.op = e.msg.op;
+    // The stamp must ride on every sub-batch: the per-shard generation
+    // fence compares against it, and stripping it here would make every
+    // shard fence all batch installs once any reconfiguration bumped the
+    // store past generation zero.
+    m.generation = e.msg.generation;
+    m.config_id = e.msg.config_id;
     m.batch = std::move(parts[s]);
     shards_[s]->inbox.Push(Envelope{e.from, std::move(m)});
   }
@@ -350,30 +391,39 @@ void ReplicaServer::HandleBatchRead(Shard& sh, const RtMessage& m,
 
 void ReplicaServer::HandleBatchWrite(Shard& sh, const RtMessage& m,
                                      RtMessage& reply) {
-  // Apply every entry to the image first, collecting the accepted ones,
-  // then log them with a single batch append — one write(2), one
-  // group-commit fsync decision — before the single ack below. Write-ahead
-  // still holds: the ack covers exactly the records the backend accepted.
-  std::vector<storage::WalRecord> accepted;
-  accepted.reserve(m.batch.size());
-  for (const BatchEntry& entry : m.batch) {
-    if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
-      storage::WalRecord rec;
-      rec.type = storage::WalRecord::Type::kWrite;
-      rec.key = entry.key;
-      rec.version = entry.version;
-      rec.value = entry.value;
-      accepted.push_back(std::move(rec));
+  reply.kind = RtMessage::Kind::kBatchWriteAck;
+  reply.generation = sh.image.generation;
+  reply.config_id = sh.image.config_id;
+  // One generation rides on the whole batch, so the fence decision is
+  // batch-wide: refused entries ack with value = 1 (NACK) and the header
+  // above teaches the client the configuration that fenced it.
+  const bool fenced = m.generation < sh.image.generation;
+  if (!fenced) {
+    // Apply every entry to the image first, collecting the accepted ones,
+    // then log them with a single batch append — one write(2), one
+    // group-commit fsync decision — before the single ack below.
+    // Write-ahead still holds: the ack covers exactly the records the
+    // backend accepted.
+    std::vector<storage::WalRecord> accepted;
+    accepted.reserve(m.batch.size());
+    for (const BatchEntry& entry : m.batch) {
+      if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
+        storage::WalRecord rec;
+        rec.type = storage::WalRecord::Type::kWrite;
+        rec.key = entry.key;
+        rec.version = entry.version;
+        rec.value = entry.value;
+        accepted.push_back(std::move(rec));
+      }
+    }
+    if (!accepted.empty()) {
+      sh.backend->ApplyWriteBatch(accepted);
+      sh.backend->MaybeCompact(sh.image);
     }
   }
-  if (!accepted.empty()) {
-    sh.backend->ApplyWriteBatch(accepted);
-    sh.backend->MaybeCompact(sh.image);
-  }
-  reply.kind = RtMessage::Kind::kBatchWriteAck;
   reply.batch.reserve(m.batch.size());
   for (const BatchEntry& entry : m.batch) {
-    reply.batch.push_back(BatchEntry{entry.op, {}, 0, 0});
+    reply.batch.push_back(BatchEntry{entry.op, {}, 0, fenced ? 1 : 0});
   }
   CountBatch(sh, m.batch.size());
 }
@@ -396,20 +446,36 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
       break;
     }
     case RtMessage::Kind::kWriteReq: {
-      if (ApplyToImage(sh, m.key, m.version, m.value)) {
+      reply.kind = RtMessage::Kind::kWriteAck;
+      // The ack names this replica's stamp either way — the channel that
+      // tells a lagging client the membership changed underneath it.
+      reply.generation = sh.image.generation;
+      reply.config_id = sh.image.config_id;
+      if (m.generation < sh.image.generation) {
+        // Generation fence: an install staged under an older generation
+        // is refused (value = 1 marks the NACK). This is what guarantees
+        // that once a configuration stamp is acked, no write can complete
+        // under the old generation purely on fenced replicas — the seal
+        // pass of a membership change (DESIGN.md §11) relies on it.
+        reply.value = 1;
+      } else if (ApplyToImage(sh, m.key, m.version, m.value)) {
         // Write-ahead: the record is logged (and, per fsync policy, made
         // durable) before the ack below is sent.
         sh.backend->ApplyWrite(m.key, m.version, m.value);
         sh.backend->MaybeCompact(sh.image);
       }
-      reply.kind = RtMessage::Kind::kWriteAck;
       sh.ops.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
-      // Strictly newer generations only: a duplicated config install is a
-      // no-op (no re-log), mirroring ApplyToImage's idempotence.
-      if (m.generation > sh.image.generation) {
+      // Stamps order by (generation, config_id) — config ids are append-
+      // ordered, so an equal-generation install of a newer configuration
+      // (an orphaned stamp from a timed-out reconfigure attempt colliding
+      // with the attempt that won) supersedes, while a duplicated install
+      // stays a no-op (no re-log), mirroring ApplyToImage's idempotence.
+      if (m.generation > sh.image.generation ||
+          (m.generation == sh.image.generation &&
+           m.config_id > sh.image.config_id)) {
         sh.image.generation = m.generation;
         sh.image.config_id = m.config_id;
         sh.backend->ApplyConfig(sh.image.generation, sh.image.config_id);
@@ -438,10 +504,195 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
     case RtMessage::Kind::kImagePeek:
       ServePeek(idx, m.generation);
       return;  // side channel: no bus reply
+    case RtMessage::Kind::kCatchupReq:
+      ServeCatchup(idx, e);
+      return;  // replies itself
+    case RtMessage::Kind::kJoinReq:
+      // Single-shard mode only: the sole worker runs the join state
+      // machine directly (multi-shard replicas handle this on dispatch).
+      HandleJoinReq(e);
+      return;
+    case RtMessage::Kind::kCatchupChunk:
+      if (Multi()) {
+        // Forwarded by the dispatch-side join machinery: just merge.
+        ApplyCatchupEntries(sh, m.batch);
+      } else {
+        HandleJoinChunk(e);
+      }
+      return;
     default:
       return;
   }
   transport_->Send(id_, e.from, std::move(reply));
+}
+
+void ReplicaServer::ServeCatchup(std::size_t idx, Envelope& e) {
+  Shard& sh = *shards_[idx];
+  const RtMessage& m = e.msg;
+  RtMessage reply;
+  reply.kind = RtMessage::Kind::kCatchupChunk;
+  reply.op = m.op;
+  reply.version = shards_.size();  // layout check on the puller side
+  reply.generation = sh.image.generation;
+  reply.config_id = sh.image.config_id;
+  const std::size_t limit =
+      m.value > 0 && static_cast<std::uint64_t>(m.value) <= kCatchupChunkCeiling
+          ? static_cast<std::size_t>(m.value)
+          : kCatchupChunkEntries;
+  // Select the `limit` smallest keys strictly beyond the cursor (an empty
+  // cursor starts the shard; the empty key itself, if present, rides in
+  // the first chunk — re-sending it on a resume is a harmless idempotent
+  // merge). The image is hash-ordered, so this is O(shard keys) per
+  // chunk; it runs on the shard's own thread, between live writes.
+  std::vector<const std::pair<const std::string, storage::Versioned>*> cand;
+  cand.reserve(sh.image.data.size());
+  for (const auto& kv : sh.image.data) {
+    if (m.key.empty() || kv.first > m.key) cand.push_back(&kv);
+  }
+  const bool more = cand.size() > limit;
+  const auto by_key = [](const auto* a, const auto* b) {
+    return a->first < b->first;
+  };
+  if (more) {
+    std::partial_sort(cand.begin(),
+                      cand.begin() + static_cast<std::ptrdiff_t>(limit),
+                      cand.end(), by_key);
+    cand.resize(limit);
+  } else {
+    std::sort(cand.begin(), cand.end(), by_key);
+  }
+  reply.batch.reserve(cand.size());
+  for (const auto* kv : cand) {
+    reply.batch.push_back(
+        BatchEntry{0, kv->first, kv->second.version, kv->second.value});
+  }
+  if (!cand.empty()) reply.key = cand.back()->first;  // next cursor
+  reply.value = more ? 1 : 0;
+  sh.ops.fetch_add(1, std::memory_order_relaxed);
+  transport_->Send(id_, e.from, std::move(reply));
+}
+
+void ReplicaServer::SendCatchupReq() {
+  RtMessage req;
+  req.kind = RtMessage::Kind::kCatchupReq;
+  req.op = ++join_.pull_seq;  // invalidates any in-flight stale chunk
+  req.key = join_.cursor;
+  req.version = join_.shard;
+  req.value = static_cast<std::int64_t>(kCatchupChunkEntries);
+  transport_->Send(id_, join_.donor, std::move(req));
+}
+
+void ReplicaServer::HandleJoinReq(const Envelope& e) {
+  const RtMessage& m = e.msg;
+  // Same expected layout → resume from (shard, cursor): this is the
+  // donor-crash recovery path — the coordinator re-issues the join with
+  // the same or a different donor, and the stream continues where it
+  // stopped (shard layouts agree, so cursors transfer between donors).
+  if (!join_.active ||
+      join_.expected_shards != m.version) {
+    // pull_seq survives the reset: it must stay monotone against chunks
+    // still in flight from an abandoned stream.
+    const std::uint64_t seq = join_.pull_seq;
+    join_ = JoinState{};
+    join_.pull_seq = seq;
+    join_.expected_shards = m.version;
+  }
+  join_.active = true;
+  join_.op = m.op;
+  join_.donor = static_cast<NodeId>(m.value);
+  join_.coordinator = e.from;
+  if (join_.shard >= join_.expected_shards) {
+    // Nothing left to pull (a done report the coordinator missed).
+    RtMessage done;
+    done.kind = RtMessage::Kind::kCatchupDone;
+    done.op = join_.op;
+    done.value = kJoinOk;
+    done.version = join_.entries;
+    transport_->Send(id_, join_.coordinator, std::move(done));
+    join_ = JoinState{};
+    return;
+  }
+  SendCatchupReq();
+}
+
+void ReplicaServer::HandleJoinChunk(Envelope& e) {
+  RtMessage& m = e.msg;
+  // Accept only the answer to the latest outstanding request: duplicates
+  // and stale-stream chunks (older pull_seq) are dropped, so a duplicated
+  // final chunk can never double-increment the shard counter and skip a
+  // shard's remainder.
+  if (!join_.active || m.op != join_.pull_seq) return;
+  if (m.version != join_.expected_shards) {
+    // Shard-layout mismatch: a shard-by-shard stream would land keys on
+    // the wrong worker (and the wrong WAL segment). Refuse the join with
+    // a typed error; nothing already merged needs undoing (it is all
+    // legitimate replicated state).
+    RtMessage done;
+    done.kind = RtMessage::Kind::kCatchupDone;
+    done.op = join_.op;
+    done.value = kJoinErrShardMismatch;
+    done.version = join_.entries;
+    transport_->Send(id_, join_.coordinator, std::move(done));
+    join_ = JoinState{};
+    return;
+  }
+  join_.entries += m.batch.size();
+  const std::uint32_t shard = join_.shard;
+  const bool more = m.value != 0;
+  if (!m.batch.empty()) join_.cursor = m.key;
+  if (!more) {
+    ++join_.shard;
+    join_.cursor.clear();
+  }
+  if (!m.batch.empty()) {
+    if (Multi()) {
+      // Hand the entries to the owning worker; chunk k is queued before
+      // chunk k+1 is requested below, so per-shard order is preserved and
+      // at most one chunk is ever in flight.
+      RtMessage apply;
+      apply.kind = RtMessage::Kind::kCatchupChunk;
+      apply.batch = std::move(m.batch);
+      shards_[shard]->inbox.Push(Envelope{e.from, std::move(apply)});
+    } else {
+      ApplyCatchupEntries(*shards_[0], m.batch);
+    }
+  }
+  if (join_.shard >= join_.expected_shards) {
+    RtMessage done;
+    done.kind = RtMessage::Kind::kCatchupDone;
+    done.op = join_.op;
+    done.value = kJoinOk;
+    done.version = join_.entries;
+    transport_->Send(id_, join_.coordinator, std::move(done));
+    join_ = JoinState{};
+    return;
+  }
+  SendCatchupReq();
+}
+
+void ReplicaServer::ApplyCatchupEntries(
+    Shard& sh, const std::vector<BatchEntry>& entries) {
+  // Same newer-version-wins merge (and write-ahead logging) as a live
+  // batch install: a pulled entry can never regress a version a
+  // concurrent client write already placed here, which is exactly the
+  // per-key monotonicity Lemma 8's envelope needs across the handover.
+  std::vector<storage::WalRecord> accepted;
+  accepted.reserve(entries.size());
+  for (const BatchEntry& entry : entries) {
+    if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecord::Type::kWrite;
+      rec.key = entry.key;
+      rec.version = entry.version;
+      rec.value = entry.value;
+      accepted.push_back(std::move(rec));
+    }
+  }
+  if (!accepted.empty()) {
+    sh.backend->ApplyWriteBatch(accepted);
+    sh.backend->MaybeCompact(sh.image);
+  }
+  CountBatch(sh, entries.size());
 }
 
 void ReplicaServer::ShardLoop(std::size_t idx) {

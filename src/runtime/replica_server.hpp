@@ -176,6 +176,24 @@ class ReplicaServer {
   void HandleOnShard(std::size_t idx, Envelope& e);
   void HandleBatchRead(Shard& sh, const RtMessage& m, RtMessage& reply);
   void HandleBatchWrite(Shard& sh, const RtMessage& m, RtMessage& reply);
+  /// Donor side of streaming catchup: serve one bounded chunk of this
+  /// shard's image — the smallest `m.value` keys strictly greater than
+  /// the cursor `m.key` — ascending, with the shard count and the
+  /// replica's stamp on the reply (runs on the owning shard thread, so
+  /// chunks interleave with live writes without any extra locking).
+  void ServeCatchup(std::size_t idx, Envelope& e);
+  /// Joiner side: start (or resume) pulling the donor's image shard by
+  /// shard. Runs on the dispatch thread (multi) or the sole worker.
+  void HandleJoinReq(const Envelope& e);
+  /// Joiner side: one arrived chunk — verify the shard layout, hand the
+  /// entries to the owning worker, advance the cursor, request the next
+  /// chunk or report kCatchupDone to the coordinator.
+  void HandleJoinChunk(Envelope& e);
+  void SendCatchupReq();
+  /// Merge pulled entries under the same newer-version-wins order as live
+  /// writes (so a chunk can never regress a version a concurrent install
+  /// already placed), write-ahead logging the accepted ones.
+  void ApplyCatchupEntries(Shard& sh, const std::vector<BatchEntry>& entries);
   /// Newer-version-wins merge of one write into the shard image; true when
   /// the write was accepted (and therefore must reach the backend).
   bool ApplyToImage(Shard& sh, const std::string& key, std::uint64_t version,
@@ -216,6 +234,39 @@ class ReplicaServer {
   std::atomic<std::uint64_t> batches_applied_{0};
   std::atomic<std::uint64_t> batched_ops_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+
+  /// Joiner-side pull progress. Touched only by the dispatch thread
+  /// (multi) or the sole worker (single) — the same thread that routes
+  /// kJoinReq and kCatchupChunk — so it needs no lock. A fresh kJoinReq
+  /// with the same expected shard layout *resumes* from (shard, cursor):
+  /// that is what makes a donor crash mid-stream recoverable, from the
+  /// same donor or a different one.
+  struct JoinState {
+    bool active = false;
+    std::uint64_t op = 0;
+    NodeId donor = 0;
+    NodeId coordinator = 0;
+    std::uint64_t expected_shards = 0;
+    std::uint32_t shard = 0;     // shard currently being pulled
+    std::string cursor;          // last key received (exclusive)
+    std::uint64_t entries = 0;   // total entries streamed so far
+    /// Monotone per-request id (rides in kCatchupReq::op, echoed by the
+    /// donor). Only the chunk answering the *latest outstanding* request
+    /// advances the cursor — a duplicated or reordered chunk (fault
+    /// injection, donor failover races) is dropped instead of double-
+    /// advancing the shard counter or resurrecting a stale cursor.
+    /// Survives a resume (it must stay monotone against in-flight stale
+    /// chunks); cleared only by CrashAndWipe, which also drains inboxes.
+    std::uint64_t pull_seq = 0;
+  };
+  JoinState join_;
 };
+
+/// kCatchupDone error codes (RtMessage::value).
+inline constexpr std::int64_t kJoinOk = 0;
+/// Donor's shard count differs from the layout the coordinator promised:
+/// a shard-by-shard stream would land keys on the wrong worker (and, under
+/// durability, the wrong WAL segment), so the join is refused outright.
+inline constexpr std::int64_t kJoinErrShardMismatch = 1;
 
 }  // namespace qcnt::runtime

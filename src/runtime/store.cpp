@@ -86,7 +86,10 @@ StoreOptions Normalize(StoreOptions options) {
 /// path (bench_transport's subject, and the TCP e2e tests').
 std::unique_ptr<net::TcpTransport> MakeLoopbackTransport(
     const StoreOptions& options) {
-  const std::size_t n = options.replicas + options.max_clients;
+  // +1: the membership coordinator's dedicated client slot. Replicas
+  // added at runtime claim ids above it (AddLocalNode / Bus::AddNode into
+  // the transports' pre-allocated growth headroom).
+  const std::size_t n = options.replicas + options.max_clients + 1;
   net::TcpTransportOptions topts;
   topts.universe.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -132,23 +135,31 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
     tcp_ = tcp.get();
     transport_ = std::move(tcp);
   } else {
-    auto bus =
-        std::make_unique<Bus>(options_.replicas + options_.max_clients);
+    // +1: the membership coordinator's dedicated client slot.
+    auto bus = std::make_unique<Bus>(options_.replicas +
+                                     options_.max_clients + 1);
     bus_ = bus.get();
     transport_ = std::move(bus);
   }
+  table_ = std::make_shared<ConfigTable>(options_.configs);
+  current_config_ = options_.initial_config;
+  next_replica_id_ =
+      static_cast<NodeId>(options_.replicas + options_.max_clients + 1);
   // Install faults before any replica thread starts so the very first
   // message already flows through the injector and per-link RNG streams
   // are reproducible from the seed alone.
   if (options_.faults) bus_->SetFaults(*options_.faults);
   for (std::size_t r = 0; r < options_.replicas; ++r) {
     if (Durable()) ValidateDurableLayout(options_, r);
-    replicas_.push_back(std::make_unique<ReplicaServer>(
-        *transport_, static_cast<NodeId>(r), options_.shards_per_replica,
-        [this, r](std::size_t shard) {
-          return MakeShardBackend(options_, r, shard);
-        },
-        options_.record_applied_history));
+    replicas_.emplace(
+        static_cast<NodeId>(r),
+        std::make_unique<ReplicaServer>(
+            *transport_, static_cast<NodeId>(r), options_.shards_per_replica,
+            [this, r](std::size_t shard) {
+              return MakeShardBackend(options_, r, shard);
+            },
+            options_.record_applied_history));
+    members_.push_back(static_cast<NodeId>(r));
     // Pin the shard count only after the backends created their segment
     // files, so a manifest never names segments that were not yet laid
     // down. Before this point no client existed, so nothing acked can be
@@ -161,7 +172,7 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
 }
 
 ReplicatedStore::~ReplicatedStore() {
-  for (auto& r : replicas_) r->Shutdown();
+  for (auto& r : replicas_) r.second->Shutdown();
   transport_->CloseAll();
 }
 
@@ -170,8 +181,11 @@ std::unique_ptr<QuorumClient> ReplicatedStore::MakeClient() {
                  "client limit reached; raise StoreOptions::max_clients");
   const NodeId id =
       static_cast<NodeId>(options_.replicas + next_client_++);
-  return std::make_unique<QuorumClient>(*transport_, id, options_.configs,
-                                        options_.initial_config,
+  // Clients share the store's config table and start from the
+  // configuration currently in force, so a client created after a
+  // membership change targets the grown universe from its first op.
+  return std::make_unique<QuorumClient>(*transport_, id, table_,
+                                        CurrentConfigId(),
                                         options_.client_options);
 }
 
@@ -185,27 +199,29 @@ std::unique_ptr<AsyncQuorumClient> ReplicatedStore::MakeAsyncClient(
                  "client limit reached; raise StoreOptions::max_clients");
   const NodeId id =
       static_cast<NodeId>(options_.replicas + next_client_++);
-  return std::make_unique<AsyncQuorumClient>(
-      *transport_, id, options_.configs, options_.initial_config, options);
+  return std::make_unique<AsyncQuorumClient>(*transport_, id, table_,
+                                             CurrentConfigId(), options);
 }
 
 void ReplicatedStore::Crash(std::size_t replica) {
-  QCNT_CHECK(replica < replicas_.size());
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
   // Partition first so an in-flight reply cannot escape, then (durable
   // only) fail-stop the server: stop the loop, discard the image.
   transport_->Crash(static_cast<NodeId>(replica));
-  if (Durable()) replicas_[replica]->CrashAndWipe();
+  if (Durable()) it->second->CrashAndWipe();
 }
 
 void ReplicatedStore::Recover(std::size_t replica) {
-  QCNT_CHECK(replica < replicas_.size());
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
   // Rebuild state before reopening the transport, so the replica rejoins
   // quorums only once recovery replay has completed. Re-validate the
   // layout first: a segment that vanished while the replica was down must
   // fail recovery loudly, not resurrect a subset of the acked state.
   if (Durable()) {
     ValidateDurableLayout(options_, replica);
-    replicas_[replica]->Restart();
+    it->second->Restart();
   }
   transport_->Recover(static_cast<NodeId>(replica));
 }
@@ -256,30 +272,91 @@ FaultStats ReplicatedStore::InjectedFaults() const {
 
 storage::StorageStats ReplicatedStore::ReplicaStorageStats(
     std::size_t replica) const {
-  QCNT_CHECK(replica < replicas_.size());
-  return replicas_[replica]->StorageStats();
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
+  return it->second->StorageStats();
 }
 
 storage::StorageStats ReplicatedStore::TotalStorageStats() const {
   storage::StorageStats total;
-  for (const auto& r : replicas_) total += r->StorageStats();
+  for (const auto& r : replicas_) total += r.second->StorageStats();
   return total;
 }
 
 BatchStats ReplicatedStore::ReplicaBatchStats(std::size_t replica) const {
-  QCNT_CHECK(replica < replicas_.size());
-  return replicas_[replica]->BatchStats();
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
+  return it->second->BatchStats();
 }
 
 BatchStats ReplicatedStore::TotalBatchStats() const {
   BatchStats total;
-  for (const auto& r : replicas_) total += r->BatchStats();
+  for (const auto& r : replicas_) total += r.second->BatchStats();
   return total;
 }
 
 ReplicaSnapshot ReplicatedStore::ReplicaPeek(std::size_t replica) const {
-  QCNT_CHECK(replica < replicas_.size());
-  return replicas_[replica]->Peek();
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
+  return it->second->Peek();
+}
+
+std::vector<NodeId> ReplicatedStore::Members() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return members_;
+}
+
+std::uint32_t ReplicatedStore::CurrentConfigId() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return current_config_;
+}
+
+NodeId ReplicatedStore::SpawnReplica() {
+  const NodeId id = next_replica_id_++;
+  QCNT_CHECK_MSG(id < 64,
+                 "replica id budget exhausted (ids are never reused and "
+                 "must fit the 64-id quorum bitmask domain)");
+  if (bus_ != nullptr) {
+    const NodeId got = bus_->AddNode();
+    QCNT_CHECK_MSG(got == id, "bus universe grew out from under the store");
+  } else {
+    net::Endpoint ep;
+    ep.host = options_.tcp->host;
+    if (options_.tcp->port_base != 0) {
+      ep.port = static_cast<std::uint16_t>(options_.tcp->port_base + id);
+    }
+    tcp_->AddLocalNode(id, ep);
+  }
+  if (Durable()) ValidateDurableLayout(options_, id);
+  auto server = std::make_unique<ReplicaServer>(
+      *transport_, id, options_.shards_per_replica,
+      [this, id](std::size_t shard) {
+        return MakeShardBackend(options_, id, shard);
+      },
+      options_.record_applied_history);
+  if (Durable()) {
+    storage::RecoveryManager::WriteManifest(ReplicaDir(options_, id),
+                                            options_.shards_per_replica);
+  }
+  replicas_.emplace(id, std::move(server));
+  return id;
+}
+
+void ReplicatedStore::CommitMembership(std::vector<NodeId> members,
+                                       std::uint32_t config_id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  members_ = std::move(members);
+  current_config_ = config_id;
+}
+
+void ReplicatedStore::RetireReplica(NodeId node) {
+  const auto it = replicas_.find(node);
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
+  // Partition first so nothing it acks mid-shutdown escapes, then stop
+  // the threads. The entry is dropped; the node id stays burned.
+  transport_->Crash(node);
+  it->second->Shutdown();
+  replicas_.erase(it);
 }
 
 }  // namespace qcnt::runtime

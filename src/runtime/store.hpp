@@ -22,12 +22,15 @@
 // map that never died.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "net/tcp_transport.hpp"
 #include "runtime/async_client.hpp"
 #include "runtime/client.hpp"
+#include "runtime/config_table.hpp"
 #include "runtime/replica_server.hpp"
 
 namespace qcnt::runtime {
@@ -101,6 +104,11 @@ class ReplicatedStore {
   const std::vector<quorum::QuorumSystem>& Configs() const {
     return options_.configs;
   }
+  /// The shared runtime-appendable configuration registry (grows on
+  /// membership change; every client holds the same table).
+  const std::shared_ptr<ConfigTable>& ConfigTableRef() const {
+    return table_;
+  }
   bool Durable() const { return options_.durability.has_value(); }
   bool OverTcp() const { return tcp_ != nullptr; }
   /// "bus" or "tcp".
@@ -120,9 +128,11 @@ class ReplicatedStore {
   std::unique_ptr<AsyncQuorumClient> MakeAsyncClient(
       AsyncQuorumClient::Options options);
 
-  /// Crash / recover a replica (by replica index). Under a durable
-  /// backend, Crash discards the replica's in-memory state and Recover
-  /// replays snapshot + log before the replica rejoins quorums.
+  /// Crash / recover a replica (by node id: founding replicas are nodes
+  /// [0, replicas); replicas added at runtime keep the id AddReplica
+  /// assigned them). Under a durable backend, Crash discards the
+  /// replica's in-memory state and Recover replays snapshot + log before
+  /// the replica rejoins quorums.
   void Crash(std::size_t replica);
   void Recover(std::size_t replica);
   bool IsUp(std::size_t replica) const;
@@ -171,6 +181,43 @@ class ReplicatedStore {
   /// server thread itself.
   ReplicaSnapshot ReplicaPeek(std::size_t replica) const;
 
+  // --- Membership plumbing -------------------------------------------------
+  // The three-phase protocol itself (bulk catchup, stamp, seal) lives a
+  // layer above, in reconfig/catchup.hpp: call reconfig::AddReplica /
+  // reconfig::RemoveReplica with this store. These hooks are what the
+  // coordinator drives; they are safe to call concurrently with live
+  // client traffic.
+
+  /// Current replica member node ids (founding ids plus joins, minus
+  /// removals), and the configuration id currently in force.
+  std::vector<NodeId> Members() const;
+  std::uint32_t CurrentConfigId() const;
+  /// The dedicated coordinator client slot (one id, reused across
+  /// membership operations; never counted against max_clients).
+  NodeId CoordinatorId() const {
+    return static_cast<NodeId>(options_.replicas + options_.max_clients);
+  }
+  Transport& TransportRef() { return *transport_; }
+  /// Serializes membership operations (at most one join/leave at a time).
+  std::unique_lock<std::mutex> LockMembership() {
+    return std::unique_lock<std::mutex>(membership_mu_);
+  }
+  /// Allocate the next replica node id, grow the transport by that node,
+  /// and start its ReplicaServer (durable stores get a fresh
+  /// `replica_<id>` directory). The new replica serves traffic but is in
+  /// no configuration until a reconfiguration installs one including it.
+  /// Checks that the id budget (the 64-id quorum bitmask domain) is not
+  /// exhausted. Caller must hold LockMembership().
+  NodeId SpawnReplica();
+  /// Install the outcome of a successful membership operation: the member
+  /// list and configuration id new clients start from. Caller must hold
+  /// LockMembership().
+  void CommitMembership(std::vector<NodeId> members, std::uint32_t config_id);
+  /// Stop and drop a replica server (a decommissioned leaver, or a joiner
+  /// whose join failed). The node id stays burned — ids are never reused.
+  /// Caller must hold LockMembership().
+  void RetireReplica(NodeId node);
+
  private:
   /// The Bus when in-process (fault APIs available), else throws.
   Bus& RequireBus(const char* what) const;
@@ -182,8 +229,22 @@ class ReplicatedStore {
   std::unique_ptr<Transport> transport_;
   Bus* bus_ = nullptr;
   net::TcpTransport* tcp_ = nullptr;
-  std::vector<std::unique_ptr<ReplicaServer>> replicas_;
+  /// Replica servers keyed by node id: founding replicas occupy [0,
+  /// replicas); replicas added at runtime get ids above the coordinator
+  /// slot, so the key set goes non-contiguous under churn.
+  std::map<NodeId, std::unique_ptr<ReplicaServer>> replicas_;
   std::size_t next_client_ = 0;
+
+  std::shared_ptr<ConfigTable> table_;
+  /// Serializes whole membership operations (reconfig::AddReplica /
+  /// RemoveReplica hold it across all three phases).
+  std::mutex membership_mu_;
+  /// Guards members_ / current_config_ (read by MakeClient on any thread,
+  /// written by CommitMembership under membership_mu_).
+  mutable std::mutex state_mu_;
+  std::vector<NodeId> members_;
+  std::uint32_t current_config_ = 0;
+  NodeId next_replica_id_ = 0;
 };
 
 }  // namespace qcnt::runtime

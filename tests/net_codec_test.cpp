@@ -37,7 +37,37 @@ std::vector<RtMessage::Kind> AllKinds() {
           RtMessage::Kind::kConfigWriteReq, RtMessage::Kind::kConfigWriteAck,
           RtMessage::Kind::kBatchReadReq,  RtMessage::Kind::kBatchReadResp,
           RtMessage::Kind::kBatchWriteReq, RtMessage::Kind::kBatchWriteAck,
-          RtMessage::Kind::kShutdown,      RtMessage::Kind::kImagePeek};
+          RtMessage::Kind::kShutdown,      RtMessage::Kind::kImagePeek,
+          RtMessage::Kind::kCatchupReq,    RtMessage::Kind::kCatchupChunk,
+          RtMessage::Kind::kCatchupDone,   RtMessage::Kind::kJoinReq};
+}
+
+// The four membership-change kinds (DESIGN.md §11) travel over links that
+// a fault plan actively drops, duplicates, and delays, so their rejection
+// behavior is exercised below with the same exhaustiveness as the
+// original twelve.
+std::vector<RtMessage::Kind> MembershipKinds() {
+  return {RtMessage::Kind::kCatchupReq, RtMessage::Kind::kCatchupChunk,
+          RtMessage::Kind::kCatchupDone, RtMessage::Kind::kJoinReq};
+}
+
+// A representative frame for a membership kind: every scalar field set,
+// and — for the chunk, which carries streamed state — a non-empty batch
+// plus a cursor key, matching what a donor actually emits.
+WireFrame MembershipFrame(RtMessage::Kind kind) {
+  WireFrame f;
+  f.from = 5;
+  f.to = 6;
+  f.msg = FullMessage(kind);
+  if (kind == RtMessage::Kind::kCatchupChunk) {
+    f.msg.key = "k042";  // next cursor
+    f.msg.value = 1;     // more chunks remain
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      f.msg.batch.push_back(BatchEntry{i, "k0" + std::to_string(i),
+                                       i + 1, static_cast<std::int64_t>(i)});
+    }
+  }
+  return f;
 }
 
 void ExpectEqual(const RtMessage& a, const RtMessage& b) {
@@ -269,6 +299,72 @@ TEST(Codec, HugeBatchCountDoesNotBalloonAllocation) {
   const auto buf = FrameWithPayload(payload);
   EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
             DecodeStatus::kMalformed);
+}
+
+TEST(Codec, MembershipKindEveryTruncationPrefixNeedsMore) {
+  // Catchup frames arrive on stream sockets mid-join; every strict prefix
+  // must be a clean "need more", never a crash or a partial decode.
+  for (RtMessage::Kind kind : MembershipKinds()) {
+    const auto buf = Encode(MembershipFrame(kind));
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+      DecodeResult r = DecodeFrame(buf.data(), len);
+      EXPECT_EQ(r.status, DecodeStatus::kNeedMore)
+          << "kind " << static_cast<int>(kind) << " prefix " << len;
+      EXPECT_EQ(r.consumed, 0u);
+    }
+  }
+}
+
+TEST(Codec, MembershipKindEveryFlippedPayloadByteFailsCrc) {
+  // A single flipped bit anywhere in a catchup payload — cursor, stamp,
+  // batch entry, count — must surface as a CRC mismatch, not as a chunk
+  // that installs wrong state on the joiner.
+  for (RtMessage::Kind kind : MembershipKinds()) {
+    const auto buf = Encode(MembershipFrame(kind));
+    for (std::size_t i = kFrameHeaderBytes; i < buf.size(); ++i) {
+      auto bad = buf;
+      bad[i] ^= 0x01;
+      DecodeResult r = DecodeFrame(bad.data(), bad.size());
+      EXPECT_EQ(r.status, DecodeStatus::kCrcMismatch)
+          << "kind " << static_cast<int>(kind) << " flipped byte " << i;
+      EXPECT_EQ(r.consumed, 0u);
+    }
+  }
+}
+
+TEST(Codec, CatchupChunkOversizedLengthRejectedFromHeaderAlone) {
+  // A hostile chunk length is refused before any payload is buffered:
+  // hand the decoder *only* the header so an attempt to touch (or
+  // allocate for) the claimed payload would fail visibly.
+  auto buf = Encode(MembershipFrame(RtMessage::Kind::kCatchupChunk));
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(buf.data() + 5, &huge, sizeof(huge));
+  DecodeResult r = DecodeFrame(buf.data(), kFrameHeaderBytes);
+  EXPECT_EQ(r.status, DecodeStatus::kOversized);
+  EXPECT_EQ(r.consumed, 0u);
+  EXPECT_TRUE(r.frame.msg.batch.empty());
+  // Same verdict when the (stale) payload bytes happen to be present.
+  EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+            DecodeStatus::kOversized);
+  // And a legitimate chunk over a receiver's tighter frame ceiling.
+  const auto ok = Encode(MembershipFrame(RtMessage::Kind::kCatchupChunk));
+  EXPECT_EQ(DecodeFrame(ok.data(), ok.size(), /*max_frame_bytes=*/16).status,
+            DecodeStatus::kOversized);
+}
+
+TEST(Codec, CatchupChunkHugeBatchCountIsMalformedWithoutAllocating) {
+  // A chunk whose batch_count claims 2^31 entries over a consistent CRC
+  // (a buggy donor, not line noise) must fail typed — the decoder's
+  // reserve is bounded by what the payload could actually hold, so the
+  // count is rejected without ballooning memory first.
+  auto payload = ValidPayload(static_cast<std::uint8_t>(
+      runtime::RtMessage::Kind::kCatchupChunk));
+  const std::uint32_t huge = 0x80000000u;
+  std::memcpy(payload.data() + payload.size() - 4, &huge, sizeof(huge));
+  const auto buf = FrameWithPayload(payload);
+  DecodeResult r = DecodeFrame(buf.data(), buf.size());
+  EXPECT_EQ(r.status, DecodeStatus::kMalformed);
+  EXPECT_EQ(r.frame.msg.batch.capacity(), 0u);
 }
 
 TEST(Codec, ToStringCoversEveryStatus) {

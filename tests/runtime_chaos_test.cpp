@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "reconfig/catchup.hpp"
 #include "runtime/store.hpp"
 
 namespace qcnt::runtime {
@@ -204,6 +205,148 @@ TEST(ChaosSoak, InvariantsHoldUnderDropDupDelayReorderPartitionAndCrash) {
   EXPECT_GT(stats.dropped, 0u);
   EXPECT_GT(stats.duplicated, 0u);
   EXPECT_GT(stats.reordered, 0u);
+}
+
+/// Membership churn under the full fault plan: while the same pipelined
+/// multi-client load runs over a lossy, duplicating, delaying, reordering
+/// bus — with a partition pulse and a crash/recover cycle on the side —
+/// the replica set grows and shrinks repeatedly (every add streams a
+/// fresh joiner current via bulk catchup + seal; every remove drains the
+/// leaver). The sequential-equivalence envelope, the zero-divergence
+/// audits, and replica agreement must survive every configuration in the
+/// sequence.
+TEST(ChaosSoak, MembershipChurnUnderDropDupDelayReorderPartitionAndCrash) {
+  StoreOptions options;
+  options.replicas = 3;
+  options.max_clients = kClients;
+  options.record_applied_history = true;
+  options.shards_per_replica = 2;
+  FaultPlan plan;
+  // Gentler than the static soak: the coordinator's bulk-catchup window
+  // retries whole-join steps, so heavy loss mostly costs wall clock.
+  plan.drop = 0.05;
+  plan.duplicate = 0.05;
+  plan.delay_min = 0us;
+  plan.delay_max = 200us;
+  plan.reorder_window = 6;
+  plan.seed = 20260808;  // QCNT_FAULT_SEED overrides (CI chaos matrix)
+  options.faults = plan;
+  ReplicatedStore store(std::move(options));
+
+  std::vector<std::vector<Observation>> all(kClients);
+  std::vector<std::thread> workers;
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([&store, &all, c] { all[c] = RunClient(store, c); });
+  }
+
+  // Churn script, serialized with the other chaos: three add/remove
+  // cycles interleaved with a partition pulse and a crash/recover cycle.
+  // Every membership operation must succeed — the fault plan is within
+  // what the per-step retries are designed to mask.
+  reconfig::MembershipOptions mopts;
+  mopts.step_timeout = std::chrono::milliseconds(500);
+  mopts.client.timeout = std::chrono::milliseconds(400);
+  mopts.client.max_attempts = 8;
+  std::thread churn([&store, &mopts] {
+    std::this_thread::sleep_for(50ms);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+      const reconfig::MembershipReport grow = reconfig::AddReplica(store, mopts);
+      EXPECT_TRUE(grow.ok) << "cycle " << cycle << ": " << grow.error;
+      if (!grow.ok) return;
+      EXPECT_EQ(store.Members().size(), 4u);
+      if (cycle == 0) {
+        // Partition pulse: isolate a founding replica (quorums of 4 stay
+        // available) while the new member carries its share of the load.
+        store.Partition({1}, {0, 2, 3, 4, 5, grow.node});
+        std::this_thread::sleep_for(100ms);
+        store.Heal();
+      }
+      if (cycle == 1) {
+        store.Crash(2);
+        std::this_thread::sleep_for(100ms);
+        store.Recover(2);
+        std::this_thread::sleep_for(50ms);
+      }
+      const reconfig::MembershipReport shrink =
+          reconfig::RemoveReplica(store, grow.node, mopts);
+      EXPECT_TRUE(shrink.ok) << "cycle " << cycle << ": " << shrink.error;
+      if (!shrink.ok) return;
+      EXPECT_TRUE(shrink.drained);
+      EXPECT_EQ(store.Members().size(), 3u);
+      std::this_thread::sleep_for(50ms);
+    }
+  });
+
+  for (auto& w : workers) w.join();
+  churn.join();
+  EXPECT_EQ(store.Members(), (std::vector<NodeId>{0, 1, 2}))
+      << "every churn cycle must have grown and shrunk back";
+
+  // Same client-side audit as the static soak, across all six
+  // configuration changes.
+  std::uint64_t completed = 0, failed = 0;
+  for (int c = 0; c < kClients; ++c) {
+    std::uint64_t last_acked_version[kKeysPerClient] = {};
+    std::int64_t last_acked_value[kKeysPerClient] = {};
+    std::set<std::int64_t> attempted[kKeysPerClient];
+    for (const Observation& o : all[c]) {
+      const ClientResult& r = o.result;
+      ++completed;
+      if (o.is_write) attempted[o.key].insert(o.value);
+      if (!r.ok) {
+        ++failed;
+        continue;
+      }
+      if (o.is_write) {
+        EXPECT_GT(r.version, last_acked_version[o.key])
+            << "acked write version regressed on " << Key(c, o.key);
+        last_acked_version[o.key] = r.version;
+        last_acked_value[o.key] = o.value;
+      } else {
+        EXPECT_GE(r.version, last_acked_version[o.key])
+            << "read missed an acked write on " << Key(c, o.key);
+        if (r.version == last_acked_version[o.key] &&
+            last_acked_version[o.key] != 0) {
+          EXPECT_EQ(r.value, last_acked_value[o.key]);
+        }
+        if (r.version != 0) {
+          EXPECT_EQ(attempted[o.key].count(r.value), 1u)
+              << "read returned a never-written value " << r.value << " on "
+              << Key(c, o.key);
+        }
+      }
+    }
+  }
+  // Churn windows plus injected loss must still be mostly masked.
+  EXPECT_LE(failed * 20, completed)  // <= 5%
+      << failed << " of " << completed << " ops failed";
+
+  // Replica-side audit over the *surviving* members (removed joiners are
+  // gone; the founding trio must agree with itself).
+  store.FlushFaults();
+  std::this_thread::sleep_for(50ms);
+  std::map<std::pair<std::string, std::uint64_t>, std::int64_t> replica_bind;
+  for (const NodeId r : store.Members()) {
+    const ReplicaSnapshot snap = store.ReplicaPeek(r);
+    EXPECT_FALSE(snap.history.empty());
+    std::map<std::string, std::uint64_t> last;
+    for (const AppliedWrite& w : snap.history) {
+      auto [it, first] = last.emplace(w.key, w.version);
+      if (!first) {
+        EXPECT_GT(w.version, it->second)
+            << "replica " << r << " applied a stale version of " << w.key;
+        it->second = w.version;
+      }
+      auto [bit, inserted] =
+          replica_bind.emplace(std::make_pair(w.key, w.version), w.value);
+      EXPECT_EQ(bit->second, w.value)
+          << "replicas diverge on " << w.key << " v" << w.version;
+    }
+  }
+
+  const FaultStats stats = store.InjectedFaults();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
 }
 
 }  // namespace

@@ -78,6 +78,44 @@ TEST(FaultInjection, StatsCountInjectedFaults) {
             200 - stats.dropped + stats.duplicated);
 }
 
+/// Regression: the default plan must cover links whose node was added
+/// *after* the plan was installed (membership change). Per-link SplitMix
+/// streams used to be derivable only for nodes present at construction;
+/// they are now derived lazily from the (from, to) pair key, so a link
+/// born later is faulty, and deterministically so from the seed alone.
+TEST(FaultInjection, PlansCoverDynamicallyAddedLinks) {
+  const auto run = [](std::uint64_t seed) {
+    Bus bus(2);
+    FaultPlan plan;
+    plan.drop = 0.3;
+    plan.duplicate = 0.2;
+    plan.reorder_window = 4;
+    plan.reorder_hold = 10s;
+    plan.seed = seed;
+    bus.SetFaults(plan);
+    const NodeId added = bus.AddNode();  // joins after the plan existed
+    for (std::uint64_t op = 1; op <= 200; ++op) {
+      bus.Send(0, added,
+               RtMessage{RtMessage::Kind::kReadReq, op, "k", 0, 0, 0, 0});
+      bus.Send(added, 1,
+               RtMessage{RtMessage::Kind::kReadReq, op, "k", 0, 0, 0, 0});
+    }
+    bus.FlushFaults();
+    std::vector<std::uint64_t> ops;
+    for (Envelope& e : bus.MailboxOf(added).TryPopAll()) {
+      ops.push_back(e.msg.op);
+    }
+    for (Envelope& e : bus.MailboxOf(1).TryPopAll()) ops.push_back(e.msg.op);
+    EXPECT_GT(bus.InjectedFaults().dropped, 0u)
+        << "links of an added node must flow through the injector";
+    return ops;
+  };
+  const std::vector<std::uint64_t> a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b) << "added-link streams must replay from the seed";
+  EXPECT_NE(a, c);
+  EXPECT_LT(a.size(), 400u);  // drops really happened on both directions
+}
+
 /// Delayed messages are released by the net thread without any explicit
 /// flush, and every one of them arrives.
 TEST(FaultInjection, DelayedMessagesAllArrive) {

@@ -5,6 +5,7 @@
 // entitled to assume about its substrate is pinned here: delivery, FIFO
 // per link, fail-stop crash semantics (drain pending, no delivery while
 // down, recovery restores), and reconnection after a peer restarts.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -51,6 +52,11 @@ class Universe {
   /// down (connections reset) and rebuilt on a fresh ephemeral port, and
   /// every peer is re-targeted; with the Bus it is crash + recover.
   virtual void Restart(NodeId node) = 0;
+  /// Membership growth: add one brand-new node to the running universe
+  /// (Bus::AddNode; with TCP a fresh hosting instance whose endpoint is
+  /// taught to every founding instance via SetPeerEndpoint under an id
+  /// none of them had ever seen). Returns the new node's id.
+  virtual NodeId AddNodeAfterStart() = 0;
 };
 
 class BusUniverse : public Universe {
@@ -62,6 +68,7 @@ class BusUniverse : public Universe {
     bus_.Crash(node);
     bus_.Recover(node);
   }
+  NodeId AddNodeAfterStart() override { return bus_.AddNode(); }
 
  private:
   Bus bus_;
@@ -87,17 +94,31 @@ class TcpUniverse : public Universe {
     WireAll();  // new ephemeral port: everyone re-targets, both directions
   }
 
+  NodeId AddNodeAfterStart() override {
+    // A brand-new id no founding instance has ever seen: the joining
+    // instance knows the full universe size, the founders learn of it
+    // only through SetPeerEndpoint (which must grow their logical node
+    // count past the construction-time universe).
+    const NodeId id = static_cast<NodeId>(instances_.size());
+    instances_.push_back(Spawn(id));
+    WireAll();
+    return id;
+  }
+
  private:
   static std::unique_ptr<TcpTransport> Spawn(NodeId node) {
     TcpTransportOptions o;
-    o.universe.resize(kNodes);  // all ports 0: own = ephemeral bind,
-                                // peers = unknown until WireAll
+    o.universe.resize(
+        std::max<std::size_t>(kNodes, node + 1));  // ports 0: own =
+                                // ephemeral bind, peers unknown until
+                                // WireAll
     return std::make_unique<TcpTransport>(std::move(o), std::vector<NodeId>{node});
   }
 
   void WireAll() {
-    for (NodeId i = 0; i < kNodes; ++i) {
-      for (NodeId j = 0; j < kNodes; ++j) {
+    const NodeId n = static_cast<NodeId>(instances_.size());
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = 0; j < n; ++j) {
         if (i == j) continue;
         instances_[i]->SetPeerEndpoint(j,
                                        instances_[j]->ActualEndpoint(j));
@@ -267,6 +288,49 @@ TEST_P(TransportConformance, CountersAdvance) {
   EXPECT_GT(t.MessagesSent(), before);
   EXPECT_EQ(t.NodeCount(), kNodes);
   EXPECT_STRNE(t.Name(), "");
+}
+
+// --- Membership growth: a brand-new peer id appears after start. With
+// TCP this exercises SetPeerEndpoint for an id beyond the construction
+// universe (previously untested); with the Bus, AddNode into the
+// pre-allocated headroom.
+
+TEST_P(TransportConformance, AddedNodeDeliversBothDirections) {
+  const NodeId added = universe_->AddNodeAfterStart();
+  EXPECT_EQ(added, kNodes);
+  EXPECT_EQ(Host(0).NodeCount(), kNodes + 1)
+      << "founders must count the joined node";
+  Envelope e = MustDeliver(0, added, Tagged(11));
+  EXPECT_EQ(e.from, 0u);
+  EXPECT_EQ(e.msg.op, 11u);
+  Envelope back = MustDeliver(added, 1, Tagged(12));
+  EXPECT_EQ(back.from, added);
+  EXPECT_EQ(back.msg.op, 12u);
+}
+
+TEST_P(TransportConformance, AddedNodeLinkIsFifo) {
+  const NodeId added = universe_->AddNodeAfterStart();
+  constexpr std::uint64_t kCount = 100;
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(Host(2).Send(2, added, Tagged(i)));
+  }
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    auto e = Host(added).MailboxOf(added).Pop(In(5000));
+    ASSERT_TRUE(e.has_value()) << "lost message " << i;
+    EXPECT_EQ(e->msg.op, i) << "reordered at " << i;
+  }
+}
+
+TEST_P(TransportConformance, AddedNodeObeysCrashSemantics) {
+  const NodeId added = universe_->AddNodeAfterStart();
+  MustDeliver(1, added, Tagged(1));  // link warm
+  Host(added).Crash(added);
+  EXPECT_FALSE(Host(added).IsUp(added));
+  Host(1).Send(1, added, Tagged(2));  // may drop at send or at dispatch
+  EXPECT_FALSE(Host(added).MailboxOf(added).Pop(In(200)).has_value());
+  Host(added).Recover(added);
+  Envelope e = MustDeliver(1, added, Tagged(3));
+  EXPECT_EQ(e.msg.op, 3u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, TransportConformance,
