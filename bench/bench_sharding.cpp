@@ -6,13 +6,24 @@
 // shard count sweeps {1, 2, 4, 8}. shards=1 runs the pre-sharding
 // architecture (a single worker draining the bus mailbox, no dispatch
 // stage) and is the baseline; shards>1 adds the dispatch stage and per-key
-// routing to worker shards.
+// routing to a worker pool of min(shards, cores) threads (each worker
+// owning a fixed subset of the shards).
 //
-// Section 1 is the in-memory backend; Section 2 the durable backend under
-// group commit, where each shard owns a WAL segment (`wal_<s>.log`) and
-// fsyncs independently. Shard balance (per-shard applied ops, from the
-// Peek counters) is reported alongside throughput: FNV-1a should spread
-// 256 keys to within a few percent of uniform.
+// E16a is the in-memory backend. E16b is the durable backend under group
+// commit with per-shard WAL segments (`wal_<s>.log`), run twice: once
+// with the cross-shard GroupCommitCoordinator (one fsync decision per
+// window across the whole shard set — the shipping configuration) and
+// once with the pre-coordinator per-shard inline windows (the `pre_change`
+// reference the fsyncs/op regression gate compares against).
+//
+// Alongside throughput and shard balance every row records the hot-path
+// counters: fsyncs/op, dispatch→worker handoffs/op and wakeups/op (a whole
+// routed burst should cross as one handoff per worker touched), bus-mailbox
+// wakeups/op, the resolved worker-pool size (min(shards, cores) by
+// default — shards pin the durable layout, workers adapt to the machine),
+// and coordinator fsync passes. Each section uses its own RNG seed base so
+// two sections can never report identical per-shard arrays by accident —
+// the bench-artifact sanity check in CI rejects that.
 //
 // Speedup scales with physical cores: on a single-core host the sweep
 // measures dispatch overhead rather than parallelism (shards>1 cannot
@@ -44,6 +55,7 @@ constexpr std::size_t kKeys = 256;
 constexpr double kReadFraction = 0.2;
 constexpr std::size_t kWindow = 32;
 constexpr std::size_t kMaxBatch = 16;
+constexpr std::size_t kTotalOps = kClientThreads * kOpsPerClient;
 
 struct RunResult {
   double ops_per_sec = 0;
@@ -51,9 +63,16 @@ struct RunResult {
   std::vector<std::uint64_t> shard_ops;    // applied ops per shard
   std::vector<std::uint64_t> shard_peaks;  // queue high-water per shard
   double balance = 1.0;                    // min/max shard ops
+  std::uint64_t fsyncs = 0;                // all shard segments, total
+  std::uint64_t commit_passes = 0;         // coordinator fsync decisions
+  std::uint64_t worker_handoffs = 0;       // dispatch→worker Push/PushAll
+  std::uint64_t worker_wakeups = 0;        // dispatch→worker cv notifies
+  std::uint64_t mailbox_wakeups = 0;       // client→replica cv notifies
+  std::size_t workers = 0;                 // resolved worker-pool size
 };
 
-RunResult Measure(StoreOptions options, std::size_t shards) {
+RunResult Measure(StoreOptions options, std::size_t shards,
+                  std::uint64_t seed_base) {
   options.replicas = 1;
   options.max_clients = kClientThreads;
   options.shards_per_replica = shards;
@@ -65,8 +84,13 @@ RunResult Measure(StoreOptions options, std::size_t shards) {
   for (std::size_t t = 0; t < kClientThreads; ++t) {
     auto client = store.MakeAsyncClient(
         AsyncQuorumClient::Options{.window = kWindow, .max_batch = kMaxBatch});
-    threads.emplace_back([client = std::move(client), t, &failures] {
-      qcnt::Rng rng(1000 + t);
+    threads.emplace_back([client = std::move(client), t, seed_base,
+                          &failures] {
+      // Per-section seed base: reusing one stream across sections made
+      // every sweep replay the identical key sequence, so the per-shard
+      // op arrays came out byte-identical between sections — which looked
+      // exactly like the stale-counter bug this bench once had.
+      qcnt::Rng rng(seed_base + t);
       std::vector<OpFuture> futures;
       futures.reserve(kOpsPerClient);
       for (std::size_t i = 0; i < kOpsPerClient; ++i) {
@@ -90,8 +114,7 @@ RunResult Measure(StoreOptions options, std::size_t shards) {
           .count();
 
   RunResult out;
-  out.ops_per_sec =
-      static_cast<double>(kClientThreads * kOpsPerClient) / secs;
+  out.ops_per_sec = static_cast<double>(kTotalOps) / secs;
   out.failures = failures.load();
   const runtime::BatchStats stats = store.ReplicaBatchStats(0);
   std::uint64_t min_ops = ~0ull, max_ops = 0;
@@ -101,9 +124,15 @@ RunResult Measure(StoreOptions options, std::size_t shards) {
     min_ops = std::min(min_ops, c.ops);
     max_ops = std::max(max_ops, c.ops);
   }
+  out.worker_handoffs = stats.worker_handoffs;
+  out.worker_wakeups = stats.worker_wakeups;
+  out.workers = store.ReplicaWorkerCount(0);
   if (max_ops > 0) {
     out.balance = static_cast<double>(min_ops) / static_cast<double>(max_ops);
   }
+  out.mailbox_wakeups = stats.mailbox_wakeups;
+  out.fsyncs = store.ReplicaStorageStats(0).fsyncs;
+  out.commit_passes = store.ReplicaCommitPasses(0);
   return out;
 }
 
@@ -112,14 +141,17 @@ StoreOptions MemoryOptions(std::size_t) { return StoreOptions{}; }
 // A fresh directory per sweep point: the MANIFEST pins a directory's shard
 // count, so reopening one layout with a different count is (correctly)
 // rejected.
-StoreOptions DurableOptions(const std::string& root, std::size_t shards) {
-  const std::string dir = root + "/s" + std::to_string(shards);
+StoreOptions DurableOptions(const std::string& root, std::size_t shards,
+                            bool coordinate) {
+  const std::string dir = root + "/" + (coordinate ? "c" : "i") +
+                          std::to_string(shards);
   std::filesystem::create_directories(dir);
   StoreOptions options;
   options.durability = storage::DurabilityOptions{
       .directory = dir,
       .fsync = storage::FsyncPolicy::kGroupCommit,
       .group_commit_window = std::chrono::microseconds{200},
+      .coordinate_group_commit = coordinate,
   };
   return options;
 }
@@ -139,21 +171,37 @@ std::string ShardList(const std::vector<std::uint64_t>& v) {
   return out + "]";
 }
 
+double PerOp(std::uint64_t count) {
+  return static_cast<double>(count) / static_cast<double>(kTotalOps);
+}
+
+void EmitRows(std::ofstream& os, const std::vector<JsonRow>& rows) {
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& row = rows[i];
+    os << "    {\"shards\": " << row.shards
+       << ", \"ops_per_sec\": " << bench::Table::Num(row.r.ops_per_sec, 0)
+       << ", \"speedup_vs_1_shard\": " << bench::Table::Num(row.speedup, 2)
+       << ", \"shard_balance\": " << bench::Table::Num(row.r.balance, 2)
+       << ", \"shard_ops\": " << ShardList(row.r.shard_ops)
+       << ", \"fsyncs\": " << row.r.fsyncs
+       << ", \"fsyncs_per_op\": " << bench::Table::Num(PerOp(row.r.fsyncs), 4)
+       << ", \"commit_passes\": " << row.r.commit_passes
+       << ", \"workers\": " << row.r.workers
+       << ", \"worker_handoffs_per_op\": "
+       << bench::Table::Num(PerOp(row.r.worker_handoffs), 4)
+       << ", \"worker_wakeups_per_op\": "
+       << bench::Table::Num(PerOp(row.r.worker_wakeups), 4)
+       << ", \"mailbox_wakeups_per_op\": "
+       << bench::Table::Num(PerOp(row.r.mailbox_wakeups), 4)
+       << ", \"failures\": " << row.r.failures << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+}
+
 void WriteJson(const std::string& path, const std::vector<JsonRow>& memory,
-               const std::vector<JsonRow>& durable) {
+               const std::vector<JsonRow>& durable,
+               const std::vector<JsonRow>& pre_change) {
   std::ofstream os(path);
-  auto emit = [&os](const std::vector<JsonRow>& rows) {
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const JsonRow& row = rows[i];
-      os << "    {\"shards\": " << row.shards
-         << ", \"ops_per_sec\": " << bench::Table::Num(row.r.ops_per_sec, 0)
-         << ", \"speedup_vs_1_shard\": " << bench::Table::Num(row.speedup, 2)
-         << ", \"shard_balance\": " << bench::Table::Num(row.r.balance, 2)
-         << ", \"shard_ops\": " << ShardList(row.r.shard_ops)
-         << ", \"failures\": " << row.r.failures << "}"
-         << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-  };
   os << "{\n"
      << "  \"experiment\": \"E16\",\n"
      << "  \"replicas\": 1,\n"
@@ -165,30 +213,38 @@ void WriteJson(const std::string& path, const std::vector<JsonRow>& memory,
      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
      << ",\n"
      << "  \"memory_backend\": [\n";
-  emit(memory);
+  EmitRows(os, memory);
   os << "  ],\n"
      << "  \"durable_group_commit\": [\n";
-  emit(durable);
+  EmitRows(os, durable);
+  os << "  ],\n"
+     << "  \"pre_change_inline_group_commit\": [\n";
+  EmitRows(os, pre_change);
   os << "  ]\n}\n";
 }
 
 std::vector<JsonRow> RunSection(
-    const std::string& title,
+    const std::string& title, std::uint64_t seed_base,
     const std::function<StoreOptions(std::size_t)>& make) {
   bench::Banner(title);
-  bench::Table table(
-      {"shards", "ops/s", "speedup vs 1", "balance (min/max)", "failures"});
+  bench::Table table({"shards", "workers", "ops/s", "speedup vs 1",
+                      "balance", "fsyncs/op", "handoffs/op", "wakeups/op",
+                      "failures"});
   std::vector<JsonRow> rows;
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
-    const RunResult r = Measure(make(shards), shards);
+    const RunResult r = Measure(make(shards), shards, seed_base);
     const double base = rows.empty() ? r.ops_per_sec : rows[0].r.ops_per_sec;
     rows.push_back({shards, r, r.ops_per_sec / base});
   }
   for (const JsonRow& row : rows) {
     table.AddRow({std::to_string(row.shards),
+                  std::to_string(row.r.workers),
                   bench::Table::Num(row.r.ops_per_sec, 0),
                   bench::Table::Num(row.speedup, 2),
                   bench::Table::Num(row.r.balance, 2),
+                  bench::Table::Num(PerOp(row.r.fsyncs), 4),
+                  bench::Table::Num(PerOp(row.r.worker_handoffs), 4),
+                  bench::Table::Num(PerOp(row.r.worker_wakeups), 4),
                   std::to_string(row.r.failures)});
   }
   table.Print();
@@ -203,28 +259,39 @@ int main(int argc, char** argv) {
   const std::vector<JsonRow> memory = RunSection(
       "E16a: sharded replica, in-memory backend, 1 replica, 3 pipelined "
       "clients, 256 keys, 20% reads",
-      MemoryOptions);
+      1000, MemoryOptions);
 
   const std::string scratch = "bench_sharding_scratch";
   std::filesystem::remove_all(scratch);
   std::filesystem::create_directories(scratch);
   const std::vector<JsonRow> durable = RunSection(
-      "E16b: sharded replica, durable backend (group commit, per-shard WAL "
-      "segments)",
+      "E16b: durable, per-shard WAL segments, cross-shard coordinated "
+      "group commit (one fsync decision per window per replica)",
+      5000,
       [&scratch](std::size_t shards) {
-        return DurableOptions(scratch, shards);
+        return DurableOptions(scratch, shards, true);
+      });
+  const std::vector<JsonRow> pre_change = RunSection(
+      "E16b reference: durable, pre-change per-shard inline group-commit "
+      "windows (independent fsync stream per shard)",
+      9000,
+      [&scratch](std::size_t shards) {
+        return DurableOptions(scratch, shards, false);
       });
   std::filesystem::remove_all(scratch);
 
-  WriteJson(json_path, memory, durable);
+  WriteJson(json_path, memory, durable, pre_change);
   std::cout << "\nShape checks: shard balance stays near 1.0 (FNV-1a spreads "
-               "256 keys evenly);\nshards=1 is the dispatch-free baseline. "
-               "Speedup at shards>1 tracks physical\ncores (hardware_"
-               "concurrency = "
+               "256 keys evenly);\nshards=1 is the dispatch-free baseline; "
+               "handoffs/op well below 1 means whole\nbursts cross the "
+               "dispatch→worker boundary together. Coordinated group commit\n"
+               "should hold fsyncs/op roughly flat as shards grow, where the "
+               "pre-change inline\nwindows multiply it. Speedup at shards>1 "
+               "tracks physical cores (hardware_\nconcurrency = "
             << std::thread::hardware_concurrency()
-            << " on this host): with one core the sweep\nmeasures dispatch "
-               "overhead, with N cores the shard workers and the per-shard\n"
-               "WAL segments in E16b commit in parallel.\nJSON: "
+            << " on this host): the worker pool is capped at the core count,"
+               "\nso high shard counts add WAL segments, not thread thrash."
+               "\nJSON: "
             << json_path << "\n";
   return 0;
 }

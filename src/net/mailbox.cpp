@@ -1,32 +1,87 @@
 #include "net/mailbox.hpp"
 
+#include <thread>
+
 namespace qcnt::net {
 
-void Mailbox::Push(Envelope e) {
+namespace {
+
+// Bounded spin before a blocking wait in PopAll. On a single-core host
+// spinning only steals the producer's timeslice, so it is disabled there.
+int SpinIterations() {
+  static const int kIters =
+      std::thread::hardware_concurrency() > 1 ? 64 : 0;
+  return kIters;
+}
+
+}  // namespace
+
+void Mailbox::Push(Envelope&& e) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return;
     queue_.push_back(std::move(e));
+    size_.store(queue_.size(), std::memory_order_release);
+    handoffs_.fetch_add(1, std::memory_order_relaxed);
   }
-  cv_.notify_one();
+  if (NeedNotify()) {
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_one();
+  }
+}
+
+void Mailbox::PushAll(std::vector<Envelope>& batch) {
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      batch.clear();
+      return;
+    }
+    for (Envelope& e : batch) queue_.push_back(std::move(e));
+    batch.clear();  // caller keeps the capacity for the next burst
+    size_.store(queue_.size(), std::memory_order_release);
+    handoffs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (NeedNotify()) {
+    wakeups_.fetch_add(1, std::memory_order_relaxed);
+    cv_.notify_one();
+  }
 }
 
 std::optional<Envelope> Mailbox::Pop(
     std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_until(lock, deadline,
-                 [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty() && !closed_) {
+    waiters_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.wait_until(lock, deadline,
+                   [this] { return !queue_.empty() || closed_; });
+    waiters_.fetch_sub(1, std::memory_order_acq_rel);
+  }
   if (queue_.empty()) return std::nullopt;
   Envelope e = std::move(queue_.front());
   queue_.pop_front();
+  size_.store(queue_.size(), std::memory_order_release);
   return e;
 }
 
 std::deque<Envelope> Mailbox::PopAll() {
+  // Fast path: under steady load the next burst lands within the spin
+  // window and the consumer never parks (and the producer never has to
+  // notify — NeedNotify() stays false throughout).
+  for (int i = SpinIterations(); i > 0; --i) {
+    if (size_.load(std::memory_order_acquire) != 0) break;
+    if ((i & 15) == 0) std::this_thread::yield();
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+  if (queue_.empty() && !closed_) {
+    waiters_.fetch_add(1, std::memory_order_acq_rel);
+    cv_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    waiters_.fetch_sub(1, std::memory_order_acq_rel);
+  }
   std::deque<Envelope> batch;
   batch.swap(queue_);
+  size_.store(0, std::memory_order_release);
   return batch;
 }
 
@@ -34,6 +89,7 @@ std::deque<Envelope> Mailbox::TryPopAll() {
   std::lock_guard<std::mutex> lock(mu_);
   std::deque<Envelope> batch;
   batch.swap(queue_);
+  size_.store(0, std::memory_order_release);
   return batch;
 }
 
@@ -53,6 +109,7 @@ void Mailbox::Reopen() {
 void Mailbox::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   queue_.clear();
+  size_.store(0, std::memory_order_release);
 }
 
 std::size_t Mailbox::Size() const {

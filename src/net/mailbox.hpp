@@ -5,12 +5,30 @@
 // and the TCP transport's event loop pushes decoded frames into it. Node
 // code (replica servers, clients) only ever pops; where the envelope came
 // from is the transport's business.
+//
+// Hot-path design:
+//  - Producers never notify while holding the queue lock, and they only
+//    notify at all when a consumer has registered itself as waiting
+//    (`waiters_`). The registration happens under the same mutex the
+//    producer pushes under, so a consumer that found the queue empty and
+//    is about to sleep is always visible to the next producer — no lost
+//    wakeup, no syscall on the uncontended handoff.
+//  - `PushAll` moves a whole routed burst in under one lock acquisition
+//    and one (conditional) notify, then clears the caller's vector so its
+//    capacity is reused for the next burst.
+//  - `PopAll` spins briefly on an atomic size mirror before sleeping, so
+//    a consumer draining a steady stream never touches the futex. The
+//    spin is disabled on single-core hosts where it would only steal the
+//    producer's timeslice.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "runtime/message.hpp"
 
@@ -24,7 +42,15 @@ class Mailbox {
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  void Push(Envelope e);
+  /// Move-only enqueue: the envelope's payload (strings, batch vectors)
+  /// is never copied on the handoff.
+  void Push(Envelope&& e);
+
+  /// Enqueue a whole burst under one lock acquisition with at most one
+  /// notify. Moves the contents out of `batch` and clears it, so the
+  /// caller's vector keeps its capacity for the next burst (the reusable
+  /// per-link buffer idiom). Dropped silently when closed, like Push.
+  void PushAll(std::vector<Envelope>& batch);
 
   /// Block until a message arrives or the deadline passes; nullopt on
   /// timeout or when the mailbox is closed and drained.
@@ -55,11 +81,37 @@ class Mailbox {
 
   std::size_t Size() const;
 
+  /// Number of Push/PushAll calls that enqueued at least one envelope.
+  /// Deterministic (independent of consumer timing), so tests can assert
+  /// exact handoff counts where wakeups would be racy.
+  std::uint64_t Handoffs() const {
+    return handoffs_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of producer-side cv notifies actually issued — the syscall
+  /// cost a spinning or already-awake consumer avoids.
+  std::uint64_t Wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // True when a producer must notify: a consumer registered under mu_
+  // before sleeping. Read by producers *after* releasing mu_; the mutex
+  // hand-off orders the consumer's registration before the producer's
+  // read, so the only misses are consumers that arrive later and will
+  // see the pushed data anyway.
+  bool NeedNotify() const {
+    return waiters_.load(std::memory_order_acquire) != 0;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Envelope> queue_;
   bool closed_ = false;
+  std::atomic<std::size_t> size_{0};     // mirror of queue_.size() for spin
+  std::atomic<int> waiters_{0};          // consumers parked (or parking) in cv
+  std::atomic<std::uint64_t> handoffs_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 }  // namespace qcnt::net

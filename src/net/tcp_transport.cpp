@@ -65,6 +65,7 @@ TcpTransport::TcpTransport(TcpTransportOptions options,
       mailboxes_(CapacityOf(options_)),
       up_(CapacityOf(options_)),
       crash_hooks_(CapacityOf(options_)),
+      recover_hooks_(CapacityOf(options_)),
       peers_(CapacityOf(options_)),
       retarget_(CapacityOf(options_), 0) {
   QCNT_CHECK_MSG(!universe_.empty(), "tcp transport: empty universe");
@@ -203,15 +204,19 @@ void TcpTransport::Crash(NodeId node) {
   QCNT_CHECK(node < NodeCount());
   QCNT_CHECK_MSG(local_[node], "tcp transport: crash of a remote node");
   up_[node].store(false);
-  // Same ordering as Bus::Crash: mark down, drain the backlog, then let
-  // the node kill its internal stages.
-  mailboxes_[node]->Clear();
+  // Same contract as Bus::Crash: mark down first, then either hand the
+  // backlog to the node's crash hook (which drains it at a deterministic
+  // cut) or discard it here when no hook is installed.
   std::function<void()> hook;
   {
     std::lock_guard<std::mutex> lock(hooks_mu_);
     hook = crash_hooks_[node];
   }
-  if (hook) hook();
+  if (hook) {
+    hook();
+  } else {
+    mailboxes_[node]->Clear();
+  }
 }
 
 void TcpTransport::Recover(NodeId node) {
@@ -219,6 +224,12 @@ void TcpTransport::Recover(NodeId node) {
   QCNT_CHECK_MSG(local_[node], "tcp transport: recover of a remote node");
   mailboxes_[node]->Reopen();
   up_[node].store(true);
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hook = recover_hooks_[node];
+  }
+  if (hook) hook();
 }
 
 void TcpTransport::SetCrashHook(NodeId node, std::function<void()> hook) {
@@ -226,6 +237,14 @@ void TcpTransport::SetCrashHook(NodeId node, std::function<void()> hook) {
   QCNT_CHECK_MSG(local_[node], "tcp transport: crash hook on a remote node");
   std::lock_guard<std::mutex> lock(hooks_mu_);
   crash_hooks_[node] = std::move(hook);
+}
+
+void TcpTransport::SetRecoverHook(NodeId node, std::function<void()> hook) {
+  QCNT_CHECK(node < NodeCount());
+  QCNT_CHECK_MSG(local_[node],
+                 "tcp transport: recover hook on a remote node");
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  recover_hooks_[node] = std::move(hook);
 }
 
 void TcpTransport::CloseAll() {

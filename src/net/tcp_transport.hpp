@@ -121,6 +121,7 @@ class TcpTransport final : public Transport {
   void Recover(NodeId node) override;
   bool IsUp(NodeId node) const override;
   void SetCrashHook(NodeId node, std::function<void()> hook) override;
+  void SetRecoverHook(NodeId node, std::function<void()> hook) override;
   void CloseAll() override;
   std::uint64_t MessagesSent() const override { return sent_.load(); }
   std::uint64_t MessagesDropped() const override { return dropped_.load(); }
@@ -209,6 +210,7 @@ class TcpTransport final : public Transport {
 
   mutable std::mutex hooks_mu_;
   std::vector<std::function<void()>> crash_hooks_;
+  std::vector<std::function<void()>> recover_hooks_;
 
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};

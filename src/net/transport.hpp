@@ -24,11 +24,16 @@
 //     the sender id. MailboxOf is only meaningful for nodes hosted by
 //     this transport instance (every node, for a Bus; this process's
 //     nodes, for a TcpTransport).
-//   * Crash(node) is local fail-stop: the node stops receiving, its
-//     queued backlog is discarded, and the node's crash hook runs so
-//     internal stages (shard sub-mailboxes) die atomically with it.
-//     Recover(node) restores delivery. Neither is a remote operation —
-//     crashing a *remote* process is done by killing it.
+//   * Crash(node) is local fail-stop: the node stops receiving and its
+//     queued backlog dies with it. If a crash hook is installed the hook
+//     *owns* the backlog — the transport does not clear the mailbox
+//     first, so the node can drain what was delivered before the crash
+//     in FIFO order and cut at a deterministic position (see
+//     replica_server.hpp). Without a hook the transport discards the
+//     backlog itself. Either way the mailbox is empty when Crash
+//     returns. Recover(node) restores delivery and runs the node's
+//     recover hook. Neither is a remote operation — crashing a *remote*
+//     process is done by killing it.
 #pragma once
 
 #include <cstdint>
@@ -65,9 +70,13 @@ class Transport {
   virtual bool IsUp(NodeId node) const = 0;
 
   /// Install a callback that Crash(node) runs after the node is marked
-  /// down and its mailbox drained (see replica_server.hpp). nullptr
-  /// removes it.
+  /// down. The hook owns the queued backlog: it must consume or discard
+  /// it before returning (see replica_server.hpp). nullptr removes it.
   virtual void SetCrashHook(NodeId node, std::function<void()> hook) = 0;
+
+  /// Install a callback that Recover(node) runs after the node is back
+  /// up — the node's chance to reset crash-cut state. nullptr removes it.
+  virtual void SetRecoverHook(NodeId node, std::function<void()> hook) = 0;
 
   /// Close every hosted mailbox (shutdown).
   virtual void CloseAll() = 0;

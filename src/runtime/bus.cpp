@@ -19,7 +19,9 @@ constexpr std::size_t kGrowthHeadroom = 32;
 }  // namespace
 
 Bus::Bus(std::size_t nodes)
-    : up_(nodes + kGrowthHeadroom), crash_hooks_(nodes + kGrowthHeadroom) {
+    : up_(nodes + kGrowthHeadroom),
+      crash_hooks_(nodes + kGrowthHeadroom),
+      recover_hooks_(nodes + kGrowthHeadroom) {
   QCNT_CHECK(nodes >= 1);
   const std::size_t capacity = nodes + kGrowthHeadroom;
   mailboxes_.reserve(capacity);
@@ -57,20 +59,22 @@ Mailbox& Bus::MailboxOf(NodeId node) {
 void Bus::Crash(NodeId node) {
   QCNT_CHECK(node < NodeCount());
   up_[node].store(false);
-  // Drain after marking down: sends racing with the crash either see the
-  // down flag and drop, or land in the queue before this drain clears it.
-  // Messages queued before the crash must not be handled by a dead node.
-  mailboxes_[node]->Clear();
-  // Last, let the node kill its internal stages (shard sub-mailboxes).
-  // Ordering matters: the dispatch thread refuses to route external work
-  // once up_ is false, so after the hook drains the shard inboxes nothing
-  // pre-crash can reach a shard again.
+  // Marking down first means sends racing with the crash either see the
+  // down flag and drop, or land in the queue ahead of the crash cut.
+  // A node with a crash hook owns its own backlog: the hook drains what
+  // was delivered before the crash in FIFO order and refuses the rest
+  // (replica servers push a kCrashDrain marker and wait for it). Without
+  // a hook the backlog simply dies here.
   std::function<void()> hook;
   {
     std::lock_guard<std::mutex> lock(hooks_mu_);
     hook = crash_hooks_[node];
   }
-  if (hook) hook();
+  if (hook) {
+    hook();
+  } else {
+    mailboxes_[node]->Clear();
+  }
 }
 
 void Bus::SetCrashHook(NodeId node, std::function<void()> hook) {
@@ -79,12 +83,24 @@ void Bus::SetCrashHook(NodeId node, std::function<void()> hook) {
   crash_hooks_[node] = std::move(hook);
 }
 
+void Bus::SetRecoverHook(NodeId node, std::function<void()> hook) {
+  QCNT_CHECK(node < NodeCount());
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  recover_hooks_[node] = std::move(hook);
+}
+
 void Bus::Recover(NodeId node) {
   QCNT_CHECK(node < NodeCount());
   // Reopen before flipping the up flag so a sender that sees up==true is
   // guaranteed a mailbox that accepts the message.
   mailboxes_[node]->Reopen();
   up_[node].store(true);
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(hooks_mu_);
+    hook = recover_hooks_[node];
+  }
+  if (hook) hook();
 }
 
 bool Bus::Send(NodeId from, NodeId to, RtMessage msg) {
@@ -205,7 +221,10 @@ bool Bus::SendWithFaults(NodeId from, NodeId to, RtMessage msg) {
   const int copies = 1 + (link.rng.Chance(plan->duplicate) ? 1 : 0);
   if (copies == 2) ++fault_stats_.duplicated;
   for (int c = 0; c < copies; ++c) {
-    Envelope env{from, msg};
+    // The common (no-duplicate) case moves the payload instead of copying
+    // it; only a duplicated message pays for a real copy.
+    Envelope env = (c + 1 == copies) ? Envelope{from, std::move(msg)}
+                                     : Envelope{from, msg};
     if (plan->reorder_window > 0) {
       // Rank = seq + jitter bounds overtaking at reorder_window places.
       const std::uint64_t rank =

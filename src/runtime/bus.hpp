@@ -113,8 +113,11 @@ class Bus final : public Transport {
   /// that account for side effects (read repair) must count only true.
   bool Send(NodeId from, NodeId to, RtMessage msg) override;
 
-  /// Fail-stop: mark the node down and drain its mailbox, so messages
-  /// queued before the crash are not processed afterward.
+  /// Fail-stop: mark the node down, then hand the queued backlog to the
+  /// node's crash hook (which drains it in FIFO order and cuts at a
+  /// deterministic position — see replica_server.hpp), or discard it
+  /// here when no hook is installed. Either way the mailbox is empty
+  /// when Crash returns.
   void Crash(NodeId node) override;
   /// Bring the node back up. Also reopens the node's mailbox: a crash that
   /// raced with CloseAll (shutdown ordering) leaves the mailbox closed, and
@@ -124,11 +127,17 @@ class Bus final : public Transport {
   bool IsUp(NodeId node) const override { return up_[node].load(); }
 
   /// Install a callback that Crash(node) runs after the node is marked
-  /// down and its bus mailbox drained. A sharded replica clears its shard
-  /// sub-mailboxes (and aborts any cross-shard barrier) here, so the whole
-  /// replica fail-stops atomically: once Crash returns, no shard will
-  /// answer a pre-crash message. Pass nullptr to remove.
+  /// down. The hook owns the queued backlog: a replica server pushes a
+  /// crash-drain marker and waits until everything delivered before the
+  /// crash has been applied and everything after it refused, so the
+  /// whole replica fail-stops at one deterministic point in its message
+  /// stream. Pass nullptr to remove.
   void SetCrashHook(NodeId node, std::function<void()> hook) override;
+
+  /// Install a callback that Recover(node) runs after the node is back
+  /// up (crash-cut reset; see replica_server.hpp). Pass nullptr to
+  /// remove.
+  void SetRecoverHook(NodeId node, std::function<void()> hook) override;
 
   // --- Fault injection -----------------------------------------------------
 
@@ -215,6 +224,7 @@ class Bus final : public Transport {
   std::atomic<std::size_t> count_{0};                // logical node count
   mutable std::mutex hooks_mu_;
   std::vector<std::function<void()>> crash_hooks_;
+  std::vector<std::function<void()>> recover_hooks_;
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
 

@@ -60,6 +60,12 @@ struct RtMessage {
     kJoinReq,        // coordinator -> joiner: start pulling; `value` =
                      // donor node id, `version` = expected shard count,
                      // `op` = join op id
+    kCrashDrain,     // internal: fail-stop marker. Crash(node) enqueues it
+                     // at the tail of the node's mailbox; everything ahead
+                     // of it is applied, everything behind it is refused,
+                     // so the crash cut is a deterministic FIFO position
+                     // instead of a timing race. Never encoded on the wire
+                     // (codec kMaxKind = kJoinReq rejects it).
   };
   // Sharded replicas (StoreOptions::shards_per_replica > 1) route these
   // messages internally by key hash. A kBatch* request may therefore be

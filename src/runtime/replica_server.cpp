@@ -15,6 +15,12 @@ namespace {
 /// so live traffic interleaves at chunk granularity.
 constexpr std::size_t kCatchupChunkEntries = 128;
 constexpr std::size_t kCatchupChunkCeiling = 4096;
+
+std::size_t ResolveWorkerCount(std::size_t shards, std::size_t requested) {
+  std::size_t w = requested == 0 ? DefaultWorkersPerReplica(shards) : requested;
+  if (w == 0) w = 1;
+  return w < shards ? w : shards;
+}
 }  // namespace
 
 ReplicaServer::ReplicaServer(Transport& transport, NodeId id)
@@ -25,7 +31,7 @@ ReplicaServer::ReplicaServer(Transport& transport, NodeId id)
 ReplicaServer::ReplicaServer(Transport& transport, NodeId id,
                              const std::size_t shards,
                              const BackendFactory& make_backend,
-                             bool record_history)
+                             bool record_history, std::size_t workers)
     : transport_(&transport), id_(id), record_history_(record_history) {
   QCNT_CHECK(shards >= 1);
   shards_.reserve(shards);
@@ -35,25 +41,56 @@ ReplicaServer::ReplicaServer(Transport& transport, NodeId id,
     QCNT_CHECK(shard->backend != nullptr);
     shards_.push_back(std::move(shard));
   }
-  // The hook makes Bus::Crash atomic across shards: it drains every shard
-  // sub-mailbox and aborts a pending config barrier, inside Crash itself.
+  // Worker pool: shards are multiplexed round-robin onto
+  // min(shards, cores) threads unless an explicit count is given. The
+  // assignment is fixed for the server's lifetime — a shard's image and
+  // backend are only ever touched by its owning worker, which is the
+  // whole thread-safety story.
+  const std::size_t w_count = ResolveWorkerCount(shards, workers);
+  workers_.reserve(w_count);
+  for (std::size_t w = 0; w < w_count; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->wal_parts.assign(shards, {});
+    worker->touched_flag.assign(shards, 0);
+    workers_.push_back(std::move(worker));
+  }
+  worker_of_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    worker_of_[s] = s % w_count;
+    workers_[s % w_count]->owned.push_back(s);
+  }
+  // The crash hook makes Transport::Crash a deterministic cut: it pushes
+  // a kCrashDrain marker and waits until every loop thread passed it, so
+  // everything delivered before the crash is applied and everything after
+  // is refused. The recover hook re-arms the node for external work.
   transport_->SetCrashHook(id_, [this] { OnBusCrash(); });
+  transport_->SetRecoverHook(id_, [this] { OnBusRecover(); });
   Start();
 }
 
 ReplicaServer::~ReplicaServer() {
   Shutdown();
   transport_->SetCrashHook(id_, nullptr);
+  transport_->SetRecoverHook(id_, nullptr);
 }
 
 void ReplicaServer::Start() {
   for (auto& sh : shards_) {
-    sh->inbox.Clear();  // drop anything queued across a crash/restart
     sh->image = sh->backend->Recover();
   }
+  for (auto& w : workers_) {
+    w->inbox.Clear();  // drop anything queued across a crash/restart
+  }
+  route_bufs_.assign(workers_.size(), {});
+  split_parts_.assign(workers_.size(), {});
+  crash_cut_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    live_threads_ = Multi() ? workers_.size() + 1 : 1;
+  }
   if (Multi()) {
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      shards_[s]->thread = std::thread([this, s] { ShardLoop(s); });
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      workers_[w]->thread = std::thread([this, w] { WorkerLoop(w); });
     }
     thread_ = std::thread([this] { DispatchLoop(); });
   } else {
@@ -61,43 +98,114 @@ void ReplicaServer::Start() {
   }
 }
 
+void ReplicaServer::NoteThreadExit() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    --live_threads_;
+  }
+  // A crash-drain waiter must not hang on a node whose loops are gone.
+  drain_cv_.notify_all();
+}
+
 void ReplicaServer::Shutdown() {
   if (!thread_.joinable()) return;
   // Push directly: the bus would drop the message if this node is
   // "crashed", but shutdown must always get through. The dispatch loop
-  // forwards the shutdown to every shard before exiting.
+  // forwards the shutdown to every worker before exiting.
   RtMessage m;
   m.kind = RtMessage::Kind::kShutdown;
   transport_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
   thread_.join();
   thread_ = std::thread();
-  for (auto& sh : shards_) {
-    if (sh->thread.joinable()) {
-      sh->thread.join();
-      sh->thread = std::thread();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) {
+      w->thread.join();
+      w->thread = std::thread();
     }
   }
 }
 
-void ReplicaServer::StopShards() {
-  for (auto& sh : shards_) {
+void ReplicaServer::StopWorkers() {
+  for (auto& w : workers_) {
     RtMessage m;
     m.kind = RtMessage::Kind::kShutdown;
-    sh->inbox.Push(Envelope{id_, std::move(m)});
+    w->inbox.Push(Envelope{id_, std::move(m)});
   }
 }
 
 void ReplicaServer::OnBusCrash() {
-  // Runs inside Bus::Crash, after up_ flipped and the bus mailbox was
-  // drained. Draining the shard inboxes here closes the window where a
-  // shard could still be working through a pre-crash backlog; waking the
-  // barrier lets the dispatch thread observe the crash instead of waiting
-  // for config applications that were just discarded.
-  for (auto& sh : shards_) sh->inbox.Clear();
+  // Runs inside Transport::Crash, after up_ flipped but with the bus
+  // mailbox intact: this hook owns the backlog. Instead of clearing
+  // mailboxes from the crashing thread (which raced in-flight peeks and
+  // could vaporize messages a worker was entitled to finish), push a
+  // kCrashDrain marker through the normal pipeline and wait until every
+  // worker has passed it. Everything ahead of the marker was delivered
+  // before the crash and is applied; everything behind it is refused via
+  // Crashed() — a deterministic FIFO cut with no cleared queues.
+  std::lock_guard<std::mutex> call(drain_call_mu_);  // serialize crashes
+  // Wake a dispatch thread parked mid-config-barrier: up_ is already
+  // false, so its predicate releases and it proceeds to the marker.
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
   }
   barrier_cv_.notify_all();
+  std::uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (live_threads_ == 0) {
+      // No loop will ever see a marker (crash raced shutdown or hit a
+      // node wiped by CrashAndWipe): discard the backlog directly.
+      transport_->MailboxOf(id_).Clear();
+      for (auto& w : workers_) w->inbox.Clear();
+      return;
+    }
+    epoch = ++drain_epoch_;
+    drain_acks_ = 0;
+  }
+  RtMessage m;
+  m.kind = RtMessage::Kind::kCrashDrain;
+  m.generation = epoch;  // ack matching across overlapping crashes
+  // Push directly: Send would drop on the (now down) node, and the marker
+  // must ride the same FIFO as the backlog it cuts.
+  transport_->MailboxOf(id_).Push(Envelope{id_, std::move(m)});
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return (drain_epoch_ == epoch && drain_acks_ >= DrainTarget()) ||
+           live_threads_ == 0;
+  });
+}
+
+void ReplicaServer::OnBusRecover() {
+  // Eager re-arm. The lazy reset inside Crashed() alone would be racy
+  // across crash→recover→crash: a message delivered between the recover
+  // and the second crash (thus ahead of the second marker) would be
+  // wrongly dropped by the stale cut.
+  crash_cut_.store(false, std::memory_order_release);
+}
+
+bool ReplicaServer::Crashed() {
+  if (!crash_cut_.load(std::memory_order_acquire)) return false;
+  if (transport_->IsUp(id_)) {
+    // Recovered between the transport flipping up_ and the recover hook
+    // running; clear the cut lazily.
+    crash_cut_.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void ReplicaServer::AckCrashDrain(std::uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (epoch == drain_epoch_) ++drain_acks_;
+  }
+  drain_cv_.notify_all();
+}
+
+void ReplicaServer::FlushRoutes() {
+  for (std::size_t w = 0; w < route_bufs_.size(); ++w) {
+    if (!route_bufs_[w].empty()) workers_[w]->inbox.PushAll(route_bufs_[w]);
+  }
 }
 
 void ReplicaServer::CrashAndWipe() {
@@ -133,9 +241,10 @@ ReplicaSnapshot ReplicaServer::Peek() {
   };
   push_request();
   while (peek_served_ < shards_.size()) {
-    // A concurrent Bus::Crash can clear an in-flight peek out of the shard
-    // inboxes; retry with the same epoch (filled flags dedup) until every
-    // shard has answered.
+    // Crash-drain no longer clears inboxes, so an in-flight peek normally
+    // survives a concurrent crash; the timed retry (same epoch, filled
+    // flags dedup) remains as a liveness guard for the rare paths that
+    // still discard queues (crash racing shutdown, CrashAndWipe).
     if (!peek_cv_.wait_for(lock, std::chrono::milliseconds(50), [&] {
           return peek_served_ >= shards_.size();
         })) {
@@ -161,7 +270,7 @@ void ReplicaServer::ServePeek(std::size_t idx, std::uint64_t epoch) {
   std::lock_guard<std::mutex> lock(peek_mu_);
   if (epoch != peek_epoch_ || idx >= peek_filled_.size() ||
       peek_filled_[idx]) {
-    return;  // stale epoch or a retry already served by this shard
+    return;  // stale epoch or a retry already served for this shard
   }
   Shard& sh = *shards_[idx];
   peek_slots_[idx].image = sh.image;
@@ -174,12 +283,14 @@ void ReplicaServer::ServePeek(std::size_t idx, std::uint64_t epoch) {
 std::vector<ShardCounters> ReplicaServer::CollectShardCounters() const {
   std::vector<ShardCounters> out;
   out.reserve(shards_.size());
-  for (const auto& sh : shards_) {
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = *shards_[s];
     ShardCounters c;
-    c.ops = sh->ops.load(std::memory_order_relaxed);
-    c.batches = sh->batches.load(std::memory_order_relaxed);
-    c.fsyncs = sh->backend->Stats().fsyncs;
-    c.queue_peak = sh->queue_peak.load(std::memory_order_relaxed);
+    c.ops = sh.ops.load(std::memory_order_relaxed);
+    c.batches = sh.batches.load(std::memory_order_relaxed);
+    c.fsyncs = sh.backend->Stats().fsyncs;
+    c.queue_peak =
+        workers_[worker_of_[s]]->queue_peak.load(std::memory_order_relaxed);
     out.push_back(c);
   }
   return out;
@@ -197,76 +308,136 @@ BatchStats ReplicaServer::BatchStats() const {
   s.batched_ops = batched_ops_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   s.per_shard = CollectShardCounters();
+  const Mailbox& inbox = transport_->MailboxOf(id_);
+  s.mailbox_handoffs = inbox.Handoffs();
+  s.mailbox_wakeups = inbox.Wakeups();
+  if (Multi()) {
+    // Single-shard replicas have no dispatch→worker hop; the sole loop
+    // consumes the bus mailbox directly (mailbox_* above covers it).
+    for (const auto& w : workers_) {
+      s.worker_handoffs += w->inbox.Handoffs();
+      s.worker_wakeups += w->inbox.Wakeups();
+    }
+  }
   return s;
 }
 
 void ReplicaServer::SingleLoop() {
-  Shard& sh = *shards_[0];
+  Worker& w = *workers_[0];
   Mailbox& mailbox = transport_->MailboxOf(id_);
   for (;;) {
     std::deque<Envelope> batch = mailbox.PopAll();
-    if (batch.empty()) return;  // mailbox closed and drained
-    TrackPeak(sh.queue_peak, batch.size());
+    if (batch.empty()) {
+      NoteThreadExit();
+      return;  // mailbox closed and drained
+    }
+    TrackPeak(w.queue_peak, batch.size());
     for (Envelope& e : batch) {
-      if (e.msg.kind == RtMessage::Kind::kShutdown) return;
-      HandleOnShard(0, e);
+      if (e.msg.kind == RtMessage::Kind::kShutdown) {
+        NoteThreadExit();
+        return;
+      }
+      if (e.msg.kind == RtMessage::Kind::kCrashDrain) {
+        crash_cut_.store(true, std::memory_order_release);
+        AckCrashDrain(e.msg.generation);
+        continue;
+      }
+      // Behind a crash cut only the internal side channels stay live.
+      if (Crashed() && e.msg.kind != RtMessage::Kind::kImagePeek) continue;
+      HandleOnWorker(0, e);
     }
   }
 }
 
 void ReplicaServer::DispatchLoop() {
+  // Bound on the opportunistic drain below: routing stays cheap, so a
+  // few extra rounds widen the burst a lot, but the bound keeps a steady
+  // producer stream from starving the workers of their flush.
+  constexpr int kExtendRounds = 8;
   Mailbox& mailbox = transport_->MailboxOf(id_);
   for (;;) {
     std::deque<Envelope> batch = mailbox.PopAll();
     if (batch.empty()) {
-      StopShards();  // mailbox closed and drained
+      StopWorkers();  // mailbox closed and drained
+      NoteThreadExit();
       return;
     }
-    for (Envelope& e : batch) {
-      if (e.msg.kind == RtMessage::Kind::kShutdown) {
-        StopShards();
-        return;
+    for (int round = 0; round <= kExtendRounds; ++round) {
+      for (Envelope& e : batch) {
+        if (e.msg.kind == RtMessage::Kind::kShutdown) {
+          FlushRoutes();  // work routed before the shutdown still runs
+          StopWorkers();
+          NoteThreadExit();
+          return;
+        }
+        Route(std::move(e));
       }
-      Route(std::move(e));
+      // Opportunistic extension: messages that arrived while this burst
+      // was being routed join the same flush, so each worker pays one
+      // wakeup for the union instead of one per pop.
+      if (round == kExtendRounds) break;
+      batch = mailbox.TryPopAll();
+      if (batch.empty()) break;
     }
+    // One PushAll (one lock acquisition, at most one wakeup) per touched
+    // worker for the whole burst — this, not per-message Push, is what
+    // keeps dispatch off the worker mutexes at high shard counts.
+    FlushRoutes();
   }
 }
 
 void ReplicaServer::Route(Envelope e) {
   switch (e.msg.kind) {
     case RtMessage::Kind::kImagePeek:
-      // Internal side channel: fan to every shard regardless of up/down.
-      for (auto& sh : shards_) {
-        sh->inbox.Push(Envelope{e.from, e.msg});
+      // Internal side channel: fan to every worker regardless of up/down.
+      // Flush first so the peek observes everything routed ahead of it.
+      FlushRoutes();
+      for (auto& w : workers_) {
+        w->inbox.Push(Envelope{e.from, e.msg});
+      }
+      return;
+    case RtMessage::Kind::kCrashDrain:
+      // The crash cut: everything buffered ahead of the marker is still
+      // pre-crash work — hand it over, then start refusing. Forwarding
+      // the marker to every worker (in FIFO, after the flush) lets each
+      // one ack once its own pre-crash backlog is fully applied.
+      FlushRoutes();
+      crash_cut_.store(true, std::memory_order_release);
+      for (auto& w : workers_) {
+        RtMessage m;
+        m.kind = RtMessage::Kind::kCrashDrain;
+        m.generation = e.msg.generation;
+        w->inbox.Push(Envelope{id_, std::move(m)});
       }
       return;
     case RtMessage::Kind::kConfigWriteReq:
-      if (!transport_->IsUp(id_)) return;
+      if (Crashed()) return;
+      // The barrier below blocks this thread on the workers, so anything
+      // already buffered must be queued ahead of the config stamp.
+      FlushRoutes();
       BroadcastConfigAndAck(e);
       return;
     case RtMessage::Kind::kBatchReadReq:
     case RtMessage::Kind::kBatchWriteReq:
-      // A message popped just before a crash must not reach a shard after
-      // the crash hook drained the shard inboxes; dropping here narrows
-      // that window (the up-check in Bus::Send keeps replies from escaping
-      // in any case).
-      if (!transport_->IsUp(id_)) return;
+      // Behind the crash cut: refuse. (The up-check in Bus::Send keeps
+      // replies from escaping in any case.)
+      if (Crashed()) return;
       SplitBatch(std::move(e));
       return;
     case RtMessage::Kind::kReadReq:
     case RtMessage::Kind::kWriteReq: {
-      if (!transport_->IsUp(id_)) return;
+      if (Crashed()) return;
       const std::size_t s = ShardForKey(e.msg.key, shards_.size());
-      shards_[s]->inbox.Push(std::move(e));
+      route_bufs_[worker_of_[s]].push_back(std::move(e));
       return;
     }
     case RtMessage::Kind::kCatchupReq: {
       // Donor side: `version` names the shard to scan. A request beyond
       // this replica's layout is answered with an empty chunk whose shard
       // count exposes the mismatch (the puller refuses the join).
-      if (!transport_->IsUp(id_)) return;
+      if (Crashed()) return;
       if (e.msg.version < shards_.size()) {
-        shards_[e.msg.version]->inbox.Push(std::move(e));
+        route_bufs_[worker_of_[e.msg.version]].push_back(std::move(e));
       } else {
         RtMessage refusal;
         refusal.kind = RtMessage::Kind::kCatchupChunk;
@@ -277,11 +448,11 @@ void ReplicaServer::Route(Envelope e) {
       return;
     }
     case RtMessage::Kind::kJoinReq:
-      if (!transport_->IsUp(id_)) return;
+      if (Crashed()) return;
       HandleJoinReq(e);
       return;
     case RtMessage::Kind::kCatchupChunk:
-      if (!transport_->IsUp(id_)) return;
+      if (Crashed()) return;
       HandleJoinChunk(e);
       return;
     default:
@@ -290,13 +461,17 @@ void ReplicaServer::Route(Envelope e) {
 }
 
 void ReplicaServer::SplitBatch(Envelope e) {
-  std::vector<std::vector<BatchEntry>> parts(shards_.size());
+  // Split per *worker*, not per shard: the worker re-resolves each
+  // entry's shard on its own thread, so co-located shards cost no extra
+  // envelopes (and no extra acks back to the client) — at one worker the
+  // message profile degenerates to exactly the single-shard one.
+  for (auto& part : split_parts_) part.clear();
   for (BatchEntry& entry : e.msg.batch) {
-    parts[ShardForKey(entry.key, shards_.size())].push_back(
-        std::move(entry));
+    const std::size_t s = ShardForKey(entry.key, shards_.size());
+    split_parts_[worker_of_[s]].push_back(std::move(entry));
   }
-  for (std::size_t s = 0; s < parts.size(); ++s) {
-    if (parts[s].empty()) continue;
+  for (std::size_t w = 0; w < split_parts_.size(); ++w) {
+    if (split_parts_[w].empty()) continue;
     RtMessage m;
     m.kind = e.msg.kind;
     m.op = e.msg.op;
@@ -306,8 +481,8 @@ void ReplicaServer::SplitBatch(Envelope e) {
     // store past generation zero.
     m.generation = e.msg.generation;
     m.config_id = e.msg.config_id;
-    m.batch = std::move(parts[s]);
-    shards_[s]->inbox.Push(Envelope{e.from, std::move(m)});
+    m.batch = std::move(split_parts_[w]);
+    route_bufs_[w].push_back(Envelope{e.from, std::move(m)});
   }
 }
 
@@ -316,21 +491,22 @@ void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
     epoch = ++barrier_epoch_;
-    barrier_pending_ = shards_.size();
+    barrier_pending_ = workers_.size();
   }
-  for (auto& sh : shards_) {
+  for (auto& w : workers_) {
     RtMessage m = e.msg;
     m.value = static_cast<std::int64_t>(epoch);  // barrier epoch
-    sh->inbox.Push(Envelope{e.from, std::move(m)});
+    w->inbox.Push(Envelope{e.from, std::move(m)});
   }
   {
     std::unique_lock<std::mutex> lock(barrier_mu_);
     barrier_cv_.wait(lock, [&] {
       return barrier_pending_ == 0 || !transport_->IsUp(id_);
     });
-    // Crashed mid-barrier: the hook drained the shard inboxes, so some
-    // shards may never apply this config. No ack escapes (the node is
-    // down); an unacked reconfiguration carries no guarantee.
+    // Crashed mid-barrier: abandon the wait so the dispatch thread can go
+    // process the drain marker. The stamp was delivered pre-crash, so the
+    // workers may still apply it — but no ack escapes (the node is down),
+    // and an unacked reconfiguration carries no guarantee.
     if (barrier_pending_ != 0) return;
   }
   RtMessage ack;
@@ -367,75 +543,113 @@ void ReplicaServer::TrackPeak(std::atomic<std::uint64_t>& peak,
   }
 }
 
-void ReplicaServer::CountBatch(Shard& sh, std::size_t entries) {
+void ReplicaServer::NoteTouched(Worker& w, std::size_t s) {
+  if (!w.touched_flag[s]) {
+    w.touched_flag[s] = 1;
+    w.touched.push_back(s);
+  }
+}
+
+void ReplicaServer::FlushTouched(Worker& w) {
+  for (const std::size_t s : w.touched) {
+    Shard& sh = *shards_[s];
+    sh.batches.fetch_add(1, std::memory_order_relaxed);
+    if (!w.wal_parts[s].empty()) {
+      // One write(2) and one group-commit fsync decision per shard the
+      // batch touched, before the single ack that covers them all —
+      // write-ahead still holds: the ack covers exactly the records the
+      // backends accepted.
+      sh.backend->ApplyWriteBatch(w.wal_parts[s]);
+      sh.backend->MaybeCompact(sh.image);
+      w.wal_parts[s].clear();
+    }
+    w.touched_flag[s] = 0;
+  }
+  w.touched.clear();
+}
+
+void ReplicaServer::CountBatchTotals(std::size_t entries) {
   batches_applied_.fetch_add(1, std::memory_order_relaxed);
   batched_ops_.fetch_add(entries, std::memory_order_relaxed);
   TrackPeak(max_batch_, entries);
-  sh.batches.fetch_add(1, std::memory_order_relaxed);
-  sh.ops.fetch_add(entries, std::memory_order_relaxed);
 }
 
-void ReplicaServer::HandleBatchRead(Shard& sh, const RtMessage& m,
+void ReplicaServer::HandleBatchRead(Worker& w, const RtMessage& m,
                                     RtMessage& reply) {
   reply.kind = RtMessage::Kind::kBatchReadResp;
-  reply.generation = sh.image.generation;
-  reply.config_id = sh.image.config_id;
   reply.batch.reserve(m.batch.size());
+  // The header stamp teaches the client the store's configuration; a
+  // worker's shards can only disagree transiently (recovery from a crash
+  // mid-barrier), so report the newest stamp seen across touched shards.
+  std::uint64_t gen = 0;
+  std::uint32_t cfg = 0;
   for (const BatchEntry& entry : m.batch) {
+    const std::size_t s = ShardForKey(entry.key, shards_.size());
+    Shard& sh = *shards_[s];
+    NoteTouched(w, s);
+    if (sh.image.generation > gen ||
+        (sh.image.generation == gen && sh.image.config_id > cfg)) {
+      gen = sh.image.generation;
+      cfg = sh.image.config_id;
+    }
     const storage::Versioned& v = sh.image.data[entry.key];
     reply.batch.push_back(
         BatchEntry{entry.op, entry.key, v.version, v.value});
+    sh.ops.fetch_add(1, std::memory_order_relaxed);
   }
-  CountBatch(sh, m.batch.size());
+  reply.generation = gen;
+  reply.config_id = cfg;
+  FlushTouched(w);
+  CountBatchTotals(m.batch.size());
 }
 
-void ReplicaServer::HandleBatchWrite(Shard& sh, const RtMessage& m,
+void ReplicaServer::HandleBatchWrite(Worker& w, const RtMessage& m,
                                      RtMessage& reply) {
   reply.kind = RtMessage::Kind::kBatchWriteAck;
-  reply.generation = sh.image.generation;
-  reply.config_id = sh.image.config_id;
-  // One generation rides on the whole batch, so the fence decision is
-  // batch-wide: refused entries ack with value = 1 (NACK) and the header
-  // above teaches the client the configuration that fenced it.
-  const bool fenced = m.generation < sh.image.generation;
-  if (!fenced) {
-    // Apply every entry to the image first, collecting the accepted ones,
-    // then log them with a single batch append — one write(2), one
-    // group-commit fsync decision — before the single ack below.
-    // Write-ahead still holds: the ack covers exactly the records the
-    // backend accepted.
-    std::vector<storage::WalRecord> accepted;
-    accepted.reserve(m.batch.size());
-    for (const BatchEntry& entry : m.batch) {
-      if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
-        storage::WalRecord rec;
-        rec.type = storage::WalRecord::Type::kWrite;
-        rec.key = entry.key;
-        rec.version = entry.version;
-        rec.value = entry.value;
-        accepted.push_back(std::move(rec));
-      }
-    }
-    if (!accepted.empty()) {
-      sh.backend->ApplyWriteBatch(accepted);
-      sh.backend->MaybeCompact(sh.image);
-    }
-  }
   reply.batch.reserve(m.batch.size());
+  std::uint64_t gen = 0;
+  std::uint32_t cfg = 0;
   for (const BatchEntry& entry : m.batch) {
+    const std::size_t s = ShardForKey(entry.key, shards_.size());
+    Shard& sh = *shards_[s];
+    NoteTouched(w, s);
+    if (sh.image.generation > gen ||
+        (sh.image.generation == gen && sh.image.config_id > cfg)) {
+      gen = sh.image.generation;
+      cfg = sh.image.config_id;
+    }
+    // Generation fence per entry against its shard's stamp: refused
+    // entries ack with value = 1 (NACK) and the header stamp teaches the
+    // client the configuration that fenced them.
+    const bool fenced = m.generation < sh.image.generation;
+    if (!fenced && ApplyToImage(sh, entry.key, entry.version, entry.value)) {
+      storage::WalRecord rec;
+      rec.type = storage::WalRecord::Type::kWrite;
+      rec.key = entry.key;
+      rec.version = entry.version;
+      rec.value = entry.value;
+      w.wal_parts[s].push_back(std::move(rec));
+    }
     reply.batch.push_back(BatchEntry{entry.op, {}, 0, fenced ? 1 : 0});
+    sh.ops.fetch_add(1, std::memory_order_relaxed);
   }
-  CountBatch(sh, m.batch.size());
+  reply.generation = gen;
+  reply.config_id = cfg;
+  // Accepted records reach the backends (one batch append + one
+  // group-commit decision per touched shard) before the single ack below.
+  FlushTouched(w);
+  CountBatchTotals(m.batch.size());
 }
 
-void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
-  Shard& sh = *shards_[idx];
+void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
+  Worker& w = *workers_[widx];
   const RtMessage& m = e.msg;
   RtMessage reply;
   reply.op = m.op;
   reply.key = m.key;
   switch (m.kind) {
     case RtMessage::Kind::kReadReq: {
+      Shard& sh = *shards_[ShardForKey(m.key, shards_.size())];
       const storage::Versioned& v = sh.image.data[m.key];
       reply.kind = RtMessage::Kind::kReadResp;
       reply.version = v.version;
@@ -446,6 +660,7 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
       break;
     }
     case RtMessage::Kind::kWriteReq: {
+      Shard& sh = *shards_[ShardForKey(m.key, shards_.size())];
       reply.kind = RtMessage::Kind::kWriteAck;
       // The ack names this replica's stamp either way — the channel that
       // tells a lagging client the membership changed underneath it.
@@ -468,23 +683,29 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
-      // Stamps order by (generation, config_id) — config ids are append-
-      // ordered, so an equal-generation install of a newer configuration
-      // (an orphaned stamp from a timed-out reconfigure attempt colliding
-      // with the attempt that won) supersedes, while a duplicated install
-      // stays a no-op (no re-log), mirroring ApplyToImage's idempotence.
-      if (m.generation > sh.image.generation ||
-          (m.generation == sh.image.generation &&
-           m.config_id > sh.image.config_id)) {
-        sh.image.generation = m.generation;
-        sh.image.config_id = m.config_id;
-        sh.backend->ApplyConfig(sh.image.generation, sh.image.config_id);
-        sh.backend->MaybeCompact(sh.image);
+      // The stamp is store-wide: this worker applies it to every shard it
+      // owns. Stamps order by (generation, config_id) — config ids are
+      // append-ordered, so an equal-generation install of a newer
+      // configuration (an orphaned stamp from a timed-out reconfigure
+      // attempt colliding with the attempt that won) supersedes, while a
+      // duplicated install stays a no-op (no re-log), mirroring
+      // ApplyToImage's idempotence.
+      for (const std::size_t idx : w.owned) {
+        Shard& sh = *shards_[idx];
+        if (m.generation > sh.image.generation ||
+            (m.generation == sh.image.generation &&
+             m.config_id > sh.image.config_id)) {
+          sh.image.generation = m.generation;
+          sh.image.config_id = m.config_id;
+          sh.backend->ApplyConfig(sh.image.generation, sh.image.config_id);
+          sh.backend->MaybeCompact(sh.image);
+        }
+        sh.ops.fetch_add(1, std::memory_order_relaxed);
       }
-      sh.ops.fetch_add(1, std::memory_order_relaxed);
       if (Multi()) {
-        // Barrier leg: the dispatch thread acks once every shard has
-        // applied + logged the stamp (m.value carries the epoch).
+        // Barrier leg: the dispatch thread acks once every worker has
+        // applied + logged the stamp on all its shards (m.value carries
+        // the epoch).
         std::lock_guard<std::mutex> lock(barrier_mu_);
         if (static_cast<std::uint64_t>(m.value) == barrier_epoch_ &&
             barrier_pending_ > 0 && --barrier_pending_ == 0) {
@@ -496,16 +717,18 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
       break;
     }
     case RtMessage::Kind::kBatchReadReq:
-      HandleBatchRead(sh, m, reply);
+      HandleBatchRead(w, m, reply);
       break;
     case RtMessage::Kind::kBatchWriteReq:
-      HandleBatchWrite(sh, m, reply);
+      HandleBatchWrite(w, m, reply);
       break;
     case RtMessage::Kind::kImagePeek:
-      ServePeek(idx, m.generation);
+      for (const std::size_t idx : w.owned) ServePeek(idx, m.generation);
       return;  // side channel: no bus reply
     case RtMessage::Kind::kCatchupReq:
-      ServeCatchup(idx, e);
+      // Dispatch validated m.version < shards (multi); a single-shard
+      // donor has only shard 0 to serve.
+      ServeCatchup(Multi() ? static_cast<std::size_t>(m.version) : 0, e);
       return;  // replies itself
     case RtMessage::Kind::kJoinReq:
       // Single-shard mode only: the sole worker runs the join state
@@ -515,10 +738,15 @@ void ReplicaServer::HandleOnShard(std::size_t idx, Envelope& e) {
     case RtMessage::Kind::kCatchupChunk:
       if (Multi()) {
         // Forwarded by the dispatch-side join machinery: just merge.
-        ApplyCatchupEntries(sh, m.batch);
+        ApplyCatchupEntries(w, m.batch);
       } else {
         HandleJoinChunk(e);
       }
+      return;
+    case RtMessage::Kind::kCrashDrain:
+      // Forwarded by dispatch: everything ahead of this marker in the
+      // worker inbox has been applied, so the drain waiter can release.
+      AckCrashDrain(m.generation);
       return;
     default:
       return;
@@ -543,7 +771,7 @@ void ReplicaServer::ServeCatchup(std::size_t idx, Envelope& e) {
   // cursor starts the shard; the empty key itself, if present, rides in
   // the first chunk — re-sending it on a resume is a harmless idempotent
   // merge). The image is hash-ordered, so this is O(shard keys) per
-  // chunk; it runs on the shard's own thread, between live writes.
+  // chunk; it runs on the owning worker thread, between live writes.
   std::vector<const std::pair<const std::string, storage::Versioned>*> cand;
   cand.reserve(sh.image.data.size());
   for (const auto& kv : sh.image.data) {
@@ -624,7 +852,7 @@ void ReplicaServer::HandleJoinChunk(Envelope& e) {
   if (!join_.active || m.op != join_.pull_seq) return;
   if (m.version != join_.expected_shards) {
     // Shard-layout mismatch: a shard-by-shard stream would land keys on
-    // the wrong worker (and the wrong WAL segment). Refuse the join with
+    // the wrong shard (and the wrong WAL segment). Refuse the join with
     // a typed error; nothing already merged needs undoing (it is all
     // legitimate replicated state).
     RtMessage done;
@@ -646,15 +874,17 @@ void ReplicaServer::HandleJoinChunk(Envelope& e) {
   }
   if (!m.batch.empty()) {
     if (Multi()) {
-      // Hand the entries to the owning worker; chunk k is queued before
-      // chunk k+1 is requested below, so per-shard order is preserved and
-      // at most one chunk is ever in flight.
+      // Hand the entries to the owning worker via the route buffer (FIFO
+      // with everything else this burst routed there); chunk k is queued
+      // before chunk k+1 is requested below, so per-shard order is
+      // preserved and at most one chunk is ever in flight.
       RtMessage apply;
       apply.kind = RtMessage::Kind::kCatchupChunk;
       apply.batch = std::move(m.batch);
-      shards_[shard]->inbox.Push(Envelope{e.from, std::move(apply)});
+      route_bufs_[worker_of_[shard]].push_back(
+          Envelope{e.from, std::move(apply)});
     } else {
-      ApplyCatchupEntries(*shards_[0], m.batch);
+      ApplyCatchupEntries(*workers_[0], m.batch);
     }
   }
   if (join_.shard >= join_.expected_shards) {
@@ -671,38 +901,46 @@ void ReplicaServer::HandleJoinChunk(Envelope& e) {
 }
 
 void ReplicaServer::ApplyCatchupEntries(
-    Shard& sh, const std::vector<BatchEntry>& entries) {
+    Worker& w, const std::vector<BatchEntry>& entries) {
   // Same newer-version-wins merge (and write-ahead logging) as a live
   // batch install: a pulled entry can never regress a version a
   // concurrent client write already placed here, which is exactly the
   // per-key monotonicity Lemma 8's envelope needs across the handover.
-  std::vector<storage::WalRecord> accepted;
-  accepted.reserve(entries.size());
+  // Entries route per key like any batch — a chunk's keys all hash to
+  // one shard, but re-resolving keeps this path layout-agnostic.
   for (const BatchEntry& entry : entries) {
+    const std::size_t s = ShardForKey(entry.key, shards_.size());
+    Shard& sh = *shards_[s];
+    NoteTouched(w, s);
     if (ApplyToImage(sh, entry.key, entry.version, entry.value)) {
       storage::WalRecord rec;
       rec.type = storage::WalRecord::Type::kWrite;
       rec.key = entry.key;
       rec.version = entry.version;
       rec.value = entry.value;
-      accepted.push_back(std::move(rec));
+      w.wal_parts[s].push_back(std::move(rec));
     }
+    sh.ops.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!accepted.empty()) {
-    sh.backend->ApplyWriteBatch(accepted);
-    sh.backend->MaybeCompact(sh.image);
-  }
-  CountBatch(sh, entries.size());
+  FlushTouched(w);
+  CountBatchTotals(entries.size());
 }
 
-void ReplicaServer::ShardLoop(std::size_t idx) {
-  Shard& sh = *shards_[idx];
+void ReplicaServer::WorkerLoop(std::size_t widx) {
+  Worker& w = *workers_[widx];
   for (;;) {
-    std::deque<Envelope> batch = sh.inbox.PopAll();
-    TrackPeak(sh.queue_peak, batch.size());
+    std::deque<Envelope> batch = w.inbox.PopAll();
+    if (batch.empty()) {
+      NoteThreadExit();
+      return;  // inbox closed and drained
+    }
+    TrackPeak(w.queue_peak, batch.size());
     for (Envelope& e : batch) {
-      if (e.msg.kind == RtMessage::Kind::kShutdown) return;
-      HandleOnShard(idx, e);
+      if (e.msg.kind == RtMessage::Kind::kShutdown) {
+        NoteThreadExit();
+        return;
+      }
+      HandleOnWorker(widx, e);
     }
   }
 }

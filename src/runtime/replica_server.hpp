@@ -1,32 +1,57 @@
-// Replica server: a dispatch stage plus worker shards, owning the
-// replica's state as a key-hash partition.
+// Replica server: a dispatch stage plus a worker pool multiplexing the
+// replica's key-hash shards.
 //
 // The state per key is a (version, value) pair — a Section-3 DM — plus one
 // store-wide (generation, configuration) stamp for Section-4
 // reconfiguration, held together as storage::Image fragments, one per
 // shard. Keys are independent logical items (their per-item version orders
-// are what Lemmas 7/8 constrain), so partitioning them across worker
-// threads changes no protocol-visible behavior: each key's requests are
-// still handled in arrival order by the one shard that owns it.
+// are what Lemmas 7/8 constrain), so partitioning them across workers
+// changes no protocol-visible behavior: each key's requests are still
+// handled in arrival order by the one worker that owns its shard.
+//
+// Shards and workers are deliberately distinct axes:
+//   - A *shard* is a durable layout unit: its own Image fragment, WAL
+//     segment (`wal_<s>.log`) and snapshot, pinned by the directory
+//     MANIFEST. The shard count cannot change without restriping disk.
+//   - A *worker* is an execution unit: one thread with one inbox, owning a
+//     fixed subset of the shards (round-robin s % W). The worker count is
+//     free to differ per machine — min(shards, cores) by default — so an
+//     8-shard layout runs thread-per-shard on a big host and collapses to
+//     one worker on a small one instead of thrashing the scheduler.
 //
 // With shards == 1 there is no dispatch stage: a single worker thread
 // drains the bus mailbox directly (the pre-sharding architecture, plus the
 // batched PopAll drain). With shards > 1 a dispatch thread drains the bus
-// mailbox and routes: single-key messages to ShardForKey(key), batches
-// split per shard (a client may thus receive several kBatch*Resp for one
-// request — one per shard touched; batch responses are folded per entry,
-// so this is invisible to the protocol), kConfigWriteReq broadcast to all
-// shards and acked once after a barrier confirms every shard applied and
-// logged it (the stamp is store-wide state).
+// mailbox and routes: single-key messages to the worker owning
+// ShardForKey(key), batches split per *worker* (a client may thus receive
+// several kBatch*Resp for one request — one per worker touched; batch
+// responses are folded per entry, so this is invisible to the protocol;
+// the worker re-resolves each entry's shard, so every entry still lands
+// in its own shard's image and WAL segment), kConfigWriteReq broadcast to
+// all workers and acked once after a barrier confirms every shard applied
+// and logged it (the stamp is store-wide state).
 //
-// Crash semantics stay fail-stop at replica granularity: Bus::Crash marks
-// the node down, drains its bus mailbox, then (via the crash hook) drains
-// every shard sub-mailbox and aborts any config barrier — all shards of a
-// crashed replica die atomically; Bus::Send's up-check guarantees no shard
-// answers afterward. CrashAndWipe() additionally stops the threads and
-// discards every shard's image; Restart() rebuilds each shard from its own
-// backend (under durability: its own WAL segment + snapshot) and
-// relaunches the threads.
+// Dispatch is batch-aware: one PopAll burst is routed into reusable
+// per-worker buffers and flushed with one PushAll (one handoff, at most
+// one wakeup) per worker touched — not one push per sub-op. Barrier-like
+// messages (peek fan-out, config broadcast, crash-drain marker,
+// shutdown) flush the buffers first so per-worker FIFO order is exactly
+// the order dispatch processed the stream in.
+//
+// Crash semantics are fail-stop at replica granularity with a
+// *deterministic cut*: Transport::Crash marks the node down (so nothing
+// new is delivered) and runs the crash hook, which enqueues a
+// kCrashDrain marker at the tail of the bus mailbox and waits. The
+// loops apply everything delivered before the marker, then set the
+// crash cut: external work behind the marker is refused until Recover
+// (the recover hook resets the cut). So the node's visible state is a
+// prefix of its delivered message stream ending exactly at Crash() —
+// not at whatever message a racing thread happened to be holding.
+// Bus::Send's up-check guarantees no ack escapes after the crash.
+// CrashAndWipe() additionally stops the threads and discards every
+// shard's image; Restart() rebuilds each shard from its own backend
+// (under durability: its own WAL segment + snapshot) and relaunches the
+// threads.
 #pragma once
 
 #include <atomic>
@@ -53,8 +78,10 @@ struct AppliedWrite {
 
 /// Per-shard execution counters (volatile, unlike StorageStats). `ops`
 /// counts operations applied (single requests and batch entries alike);
-/// `queue_peak` is the high-water mark of messages moved by one mailbox
-/// drain — together they show how evenly the key hash spreads load.
+/// `batches` counts batch messages that touched the shard; `queue_peak`
+/// is the owning worker's high-water mark of messages moved by one
+/// mailbox drain. Ops and fsyncs are genuinely per shard; queue_peak is
+/// shared among shards owned by the same worker.
 struct ShardCounters {
   std::uint64_t ops = 0;
   std::uint64_t batches = 0;
@@ -75,6 +102,19 @@ struct BatchStats {
   std::uint64_t batches_applied = 0;  // kBatch* messages handled
   std::uint64_t batched_ops = 0;      // entries across those messages
   std::uint64_t max_batch = 0;        // largest single batch seen
+  /// Deliveries into the replica's *bus* mailbox (the dispatch stage's
+  /// queue, or the sole worker's in single-shard mode): `handoffs` counts
+  /// Push/PushAll calls (deterministic), `wakeups` the cv notifies
+  /// actually issued (timing-dependent: a spinning or busy consumer needs
+  /// none).
+  std::uint64_t mailbox_handoffs = 0;
+  std::uint64_t mailbox_wakeups = 0;
+  /// Deliveries into the worker inboxes (the dispatch→worker hop), summed
+  /// across the pool. Dispatch batching makes handoffs one per worker per
+  /// routed burst — well below one per op under pipelined load. Zero in
+  /// single-shard mode, where the bus mailbox is the only queue.
+  std::uint64_t worker_handoffs = 0;
+  std::uint64_t worker_wakeups = 0;
   /// One slot per shard; merging stats from replicas with different shard
   /// counts aligns slots by index (shard balance only means something
   /// within one replica, but aggregate totals still add up).
@@ -84,6 +124,10 @@ struct BatchStats {
     batches_applied += o.batches_applied;
     batched_ops += o.batched_ops;
     max_batch = max_batch > o.max_batch ? max_batch : o.max_batch;
+    mailbox_handoffs += o.mailbox_handoffs;
+    mailbox_wakeups += o.mailbox_wakeups;
+    worker_handoffs += o.worker_handoffs;
+    worker_wakeups += o.worker_wakeups;
     if (per_shard.size() < o.per_shard.size()) {
       per_shard.resize(o.per_shard.size());
     }
@@ -95,11 +139,11 @@ struct BatchStats {
 };
 
 /// Point-in-time copy of a replica's volatile state. Each shard snapshots
-/// itself on its own thread between operations (never mid-batch); the
-/// shard images are key-disjoint, so the merged image is a consistent
-/// per-key snapshot. History is concatenated shard-by-shard: per-key order
-/// is exact (a key lives in one shard); cross-key interleaving is not
-/// meaningful under sharded execution.
+/// itself on its owning worker thread between operations (never
+/// mid-batch); the shard images are key-disjoint, so the merged image is a
+/// consistent per-key snapshot. History is concatenated shard-by-shard:
+/// per-key order is exact (a key lives in one shard); cross-key
+/// interleaving is not meaningful under sharded execution.
 struct ReplicaSnapshot {
   storage::Image image;
   std::vector<AppliedWrite> history;  // empty unless record_history
@@ -116,10 +160,12 @@ class ReplicaServer {
   /// transport may be the in-process Bus or a net::TcpTransport hosting
   /// this node — the server only uses the Transport surface.
   ReplicaServer(Transport& transport, NodeId id);
-  /// `shards` worker shards, each recovering from its own backend.
+  /// `shards` key-hash shards, each recovering from its own backend,
+  /// executed by `workers` threads (0 = auto: min(shards, cores); any
+  /// explicit value is clamped to [1, shards]).
   ReplicaServer(Transport& transport, NodeId id, std::size_t shards,
                 const BackendFactory& make_backend,
-                bool record_history = false);
+                bool record_history = false, std::size_t workers = 0);
   ~ReplicaServer();
 
   ReplicaServer(const ReplicaServer&) = delete;
@@ -127,6 +173,8 @@ class ReplicaServer {
 
   NodeId Id() const { return id_; }
   std::size_t ShardCount() const { return shards_.size(); }
+  /// Resolved worker-pool size (1 in single-shard mode).
+  std::size_t WorkerCount() const { return workers_.size(); }
 
   /// Ask the loops to exit and join all threads.
   void Shutdown();
@@ -150,15 +198,30 @@ class ReplicaServer {
   runtime::BatchStats BatchStats() const;
 
  private:
+  /// A durable layout unit: image fragment + backend (WAL segment). Only
+  /// its owning worker thread touches image/history/backend.
   struct Shard {
-    Mailbox inbox;  // unused in single-shard mode (no dispatch stage)
     storage::Image image;
     std::vector<AppliedWrite> history;
     std::unique_ptr<storage::Backend> backend;
-    std::thread thread;
     std::atomic<std::uint64_t> ops{0};
     std::atomic<std::uint64_t> batches{0};
+  };
+
+  /// An execution unit: one thread draining one inbox, owning a fixed
+  /// subset of the shards. The scratch vectors are worker-local (no
+  /// locking) and keep their capacity across batches.
+  struct Worker {
+    Mailbox inbox;  // unused in single-shard mode (no dispatch stage)
+    std::thread thread;
+    std::vector<std::size_t> owned;  // shard indices, fixed at construction
     std::atomic<std::uint64_t> queue_peak{0};
+    /// Batch handlers regroup entries per shard here (indexed by shard):
+    /// accepted WAL records staged for one ApplyWriteBatch per shard.
+    std::vector<std::vector<storage::WalRecord>> wal_parts;
+    /// Shards the batch in flight touched (dense list + flag per shard).
+    std::vector<std::size_t> touched;
+    std::vector<char> touched_flag;
   };
 
   bool Multi() const { return shards_.size() > 1; }
@@ -166,20 +229,38 @@ class ReplicaServer {
   void Start();
   void SingleLoop();
   void DispatchLoop();
-  void ShardLoop(std::size_t idx);
+  void WorkerLoop(std::size_t widx);
   void Route(Envelope e);
   void SplitBatch(Envelope e);
+  /// Deliver everything Route buffered: one PushAll per worker touched.
+  void FlushRoutes();
   void BroadcastConfigAndAck(const Envelope& e);
-  void StopShards();
+  void StopWorkers();
   void OnBusCrash();
+  void OnBusRecover();
+  /// True while refusing external work: the crash cut was reached and the
+  /// node has not recovered. Resets itself lazily once IsUp again (the
+  /// recover hook also resets it eagerly). Only called from the dispatch
+  /// thread / sole worker.
+  bool Crashed();
+  /// A loop thread acked the crash-drain marker for `epoch`.
+  void AckCrashDrain(std::uint64_t epoch);
+  std::size_t DrainTarget() const { return Multi() ? workers_.size() : 1; }
+  void NoteThreadExit();
 
-  void HandleOnShard(std::size_t idx, Envelope& e);
-  void HandleBatchRead(Shard& sh, const RtMessage& m, RtMessage& reply);
-  void HandleBatchWrite(Shard& sh, const RtMessage& m, RtMessage& reply);
+  void HandleOnWorker(std::size_t widx, Envelope& e);
+  void HandleBatchRead(Worker& w, const RtMessage& m, RtMessage& reply);
+  void HandleBatchWrite(Worker& w, const RtMessage& m, RtMessage& reply);
+  /// Mark shard `s` touched by the batch in flight on worker `w`.
+  void NoteTouched(Worker& w, std::size_t s);
+  /// Per touched shard: bump its batch counter, flush staged WAL records
+  /// with one ApplyWriteBatch, and reset the touched set.
+  void FlushTouched(Worker& w);
+  void CountBatchTotals(std::size_t entries);
   /// Donor side of streaming catchup: serve one bounded chunk of this
   /// shard's image — the smallest `m.value` keys strictly greater than
   /// the cursor `m.key` — ascending, with the shard count and the
-  /// replica's stamp on the reply (runs on the owning shard thread, so
+  /// replica's stamp on the reply (runs on the owning worker thread, so
   /// chunks interleave with live writes without any extra locking).
   void ServeCatchup(std::size_t idx, Envelope& e);
   /// Joiner side: start (or resume) pulling the donor's image shard by
@@ -193,13 +274,12 @@ class ReplicaServer {
   /// Merge pulled entries under the same newer-version-wins order as live
   /// writes (so a chunk can never regress a version a concurrent install
   /// already placed), write-ahead logging the accepted ones.
-  void ApplyCatchupEntries(Shard& sh, const std::vector<BatchEntry>& entries);
+  void ApplyCatchupEntries(Worker& w, const std::vector<BatchEntry>& entries);
   /// Newer-version-wins merge of one write into the shard image; true when
   /// the write was accepted (and therefore must reach the backend).
   bool ApplyToImage(Shard& sh, const std::string& key, std::uint64_t version,
                     std::int64_t value);
   void ServePeek(std::size_t idx, std::uint64_t epoch);
-  void CountBatch(Shard& sh, std::size_t entries);
   static void TrackPeak(std::atomic<std::uint64_t>& peak, std::uint64_t v);
   std::vector<ShardCounters> CollectShardCounters() const;
 
@@ -207,22 +287,50 @@ class ReplicaServer {
   NodeId id_;
   bool record_history_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::size_t> worker_of_;  // shard index → owning worker
   std::thread thread_;  // dispatch thread (multi) or the sole worker
 
+  // Dispatch-thread scratch (multi-shard): per-worker envelope buffers a
+  // PopAll burst is routed into, flushed as one PushAll per worker. The
+  // vectors keep their capacity across bursts, so steady-state routing
+  // allocates nothing. split_parts_ is SplitBatch's per-worker staging.
+  std::vector<std::vector<Envelope>> route_bufs_;
+  std::vector<std::vector<BatchEntry>> split_parts_;
+
+  // Crash-drain handshake: OnBusCrash (an external thread, inside
+  // Transport::Crash) pushes a kCrashDrain marker carrying drain_epoch_
+  // and waits until every loop thread acked it — or until the threads
+  // are gone (live_threads_), so a crash racing shutdown can't hang.
+  // crash_cut_ flips when the marker is *processed*, making the cut a
+  // FIFO position in the message stream rather than a timing race.
+  std::mutex drain_call_mu_;  // serializes concurrent Crash() calls
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::uint64_t drain_epoch_ = 0;
+  std::size_t drain_acks_ = 0;
+  std::size_t live_threads_ = 0;
+  std::atomic<bool> crash_cut_{false};
+
   // Config barrier (multi-shard): dispatch broadcasts a kConfigWriteReq to
-  // every shard (its `value` carries the epoch) and acks the client only
-  // once every shard has applied + logged it. The epoch guards against a
-  // shard's late decrement from a barrier that a crash aborted.
+  // every worker (its `value` carries the epoch) and acks the client only
+  // once every worker has applied + logged it on all its shards. The
+  // epoch guards against a worker's late decrement from a barrier that a
+  // crash aborted.
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   std::uint64_t barrier_epoch_ = 0;
   std::size_t barrier_pending_ = 0;
 
   // Peek handshake: the requester pushes one kImagePeek (epoch in
-  // `generation`); dispatch fans it to every shard; each shard fills its
-  // slot once per epoch. A crash can clear an in-flight peek from the
-  // shard inboxes, so the requester retries the same epoch on a timeout —
-  // the filled flags make retries idempotent.
+  // `generation`); dispatch fans it to every worker; each worker fills
+  // its owned shards' slots once per epoch. Peeks are served even on a
+  // crashed node (the crash-drain marker never discards them — observers
+  // may inspect dead replicas), and since crash-drain and peeks are
+  // mutually FIFO-ordered an in-flight peek can no longer be dropped by a
+  // racing crash; the requester still retries on a timeout as a
+  // belt-and-braces liveness guard — the filled flags make retries
+  // idempotent.
   std::mutex peek_call_mu_;  // serializes concurrent Peek() callers
   std::mutex peek_mu_;
   std::condition_variable peek_cv_;
@@ -265,7 +373,7 @@ class ReplicaServer {
 /// kCatchupDone error codes (RtMessage::value).
 inline constexpr std::int64_t kJoinOk = 0;
 /// Donor's shard count differs from the layout the coordinator promised:
-/// a shard-by-shard stream would land keys on the wrong worker (and, under
+/// a shard-by-shard stream would land keys on the wrong shard (and, under
 /// durability, the wrong WAL segment), so the join is refused outright.
 inline constexpr std::int64_t kJoinErrShardMismatch = 1;
 

@@ -40,4 +40,16 @@ inline std::size_t DefaultShardsPerReplica() {
   return cores < 4 ? cores : 4;
 }
 
+/// Default worker *threads* multiplexing a replica's shards: one per core,
+/// never more than the shard count. Shards are a durable layout property
+/// (each pins a WAL segment + snapshot, recorded in the MANIFEST); workers
+/// are an execution property and adapt to the machine — a directory laid
+/// down on an 8-core box reopens fine on a 1-core box, it just runs its 8
+/// segments on 1 worker instead of 8.
+inline std::size_t DefaultWorkersPerReplica(std::size_t shards) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw == 0 ? 1 : hw;
+  return shards < cores ? shards : cores;
+}
+
 }  // namespace qcnt::runtime

@@ -30,6 +30,14 @@ StoreOptions Normalize(StoreOptions options) {
   }
   QCNT_CHECK_MSG(options.shards_per_replica <= 64,
                  "shards_per_replica out of range");
+  if (options.workers_per_replica == 0) {
+    // QCNT_WORKERS mirrors QCNT_SHARDS: a CI matrix can pin the worker
+    // pool (e.g. force thread-per-shard multiplexing coverage) without
+    // touching StoreOptions literals. 0 stays 0 = per-machine auto.
+    if (const auto v = common::EnvU64("QCNT_WORKERS", 1, 64)) {
+      options.workers_per_replica = static_cast<std::size_t>(*v);
+    }
+  }
   if (options.configs.empty()) {
     options.configs.push_back(
         quorum::MajoritySystem(static_cast<ReplicaId>(options.replicas)));
@@ -111,10 +119,26 @@ std::string ReplicaDir(const StoreOptions& options, std::size_t replica) {
 }
 
 std::unique_ptr<storage::Backend> MakeShardBackend(
-    const StoreOptions& options, std::size_t replica, std::size_t shard) {
+    const StoreOptions& options, std::size_t replica, std::size_t shard,
+    std::shared_ptr<storage::GroupCommitCoordinator> coordinator) {
   if (!options.durability) return storage::MakeMemoryBackend();
   return storage::MakeDurableShardBackend(ReplicaDir(options, replica),
-                                          *options.durability, shard);
+                                          *options.durability, shard,
+                                          std::move(coordinator));
+}
+
+/// One coordinator per group-commit-durable replica: a single fsync
+/// decision per window across all of the replica's shard segments,
+/// instead of one independent timer per shard.
+std::shared_ptr<storage::GroupCommitCoordinator> MakeCommitCoordinator(
+    const StoreOptions& options) {
+  if (!options.durability ||
+      options.durability->fsync != storage::FsyncPolicy::kGroupCommit ||
+      !options.durability->coordinate_group_commit) {
+    return nullptr;
+  }
+  return std::make_shared<storage::GroupCommitCoordinator>(
+      options.durability->group_commit_window);
 }
 
 /// Refuse to open a durability directory whose layout cannot host this
@@ -151,14 +175,16 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
   if (options_.faults) bus_->SetFaults(*options_.faults);
   for (std::size_t r = 0; r < options_.replicas; ++r) {
     if (Durable()) ValidateDurableLayout(options_, r);
+    auto gc = MakeCommitCoordinator(options_);
+    if (gc) commit_coordinators_.emplace(static_cast<NodeId>(r), gc);
     replicas_.emplace(
         static_cast<NodeId>(r),
         std::make_unique<ReplicaServer>(
             *transport_, static_cast<NodeId>(r), options_.shards_per_replica,
-            [this, r](std::size_t shard) {
-              return MakeShardBackend(options_, r, shard);
+            [this, r, gc](std::size_t shard) {
+              return MakeShardBackend(options_, r, shard, gc);
             },
-            options_.record_applied_history));
+            options_.record_applied_history, options_.workers_per_replica));
     members_.push_back(static_cast<NodeId>(r));
     // Pin the shard count only after the backends created their segment
     // files, so a manifest never names segments that were not yet laid
@@ -289,6 +315,12 @@ BatchStats ReplicatedStore::ReplicaBatchStats(std::size_t replica) const {
   return it->second->BatchStats();
 }
 
+std::size_t ReplicatedStore::ReplicaWorkerCount(std::size_t replica) const {
+  const auto it = replicas_.find(static_cast<NodeId>(replica));
+  QCNT_CHECK_MSG(it != replicas_.end(), "unknown replica node id");
+  return it->second->WorkerCount();
+}
+
 BatchStats ReplicatedStore::TotalBatchStats() const {
   BatchStats total;
   for (const auto& r : replicas_) total += r.second->BatchStats();
@@ -328,12 +360,14 @@ NodeId ReplicatedStore::SpawnReplica() {
     tcp_->AddLocalNode(id, ep);
   }
   if (Durable()) ValidateDurableLayout(options_, id);
+  auto gc = MakeCommitCoordinator(options_);
+  if (gc) commit_coordinators_.emplace(id, gc);
   auto server = std::make_unique<ReplicaServer>(
       *transport_, id, options_.shards_per_replica,
-      [this, id](std::size_t shard) {
-        return MakeShardBackend(options_, id, shard);
+      [this, id, gc](std::size_t shard) {
+        return MakeShardBackend(options_, id, shard, gc);
       },
-      options_.record_applied_history);
+      options_.record_applied_history, options_.workers_per_replica);
   if (Durable()) {
     storage::RecoveryManager::WriteManifest(ReplicaDir(options_, id),
                                             options_.shards_per_replica);
@@ -357,6 +391,12 @@ void ReplicatedStore::RetireReplica(NodeId node) {
   transport_->Crash(node);
   it->second->Shutdown();
   replicas_.erase(it);
+  commit_coordinators_.erase(node);
+}
+
+std::uint64_t ReplicatedStore::ReplicaCommitPasses(std::size_t replica) const {
+  const auto it = commit_coordinators_.find(static_cast<NodeId>(replica));
+  return it == commit_coordinators_.end() ? 0 : it->second->Passes();
 }
 
 }  // namespace qcnt::runtime

@@ -70,6 +70,12 @@ struct StoreOptions {
   /// MANIFEST pins the count, and reopening with a different count is
   /// rejected (segment striping is not self-rebalancing).
   std::size_t shards_per_replica = 0;
+  /// Worker threads multiplexing each replica's shards (see
+  /// replica_server.hpp: shards pin the durable layout, workers set
+  /// execution parallelism). 0 = auto: the QCNT_WORKERS environment
+  /// variable when set, else min(shards, hardware_concurrency). Always
+  /// clamped to [1, shards_per_replica].
+  std::size_t workers_per_replica = 0;
   /// When set, replicas persist to `directory/replica_<r>` and crashes
   /// lose volatile state; when unset, replicas are purely in-memory and a
   /// crash is only a partition (the original semantics).
@@ -117,6 +123,9 @@ class ReplicatedStore {
   std::size_t ShardsPerReplica() const {
     return options_.shards_per_replica;
   }
+  /// Resolved worker-pool size of one replica (workers multiplex shards;
+  /// machine-dependent when workers_per_replica is 0 = auto).
+  std::size_t ReplicaWorkerCount(std::size_t replica) const;
 
   /// Create a client (each client must be used from one thread at a time).
   std::unique_ptr<QuorumClient> MakeClient();
@@ -171,6 +180,11 @@ class ReplicatedStore {
   /// Storage counters for one replica / summed over all replicas.
   storage::StorageStats ReplicaStorageStats(std::size_t replica) const;
   storage::StorageStats TotalStorageStats() const;
+
+  /// Fsync passes made by the replica's group-commit coordinator — the
+  /// number of cross-shard fsync *decisions* (each pass syncs every dirty
+  /// shard segment once). 0 when the replica is not group-commit durable.
+  std::uint64_t ReplicaCommitPasses(std::size_t replica) const;
 
   /// Replica-side batching counters, alongside the storage counters.
   BatchStats ReplicaBatchStats(std::size_t replica) const;
@@ -229,6 +243,13 @@ class ReplicatedStore {
   std::unique_ptr<Transport> transport_;
   Bus* bus_ = nullptr;
   net::TcpTransport* tcp_ = nullptr;
+  /// Per-replica group-commit coordinators (group-commit durability
+  /// only): one committer thread per replica making the fsync decision
+  /// across all of that replica's shard WAL segments. Declared before
+  /// replicas_ so it is destroyed after the backends that reference it
+  /// (each backend also holds a shared_ptr, so this is belt and braces).
+  std::map<NodeId, std::shared_ptr<storage::GroupCommitCoordinator>>
+      commit_coordinators_;
   /// Replica servers keyed by node id: founding replicas occupy [0,
   /// replicas); replicas added at runtime get ids above the coordinator
   /// slot, so the key set goes non-contiguous under churn.

@@ -25,28 +25,38 @@ class DurableBackend final : public Backend {
   // a value selects that shard's segment pair (wal_<s>.log /
   // snapshot_<s>.bin). Several shard backends share one directory.
   DurableBackend(std::string dir, DurabilityOptions options,
-                 std::optional<std::size_t> shard)
-      : dir_(std::move(dir)), options_(std::move(options)), shard_(shard) {
+                 std::optional<std::size_t> shard,
+                 std::shared_ptr<GroupCommitCoordinator> coordinator)
+      : dir_(std::move(dir)),
+        options_(std::move(options)),
+        shard_(shard),
+        gc_(std::move(coordinator)) {
     std::filesystem::create_directories(dir_);
   }
+
+  ~DurableBackend() override { ReleaseWal(); }
 
   bool Durable() const override { return true; }
 
   Image Recover() override {
-    wal_.reset();  // release any pre-crash handle before reopening
+    ReleaseWal();  // release any pre-crash handle before reopening
     const RecoveryManager rm(dir_);
     const RecoveryManager::Result r =
         shard_ ? rm.RecoverShard(*shard_) : rm.Recover();
     recoveries_.fetch_add(1, std::memory_order_relaxed);
     recovery_replayed_.fetch_add(r.replayed, std::memory_order_relaxed);
+    // Under a coordinator the segment itself never decides to fsync
+    // (kNever); the coordinator's committer thread owns the window.
     wal_ = std::make_unique<Wal>(
         WalFilePath(),
-        Wal::Options{options_.fsync, options_.group_commit_window});
+        Wal::Options{Coordinated() ? FsyncPolicy::kNever : options_.fsync,
+                     options_.group_commit_window});
     if (r.torn_tail) {
       // Cut the torn frame so fresh appends don't land after garbage.
       wal_->TruncateTo(r.wal_valid_bytes);
       torn_tails_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (Coordinated()) gc_->Attach(wal_.get());
     return r.image;
   }
 
@@ -65,14 +75,12 @@ class DurableBackend final : public Backend {
     QCNT_CHECK_MSG(wal_ != nullptr,
                    "durable backend used before Recover()");
     const std::uint64_t bytes_before = wal_->BytesAppended();
-    const std::uint64_t fsyncs_before = wal_->Fsyncs();
     wal_->AppendBatch(records);
     records_.fetch_add(records.size(), std::memory_order_relaxed);
     bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
                      std::memory_order_relaxed);
-    fsyncs_.fetch_add(wal_->Fsyncs() - fsyncs_before,
-                      std::memory_order_relaxed);
     batch_appends_.fetch_add(1, std::memory_order_relaxed);
+    if (Coordinated()) gc_->MarkDirty();
   }
 
   void ApplyConfig(std::uint64_t generation,
@@ -97,7 +105,7 @@ class DurableBackend final : public Backend {
     // fail-stop: the process would die here; we just drop the handle.
     // Data already write(2)n survives in the file, mirroring a process
     // crash; fsync policy governs what a machine crash could lose.
-    wal_.reset();
+    ReleaseWal();
   }
 
   StorageStats Stats() const override {
@@ -105,7 +113,15 @@ class DurableBackend final : public Backend {
     s.records_appended = records_.load(std::memory_order_relaxed);
     s.bytes_appended = bytes_.load(std::memory_order_relaxed);
     s.batch_appends = batch_appends_.load(std::memory_order_relaxed);
-    s.fsyncs = fsyncs_.load(std::memory_order_relaxed);
+    // Base (closed segments) + live: the live segment's counter moves on
+    // a background committer thread under a coordinator, so deltas taken
+    // on the append path would miss those syncs entirely. wal_mu_ keeps
+    // this read safe against a concurrent ReleaseWal.
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      s.fsyncs = fsyncs_base_.load(std::memory_order_relaxed) +
+                 (wal_ ? wal_->Fsyncs() : 0);
+    }
     s.snapshots_installed = snapshots_.load(std::memory_order_relaxed);
     s.recoveries = recoveries_.load(std::memory_order_relaxed);
     s.recovery_replayed =
@@ -129,24 +145,41 @@ class DurableBackend final : public Backend {
     QCNT_CHECK_MSG(wal_ != nullptr,
                    "durable backend used before Recover()");
     const std::uint64_t bytes_before = wal_->BytesAppended();
-    const std::uint64_t fsyncs_before = wal_->Fsyncs();
     wal_->Append(rec);
     records_.fetch_add(1, std::memory_order_relaxed);
     bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
                      std::memory_order_relaxed);
-    fsyncs_.fetch_add(wal_->Fsyncs() - fsyncs_before,
-                      std::memory_order_relaxed);
+    if (Coordinated()) gc_->MarkDirty();
+  }
+
+  bool Coordinated() const {
+    return gc_ != nullptr && options_.fsync == FsyncPolicy::kGroupCommit;
+  }
+
+  /// Teardown path shared by Recover/OnCrash/dtor: deregister the live
+  /// segment from the coordinator (so its committer can no longer touch
+  /// it), roll its fsync count into the base, then drop the handle.
+  void ReleaseWal() {
+    if (!wal_) return;
+    if (Coordinated()) gc_->Detach(wal_.get());
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    fsyncs_base_.fetch_add(wal_->Fsyncs(), std::memory_order_relaxed);
+    wal_.reset();
   }
 
   std::string dir_;
   DurabilityOptions options_;
   std::optional<std::size_t> shard_;
+  std::shared_ptr<GroupCommitCoordinator> gc_;
+  mutable std::mutex wal_mu_;  // Stats vs ReleaseWal on wal_
   std::unique_ptr<Wal> wal_;
 
   // Only the server thread mutates the counters; Stats() may race from
   // other threads, hence the atomics. Deltas (not the Wal's own totals)
-  // keep them monotone across crash/recover reopens.
-  std::atomic<std::uint64_t> records_{0}, bytes_{0}, fsyncs_{0};
+  // keep them monotone across crash/recover reopens; fsyncs are the
+  // exception (see Stats()).
+  std::atomic<std::uint64_t> records_{0}, bytes_{0};
+  std::atomic<std::uint64_t> fsyncs_base_{0};
   std::atomic<std::uint64_t> batch_appends_{0};
   std::atomic<std::uint64_t> snapshots_{0}, recoveries_{0};
   std::atomic<std::uint64_t> recovery_replayed_{0}, torn_tails_{0};
@@ -161,14 +194,14 @@ std::unique_ptr<Backend> MakeMemoryBackend() {
 std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
                                             DurabilityOptions options) {
   return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
-                                          std::nullopt);
+                                          std::nullopt, nullptr);
 }
 
-std::unique_ptr<Backend> MakeDurableShardBackend(std::string dir,
-                                                 DurabilityOptions options,
-                                                 std::size_t shard) {
+std::unique_ptr<Backend> MakeDurableShardBackend(
+    std::string dir, DurabilityOptions options, std::size_t shard,
+    std::shared_ptr<GroupCommitCoordinator> coordinator) {
   return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
-                                          shard);
+                                          shard, std::move(coordinator));
 }
 
 }  // namespace qcnt::storage

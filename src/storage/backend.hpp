@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/commit.hpp"
 #include "storage/image.hpp"
 #include "storage/recovery.hpp"
 #include "storage/wal.hpp"
@@ -31,6 +32,12 @@ struct DurabilityOptions {
   std::string directory;
   FsyncPolicy fsync = FsyncPolicy::kAlways;
   std::chrono::microseconds group_commit_window{500};
+  /// kGroupCommit only: true (default) routes the fsync decision through
+  /// one per-replica GroupCommitCoordinator spanning every shard segment;
+  /// false keeps the pre-coordinator behavior of each shard's WAL running
+  /// its own inline window (one independent fsync stream per shard —
+  /// kept as a knob and as the bench's pre-change reference).
+  bool coordinate_group_commit = true;
   /// Snapshot + reset the WAL once it exceeds this many bytes.
   std::uint64_t snapshot_threshold_bytes = 1u << 20;
 };
@@ -109,8 +116,15 @@ std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
 /// holds `wal_<shard>.log` / `snapshot_<shard>.bin` per shard. The caller
 /// (the store) pins the shard count in the directory's MANIFEST so
 /// recovery can detect missing segments and count changes.
-std::unique_ptr<Backend> MakeDurableShardBackend(std::string dir,
-                                                 DurabilityOptions options,
-                                                 std::size_t shard);
+///
+/// With a non-null `coordinator` and FsyncPolicy::kGroupCommit, fsync
+/// decisions move off the shard thread entirely: the segment is appended
+/// with kNever and registered with the replica's shared
+/// GroupCommitCoordinator, which makes one fsync decision per window
+/// across the whole shard set (see commit.hpp). kAlways ignores the
+/// coordinator and stays inline-synchronous.
+std::unique_ptr<Backend> MakeDurableShardBackend(
+    std::string dir, DurabilityOptions options, std::size_t shard,
+    std::shared_ptr<GroupCommitCoordinator> coordinator = nullptr);
 
 }  // namespace qcnt::storage

@@ -1,0 +1,73 @@
+#include "storage/commit.hpp"
+
+#include <algorithm>
+
+#include "storage/wal.hpp"
+
+namespace qcnt::storage {
+
+GroupCommitCoordinator::GroupCommitCoordinator(
+    std::chrono::microseconds window)
+    : window_(window) {
+  committer_ = std::thread([this] { Loop(); });
+}
+
+GroupCommitCoordinator::~GroupCommitCoordinator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (committer_.joinable()) committer_.join();
+}
+
+void GroupCommitCoordinator::Attach(Wal* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wals_.push_back(wal);
+}
+
+void GroupCommitCoordinator::Detach(Wal* wal) {
+  std::unique_lock<std::mutex> lock(mu_);
+  wals_.erase(std::remove(wals_.begin(), wals_.end(), wal), wals_.end());
+  // A pass snapshotting the segment list before this erase may still be
+  // walking it; wait it out so the caller can destroy the Wal.
+  cv_.wait(lock, [this] { return !in_pass_; });
+}
+
+void GroupCommitCoordinator::MarkDirty() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_ = true;
+  }
+  cv_.notify_all();
+}
+
+void GroupCommitCoordinator::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || dirty_; });
+    if (stop_) return;
+    dirty_ = false;
+    // Let the window fill: appends landing during the sleep ride this
+    // ticket instead of opening the next one.
+    lock.unlock();
+    std::this_thread::sleep_for(window_);
+    lock.lock();
+    in_pass_ = true;
+    std::vector<Wal*> wals = wals_;
+    lock.unlock();
+    std::uint64_t synced = 0;
+    for (Wal* wal : wals) {
+      if (wal->SyncIfDirty()) ++synced;
+    }
+    lock.lock();
+    in_pass_ = false;
+    if (synced > 0) {
+      passes_.fetch_add(1, std::memory_order_relaxed);
+      wals_synced_.fetch_add(synced, std::memory_order_relaxed);
+    }
+    cv_.notify_all();  // release Detach waiters
+  }
+}
+
+}  // namespace qcnt::storage

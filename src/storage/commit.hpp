@@ -1,0 +1,84 @@
+// Cross-shard group-commit coordination.
+//
+// A sharded durable replica owns one WAL segment per shard. With the
+// per-segment group-commit policy each shard thread made its *own* fsync
+// decision inside Append — so a batch touching S shards paid up to S
+// inline fsyncs, every one of them stalling a shard worker, and a quiet
+// segment's tail was never synced at all (the window check only ran on
+// the next append).
+//
+// The coordinator replaces those per-segment decisions with one shared
+// commit ticket per replica: shard threads append with FsyncPolicy::
+// kNever and just mark the ticket dirty (an atomic flag + a notify —
+// never a syscall on the append path). A dedicated committer thread
+// wakes, lets the group-commit window fill so concurrent shards pile
+// onto the same ticket, then walks every registered segment and fsyncs
+// exactly the dirty ones. One fsync *decision* per window covers the
+// whole shard set, and shard workers never block behind the disk.
+//
+// Durability bound is unchanged from per-segment group commit: an acked
+// write can predate its fsync by at most the window (plus the sync pass
+// itself) — the classic group-commit trade, now paid once per replica
+// instead of once per shard.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcnt::storage {
+
+class Wal;
+
+class GroupCommitCoordinator {
+ public:
+  explicit GroupCommitCoordinator(std::chrono::microseconds window);
+  ~GroupCommitCoordinator();
+
+  GroupCommitCoordinator(const GroupCommitCoordinator&) = delete;
+  GroupCommitCoordinator& operator=(const GroupCommitCoordinator&) = delete;
+
+  /// Register a segment for commit passes. The caller keeps ownership;
+  /// it must Detach before destroying the Wal.
+  void Attach(Wal* wal);
+
+  /// Deregister a segment. Blocks until any in-flight commit pass that
+  /// may hold the segment has finished, so the Wal is safe to destroy
+  /// when this returns.
+  void Detach(Wal* wal);
+
+  /// Mark the shared ticket dirty: something was appended somewhere.
+  /// Cheap and non-blocking — never waits on a sync in progress.
+  void MarkDirty();
+
+  /// Commit passes that fsynced at least one segment — the number of
+  /// fsync *decisions* taken for the whole shard set.
+  std::uint64_t Passes() const {
+    return passes_.load(std::memory_order_relaxed);
+  }
+
+  /// Individual segment fsyncs issued across all passes.
+  std::uint64_t WalsSynced() const {
+    return wals_synced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  const std::chrono::microseconds window_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Wal*> wals_;
+  bool dirty_ = false;
+  bool in_pass_ = false;  // committer is touching segments (Detach waits)
+  bool stop_ = false;
+  std::atomic<std::uint64_t> passes_{0};
+  std::atomic<std::uint64_t> wals_synced_{0};
+  std::thread committer_;
+};
+
+}  // namespace qcnt::storage

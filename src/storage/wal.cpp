@@ -111,8 +111,7 @@ void Wal::Append(const WalRecord& record) {
   size_ += frame.size();
   bytes_appended_ += frame.size();
   ++records_;
-  if (!sync_pending_) {
-    sync_pending_ = true;
+  if (!sync_pending_.exchange(true, std::memory_order_acq_rel)) {
     window_start_ = std::chrono::steady_clock::now();
   }
   MaybeSync();
@@ -132,8 +131,7 @@ void Wal::AppendBatch(const std::vector<WalRecord>& records) {
   size_ += buffer.size();
   bytes_appended_ += buffer.size();
   records_ += records.size();
-  if (!sync_pending_) {
-    sync_pending_ = true;
+  if (!sync_pending_.exchange(true, std::memory_order_acq_rel)) {
     window_start_ = std::chrono::steady_clock::now();
   }
   MaybeSync();
@@ -158,28 +156,47 @@ void Wal::MaybeSync() {
   }
 }
 
-void Wal::DoSync() {
-  if (!sync_pending_ || fd_ < 0) return;
+void Wal::SyncLocked() {
+  if (!sync_pending_.load(std::memory_order_acquire) || fd_ < 0) return;
+  // Clear the flag *before* fsync: an append racing past the fsync sets
+  // it again, so its bytes are covered by the next pass (conservative —
+  // never the other way around).
+  sync_pending_.store(false, std::memory_order_release);
   QCNT_CHECK(::fsync(fd_) == 0);
-  ++fsyncs_;
-  sync_pending_ = false;
+  fsyncs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Wal::DoSync() {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  SyncLocked();
 }
 
 void Wal::Sync() { DoSync(); }
 
+bool Wal::SyncIfDirty() {
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  if (!sync_pending_.load(std::memory_order_acquire) || fd_ < 0) {
+    return false;
+  }
+  SyncLocked();
+  return true;
+}
+
 void Wal::TruncateTo(std::uint64_t offset) {
   QCNT_CHECK(fd_ >= 0 && offset <= size_);
+  std::lock_guard<std::mutex> lock(sync_mu_);
   QCNT_CHECK(::ftruncate(fd_, static_cast<off_t>(offset)) == 0);
   size_ = offset;
-  sync_pending_ = true;
-  DoSync();
+  sync_pending_.store(true, std::memory_order_release);
+  SyncLocked();
 }
 
 void Wal::Reset() { TruncateTo(0); }
 
 void Wal::Close() {
   if (fd_ < 0) return;
-  DoSync();
+  std::lock_guard<std::mutex> lock(sync_mu_);
+  SyncLocked();
   ::close(fd_);
   fd_ = -1;
 }

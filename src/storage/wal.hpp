@@ -23,9 +23,11 @@
 // governed by FsyncPolicy and decides what a *machine* crash can lose.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -77,6 +79,14 @@ class Wal {
   /// Force an fsync covering everything appended so far.
   void Sync();
 
+  /// Fsync only when records were appended since the last sync; returns
+  /// whether an fsync was issued. Safe to call from a thread other than
+  /// the appender (the group-commit coordinator's committer thread):
+  /// fd lifecycle is guarded by an internal mutex, and a concurrent
+  /// write(2) + fsync(2) pair is well-defined — the append that raced
+  /// past the fsync simply re-arms the dirty flag for the next pass.
+  bool SyncIfDirty();
+
   /// Discard everything after `offset` bytes (recovery cuts a torn tail).
   void TruncateTo(std::uint64_t offset);
 
@@ -89,7 +99,9 @@ class Wal {
   std::uint64_t SizeBytes() const { return size_; }
   std::uint64_t RecordsAppended() const { return records_; }
   std::uint64_t BytesAppended() const { return bytes_appended_; }
-  std::uint64_t Fsyncs() const { return fsyncs_; }
+  std::uint64_t Fsyncs() const {
+    return fsyncs_.load(std::memory_order_relaxed);
+  }
   const std::string& Path() const { return path_; }
 
   struct ReplayResult {
@@ -106,6 +118,8 @@ class Wal {
 
  private:
   void DoSync();
+  /// DoSync with sync_mu_ already held.
+  void SyncLocked();
   void MaybeSync();
 
   std::string path_;
@@ -114,8 +128,15 @@ class Wal {
   std::uint64_t size_ = 0;
   std::uint64_t records_ = 0;
   std::uint64_t bytes_appended_ = 0;
-  std::uint64_t fsyncs_ = 0;
-  bool sync_pending_ = false;  // appended since the last fsync
+  // Shared with a possible background committer thread (SyncIfDirty):
+  // sync_mu_ guards the fd lifecycle against close/truncate, the atomics
+  // make the dirty flag and counter safe to read from either side.
+  // Append/AppendBatch deliberately do NOT take sync_mu_ — a write(2)
+  // concurrent with fsync(2) on the same fd is fine, and the appender
+  // must never stall behind a sync in progress.
+  mutable std::mutex sync_mu_;
+  std::atomic<std::uint64_t> fsyncs_{0};
+  std::atomic<bool> sync_pending_{false};  // appended since the last fsync
   std::chrono::steady_clock::time_point window_start_{};
 };
 

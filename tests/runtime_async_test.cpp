@@ -242,14 +242,10 @@ TEST(AsyncSequentialEquivalence, RandomWorkloadManyIterations) {
     if (i == 500 || i == 800) {
       drain_and_compare();
       if (!crashed) {
-        // Draining the clients settles quorums, but the final installs may
-        // still sit unprocessed in replica 2's mailbox — which Crash()
-        // clears. A peek rides the same FIFO and waits for every shard, so
-        // after it returns the pre-crash image is settled (and identical)
-        // in both stores; without it the crash races the apply thread and
-        // the two stores can freeze one install apart.
-        seq_store.ReplicaPeek(2);
-        batch_store.ReplicaPeek(2);
+        // Crash() drains via a marker through the replica's own FIFO, so
+        // every install already delivered to replica 2 is applied before
+        // the cut — both stores freeze the identical image, no barrier
+        // needed.
         seq_store.Crash(2);
         batch_store.Crash(2);
       } else {

@@ -6,6 +6,7 @@
 // through Peek().
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <map>
 #include <thread>
@@ -55,7 +56,8 @@ std::vector<std::pair<std::uint64_t, std::int64_t>> KeyHistory(
 /// per-operation results, final replica images, and per-item version
 /// sequences as an unsharded sequential store — sharding may change
 /// thread interleavings but never anything Lemma 7/8 constrain.
-void RunShardEquivalence(std::size_t shards, std::size_t iterations) {
+void RunShardEquivalence(std::size_t shards, std::size_t iterations,
+                         std::size_t workers = 0) {
   constexpr std::size_t kReplicas = 3;
   const std::vector<std::string> keys = {"a", "b", "c", "d",
                                          "e", "f", "g", "h"};
@@ -70,9 +72,13 @@ void RunShardEquivalence(std::size_t shards, std::size_t iterations) {
   StoreOptions shard_options;
   shard_options.replicas = kReplicas;
   shard_options.shards_per_replica = shards;
+  shard_options.workers_per_replica = workers;
   shard_options.record_applied_history = true;
   ReplicatedStore shard_store(std::move(shard_options));
   ASSERT_EQ(shard_store.ShardsPerReplica(), shards);
+  if (workers != 0) {
+    ASSERT_EQ(shard_store.ReplicaWorkerCount(0), std::min(workers, shards));
+  }
   auto shard_client = shard_store.MakeAsyncClient(
       AsyncQuorumClient::Options{.window = 16, .max_batch = 8});
 
@@ -157,11 +163,26 @@ TEST(ShardedEquivalence, FourShardsMatchSequential) {
   RunShardEquivalence(4, 600);
 }
 
+// Worker multiplexing (shards > workers) must be invisible: a worker
+// owning several shards re-resolves each entry's shard itself, so per-key
+// results, images, and version sequences still match the sequential
+// store. Pinned counts make this run the multiplexed topology on any
+// host, including ones whose auto worker pool would be 1 or 4.
+TEST(ShardedEquivalence, FourShardsTwoWorkersMatchSequential) {
+  RunShardEquivalence(4, 600, 2);
+}
+
+TEST(ShardedEquivalence, EightShardsOneWorkerMatchesSequential) {
+  RunShardEquivalence(8, 400, 1);
+}
+
 // Regression (shard-aware atomic Crash): hammer Crash while split batches
-// are streaming at a 4-shard replica. The crash must kill all shards
+// are streaming at a sharded replica. The crash must kill all shards
 // atomically — no deadlocked dispatch (a config-free variant of the
 // barrier abort), no lost acked writes, and a clean rejoin on Recover.
-TEST(ShardedCrash, CrashHammeredDuringSplitBatches) {
+// Parameterized over the shard count: the marker-based crash drain takes
+// different code paths at different fan-outs.
+void RunCrashHammer(std::size_t shards, std::size_t workers = 0) {
   constexpr std::size_t kRounds = 12;
   constexpr std::size_t kWritesPerRound = 48;
   std::vector<std::string> keys;
@@ -169,7 +190,8 @@ TEST(ShardedCrash, CrashHammeredDuringSplitBatches) {
 
   StoreOptions options;
   options.replicas = 3;
-  options.shards_per_replica = 4;
+  options.shards_per_replica = shards;
+  options.workers_per_replica = workers;
   ReplicatedStore store(std::move(options));
   auto client = store.MakeAsyncClient(
       AsyncQuorumClient::Options{.window = 64, .max_batch = 16});
@@ -200,6 +222,106 @@ TEST(ShardedCrash, CrashHammeredDuringSplitBatches) {
     ASSERT_TRUE(r.ok) << key;
     EXPECT_EQ(r.value, value) << key;
   }
+}
+
+TEST(ShardedCrash, CrashHammeredDuringSplitBatchesTwoShards) {
+  RunCrashHammer(2);
+}
+
+TEST(ShardedCrash, CrashHammeredDuringSplitBatches) { RunCrashHammer(4); }
+
+TEST(ShardedCrash, CrashHammeredDuringSplitBatchesEightShards) {
+  RunCrashHammer(8);
+}
+
+// The marker-based drain must also cut cleanly when workers multiplex
+// several shards each (drain target = workers, not shards).
+TEST(ShardedCrash, CrashHammeredWithMultiplexedWorkers) {
+  RunCrashHammer(8, 2);
+}
+
+// The batch-aware dispatch fast path: a pipelined batch whose keys all
+// hash to one shard must cross the dispatch→worker boundary as exactly
+// one handoff (one PushAll, at most one wakeup) — workers not touched by
+// the batch are never woken — and under group-commit durability cost
+// exactly one cross-shard fsync decision. Workers are pinned to
+// thread-per-shard so the assertion is meaningful on any host (with one
+// auto worker every batch would trivially be one handoff). Counter-based
+// via ReplicaBatchStats (direct atomic reads — no peek traffic perturbing
+// the handoff counts).
+TEST(ShardedStore, SingleShardBatchIsOneHandoffAndOneFsyncDecision) {
+  struct ScratchDir {
+    ScratchDir() : path("runtime_shard_scratch/fastpath") {
+      fs::remove_all(path);
+      fs::create_directories(path);
+    }
+    ~ScratchDir() { fs::remove_all(path); }
+    std::string path;
+  } scratch;
+
+  constexpr std::size_t kShards = 4;
+  StoreOptions options;
+  options.replicas = 1;
+  options.shards_per_replica = kShards;
+  options.workers_per_replica = kShards;  // thread-per-shard on any host
+  options.durability = storage::DurabilityOptions{
+      .directory = scratch.path,
+      .fsync = storage::FsyncPolicy::kGroupCommit,
+      .group_commit_window = std::chrono::microseconds(2000),
+  };
+  ReplicatedStore store(std::move(options));
+  ASSERT_EQ(store.ReplicaWorkerCount(0), kShards);
+
+  // Collect keys that all land on one shard.
+  const std::size_t target = ShardForKey("key0", kShards);
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < 4; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    if (ShardForKey(k, kShards) == target) keys.push_back(k);
+  }
+
+  const BatchStats before = store.ReplicaBatchStats(0);
+  ASSERT_EQ(before.per_shard.size(), kShards);
+  const std::uint64_t passes_before = store.ReplicaCommitPasses(0);
+
+  // One raw pipelined batch straight at the replica, bypassing the client
+  // layer so exactly one kBatchWriteReq crosses the dispatch thread.
+  RtMessage req;
+  req.kind = RtMessage::Kind::kBatchWriteReq;
+  req.op = 1;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    req.batch.push_back(
+        BatchEntry{i + 1, keys[i], 1, static_cast<std::int64_t>(i + 10)});
+  }
+  const NodeId me = store.CoordinatorId();
+  ASSERT_TRUE(store.TransportRef().Send(me, 0, std::move(req)));
+  const auto ack = store.TransportRef().MailboxOf(me).Pop(
+      std::chrono::steady_clock::now() + 5s);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->msg.kind, RtMessage::Kind::kBatchWriteAck);
+
+  const BatchStats after = store.ReplicaBatchStats(0);
+  // With thread-per-shard workers, only the target shard's worker may
+  // have been handed anything — one PushAll for the whole batch.
+  EXPECT_EQ(after.worker_handoffs - before.worker_handoffs, 1u)
+      << "whole batch must be one worker handoff";
+  EXPECT_LE(after.worker_wakeups - before.worker_wakeups, 1u)
+      << "at most the target worker may be woken";
+
+  // Exactly one group-commit pass (one cross-shard fsync decision, one
+  // fsync of the single dirty segment) serves the whole batch: wait for
+  // it, then confirm no further pass fires once the dirt is gone.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (store.ReplicaCommitPasses(0) < passes_before + 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(store.ReplicaCommitPasses(0), passes_before + 1);
+  std::this_thread::sleep_for(20ms);  // ≫ the 2 ms window
+  EXPECT_EQ(store.ReplicaCommitPasses(0), passes_before + 1)
+      << "a second fsync decision fired with nothing dirty";
+  const storage::StorageStats io = store.ReplicaStorageStats(0);
+  EXPECT_EQ(io.fsyncs, 1u) << "one dirty segment, one fsync";
 }
 
 // The config-write barrier: a reconfiguration acked by a sharded replica

@@ -238,16 +238,28 @@ TEST_P(TransportConformance, SendFromCrashedNodeIsDropped) {
   Host(2).Recover(2);
 }
 
-TEST_P(TransportConformance, CrashHookRunsAfterDrain) {
+TEST_P(TransportConformance, CrashHookOwnsBacklogAndRecoverHookRuns) {
+  // Contract: with a crash hook installed, Crash marks the node down and
+  // then hands the *intact* backlog to the hook — the hook decides the
+  // drain cut (a replica server pushes a marker through it). The mailbox
+  // must be empty by the time Crash returns only because the hook made it
+  // so. Recover runs the recover hook after the node is back up.
   std::atomic<int> ran{0};
-  std::atomic<std::size_t> size_at_hook{999};
+  std::atomic<int> recovered{0};
+  std::atomic<std::size_t> size_at_hook{0};
+  std::atomic<bool> down_at_hook{false};
   Mailbox& box = Host(1).MailboxOf(1);
   Host(1).SetCrashHook(1, [&] {
+    down_at_hook.store(!Host(1).IsUp(1));
     size_at_hook.store(box.Size());
+    box.Clear();  // the hook owns (and here discards) the backlog
     ran.fetch_add(1);
   });
+  Host(1).SetRecoverHook(1, [&] {
+    if (Host(1).IsUp(1)) recovered.fetch_add(1);
+  });
   MustDeliver(0, 1, Tagged(1));
-  // Refill so there is something to drain, then crash.
+  // Refill so there is a backlog for the hook to observe, then crash.
   ASSERT_TRUE(Host(0).Send(0, 1, Tagged(2)));
   const auto deadline = In(5000);
   while (box.Size() < 1 && std::chrono::steady_clock::now() < deadline) {
@@ -255,9 +267,14 @@ TEST_P(TransportConformance, CrashHookRunsAfterDrain) {
   }
   Host(1).Crash(1);
   EXPECT_EQ(ran.load(), 1);
-  EXPECT_EQ(size_at_hook.load(), 0u) << "hook must run after the drain";
-  Host(1).SetCrashHook(1, nullptr);
+  EXPECT_TRUE(down_at_hook.load()) << "hook must run after up_ flips";
+  EXPECT_EQ(size_at_hook.load(), 1u)
+      << "hook must see the backlog intact (it owns the drain)";
+  EXPECT_EQ(box.Size(), 0u);
   Host(1).Recover(1);
+  EXPECT_EQ(recovered.load(), 1) << "recover hook runs with the node up";
+  Host(1).SetCrashHook(1, nullptr);
+  Host(1).SetRecoverHook(1, nullptr);
 }
 
 TEST_P(TransportConformance, ReconnectsAfterPeerRestart) {
