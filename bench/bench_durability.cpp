@@ -69,7 +69,7 @@ void PrintDurabilityCost() {
       "E14: durability cost — write throughput, 3 replicas, 1 client, "
       "8 keys");
   bench::Table table({"backend", "writes/s", "records", "fsyncs", "MiB",
-                      "snapshots"});
+                      "checkpoints"});
   const std::size_t ops = 400;
   const std::vector<
       std::pair<std::string, std::optional<storage::FsyncPolicy>>>
@@ -86,7 +86,7 @@ void PrintDurabilityCost() {
                                         m.stats.bytes_appended) /
                                         (1024.0 * 1024.0),
                                     2),
-                  std::to_string(m.stats.snapshots_installed)});
+                  std::to_string(m.stats.checkpoints_written)});
   }
   table.Print();
   std::cout

@@ -1,9 +1,10 @@
 // Durable store: crash-recovery that actually loses (and rebuilds) state.
 //
-// With StoreOptions::durability set, each replica keeps a write-ahead log
-// and snapshots on disk. Crash() then wipes the replica's memory — a true
-// fail-stop — and Recover() replays snapshot + log before the replica
-// rejoins quorums. The run below crashes a replica mid-workload, recovers
+// With StoreOptions::durability set, each replica keeps a write-ahead
+// segment chain and incremental checkpoints on disk. Crash() then wipes
+// the replica's memory — a true fail-stop — and Recover() replays
+// checkpoints + log tail before the replica rejoins quorums. The run
+// below crashes a replica mid-workload, recovers
 // it, then forces a read quorum through it to show Lemma 8 live: the
 // highest-versioned copy in the quorum is the logical state even though
 // this replica missed writes while down.
@@ -28,7 +29,7 @@ int main() {
     durability.directory = dir;
     durability.fsync = storage::FsyncPolicy::kGroupCommit;
     durability.group_commit_window = std::chrono::microseconds(500);
-    durability.snapshot_threshold_bytes = 1024;
+    durability.checkpoint_tail_bytes = 1024;
     options.durability = durability;
 
     runtime::ReplicatedStore store(std::move(options));
@@ -45,8 +46,8 @@ int main() {
     const auto stats = store.ReplicaStorageStats(2);
     std::cout << "replica 2 recovered: " << stats.recoveries
               << " recoveries, " << stats.recovery_replayed
-              << " log records replayed, " << stats.snapshots_installed
-              << " snapshots installed\n";
+              << " log records replayed, " << stats.checkpoints_written
+              << " checkpoints written\n";
 
     // Force reads through the recovered replica: quorum must be {1, 2}.
     store.Crash(0);

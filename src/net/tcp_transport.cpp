@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -44,18 +45,52 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-sockaddr_in ResolveOrThrow(const Endpoint& ep) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(ep.port);
-  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
-    throw TransportIoError("tcp transport: not a numeric IPv4 address: " +
-                           ep.host);
+ResolvedAddr ResolveOrThrow(const Endpoint& ep, bool passive) {
+  std::string error;
+  if (std::optional<ResolvedAddr> r =
+          ResolveEndpoint(ep.host, ep.port, passive, &error)) {
+    return *r;
   }
-  return addr;
+  throw TransportIoError("tcp transport: cannot resolve " + ep.host + ": " +
+                         error);
+}
+
+std::uint16_t PortOf(const sockaddr_storage& ss) {
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6&>(ss).sin6_port);
+  }
+  return ntohs(reinterpret_cast<const sockaddr_in&>(ss).sin_port);
 }
 
 }  // namespace
+
+std::optional<ResolvedAddr> ResolveEndpoint(const std::string& host,
+                                            std::uint16_t port, bool passive,
+                                            std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  // No AI_ADDRCONFIG: "::1" must resolve even on hosts whose only IPv6
+  // address is loopback (common in containers), and numeric literals
+  // should never depend on interface configuration.
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error != nullptr) {
+      *error = rc == EAI_SYSTEM ? std::strerror(errno) : ::gai_strerror(rc);
+    }
+    return std::nullopt;
+  }
+  ResolvedAddr out;
+  out.family = res->ai_family;
+  out.len = res->ai_addrlen;
+  std::memcpy(&out.addr, res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  return out;
+}
 
 TcpTransport::TcpTransport(TcpTransportOptions options,
                            std::vector<NodeId> local_nodes)
@@ -99,12 +134,13 @@ TcpTransport::TcpTransport(TcpTransportOptions options,
 }
 
 int TcpTransport::BindListenerOrThrow(NodeId node) {
-  sockaddr_in addr = ResolveOrThrow(universe_[node]);
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const ResolvedAddr addr = ResolveOrThrow(universe_[node], /*passive=*/true);
+  const int fd = ::socket(addr.family, SOCK_STREAM, 0);
   if (fd < 0) throw TransportIoError("tcp transport: socket() failed");
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr.addr), addr.len) !=
+          0 ||
       ::listen(fd, 64) != 0) {
     const int err = errno;
     ::close(fd);
@@ -116,11 +152,11 @@ int TcpTransport::BindListenerOrThrow(NodeId node) {
   }
   SetNonBlocking(fd);
   // Resolve an ephemeral bind back into the universe table.
-  sockaddr_in bound{};
+  sockaddr_storage bound{};
   socklen_t len = sizeof(bound);
   QCNT_CHECK(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
              0);
-  universe_[node].port = ntohs(bound.sin_port);
+  universe_[node].port = PortOf(bound);
   return fd;
 }
 
@@ -321,15 +357,15 @@ void TcpTransport::CloseFd(int& fd) {
 }
 
 void TcpTransport::StartConnect(Peer& peer, NodeId node) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(universe_[node].port);
-  if (::inet_pton(AF_INET, universe_[node].host.c_str(), &addr.sin_addr) !=
-      1) {
+  const std::optional<ResolvedAddr> addr = ResolveEndpoint(
+      universe_[node].host, universe_[node].port, /*passive=*/false);
+  if (!addr) {
+    // Unresolvable peer (bad literal, DNS failure): backoff-retry like a
+    // refused connect — the name may start resolving later.
     FailPeer(peer, /*count_attempt=*/true);
     return;
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(addr->family, SOCK_STREAM, 0);
   if (fd < 0) {
     FailPeer(peer, /*count_attempt=*/true);
     return;
@@ -337,8 +373,8 @@ void TcpTransport::StartConnect(Peer& peer, NodeId node) {
   SetNonBlocking(fd);
   SetNoDelay(fd);
   ++stats_.reconnect_attempts;
-  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                           sizeof(addr));
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr->addr),
+                           addr->len);
   if (rc == 0) {
     peer.fd = fd;
     peer.state = PeerState::kConnected;

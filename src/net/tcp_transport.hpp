@@ -41,11 +41,14 @@
 // TransportConfigError (see store.cpp).
 #pragma once
 
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,12 +60,31 @@
 namespace qcnt::net {
 
 struct Endpoint {
+  /// Numeric IPv4 literal ("127.0.0.1"), numeric IPv6 literal ("::1"),
+  /// or a hostname ("localhost") — resolution goes through getaddrinfo.
   std::string host = "127.0.0.1";
   /// 0 means: for a hosted node, "bind an ephemeral port" (read the
   /// result back via ActualEndpoint); for a remote node, "not yet known"
   /// (supply it via SetPeerEndpoint before traffic can flow).
   std::uint16_t port = 0;
 };
+
+/// A resolved socket address, family-agnostic (AF_INET or AF_INET6).
+struct ResolvedAddr {
+  int family = AF_UNSPEC;
+  socklen_t len = 0;
+  sockaddr_storage addr{};
+};
+
+/// Resolve host:port through getaddrinfo — numeric IPv4/IPv6 literals
+/// and hostnames alike; the first result wins. `passive` requests an
+/// address suitable for bind(2). On failure returns nullopt and, when
+/// `error` is non-null, stores the resolver's diagnostic. Numeric
+/// literals never block; hostname lookups may (the transport only
+/// resolves on bind and on (re)connect, never per frame).
+std::optional<ResolvedAddr> ResolveEndpoint(const std::string& host,
+                                            std::uint16_t port, bool passive,
+                                            std::string* error = nullptr);
 
 struct TcpTransportOptions {
   /// Endpoint per node id; index == NodeId. Fixed-port deployments

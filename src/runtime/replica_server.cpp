@@ -261,6 +261,7 @@ ReplicaSnapshot ReplicaServer::Peek() {
     out.history.insert(out.history.end(),
                        std::make_move_iterator(slot.history.begin()),
                        std::make_move_iterator(slot.history.end()));
+    out.storage += slot.storage;
   }
   out.stats = BatchStats();
   return out;
@@ -274,6 +275,16 @@ void ReplicaServer::ServePeek(std::size_t idx, std::uint64_t epoch) {
   }
   Shard& sh = *shards_[idx];
   peek_slots_[idx].image = sh.image;
+  // Spill mode: the in-memory image is only the un-checkpointed tail.
+  // Overlay the checkpoint chain so observers still see the full map;
+  // the image merge rule keeps the hot copy wherever both layers hold a
+  // key. Non-spill backends visit nothing here.
+  storage::Image& peeked = peek_slots_[idx].image;
+  sh.backend->ScanAll(
+      [&peeked](const std::string& key, const storage::Versioned& v) {
+        peeked.ApplyWrite(key, v.version, v.value);
+      });
+  peek_slots_[idx].storage = sh.backend->Stats();
   peek_slots_[idx].history = sh.history;
   peek_filled_[idx] = 1;
   ++peek_served_;
@@ -517,7 +528,19 @@ void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
 
 bool ReplicaServer::ApplyToImage(Shard& sh, const std::string& key,
                                  std::uint64_t version, std::int64_t value) {
-  storage::Versioned& v = sh.image.data[key];
+  auto it = sh.image.data.find(key);
+  if (it == sh.image.data.end()) {
+    // Spill mode: a key absent from the in-memory map may still hold a
+    // durable version in the checkpoint chain — install that before the
+    // merge below, or a retried/stale install could regress an acked
+    // version the image evicted. Lookup leaves `cold` zeroed on a true
+    // miss (memory backends and non-spill durables return false
+    // immediately), reproducing the old default-insert.
+    storage::Versioned cold;
+    sh.backend->Lookup(key, &cold);
+    it = sh.image.data.emplace(key, cold).first;
+  }
+  storage::Versioned& v = it->second;
   // (version, value) is a total order: concurrent writers that race to
   // the same version converge deterministically (the verified automaton
   // layer shows a concurrency-control layer prevents such races; the
@@ -592,7 +615,13 @@ void ReplicaServer::HandleBatchRead(Worker& w, const RtMessage& m,
       gen = sh.image.generation;
       cfg = sh.image.config_id;
     }
-    const storage::Versioned& v = sh.image.data[entry.key];
+    storage::Versioned v;  // image first, then the cold layer (see kReadReq)
+    if (const auto it = sh.image.data.find(entry.key);
+        it != sh.image.data.end()) {
+      v = it->second;
+    } else {
+      sh.backend->Lookup(entry.key, &v);
+    }
     reply.batch.push_back(
         BatchEntry{entry.op, entry.key, v.version, v.value});
     sh.ops.fetch_add(1, std::memory_order_relaxed);
@@ -650,7 +679,16 @@ void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
   switch (m.kind) {
     case RtMessage::Kind::kReadReq: {
       Shard& sh = *shards_[ShardForKey(m.key, shards_.size())];
-      const storage::Versioned& v = sh.image.data[m.key];
+      // find(), not operator[]: a read must not grow the image (spill
+      // mode keeps it bounded), and a miss falls through to the cold
+      // layer — which reports {0, 0} for keys absent everywhere.
+      storage::Versioned v;
+      if (const auto it = sh.image.data.find(m.key);
+          it != sh.image.data.end()) {
+        v = it->second;
+      } else {
+        sh.backend->Lookup(m.key, &v);
+      }
       reply.kind = RtMessage::Kind::kReadResp;
       reply.version = v.version;
       reply.value = v.value;
@@ -767,21 +805,22 @@ void ReplicaServer::ServeCatchup(std::size_t idx, Envelope& e) {
       m.value > 0 && static_cast<std::uint64_t>(m.value) <= kCatchupChunkCeiling
           ? static_cast<std::size_t>(m.value)
           : kCatchupChunkEntries;
-  // Select the `limit` smallest keys strictly beyond the cursor (an empty
-  // cursor starts the shard; the empty key itself, if present, rides in
-  // the first chunk — re-sending it on a resume is a harmless idempotent
-  // merge). The image is hash-ordered, so this is O(shard keys) per
-  // chunk; it runs on the owning worker thread, between live writes.
+  // Hot half: the `limit` smallest in-memory keys strictly beyond the
+  // cursor (an empty cursor starts the shard; the empty key itself, if
+  // present, rides in the first chunk — re-sending it on a resume is a
+  // harmless idempotent merge). The image is hash-ordered, so this is
+  // O(shard keys) per chunk; it runs on the owning worker thread,
+  // between live writes.
   std::vector<const std::pair<const std::string, storage::Versioned>*> cand;
   cand.reserve(sh.image.data.size());
   for (const auto& kv : sh.image.data) {
     if (m.key.empty() || kv.first > m.key) cand.push_back(&kv);
   }
-  const bool more = cand.size() > limit;
+  const bool hot_more = cand.size() > limit;
   const auto by_key = [](const auto* a, const auto* b) {
     return a->first < b->first;
   };
-  if (more) {
+  if (hot_more) {
     std::partial_sort(cand.begin(),
                       cand.begin() + static_cast<std::ptrdiff_t>(limit),
                       cand.end(), by_key);
@@ -789,12 +828,42 @@ void ReplicaServer::ServeCatchup(std::size_t idx, Envelope& e) {
   } else {
     std::sort(cand.begin(), cand.end(), by_key);
   }
-  reply.batch.reserve(cand.size());
-  for (const auto* kv : cand) {
-    reply.batch.push_back(
-        BatchEntry{0, kv->first, kv->second.version, kv->second.value});
+  // Cold half (spill mode): checkpointed keys beyond the cursor that the
+  // image evicted. ScanAbove yields ascending keys, newest version per
+  // key; asking for limit+1 detects a deeper cold tail. The chunk's
+  // `limit` smallest keys are a subset of hot[0..limit) ∪ cold[0..limit],
+  // so the two bounded sorted runs merge without a full shard scan.
+  std::vector<std::pair<std::string, storage::Versioned>> cold;
+  sh.backend->ScanAbove(
+      m.key, limit + 1,
+      [&cold](const std::string& key, const storage::Versioned& v) {
+        cold.emplace_back(key, v);
+      });
+  reply.batch.reserve(limit < cand.size() + cold.size()
+                          ? limit
+                          : cand.size() + cold.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (reply.batch.size() < limit &&
+         (i < cand.size() || j < cold.size())) {
+    const bool take_hot =
+        j >= cold.size() ||
+        (i < cand.size() && cand[i]->first <= cold[j].first);
+    if (take_hot) {
+      const auto& kv = *cand[i++];
+      // A key both hot and cold serves its hot copy — the image version
+      // is never older than what a past checkpoint flushed.
+      if (j < cold.size() && cold[j].first == kv.first) ++j;
+      reply.batch.push_back(
+          BatchEntry{0, kv.first, kv.second.version, kv.second.value});
+    } else {
+      const auto& kv = cold[j++];
+      reply.batch.push_back(
+          BatchEntry{0, kv.first, kv.second.version, kv.second.value});
+    }
   }
-  if (!cand.empty()) reply.key = cand.back()->first;  // next cursor
+  const bool more = hot_more || i < cand.size() || j < cold.size();
+  if (!reply.batch.empty()) reply.key = reply.batch.back().key;  // cursor
   reply.value = more ? 1 : 0;
   sh.ops.fetch_add(1, std::memory_order_relaxed);
   transport_->Send(id_, e.from, std::move(reply));

@@ -11,8 +11,9 @@
 //
 // Shards and workers are deliberately distinct axes:
 //   - A *shard* is a durable layout unit: its own Image fragment, WAL
-//     segment (`wal_<s>.log`) and snapshot, pinned by the directory
-//     MANIFEST. The shard count cannot change without restriping disk.
+//     segment chain and checkpoint chain (`shard_<s>/`), pinned by the
+//     directory MANIFEST. The shard count cannot change without
+//     restriping disk.
 //   - A *worker* is an execution unit: one thread with one inbox, owning a
 //     fixed subset of the shards (round-robin s % W). The worker count is
 //     free to differ per machine — min(shards, cores) by default — so an
@@ -145,9 +146,13 @@ struct BatchStats {
 /// per-key order is exact (a key lives in one shard); cross-key
 /// interleaving is not meaningful under sharded execution.
 struct ReplicaSnapshot {
+  /// Merged key map. Under a spill-mode durable backend the shard images
+  /// hold only the un-checkpointed tail; Peek overlays the checkpoint
+  /// chain (Backend::ScanAll) so this is always the full logical map.
   storage::Image image;
   std::vector<AppliedWrite> history;  // empty unless record_history
   BatchStats stats;                   // includes per-shard counters
+  storage::StorageStats storage;      // summed across the shard backends
 };
 
 class ReplicaServer {

@@ -119,12 +119,23 @@ std::string ReplicaDir(const StoreOptions& options, std::size_t replica) {
 }
 
 std::unique_ptr<storage::Backend> MakeShardBackend(
-    const StoreOptions& options, std::size_t replica, std::size_t shard,
+    const StoreOptions& options,
+    const std::shared_ptr<storage::Manifest>& manifest, std::size_t shard,
     std::shared_ptr<storage::GroupCommitCoordinator> coordinator) {
   if (!options.durability) return storage::MakeMemoryBackend();
-  return storage::MakeDurableShardBackend(ReplicaDir(options, replica),
-                                          *options.durability, shard,
-                                          std::move(coordinator));
+  return storage::MakeDurableShardBackend(manifest, *options.durability,
+                                          shard, std::move(coordinator));
+}
+
+/// One manifest per durable replica directory, shared by every shard
+/// backend: it is the single commit point for the replica's segment and
+/// checkpoint chains, and pins the shard count the first time any shard
+/// persists its file list.
+std::shared_ptr<storage::Manifest> MakeReplicaManifest(
+    const StoreOptions& options, std::size_t replica) {
+  if (!options.durability) return nullptr;
+  return std::make_shared<storage::Manifest>(ReplicaDir(options, replica),
+                                             options.shards_per_replica);
 }
 
 /// One coordinator per group-commit-durable replica: a single fsync
@@ -137,8 +148,12 @@ std::shared_ptr<storage::GroupCommitCoordinator> MakeCommitCoordinator(
       !options.durability->coordinate_group_commit) {
     return nullptr;
   }
-  return std::make_shared<storage::GroupCommitCoordinator>(
-      options.durability->group_commit_window);
+  storage::GroupCommitCoordinator::Options o;
+  o.window = options.durability->group_commit_window;
+  o.adaptive = options.durability->adaptive_commit_window;
+  o.min_window = options.durability->commit_window_min;
+  o.max_window = options.durability->commit_window_max;
+  return std::make_shared<storage::GroupCommitCoordinator>(o);
 }
 
 /// Refuse to open a durability directory whose layout cannot host this
@@ -177,23 +192,19 @@ ReplicatedStore::ReplicatedStore(StoreOptions options)
     if (Durable()) ValidateDurableLayout(options_, r);
     auto gc = MakeCommitCoordinator(options_);
     if (gc) commit_coordinators_.emplace(static_cast<NodeId>(r), gc);
+    // The shared manifest pins the shard count the moment the first
+    // shard's backend commits its file list (inside Recover below), so a
+    // manifest never names segments that were not yet laid down.
+    auto manifest = MakeReplicaManifest(options_, r);
     replicas_.emplace(
         static_cast<NodeId>(r),
         std::make_unique<ReplicaServer>(
             *transport_, static_cast<NodeId>(r), options_.shards_per_replica,
-            [this, r, gc](std::size_t shard) {
-              return MakeShardBackend(options_, r, shard, gc);
+            [this, manifest, gc](std::size_t shard) {
+              return MakeShardBackend(options_, manifest, shard, gc);
             },
             options_.record_applied_history, options_.workers_per_replica));
     members_.push_back(static_cast<NodeId>(r));
-    // Pin the shard count only after the backends created their segment
-    // files, so a manifest never names segments that were not yet laid
-    // down. Before this point no client existed, so nothing acked can be
-    // lost to the (tiny) window where segments exist without a manifest.
-    if (Durable()) {
-      storage::RecoveryManager::WriteManifest(ReplicaDir(options_, r),
-                                              options_.shards_per_replica);
-    }
   }
 }
 
@@ -362,16 +373,13 @@ NodeId ReplicatedStore::SpawnReplica() {
   if (Durable()) ValidateDurableLayout(options_, id);
   auto gc = MakeCommitCoordinator(options_);
   if (gc) commit_coordinators_.emplace(id, gc);
+  auto manifest = MakeReplicaManifest(options_, id);
   auto server = std::make_unique<ReplicaServer>(
       *transport_, id, options_.shards_per_replica,
-      [this, id, gc](std::size_t shard) {
-        return MakeShardBackend(options_, id, shard, gc);
+      [this, manifest, gc](std::size_t shard) {
+        return MakeShardBackend(options_, manifest, shard, gc);
       },
       options_.record_applied_history, options_.workers_per_replica);
-  if (Durable()) {
-    storage::RecoveryManager::WriteManifest(ReplicaDir(options_, id),
-                                            options_.shards_per_replica);
-  }
   replicas_.emplace(id, std::move(server));
   return id;
 }

@@ -66,9 +66,9 @@ struct StoreOptions {
   /// across this many threads (see replica_server.hpp). 0 = auto: the
   /// QCNT_SHARDS environment variable when set, else
   /// min(4, hardware_concurrency). Under durability each shard keeps its
-  /// own WAL segment (`wal_<s>.log`) and snapshot; the directory's
-  /// MANIFEST pins the count, and reopening with a different count is
-  /// rejected (segment striping is not self-rebalancing).
+  /// own directory (`shard_<s>/`) of WAL segments and checkpoints; the
+  /// replica's MANIFEST pins the count, and reopening with a different
+  /// count is rejected (key striping is not self-rebalancing).
   std::size_t shards_per_replica = 0;
   /// Worker threads multiplexing each replica's shards (see
   /// replica_server.hpp: shards pin the durable layout, workers set

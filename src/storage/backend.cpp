@@ -1,15 +1,20 @@
 #include "storage/backend.hpp"
 
+#include <algorithm>
 #include <filesystem>
-#include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
+#include "storage/checkpoint.hpp"
+#include "storage/segment.hpp"
 #include "storage/snapshot.hpp"
 
 namespace qcnt::storage {
 
 namespace {
+
+namespace fs = std::filesystem;
 
 class MemoryBackend final : public Backend {
  public:
@@ -19,93 +24,263 @@ class MemoryBackend final : public Backend {
   void ApplyConfig(std::uint64_t, std::uint32_t) override {}
 };
 
+/// `seg_<id>.log` / `ckpt_<id>.blk` name parser for the recovery sweep.
+std::optional<std::uint64_t> ParseFileId(const std::string& name,
+                                         const char* prefix,
+                                         const char* suffix) {
+  const std::string p(prefix), s(suffix);
+  if (name.size() <= p.size() + s.size() || name.rfind(p, 0) != 0 ||
+      name.compare(name.size() - s.size(), s.size(), s) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(p.size(), name.size() - p.size() -
+                                                      s.size());
+  std::uint64_t id = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+// The v2 engine for one shard. See backend.hpp for the contract and
+// DESIGN.md §12 for the invariants; the short version:
+//
+//   * dirty_ mirrors every record in the live segment chain (it IS the
+//     tail, as a map), so a checkpoint writes |dirty_| entries and then
+//     drops the sealed segments wholesale — O(tail) end to end.
+//   * every file-set transition commits through one manifest save; files
+//     are created before the save and deleted only after it, so the
+//     manifest-referenced set is a consistent engine state at every
+//     instant a crash could strike.
+//   * all state except the stats counters is touched only by the shard's
+//     owning worker thread (the coordinator's committer syncs the active
+//     Wal through its own internal locking).
 class DurableBackend final : public Backend {
  public:
-  // `shard`: nullopt = legacy unsharded layout (wal.log / snapshot.bin);
-  // a value selects that shard's segment pair (wal_<s>.log /
-  // snapshot_<s>.bin). Several shard backends share one directory.
-  DurableBackend(std::string dir, DurabilityOptions options,
-                 std::optional<std::size_t> shard,
+  DurableBackend(std::shared_ptr<Manifest> manifest, DurabilityOptions options,
+                 std::size_t shard,
                  std::shared_ptr<GroupCommitCoordinator> coordinator)
-      : dir_(std::move(dir)),
+      : manifest_(std::move(manifest)),
         options_(std::move(options)),
         shard_(shard),
         gc_(std::move(coordinator)) {
-    std::filesystem::create_directories(dir_);
+    QCNT_CHECK(shard_ < manifest_->shard_count());
   }
 
-  ~DurableBackend() override { ReleaseWal(); }
+  ~DurableBackend() override { ReleaseAll(); }
 
   bool Durable() const override { return true; }
 
   Image Recover() override {
-    ReleaseWal();  // release any pre-crash handle before reopening
-    const RecoveryManager rm(dir_);
-    const RecoveryManager::Result r =
-        shard_ ? rm.RecoverShard(*shard_) : rm.Recover();
+    ReleaseAll();  // release any pre-crash handles before reopening
+    const std::string& dir = manifest_->dir();
+    QCNT_CHECK_MSG(manifest_->info().ok, manifest_->info().error);
+    // Any valid on-disk manifest (v1 or v2) must agree on the shard
+    // count; migrating a subset of a differently-striped layout would
+    // silently orphan the other shards' data.
+    QCNT_CHECK_MSG(manifest_->info().version == 0 ||
+                       manifest_->info().disk_shard_count ==
+                           manifest_->shard_count(),
+                   "manifest shard count mismatch in " + dir);
+    fs::create_directories(Manifest::ShardDirPath(dir, shard_));
     recoveries_.fetch_add(1, std::memory_order_relaxed);
-    recovery_replayed_.fetch_add(r.replayed, std::memory_order_relaxed);
-    // Under a coordinator the segment itself never decides to fsync
-    // (kNever); the coordinator's committer thread owns the window.
-    wal_ = std::make_unique<Wal>(
-        WalFilePath(),
-        Wal::Options{Coordinated() ? FsyncPolicy::kNever : options_.fsync,
-                     options_.group_commit_window});
-    if (r.torn_tail) {
-      // Cut the torn frame so fresh appends don't land after garbage.
-      wal_->TruncateTo(r.wal_valid_bytes);
-      torn_tails_.fetch_add(1, std::memory_order_relaxed);
+
+    files_ = manifest_->Shard(shard_);
+    if (!files_.present) MigrateLegacy();
+    SweepUnreferenced();
+    RemoveLegacyLeftovers();
+
+    // Open the checkpoint chain footer-only; blocks, index, and bloom
+    // stay on disk until a cold read wants them. This is the heart of
+    // O(tail) recovery: total state never moves at restart.
+    generation_ = 0;
+    config_id_ = 0;
+    for (const std::uint64_t id : files_.checkpoints) {
+      auto reader =
+          CheckpointReader::Open(Manifest::CheckpointPath(dir, shard_, id));
+      QCNT_CHECK_MSG(reader != nullptr,
+                     "unreadable checkpoint: " +
+                         Manifest::CheckpointPath(dir, shard_, id));
+      if (reader->generation() >= generation_) {
+        generation_ = reader->generation();
+        config_id_ = reader->config_id();
+      }
+      readers_.push_back(std::move(reader));
     }
-    if (Coordinated()) gc_->Attach(wal_.get());
-    return r.image;
+
+    // Replay the segment tail into the dirty set.
+    log_ = std::make_unique<SegmentedLog>(
+        manifest_, shard_, &files_, WalOptions(),
+        Coordinated() ? gc_ : nullptr);
+    const SegmentedLog::ReplayStats replay =
+        log_->OpenAndReplay([this](const WalRecord& rec) {
+          if (rec.type == WalRecord::Type::kWrite) {
+            MergeDirty(rec.key, rec.version, rec.value);
+          } else if (rec.generation >= generation_) {
+            generation_ = rec.generation;
+            config_id_ = rec.config_id;
+          }
+        });
+    recovery_replayed_.fetch_add(replay.records, std::memory_order_relaxed);
+    torn_tails_.fetch_add(replay.torn_tails, std::memory_order_relaxed);
+
+    Image image;
+    if (!options_.spill_cold_reads) {
+      // Materialize the full map (v1-compatible serving mode). Oldest
+      // first so newer runs win ties through the normal merge rule.
+      for (const auto& reader : readers_) {
+        reader->Scan([&image](const std::string& key, const Versioned& v) {
+          image.ApplyWrite(key, v.version, v.value);
+        });
+      }
+    }
+    for (const auto& [key, v] : dirty_) {
+      image.ApplyWrite(key, v.version, v.value);
+    }
+    image.ApplyConfig(generation_, config_id_);
+    return image;
   }
 
   void ApplyWrite(const std::string& key, std::uint64_t version,
                   std::int64_t value) override {
+    QCNT_CHECK_MSG(log_ != nullptr, "durable backend used before Recover()");
     WalRecord rec;
     rec.type = WalRecord::Type::kWrite;
     rec.key = key;
     rec.version = version;
     rec.value = value;
-    AppendAndCount(rec);
+    const std::uint64_t before = log_->BytesAppended();
+    log_->Append(rec);
+    bytes_.fetch_add(log_->BytesAppended() - before,
+                     std::memory_order_relaxed);
+    records_.fetch_add(1, std::memory_order_relaxed);
+    MergeDirty(key, version, value);
   }
 
   void ApplyWriteBatch(const std::vector<WalRecord>& records) override {
     if (records.empty()) return;
-    QCNT_CHECK_MSG(wal_ != nullptr,
-                   "durable backend used before Recover()");
-    const std::uint64_t bytes_before = wal_->BytesAppended();
-    wal_->AppendBatch(records);
-    records_.fetch_add(records.size(), std::memory_order_relaxed);
-    bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
+    QCNT_CHECK_MSG(log_ != nullptr, "durable backend used before Recover()");
+    const std::uint64_t before = log_->BytesAppended();
+    log_->AppendBatch(records);
+    bytes_.fetch_add(log_->BytesAppended() - before,
                      std::memory_order_relaxed);
+    records_.fetch_add(records.size(), std::memory_order_relaxed);
     batch_appends_.fetch_add(1, std::memory_order_relaxed);
-    if (Coordinated()) gc_->MarkDirty();
+    for (const WalRecord& r : records) MergeDirty(r.key, r.version, r.value);
   }
 
   void ApplyConfig(std::uint64_t generation,
                    std::uint32_t config_id) override {
+    QCNT_CHECK_MSG(log_ != nullptr, "durable backend used before Recover()");
     WalRecord rec;
     rec.type = WalRecord::Type::kConfig;
     rec.generation = generation;
     rec.config_id = config_id;
-    AppendAndCount(rec);
+    const std::uint64_t before = log_->BytesAppended();
+    log_->Append(rec);
+    bytes_.fetch_add(log_->BytesAppended() - before,
+                     std::memory_order_relaxed);
+    records_.fetch_add(1, std::memory_order_relaxed);
+    if (generation >= generation_) {
+      generation_ = generation;
+      config_id_ = config_id;
+    }
   }
 
-  void MaybeCompact(const Image& image) override {
-    if (!wal_ || wal_->SizeBytes() < options_.snapshot_threshold_bytes) {
-      return;
+  void MaybeCompact(Image& image) override {
+    if (!log_) return;
+    if (log_->TailBytes() >= options_.checkpoint_tail_bytes) {
+      DoCheckpoint(image);
+    } else if (log_->ActiveBytes() >= options_.segment_bytes) {
+      log_->Rotate();
+      rotated_.fetch_add(1, std::memory_order_relaxed);
     }
-    WriteSnapshotFile(SnapshotFilePath(), image);
-    wal_->Reset();
-    snapshots_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void ForceCheckpoint(Image& image) override {
+    if (!log_) return;
+    if (dirty_.empty() && log_->TailBytes() == 0) return;  // nothing to do
+    DoCheckpoint(image);
+  }
+
+  bool Lookup(const std::string& key, Versioned* out) override {
+    // Without spill the image materializes every checkpointed key, so an
+    // image miss is a true miss — skip the probe (and its counters).
+    if (!options_.spill_cold_reads || readers_.empty()) return false;
+    cold_lookups_.fetch_add(1, std::memory_order_relaxed);
+    // Newest file first: a re-dirtied key's latest durable version lives
+    // in the newest run that holds it.
+    for (auto it = readers_.rbegin(); it != readers_.rend(); ++it) {
+      switch ((*it)->Get(key, out)) {
+        case CheckpointReader::Probe::kFound:
+          bloom_hits_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        case CheckpointReader::Probe::kNotFound:
+          bloom_false_positives_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case CheckpointReader::Probe::kBloomMiss:
+          bloom_misses_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    return false;
+  }
+
+  void ScanAbove(const std::string& cursor, std::size_t limit,
+                 const std::function<void(const std::string&,
+                                          const Versioned&)>& fn) override {
+    if (!options_.spill_cold_reads || readers_.empty() || limit == 0) return;
+    std::vector<CheckpointReader::Iterator> its;
+    its.reserve(readers_.size());
+    for (const auto& reader : readers_) {
+      // An empty cursor starts the scan at the first key *inclusive* —
+      // the catchup stream's opening request must not skip an empty key.
+      its.push_back(cursor.empty() ? reader->Begin()
+                                   : reader->SeekAbove(cursor));
+    }
+    std::size_t emitted = 0;
+    while (emitted < limit) {
+      const std::string* min_key = nullptr;
+      for (const auto& it : its) {
+        if (it.Valid() && (min_key == nullptr || it.key() < *min_key)) {
+          min_key = &it.key();
+        }
+      }
+      if (min_key == nullptr) return;
+      const std::string key = *min_key;
+      Versioned best{};
+      bool have = false;
+      for (auto& it : its) {
+        while (it.Valid() && it.key() == key) {
+          const Versioned& v = it.value();
+          if (!have || v.version > best.version ||
+              (v.version == best.version && v.value >= best.value)) {
+            best = v;
+            have = true;
+          }
+          it.Next();
+        }
+      }
+      fn(key, best);
+      ++emitted;
+    }
+  }
+
+  void ScanAll(const std::function<void(const std::string&,
+                                        const Versioned&)>& fn) override {
+    if (!options_.spill_cold_reads || readers_.empty()) return;
+    std::vector<CheckpointReader*> raw;
+    raw.reserve(readers_.size());
+    for (const auto& r : readers_) raw.push_back(r.get());
+    MergeCheckpoints(raw, fn);
   }
 
   void OnCrash() override {
-    // fail-stop: the process would die here; we just drop the handle.
-    // Data already write(2)n survives in the file, mirroring a process
+    // fail-stop: the process would die here; we just drop the handles.
+    // Data already write(2)n survives in the files, mirroring a process
     // crash; fsync policy governs what a machine crash could lose.
-    ReleaseWal();
+    ReleaseAll();
   }
 
   StorageStats Stats() const override {
@@ -113,76 +288,255 @@ class DurableBackend final : public Backend {
     s.records_appended = records_.load(std::memory_order_relaxed);
     s.bytes_appended = bytes_.load(std::memory_order_relaxed);
     s.batch_appends = batch_appends_.load(std::memory_order_relaxed);
-    // Base (closed segments) + live: the live segment's counter moves on
-    // a background committer thread under a coordinator, so deltas taken
-    // on the append path would miss those syncs entirely. wal_mu_ keeps
-    // this read safe against a concurrent ReleaseWal.
+    // Base (pre-crash chains) + live: the live chain's counter moves on a
+    // background committer thread under a coordinator, so deltas taken on
+    // the append path would miss those syncs entirely. log_mu_ keeps this
+    // read safe against a concurrent ReleaseAll.
     {
-      std::lock_guard<std::mutex> lock(wal_mu_);
+      std::lock_guard<std::mutex> lock(log_mu_);
       s.fsyncs = fsyncs_base_.load(std::memory_order_relaxed) +
-                 (wal_ ? wal_->Fsyncs() : 0);
+                 (log_ ? log_->Fsyncs() : 0);
     }
-    s.snapshots_installed = snapshots_.load(std::memory_order_relaxed);
     s.recoveries = recoveries_.load(std::memory_order_relaxed);
-    s.recovery_replayed =
-        recovery_replayed_.load(std::memory_order_relaxed);
+    s.recovery_replayed = recovery_replayed_.load(std::memory_order_relaxed);
     s.torn_tails_discarded = torn_tails_.load(std::memory_order_relaxed);
+    s.segments_rotated = rotated_.load(std::memory_order_relaxed);
+    s.segments_compacted = compacted_.load(std::memory_order_relaxed);
+    s.checkpoints_written = checkpoints_.load(std::memory_order_relaxed);
+    s.checkpoint_entries =
+        checkpoint_entries_.load(std::memory_order_relaxed);
+    s.checkpoint_merges = merges_.load(std::memory_order_relaxed);
+    s.cold_lookups = cold_lookups_.load(std::memory_order_relaxed);
+    s.bloom_hits = bloom_hits_.load(std::memory_order_relaxed);
+    s.bloom_misses = bloom_misses_.load(std::memory_order_relaxed);
+    s.bloom_false_positives =
+        bloom_false_positives_.load(std::memory_order_relaxed);
+    s.migrations = migrations_.load(std::memory_order_relaxed);
     return s;
   }
 
  private:
-  std::string WalFilePath() const {
-    return shard_ ? RecoveryManager::ShardWalPath(dir_, *shard_)
-                  : RecoveryManager::WalPath(dir_);
-  }
-
-  std::string SnapshotFilePath() const {
-    return shard_ ? RecoveryManager::ShardSnapshotPath(dir_, *shard_)
-                  : SnapshotPath(dir_);
-  }
-
-  void AppendAndCount(const WalRecord& rec) {
-    QCNT_CHECK_MSG(wal_ != nullptr,
-                   "durable backend used before Recover()");
-    const std::uint64_t bytes_before = wal_->BytesAppended();
-    wal_->Append(rec);
-    records_.fetch_add(1, std::memory_order_relaxed);
-    bytes_.fetch_add(wal_->BytesAppended() - bytes_before,
-                     std::memory_order_relaxed);
-    if (Coordinated()) gc_->MarkDirty();
-  }
-
   bool Coordinated() const {
     return gc_ != nullptr && options_.fsync == FsyncPolicy::kGroupCommit;
   }
 
-  /// Teardown path shared by Recover/OnCrash/dtor: deregister the live
-  /// segment from the coordinator (so its committer can no longer touch
-  /// it), roll its fsync count into the base, then drop the handle.
-  void ReleaseWal() {
-    if (!wal_) return;
-    if (Coordinated()) gc_->Detach(wal_.get());
-    std::lock_guard<std::mutex> lock(wal_mu_);
-    fsyncs_base_.fetch_add(wal_->Fsyncs(), std::memory_order_relaxed);
-    wal_.reset();
+  Wal::Options WalOptions() const {
+    // Under a coordinator the segment itself never decides to fsync
+    // (kNever); the coordinator's committer thread owns the window.
+    return Wal::Options{Coordinated() ? FsyncPolicy::kNever : options_.fsync,
+                        options_.group_commit_window};
   }
 
-  std::string dir_;
+  void MergeDirty(const std::string& key, std::uint64_t version,
+                  std::int64_t value) {
+    Versioned& v = dirty_[key];
+    if (version > v.version || (version == v.version && value >= v.value)) {
+      v.version = version;
+      v.value = value;
+    }
+  }
+
+  /// First Recover() over a shard with no v2 entry but with v1 files:
+  /// rebuild the legacy image (snapshot + wal, torn-tail aware), persist
+  /// it as the shard's base checkpoint, and commit the v2 entry. The
+  /// legacy files are untouched until the manifest save lands, so a crash
+  /// anywhere in here just re-runs the migration next time.
+  void MigrateLegacy() {
+    const std::string& dir = manifest_->dir();
+    const bool sharded_files =
+        fs::exists(RecoveryManager::ShardWalPath(dir, shard_)) ||
+        fs::exists(RecoveryManager::ShardSnapshotPath(dir, shard_));
+    const bool unsharded_files =
+        shard_ == 0 && manifest_->shard_count() == 1 &&
+        (fs::exists(RecoveryManager::WalPath(dir)) ||
+         fs::exists(SnapshotPath(dir)));
+    if (!sharded_files && !unsharded_files) return;  // genuinely fresh
+
+    const RecoveryManager rm(dir);
+    const RecoveryManager::Result legacy =
+        sharded_files ? rm.RecoverShard(shard_) : rm.Recover();
+    recovery_replayed_.fetch_add(legacy.replayed, std::memory_order_relaxed);
+    if (legacy.torn_tail) torn_tails_.fetch_add(1, std::memory_order_relaxed);
+
+    files_.present = true;
+    if (!legacy.image.data.empty() || legacy.image.generation > 0 ||
+        legacy.image.config_id > 0) {
+      const std::uint64_t id = files_.next_file_id++;
+      WriteCheckpointFile(id, legacy.image.data, legacy.image.generation,
+                          legacy.image.config_id);
+      files_.checkpoints.push_back(id);
+    }
+    manifest_->Update(shard_, files_);  // the migration commit point
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Delete everything in the shard directory the manifest doesn't
+  /// reference: `.tmp` orphans and files created after the last manifest
+  /// save (both are redundant by the create→save→delete discipline).
+  void SweepUnreferenced() {
+    const std::string sdir =
+        Manifest::ShardDirPath(manifest_->dir(), shard_);
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(sdir, ec)) {
+      const std::string name = entry.path().filename().string();
+      bool keep = false;
+      if (const auto id = ParseFileId(name, "seg_", ".log")) {
+        keep = std::find(files_.segments.begin(), files_.segments.end(),
+                         *id) != files_.segments.end();
+      } else if (const auto id = ParseFileId(name, "ckpt_", ".blk")) {
+        keep = std::find(files_.checkpoints.begin(), files_.checkpoints.end(),
+                         *id) != files_.checkpoints.end();
+      }
+      if (!keep) fs::remove(entry.path(), ec);
+    }
+  }
+
+  /// A crash between the migration's manifest save and the legacy delete
+  /// leaves v1 files next to a committed v2 entry; finish the job.
+  void RemoveLegacyLeftovers() {
+    if (!files_.present) return;
+    const std::string& dir = manifest_->dir();
+    std::error_code ec;
+    fs::remove(RecoveryManager::ShardWalPath(dir, shard_), ec);
+    fs::remove(RecoveryManager::ShardSnapshotPath(dir, shard_), ec);
+    if (shard_ == 0 && manifest_->shard_count() == 1) {
+      fs::remove(RecoveryManager::WalPath(dir), ec);
+      fs::remove(SnapshotPath(dir), ec);
+    }
+  }
+
+  void WriteCheckpointFile(
+      std::uint64_t id,
+      const std::unordered_map<std::string, Versioned>& entries,
+      std::uint64_t generation, std::uint32_t config_id) {
+    std::vector<const std::string*> keys;
+    keys.reserve(entries.size());
+    for (const auto& [key, v] : entries) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    CheckpointWriter writer(
+        Manifest::CheckpointPath(manifest_->dir(), shard_, id),
+        entries.size());
+    for (const std::string* key : keys) writer.Add(*key, entries.at(*key));
+    writer.Finish(generation, config_id);
+  }
+
+  /// The incremental checkpoint: seal the tail, persist the dirty set as
+  /// one sorted run, commit, reclaim the sealed segments. Runs on the
+  /// shard's worker thread — cost is O(|dirty|) = O(tail), so inline
+  /// execution is what bounds the pause, not a background thread.
+  void DoCheckpoint(Image& image) {
+    log_->Rotate();  // everything the checkpoint covers is now sealed
+    rotated_.fetch_add(1, std::memory_order_relaxed);
+
+    const std::uint64_t id = files_.next_file_id++;
+    WriteCheckpointFile(id, dirty_, generation_, config_id_);
+    files_.checkpoints.push_back(id);
+    files_.segments = {files_.segments.back()};
+    manifest_->Update(shard_, files_);  // commit point
+    compacted_.fetch_add(log_->DropSealed(), std::memory_order_relaxed);
+
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    checkpoint_entries_.fetch_add(dirty_.size(), std::memory_order_relaxed);
+    auto reader = CheckpointReader::Open(
+        Manifest::CheckpointPath(manifest_->dir(), shard_, id));
+    QCNT_CHECK_MSG(reader != nullptr, "just-written checkpoint unreadable");
+    readers_.push_back(std::move(reader));
+
+    if (options_.spill_cold_reads) {
+      // Every image entry is now durable in the checkpoint chain; evict
+      // the lot. The in-memory map re-grows only with fresh writes, so
+      // RAM holds ~one checkpoint interval of keys while the chain holds
+      // the rest.
+      const std::uint64_t generation = image.generation;
+      const std::uint32_t config_id = image.config_id;
+      image.data.clear();
+      image.generation = generation;
+      image.config_id = config_id;
+    }
+    dirty_.clear();
+
+    if (files_.checkpoints.size() > options_.max_checkpoints) MergeChain();
+  }
+
+  /// k-way merge of the whole checkpoint chain into one base run.
+  void MergeChain() {
+    const std::uint64_t id = files_.next_file_id++;
+    std::uint64_t expected = 0;
+    std::vector<CheckpointReader*> raw;
+    raw.reserve(readers_.size());
+    for (const auto& r : readers_) {
+      expected += r->entry_count();
+      raw.push_back(r.get());
+    }
+    CheckpointWriter writer(
+        Manifest::CheckpointPath(manifest_->dir(), shard_, id), expected);
+    MergeCheckpoints(raw, [&writer](const std::string& key,
+                                    const Versioned& v) {
+      writer.Add(key, v);
+    });
+    writer.Finish(generation_, config_id_);
+
+    const std::vector<std::uint64_t> old_ids = files_.checkpoints;
+    files_.checkpoints = {id};
+    manifest_->Update(shard_, files_);  // commit point
+    readers_.clear();
+    std::error_code ec;
+    for (const std::uint64_t old : old_ids) {
+      fs::remove(Manifest::CheckpointPath(manifest_->dir(), shard_, old), ec);
+    }
+    auto reader = CheckpointReader::Open(
+        Manifest::CheckpointPath(manifest_->dir(), shard_, id));
+    QCNT_CHECK_MSG(reader != nullptr, "just-merged checkpoint unreadable");
+    readers_.push_back(std::move(reader));
+    merges_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Teardown path shared by Recover/OnCrash/dtor: quiesce the log (which
+  /// detaches from the coordinator), roll its fsync count into the base,
+  /// then drop every handle.
+  void ReleaseAll() {
+    if (log_) {
+      log_->Release();
+      std::lock_guard<std::mutex> lock(log_mu_);
+      fsyncs_base_.fetch_add(log_->Fsyncs(), std::memory_order_relaxed);
+      log_.reset();
+    }
+    readers_.clear();
+    dirty_.clear();
+  }
+
+  std::shared_ptr<Manifest> manifest_;
   DurabilityOptions options_;
-  std::optional<std::size_t> shard_;
+  std::size_t shard_;
   std::shared_ptr<GroupCommitCoordinator> gc_;
-  mutable std::mutex wal_mu_;  // Stats vs ReleaseWal on wal_
-  std::unique_ptr<Wal> wal_;
+
+  ShardFiles files_;
+  mutable std::mutex log_mu_;  // Stats vs ReleaseAll on log_
+  std::unique_ptr<SegmentedLog> log_;
+  std::vector<std::unique_ptr<CheckpointReader>> readers_;  // oldest..newest
+  std::unordered_map<std::string, Versioned> dirty_;  // tail, as a map
+  std::uint64_t generation_ = 0;
+  std::uint32_t config_id_ = 0;
 
   // Only the server thread mutates the counters; Stats() may race from
-  // other threads, hence the atomics. Deltas (not the Wal's own totals)
+  // other threads, hence the atomics. Deltas (not the chain's own totals)
   // keep them monotone across crash/recover reopens; fsyncs are the
   // exception (see Stats()).
   std::atomic<std::uint64_t> records_{0}, bytes_{0};
   std::atomic<std::uint64_t> fsyncs_base_{0};
   std::atomic<std::uint64_t> batch_appends_{0};
-  std::atomic<std::uint64_t> snapshots_{0}, recoveries_{0};
+  std::atomic<std::uint64_t> recoveries_{0};
   std::atomic<std::uint64_t> recovery_replayed_{0}, torn_tails_{0};
+  std::atomic<std::uint64_t> rotated_{0}, compacted_{0};
+  std::atomic<std::uint64_t> checkpoints_{0}, checkpoint_entries_{0};
+  std::atomic<std::uint64_t> merges_{0};
+  std::atomic<std::uint64_t> cold_lookups_{0};
+  std::atomic<std::uint64_t> bloom_hits_{0}, bloom_misses_{0};
+  std::atomic<std::uint64_t> bloom_false_positives_{0};
+  std::atomic<std::uint64_t> migrations_{0};
 };
 
 }  // namespace
@@ -193,15 +547,18 @@ std::unique_ptr<Backend> MakeMemoryBackend() {
 
 std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
                                             DurabilityOptions options) {
-  return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
-                                          std::nullopt, nullptr);
+  std::filesystem::create_directories(dir);
+  auto manifest = std::make_shared<Manifest>(std::move(dir), 1);
+  return std::make_unique<DurableBackend>(std::move(manifest),
+                                          std::move(options), 0, nullptr);
 }
 
 std::unique_ptr<Backend> MakeDurableShardBackend(
-    std::string dir, DurabilityOptions options, std::size_t shard,
-    std::shared_ptr<GroupCommitCoordinator> coordinator) {
-  return std::make_unique<DurableBackend>(std::move(dir), std::move(options),
-                                          shard, std::move(coordinator));
+    std::shared_ptr<Manifest> manifest, DurabilityOptions options,
+    std::size_t shard, std::shared_ptr<GroupCommitCoordinator> coordinator) {
+  return std::make_unique<DurableBackend>(std::move(manifest),
+                                          std::move(options), shard,
+                                          std::move(coordinator));
 }
 
 }  // namespace qcnt::storage

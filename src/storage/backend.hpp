@@ -6,20 +6,27 @@
 //
 //   MemoryBackend  — no-op persistence; a crash only partitions the node
 //                    (the seed's behavior, zero overhead on the hot path).
-//   DurableBackend — WAL + snapshots in a per-replica directory; a crash
-//                    wipes the replica's volatile state and recovery
-//                    rebuilds the Image via RecoveryManager.
+//   DurableBackend — the v2 engine: a bounded chain of WAL segments
+//                    (rotation + wholesale reclamation), incremental
+//                    checkpoints of only the keys dirtied since the last
+//                    one, and a cold-read layer (per-checkpoint bloom
+//                    filter + block index) so the value map can spill to
+//                    sorted checkpoint blocks on disk. Checkpoint and
+//                    recovery cost are proportional to the WAL tail, not
+//                    total state.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "storage/commit.hpp"
 #include "storage/image.hpp"
+#include "storage/manifest.hpp"
 #include "storage/recovery.hpp"
 #include "storage/wal.hpp"
 
@@ -27,8 +34,9 @@ namespace qcnt::storage {
 
 /// Knobs for the durable backend (embedded in runtime StoreOptions).
 struct DurabilityOptions {
-  /// Store-wide root; replica r keeps its WAL + snapshot under
-  /// `<directory>/replica_<r>`.
+  /// Store-wide root; replica r keeps its files under
+  /// `<directory>/replica_<r>` (per-shard subdirectories `shard_<s>/`
+  /// hold the segment chain and checkpoint blocks).
   std::string directory;
   FsyncPolicy fsync = FsyncPolicy::kAlways;
   std::chrono::microseconds group_commit_window{500};
@@ -38,8 +46,30 @@ struct DurabilityOptions {
   /// its own inline window (one independent fsync stream per shard —
   /// kept as a knob and as the bench's pre-change reference).
   bool coordinate_group_commit = true;
-  /// Snapshot + reset the WAL once it exceeds this many bytes.
-  std::uint64_t snapshot_threshold_bytes = 1u << 20;
+  /// kGroupCommit + coordinator only: let the coordinator widen/narrow
+  /// the fsync window between min/max from the observed arrival rate.
+  /// Defaults off — `group_commit_window` stays the fixed baseline.
+  bool adaptive_commit_window = false;
+  std::chrono::microseconds commit_window_min{100};
+  std::chrono::microseconds commit_window_max{4000};
+  /// Checkpoint (flush the dirty set, drop sealed segments) once the
+  /// shard's live segment chain exceeds this many bytes. The direct v2
+  /// successor of v1's snapshot_threshold_bytes — but the work done per
+  /// trigger is now O(tail), not O(total state).
+  std::uint64_t checkpoint_tail_bytes = 1u << 20;
+  /// Seal + rotate the active segment at this size, bounding any single
+  /// log file and the unit of wholesale reclamation.
+  std::uint64_t segment_bytes = 256u << 10;
+  /// Merge the checkpoint chain into one base file once it grows past
+  /// this many files (k-way newest-wins merge).
+  std::size_t max_checkpoints = 6;
+  /// Serve cold reads from checkpoint blocks (bloom + index + one block
+  /// decode) instead of materializing every checkpointed key into the
+  /// Image at recovery. With this on, the in-memory map holds roughly
+  /// the keys written since the last checkpoint — a replica can hold far
+  /// more keys on disk than in RAM — and recovery never scans the
+  /// checkpoints at all (footer-only opens), making restart O(tail).
+  bool spill_cold_reads = false;
 };
 
 /// Counter snapshot; aggregated across replicas by the store's stats
@@ -49,20 +79,40 @@ struct StorageStats {
   std::uint64_t bytes_appended = 0;
   std::uint64_t batch_appends = 0;  // multi-record appends (one sync each)
   std::uint64_t fsyncs = 0;
-  std::uint64_t snapshots_installed = 0;
   std::uint64_t recoveries = 0;
   std::uint64_t recovery_replayed = 0;  // WAL records replayed, total
   std::uint64_t torn_tails_discarded = 0;
+  // v2 engine counters.
+  std::uint64_t segments_rotated = 0;    // active-segment seals
+  std::uint64_t segments_compacted = 0;  // sealed segment files reclaimed
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_entries = 0;  // keys flushed across checkpoints
+  std::uint64_t checkpoint_merges = 0;   // chain compactions (k-way merges)
+  // Cold-read layer (spill mode): per-file probe outcomes.
+  std::uint64_t cold_lookups = 0;   // Lookup calls that missed the image
+  std::uint64_t bloom_hits = 0;     // filter passed and the key was there
+  std::uint64_t bloom_misses = 0;   // filter rejected the probe (no I/O)
+  std::uint64_t bloom_false_positives = 0;  // filter passed, key absent
+  std::uint64_t migrations = 0;  // v1 shards upgraded in place
 
   StorageStats& operator+=(const StorageStats& o) {
     records_appended += o.records_appended;
     bytes_appended += o.bytes_appended;
     batch_appends += o.batch_appends;
     fsyncs += o.fsyncs;
-    snapshots_installed += o.snapshots_installed;
     recoveries += o.recoveries;
     recovery_replayed += o.recovery_replayed;
     torn_tails_discarded += o.torn_tails_discarded;
+    segments_rotated += o.segments_rotated;
+    segments_compacted += o.segments_compacted;
+    checkpoints_written += o.checkpoints_written;
+    checkpoint_entries += o.checkpoint_entries;
+    checkpoint_merges += o.checkpoint_merges;
+    cold_lookups += o.cold_lookups;
+    bloom_hits += o.bloom_hits;
+    bloom_misses += o.bloom_misses;
+    bloom_false_positives += o.bloom_false_positives;
+    migrations += o.migrations;
     return *this;
   }
 };
@@ -74,7 +124,9 @@ class Backend {
   /// True when a crash of the owning replica must wipe volatile state.
   virtual bool Durable() const = 0;
 
-  /// Rebuild the replica's state at (re)start.
+  /// Rebuild the replica's state at (re)start. In spill mode the
+  /// returned Image holds only the un-checkpointed tail; checkpointed
+  /// keys are served through Lookup/ScanAbove.
   virtual Image Recover() = 0;
 
   /// An applied (i.e. version-accepted) write, before the ack.
@@ -93,9 +145,43 @@ class Backend {
   virtual void ApplyConfig(std::uint64_t generation,
                            std::uint32_t config_id) = 0;
 
-  /// Called after each apply with the replica's full state; the backend
-  /// may compact (snapshot + log reset) when its log grew past threshold.
-  virtual void MaybeCompact(const Image& image) { (void)image; }
+  /// Called after each apply; the backend may rotate the active segment,
+  /// checkpoint the dirty set, or merge the checkpoint chain when its
+  /// thresholds trip. In spill mode it may also evict clean (checkpointed)
+  /// entries from `image` to bound the in-memory map.
+  virtual void MaybeCompact(Image& image) { (void)image; }
+
+  /// Force a checkpoint now regardless of thresholds (tests, benches,
+  /// and catchup donors that want a tight tail). No-op for backends
+  /// without checkpoints.
+  virtual void ForceCheckpoint(Image& image) { (void)image; }
+
+  /// Cold point read: the key's durable version when it is absent from
+  /// the caller's image (spill mode only). False = not present anywhere
+  /// in the checkpoint chain.
+  virtual bool Lookup(const std::string& key, Versioned* out) {
+    (void)key;
+    (void)out;
+    return false;
+  }
+
+  /// Visit checkpointed keys strictly greater than `cursor` in ascending
+  /// order, at most `limit` of them, newest version per key (the catchup
+  /// donor's cold half). An empty cursor starts at the first key,
+  /// inclusive. Backends without spilled state visit nothing.
+  virtual void ScanAbove(
+      const std::string& cursor, std::size_t limit,
+      const std::function<void(const std::string&, const Versioned&)>& fn) {
+    (void)cursor;
+    (void)limit;
+    (void)fn;
+  }
+
+  /// Visit every checkpointed key (diagnostics / Peek in spill mode).
+  virtual void ScanAll(
+      const std::function<void(const std::string&, const Versioned&)>& fn) {
+    (void)fn;
+  }
 
   /// The owning replica fail-stopped: release file handles, drop nothing
   /// durable. Volatile state is wiped by the replica itself.
@@ -107,24 +193,28 @@ class Backend {
 /// The seed's semantics: nothing persists, nothing is lost.
 std::unique_ptr<Backend> MakeMemoryBackend();
 
-/// WAL + snapshot persistence under `dir` (created if absent), using the
-/// unsharded layout (`wal.log` / `snapshot.bin`).
+/// v2 persistence under `dir` (created if absent) for an unsharded
+/// replica — internally shard 0 of a one-shard layout with a private
+/// MANIFEST. A v1 unsharded store (`wal.log` / `snapshot.bin`) found in
+/// `dir` is migrated in place on first Recover().
 std::unique_ptr<Backend> MakeDurableBackend(std::string dir,
                                             DurabilityOptions options);
 
-/// Persistence for one shard of a sharded replica: the same directory
-/// holds `wal_<shard>.log` / `snapshot_<shard>.bin` per shard. The caller
-/// (the store) pins the shard count in the directory's MANIFEST so
-/// recovery can detect missing segments and count changes.
+/// Persistence for one shard of a sharded replica: all shards share
+/// `dir`'s MANIFEST (v2), which pins the shard count and names every
+/// shard's segment chain + checkpoint chain. `manifest` must be the
+/// replica's shared Manifest. A v1 shard (`wal_<s>.log` /
+/// `snapshot_<s>.bin`) is migrated in place on first Recover().
 ///
 /// With a non-null `coordinator` and FsyncPolicy::kGroupCommit, fsync
-/// decisions move off the shard thread entirely: the segment is appended
-/// with kNever and registered with the replica's shared
+/// decisions move off the shard thread entirely: the active segment is
+/// appended with kNever and registered with the replica's shared
 /// GroupCommitCoordinator, which makes one fsync decision per window
 /// across the whole shard set (see commit.hpp). kAlways ignores the
 /// coordinator and stays inline-synchronous.
 std::unique_ptr<Backend> MakeDurableShardBackend(
-    std::string dir, DurabilityOptions options, std::size_t shard,
+    std::shared_ptr<Manifest> manifest, DurabilityOptions options,
+    std::size_t shard,
     std::shared_ptr<GroupCommitCoordinator> coordinator = nullptr);
 
 }  // namespace qcnt::storage

@@ -1,0 +1,87 @@
+// Bloom filter over the keys of one checkpoint file.
+//
+// A cold read probes checkpoint files newest-first; without a filter every
+// probe of a file that does not hold the key costs a block read. The bloom
+// page (ScalienDB keeps one per storage page for the same reason) turns
+// the common miss into a few bit tests: ~10 bits and k=6 hashes per key
+// put the false-positive rate near 1%, so all but a sliver of the misses
+// never touch the disk.
+//
+// Double hashing (Kirsch–Mitzenmacher): two 64-bit FNV-1a variants
+// generate all k probe positions as h1 + i*h2, which is as good as k
+// independent hashes for filter purposes and keeps Add/MayContain cheap.
+//
+// The bit array serializes verbatim into the checkpoint file (the reader
+// re-wraps the bytes without rehashing anything), so the in-memory and
+// on-disk forms are the same object.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcnt::storage {
+
+class BloomFilter {
+ public:
+  static constexpr std::size_t kBitsPerKey = 10;
+  static constexpr std::uint32_t kHashes = 6;
+
+  /// Sized for `expected_keys` insertions at ~1% false positives. An
+  /// estimate is fine: oversizing only wastes bits, undersizing only
+  /// raises the false-positive rate — never correctness.
+  explicit BloomFilter(std::size_t expected_keys) {
+    std::size_t bits = expected_keys * kBitsPerKey;
+    if (bits < 64) bits = 64;
+    bits_.assign((bits + 7) / 8, 0);
+  }
+
+  /// Wrap previously serialized bits (a checkpoint reader's view).
+  explicit BloomFilter(std::vector<std::uint8_t> bits)
+      : bits_(std::move(bits)) {
+    if (bits_.empty()) bits_.assign(8, 0);
+  }
+
+  void Add(const std::string& key) {
+    std::uint64_t h1 = 0, h2 = 0;
+    Hash(key, h1, h2);
+    const std::uint64_t nbits = bits_.size() * 8;
+    for (std::uint32_t i = 0; i < kHashes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % nbits;
+      bits_[bit / 8] |= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+
+  /// False = definitely absent; true = probably present.
+  bool MayContain(const std::string& key) const {
+    std::uint64_t h1 = 0, h2 = 0;
+    Hash(key, h1, h2);
+    const std::uint64_t nbits = bits_.size() * 8;
+    for (std::uint32_t i = 0; i < kHashes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) % nbits;
+      if (!(bits_[bit / 8] & (1u << (bit % 8)))) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::uint8_t>& Bits() const { return bits_; }
+
+ private:
+  static void Hash(const std::string& key, std::uint64_t& h1,
+                   std::uint64_t& h2) {
+    // Two FNV-1a streams with distinct offset bases.
+    std::uint64_t a = 1469598103934665603ull;
+    std::uint64_t b = 0x9ae16a3b2f90404full;
+    for (const char c : key) {
+      a = (a ^ static_cast<std::uint8_t>(c)) * 1099511628211ull;
+      b = (b ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ull;
+      b ^= b >> 29;
+    }
+    h1 = a;
+    h2 = b | 1;  // odd: never degenerate the probe stride
+  }
+
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace qcnt::storage

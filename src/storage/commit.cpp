@@ -6,9 +6,8 @@
 
 namespace qcnt::storage {
 
-GroupCommitCoordinator::GroupCommitCoordinator(
-    std::chrono::microseconds window)
-    : window_(window) {
+GroupCommitCoordinator::GroupCommitCoordinator(Options options)
+    : options_(options), window_us_(options.window.count()) {
   committer_ = std::thread([this] { Loop(); });
 }
 
@@ -35,11 +34,25 @@ void GroupCommitCoordinator::Detach(Wal* wal) {
 }
 
 void GroupCommitCoordinator::MarkDirty() {
+  marks_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     dirty_ = true;
   }
   cv_.notify_all();
+}
+
+std::chrono::microseconds GroupCommitCoordinator::NextWindow(
+    std::chrono::microseconds current, std::uint64_t marks,
+    const Options& options) {
+  if (!options.adaptive) return options.window;
+  if (marks >= kWidenMarks) {
+    return std::min(options.max_window, current * 2);
+  }
+  if (marks <= kNarrowMarks) {
+    return std::max(options.min_window, current / 2);
+  }
+  return current;
 }
 
 void GroupCommitCoordinator::Loop() {
@@ -48,10 +61,12 @@ void GroupCommitCoordinator::Loop() {
     cv_.wait(lock, [this] { return stop_ || dirty_; });
     if (stop_) return;
     dirty_ = false;
+    const std::chrono::microseconds window(
+        window_us_.load(std::memory_order_relaxed));
     // Let the window fill: appends landing during the sleep ride this
     // ticket instead of opening the next one.
     lock.unlock();
-    std::this_thread::sleep_for(window_);
+    std::this_thread::sleep_for(window);
     lock.lock();
     in_pass_ = true;
     std::vector<Wal*> wals = wals_;
@@ -60,6 +75,11 @@ void GroupCommitCoordinator::Loop() {
     for (Wal* wal : wals) {
       if (wal->SyncIfDirty()) ++synced;
     }
+    // Everything marked since the previous pass rode this ticket; that
+    // count is the arrival-rate signal the next window adapts to.
+    const std::uint64_t marks = marks_.exchange(0, std::memory_order_relaxed);
+    window_us_.store(NextWindow(window, marks, options_).count(),
+                     std::memory_order_relaxed);
     lock.lock();
     in_pass_ = false;
     if (synced > 0) {

@@ -1,41 +1,27 @@
 #include "storage/recovery.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <utility>
 #include <vector>
 
 #include "common/check.hpp"
+#include "storage/checkpoint.hpp"
 #include "storage/crc32.hpp"
+#include "storage/io_util.hpp"
+#include "storage/manifest.hpp"
 #include "storage/snapshot.hpp"
 
 namespace qcnt::storage {
 
 namespace {
 
-// MANIFEST layout: "QMAN", format version u32, shard count u32,
-// CRC32(version || count). Tiny on purpose — its only job is to pin the
-// shard count so recovery can tell "fresh directory" from "directory
-// missing segments".
+// Legacy v1 MANIFEST layout: "QMAN", format version u32 = 1, shard count
+// u32, CRC32(version || count). Kept only as a fixture writer: the live
+// engine persists v2 manifests through storage::Manifest.
 constexpr char kManifestMagic[4] = {'Q', 'M', 'A', 'N'};
-constexpr std::uint32_t kManifestVersion = 1;
+constexpr std::uint32_t kLegacyManifestVersion = 1;
 
-void PutU32(std::vector<unsigned char>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
-}
-
-std::uint32_t GetU32(const unsigned char* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-  return v;
-}
-
-// Snapshot + WAL replay for one (snapshot path, wal path) pair.
+// Snapshot + WAL replay for one legacy (snapshot path, wal path) pair.
 RecoveryManager::Result RecoverPaths(const std::string& snap_path,
                                      const std::string& wal_path) {
   RecoveryManager::Result result;
@@ -84,51 +70,19 @@ void RecoveryManager::WriteManifest(const std::string& dir,
                                     std::size_t shard_count) {
   QCNT_CHECK(shard_count >= 1);
   std::vector<unsigned char> payload;
-  PutU32(payload, kManifestVersion);
+  PutU32(payload, kLegacyManifestVersion);
   PutU32(payload, static_cast<std::uint32_t>(shard_count));
 
   std::vector<unsigned char> file;
   file.insert(file.end(), kManifestMagic, kManifestMagic + 4);
   file.insert(file.end(), payload.begin(), payload.end());
   PutU32(file, Crc32(payload.data(), payload.size()));
-
-  const std::string path = ManifestPath(dir);
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
-  QCNT_CHECK_MSG(fd >= 0, "cannot open manifest temp file: " + tmp);
-  const unsigned char* p = file.data();
-  std::size_t n = file.size();
-  while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
-    QCNT_CHECK_MSG(w > 0, "manifest write failed");
-    p += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  QCNT_CHECK(::fsync(fd) == 0);
-  ::close(fd);
-  QCNT_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
-                 "manifest rename failed");
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  AtomicWriteFile(ManifestPath(dir), file, "manifest");
 }
 
 std::optional<std::size_t> RecoveryManager::ReadManifest(
     const std::string& dir) {
-  std::ifstream in(ManifestPath(dir), std::ios::binary);
-  if (!in) return std::nullopt;
-  std::vector<unsigned char> bytes{std::istreambuf_iterator<char>(in),
-                                   std::istreambuf_iterator<char>()};
-  if (bytes.size() != 4 + 4 + 4 + 4) return std::nullopt;
-  if (std::memcmp(bytes.data(), kManifestMagic, 4) != 0) return std::nullopt;
-  const unsigned char* payload = bytes.data() + 4;
-  if (Crc32(payload, 8) != GetU32(bytes.data() + 12)) return std::nullopt;
-  if (GetU32(payload) != kManifestVersion) return std::nullopt;
-  const std::uint32_t count = GetU32(payload + 4);
-  if (count < 1) return std::nullopt;
-  return static_cast<std::size_t>(count);
+  return Manifest::ReadShardCount(dir);
 }
 
 RecoveryManager::RecoveryManager(std::string dir) : dir_(std::move(dir)) {}
@@ -147,20 +101,22 @@ RecoveryManager::LayoutCheck RecoveryManager::ValidateShardLayout(
     std::size_t expected_shards) const {
   LayoutCheck check;
   const bool manifest_file = std::filesystem::exists(ManifestPath(dir_));
-  const std::optional<std::size_t> count = ReadManifest(dir_);
+  const std::optional<std::size_t> count = Manifest::ReadShardCount(dir_);
   if (!count) {
     if (manifest_file) {
       check.ok = false;
       check.error = "corrupt manifest: " + ManifestPath(dir_);
       return check;
     }
-    if (std::filesystem::exists(WalPath(dir_))) {
+    if (std::filesystem::exists(WalPath(dir_)) && expected_shards != 1) {
       check.ok = false;
       check.error = "unsharded layout (wal.log, no manifest) in " + dir_ +
-                    "; sharded replicas cannot adopt it";
+                    "; its keys were never striped, so a " +
+                    std::to_string(expected_shards) +
+                    "-shard replica cannot adopt it";
       return check;
     }
-    return check;  // fresh directory
+    return check;  // fresh directory (or single-shard legacy: migrates)
   }
   check.manifest_present = true;
   check.shard_count = *count;
@@ -171,11 +127,42 @@ RecoveryManager::LayoutCheck RecoveryManager::ValidateShardLayout(
                   std::to_string(expected_shards);
     return check;
   }
+
+  const Manifest manifest(dir_, expected_shards);
+  if (!manifest.info().ok) {
+    check.ok = false;
+    check.error = manifest.info().error;
+    return check;
+  }
   for (std::size_t s = 0; s < *count; ++s) {
-    if (!std::filesystem::exists(ShardWalPath(dir_, s))) {
-      check.ok = false;
-      check.error = "missing WAL segment: " + ShardWalPath(dir_, s);
-      return check;
+    const ShardFiles files = manifest.Shard(s);
+    if (!files.present) {
+      // v1 manifest (or a shard that never committed its v2 entry): the
+      // legacy segment must exist — except under a v2 manifest, where a
+      // non-present shard is simply one that has not been opened yet.
+      if (manifest.info().version == 1 &&
+          !std::filesystem::exists(ShardWalPath(dir_, s))) {
+        check.ok = false;
+        check.error = "missing WAL segment: " + ShardWalPath(dir_, s);
+        return check;
+      }
+      continue;
+    }
+    for (const std::uint64_t id : files.segments) {
+      const std::string path = Manifest::SegmentPath(dir_, s, id);
+      if (!std::filesystem::exists(path)) {
+        check.ok = false;
+        check.error = "missing WAL segment: " + path;
+        return check;
+      }
+    }
+    for (const std::uint64_t id : files.checkpoints) {
+      const std::string path = Manifest::CheckpointPath(dir_, s, id);
+      if (!std::filesystem::exists(path)) {
+        check.ok = false;
+        check.error = "missing checkpoint: " + path;
+        return check;
+      }
     }
   }
   return check;
@@ -184,7 +171,7 @@ RecoveryManager::LayoutCheck RecoveryManager::ValidateShardLayout(
 RecoveryManager::ReplicaResult RecoveryManager::RecoverReplica() const {
   ReplicaResult out;
   const bool manifest_file = std::filesystem::exists(ManifestPath(dir_));
-  const std::optional<std::size_t> count = ReadManifest(dir_);
+  const std::optional<std::size_t> count = Manifest::ReadShardCount(dir_);
   if (!count) {
     if (manifest_file) {
       out.ok = false;
@@ -200,22 +187,82 @@ RecoveryManager::ReplicaResult RecoveryManager::RecoverReplica() const {
     out.torn_segments = r.torn_tail ? 1 : 0;
     return out;
   }
+
+  const Manifest manifest(dir_, *count);
+  if (!manifest.info().ok) {
+    out.ok = false;
+    out.error = manifest.info().error;
+    return out;
+  }
   out.shard_count = *count;
   for (std::size_t s = 0; s < *count; ++s) {
-    if (!std::filesystem::exists(ShardWalPath(dir_, s))) {
-      out.ok = false;
-      out.error = "missing WAL segment: " + ShardWalPath(dir_, s);
-      return out;
+    const ShardFiles files = manifest.Shard(s);
+    Image shard_image;
+    std::uint64_t replayed = 0;
+    std::size_t torn = 0;
+
+    if (!files.present) {
+      // Pre-migration shard: its state is the legacy pair. A v1 manifest
+      // promises the segment exists; refuse if it vanished.
+      if (manifest.info().version == 1 &&
+          !std::filesystem::exists(ShardWalPath(dir_, s))) {
+        out.ok = false;
+        out.error = "missing WAL segment: " + ShardWalPath(dir_, s);
+        return out;
+      }
+      Result r = RecoverShard(s);
+      shard_image = std::move(r.image);
+      replayed = r.replayed;
+      torn = r.torn_tail ? 1 : 0;
+    } else {
+      // v2 shard: materialize the checkpoint chain oldest → newest, then
+      // replay the segment chain over it.
+      for (const std::uint64_t id : files.checkpoints) {
+        const std::string path = Manifest::CheckpointPath(dir_, s, id);
+        const std::unique_ptr<CheckpointReader> reader =
+            CheckpointReader::Open(path);
+        if (reader == nullptr) {
+          out.ok = false;
+          out.error = "missing or corrupt checkpoint: " + path;
+          return out;
+        }
+        reader->Scan([&shard_image](const std::string& key,
+                                    const Versioned& v) {
+          shard_image.ApplyWrite(key, v.version, v.value);
+        });
+        shard_image.ApplyConfig(reader->generation(), reader->config_id());
+      }
+      for (const std::uint64_t id : files.segments) {
+        const std::string path = Manifest::SegmentPath(dir_, s, id);
+        if (!std::filesystem::exists(path)) {
+          out.ok = false;
+          out.error = "missing WAL segment: " + path;
+          return out;
+        }
+        const Wal::ReplayResult replay =
+            Wal::Replay(path, [&shard_image](const WalRecord& r) {
+              switch (r.type) {
+                case WalRecord::Type::kWrite:
+                  shard_image.ApplyWrite(r.key, r.version, r.value);
+                  break;
+                case WalRecord::Type::kConfig:
+                  shard_image.ApplyConfig(r.generation, r.config_id);
+                  break;
+              }
+            });
+        replayed += replay.records;
+        if (replay.torn_tail) ++torn;
+      }
     }
-    Result r = RecoverShard(s);
-    // Segments are key-disjoint, so this merge never conflicts on a key;
+
+    // Shards are key-disjoint, so this merge never conflicts on a key;
     // the store-wide (generation, config_id) stamp takes the max.
-    for (const auto& [key, v] : r.image.data) {
+    for (const auto& [key, v] : shard_image.data) {
       out.image.ApplyWrite(key, v.version, v.value);
     }
-    out.image.ApplyConfig(r.image.generation, r.image.config_id);
-    out.replayed += r.replayed;
-    if (r.torn_tail) ++out.torn_segments;
+    out.image.ApplyConfig(shard_image.generation, shard_image.config_id);
+    out.replayed += replayed;
+    out.torn_segments += torn;
   }
   return out;
 }

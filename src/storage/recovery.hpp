@@ -1,22 +1,25 @@
 // RecoveryManager: rebuild a replica's Image from its durability directory.
 //
-// Recovery = load the snapshot (if any, CRC-validated) then replay the WAL
-// over it with the live server's own merge rule. The result is exactly the
-// state the replica had durably acknowledged before it lost volatile
-// memory; anything after the last synced record is gone — which is the
-// failure the quorum protocol is built to absorb (Lemma 8: any read quorum
-// still intersects every write quorum, so the highest-versioned surviving
-// copy is the logical state).
+// v2 engine layout: `MANIFEST` (v2) names, per shard, a chain of WAL
+// segments (`shard_<s>/seg_<id>.log`) and a chain of sorted checkpoint
+// runs (`shard_<s>/ckpt_<id>.blk`). Recovery = open the checkpoint chain,
+// replay the segment chain over it with the live server's own merge rule.
+// The result is exactly the state the replica had durably acknowledged
+// before it lost volatile memory; anything after the last synced record
+// is gone — which is the failure the quorum protocol is built to absorb
+// (Lemma 8: any read quorum still intersects every write quorum, so the
+// highest-versioned surviving copy is the logical state).
 //
-// Sharded layout: a replica running S worker shards stripes its log as
-// `wal_<s>.log` + `snapshot_<s>.bin`, one pair per shard, plus a MANIFEST
-// pinning S. Keys are routed to shards by a hash that is stable across
-// runs, so segment s contains *only* shard s's keys and each segment can
-// be recovered independently; merging segment images is conflict-free.
+// Legacy layouts remain first-class inputs: a v1 unsharded store
+// (`wal.log` / `snapshot.bin`) or a v1 sharded store (`wal_<s>.log` +
+// `snapshot_<s>.bin` + MANIFEST v1) recovers here directly, and the
+// DurableBackend migrates it in place on first open (legacy image →
+// base checkpoint → v2 manifest entry → legacy files deleted).
+//
 // The manifest makes partial layouts detectable: recovery with a missing
-// segment, or a configured shard count that disagrees with the manifest,
-// is rejected outright instead of silently resurrecting a subset of the
-// acked state.
+// referenced file, or a configured shard count that disagrees with the
+// manifest, is rejected outright instead of silently resurrecting a
+// subset of the acked state.
 #pragma once
 
 #include <optional>
@@ -31,18 +34,22 @@ class RecoveryManager {
  public:
   /// `wal.log` inside `dir` (legacy unsharded layout).
   static std::string WalPath(const std::string& dir);
-  /// `wal_<shard>.log` inside `dir`.
+  /// `wal_<shard>.log` inside `dir` (legacy v1 sharded layout).
   static std::string ShardWalPath(const std::string& dir, std::size_t shard);
-  /// `snapshot_<shard>.bin` inside `dir`.
+  /// `snapshot_<shard>.bin` inside `dir` (legacy v1 sharded layout).
   static std::string ShardSnapshotPath(const std::string& dir,
                                        std::size_t shard);
   /// `MANIFEST` inside `dir`.
   static std::string ManifestPath(const std::string& dir);
 
-  /// Atomically (tmp + rename) record `shard_count` in `dir`'s manifest.
+  /// Atomically (tmp + rename) write a **v1** manifest pinning
+  /// `shard_count`. The live engine writes v2 manifests through
+  /// storage::Manifest; this writer exists so tests can fabricate
+  /// legacy stores and exercise the migration path.
   static void WriteManifest(const std::string& dir, std::size_t shard_count);
-  /// The manifest's shard count; nullopt when the file is absent or fails
-  /// validation (bad magic, short file, CRC mismatch).
+  /// The manifest's shard count, accepting either manifest version;
+  /// nullopt when the file is absent or fails validation (bad magic,
+  /// short file, CRC mismatch).
   static std::optional<std::size_t> ReadManifest(const std::string& dir);
 
   explicit RecoveryManager(std::string dir);
@@ -55,12 +62,12 @@ class RecoveryManager {
     bool torn_tail = false;           // trailing garbage detected and cut
   };
 
-  /// Rebuild the image from the unsharded layout (`wal.log`). Does not
-  /// modify any file; the caller decides whether to truncate the WAL to
-  /// `wal_valid_bytes` before appending.
+  /// Rebuild the image from the legacy unsharded layout (`wal.log`).
+  /// Does not modify any file; the caller decides whether to truncate
+  /// the WAL to `wal_valid_bytes` before appending.
   Result Recover() const;
 
-  /// Rebuild one shard's image from its segment pair.
+  /// Rebuild one shard's image from its legacy v1 segment pair.
   Result RecoverShard(std::size_t shard) const;
 
   struct LayoutCheck {
@@ -71,25 +78,29 @@ class RecoveryManager {
   };
 
   /// Verify the directory can host a replica configured with
-  /// `expected_shards` shards. A fresh directory (no manifest, no legacy
-  /// wal.log) passes; a manifest disagreeing with `expected_shards`, a
-  /// corrupt manifest, a manifest with a missing WAL segment, or a legacy
-  /// unsharded log all fail with a diagnostic.
+  /// `expected_shards` shards. Passes: a fresh directory, a matching v2
+  /// layout (every referenced file present), or a matching v1 layout
+  /// (every legacy segment present — it will migrate on open). Fails
+  /// with a diagnostic: a corrupt manifest, a shard-count mismatch, a
+  /// referenced file missing, or a legacy unsharded log that a
+  /// multi-shard replica cannot adopt (its keys were never striped).
   LayoutCheck ValidateShardLayout(std::size_t expected_shards) const;
 
   struct ReplicaResult {
     bool ok = true;
     std::string error;            // set when !ok
-    Image image;                  // merged across all segments
-    std::size_t shard_count = 0;  // segments merged
-    std::uint64_t replayed = 0;   // total WAL records applied
+    Image image;                  // merged across all shards
+    std::size_t shard_count = 0;  // shards merged
+    std::uint64_t replayed = 0;   // WAL records applied, total
     std::size_t torn_segments = 0;
   };
 
-  /// Rebuild the whole replica image by recovering and merging every
-  /// segment the manifest names (or the legacy single log when no manifest
-  /// exists). Refuses — rather than recovering a silent subset — when the
-  /// manifest is corrupt or any named segment file is missing.
+  /// Rebuild the whole replica image offline by materializing every
+  /// shard the manifest names — v2 shards from checkpoint chain + segment
+  /// replay, pre-migration shards from their legacy files, and the legacy
+  /// single log when no manifest exists. Refuses — rather than recovering
+  /// a silent subset — when the manifest is corrupt or any referenced
+  /// file is missing.
   ReplicaResult RecoverReplica() const;
 
  private:

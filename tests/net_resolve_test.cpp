@@ -1,0 +1,119 @@
+// Endpoint resolution (getaddrinfo) and IPv6 end-to-end: numeric IPv4
+// and IPv6 literals, hostnames, failure reporting, and a two-node
+// TcpTransport universe exchanging frames over ::1.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "net/tcp_transport.hpp"
+
+namespace qcnt::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ResolveEndpoint, NumericV4Literal) {
+  std::string error;
+  const auto addr = ResolveEndpoint("127.0.0.1", 4321, /*passive=*/false,
+                                    &error);
+  ASSERT_TRUE(addr) << error;
+  EXPECT_EQ(addr->family, AF_INET);
+  const auto* v4 = reinterpret_cast<const sockaddr_in*>(&addr->addr);
+  EXPECT_EQ(ntohs(v4->sin_port), 4321);
+  EXPECT_EQ(ntohl(v4->sin_addr.s_addr), 0x7f000001u);
+  EXPECT_EQ(addr->len, sizeof(sockaddr_in));
+}
+
+TEST(ResolveEndpoint, NumericV6Literal) {
+  std::string error;
+  const auto addr = ResolveEndpoint("::1", 4321, /*passive=*/false, &error);
+  ASSERT_TRUE(addr) << error;
+  EXPECT_EQ(addr->family, AF_INET6);
+  const auto* v6 = reinterpret_cast<const sockaddr_in6*>(&addr->addr);
+  EXPECT_EQ(ntohs(v6->sin6_port), 4321);
+  EXPECT_TRUE(IN6_IS_ADDR_LOOPBACK(&v6->sin6_addr));
+  EXPECT_EQ(addr->len, sizeof(sockaddr_in6));
+}
+
+TEST(ResolveEndpoint, HostnameResolves) {
+  std::string error;
+  const auto addr = ResolveEndpoint("localhost", 80, /*passive=*/false,
+                                    &error);
+  ASSERT_TRUE(addr) << error;
+  // Either family is a valid answer; the port must ride along.
+  ASSERT_TRUE(addr->family == AF_INET || addr->family == AF_INET6);
+  if (addr->family == AF_INET) {
+    EXPECT_EQ(
+        ntohs(reinterpret_cast<const sockaddr_in*>(&addr->addr)->sin_port),
+        80);
+  } else {
+    EXPECT_EQ(
+        ntohs(reinterpret_cast<const sockaddr_in6*>(&addr->addr)->sin6_port),
+        80);
+  }
+}
+
+TEST(ResolveEndpoint, PassiveWildcardForBind) {
+  std::string error;
+  const auto addr = ResolveEndpoint("0.0.0.0", 0, /*passive=*/true, &error);
+  ASSERT_TRUE(addr) << error;
+  EXPECT_EQ(addr->family, AF_INET);
+}
+
+TEST(ResolveEndpoint, GarbageHostFailsWithDiagnostic) {
+  std::string error;
+  const auto addr = ResolveEndpoint(
+      "no-such-host.invalid.qcnt.test.", 1, /*passive=*/false, &error);
+  EXPECT_FALSE(addr);
+  EXPECT_FALSE(error.empty());
+}
+
+// Two transport instances, each hosting one node, talking over the IPv6
+// loopback — the full bind/listen/connect/frame path on AF_INET6.
+TEST(TcpIpv6, TwoNodeUniverseExchangesFramesOverV6Loopback) {
+  if (!ResolveEndpoint("::1", 0, /*passive=*/true)) {
+    GTEST_SKIP() << "no IPv6 loopback on this host";
+  }
+  TcpTransportOptions options;
+  options.universe = {Endpoint{"::1", 0}, Endpoint{"::1", 0}};
+  std::unique_ptr<TcpTransport> a, b;
+  try {
+    a = std::make_unique<TcpTransport>(options, std::vector<NodeId>{0});
+    b = std::make_unique<TcpTransport>(options, std::vector<NodeId>{1});
+  } catch (const TransportIoError& e) {
+    GTEST_SKIP() << "cannot bind on ::1: " << e.what();
+  }
+  // Ephemeral ports: teach each side the other's actual endpoint.
+  a->SetPeerEndpoint(1, b->ActualEndpoint(1));
+  b->SetPeerEndpoint(0, a->ActualEndpoint(0));
+
+  RtMessage ping;
+  ping.kind = RtMessage::Kind::kReadReq;
+  ping.key = "over-v6";
+  ping.op = 99;
+  ASSERT_TRUE(a->Send(0, 1, ping));
+  const auto got =
+      b->MailboxOf(1).Pop(std::chrono::steady_clock::now() + 5s);
+  ASSERT_TRUE(got.has_value()) << "frame never arrived over ::1";
+  EXPECT_EQ(got->from, 0u);
+  EXPECT_EQ(got->msg.key, "over-v6");
+  EXPECT_EQ(got->msg.op, 99u);
+
+  // And the reverse direction (b dials a).
+  RtMessage pong;
+  pong.kind = RtMessage::Kind::kReadResp;
+  pong.op = 99;
+  ASSERT_TRUE(b->Send(1, 0, pong));
+  const auto back =
+      a->MailboxOf(0).Pop(std::chrono::steady_clock::now() + 5s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->msg.op, 99u);
+}
+
+}  // namespace
+}  // namespace qcnt::net

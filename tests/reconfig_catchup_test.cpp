@@ -29,6 +29,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <optional>
@@ -470,6 +471,77 @@ INSTANTIATE_TEST_SUITE_P(Transports, MembershipE2E,
                          [](const auto& info) {
                            return std::string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Spill-mode donors: catchup streamed from the checkpoint chain.
+// ---------------------------------------------------------------------------
+
+// With spill_cold_reads the donors' in-memory maps hold only the
+// un-checkpointed tail, so the bulk of the joiner's pull must come out
+// of ServeCatchup's cold half (Backend::ScanAbove over the checkpoint
+// chain, merged with the hot tail). The joiner must still end up with
+// every acked key at the acked value.
+TEST(CatchupSpill, JoinerPullsColdCheckpointStateFromDonors) {
+  namespace fs = std::filesystem;
+  const std::string dir = "reconfig_catchup_spill_scratch";
+  fs::remove_all(dir);
+
+  constexpr int kColdKeys = 150;
+  const auto key = [](int i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "cold_%04d", i);
+    return std::string(buf);
+  };
+  {
+    StoreOptions options;
+    options.replicas = 3;
+    options.shards_per_replica = 2;
+    storage::DurabilityOptions durability;
+    durability.directory = dir;
+    durability.fsync = storage::FsyncPolicy::kAlways;
+    durability.checkpoint_tail_bytes = 1024;  // evict early and often
+    durability.segment_bytes = 512;
+    durability.spill_cold_reads = true;
+    options.durability = durability;
+    ReplicatedStore store(options);
+
+    {
+      auto preload = store.MakeClient();
+      for (int i = 0; i < kColdKeys; ++i) {
+        ASSERT_TRUE(preload->Write(key(i), 1000 + i).ok) << key(i);
+      }
+    }
+    ASSERT_GE(store.TotalStorageStats().checkpoints_written, 3u)
+        << "preload never spilled — the test would only cover the hot path";
+
+    const MembershipReport join = AddReplica(store);
+    ASSERT_TRUE(join.ok) << join.error;
+    EXPECT_EQ(store.Members().size(), 4u);
+    EXPECT_GE(join.catchup_entries + join.seal_entries,
+              static_cast<std::uint64_t>(kColdKeys));
+
+    // The joiner's logical image (Peek overlays its own cold chain)
+    // holds every preloaded key at the acked value.
+    const runtime::ReplicaSnapshot snap = store.ReplicaPeek(join.node);
+    for (int i = 0; i < kColdKeys; ++i) {
+      const auto it = snap.image.data.find(key(i));
+      ASSERT_TRUE(it != snap.image.data.end())
+          << key(i) << " never reached the joiner";
+      EXPECT_EQ(it->second.value, 1000 + i) << key(i);
+    }
+
+    // And the joiner carries real read quorums: with a founder down,
+    // majority-of-4 needs it.
+    store.Crash(0);
+    auto audit = store.MakeClient();
+    for (int i = 0; i < kColdKeys; i += 13) {
+      const runtime::ClientResult r = audit->Read(key(i));
+      ASSERT_TRUE(r.ok) << key(i);
+      EXPECT_EQ(r.value, 1000 + i);
+    }
+  }
+  fs::remove_all(dir);
+}
 
 }  // namespace
 }  // namespace qcnt::reconfig

@@ -14,6 +14,7 @@
 
 #include "runtime/sharding.hpp"
 #include "runtime/store.hpp"
+#include "storage/manifest.hpp"
 #include "storage/recovery.hpp"
 
 namespace qcnt::runtime {
@@ -46,7 +47,8 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
       .directory = scratch.path,
       .fsync = storage::FsyncPolicy::kAlways,
       .group_commit_window = 500us,
-      .snapshot_threshold_bytes = 64u << 20,  // never compact mid-test
+      .checkpoint_tail_bytes = 64u << 20,  // never checkpoint mid-test
+      .segment_bytes = 64u << 20,          // ... and never rotate
   };
   ReplicatedStore store(std::move(options));
   auto client = store.MakeAsyncClient(
@@ -84,8 +86,10 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
   //    nothing interleaved out of order and nothing past the crash point
   //    it could not have applied.
   std::map<std::string, std::uint64_t> last_version;
-  const std::string wal_path = storage::RecoveryManager::ShardWalPath(
-      scratch.path + "/replica_2", 0);
+  // No rotation or checkpoint at these thresholds: the shard's whole
+  // stream is its first segment (file id 1).
+  const std::string wal_path =
+      storage::Manifest::SegmentPath(scratch.path + "/replica_2", 0, 1);
   std::uint64_t replayed = 0;
   storage::Wal::Replay(wal_path, [&](const storage::WalRecord& rec) {
     ASSERT_EQ(rec.type, storage::WalRecord::Type::kWrite);
@@ -151,7 +155,8 @@ TEST(BatchCrash, ShardedRecoveryYieldsPerItemPrefix) {
       .directory = scratch.path,
       .fsync = storage::FsyncPolicy::kAlways,
       .group_commit_window = 500us,
-      .snapshot_threshold_bytes = 64u << 20,  // never compact mid-test
+      .checkpoint_tail_bytes = 64u << 20,  // never checkpoint mid-test
+      .segment_bytes = 64u << 20,          // ... and never rotate
   };
   ReplicatedStore store(std::move(options));
   ASSERT_EQ(store.ShardsPerReplica(), kShards);
@@ -183,7 +188,7 @@ TEST(BatchCrash, ShardedRecoveryYieldsPerItemPrefix) {
   std::uint64_t replayed = 0;
   for (std::size_t s = 0; s < kShards; ++s) {
     const std::string wal_path =
-        storage::RecoveryManager::ShardWalPath(replica_dir, s);
+        storage::Manifest::SegmentPath(replica_dir, s, 1);
     ASSERT_TRUE(fs::exists(wal_path)) << wal_path;
     storage::Wal::Replay(wal_path, [&](const storage::WalRecord& rec) {
       ASSERT_EQ(rec.type, storage::WalRecord::Type::kWrite);
@@ -254,12 +259,12 @@ TEST(BatchCrash, MissingShardSegmentIsRejectedNotSilentlyDropped) {
 
   store.Crash(2);
   const std::string replica_dir = scratch.path + "/replica_2";
-  fs::remove(storage::RecoveryManager::ShardWalPath(replica_dir, 2));
+  fs::remove(storage::Manifest::SegmentPath(replica_dir, 2, 1));
 
   const auto merged =
       storage::RecoveryManager(replica_dir).RecoverReplica();
   EXPECT_FALSE(merged.ok);
-  EXPECT_NE(merged.error.find("wal_2.log"), std::string::npos)
+  EXPECT_NE(merged.error.find("shard_2/seg_1.log"), std::string::npos)
       << merged.error;
   EXPECT_ANY_THROW(store.Recover(2));
 }
@@ -336,7 +341,7 @@ TEST(BatchCrash, TornSegmentTailIsTruncatedAndReported) {
   }
   const std::string replica_dir = scratch.path + "/replica_0";
   const std::string torn =
-      storage::RecoveryManager::ShardWalPath(replica_dir, 1);
+      storage::Manifest::SegmentPath(replica_dir, 1, 1);
   fs::resize_file(torn, fs::file_size(torn) - 2);
 
   const auto merged =

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "runtime/store.hpp"
+#include "storage/manifest.hpp"
 #include "storage/recovery.hpp"
 
 namespace qcnt::runtime {
@@ -159,7 +160,7 @@ TEST(DurableStore, CrashLosesStateRecoveryRestoresIt) {
 }
 
 /// Restarting the whole store on the same directory recovers from the log
-/// alone (no snapshot was ever taken at the default threshold).
+/// alone (no checkpoint was ever taken at the default threshold).
 TEST(DurableStore, RestartRecoversFromLogOnly) {
   ScratchDir dir("log_only");
   {
@@ -167,7 +168,7 @@ TEST(DurableStore, RestartRecoversFromLogOnly) {
     auto client = store.MakeClient();
     ASSERT_TRUE(client->Write("x", 7).ok);
     ASSERT_TRUE(client->Write("y", 8).ok);
-    EXPECT_EQ(store.TotalStorageStats().snapshots_installed, 0u);
+    EXPECT_EQ(store.TotalStorageStats().checkpoints_written, 0u);
   }
   ReplicatedStore store(DurableOptions(dir.path));
   auto client = store.MakeClient();
@@ -176,36 +177,36 @@ TEST(DurableStore, RestartRecoversFromLogOnly) {
   EXPECT_EQ(client->Read("y").value, 8);
 }
 
-/// A tiny snapshot threshold makes every write compact the log; restart
-/// then recovers from the snapshot alone.
-TEST(DurableStore, RestartRecoversFromSnapshotOnly) {
+/// A tiny checkpoint threshold makes every write flush the tail; restart
+/// then recovers from the checkpoint chain alone.
+TEST(DurableStore, RestartRecoversFromCheckpointOnly) {
   ScratchDir dir("snapshot_only");
   StoreOptions options = DurableOptions(dir.path);
-  options.durability->snapshot_threshold_bytes = 1;
+  options.durability->checkpoint_tail_bytes = 1;
   {
     ReplicatedStore store(std::move(options));
     auto client = store.MakeClient();
     ASSERT_TRUE(client->Write("x", 1).ok);
     ASSERT_TRUE(client->Write("x", 2).ok);
     ASSERT_TRUE(client->Write("z", 3).ok);
-    EXPECT_GT(store.TotalStorageStats().snapshots_installed, 0u);
+    EXPECT_GT(store.TotalStorageStats().checkpoints_written, 0u);
   }
   StoreOptions reopened = DurableOptions(dir.path);
-  reopened.durability->snapshot_threshold_bytes = 1;
+  reopened.durability->checkpoint_tail_bytes = 1;
   ReplicatedStore store(std::move(reopened));
   auto client = store.MakeClient();
-  // Every log was compacted away; recovery replayed nothing.
+  // Every segment was compacted away; recovery replayed nothing.
   EXPECT_EQ(store.TotalStorageStats().recovery_replayed, 0u);
   EXPECT_EQ(client->Read("x").value, 2);
   EXPECT_EQ(client->Read("z").value, 3);
 }
 
-/// A mid-size threshold exercises snapshot + log tail recovery.
-TEST(DurableStore, RestartRecoversFromSnapshotPlusTail) {
+/// A mid-size threshold exercises checkpoint chain + log tail recovery.
+TEST(DurableStore, RestartRecoversFromCheckpointPlusTail) {
   ScratchDir dir("snapshot_tail");
   StoreOptions options = DurableOptions(dir.path);
-  // Roughly two records per compaction: snapshots happen, tails remain.
-  options.durability->snapshot_threshold_bytes = 100;
+  // Roughly two records per checkpoint: checkpoints happen, tails remain.
+  options.durability->checkpoint_tail_bytes = 100;
   std::map<std::string, std::int64_t> spec;
   {
     ReplicatedStore store(std::move(options));
@@ -215,10 +216,10 @@ TEST(DurableStore, RestartRecoversFromSnapshotPlusTail) {
       ASSERT_TRUE(client->Write(key, i * 11).ok);
       spec[key] = i * 11;
     }
-    EXPECT_GT(store.TotalStorageStats().snapshots_installed, 0u);
+    EXPECT_GT(store.TotalStorageStats().checkpoints_written, 0u);
   }
   StoreOptions reopened = DurableOptions(dir.path);
-  reopened.durability->snapshot_threshold_bytes = 100;
+  reopened.durability->checkpoint_tail_bytes = 100;
   ReplicatedStore store(std::move(reopened));
   auto client = store.MakeClient();
   for (const auto& [key, expected] : spec) {
@@ -239,10 +240,12 @@ TEST(DurableStore, TornFinalRecordDiscardedOnRecovery) {
     ASSERT_TRUE(client->Write("x", 1).ok);
     ASSERT_TRUE(client->Write("x", 2).ok);
   }
-  // Tear the last record of replica 2's log only; the other replicas keep
-  // the full history, so the logical state must survive.
-  const std::string wal = storage::RecoveryManager::ShardWalPath(
-      dir.path + "/replica_2", 0);
+  // Tear the last record of replica 2's active segment only; the other
+  // replicas keep the full history, so the logical state must survive.
+  // No rotation happened at the default thresholds, so the chain is just
+  // the first segment (file id 1).
+  const std::string wal =
+      storage::Manifest::SegmentPath(dir.path + "/replica_2", 0, 1);
   ASSERT_TRUE(fs::exists(wal));
   fs::resize_file(wal, fs::file_size(wal) - 2);
 
