@@ -137,6 +137,19 @@ void EncodeFrame(const WireFrame& frame, std::vector<std::uint8_t>& out) {
     PutU64(out, static_cast<std::uint64_t>(e.value));
     PutString(out, e.key);
   }
+  PutU8(out, frame.msg.config.has_value() ? 1 : 0);
+  if (frame.msg.config) {
+    const runtime::ConfigPayload& c = *frame.msg.config;
+    PutU8(out, static_cast<std::uint8_t>(c.descriptor.kind));
+    PutU32(out, c.descriptor.a);
+    PutU32(out, c.descriptor.b);
+    PutU32(out, c.descriptor.read_threshold);
+    PutU32(out, c.descriptor.write_threshold);
+    PutU32(out, static_cast<std::uint32_t>(c.descriptor.votes.size()));
+    for (std::uint32_t v : c.descriptor.votes) PutU32(out, v);
+    PutU32(out, static_cast<std::uint32_t>(c.members.size()));
+    for (NodeId m : c.members) PutU32(out, m);
+  }
 
   const std::uint32_t payload_len =
       static_cast<std::uint32_t>(out.size() - payload_at);
@@ -225,6 +238,52 @@ DecodeResult DecodeFrame(const std::uint8_t* data, std::size_t size,
     e.value = static_cast<std::int64_t>(in.U64());
     e.key = in.String();
     r.frame.msg.batch.push_back(std::move(e));
+  }
+  const std::uint8_t has_config = in.U8();
+  if (in.ok && has_config > 1) {
+    r.status = DecodeStatus::kMalformed;
+    r.frame = WireFrame{};
+    return r;
+  }
+  if (in.ok && has_config == 1) {
+    runtime::ConfigPayload c;
+    const std::uint8_t strategy_kind = in.U8();
+    // CRC already proved the bytes intact: an out-of-range kind is
+    // version skew or hostile, and guessing a quorum system risks
+    // non-intersecting quorums. Reject the frame.
+    if (in.ok && strategy_kind > quorum::kMaxStrategyKind) {
+      r.status = DecodeStatus::kMalformed;
+      r.frame = WireFrame{};
+      return r;
+    }
+    c.descriptor.kind = static_cast<quorum::StrategyKind>(strategy_kind);
+    c.descriptor.a = in.U32();
+    c.descriptor.b = in.U32();
+    c.descriptor.read_threshold = in.U32();
+    c.descriptor.write_threshold = in.U32();
+    const std::uint32_t vote_count = in.U32();
+    // 4 bytes per vote: a hostile count larger than the remaining
+    // payload could hold must not allocate.
+    if (!in.ok || vote_count > in.left / 4) {
+      r.status = DecodeStatus::kMalformed;
+      r.frame = WireFrame{};
+      return r;
+    }
+    c.descriptor.votes.reserve(vote_count);
+    for (std::uint32_t i = 0; in.ok && i < vote_count; ++i) {
+      c.descriptor.votes.push_back(in.U32());
+    }
+    const std::uint32_t member_count = in.U32();
+    if (!in.ok || member_count > in.left / 4) {
+      r.status = DecodeStatus::kMalformed;
+      r.frame = WireFrame{};
+      return r;
+    }
+    c.members.reserve(member_count);
+    for (std::uint32_t i = 0; in.ok && i < member_count; ++i) {
+      c.members.push_back(in.U32());
+    }
+    r.frame.msg.config = std::move(c);
   }
   if (!in.ok || in.left != 0) {
     r.status = DecodeStatus::kMalformed;

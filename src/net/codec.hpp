@@ -11,7 +11,20 @@
 //            · value u64 (two's complement) · generation u64
 //            · config_id u32 · key (u32 len · bytes)
 //            · batch_count u32 · batch_count × entry
+//            · has_config u8 · [config]
 //   entry   := op u64 · version u64 · value u64 · key (u32 len · bytes)
+//   config  := strategy_kind u8 · a u32 · b u32
+//            · read_threshold u32 · write_threshold u32
+//            · vote_count u32 · vote_count × u32
+//            · member_count u32 · member_count × u32
+//
+// has_config must be 0 or 1 (anything else is kMalformed); when 1, the
+// config section describes the configuration `config_id` names — member
+// node ids plus the quorum strategy over them — so a process that never
+// saw the coordinator's ConfigTable::Append can still install it. A
+// strategy_kind beyond kMaxStrategyKind is kMalformed: the CRC proves
+// the bytes arrived intact, so an unknown kind is a version skew or an
+// attack, and guessing a quorum system is how split-brain starts.
 //
 // The CRC covers the payload only; magic/version/length are validated
 // structurally. A frame is self-delimiting, so a TCP byte stream is
@@ -40,7 +53,10 @@ inline constexpr std::uint32_t kFrameMagic = 0x544E4351u;  // "QCNT"
 /// v2: membership-change kinds (kCatchupReq/kCatchupChunk/kCatchupDone/
 /// kJoinReq) joined the kind space. Field layout is unchanged, but a v1
 /// decoder would mis-reject the new kinds, so the version bumps.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// v3: trailing has_config u8 + optional config section (member list +
+/// strategy descriptor) — config writes and fence NACKs are
+/// self-describing across processes.
+inline constexpr std::uint8_t kWireVersion = 3;
 /// magic(4) + version(1) + payload_len(4) + crc32(4).
 inline constexpr std::size_t kFrameHeaderBytes = 13;
 /// Default ceiling on payload_len. Generous: the largest legitimate frame

@@ -167,6 +167,7 @@ QuorumSystem ReadOneWriteAllSystem(ReplicaId n) {
   QuorumSystem s;
   s.name = "read-one-write-all";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kReadOneWriteAll;
   s.has_read = [](std::uint64_t up) { return up != 0; };
   s.has_write = [full](std::uint64_t up) { return (up & full) == full; };
   s.pick_read = [](std::uint64_t up) { return PickLowest(up, 1); };
@@ -180,6 +181,7 @@ QuorumSystem ReadOneWriteAllSystem(ReplicaId n) {
 QuorumSystem ReadAllWriteOneSystem(ReplicaId n) {
   QuorumSystem s = ReadOneWriteAllSystem(n);
   s.name = "read-all-write-one";
+  s.descriptor.kind = StrategyKind::kReadAllWriteOne;
   std::swap(s.has_read, s.has_write);
   std::swap(s.pick_read, s.pick_write);
   return s;
@@ -191,6 +193,7 @@ QuorumSystem MajoritySystem(ReplicaId n) {
   QuorumSystem s;
   s.name = "majority";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kMajority;
   s.has_read = [k](std::uint64_t up) {
     return std::popcount(up) >= static_cast<int>(k);
   };
@@ -215,6 +218,7 @@ QuorumSystem MajorityOverSystem(const std::vector<ReplicaId>& members) {
       MajorityThreshold(static_cast<ReplicaId>(members.size()));
   QuorumSystem s;
   s.name = "majority-over(" + std::to_string(members.size()) + ")";
+  s.descriptor.kind = StrategyKind::kMajority;
   // n is the id-space bound, not the member count: member ids need not be
   // contiguous once replicas join after clients were numbered (membership
   // change), so predicates mask `up` down to the member set first.
@@ -273,6 +277,10 @@ QuorumSystem WeightedVotingSystem(std::vector<std::uint32_t> votes,
   QuorumSystem s;
   s.name = "weighted-voting";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kWeighted;
+  s.descriptor.votes = votes;
+  s.descriptor.read_threshold = read_threshold;
+  s.descriptor.write_threshold = write_threshold;
   s.has_read = [up_votes, read_threshold](std::uint64_t up) {
     return up_votes(up) >= read_threshold;
   };
@@ -300,6 +308,9 @@ QuorumSystem GridSystem(ReplicaId rows, ReplicaId cols) {
   QuorumSystem s;
   s.name = "grid";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kGrid;
+  s.descriptor.a = rows;
+  s.descriptor.b = cols;
   s.has_read = [cols, col_mask](std::uint64_t up) {
     for (ReplicaId c = 0; c < cols; ++c) {
       if ((up & col_mask(c)) == 0) return false;
@@ -395,6 +406,9 @@ QuorumSystem HierarchicalMajoritySystem(ReplicaId branching,
   QuorumSystem s;
   s.name = "hierarchical-majority";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kHierarchical;
+  s.descriptor.a = branching;
+  s.descriptor.b = depth;
   s.has_read = [branching, depth](std::uint64_t up) {
     return HierHas(up, branching, depth, 0);
   };
@@ -484,6 +498,9 @@ QuorumSystem TreeQuorumSystem(ReplicaId branching, ReplicaId levels) {
   QuorumSystem s;
   s.name = "tree-quorum";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kTree;
+  s.descriptor.a = branching;
+  s.descriptor.b = levels;
   s.has_read = [shape](std::uint64_t up) {
     return TreeReadPick(shape, up, 0, nullptr);
   };
@@ -510,6 +527,7 @@ QuorumSystem PrimaryCopySystem(ReplicaId n) {
   QuorumSystem s;
   s.name = "primary-copy";
   s.n = n;
+  s.descriptor.kind = StrategyKind::kPrimaryCopy;
   s.has_read = [](std::uint64_t up) { return (up & 1ull) != 0; };
   s.has_write = s.has_read;
   s.pick_read = [](std::uint64_t up) -> std::optional<Quorum> {
@@ -565,6 +583,110 @@ QuorumSystem FromConfiguration(std::string name, const Configuration& c) {
   };
   s.pick_write = [writes = c.WriteQuorums(), pick](std::uint64_t up) {
     return pick(writes, up);
+  };
+  return s;
+}
+
+QuorumSystem SystemFromDescriptor(const StrategyDescriptor& d, ReplicaId n) {
+  // Throws StrategyConfigError on anything the factories below would
+  // QCNT_CHECK-abort on, so construction failures surface as typed errors.
+  ValidateDescriptor(d, n);
+  QuorumSystem s;
+  switch (d.kind) {
+    case StrategyKind::kMajority:
+      s = MajoritySystem(n);
+      break;
+    case StrategyKind::kReadOneWriteAll:
+      s = ReadOneWriteAllSystem(n);
+      break;
+    case StrategyKind::kReadAllWriteOne:
+      s = ReadAllWriteOneSystem(n);
+      break;
+    case StrategyKind::kGrid:
+      s = GridSystem(d.a, d.b);
+      break;
+    case StrategyKind::kTree:
+      s = TreeQuorumSystem(d.a, d.b);
+      break;
+    case StrategyKind::kHierarchical:
+      s = HierarchicalMajoritySystem(d.a, d.b);
+      break;
+    case StrategyKind::kWeighted:
+      s = WeightedVotingSystem(d.votes, d.read_threshold, d.write_threshold);
+      break;
+    case StrategyKind::kPrimaryCopy:
+      s = PrimaryCopySystem(n);
+      break;
+    case StrategyKind::kOpaque:
+      // Unreachable: ValidateDescriptor rejects kOpaque above.
+      throw StrategyConfigError("opaque descriptor cannot build a system");
+  }
+  s.descriptor = d;
+  return s;
+}
+
+QuorumSystem OverMembers(QuorumSystem base,
+                         const std::vector<ReplicaId>& members) {
+  if (members.size() != base.n) {
+    throw StrategyConfigError(
+        "over-members: strategy '" + ToString(base.descriptor) + "' spans " +
+        std::to_string(base.n) + " structural positions, got " +
+        std::to_string(members.size()) + " members");
+  }
+  std::uint64_t member_mask = 0;
+  ReplicaId max_id = 0;
+  for (ReplicaId m : members) {
+    if (m >= 64) {
+      throw StrategyConfigError(
+          "over-members: member id " + std::to_string(m) +
+          " beyond the 64-id bitmask domain");
+    }
+    if (member_mask & (1ull << m)) {
+      throw StrategyConfigError("over-members: duplicate member id " +
+                                std::to_string(m));
+    }
+    member_mask |= 1ull << m;
+    max_id = std::max(max_id, m);
+  }
+
+  // Real up-mask → positional up-mask (bit i set iff members[i] is up).
+  auto compress = [members](std::uint64_t up) {
+    std::uint64_t pos = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (up & (1ull << members[i])) pos |= 1ull << i;
+    }
+    return pos;
+  };
+  // Positional quorum → real ids.
+  auto expand = [members](Quorum q) {
+    for (ReplicaId& r : q) r = members[static_cast<std::size_t>(r)];
+    Normalize(q);
+    return q;
+  };
+
+  QuorumSystem s;
+  s.name = base.name + "-over(" + std::to_string(members.size()) + ")";
+  s.n = static_cast<ReplicaId>(max_id + 1);
+  s.descriptor = base.descriptor;
+  s.has_read = [compress, f = base.has_read](std::uint64_t up) {
+    return f(compress(up));
+  };
+  s.has_write = [compress, f = base.has_write](std::uint64_t up) {
+    return f(compress(up));
+  };
+  s.pick_read = [compress, expand,
+                 f = base.pick_read](std::uint64_t up)
+      -> std::optional<Quorum> {
+    auto q = f(compress(up));
+    if (!q) return std::nullopt;
+    return expand(std::move(*q));
+  };
+  s.pick_write = [compress, expand,
+                  f = base.pick_write](std::uint64_t up)
+      -> std::optional<Quorum> {
+    auto q = f(compress(up));
+    if (!q) return std::nullopt;
+    return expand(std::move(*q));
   };
   return s;
 }

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "quorum/configuration.hpp"
+#include "quorum/strategy_descriptor.hpp"
 
 namespace qcnt::quorum {
 
@@ -41,6 +42,10 @@ struct QuorumSystem {
   /// Select a cheap read (resp. write) quorum within `up`, if one exists.
   std::function<std::optional<Quorum>(std::uint64_t up)> pick_read;
   std::function<std::optional<Quorum>(std::uint64_t up)> pick_write;
+  /// The value-type identity of this system (kOpaque for hand-built
+  /// systems): what the runtime serializes, compares, and re-derives
+  /// over changed member sets. Every factory below stamps it.
+  StrategyDescriptor descriptor;
 };
 
 // --- Explicit configurations (enumerated; intended for small n) ----------
@@ -91,5 +96,23 @@ QuorumSystem PrimaryCopySystem(ReplicaId n);
 
 /// Wrap an explicit Configuration as a predicate system.
 QuorumSystem FromConfiguration(std::string name, const Configuration& c);
+
+/// Build the system a descriptor names, over the contiguous structural
+/// universe [0, n). Validates first (ValidateDescriptor) and throws
+/// StrategyConfigError — never a QCNT_CHECK abort — on bad parameters or
+/// a shape that cannot cover n. The returned system carries `d` as its
+/// descriptor.
+QuorumSystem SystemFromDescriptor(const StrategyDescriptor& d, ReplicaId n);
+
+/// Re-home a structural system onto an arbitrary member set: structural
+/// position i plays the role of real replica id members[i]. Predicates
+/// compress a real-id up-mask down to positional form first; picked
+/// quorums are mapped back to real ids. members.size() must equal
+/// base.n, ids must be distinct and < 64 (throws StrategyConfigError).
+/// The wrapped system keeps base's descriptor — membership change uses
+/// this to re-derive a serving strategy over a grown or shrunk id list
+/// (node ids are burned forever, so member sets go non-contiguous).
+QuorumSystem OverMembers(QuorumSystem base,
+                         const std::vector<ReplicaId>& members);
 
 }  // namespace qcnt::quorum

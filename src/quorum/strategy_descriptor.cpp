@@ -1,0 +1,246 @@
+#include "quorum/strategy_descriptor.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+
+namespace qcnt::quorum {
+
+namespace {
+
+[[noreturn]] void Bad(const std::string& what) {
+  throw StrategyConfigError(what);
+}
+
+/// Parse a full base-10 u32 out of `s`; throws naming `what` otherwise.
+std::uint32_t ParseU32(const std::string& s, const char* what) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') {
+    Bad(std::string("strategy spec: ") + what + " is not a number: '" + s +
+        "'");
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE || v > 0xffffffffull) {
+    Bad(std::string("strategy spec: ") + what + " is not a number: '" + s +
+        "'");
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+std::uint64_t TotalVotes(const StrategyDescriptor& d) {
+  return std::accumulate(d.votes.begin(), d.votes.end(), std::uint64_t{0});
+}
+
+}  // namespace
+
+const char* ToString(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kOpaque:
+      return "opaque";
+    case StrategyKind::kMajority:
+      return "majority";
+    case StrategyKind::kReadOneWriteAll:
+      return "rowa";
+    case StrategyKind::kReadAllWriteOne:
+      return "rawo";
+    case StrategyKind::kGrid:
+      return "grid";
+    case StrategyKind::kTree:
+      return "tree";
+    case StrategyKind::kHierarchical:
+      return "hier";
+    case StrategyKind::kWeighted:
+      return "weighted";
+    case StrategyKind::kPrimaryCopy:
+      return "primary";
+  }
+  return "unknown";
+}
+
+std::string ToString(const StrategyDescriptor& d) {
+  std::ostringstream out;
+  out << ToString(d.kind);
+  switch (d.kind) {
+    case StrategyKind::kGrid:
+      out << ":" << d.a << "x" << d.b;
+      break;
+    case StrategyKind::kTree:
+    case StrategyKind::kHierarchical:
+      out << ":" << d.a << "," << d.b;
+      break;
+    case StrategyKind::kWeighted: {
+      out << ":";
+      for (std::size_t i = 0; i < d.votes.size(); ++i) {
+        if (i != 0) out << ",";
+        out << d.votes[i];
+      }
+      out << ":" << d.read_threshold << ":" << d.write_threshold;
+      break;
+    }
+    default:
+      break;
+  }
+  return out.str();
+}
+
+StrategyDescriptor ParseStrategy(const std::string& spec) {
+  StrategyDescriptor d;
+  const auto colon = spec.find(':');
+  const std::string head = spec.substr(0, colon);
+  const std::string rest =
+      colon == std::string::npos ? std::string() : spec.substr(colon + 1);
+
+  if (head == "majority") {
+    d.kind = StrategyKind::kMajority;
+  } else if (head == "rowa" || head == "read-one-write-all" ||
+             head == "read-dominant") {
+    d.kind = StrategyKind::kReadOneWriteAll;
+  } else if (head == "rawo" || head == "read-all-write-one") {
+    d.kind = StrategyKind::kReadAllWriteOne;
+  } else if (head == "primary") {
+    d.kind = StrategyKind::kPrimaryCopy;
+  } else if (head == "grid") {
+    d.kind = StrategyKind::kGrid;
+    const auto dims = SplitOn(rest, 'x');
+    if (dims.size() != 2) Bad("strategy spec: grid wants 'grid:RxC'");
+    d.a = ParseU32(dims[0], "grid rows");
+    d.b = ParseU32(dims[1], "grid cols");
+  } else if (head == "tree" || head == "hier") {
+    d.kind = head == "tree" ? StrategyKind::kTree
+                            : StrategyKind::kHierarchical;
+    const auto dims = SplitOn(rest, ',');
+    if (dims.size() != 2) {
+      Bad("strategy spec: " + head + " wants '" + head +
+          ":branching," + (head == "tree" ? "levels'" : "depth'"));
+    }
+    d.a = ParseU32(dims[0], "branching");
+    d.b = ParseU32(dims[1], head == "tree" ? "levels" : "depth");
+  } else if (head == "weighted") {
+    d.kind = StrategyKind::kWeighted;
+    const auto parts = SplitOn(rest, ':');
+    if (parts.size() != 3) {
+      Bad("strategy spec: weighted wants 'weighted:v1,v2,...:R:W'");
+    }
+    for (const std::string& v : SplitOn(parts[0], ',')) {
+      d.votes.push_back(ParseU32(v, "vote"));
+    }
+    d.read_threshold = ParseU32(parts[1], "read threshold");
+    d.write_threshold = ParseU32(parts[2], "write threshold");
+  } else {
+    Bad("unknown strategy '" + spec +
+        "' (want majority, rowa, rawo, primary, grid:RxC, tree:B,L, "
+        "hier:B,D or weighted:v1,...:R:W)");
+  }
+  // Shape-only checks here; the fit against a concrete member count is
+  // ValidateDescriptor's job (the caller knows its n, the spec does not).
+  if (d.kind != StrategyKind::kWeighted && colon != std::string::npos &&
+      d.kind != StrategyKind::kGrid && d.kind != StrategyKind::kTree &&
+      d.kind != StrategyKind::kHierarchical) {
+    Bad("strategy '" + head + "' takes no parameters");
+  }
+  return d;
+}
+
+ReplicaId RequiredUniverse(const StrategyDescriptor& d) {
+  switch (d.kind) {
+    case StrategyKind::kGrid:
+      return d.a * d.b;
+    case StrategyKind::kHierarchical: {
+      std::uint64_t n = 1;
+      for (std::uint32_t i = 0; i < d.b; ++i) {
+        n *= d.a;
+        if (n > 64) return 65;  // ValidateDescriptor rejects with a message
+      }
+      return static_cast<ReplicaId>(n);
+    }
+    case StrategyKind::kTree: {
+      std::uint64_t n = 0, width = 1;
+      for (std::uint32_t l = 0; l < d.b; ++l) {
+        n += width;
+        width *= d.a;
+        if (n > 64) return 65;
+      }
+      return static_cast<ReplicaId>(n);
+    }
+    case StrategyKind::kWeighted:
+      return static_cast<ReplicaId>(d.votes.size());
+    default:
+      return 0;  // resizes to any n
+  }
+}
+
+void ValidateDescriptor(const StrategyDescriptor& d, ReplicaId n) {
+  if (n < 1 || n > 64) {
+    Bad("strategy '" + ToString(d) + "': member count " + std::to_string(n) +
+        " outside the 64-id quorum bitmask domain");
+  }
+  if (d.kind == StrategyKind::kOpaque) {
+    Bad("opaque quorum system has no parametric description to derive "
+        "from (hand-built configurations cannot resize or cross the "
+        "wire)");
+  }
+  const ReplicaId required = RequiredUniverse(d);
+  if (required != 0 && required != n) {
+    Bad("strategy '" + ToString(d) + "' covers exactly " +
+        std::to_string(required) + " members and cannot serve " +
+        std::to_string(n));
+  }
+  switch (d.kind) {
+    case StrategyKind::kGrid:
+      if (d.a < 1 || d.b < 1) Bad("grid: rows and cols must be >= 1");
+      break;
+    case StrategyKind::kTree:
+    case StrategyKind::kHierarchical:
+      if (d.a < 3 || d.a % 2 == 0) {
+        Bad(std::string(ToString(d.kind)) +
+            ": branching must be odd and >= 3");
+      }
+      if (d.b < 1) {
+        Bad(std::string(ToString(d.kind)) + ": " +
+            (d.kind == StrategyKind::kTree ? "levels" : "depth") +
+            " must be >= 1");
+      }
+      break;
+    case StrategyKind::kWeighted: {
+      if (d.votes.empty()) Bad("weighted: vote vector is empty");
+      const std::uint64_t total = TotalVotes(d);
+      if (total == 0) Bad("weighted: total votes must be positive");
+      if (d.read_threshold < 1 || d.write_threshold < 1) {
+        Bad("weighted: thresholds must be >= 1");
+      }
+      if (d.read_threshold > total || d.write_threshold > total) {
+        Bad("weighted: a threshold exceeds the total votes — no quorum "
+            "could ever assemble");
+      }
+      if (d.read_threshold + std::uint64_t{d.write_threshold} <= total) {
+        Bad("weighted: Gifford constraint violated — read + write "
+            "thresholds must exceed the total votes");
+      }
+      if (2 * std::uint64_t{d.write_threshold} <= total) {
+        Bad("weighted: write-write intersection violated — twice the "
+            "write threshold must exceed the total votes");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace qcnt::quorum

@@ -1,0 +1,103 @@
+// Serializable description of a quorum strategy.
+//
+// A QuorumSystem is a bundle of predicates — perfect for quorum checks,
+// useless for agreement: two processes cannot compare closures, and a
+// replica cannot put one on the wire. The StrategyDescriptor is the
+// value-type identity of a strategy: its family plus the numeric
+// parameters that pin the concrete system (grid dimensions, tree
+// branching, vote vectors). Every factory in strategies.hpp stamps its
+// descriptor into the system it builds, so any configuration the runtime
+// ever installs can be re-derived — over a different member set after a
+// membership change, or inside another process that learned it from a
+// config message (net/codec carries descriptors since wire v3).
+//
+// Validation is fail-fast and typed: ValidateDescriptor/SystemFromDescriptor
+// throw StrategyConfigError (never a deep QCNT_CHECK abort) when the
+// parameters cannot form a legal system over the requested universe —
+// the error a store construction or a membership resize surfaces to its
+// caller instead of crashing the process.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace qcnt::quorum {
+
+/// The strategy families the runtime can (re-)derive. kOpaque marks a
+/// hand-built system (FromConfiguration, or a bare QuorumSystem literal)
+/// whose quorum sets have no parametric description — it cannot cross the
+/// wire or resize with the member set.
+enum class StrategyKind : std::uint8_t {
+  kOpaque = 0,
+  kMajority = 1,
+  /// Read-one-write-all — the read-dominant R=1/W=N extreme.
+  kReadOneWriteAll = 2,
+  kReadAllWriteOne = 3,
+  kGrid = 4,
+  /// Agrawal–El Abbadi tree quorums (every tree node is a replica).
+  kTree = 5,
+  /// Kumar-style recursive majority over a b-ary tree of leaves.
+  kHierarchical = 6,
+  kWeighted = 7,
+  kPrimaryCopy = 8,
+};
+
+/// Largest kind value the wire accepts (codec rejects beyond it).
+inline constexpr std::uint8_t kMaxStrategyKind =
+    static_cast<std::uint8_t>(StrategyKind::kPrimaryCopy);
+
+const char* ToString(StrategyKind kind);
+
+struct StrategyDescriptor {
+  StrategyKind kind = StrategyKind::kOpaque;
+  /// kGrid: rows; kTree / kHierarchical: branching. Unused otherwise.
+  std::uint32_t a = 0;
+  /// kGrid: cols; kTree: levels; kHierarchical: depth. Unused otherwise.
+  std::uint32_t b = 0;
+  /// kWeighted only: one vote count per structural position [0, n).
+  std::vector<std::uint32_t> votes;
+  std::uint32_t read_threshold = 0;
+  std::uint32_t write_threshold = 0;
+
+  bool operator==(const StrategyDescriptor& o) const {
+    return kind == o.kind && a == o.a && b == o.b && votes == o.votes &&
+           read_threshold == o.read_threshold &&
+           write_threshold == o.write_threshold;
+  }
+  bool operator!=(const StrategyDescriptor& o) const { return !(*this == o); }
+};
+
+/// Typed configuration failure: bad parameters, a spec string that parses
+/// to nothing, or a strategy that cannot cover the requested member count
+/// (a full 2×2 grid cannot grow to 5). Thrown instead of asserting deep
+/// inside the factories.
+class StrategyConfigError : public std::runtime_error {
+ public:
+  explicit StrategyConfigError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Canonical spec string, re-parseable by ParseStrategy:
+///   "majority" · "rowa" · "rawo" · "primary" · "grid:2x2" · "tree:3,2"
+///   · "hier:3,2" · "weighted:3,1,1,1,1:3:5". kOpaque renders "opaque".
+std::string ToString(const StrategyDescriptor& d);
+
+/// Parse a spec string (the QCNT_STRATEGY / StoreOptions::strategy
+/// grammar; see ToString). Accepted aliases: "read-one-write-all" and
+/// "read-dominant" for rowa, "read-all-write-one" for rawo. Throws
+/// StrategyConfigError on anything else.
+StrategyDescriptor ParseStrategy(const std::string& spec);
+
+/// The member count the descriptor's shape pins, or 0 when the strategy
+/// resizes to any n ≥ 1 (majority, rowa, rawo, primary).
+ReplicaId RequiredUniverse(const StrategyDescriptor& d);
+
+/// Check that `d` can form a legal system over exactly `n` structural
+/// positions; throws StrategyConfigError naming the violated constraint.
+void ValidateDescriptor(const StrategyDescriptor& d, ReplicaId n);
+
+}  // namespace qcnt::quorum

@@ -25,6 +25,27 @@ std::chrono::steady_clock::time_point Deadline(
 /// Monotone across every coordinator in the process — see the epoch_
 /// comment in the header.
 std::atomic<std::uint64_t> g_coordinator_epoch{0};
+
+/// Re-derive the serving quorum strategy over a changed member set.
+/// Historically membership change installed ConfigTable::Majority(...)
+/// unconditionally, silently discarding whatever grid/tree/weighted/ROWA
+/// strategy the store was serving under — a 3→5→3 cycle came back
+/// majority. Descriptors make the strategy explicit: size-free kinds
+/// (majority, ROWA, RAWO, primary) re-derive over the new member count,
+/// and a kind whose parameters pin the universe size (grid, tree,
+/// hierarchical, weighted votes) throws StrategyConfigError so the
+/// caller refuses the change instead of quietly swapping quorum systems.
+MemberConfig DeriveTargetConfig(const MemberConfig& current,
+                                std::vector<NodeId> members) {
+  const quorum::StrategyDescriptor& d = current.system.descriptor;
+  if (d.kind == quorum::StrategyKind::kOpaque) {
+    // Hand-built system with no serializable recipe: majority over the
+    // new members is the only honest derivation (the pre-descriptor
+    // behavior, kept for opaque configs only).
+    return runtime::ConfigTable::Majority(std::move(members));
+  }
+  return runtime::ConfigTable::FromDescriptor(d, std::move(members));
+}
 }  // namespace
 
 MembershipCoordinator::MembershipCoordinator(
@@ -259,8 +280,11 @@ MembershipReport MembershipCoordinator::Join(
   // Phase C: seal from every old member that acked the stamp. Their
   // images jointly contain every write acked under the old generation,
   // and every one of them now fences older installs — so after this loop
-  // no write the joiner is missing can ever be acked.
-  const MemberConfig joiner_only = runtime::ConfigTable::Majority({joiner});
+  // no write the joiner is missing can ever be acked. The seal targets
+  // exactly one node, so its "quorum" is the joiner itself — this is a
+  // delivery requirement, not a serving strategy, and must not inherit
+  // the store's (possibly non-majority) descriptor.
+  const MemberConfig joiner_only = runtime::ConfigTable::Singleton(joiner);
   for (NodeId member = 0; member < 64; ++member) {
     if ((s_acked & (1ull << member)) == 0) continue;
     if (!StreamImage(member, {joiner}, joiner_only, shards,
@@ -326,8 +350,19 @@ MembershipReport AddReplica(runtime::ReplicatedStore& store,
 
   std::vector<NodeId> grown = donors;
   grown.push_back(joiner);
-  const std::uint32_t target = store.ConfigTableRef()->Append(
-      runtime::ConfigTable::Majority(grown));
+  MemberConfig target_cfg;
+  try {
+    target_cfg = DeriveTargetConfig(
+        *store.ConfigTableRef()->At(store.CurrentConfigId()), grown);
+  } catch (const quorum::StrategyConfigError& err) {
+    report.error =
+        std::string("strategy cannot span the grown membership: ") +
+        err.what();
+    store.RetireReplica(joiner);
+    return report;
+  }
+  const std::uint32_t target =
+      store.ConfigTableRef()->Append(std::move(target_cfg));
 
   MembershipCoordinator coordinator(store.TransportRef(),
                                     store.CoordinatorId(),
@@ -368,8 +403,18 @@ MembershipReport RemoveReplica(runtime::ReplicatedStore& store, NodeId node,
     return report;
   }
   remaining.erase(it);
-  const std::uint32_t target = store.ConfigTableRef()->Append(
-      runtime::ConfigTable::Majority(remaining));
+  MemberConfig target_cfg;
+  try {
+    target_cfg = DeriveTargetConfig(
+        *store.ConfigTableRef()->At(store.CurrentConfigId()), remaining);
+  } catch (const quorum::StrategyConfigError& err) {
+    report.error =
+        std::string("strategy cannot span the shrunk membership: ") +
+        err.what();
+    return report;
+  }
+  const std::uint32_t target =
+      store.ConfigTableRef()->Append(std::move(target_cfg));
 
   MembershipCoordinator coordinator(store.TransportRef(),
                                     store.CoordinatorId(),

@@ -177,16 +177,20 @@ class MembershipCoordinator {
 };
 
 /// Grow `store` by one replica, online: spawn it (fresh node id, grown
-/// transport, running ReplicaServer), append the majority configuration
+/// transport, running ReplicaServer), re-derive the serving strategy
 /// over members + joiner, and run the three-phase join while client
-/// traffic continues. On failure the joiner is retired (its id stays
+/// traffic continues. Fails with a typed error (no membership change)
+/// when the strategy's parameters pin a universe size the grown set
+/// cannot satisfy. On failure the joiner is retired (its id stays
 /// burned; the appended-but-never-stamped configuration is harmless).
 /// Serialized against other membership operations on the same store.
 MembershipReport AddReplica(runtime::ReplicatedStore& store,
                             const MembershipOptions& options = {});
 
-/// Decommission replica `node`, online: append the majority configuration
+/// Decommission replica `node`, online: re-derive the serving strategy
 /// over members − node, drain the leaver, install, then stop the leaver.
+/// Refuses (typed error, no change) when the strategy cannot span the
+/// shrunk set.
 MembershipReport RemoveReplica(runtime::ReplicatedStore& store,
                                runtime::NodeId node,
                                const MembershipOptions& options = {});

@@ -24,6 +24,13 @@ struct OpFuture::State {
   std::uint64_t responded = 0;  // read-phase responder bitmask
   std::uint64_t acked = 0;      // write-phase acker bitmask
   std::uint64_t fenced = 0;     // write-phase generation-NACK bitmask
+  /// Members the current phase's request actually reached; escalation
+  /// fans out to the complement.
+  std::uint64_t sent = 0;
+  /// When to give up on the minimal quorum and fan out (max() = already
+  /// fully fanned out, or nothing staged yet).
+  std::chrono::steady_clock::time_point escalate_at{
+      std::chrono::steady_clock::time_point::max()};
   std::uint64_t best_version = 0;
   std::int64_t best_value = 0;
   std::uint64_t best_generation = 0;
@@ -83,14 +90,105 @@ AsyncQuorumClient::AsyncQuorumClient(Transport& transport, NodeId id,
 
 AsyncQuorumClient::~AsyncQuorumClient() = default;
 
-void AsyncQuorumClient::Broadcast(RtMessage m) {
+void AsyncQuorumClient::SendBatch(RtMessage m, bool write_quorum) {
   stats_.batches_sent += 1;
   stats_.batched_requests += m.batch.size();
   // Target the believed configuration's members at send time: once a
   // response teaches this client a newer generation, the very next flush
   // already reaches the new replica set.
   const auto mc = table_->At(config_id_);
-  for (NodeId r : mc->members) transport_->Send(id_, r, m);
+  // Targeting is a first-attempt fast path; a batch carrying any retry
+  // attempt broadcasts so a struggling op is never starved by proxy.
+  bool targeted = options_.target_minimal;
+  for (const BatchEntry& entry : m.batch) {
+    const auto it = in_flight_.find(entry.op);
+    if (it != in_flight_.end() && it->second->attempt > 1) {
+      targeted = false;
+      break;
+    }
+  }
+  std::uint64_t sent = 0;
+  while (targeted) {
+    const std::uint64_t up = believed_up_ & mc->member_mask;
+    const auto q = write_quorum ? mc->system.pick_write(up)
+                                : mc->system.pick_read(up);
+    if (!q) {
+      // No quorum believed assemblable among up members: broadcast below.
+      targeted = false;
+      break;
+    }
+    bool complete = true;
+    for (const NodeId r : *q) {
+      const std::uint64_t bit = 1ull << r;
+      if (sent & bit) continue;
+      if (transport_->Send(id_, r, m)) {
+        sent |= bit;
+      } else {
+        // The transport knows this node is down right now: drop it from
+        // the believed up-set and re-pick. The mask strictly shrinks, so
+        // this loop terminates.
+        believed_up_ &= ~bit;
+        complete = false;
+      }
+    }
+    if (complete) break;
+  }
+  if (!targeted) {
+    for (const NodeId r : mc->members) {
+      if ((sent & (1ull << r)) == 0) transport_->Send(id_, r, m);
+    }
+    sent = mc->member_mask;
+  }
+  const auto escalate_at =
+      sent == mc->member_mask
+          ? std::chrono::steady_clock::time_point::max()
+          : std::chrono::steady_clock::now() + EscalateDelay();
+  for (const BatchEntry& entry : m.batch) {
+    const auto it = in_flight_.find(entry.op);
+    if (it == in_flight_.end()) continue;
+    it->second->sent = sent;
+    it->second->escalate_at = escalate_at;
+  }
+}
+
+void AsyncQuorumClient::EscalateOp(const std::shared_ptr<Op>& op) {
+  ++stats_.escalations;
+  RtMessage m;
+  if (op->phase == Op::Phase::kRead) {
+    m.kind = RtMessage::Kind::kBatchReadReq;
+    m.batch.push_back(BatchEntry{op->id, op->key, 0, 0});
+  } else {
+    m.kind = RtMessage::Kind::kBatchWriteReq;
+    m.batch.push_back(
+        BatchEntry{op->id, op->key, op->result.version, op->value});
+  }
+  m.generation = generation_;
+  m.config_id = config_id_;
+  stats_.batches_sent += 1;
+  stats_.batched_requests += 1;
+  for (const NodeId r : op->config->members) {
+    if ((op->sent & (1ull << r)) == 0) transport_->Send(id_, r, m);
+  }
+  op->sent = op->config->member_mask;
+  op->escalate_at = std::chrono::steady_clock::time_point::max();
+}
+
+std::chrono::milliseconds AsyncQuorumClient::EscalateDelay() const {
+  if (options_.escalate_after.count() > 0) return options_.escalate_after;
+  const auto quarter = options_.timeout / 4;
+  return quarter.count() > 0 ? quarter : std::chrono::milliseconds(1);
+}
+
+void AsyncQuorumClient::MaybeInstallWireConfig(const RtMessage& m) {
+  if (!m.config || table_->TryAt(m.config_id) != nullptr) return;
+  try {
+    table_->InstallAt(m.config_id,
+                      ConfigTable::FromDescriptor(m.config->descriptor,
+                                                  m.config->members));
+  } catch (const quorum::StrategyConfigError&) {
+    // Hostile or corrupt payload: leave the id unresolvable (Learn then
+    // refuses it, exactly the pre-payload behavior).
+  }
 }
 
 void AsyncQuorumClient::Learn(std::uint64_t generation,
@@ -141,11 +239,17 @@ void AsyncQuorumClient::Admit(const std::shared_ptr<Op>& op) {
 }
 
 void AsyncQuorumClient::StartAttempt(const std::shared_ptr<Op>& op) {
+  // Only first attempts trust the believed-up mask enough to target a
+  // minimal quorum; a retry launching means something went wrong — reset
+  // the mask (the batch it joins broadcasts anyway; see SendBatch).
+  if (op->attempt > 1) believed_up_ = ~0ull;
   op->phase = Op::Phase::kRead;
   op->deadline = std::chrono::steady_clock::now() + options_.timeout;
   op->responded = 0;
   op->acked = 0;
   op->fenced = 0;
+  op->sent = 0;
+  op->escalate_at = std::chrono::steady_clock::time_point::max();
   op->best_version = 0;
   op->best_value = 0;
   op->best_config = config_id_;
@@ -160,9 +264,13 @@ void AsyncQuorumClient::FlushReads() {
   if (staged_reads_.empty()) return;
   RtMessage m;
   m.kind = RtMessage::Kind::kBatchReadReq;
+  // The believed stamp rides along so replies only carry a config payload
+  // when they actually teach this client something newer.
+  m.generation = generation_;
+  m.config_id = config_id_;
   m.batch = std::move(staged_reads_);
   staged_reads_.clear();
-  Broadcast(std::move(m));
+  SendBatch(std::move(m), /*write_quorum=*/false);
 }
 
 void AsyncQuorumClient::FlushWrites() {
@@ -172,9 +280,10 @@ void AsyncQuorumClient::FlushWrites() {
   // The believed generation rides on the whole batch; a replica holding a
   // newer one fences every entry (per-entry NACKs teach the retry).
   m.generation = generation_;
+  m.config_id = config_id_;
   m.batch = std::move(staged_writes_);
   staged_writes_.clear();
-  Broadcast(std::move(m));
+  SendBatch(std::move(m), /*write_quorum=*/true);
 }
 
 void AsyncQuorumClient::Flush() {
@@ -199,8 +308,11 @@ bool AsyncQuorumClient::PumpOnce() {
   // parked ops.
   auto wake = std::chrono::steady_clock::time_point::max();
   for (const auto& [id, op] : in_flight_) {
-    wake = std::min(
-        wake, op->phase == Op::Phase::kBackoff ? op->retry_at : op->deadline);
+    if (op->phase == Op::Phase::kBackoff) {
+      wake = std::min(wake, op->retry_at);
+    } else {
+      wake = std::min(wake, std::min(op->deadline, op->escalate_at));
+    }
   }
   std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(wake);
   const auto now = std::chrono::steady_clock::now();
@@ -238,6 +350,8 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
   // such envelopes are stray traffic, never quorum evidence.
   if (e.from >= 64) return;
   const RtMessage& m = e.msg;
+  believed_up_ |= 1ull << e.from;  // it answered: it is up
+  MaybeInstallWireConfig(m);
   Learn(m.generation, m.config_id);
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : m.batch) {
@@ -291,6 +405,10 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
       const std::uint64_t install = std::max(op->best_version, floor) + 1;
       floor = install;
       op->phase = Op::Phase::kWrite;
+      // The write phase gets its own send bookkeeping; the flush below
+      // (or the next pump) stamps the targeted set and escalation timer.
+      op->sent = 0;
+      op->escalate_at = std::chrono::steady_clock::time_point::max();
       op->result.version = install;
       staged_writes_.push_back(
           BatchEntry{op->id, op->key, install, op->value});
@@ -305,8 +423,10 @@ void AsyncQuorumClient::HandleBatchReadResp(const Envelope& e) {
 
 void AsyncQuorumClient::HandleBatchWriteAck(const Envelope& e) {
   if (e.from >= 64) return;
+  believed_up_ |= 1ull << e.from;  // it answered: it is up
   // A fenced ack still names the newer configuration in its header —
   // that's the notification channel that re-targets the retry.
+  MaybeInstallWireConfig(e.msg);
   Learn(e.msg.generation, e.msg.config_id);
   const std::uint64_t bit = 1ull << e.from;
   for (const BatchEntry& entry : e.msg.batch) {
@@ -416,6 +536,13 @@ void AsyncQuorumClient::HandleTimers(
                        ? ClientStatus::kTimeout
                        : ClientStatus::kNoQuorum);
     }
+  }
+  // Escalations after deadline handling: an op whose minimal quorum has
+  // not assembled in time fans out to the rest of the member set. (Ops
+  // just parked or completed above no longer qualify.)
+  for (const auto& [id, op] : in_flight_) {
+    if (op->phase == Op::Phase::kBackoff) continue;
+    if (op->escalate_at <= now) EscalateOp(op);
   }
 }
 

@@ -88,6 +88,18 @@ class AsyncQuorumClient {
     /// Flush threshold: staged requests are sent once this many coalesce
     /// (Flush()/Drain()/pumping send partial batches earlier).
     std::size_t max_batch = 32;
+    /// First attempts target a *minimal* quorum picked by the installed
+    /// system over the believed-up members instead of broadcasting (the
+    /// message-count win generalized strategies exist for). An op whose
+    /// minimal quorum has not assembled after this long escalates to full
+    /// fan-out (0 = auto: a quarter of the attempt timeout). Batches
+    /// containing any retry attempt broadcast.
+    std::chrono::milliseconds escalate_after{0};
+    /// Disable minimal-quorum targeting: every batch fans out to the
+    /// full member set (the pre-targeting behavior, under which writes
+    /// reach every member rather than just a write quorum — what
+    /// replication-audit tests want).
+    bool target_minimal = true;
   };
 
   /// Client-side batching/latency counters, alongside the replica-side
@@ -102,6 +114,9 @@ class AsyncQuorumClient {
     /// Lemma 8 invariant counter: read responses carrying best_version
     /// with a different value (see QuorumClient::DivergencesObserved).
     std::uint64_t divergences_observed = 0;
+    /// Times a targeted (minimal-quorum) op had to fan out to the full
+    /// member set — its quorum did not assemble within escalate_after.
+    std::uint64_t escalations = 0;
     std::chrono::microseconds total_latency{0};
     std::chrono::microseconds max_latency{0};
   };
@@ -143,9 +158,21 @@ class AsyncQuorumClient {
   using Op = OpFuture::State;
 
   OpFuture Submit(std::string key, bool is_write, std::int64_t value);
-  void Broadcast(RtMessage m);
+  /// Send a batch message to a minimal read/write quorum of the believed
+  /// configuration (full fan-out when the batch carries a retry attempt,
+  /// no quorum is believed assemblable, or targeting is a wash), then
+  /// stamp every in-flight op in the batch with the targeted set and its
+  /// escalation deadline.
+  void SendBatch(RtMessage m, bool write_quorum);
+  /// Fan one op's request out to every member it was not yet sent to —
+  /// its minimal quorum did not assemble within escalate_after.
+  void EscalateOp(const std::shared_ptr<Op>& op);
+  std::chrono::milliseconds EscalateDelay() const;
   /// Adopt (generation, config_id) evidence from a response.
   void Learn(std::uint64_t generation, std::uint32_t config_id);
+  /// Install a self-describing config payload the wire taught us, when
+  /// the shared table cannot resolve its id (see QuorumClient).
+  void MaybeInstallWireConfig(const RtMessage& m);
   void Admit(const std::shared_ptr<Op>& op);
   /// (Re)launch the op's read phase under a fresh deadline: reset quorum
   /// bookkeeping and stage the read request. The op must already carry
@@ -191,6 +218,12 @@ class AsyncQuorumClient {
   /// abandoned ops can never collide with a later install (see
   /// client.hpp).
   std::unordered_map<std::string, std::uint64_t> install_floor_;
+  /// Optimistic up-mask driving minimal-quorum targeting: a bit clears
+  /// when the transport refuses a send (node known down) and sets again
+  /// on any response from that node. Reset to all-up whenever a retry
+  /// attempt launches — targeting is a fast path, never a liveness
+  /// assumption.
+  std::uint64_t believed_up_ = ~0ull;
   Stats stats_;
   Rng backoff_rng_;
 };

@@ -69,6 +69,55 @@ void QuorumClient::BroadcastTo(const MemberConfig& config,
   for (NodeId r : config.members) transport_->Send(id_, r, m);
 }
 
+std::uint64_t QuorumClient::SendToQuorum(const MemberConfig& config,
+                                         const RtMessage& m,
+                                         bool write_quorum) {
+  std::uint64_t sent = 0;
+  for (;;) {
+    const std::uint64_t up = believed_up_ & config.member_mask;
+    const auto q = write_quorum ? config.system.pick_write(up)
+                                : config.system.pick_read(up);
+    if (!q) break;  // no quorum believed assemblable: fall back below
+    bool complete = true;
+    for (const NodeId r : *q) {
+      const std::uint64_t bit = 1ull << r;
+      if (sent & bit) continue;
+      if (transport_->Send(id_, r, m)) {
+        sent |= bit;
+      } else {
+        // The transport knows this node is down right now (in-process
+        // bus refuses sends to crashed nodes): drop it from the believed
+        // up-set and re-pick. The mask strictly shrinks, so this loop
+        // terminates.
+        believed_up_ &= ~bit;
+        complete = false;
+      }
+    }
+    if (complete) return sent;
+  }
+  // No pickable quorum among believed-up members — full fan-out, and
+  // report the whole member set as covered so nothing escalates later.
+  for (const NodeId r : config.members) {
+    if ((sent & (1ull << r)) == 0) transport_->Send(id_, r, m);
+  }
+  return config.member_mask;
+}
+
+std::uint64_t QuorumClient::Escalate(const MemberConfig& config,
+                                     const RtMessage& m, std::uint64_t sent) {
+  ++escalations_;
+  for (const NodeId r : config.members) {
+    if ((sent & (1ull << r)) == 0) transport_->Send(id_, r, m);
+  }
+  return sent | config.member_mask;
+}
+
+std::chrono::milliseconds QuorumClient::EscalateDelay() const {
+  if (options_.escalate_after.count() > 0) return options_.escalate_after;
+  const auto quarter = options_.timeout / 4;
+  return quarter.count() > 0 ? quarter : std::chrono::milliseconds(1);
+}
+
 void QuorumClient::Learn(std::uint64_t generation, std::uint32_t config_id) {
   // Stamps order by (generation, config_id): config ids are append-ordered
   // in the shared table, so when an orphaned stamp from a timed-out
@@ -81,40 +130,81 @@ void QuorumClient::Learn(std::uint64_t generation, std::uint32_t config_id) {
   }
   // Adopt only config ids the shared table can resolve; membership change
   // appends the target before stamping it, so an unresolvable id is stray
-  // or corrupt traffic, never a config this client must chase.
+  // or corrupt traffic, never a config this client must chase. (A wire-
+  // learned payload may have been installed just before this — see
+  // MaybeInstallWireConfig.)
   if (table_->TryAt(config_id) == nullptr) return;
   generation_ = generation;
   config_id_ = config_id;
 }
 
+void QuorumClient::MaybeInstallWireConfig(const RtMessage& m) {
+  if (!m.config || table_->TryAt(m.config_id) != nullptr) return;
+  try {
+    table_->InstallAt(m.config_id,
+                      ConfigTable::FromDescriptor(m.config->descriptor,
+                                                  m.config->members));
+  } catch (const quorum::StrategyConfigError&) {
+    // A payload that cannot form a legal system is hostile or corrupt;
+    // leave the id unresolvable — Learn then refuses it, exactly the
+    // pre-payload behavior.
+  }
+}
+
 QuorumClient::ReadPhase QuorumClient::RunReadPhase(
     const std::string& key, std::uint64_t op,
-    std::chrono::steady_clock::time_point deadline) {
+    std::chrono::steady_clock::time_point deadline, bool targeted) {
   RtMessage req;
   req.kind = RtMessage::Kind::kReadReq;
   req.op = op;
   req.key = key;
+  // The believed stamp rides along so replies only carry a config
+  // payload when they actually teach this client something newer.
+  req.generation = generation_;
+  req.config_id = config_id_;
 
   ReadPhase phase;
   phase.best_config = config_id_;
   phase.best_generation = generation_;
   phase.config = table_->At(config_id_);
-  BroadcastTo(*phase.config, req);
+  std::uint64_t sent;
+  if (targeted) {
+    sent = SendToQuorum(*phase.config, req, /*write_quorum=*/false);
+  } else {
+    BroadcastTo(*phase.config, req);
+    sent = phase.config->member_mask;
+  }
+  auto escalate_at = std::chrono::steady_clock::time_point::max();
+  if ((sent & phase.config->member_mask) != phase.config->member_mask) {
+    escalate_at = std::chrono::steady_clock::now() + EscalateDelay();
+  }
   std::uint64_t responded = 0;
   std::array<std::uint64_t, 64> versions{};
   while (!phase.ok) {
-    std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
+    const auto wake = escalate_at < deadline ? escalate_at : deadline;
+    std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(wake);
     if (!e) {
-      // A blocking Pop returns early only when the mailbox closed: the
-      // store is shutting down and no response will ever arrive.
-      phase.shutdown = std::chrono::steady_clock::now() < deadline;
-      break;
+      if (std::chrono::steady_clock::now() < wake) {
+        // A blocking Pop returns early only when the mailbox closed: the
+        // store is shutting down and no response will ever arrive.
+        phase.shutdown = true;
+        break;
+      }
+      if (wake == deadline) break;  // attempt timed out
+      // The escalation timer fired first: the minimal quorum did not
+      // assemble in time — fan out to everyone not yet probed. (A config
+      // adopted mid-phase is covered too: `sent` tracks real node ids.)
+      sent = Escalate(*phase.config, req, sent);
+      escalate_at = std::chrono::steady_clock::time_point::max();
+      continue;
     }
     // A sender id outside the bitmask domain would shift out of range;
     // such envelopes are stray traffic, never quorum evidence.
     if (e->from >= 64) continue;
     const RtMessage& m = e->msg;
     if (m.op != op || m.kind != RtMessage::Kind::kReadResp) continue;
+    believed_up_ |= 1ull << e->from;  // it answered: it is up
+    MaybeInstallWireConfig(m);
     // Only members of the configuration under evaluation are evidence —
     // neither toward the quorum nor in the freshest-version race. A
     // forged (or decommissioned) sender outside the member set must not
@@ -224,7 +314,15 @@ ClientResult QuorumClient::Read(const std::string& key) {
     result.attempts = static_cast<std::uint32_t>(attempt);
     const std::uint64_t op = next_op_++;  // per-attempt sub-op id
     const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
-    const ReadPhase phase = RunReadPhase(key, op, deadline);
+    // Only the first attempt trusts the believed-up mask enough to target
+    // a minimal quorum; a retry means something went wrong — reset the
+    // mask and broadcast.
+    if (attempt > 1) believed_up_ = ~0ull;
+    // read_repair fans out regardless: repair exists to find and heal
+    // stale replicas outside the minimal quorum.
+    const bool targeted =
+        attempt == 1 && options_.target_minimal && !options_.read_repair;
+    const ReadPhase phase = RunReadPhase(key, op, deadline, targeted);
     if (phase.ok) {
       MaybeRepair(key, op, phase);
       result.ok = true;
@@ -255,7 +353,9 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
     const std::uint64_t op = next_op_++;  // per-attempt sub-op id
     const auto deadline = std::chrono::steady_clock::now() + options_.timeout;
 
-    const ReadPhase phase = RunReadPhase(key, op, deadline);
+    if (attempt > 1) believed_up_ = ~0ull;
+    const bool targeted = attempt == 1 && options_.target_minimal;
+    const ReadPhase phase = RunReadPhase(key, op, deadline, targeted);
     if (!phase.ok) {
       result.status = AttemptStatus(phase, attempt);
       if (phase.shutdown) break;
@@ -273,26 +373,49 @@ ClientResult QuorumClient::Write(const std::string& key, std::int64_t value) {
     // newer one fences the install (NACK) instead of applying it, and the
     // NACK teaches this client the new configuration for the retry.
     w.generation = generation_;
+    w.config_id = config_id_;
     version_floor = w.version;
-    BroadcastTo(*phase.config, w);
 
     const MemberConfig& wc = *phase.config;
+    std::uint64_t sent;
+    if (targeted) {
+      sent = SendToQuorum(wc, w, /*write_quorum=*/true);
+    } else {
+      BroadcastTo(wc, w);
+      sent = wc.member_mask;
+    }
+    auto escalate_at = std::chrono::steady_clock::time_point::max();
+    if ((sent & wc.member_mask) != wc.member_mask) {
+      escalate_at = std::chrono::steady_clock::now() + EscalateDelay();
+    }
     std::uint64_t acked = 0;
     std::uint64_t fenced = 0;
     bool shutdown = false, quorum = true;
     while (!wc.system.has_write(acked & wc.member_mask)) {
-      std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(deadline);
+      const auto wake = escalate_at < deadline ? escalate_at : deadline;
+      std::optional<Envelope> e = transport_->MailboxOf(id_).Pop(wake);
       if (!e) {
-        shutdown = std::chrono::steady_clock::now() < deadline;
-        quorum = false;
-        break;
+        if (std::chrono::steady_clock::now() < wake) {
+          shutdown = true;
+          quorum = false;
+          break;
+        }
+        if (wake == deadline) {
+          quorum = false;
+          break;
+        }
+        sent = Escalate(wc, w, sent);
+        escalate_at = std::chrono::steady_clock::time_point::max();
+        continue;
       }
       if (e->from >= 64) continue;
+      believed_up_ |= 1ull << e->from;
       if ((wc.member_mask & (1ull << e->from)) == 0) continue;
       if (e->msg.op != op || e->msg.kind != RtMessage::Kind::kWriteAck) {
         continue;
       }
       if (e->msg.value != 0) {
+        MaybeInstallWireConfig(e->msg);
         // Fenced: the replica holds a newer generation and refused the
         // install. Not quorum evidence — but it names the configuration
         // the retry must target. A fenced replica's generation only
@@ -376,6 +499,16 @@ ClientResult QuorumClient::Reconfigure(std::uint32_t target,
     cfg.op = op;
     cfg.generation = phase.best_generation + 1;
     cfg.config_id = target;
+    // Self-describing config payload: replicas remember it and echo it on
+    // fence NACKs and stale-stamp replies, so a client whose local table
+    // has no entry for `target` (another process appended it) can install
+    // the exact same quorum system instead of failing to resolve the id.
+    // Hand-built systems carry no descriptor (kOpaque) and stay
+    // table-resolution-only, exactly the pre-payload contract.
+    if (target_cfg->system.descriptor.kind != quorum::StrategyKind::kOpaque) {
+      cfg.config = ConfigPayload{target_cfg->members,
+                                 target_cfg->system.descriptor};
+    }
     stamped = std::max(stamped, cfg.generation);
 
     // Both legs go to the union of old and target members. The quorum
@@ -414,6 +547,7 @@ ClientResult QuorumClient::Reconfigure(std::uint32_t target,
       if (e->msg.kind == RtMessage::Kind::kWriteAck) {
         if (e->msg.value != 0) {
           // Fenced data leg: an even newer generation won the race.
+          MaybeInstallWireConfig(e->msg);
           Learn(e->msg.generation, e->msg.config_id);
           continue;
         }

@@ -79,6 +79,21 @@ class QuorumClient {
     /// stale version (Gifford-style read repair). Repairs are fire-and-
     /// forget; they never delay the read.
     bool read_repair = false;
+    /// First attempts target a *minimal* quorum picked by the installed
+    /// system (pick_read/pick_write over the believed-up set) instead of
+    /// broadcasting to every member — the message-count win generalized
+    /// strategies exist for. If the minimal quorum has not assembled
+    /// after this long, the attempt escalates to full fan-out (0 = auto:
+    /// a quarter of the attempt timeout). Later attempts of the same
+    /// operation always broadcast.
+    std::chrono::milliseconds escalate_after{0};
+    /// Disable minimal-quorum targeting: every phase fans out to the full
+    /// member set, the pre-targeting behavior. Writes then reach every
+    /// member (not just a write quorum) — what replication-audit tests
+    /// and anti-entropy-free deployments want. Reads with `read_repair`
+    /// set always fan out regardless: repair exists to find and heal
+    /// stale replicas *outside* the minimal quorum.
+    bool target_minimal = true;
   };
 
   /// `table` is the shared registry of installable configurations;
@@ -128,6 +143,10 @@ class QuorumClient {
   /// silently masked by the tie-break.
   std::uint64_t DivergencesObserved() const { return divergences_observed_; }
 
+  /// Times a targeted (minimal-quorum) phase had to fan out to the full
+  /// member set — the quorum did not assemble within escalate_after.
+  std::uint64_t Escalations() const { return escalations_; }
+
  private:
   struct ReadPhase {
     bool ok = false;
@@ -147,12 +166,31 @@ class QuorumClient {
   };
 
   void BroadcastTo(const MemberConfig& config, const RtMessage& m);
+  /// Send `m` to a minimal read (or write) quorum picked over the
+  /// believed-up members, falling back to full fan-out when no quorum is
+  /// believed assemblable. Returns the bitmask of members targeted (the
+  /// full member_mask after a fallback, so escalation knows there is
+  /// nothing left to reach).
+  std::uint64_t SendToQuorum(const MemberConfig& config, const RtMessage& m,
+                             bool write_quorum);
+  /// Send `m` to every member not already in `sent`; returns the union.
+  std::uint64_t Escalate(const MemberConfig& config, const RtMessage& m,
+                         std::uint64_t sent);
+  std::chrono::milliseconds EscalateDelay() const;
   /// Adopt (generation, config_id) evidence from a response; newer
   /// generations re-target every later broadcast.
   void Learn(std::uint64_t generation, std::uint32_t config_id);
-  /// Run the read phase for `key` under the current deadline.
+  /// Install a self-describing config payload the wire taught us, when
+  /// the shared table cannot resolve its id (a coordinator in another
+  /// process appended it). Hostile or malformed payloads are ignored —
+  /// the id simply stays unresolvable.
+  void MaybeInstallWireConfig(const RtMessage& m);
+  /// Run the read phase for `key` under the current deadline. `targeted`
+  /// sends to a minimal read quorum first (with escalation); otherwise
+  /// the phase broadcasts to every member.
   ReadPhase RunReadPhase(const std::string& key, std::uint64_t op,
-                         std::chrono::steady_clock::time_point deadline);
+                         std::chrono::steady_clock::time_point deadline,
+                         bool targeted = false);
   void MaybeRepair(const std::string& key, std::uint64_t op,
                    const ReadPhase& phase);
   /// Failure status of one attempt (never kOk).
@@ -170,6 +208,12 @@ class QuorumClient {
   std::uint64_t next_op_ = 1;
   std::uint64_t repairs_issued_ = 0;
   std::uint64_t divergences_observed_ = 0;
+  std::uint64_t escalations_ = 0;
+  /// Optimistic up-mask driving minimal-quorum targeting: a bit clears
+  /// when the transport refuses a send (node known down) and sets again
+  /// on any response from that node. Every retry attempt resets it to
+  /// all-up — targeting is a fast path, never a liveness assumption.
+  std::uint64_t believed_up_ = ~0ull;
   /// Highest install version this client ever staged, per key. Every new
   /// install goes strictly above it, so no install this client ever put
   /// on the wire — including from attempts or whole operations that were

@@ -68,6 +68,43 @@ class ConfigTable {
     return c;
   }
 
+  /// Build the configuration a strategy descriptor names over an
+  /// arbitrary member set: structural position i of the strategy is
+  /// played by members[i] (for a grid, say, members[i] sits at
+  /// row i/cols, col i%cols). Throws quorum::StrategyConfigError when
+  /// the descriptor cannot cover exactly members.size() nodes — the
+  /// typed refusal membership change surfaces instead of silently
+  /// downgrading to majority. Contiguous prefix member sets skip the
+  /// positional remap wrapper.
+  static MemberConfig FromDescriptor(const quorum::StrategyDescriptor& desc,
+                                     std::vector<NodeId> members) {
+    if (members.empty()) {
+      throw quorum::StrategyConfigError("a config needs members");
+    }
+    const auto n = static_cast<ReplicaId>(members.size());
+    quorum::QuorumSystem base = quorum::SystemFromDescriptor(desc, n);
+    bool prefix = true;
+    for (NodeId i = 0; i < n; ++i) {
+      if (members[i] != i) {
+        prefix = false;
+        break;
+      }
+    }
+    if (prefix) return Prefix(std::move(base));
+    MemberConfig c;
+    c.system = quorum::OverMembers(std::move(base),
+                                   {members.begin(), members.end()});
+    c.member_mask = MaskOf(members);
+    c.members = std::move(members);
+    return c;
+  }
+
+  /// The all-of-one configuration over a single node — what a joiner
+  /// serves during catchup, before it is part of any quorum.
+  static MemberConfig Singleton(NodeId node) {
+    return Majority({node});
+  }
+
   static std::uint64_t MaskOf(const std::vector<NodeId>& members) {
     std::uint64_t mask = 0;
     for (NodeId r : members) {
@@ -101,15 +138,35 @@ class ConfigTable {
     return static_cast<std::uint32_t>(entries_.size() - 1);
   }
 
+  /// Install a configuration learned from the wire at a *specific* id
+  /// (the id a remote coordinator's table assigned and stamped into
+  /// replicas). Grows the table with unresolvable gaps if needed; a slot
+  /// that is already filled wins — the first installation is never
+  /// displaced by a later (possibly hostile) payload. Returns the entry
+  /// now at `id`.
+  std::shared_ptr<const MemberConfig> InstallAt(std::uint32_t id,
+                                                MemberConfig config) {
+    QCNT_CHECK_MSG(!config.members.empty(), "a config needs members");
+    if (config.member_mask == 0) config.member_mask = MaskOf(config.members);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= entries_.size()) entries_.resize(id + 1);
+    if (entries_[id] == nullptr) {
+      entries_[id] = std::make_shared<const MemberConfig>(std::move(config));
+    }
+    return entries_[id];
+  }
+
   std::shared_ptr<const MemberConfig> At(std::uint32_t id) const {
     std::lock_guard<std::mutex> lock(mu_);
-    QCNT_CHECK_MSG(id < entries_.size(), "unknown config id");
+    QCNT_CHECK_MSG(id < entries_.size() && entries_[id] != nullptr,
+                   "unknown config id");
     return entries_[id];
   }
 
   /// At() that answers nullptr for an id this table has never seen —
   /// what a client uses on ids learned from the wire (a corrupt or
-  /// hostile response must not crash the client).
+  /// hostile response must not crash the client). Gaps left by InstallAt
+  /// are unknown ids too.
   std::shared_ptr<const MemberConfig> TryAt(std::uint32_t id) const {
     std::lock_guard<std::mutex> lock(mu_);
     if (id >= entries_.size()) return nullptr;

@@ -8,12 +8,31 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "quorum/strategy_descriptor.hpp"
 
 namespace qcnt::runtime {
 
 using NodeId = std::uint32_t;
+
+/// Self-describing configuration: the member node ids plus the strategy
+/// descriptor whose system quorums over them (structural position i is
+/// played by members[i]). Carried on the wire (codec v3) inside config
+/// writes and echoed on fence NACKs, so a client in *another process* —
+/// whose ConfigTable never saw the coordinator's Append — can install
+/// the configuration a stamp names instead of aborting as unresolvable.
+struct ConfigPayload {
+  std::vector<NodeId> members;
+  quorum::StrategyDescriptor descriptor;
+
+  bool operator==(const ConfigPayload& o) const {
+    return members == o.members && descriptor == o.descriptor;
+  }
+  bool operator!=(const ConfigPayload& o) const { return !(*this == o); }
+};
 
 /// One operation inside a multi-op (batched) message. In a batch read
 /// request only (op, key) are meaningful; in a batch read response all
@@ -88,6 +107,12 @@ struct RtMessage {
   /// is applied by the replica with one mailbox wakeup and (for writes)
   /// one group-commit append through the durable backend.
   std::vector<BatchEntry> batch;
+  /// The configuration `config_id` names, when the sender can describe
+  /// it (see ConfigPayload). Set on kConfigWriteReq by a reconfiguring
+  /// client; echoed by replicas on kConfigWriteAck and on fence NACKs
+  /// so the fenced client can learn the config it is being fenced to.
+  /// Absent on everything else.
+  std::optional<ConfigPayload> config;
 };
 
 struct Envelope {

@@ -211,6 +211,14 @@ void ReplicaServer::FlushRoutes() {
 void ReplicaServer::CrashAndWipe() {
   Shutdown();
   join_ = JoinState{};  // a pull in progress dies with the node
+  {
+    // The remembered config payload is volatile replica state too; a
+    // wiped replica re-learns it from the next config write.
+    std::lock_guard<std::mutex> lock(config_payload_mu_);
+    config_payload_.reset();
+    config_payload_gen_ = 0;
+    config_payload_id_ = 0;
+  }
   for (auto& sh : shards_) {
     sh->image = storage::Image{};
     sh->history.clear();  // volatile, dies with the node
@@ -318,6 +326,8 @@ BatchStats ReplicaServer::BatchStats() const {
   s.batches_applied = batches_applied_.load(std::memory_order_relaxed);
   s.batched_ops = batched_ops_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  s.read_ops = read_ops_.load(std::memory_order_relaxed);
+  s.write_ops = write_ops_.load(std::memory_order_relaxed);
   s.per_shard = CollectShardCounters();
   const Mailbox& inbox = transport_->MailboxOf(id_);
   s.mailbox_handoffs = inbox.Handoffs();
@@ -497,7 +507,39 @@ void ReplicaServer::SplitBatch(Envelope e) {
   }
 }
 
+void ReplicaServer::NoteConfigPayload(const RtMessage& m) {
+  if (!m.config) return;
+  std::lock_guard<std::mutex> lock(config_payload_mu_);
+  // Same (generation, config_id) order as the shard stamps: an orphaned
+  // stamp from a lost reconfigure attempt is superseded, a duplicated
+  // install is a no-op.
+  if (m.generation > config_payload_gen_ ||
+      (m.generation == config_payload_gen_ &&
+       m.config_id >= config_payload_id_)) {
+    config_payload_gen_ = m.generation;
+    config_payload_id_ = m.config_id;
+    config_payload_ = std::make_shared<const ConfigPayload>(*m.config);
+  }
+}
+
+void ReplicaServer::MaybeAttachConfig(const RtMessage& req,
+                                      RtMessage& reply) {
+  // Only a reply that teaches a newer stamp than the requester already
+  // holds needs the payload; an up-to-date client resolves the id from
+  // its own table.
+  if (reply.generation < req.generation ||
+      (reply.generation == req.generation &&
+       reply.config_id <= req.config_id)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(config_payload_mu_);
+  if (config_payload_ != nullptr && config_payload_id_ == reply.config_id) {
+    reply.config = *config_payload_;
+  }
+}
+
 void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
+  NoteConfigPayload(e.msg);
   std::uint64_t epoch;
   {
     std::lock_guard<std::mutex> lock(barrier_mu_);
@@ -523,6 +565,7 @@ void ReplicaServer::BroadcastConfigAndAck(const Envelope& e) {
   RtMessage ack;
   ack.kind = RtMessage::Kind::kConfigWriteAck;
   ack.op = e.msg.op;
+  ack.config = e.msg.config;  // echo: the ack is self-describing too
   transport_->Send(id_, e.from, std::move(ack));
 }
 
@@ -628,8 +671,10 @@ void ReplicaServer::HandleBatchRead(Worker& w, const RtMessage& m,
   }
   reply.generation = gen;
   reply.config_id = cfg;
+  MaybeAttachConfig(m, reply);
   FlushTouched(w);
   CountBatchTotals(m.batch.size());
+  read_ops_.fetch_add(m.batch.size(), std::memory_order_relaxed);
 }
 
 void ReplicaServer::HandleBatchWrite(Worker& w, const RtMessage& m,
@@ -664,10 +709,12 @@ void ReplicaServer::HandleBatchWrite(Worker& w, const RtMessage& m,
   }
   reply.generation = gen;
   reply.config_id = cfg;
+  MaybeAttachConfig(m, reply);
   // Accepted records reach the backends (one batch append + one
   // group-commit decision per touched shard) before the single ack below.
   FlushTouched(w);
   CountBatchTotals(m.batch.size());
+  write_ops_.fetch_add(m.batch.size(), std::memory_order_relaxed);
 }
 
 void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
@@ -694,7 +741,9 @@ void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
       reply.value = v.value;
       reply.generation = sh.image.generation;
       reply.config_id = sh.image.config_id;
+      MaybeAttachConfig(m, reply);
       sh.ops.fetch_add(1, std::memory_order_relaxed);
+      read_ops_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case RtMessage::Kind::kWriteReq: {
@@ -717,7 +766,9 @@ void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
         sh.backend->ApplyWrite(m.key, m.version, m.value);
         sh.backend->MaybeCompact(sh.image);
       }
+      MaybeAttachConfig(m, reply);
       sh.ops.fetch_add(1, std::memory_order_relaxed);
+      write_ops_.fetch_add(1, std::memory_order_relaxed);
       break;
     }
     case RtMessage::Kind::kConfigWriteReq: {
@@ -751,7 +802,11 @@ void ReplicaServer::HandleOnWorker(std::size_t widx, Envelope& e) {
         }
         return;
       }
+      // Single-shard mode: no dispatch stage saw this message, so the
+      // payload is remembered (and echoed) here.
+      NoteConfigPayload(m);
       reply.kind = RtMessage::Kind::kConfigWriteAck;
+      reply.config = m.config;
       break;
     }
     case RtMessage::Kind::kBatchReadReq:

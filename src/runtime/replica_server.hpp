@@ -103,6 +103,11 @@ struct BatchStats {
   std::uint64_t batches_applied = 0;  // kBatch* messages handled
   std::uint64_t batched_ops = 0;      // entries across those messages
   std::uint64_t max_batch = 0;        // largest single batch seen
+  /// Read / write operations served (single requests and batch entries
+  /// alike) — the observed workload mix a StrategyAdvisor samples, and
+  /// the denominator for messages-per-op fan-out measurements.
+  std::uint64_t read_ops = 0;
+  std::uint64_t write_ops = 0;
   /// Deliveries into the replica's *bus* mailbox (the dispatch stage's
   /// queue, or the sole worker's in single-shard mode): `handoffs` counts
   /// Push/PushAll calls (deterministic), `wakeups` the cv notifies
@@ -125,6 +130,8 @@ struct BatchStats {
     batches_applied += o.batches_applied;
     batched_ops += o.batched_ops;
     max_batch = max_batch > o.max_batch ? max_batch : o.max_batch;
+    read_ops += o.read_ops;
+    write_ops += o.write_ops;
     mailbox_handoffs += o.mailbox_handoffs;
     mailbox_wakeups += o.mailbox_wakeups;
     worker_handoffs += o.worker_handoffs;
@@ -287,6 +294,14 @@ class ReplicaServer {
   void ServePeek(std::size_t idx, std::uint64_t epoch);
   static void TrackPeak(std::atomic<std::uint64_t>& peak, std::uint64_t v);
   std::vector<ShardCounters> CollectShardCounters() const;
+  /// Remember the self-describing config payload of an applied config
+  /// write (newest (generation, config_id) wins), for echoing below.
+  void NoteConfigPayload(const RtMessage& m);
+  /// Attach the remembered payload to a reply whose stamp is newer than
+  /// the request's — the channel through which a client in another
+  /// process (whose ConfigTable never saw the coordinator's Append)
+  /// learns the configuration it is being fenced to.
+  void MaybeAttachConfig(const RtMessage& req, RtMessage& reply);
 
   Transport* transport_;
   NodeId id_;
@@ -347,6 +362,18 @@ class ReplicaServer {
   std::atomic<std::uint64_t> batches_applied_{0};
   std::atomic<std::uint64_t> batched_ops_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> read_ops_{0};
+  std::atomic<std::uint64_t> write_ops_{0};
+
+  // Last applied self-describing config payload (see NoteConfigPayload).
+  // Volatile: a CrashAndWipe loses it, degrading fence NACKs to the
+  // stamp-only shape until the next config write — remote clients then
+  // fall back to refusing the unresolvable id, exactly the pre-payload
+  // behavior.
+  std::mutex config_payload_mu_;
+  std::shared_ptr<const ConfigPayload> config_payload_;
+  std::uint64_t config_payload_gen_ = 0;
+  std::uint32_t config_payload_id_ = 0;
 
   /// Joiner-side pull progress. Touched only by the dispatch thread
   /// (multi) or the sole worker (single) — the same thread that routes

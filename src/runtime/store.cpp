@@ -38,9 +38,33 @@ StoreOptions Normalize(StoreOptions options) {
       options.workers_per_replica = static_cast<std::size_t>(*v);
     }
   }
+  if (!options.configs.empty() && !options.strategy.empty()) {
+    throw quorum::StrategyConfigError(
+        "StoreOptions::strategy and StoreOptions::configs are mutually "
+        "exclusive — an explicit config table already names its systems");
+  }
   if (options.configs.empty()) {
-    options.configs.push_back(
-        quorum::MajoritySystem(static_cast<ReplicaId>(options.replicas)));
+    const auto n = static_cast<ReplicaId>(options.replicas);
+    if (!options.strategy.empty()) {
+      // Programmatic spec: fail fast and typed on a bad spec or a shape
+      // that cannot cover `replicas` (a 2×2 grid over 5 nodes).
+      options.configs.push_back(quorum::SystemFromDescriptor(
+          quorum::ParseStrategy(options.strategy), n));
+    } else if (const char* env = std::getenv("QCNT_STRATEGY");
+               env != nullptr && *env != '\0') {
+      // Env override of the *default* only. Tolerant like every other
+      // QCNT_* knob (common/env.hpp): a suite-wide QCNT_STRATEGY that
+      // does not fit this store's replica count must not take the
+      // process down, so misfits fall back to majority.
+      try {
+        options.configs.push_back(quorum::SystemFromDescriptor(
+            quorum::ParseStrategy(env), n));
+      } catch (const quorum::StrategyConfigError&) {
+        options.configs.push_back(quorum::MajoritySystem(n));
+      }
+    } else {
+      options.configs.push_back(quorum::MajoritySystem(n));
+    }
     options.initial_config = 0;
   }
   QCNT_CHECK(options.initial_config < options.configs.size());

@@ -59,6 +59,19 @@ struct StoreOptions {
   /// Table of installable configurations. When empty, defaults to
   /// { majority(replicas) } with entry 0 initial.
   std::vector<quorum::QuorumSystem> configs;
+  /// Quorum strategy spec for the default configuration, in the
+  /// ParseStrategy grammar: "majority", "rowa"/"read-dominant", "rawo",
+  /// "primary", "grid:RxC", "tree:B,L", "hier:B,D",
+  /// "weighted:v1,...:R:W". Empty = majority. The shape must cover
+  /// exactly `replicas` nodes or construction throws
+  /// quorum::StrategyConfigError (fail-fast, typed — never a deep
+  /// assert). Mutually exclusive with a non-empty `configs`, which
+  /// already names its systems. When this field is empty and `configs`
+  /// is too, the QCNT_STRATEGY environment variable supplies the spec;
+  /// per the env-override contract (common/env.hpp) a spec that does
+  /// not parse or fit `replicas` falls back to majority instead of
+  /// taking the process down.
+  std::string strategy;
   std::uint32_t initial_config = 0;
   QuorumClient::Options client_options;
   AsyncQuorumClient::Options async_client_options;

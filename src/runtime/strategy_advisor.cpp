@@ -1,0 +1,150 @@
+#include "runtime/strategy_advisor.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "runtime/store.hpp"
+
+namespace qcnt::runtime {
+
+StrategyAdvisor::StrategyAdvisor(ReplicatedStore& store,
+                                 StrategyAdvisorOptions options)
+    : store_(&store), options_(std::move(options)) {
+  QCNT_CHECK_MSG(
+      options_.write_heavy_threshold < options_.read_heavy_threshold,
+      "thresholds must leave a hysteresis band");
+  // Fail at construction, not mid-flight: both target strategies must at
+  // least name a derivable family (membership-size fit is checked per
+  // switch, since the member set moves underneath the advisor).
+  QCNT_CHECK_MSG(
+      options_.read_heavy.kind != quorum::StrategyKind::kOpaque &&
+          options_.balanced.kind != quorum::StrategyKind::kOpaque,
+      "advisor strategies must be descriptor-derivable (not opaque)");
+}
+
+StrategyAdvisor::~StrategyAdvisor() { Stop(); }
+
+void StrategyAdvisor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  // Baseline the counters so the first window measures only traffic that
+  // happened while the advisor was watching.
+  const BatchStats bs = store_->TotalBatchStats();
+  last_reads_ = bs.read_ops;
+  last_writes_ = bs.write_ops;
+  running_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void StrategyAdvisor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void StrategyAdvisor::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.poll_interval, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+void StrategyAdvisor::Tick() {
+  const BatchStats bs = store_->TotalBatchStats();
+  std::uint64_t reads, writes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reads = bs.read_ops - last_reads_;
+    writes = bs.write_ops - last_writes_;
+    last_reads_ = bs.read_ops;
+    last_writes_ = bs.write_ops;
+    ++stats_.windows;
+  }
+  const std::uint64_t total = reads + writes;
+  if (total < options_.min_ops_per_window) return;
+  const double read_fraction =
+      static_cast<double>(reads) / static_cast<double>(total);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.last_read_fraction = read_fraction;
+    if (std::chrono::steady_clock::now() < cooldown_until_) return;
+  }
+  const quorum::StrategyKind current = store_->ConfigTableRef()
+                                           ->At(store_->CurrentConfigId())
+                                           ->system.descriptor.kind;
+  const quorum::StrategyDescriptor* want = nullptr;
+  if (read_fraction >= options_.read_heavy_threshold &&
+      current != options_.read_heavy.kind) {
+    want = &options_.read_heavy;
+  } else if (read_fraction <= options_.write_heavy_threshold &&
+             current != options_.balanced.kind) {
+    want = &options_.balanced;
+  }
+  if (want == nullptr) return;
+  std::string error;
+  SwitchTo(*want, &error);
+}
+
+bool StrategyAdvisor::SwitchTo(const quorum::StrategyDescriptor& d,
+                               std::string* error) {
+  // Strategy switches are membership operations minus the member change:
+  // same lock, same append-stamp-commit order.
+  const auto membership = store_->LockMembership();
+  std::vector<NodeId> members = store_->Members();
+
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.failed_switches;
+    stats_.last_error = why;
+    return false;
+  };
+
+  MemberConfig target_cfg;
+  try {
+    target_cfg = ConfigTable::FromDescriptor(d, members);
+  } catch (const quorum::StrategyConfigError& e) {
+    return fail(std::string("strategy cannot span the membership: ") +
+                e.what());
+  }
+  // Append before stamping, like every reconfiguration: a failed stamp
+  // leaves an unstamped entry no replica will ever name — harmless.
+  const std::uint32_t target =
+      store_->ConfigTableRef()->Append(std::move(target_cfg));
+
+  QuorumClient client(store_->TransportRef(), store_->CoordinatorId(),
+                      store_->ConfigTableRef(), store_->CurrentConfigId(),
+                      options_.client);
+  const ClientResult r = client.Reconfigure(target);
+  if (!r.ok) {
+    return fail(std::string("reconfigure found no quorum (") +
+                ToString(r.status) + ")");
+  }
+  store_->CommitMembership(std::move(members), target);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.switches;
+    stats_.last_error.clear();
+    cooldown_until_ = std::chrono::steady_clock::now() + options_.cooldown;
+  }
+  return true;
+}
+
+StrategyAdvisor::Stats StrategyAdvisor::AdvisorStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace qcnt::runtime

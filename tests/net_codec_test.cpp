@@ -78,6 +78,11 @@ void ExpectEqual(const RtMessage& a, const RtMessage& b) {
   EXPECT_EQ(a.value, b.value);
   EXPECT_EQ(a.generation, b.generation);
   EXPECT_EQ(a.config_id, b.config_id);
+  ASSERT_EQ(a.config.has_value(), b.config.has_value());
+  if (a.config) {
+    EXPECT_EQ(a.config->descriptor, b.config->descriptor);
+    EXPECT_EQ(a.config->members, b.config->members);
+  }
   ASSERT_EQ(a.batch.size(), b.batch.size());
   for (std::size_t i = 0; i < a.batch.size(); ++i) {
     EXPECT_EQ(a.batch[i].op, b.batch[i].op);
@@ -365,6 +370,150 @@ TEST(Codec, CatchupChunkHugeBatchCountIsMalformedWithoutAllocating) {
   DecodeResult r = DecodeFrame(buf.data(), buf.size());
   EXPECT_EQ(r.status, DecodeStatus::kMalformed);
   EXPECT_EQ(r.frame.msg.batch.capacity(), 0u);
+}
+
+// --- Self-describing configuration payloads (DESIGN.md §13) ------------
+//
+// Config payloads ride on fence NACKs and reconfiguration writes; a
+// corrupted or hostile one must never install a wrong quorum system on a
+// client. Same exhaustiveness as the membership kinds above: lossless
+// round trip, every truncation prefix, every flipped byte, and
+// consistent-CRC hostile counts rejected without allocation.
+
+// A frame whose reply teaches a weighted configuration — the descriptor
+// family with every field populated (votes vector, both thresholds).
+WireFrame ConfigFrame() {
+  WireFrame f;
+  f.from = 2;
+  f.to = 9;
+  f.msg = FullMessage(RtMessage::Kind::kWriteAck);
+  runtime::ConfigPayload c;
+  c.descriptor.kind = quorum::StrategyKind::kWeighted;
+  c.descriptor.votes = {3, 1, 1};
+  c.descriptor.read_threshold = 2;
+  c.descriptor.write_threshold = 4;
+  c.members = {0, 1, 2};
+  f.msg.config = std::move(c);
+  return f;
+}
+
+TEST(Codec, ConfigPayloadRoundTrips) {
+  // Weighted: every descriptor field in play.
+  {
+    const WireFrame f = ConfigFrame();
+    const auto buf = Encode(f);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    ExpectEqual(r.frame.msg, f.msg);
+  }
+  // Parameterless family (ROWA), empty votes, on a batch reply carrying
+  // entries — the config tail decodes after the batch section.
+  {
+    WireFrame f;
+    f.msg = FullMessage(RtMessage::Kind::kBatchReadResp);
+    f.msg.batch.push_back(BatchEntry{1, "k", 2, 3});
+    runtime::ConfigPayload c;
+    c.descriptor.kind = quorum::StrategyKind::kReadOneWriteAll;
+    c.members = {4, 5, 6, 7};
+    f.msg.config = std::move(c);
+    const auto buf = Encode(f);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    ExpectEqual(r.frame.msg, f.msg);
+  }
+  // And the dominant case — no payload — still round-trips as absent.
+  {
+    WireFrame f;
+    f.msg = FullMessage(RtMessage::Kind::kWriteAck);
+    const auto buf = Encode(f);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    ASSERT_EQ(r.status, DecodeStatus::kOk);
+    EXPECT_FALSE(r.frame.msg.config.has_value());
+  }
+}
+
+TEST(Codec, ConfigPayloadEveryTruncationPrefixNeedsMore) {
+  const auto buf = Encode(ConfigFrame());
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    DecodeResult r = DecodeFrame(buf.data(), len);
+    EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "prefix " << len;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+TEST(Codec, ConfigPayloadEveryFlippedPayloadByteFailsCrc) {
+  const auto buf = Encode(ConfigFrame());
+  for (std::size_t i = kFrameHeaderBytes; i < buf.size(); ++i) {
+    auto bad = buf;
+    bad[i] ^= 0x01;
+    DecodeResult r = DecodeFrame(bad.data(), bad.size());
+    EXPECT_EQ(r.status, DecodeStatus::kCrcMismatch) << "flipped byte " << i;
+    EXPECT_EQ(r.consumed, 0u);
+  }
+}
+
+// The raw payload of ConfigFrame(), for consistent-CRC tampering. Tail
+// layout (offsets from the end): members (3 × u32), member_count (u32),
+// votes (3 × u32), vote_count (u32), thresholds/a/b (4 × u32), kind (u8),
+// has_config (u8).
+std::vector<std::uint8_t> ConfigPayloadBytes() {
+  const auto buf = Encode(ConfigFrame());
+  return {buf.begin() + kFrameHeaderBytes, buf.end()};
+}
+
+TEST(Codec, ConfigPayloadHostileCountsAreMalformedWithoutAllocating) {
+  const std::uint32_t huge = 0x80000000u;
+  // member_count sits before the 3 encoded members.
+  {
+    auto payload = ConfigPayloadBytes();
+    std::memcpy(payload.data() + payload.size() - 16, &huge, sizeof(huge));
+    const auto buf = FrameWithPayload(payload);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    EXPECT_EQ(r.status, DecodeStatus::kMalformed);
+    EXPECT_FALSE(r.frame.msg.config.has_value());
+  }
+  // vote_count sits before 3 votes + member_count + 3 members.
+  {
+    auto payload = ConfigPayloadBytes();
+    std::memcpy(payload.data() + payload.size() - 32, &huge, sizeof(huge));
+    const auto buf = FrameWithPayload(payload);
+    DecodeResult r = DecodeFrame(buf.data(), buf.size());
+    EXPECT_EQ(r.status, DecodeStatus::kMalformed);
+    EXPECT_FALSE(r.frame.msg.config.has_value());
+  }
+}
+
+TEST(Codec, ConfigPayloadBadDiscriminatorsAreMalformed) {
+  // has_config must be 0 or 1; the strategy kind must be in range. Both
+  // arrive over a consistent CRC (buggy sender, not line noise).
+  auto payload = ConfigPayloadBytes();
+  const std::size_t tail =
+      1 + 1 + 4 * 4 + 4 + 3 * 4 + 4 + 3 * 4;  // has_config .. members
+  const std::size_t has_config_at = payload.size() - tail;
+  {
+    auto bad = payload;
+    bad[has_config_at] = 2;
+    const auto buf = FrameWithPayload(bad);
+    EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+              DecodeStatus::kMalformed);
+  }
+  {
+    auto bad = payload;
+    bad[has_config_at + 1] =
+        static_cast<std::uint8_t>(quorum::kMaxStrategyKind) + 1;
+    const auto buf = FrameWithPayload(bad);
+    EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+              DecodeStatus::kMalformed);
+  }
+  // A config tail cut off mid-descriptor over a consistent CRC is
+  // malformed, not a partial install.
+  {
+    auto bad = payload;
+    bad.resize(bad.size() - 6);
+    const auto buf = FrameWithPayload(bad);
+    EXPECT_EQ(DecodeFrame(buf.data(), buf.size()).status,
+              DecodeStatus::kMalformed);
+  }
 }
 
 TEST(Codec, ToStringCoversEveryStatus) {

@@ -52,7 +52,11 @@ TEST(BatchCrash, RecoveryYieldsPerItemPrefixOfTheBatchStream) {
   };
   ReplicatedStore store(std::move(options));
   auto client = store.MakeAsyncClient(
-      AsyncQuorumClient::Options{.window = 32, .max_batch = 16});
+      AsyncQuorumClient::Options{
+          .window = 32, .max_batch = 16,
+          // The test audits one replica's WAL stream, so every write
+          // must reach every replica — disable minimal-quorum targeting.
+          .target_minimal = false});
 
   // value written at version v of key k is Payload(k, v): recovered state
   // can be validated without any side table.
@@ -161,7 +165,11 @@ TEST(BatchCrash, ShardedRecoveryYieldsPerItemPrefix) {
   ReplicatedStore store(std::move(options));
   ASSERT_EQ(store.ShardsPerReplica(), kShards);
   auto client = store.MakeAsyncClient(
-      AsyncQuorumClient::Options{.window = 32, .max_batch = 16});
+      AsyncQuorumClient::Options{
+          .window = 32, .max_batch = 16,
+          // The test audits one replica's WAL stream, so every write
+          // must reach every replica — disable minimal-quorum targeting.
+          .target_minimal = false});
 
   const auto payload = [&](std::size_t key_idx, std::uint64_t version) {
     return static_cast<std::int64_t>(key_idx * 1'000'000 + version);

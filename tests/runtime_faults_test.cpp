@@ -436,6 +436,9 @@ TEST(ReplicaIdempotence, DuplicatedWritesDoNotDoubleLog) {
   FaultPlan plan;
   plan.duplicate = 1.0;
   options.faults = plan;
+  // The 15-record count below assumes every install reaches all 3
+  // replicas — full fan-out, not a minimal write quorum.
+  options.client_options.target_minimal = false;
   ReplicatedStore store(std::move(options));
   auto client = store.MakeClient();
   for (int i = 0; i < 5; ++i) {

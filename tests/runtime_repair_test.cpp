@@ -101,6 +101,10 @@ StoreOptions DurableOptions(const std::string& dir, std::size_t replicas = 3) {
   storage::DurabilityOptions durability;
   durability.directory = dir;
   options.durability = durability;
+  // These tests audit per-replica WAL contents (WaitForAppends, torn-tail
+  // surgery on a specific replica), which presumes every write reaches
+  // every replica — full fan-out, not a minimal write quorum.
+  options.client_options.target_minimal = false;
   return options;
 }
 

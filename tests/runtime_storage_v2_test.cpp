@@ -47,6 +47,10 @@ StoreOptions SpillOptions(const std::string& dir) {
   durability.segment_bytes = 512;
   durability.spill_cold_reads = true;
   options.durability = durability;
+  // The Peek test below audits every replica's full image, which
+  // presumes writes reach all 3 replicas — full fan-out, not a minimal
+  // write quorum (benign for the quorum-reads sibling test).
+  options.client_options.target_minimal = false;
   return options;
 }
 

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Sanity-gate BENCH_strategies.json (experiment E21).
+
+Checks:
+
+1. Both sections must be present: `read_heavy` (per-strategy rows for the
+   95%-read workload) and `switch_under_traffic` (live majority <-> ROWA
+   flips under load).  A bench that silently skipped a section must not
+   pass.
+2. Read-heavy ordering: with minimal-quorum targeting, a majority-of-5
+   read costs 3+3 messages while ROWA costs 1+1, so ROWA and the
+   read-dominant weighted system must beat the majority row on measured
+   messages/op (strictly fewer).  This is the regression gate for the
+   read-phase over-fanout fix — a client that quietly falls back to
+   broadcasting erases the messages/op gap even when throughput noise
+   hides it.  Throughput gets a *floor*, not a strict ordering: the
+   read-optimized rows must hold >= MIN_THROUGHPUT_RATIO of the majority
+   baseline.  Throughput ordering between back-to-back runs flips under
+   scheduler contention on small CI hosts even when the wire win is
+   intact, so the deterministic messages/op check carries the strictness.
+3. Switch-under-traffic floor: the median throughput of the switching
+   phase must hold at least half the steady-state median
+   (ratio >= 0.5), and at least one switch must actually have been
+   installed — a live strategy switch is a blip, not an outage.
+
+Exit status: 0 = pass, 1 = hard failure, 2 = malformed/missing input.
+"""
+
+import json
+import sys
+
+MIN_SWITCH_RATIO = 0.5
+MIN_THROUGHPUT_RATIO = 0.85
+
+
+def fail(msg):
+    print(f"check_bench_strategies: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    path = argv[1] if len(argv) > 1 else "BENCH_strategies.json"
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"check_bench_strategies: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+
+    # 1. Both sections present and well-formed.
+    rows = data.get("read_heavy")
+    if not isinstance(rows, list) or not rows:
+        print(f"check_bench_strategies: {path} lacks section 'read_heavy'",
+              file=sys.stderr)
+        return 2
+    switch = data.get("switch_under_traffic")
+    if not isinstance(switch, dict):
+        print(f"check_bench_strategies: {path} lacks section "
+              "'switch_under_traffic'", file=sys.stderr)
+        return 2
+
+    by_strategy = {}
+    for row in rows:
+        name = row.get("strategy")
+        if (not isinstance(name, str)
+                or not isinstance(row.get("ops_per_sec"), (int, float))
+                or not isinstance(row.get("messages_per_op"), (int, float))):
+            print(f"check_bench_strategies: malformed read_heavy row {row!r}",
+                  file=sys.stderr)
+            return 2
+        by_strategy[name] = row
+
+    majority = by_strategy.get("majority")
+    if majority is None:
+        print("check_bench_strategies: read_heavy has no 'majority' "
+              "baseline row", file=sys.stderr)
+        return 2
+    read_optimized = [n for n in by_strategy if n != "majority"]
+    if not read_optimized:
+        print("check_bench_strategies: read_heavy has no read-optimized "
+              "strategies to compare against majority", file=sys.stderr)
+        return 2
+
+    # 2. ROWA / read-dominant must beat majority on the wire, and must
+    #    not regress throughput below the contention-tolerant floor.
+    for name in read_optimized:
+        row = by_strategy[name]
+        floor = MIN_THROUGHPUT_RATIO * majority["ops_per_sec"]
+        if row["ops_per_sec"] < floor:
+            status |= fail(
+                f"read-heavy throughput: {name} "
+                f"({row['ops_per_sec']:.0f} ops/s) fell below "
+                f"{MIN_THROUGHPUT_RATIO}x of majority "
+                f"({majority['ops_per_sec']:.0f} ops/s)")
+        if row["messages_per_op"] >= majority["messages_per_op"]:
+            status |= fail(
+                f"messages/op: {name} ({row['messages_per_op']:.2f}) is not "
+                f"below majority ({majority['messages_per_op']:.2f}); "
+                "minimal-quorum targeting is not engaging")
+        if row.get("failures", 0):
+            status |= fail(
+                f"read-heavy {name} reported {row['failures']} failed ops "
+                "on a healthy store")
+
+    # 3. Live switches must not crater throughput.
+    ratio = switch.get("ratio")
+    switches = switch.get("switches")
+    if not isinstance(ratio, (int, float)) or not isinstance(switches, int):
+        print("check_bench_strategies: switch_under_traffic lacks "
+              "ratio/switches", file=sys.stderr)
+        return 2
+    if switches < 1:
+        status |= fail("switch_under_traffic installed zero switches; the "
+                       "section measured nothing")
+    if ratio < MIN_SWITCH_RATIO:
+        status |= fail(
+            f"during-switch median held only {ratio:.2f}x of steady state "
+            f"(floor {MIN_SWITCH_RATIO})")
+
+    if status == 0:
+        print(f"check_bench_strategies: OK ({path}, "
+              f"{len(rows)} strategies, {switches} live switches, "
+              f"switch ratio {ratio:.2f})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
